@@ -1,0 +1,74 @@
+//! E13 — partition-parallel kernels (the PRISMA/DB §5 direction):
+//! hash-partitioned equi-join and keyed group-by vs their serial
+//! counterparts, across partition counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mera_bench::int_relation;
+use mera_core::prelude::*;
+use mera_eval::{execute, execute_parallel};
+use mera_expr::{Aggregate, RelExpr, ScalarExpr};
+
+fn join_db(rows: usize) -> Database {
+    let schema = DatabaseSchema::new()
+        .with("r", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .expect("fresh")
+        .with("s", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .expect("fresh");
+    let mut db = Database::new(schema);
+    db.replace("r", int_relation(rows, rows / 4 + 1, 0.3, 31)).expect("replace");
+    db.replace("s", int_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 32)).expect("replace");
+    db
+}
+
+fn parallel_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/equi_join");
+    for rows in [20_000usize, 80_000] {
+        let db = join_db(rows);
+        let e = RelExpr::scan("r").join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        );
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("serial", rows), &e, |b, e| {
+            b.iter(|| execute(e, &db).expect("serial executes"));
+        });
+        for partitions in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("partitions_{partitions}"), rows),
+                &e,
+                |b, e| b.iter(|| execute_parallel(e, &db, partitions).expect("parallel executes")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn parallel_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/group_by");
+    for rows in [50_000usize, 150_000] {
+        let db = join_db(rows);
+        let e = RelExpr::scan("r").group_by(&[1], Aggregate::Avg, 2);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("serial", rows), &e, |b, e| {
+            b.iter(|| execute(e, &db).expect("serial executes"));
+        });
+        for partitions in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("partitions_{partitions}"), rows),
+                &e,
+                |b, e| b.iter(|| execute_parallel(e, &db, partitions).expect("parallel executes")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = parallel_join, parallel_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Relation schemas (Definition 2.2).
+//!
+//! A relation schema is a list of attributes, each defined on a domain. The
+//! paper orders attributes so they can be addressed *by index* (`%i`), which
+//! also lets intermediate, anonymous results be addressed uniformly; names
+//! are a convenience layer on top. Both are supported: every attribute has a
+//! domain and an *optional* name.
+//!
+//! The tuple operators `α` (projection) and `⊕` (concatenation) are lifted
+//! to schemas here, with "obvious semantics" as the paper puts it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{CoreError, CoreResult};
+use crate::tuple::{AttrList, Tuple};
+use crate::types::DataType;
+
+/// One attribute of a relation schema: a domain plus an optional name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Optional attribute name (anonymous attributes arise from expressions).
+    pub name: Option<String>,
+    /// The domain the attribute is defined on.
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    /// A named attribute.
+    pub fn named(name: impl Into<String>, dtype: DataType) -> Self {
+        Attribute {
+            name: Some(name.into()),
+            dtype,
+        }
+    }
+
+    /// An anonymous attribute (only addressable by index).
+    pub fn anon(dtype: DataType) -> Self {
+        Attribute { name: None, dtype }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}: {}", self.dtype),
+            None => write!(f, "{}", self.dtype),
+        }
+    }
+}
+
+/// An ordered list of attributes — the type `E` that relational expressions
+/// are "defined on" throughout the paper.
+///
+/// Cheap to share: algebra nodes and relations hold `Arc<Schema>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from its attributes. The empty schema is allowed; it
+    /// is the schema of the single-tuple result of an aggregate with an
+    /// empty grouping list before the aggregate column is appended.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Builds a schema of named attributes from `(name, type)` pairs.
+    pub fn named(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            attrs: pairs
+                .iter()
+                .map(|&(n, t)| Attribute::named(n, t))
+                .collect(),
+        }
+    }
+
+    /// Builds a schema of anonymous attributes from types alone.
+    pub fn anon(types: &[DataType]) -> Self {
+        Schema {
+            attrs: types.iter().map(|&t| Attribute::anon(t)).collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes, in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at 1-based index `i`.
+    pub fn attr(&self, i: usize) -> CoreResult<&Attribute> {
+        if i == 0 || i > self.attrs.len() {
+            return Err(CoreError::AttrIndexOutOfRange {
+                index: i,
+                arity: self.attrs.len(),
+            });
+        }
+        Ok(&self.attrs[i - 1])
+    }
+
+    /// The domain of the attribute at 1-based index `i`.
+    pub fn dtype(&self, i: usize) -> CoreResult<DataType> {
+        Ok(self.attr(i)?.dtype)
+    }
+
+    /// Resolves an attribute name to its 1-based index.
+    ///
+    /// Names are the notational convenience the paper mentions; resolution
+    /// picks the first match so self-joins can still disambiguate by index.
+    pub fn index_of(&self, name: &str) -> CoreResult<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.as_deref() == Some(name))
+            .map(|p| p + 1)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// True when both schemas list the same domains in the same order.
+    ///
+    /// This is the compatibility required of `E₁` and `E₂` by union,
+    /// difference and intersection: they must be "defined on schema E".
+    /// Attribute *names* are notation and do not affect compatibility.
+    pub fn same_types(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attrs
+                .iter()
+                .zip(&other.attrs)
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+
+    /// Checks type compatibility, reporting both schemas on failure.
+    pub fn check_same_types(&self, other: &Schema) -> CoreResult<()> {
+        if self.same_types(other) {
+            Ok(())
+        } else {
+            Err(CoreError::SchemaMismatch {
+                expected: self.to_string(),
+                found: other.to_string(),
+            })
+        }
+    }
+
+    /// Schema projection `α_a(E)` — same semantics as tuple projection.
+    pub fn project(&self, a: &AttrList) -> CoreResult<Schema> {
+        a.check_arity(self.arity())?;
+        Ok(Schema {
+            attrs: a
+                .indexes()
+                .iter()
+                .map(|&i| self.attrs[i - 1].clone())
+                .collect(),
+        })
+    }
+
+    /// Schema concatenation `E ⊕ E'` — the schema of a product or join.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut attrs = Vec::with_capacity(self.arity() + other.arity());
+        attrs.extend_from_slice(&self.attrs);
+        attrs.extend_from_slice(&other.attrs);
+        Schema { attrs }
+    }
+
+    /// Appends a single attribute (used by group-by: `α_a(E) ⊕ ran(f)`).
+    pub fn with_attr(&self, attr: Attribute) -> Schema {
+        let mut attrs = self.attrs.clone();
+        attrs.push(attr);
+        Schema { attrs }
+    }
+
+    /// True when `tuple` is an element of `dom(E)`: right arity, each value
+    /// in the attribute's domain.
+    pub fn admits(&self, tuple: &Tuple) -> bool {
+        tuple.arity() == self.arity()
+            && tuple
+                .values()
+                .iter()
+                .zip(&self.attrs)
+                .all(|(v, a)| v.data_type() == a.dtype)
+    }
+
+    /// Validates a tuple against this schema.
+    pub fn check_tuple(&self, tuple: &Tuple) -> CoreResult<()> {
+        if self.admits(tuple) {
+            Ok(())
+        } else {
+            Err(CoreError::TupleSchemaMismatch {
+                schema: self.to_string(),
+                tuple: tuple.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, a) in self.attrs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A shared schema handle, the form passed around by expressions/relations.
+pub type SchemaRef = Arc<Schema>;
+
+/// A *named* relation schema, `R` in Definition 2.2: a relation name plus
+/// the attribute list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// The relation name (database relations are addressed by name,
+    /// Definition 2.5).
+    pub name: String,
+    /// The attribute list.
+    pub schema: SchemaRef,
+}
+
+impl RelationSchema {
+    /// Builds a named relation schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        RelationSchema {
+            name: name.into(),
+            schema: Arc::new(schema),
+        }
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn beer_schema() -> Schema {
+        Schema::named(&[
+            ("name", DataType::Str),
+            ("brewery", DataType::Str),
+            ("alcperc", DataType::Real),
+        ])
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let s = beer_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr(1).unwrap().name.as_deref(), Some("name"));
+        assert_eq!(s.dtype(3).unwrap(), DataType::Real);
+        assert!(s.attr(0).is_err());
+        assert!(s.attr(4).is_err());
+    }
+
+    #[test]
+    fn name_resolution() {
+        let s = beer_schema();
+        assert_eq!(s.index_of("brewery").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("city"),
+            Err(CoreError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn name_resolution_prefers_first_match() {
+        let s = Schema::named(&[("x", DataType::Int), ("x", DataType::Str)]);
+        assert_eq!(s.index_of("x").unwrap(), 1);
+    }
+
+    #[test]
+    fn type_compatibility_ignores_names() {
+        let a = beer_schema();
+        let b = Schema::anon(&[DataType::Str, DataType::Str, DataType::Real]);
+        assert!(a.same_types(&b));
+        let c = Schema::anon(&[DataType::Str, DataType::Str]);
+        assert!(!a.same_types(&c));
+        assert!(a.check_same_types(&c).is_err());
+    }
+
+    #[test]
+    fn schema_projection_and_concat() {
+        let s = beer_schema();
+        let a = AttrList::new(vec![3, 1]).unwrap();
+        let p = s.project(&a).unwrap();
+        assert_eq!(p.attr(1).unwrap().name.as_deref(), Some("alcperc"));
+        assert_eq!(p.attr(2).unwrap().name.as_deref(), Some("name"));
+
+        let joined = s.concat(&p);
+        assert_eq!(joined.arity(), 5);
+        assert_eq!(joined.dtype(4).unwrap(), DataType::Real);
+    }
+
+    #[test]
+    fn admits_checks_types_and_arity() {
+        let s = beer_schema();
+        assert!(s.admits(&tuple!["Grolsch", "Grolsche Bierbrouwerij", 5.0_f64]));
+        assert!(!s.admits(&tuple!["Grolsch", "x"]));
+        assert!(!s.admits(&tuple!["Grolsch", "x", 5_i64])); // int ≠ real
+        assert!(s.check_tuple(&tuple!["a", "b", 1.0_f64]).is_ok());
+        assert!(s.check_tuple(&tuple![1_i64, "b", 1.0_f64]).is_err());
+    }
+
+    #[test]
+    fn empty_schema_admits_empty_tuple() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert!(s.admits(&Tuple::empty()));
+    }
+
+    #[test]
+    fn with_attr_appends() {
+        let s = Schema::named(&[("country", DataType::Str)])
+            .with_attr(Attribute::anon(DataType::Real));
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.dtype(2).unwrap(), DataType::Real);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            beer_schema().to_string(),
+            "(name: str, brewery: str, alcperc: real)"
+        );
+        let rs = RelationSchema::new("beer", beer_schema());
+        assert!(rs.to_string().starts_with("beer ("));
+    }
+}

@@ -1,0 +1,135 @@
+//! Domain names (Definition 2.1) and numeric coercion rules.
+
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+
+/// The name of an atomic domain.
+///
+/// `dom(A_i)` in the paper; every attribute of a relation schema is defined
+/// on exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean domain.
+    Bool,
+    /// 64-bit integer domain.
+    Int,
+    /// Finite-double real domain.
+    Real,
+    /// String domain.
+    Str,
+    /// Calendar-date domain.
+    Date,
+    /// Time-of-day domain.
+    Time,
+    /// Fixed-point money domain.
+    Money,
+}
+
+impl DataType {
+    /// True for domains on which SUM/AVG are defined ("p must have a numeric
+    /// domain", Definition 3.3).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Real | DataType::Money)
+    }
+
+    /// True for domains with a total order, i.e. on which MIN/MAX and the
+    /// comparison predicates `<`, `<=`, `>`, `>=` are defined.
+    ///
+    /// All our domains are totally ordered except `bool`, which we still
+    /// order (`false < true`) for determinism but exclude from range
+    /// comparisons to keep predicates intention-revealing.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, DataType::Bool)
+    }
+
+    /// The result domain of a binary arithmetic operation between `self` and
+    /// `other`, or a type error when the combination is meaningless.
+    ///
+    /// Coercion ladder: `int ∘ int → int`, any mix involving `real → real`,
+    /// `money ∘ money → money` (addition/subtraction) and
+    /// `money ∘ int → money` (scaling). Strings, bools, dates and times do
+    /// not participate in arithmetic.
+    pub fn arithmetic_result(self, other: DataType) -> CoreResult<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (Int, Int) => Ok(Int),
+            (Int, Real) | (Real, Int) | (Real, Real) => Ok(Real),
+            (Money, Money) => Ok(Money),
+            (Money, Int) | (Int, Money) => Ok(Money),
+            (Money, Real) | (Real, Money) => Ok(Real),
+            (a, b) => Err(CoreError::TypeError(format!(
+                "no arithmetic between {a} and {b}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Real => "real",
+            DataType::Str => "str",
+            DataType::Date => "date",
+            DataType::Time => "time",
+            DataType::Money => "money",
+        };
+        f.write_str(name)
+    }
+}
+
+/// All data types, in their canonical order. Handy for exhaustive tests and
+/// random schema generation.
+pub const ALL_TYPES: [DataType; 7] = [
+    DataType::Bool,
+    DataType::Int,
+    DataType::Real,
+    DataType::Str,
+    DataType::Date,
+    DataType::Time,
+    DataType::Money,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Real.is_numeric());
+        assert!(DataType::Money.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+
+    #[test]
+    fn ordered_classification() {
+        assert!(DataType::Str.is_ordered());
+        assert!(DataType::Date.is_ordered());
+        assert!(!DataType::Bool.is_ordered());
+    }
+
+    #[test]
+    fn arithmetic_coercion_ladder() {
+        use DataType::*;
+        assert_eq!(Int.arithmetic_result(Int).unwrap(), Int);
+        assert_eq!(Int.arithmetic_result(Real).unwrap(), Real);
+        assert_eq!(Real.arithmetic_result(Int).unwrap(), Real);
+        assert_eq!(Money.arithmetic_result(Money).unwrap(), Money);
+        assert_eq!(Money.arithmetic_result(Int).unwrap(), Money);
+        assert_eq!(Money.arithmetic_result(Real).unwrap(), Real);
+        assert!(Str.arithmetic_result(Int).is_err());
+        assert!(Bool.arithmetic_result(Bool).is_err());
+        assert!(Date.arithmetic_result(Date).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = ALL_TYPES.iter().map(|t| t.to_string()).collect();
+        assert_eq!(names, ["bool", "int", "real", "str", "date", "time", "money"]);
+    }
+}

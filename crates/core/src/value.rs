@@ -1,0 +1,392 @@
+//! Atomic domain values (Definition 2.1).
+//!
+//! A *domain* is a set of atomic values: indivisible as far as the algebra is
+//! concerned. The paper names integers, reals, booleans and strings as the
+//! common domains and explicitly allows more specialised atomic domains such
+//! as date, time and money; all seven are provided here.
+//!
+//! Because relations are *functions* from tuples to multiplicities
+//! (Definition 2.2), every value must support exact equality, hashing and a
+//! total order. The one standard type that breaks this is IEEE-754 `f64`
+//! (NaN); the [`Real`] wrapper excludes NaN at construction so that `real`
+//! remains a set in the mathematical sense.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{CoreError, CoreResult};
+
+/// A finite (non-NaN) IEEE-754 double, usable as a domain value.
+///
+/// `-0.0` is normalised to `+0.0` so that `x == y ⇒ hash(x) == hash(y)`
+/// holds with bit-level hashing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Real(f64);
+
+impl Real {
+    /// Wraps a float, rejecting NaN (which is not an atomic domain member).
+    pub fn new(v: f64) -> CoreResult<Self> {
+        if v.is_nan() {
+            Err(CoreError::NotAtomic("NaN".into()))
+        } else if v == 0.0 {
+            // collapse -0.0 and +0.0 into a single domain element
+            Ok(Real(0.0))
+        } else {
+            Ok(Real(v))
+        }
+    }
+
+    /// Returns the wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Real {}
+
+impl PartialOrd for Real {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Real {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // safe: NaN is excluded by construction
+        self.0.partial_cmp(&other.0).expect("Real is never NaN")
+    }
+}
+
+impl Hash for Real {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// An amount of money in minor units (e.g. cents), an atomic domain of its
+/// own per the paper's remark that "more specialized types as time, date, or
+/// money are possible too".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Money(pub i64);
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+/// A calendar date stored as days since 1970-01-01 (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Builds a date from a year/month/day triple (civil calendar).
+    ///
+    /// Uses Howard Hinnant's `days_from_civil` algorithm.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> CoreResult<Self> {
+        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return Err(CoreError::NotAtomic(format!("date {y}-{m}-{d}")));
+        }
+        let y = i64::from(y) - i64::from(m <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = (y - era * 400) as u64; // [0, 399]
+        let m = u64::from(m);
+        let d = u64::from(d);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        Ok(Date((era * 146_097 + doe as i64 - 719_468) as i32))
+    }
+
+    /// Decomposes into (year, month, day).
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = i64::from(self.0) + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = (z - era * 146_097) as u64;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe as i64 + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+        ((y + i64::from(m <= 2)) as i32, m, d)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A time of day stored as seconds since midnight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(pub u32);
+
+impl Time {
+    /// Builds a time from hours/minutes/seconds.
+    pub fn from_hms(h: u32, m: u32, s: u32) -> CoreResult<Self> {
+        if h >= 24 || m >= 60 || s >= 60 {
+            return Err(CoreError::NotAtomic(format!("time {h}:{m}:{s}")));
+        }
+        Ok(Time(h * 3600 + m * 60 + s))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            self.0 / 3600,
+            (self.0 / 60) % 60,
+            self.0 % 60
+        )
+    }
+}
+
+/// A single atomic value from one of the supported domains.
+///
+/// Variants are ordered so that the derived `Ord` gives a total order; the
+/// algebra only ever compares values of equal type (enforced by schema
+/// inference), so the cross-type ordering is an arbitrary-but-stable tie
+/// break used by deterministic output formatting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean domain.
+    Bool(bool),
+    /// Integer domain (64-bit).
+    Int(i64),
+    /// Real domain (finite doubles).
+    Real(Real),
+    /// String domain.
+    Str(String),
+    /// Date domain.
+    Date(Date),
+    /// Time-of-day domain.
+    Time(Time),
+    /// Money domain (fixed-point minor units).
+    Money(Money),
+}
+
+impl Value {
+    /// Convenience constructor for a real value; errors on NaN.
+    pub fn real(v: f64) -> CoreResult<Self> {
+        Ok(Value::Real(Real::new(v)?))
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The [`DataType`](crate::types::DataType) this value inhabits.
+    pub fn data_type(&self) -> crate::types::DataType {
+        use crate::types::DataType;
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Real(_) => DataType::Real,
+            Value::Str(_) => DataType::Str,
+            Value::Date(_) => DataType::Date,
+            Value::Time(_) => DataType::Time,
+            Value::Money(_) => DataType::Money,
+        }
+    }
+
+    /// Extracts a boolean, or a type error.
+    pub fn as_bool(&self) -> CoreResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(CoreError::TypeError(format!(
+                "expected bool, found {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Extracts an integer, or a type error.
+    pub fn as_int(&self) -> CoreResult<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(CoreError::TypeError(format!(
+                "expected int, found {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Numeric view of the value as `f64` (ints, reals and money qualify).
+    pub fn as_f64(&self) -> CoreResult<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Real(r) => Ok(r.get()),
+            Value::Money(m) => Ok(m.0 as f64 / 100.0),
+            other => Err(CoreError::TypeError(format!(
+                "expected a numeric value, found {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// True when the value belongs to a numeric domain (int, real, money).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Real(_) | Value::Money(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Money(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn real_rejects_nan() {
+        assert!(Real::new(f64::NAN).is_err());
+        assert!(Real::new(1.5).is_ok());
+        assert!(Real::new(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn real_negative_zero_normalised() {
+        let a = Real::new(0.0).unwrap();
+        let b = Real::new(-0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn real_total_order() {
+        let mut v = [
+            Real::new(3.0).unwrap(),
+            Real::new(-1.0).unwrap(),
+            Real::new(0.0).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[2].get(), 3.0);
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[(1970, 1, 1), (1994, 2, 17), (2000, 2, 29), (1899, 12, 31)] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.to_ymd(), (y, m, d));
+        }
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().0, 0);
+        assert_eq!(Date::from_ymd(1970, 1, 2).unwrap().0, 1);
+        assert_eq!(Date::from_ymd(1969, 12, 31).unwrap().0, -1);
+    }
+
+    #[test]
+    fn date_rejects_bad_components() {
+        assert!(Date::from_ymd(1994, 13, 1).is_err());
+        assert!(Date::from_ymd(1994, 0, 1).is_err());
+        assert!(Date::from_ymd(1994, 1, 32).is_err());
+    }
+
+    #[test]
+    fn time_construction_and_display() {
+        let t = Time::from_hms(13, 5, 9).unwrap();
+        assert_eq!(t.to_string(), "13:05:09");
+        assert!(Time::from_hms(24, 0, 0).is_err());
+        assert!(Time::from_hms(0, 60, 0).is_err());
+    }
+
+    #[test]
+    fn money_display() {
+        assert_eq!(Money(1234).to_string(), "12.34");
+        assert_eq!(Money(-5).to_string(), "-0.05");
+        assert_eq!(Money(0).to_string(), "0.00");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("ale").to_string(), "'ale'");
+        assert_eq!(Value::real(2.5).unwrap().to_string(), "2.5");
+        assert_eq!(Value::real(5.0).unwrap().to_string(), "5.0");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::Bool(true).as_int().is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Money(Money(150)).as_f64().unwrap(), 1.5);
+        assert!(Value::str("x").as_f64().is_err());
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::str("x").is_numeric());
+    }
+
+    #[test]
+    fn value_equal_implies_hash_equal() {
+        let a = Value::real(0.0).unwrap();
+        let b = Value::real(-0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the multiplicity laws (Definitions 2.3, 3.1–3.2).
+//!
+//! These check the bag layer directly against the pointwise arithmetic the
+//! paper defines, over arbitrary small bags of small integers — the regime
+//! where collisions (shared elements) are frequent.
+
+use mera_core::multiset::Bag;
+use proptest::prelude::*;
+
+/// Strategy: bags over a tiny universe (0..8) so elements collide often.
+fn small_bag() -> impl Strategy<Value = Bag<u8>> {
+    proptest::collection::vec((0u8..8, 1u64..6), 0..10)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+/// The full universe the strategy draws from; laws are checked pointwise
+/// over every element, including absent ones (multiplicity 0).
+const UNIVERSE: std::ops::Range<u8> = 0..8;
+
+proptest! {
+    #[test]
+    fn union_is_pointwise_addition(a in small_bag(), b in small_bag()) {
+        let u = a.union(&b).unwrap();
+        for x in UNIVERSE {
+            prop_assert_eq!(u.multiplicity(&x), a.multiplicity(&x) + b.multiplicity(&x));
+        }
+        prop_assert_eq!(u.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn union_commutes_and_associates(a in small_bag(), b in small_bag(), c in small_bag()) {
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        let left = a.union(&b).unwrap().union(&c).unwrap();
+        let right = a.union(&b.union(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn difference_is_pointwise_saturating(a in small_bag(), b in small_bag()) {
+        let d = a.difference(&b);
+        for x in UNIVERSE {
+            prop_assert_eq!(
+                d.multiplicity(&x),
+                a.multiplicity(&x).saturating_sub(b.multiplicity(&x))
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_min(a in small_bag(), b in small_bag()) {
+        let i = a.intersection(&b);
+        for x in UNIVERSE {
+            prop_assert_eq!(
+                i.multiplicity(&x),
+                a.multiplicity(&x).min(b.multiplicity(&x))
+            );
+        }
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    /// Theorem 3.1 at the bag level: E₁ ∩ E₂ = E₁ − (E₁ − E₂).
+    #[test]
+    fn intersection_desugars_to_double_difference(a in small_bag(), b in small_bag()) {
+        prop_assert_eq!(a.intersection(&b), a.difference(&a.difference(&b)));
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_caps(a in small_bag()) {
+        let d = a.distinct();
+        for x in UNIVERSE {
+            prop_assert_eq!(d.multiplicity(&x), a.multiplicity(&x).min(1));
+        }
+        prop_assert_eq!(d.distinct(), d.clone());
+        prop_assert_eq!(d.len() as usize, a.distinct_len());
+    }
+
+    /// The paper's §3.3 note: δ distributes over ⊎ only in the weaker form
+    /// δ(E₁ ⊎ E₂) = δ(δE₁ ⊎ δE₂).
+    #[test]
+    fn distinct_union_weak_distribution(a in small_bag(), b in small_bag()) {
+        let lhs = a.union(&b).unwrap().distinct();
+        let rhs = a.distinct().union(&b.distinct()).unwrap().distinct();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn submultiset_is_a_partial_order(a in small_bag(), b in small_bag(), c in small_bag()) {
+        // reflexive
+        prop_assert!(a.is_submultiset(&a));
+        // antisymmetric
+        if a.is_submultiset(&b) && b.is_submultiset(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // transitive
+        if a.is_submultiset(&b) && b.is_submultiset(&c) {
+            prop_assert!(a.is_submultiset(&c));
+        }
+    }
+
+    #[test]
+    fn difference_then_union_bounds(a in small_bag(), b in small_bag()) {
+        // (a − b) ⊑ a, and a ⊑ (a − b) ⊎ b
+        let d = a.difference(&b);
+        prop_assert!(d.is_submultiset(&a));
+        let rejoined = d.union(&b).unwrap();
+        prop_assert!(a.is_submultiset(&rejoined));
+    }
+
+    #[test]
+    fn intersection_bounds(a in small_bag(), b in small_bag()) {
+        let i = a.intersection(&b);
+        prop_assert!(i.is_submultiset(&a));
+        prop_assert!(i.is_submultiset(&b));
+    }
+
+    #[test]
+    fn product_cardinality_multiplies(a in small_bag(), b in small_bag()) {
+        let p = a.product(&b, |&x, &y| (x, y)).unwrap();
+        prop_assert_eq!(p.len(), a.len() * b.len());
+        for x in UNIVERSE {
+            for y in UNIVERSE {
+                prop_assert_eq!(
+                    p.multiplicity(&(x, y)),
+                    a.multiplicity(&x) * b.multiplicity(&y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_cardinality(a in small_bag()) {
+        let m = a.map(|&x| Ok(x / 2)).unwrap();
+        prop_assert_eq!(m.len(), a.len());
+    }
+
+    #[test]
+    fn filter_partitions_cardinality(a in small_bag()) {
+        let yes = a.filter(|&x| Ok(x % 2 == 0)).unwrap();
+        let no = a.filter(|&x| Ok(x % 2 != 0)).unwrap();
+        prop_assert_eq!(yes.len() + no.len(), a.len());
+        prop_assert_eq!(yes.union(&no).unwrap(), a);
+    }
+
+    #[test]
+    fn expanded_iteration_matches_len(a in small_bag()) {
+        prop_assert_eq!(a.iter_expanded().count() as u64, a.len());
+        let rebuilt: Bag<u8> = a.iter_expanded().copied().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the atomic value layer (Definition 2.1): domain
+//! values must behave as set elements — total order, hash-consistent
+//! equality, and stable round trips.
+
+use mera_core::prelude::*;
+use mera_core::value::{Date, Real, Time};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Civil-date round trip over four centuries, including leap years
+    /// and era boundaries.
+    #[test]
+    fn date_ymd_roundtrip(y in 1800i32..2200, m in 1u32..=12, d in 1u32..=28) {
+        let date = Date::from_ymd(y, m, d).expect("valid date");
+        prop_assert_eq!(date.to_ymd(), (y, m, d));
+    }
+
+    /// Day-number round trip: successive day numbers decode to
+    /// monotonically increasing dates.
+    #[test]
+    fn date_day_numbers_are_monotone(n in -100_000i32..100_000) {
+        let a = Date(n);
+        let b = Date(n + 1);
+        prop_assert!(a < b);
+        let (_, m, d) = a.to_ymd();
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// Equality implies hash equality for reals (the -0.0 case is the
+    /// classic trap).
+    #[test]
+    fn real_eq_implies_hash_eq(bits_a in any::<f64>(), bits_b in any::<f64>()) {
+        let (Ok(a), Ok(b)) = (Real::new(bits_a), Real::new(bits_b)) else {
+            // NaN rejected at construction — nothing to check
+            return Ok(());
+        };
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// Real ordering is total and consistent with f64 comparison.
+    #[test]
+    fn real_order_matches_f64(x in any::<f64>(), y in any::<f64>()) {
+        let (Ok(a), Ok(b)) = (Real::new(x), Real::new(y)) else {
+            return Ok(());
+        };
+        // compare through the normalised accessor (−0.0 becomes +0.0)
+        prop_assert_eq!(
+            a.cmp(&b),
+            a.get().partial_cmp(&b.get()).expect("no NaN")
+        );
+    }
+
+    /// Tuple projection then concatenation laws: `α` over `⊕` picks from
+    /// the correct side.
+    #[test]
+    fn tuple_concat_projection(xs in proptest::collection::vec(0i64..100, 1..5),
+                               ys in proptest::collection::vec(0i64..100, 1..5)) {
+        let l: Tuple = xs.iter().map(|&v| Value::Int(v)).collect();
+        let r: Tuple = ys.iter().map(|&v| Value::Int(v)).collect();
+        let joined = l.concat(&r);
+        prop_assert_eq!(joined.arity(), l.arity() + r.arity());
+        // left attributes come first
+        for i in 1..=l.arity() {
+            prop_assert_eq!(joined.attr(i).expect("in range"), l.attr(i).expect("in range"));
+        }
+        for j in 1..=r.arity() {
+            prop_assert_eq!(
+                joined.attr(l.arity() + j).expect("in range"),
+                r.attr(j).expect("in range")
+            );
+        }
+        // projecting the left half recovers l
+        let left_list = AttrList::identity(l.arity()).expect("non-empty");
+        prop_assert_eq!(joined.project(&left_list).expect("projects"), l);
+    }
+
+    /// Projection composes: `α_b(α_a(r)) = α_{a∘b}(r)`.
+    #[test]
+    fn tuple_projection_composes(
+        vals in proptest::collection::vec(0i64..100, 3..6),
+        a_ix in proptest::collection::vec(1usize..=3, 1..4),
+        b_pick in proptest::collection::vec(0usize..3, 1..3),
+    ) {
+        let t: Tuple = vals.iter().map(|&v| Value::Int(v)).collect();
+        let a = AttrList::new(a_ix.clone()).expect("non-empty");
+        let b_ix: Vec<usize> = b_pick.iter().map(|&p| (p % a_ix.len()) + 1).collect();
+        let b = AttrList::new(b_ix.clone()).expect("non-empty");
+        let two_step = t.project(&a).expect("in range").project(&b).expect("in range");
+        let composed: Vec<usize> = b_ix.iter().map(|&i| a_ix[i - 1]).collect();
+        let one_step = t
+            .project(&AttrList::new(composed).expect("non-empty"))
+            .expect("in range");
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    /// Time construction accepts exactly the 24·60·60 grid.
+    #[test]
+    fn time_construction_total_on_valid_grid(h in 0u32..24, m in 0u32..60, s in 0u32..60) {
+        let t = Time::from_hms(h, m, s).expect("valid time");
+        prop_assert_eq!(t.0, h * 3600 + m * 60 + s);
+        let rendered = t.to_string();
+        prop_assert_eq!(rendered.len(), 8);
+    }
+
+    /// Values of equal type compare consistently with their payload.
+    #[test]
+    fn int_values_order_like_ints(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(Value::Int(a).cmp(&Value::Int(b)), a.cmp(&b));
+    }
+}

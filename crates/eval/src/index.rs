@@ -1,0 +1,334 @@
+//! Hash indexes and index-aware execution.
+//!
+//! PRISMA/DB was a main-memory DBMS; its workhorse access path was the
+//! in-memory hash index. This module provides the same substrate for the
+//! bag model: a [`HashIndex`] maps a key projection to the counted tuples
+//! carrying that key (multiplicities preserved — an index over a bag is
+//! itself a bag structure), an [`IndexSet`] manages indexes per relation,
+//! and [`execute_indexed`] rewrites point-selections over base relations
+//! (`σ_{%i = const ∧ …}(R)`) into index lookups before planning.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::rel::RelExpr;
+use mera_expr::scalar::{CmpOp, ScalarExpr};
+use rustc_hash::FxHashMap;
+
+use crate::provider::{RelationProvider, Schemas};
+
+/// A hash index over one key projection of a relation.
+///
+/// Multiplicities are preserved: looking up a key yields exactly the
+/// counted tuples a scan-and-filter would, so every algebra law continues
+/// to hold on the lookup result.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    keys: AttrList,
+    schema: SchemaRef,
+    map: FxHashMap<Tuple, Vec<(Tuple, u64)>>,
+    entries: u64,
+}
+
+impl HashIndex {
+    /// Builds an index on the 1-based key attributes of a relation.
+    pub fn build(rel: &Relation, keys: &[usize]) -> CoreResult<Self> {
+        let key_list = AttrList::new_unique(keys.to_vec())?;
+        key_list.check_arity(rel.schema().arity())?;
+        let mut map: FxHashMap<Tuple, Vec<(Tuple, u64)>> = FxHashMap::default();
+        let mut entries = 0;
+        for (t, m) in rel.iter() {
+            map.entry(t.project(&key_list)?)
+                .or_default()
+                .push((t.clone(), m));
+            entries += m;
+        }
+        Ok(HashIndex {
+            keys: key_list,
+            schema: Arc::clone(rel.schema()),
+            map,
+            entries,
+        })
+    }
+
+    /// The indexed key attributes (1-based).
+    pub fn key_attrs(&self) -> &[usize] {
+        self.keys.indexes()
+    }
+
+    /// Total indexed tuples (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when the index covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Point lookup: the counted tuples whose key projection equals `key`,
+    /// as a relation over the indexed schema.
+    pub fn lookup(&self, key: &Tuple) -> CoreResult<Relation> {
+        let mut out = Relation::empty(Arc::clone(&self.schema));
+        if let Some(matches) = self.map.get(key) {
+            for (t, m) in matches {
+                out.insert(t.clone(), *m)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A set of indexes over a database's relations.
+#[derive(Debug, Clone, Default)]
+pub struct IndexSet {
+    // (relation name, sorted key attrs) → index
+    indexes: FxHashMap<(String, Vec<usize>), HashIndex>,
+}
+
+impl IndexSet {
+    /// No indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds and registers an index on `relation(keys)`.
+    pub fn create(&mut self, db: &Database, relation: &str, keys: &[usize]) -> CoreResult<()> {
+        let rel = db.relation(relation)?;
+        let index = HashIndex::build(rel, keys)?;
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        self.indexes.insert((relation.to_owned(), sorted), index);
+        Ok(())
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when no index is registered.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Finds an index on `relation` whose key set is exactly `keys`
+    /// (order-insensitive).
+    pub fn find(&self, relation: &str, keys: &[usize]) -> Option<&HashIndex> {
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        self.indexes.get(&(relation.to_owned(), sorted))
+    }
+
+    /// Drops all indexes of a relation (call after the relation changes —
+    /// indexes here are snapshot-bound, like the rest of the evaluator).
+    pub fn invalidate(&mut self, relation: &str) {
+        self.indexes.retain(|(r, _), _| r != relation);
+    }
+}
+
+/// Splits a predicate's conjuncts into point-equalities (`%i = literal`)
+/// and the rest.
+fn split_point_conjuncts(predicate: &ScalarExpr) -> (Vec<(usize, Value)>, Vec<ScalarExpr>) {
+    let mut points = Vec::new();
+    let mut rest = Vec::new();
+    for conj in predicate.conjuncts() {
+        if let ScalarExpr::Cmp(CmpOp::Eq, l, r) = conj {
+            match (l.as_ref(), r.as_ref()) {
+                (ScalarExpr::Attr(i), ScalarExpr::Literal(v))
+                | (ScalarExpr::Literal(v), ScalarExpr::Attr(i)) => {
+                    points.push((*i, v.clone()));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        rest.push(conj.clone());
+    }
+    (points, rest)
+}
+
+/// Rewrites point-selections over base relations into index lookups, then
+/// executes the plan with the physical engine.
+///
+/// `σ_{%i=c ∧ rest}(R)` becomes `σ_{rest}(Values(index.lookup(c)))` when an
+/// index on exactly the point-equality attributes of `R` exists; all other
+/// shapes pass through untouched. The rewrite is semantics-preserving
+/// because the lookup returns precisely the counted tuples the selection
+/// would keep.
+pub fn execute_indexed(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    indexes: &IndexSet,
+) -> CoreResult<Relation> {
+    expr.schema(&Schemas(provider))?;
+    let rewritten = rewrite_with_indexes(expr, indexes)?;
+    crate::physical::execute(&rewritten, provider)
+}
+
+fn rewrite_with_indexes(expr: &RelExpr, indexes: &IndexSet) -> CoreResult<RelExpr> {
+    // rewrite children first
+    let children: CoreResult<Vec<RelExpr>> = expr
+        .children()
+        .iter()
+        .map(|c| rewrite_with_indexes(c, indexes))
+        .collect();
+    let node = expr.with_children(children?);
+
+    let RelExpr::Select { input, predicate } = &node else {
+        return Ok(node);
+    };
+    let RelExpr::Scan(relation) = input.as_ref() else {
+        return Ok(node);
+    };
+    let (points, rest) = split_point_conjuncts(predicate);
+    if points.is_empty() {
+        return Ok(node);
+    }
+    let attrs: Vec<usize> = points.iter().map(|(i, _)| *i).collect();
+    let Some(index) = indexes.find(relation, &attrs) else {
+        return Ok(node);
+    };
+    // assemble the key tuple in the index's key order
+    let mut key_vals = Vec::with_capacity(attrs.len());
+    for &k in index.key_attrs() {
+        let v = points
+            .iter()
+            .find(|(i, _)| *i == k)
+            .map(|(_, v)| v.clone())
+            .expect("index keys match point attributes");
+        key_vals.push(v);
+    }
+    let looked_up = index.lookup(&Tuple::new(key_vals))?;
+    let base = RelExpr::values(looked_up);
+    Ok(if rest.is_empty() {
+        base
+    } else {
+        base.select(ScalarExpr::conjoin(rest))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::execute;
+    use mera_core::tuple;
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh");
+        let mut db = Database::new(schema);
+        let s = Arc::clone(db.schema().get("beer").expect("declared"));
+        db.replace(
+            "beer",
+            Relation::from_counted(
+                s,
+                vec![
+                    (tuple!["Grolsch", "Grolsche", 5.0_f64], 1),
+                    (tuple!["Bock", "Grolsche", 6.5_f64], 2),
+                    (tuple!["Bock", "Heineken", 6.3_f64], 1),
+                    (tuple!["Amstel", "Heineken", 5.1_f64], 1),
+                ],
+            )
+            .expect("typed"),
+        )
+        .expect("replace");
+        db
+    }
+
+    #[test]
+    fn index_lookup_preserves_multiplicities() {
+        let db = db();
+        let idx = HashIndex::build(db.relation("beer").expect("present"), &[1]).expect("builds");
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.distinct_keys(), 3);
+        let bocks = idx.lookup(&tuple!["Bock"]).expect("lookup");
+        assert_eq!(bocks.len(), 3);
+        assert_eq!(bocks.multiplicity(&tuple!["Bock", "Grolsche", 6.5_f64]), 2);
+        let none = idx.lookup(&tuple!["Pilsner"]).expect("lookup");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn indexed_execution_matches_plain() {
+        let db = db();
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "beer", &[1]).expect("creates");
+        indexes.create(&db, "beer", &[2]).expect("creates");
+        assert_eq!(indexes.len(), 2);
+
+        let queries = vec![
+            // point lookup, single attr
+            RelExpr::scan("beer").select(ScalarExpr::attr(1).eq(ScalarExpr::str("Bock"))),
+            // point + residual
+            RelExpr::scan("beer").select(
+                ScalarExpr::attr(1)
+                    .eq(ScalarExpr::str("Bock"))
+                    .and(ScalarExpr::attr(3).cmp(CmpOp::Gt, ScalarExpr::real(6.4))),
+            ),
+            // literal on the left
+            RelExpr::scan("beer").select(ScalarExpr::str("Heineken").eq(ScalarExpr::attr(2))),
+            // no matching index (attr 3): passes through
+            RelExpr::scan("beer").select(ScalarExpr::attr(3).eq(ScalarExpr::real(5.1))),
+            // non-point predicate: passes through
+            RelExpr::scan("beer").select(ScalarExpr::attr(3).cmp(CmpOp::Lt, ScalarExpr::real(6.0))),
+            // nested under other operators
+            RelExpr::scan("beer")
+                .select(ScalarExpr::attr(2).eq(ScalarExpr::str("Grolsche")))
+                .project(&[1])
+                .distinct(),
+        ];
+        for q in queries {
+            let plain = execute(&q, &db).expect("plain");
+            let indexed = execute_indexed(&q, &db, &indexes).expect("indexed");
+            assert_eq!(indexed, plain, "index rewrite changed semantics for {q}");
+        }
+    }
+
+    #[test]
+    fn composite_key_index() {
+        let db = db();
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "beer", &[1, 2]).expect("creates");
+        let q = RelExpr::scan("beer").select(
+            ScalarExpr::attr(2)
+                .eq(ScalarExpr::str("Grolsche"))
+                .and(ScalarExpr::attr(1).eq(ScalarExpr::str("Bock"))),
+        );
+        let plain = execute(&q, &db).expect("plain");
+        let indexed = execute_indexed(&q, &db, &indexes).expect("indexed");
+        assert_eq!(indexed, plain);
+        assert_eq!(indexed.multiplicity(&tuple!["Bock", "Grolsche", 6.5_f64]), 2);
+    }
+
+    #[test]
+    fn invalidate_drops_relation_indexes() {
+        let db = db();
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "beer", &[1]).expect("creates");
+        indexes.invalidate("beer");
+        assert!(indexes.is_empty());
+        assert!(indexes.find("beer", &[1]).is_none());
+    }
+
+    #[test]
+    fn index_build_validates_keys() {
+        let db = db();
+        let rel = db.relation("beer").expect("present");
+        assert!(HashIndex::build(rel, &[9]).is_err());
+        assert!(HashIndex::build(rel, &[1, 1]).is_err());
+    }
+}

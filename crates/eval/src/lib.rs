@@ -1,0 +1,29 @@
+//! # mera-eval — evaluators for the multi-set extended relational algebra
+//!
+//! Two independent implementations of the algebra's semantics:
+//!
+//! * [`mod@reference`] — the executable form of Definitions 3.1–3.4, computed
+//!   directly from the multiplicity laws on counted bags. Slow, obvious,
+//!   and the oracle everything else is checked against.
+//! * [`physical`] — a Volcano-style engine streaming `(tuple,
+//!   multiplicity)` pairs, with hash joins, hash aggregation and
+//!   instrumented plans,
+//! * [`parallel`] - hash-partitioned parallel kernels for equi-joins and
+//!   keyed group-bys (the PRISMA/DB direction from section 5).
+//!
+//! The equivalence of the two on arbitrary inputs is enforced by property
+//! tests (`tests/engine_equivalence.rs`).
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod parallel;
+pub mod physical;
+pub mod provider;
+pub mod reference;
+
+pub use index::{execute_indexed, HashIndex, IndexSet};
+pub use parallel::execute_parallel;
+pub use physical::{collect, execute};
+pub use provider::{NoRelations, RelationProvider, Schemas};
+pub use reference::eval;

@@ -1,0 +1,235 @@
+//! Blocking hash aggregation for the group-by construct (Definition 3.4).
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::Aggregate;
+use rustc_hash::FxHashMap;
+
+use super::{BoxedOp, Counted, Operator};
+
+/// Hash-based group-by: drains its input, partitions by the key
+/// projection, computes the aggregate per group with multiplicities, then
+/// streams the result rows.
+pub struct HashAggregate {
+    schema: SchemaRef,
+    state: State,
+}
+
+enum State {
+    Pending {
+        input: BoxedOp,
+        keys: Option<AttrList>,
+        agg: Aggregate,
+        attr: usize,
+    },
+    Draining(std::vec::IntoIter<Counted>),
+}
+
+impl HashAggregate {
+    /// Builds a group-by over `input`. `keys` may be empty (whole-relation
+    /// aggregation producing exactly one tuple).
+    pub fn build(
+        input: BoxedOp,
+        keys: &[usize],
+        agg: Aggregate,
+        attr: usize,
+    ) -> CoreResult<Self> {
+        let in_schema = input.schema();
+        let key_list = if keys.is_empty() {
+            None
+        } else {
+            let list = AttrList::new_unique(keys.to_vec())?;
+            list.check_arity(in_schema.arity())?;
+            Some(list)
+        };
+        let key_schema = match &key_list {
+            Some(list) => in_schema.project(list)?,
+            None => Schema::new(vec![]),
+        };
+        let out_type = agg.result_type(in_schema.dtype(attr)?)?;
+        let schema = Arc::new(key_schema.with_attr(Attribute::anon(out_type)));
+        Ok(HashAggregate {
+            schema,
+            state: State::Pending {
+                input,
+                keys: key_list,
+                agg,
+                attr,
+            },
+        })
+    }
+
+    fn run(
+        input: &mut BoxedOp,
+        keys: &Option<AttrList>,
+        agg: Aggregate,
+        attr: usize,
+    ) -> CoreResult<Vec<Counted>> {
+        let in_type = input.schema().dtype(attr)?;
+        let mut groups: FxHashMap<Tuple, Vec<(Value, u64)>> = FxHashMap::default();
+        while let Some((t, m)) = input.next()? {
+            let key = match keys {
+                Some(list) => t.project(list)?,
+                None => Tuple::empty(),
+            };
+            let v = t.attr(attr)?.clone();
+            // merge chunks of the same (key, value) eagerly to bound memory
+            let entry = groups.entry(key).or_default();
+            match entry.iter_mut().find(|(ev, _)| ev == &v) {
+                Some((_, em)) => {
+                    *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?
+                }
+                None => entry.push((v, m)),
+            }
+        }
+        let mut out = Vec::with_capacity(groups.len().max(1));
+        if keys.is_none() {
+            let vals = groups.remove(&Tuple::empty()).unwrap_or_default();
+            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
+            out.push((Tuple::new(vec![v]), 1));
+            return Ok(out);
+        }
+        for (key, vals) in groups {
+            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
+            let mut kv = key.into_values();
+            kv.push(v);
+            out.push((Tuple::new(kv), 1));
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            match &mut self.state {
+                State::Pending {
+                    input,
+                    keys,
+                    agg,
+                    attr,
+                } => {
+                    let rows = Self::run(input, keys, *agg, *attr)?;
+                    self.state = State::Draining(rows.into_iter());
+                }
+                State::Draining(it) => return Ok(it.next()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::collect;
+    use crate::physical::ops::{ScanOp, UnionOp};
+    use mera_core::tuple;
+
+    fn sales() -> Relation {
+        Relation::from_counted(
+            Arc::new(Schema::named(&[
+                ("city", DataType::Str),
+                ("amount", DataType::Int),
+            ])),
+            vec![
+                (tuple!["ams", 10_i64], 2),
+                (tuple!["ams", 20_i64], 1),
+                (tuple!["ens", 5_i64], 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_sum_weights_multiplicities() {
+        let r = sales();
+        let op =
+            HashAggregate::build(Box::new(ScanOp::new(&r)), &[1], Aggregate::Sum, 2).unwrap();
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple!["ams", 40_i64]), 1);
+        assert_eq!(out.multiplicity(&tuple!["ens", 15_i64]), 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn whole_relation_aggregate_single_tuple() {
+        let r = sales();
+        let op =
+            HashAggregate::build(Box::new(ScanOp::new(&r)), &[], Aggregate::Cnt, 1).unwrap();
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.multiplicity(&tuple![6_i64]), 1);
+    }
+
+    #[test]
+    fn chunked_input_merges_before_aggregation() {
+        // the same tuple arriving in two chunks must count once per total
+        // multiplicity, e.g. for AVG denominator correctness
+        let r = sales();
+        let chunked = Box::new(UnionOp::new(
+            Box::new(ScanOp::new(&r)),
+            Box::new(ScanOp::new(&r)),
+        ));
+        let op = HashAggregate::build(chunked, &[1], Aggregate::Avg, 2).unwrap();
+        let out = collect(Box::new(op)).unwrap();
+        // doubling every multiplicity does not change the average
+        let expected_ams = (10.0 * 2.0 + 20.0) / 3.0;
+        assert_eq!(out.multiplicity(&tuple!["ams", expected_ams]), 1);
+    }
+
+    #[test]
+    fn empty_input_with_keys_yields_empty() {
+        let empty = Relation::empty(Arc::new(Schema::named(&[
+            ("city", DataType::Str),
+            ("amount", DataType::Int),
+        ])));
+        let op = HashAggregate::build(Box::new(ScanOp::new(&empty)), &[1], Aggregate::Avg, 2)
+            .unwrap();
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_input_without_keys_partial_aggregate_errors() {
+        let empty = Relation::empty(Arc::new(Schema::named(&[
+            ("city", DataType::Str),
+            ("amount", DataType::Int),
+        ])));
+        let op = HashAggregate::build(Box::new(ScanOp::new(&empty)), &[], Aggregate::Min, 2)
+            .unwrap();
+        assert_eq!(
+            collect(Box::new(op)).unwrap_err(),
+            CoreError::AggregateOnEmpty("MIN")
+        );
+    }
+
+    #[test]
+    fn build_validates_keys() {
+        let r = sales();
+        assert!(HashAggregate::build(
+            Box::new(ScanOp::new(&r)),
+            &[1, 1],
+            Aggregate::Cnt,
+            1
+        )
+        .is_err());
+        assert!(HashAggregate::build(
+            Box::new(ScanOp::new(&r)),
+            &[9],
+            Aggregate::Cnt,
+            1
+        )
+        .is_err());
+        assert!(HashAggregate::build(
+            Box::new(ScanOp::new(&r)),
+            &[1],
+            Aggregate::Sum,
+            1 // SUM over str
+        )
+        .is_err());
+    }
+}

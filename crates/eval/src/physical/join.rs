@@ -1,0 +1,335 @@
+//! Join operators: nested-loop (general predicate, also serves as the
+//! product) and hash join (equi-predicates).
+//!
+//! Both implement `E₁ ⋈_φ E₂ = σ_φ(E₁ × E₂)` (Definition 3.2) with the
+//! product's multiplicity law `m₁ · m₂` — without materialising the
+//! product.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::scalar::{CmpOp, ScalarExpr};
+use rustc_hash::FxHashMap;
+
+use super::{BoxedOp, Counted, Operator};
+
+/// Nested-loop join with an optional predicate over the concatenated
+/// schema (`None` ⇒ plain Cartesian product).
+///
+/// The right side is materialised once; the left side streams.
+pub struct NestedLoopJoin {
+    left: BoxedOp,
+    right_rows: Vec<Counted>,
+    predicate: Option<ScalarExpr>,
+    schema: SchemaRef,
+    current_left: Option<Counted>,
+    right_pos: usize,
+}
+
+impl NestedLoopJoin {
+    /// Builds `left ⋈_φ right` (or `left × right` when `predicate` is
+    /// `None`), draining the right input immediately.
+    pub fn build(left: BoxedOp, mut right: BoxedOp, predicate: Option<ScalarExpr>) -> CoreResult<Self> {
+        let schema = Arc::new(left.schema().concat(right.schema()));
+        let mut right_rows = Vec::new();
+        while let Some(pair) = right.next()? {
+            right_rows.push(pair);
+        }
+        Ok(NestedLoopJoin {
+            left,
+            right_rows,
+            predicate,
+            schema,
+            current_left: None,
+            right_pos: 0,
+        })
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                self.right_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let (lt, lm) = self.current_left.as_ref().expect("set above").clone();
+            while self.right_pos < self.right_rows.len() {
+                let (rt, rm) = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let joined = lt.concat(rt);
+                let keep = match &self.predicate {
+                    None => true,
+                    Some(p) => p.eval_predicate(&joined)?,
+                };
+                if keep {
+                    let m = lm
+                        .checked_mul(*rm)
+                        .ok_or(CoreError::Overflow("join multiplicity"))?;
+                    return Ok(Some((joined, m)));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// An equi-join condition extracted from a predicate: pairs of (left attr,
+/// right attr) compared with `=`, plus whatever residual conjuncts remain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquiCondition {
+    /// 1-based attribute indexes into the *left* schema.
+    pub left_keys: Vec<usize>,
+    /// 1-based attribute indexes into the *right* schema (already re-based;
+    /// `%j` in the joined schema becomes `j − left_arity`).
+    pub right_keys: Vec<usize>,
+    /// Conjuncts that are not simple cross-side equalities, still expressed
+    /// over the concatenated schema.
+    pub residual: Option<ScalarExpr>,
+}
+
+/// Analyses a join predicate over `left ⊕ right`, extracting hashable
+/// equi-key pairs. Returns `None` when no cross-side equality exists (the
+/// planner then falls back to a nested loop).
+pub fn extract_equi_condition(
+    predicate: &ScalarExpr,
+    left_arity: usize,
+    right_arity: usize,
+) -> Option<EquiCondition> {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual = Vec::new();
+    for conj in predicate.conjuncts() {
+        if let ScalarExpr::Cmp(CmpOp::Eq, a, b) = conj {
+            if let (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) = (a.as_ref(), b.as_ref()) {
+                let (i, j) = (*i, *j);
+                let (l, r) = if i <= left_arity && j > left_arity {
+                    (i, j - left_arity)
+                } else if j <= left_arity && i > left_arity {
+                    (j, i - left_arity)
+                } else {
+                    residual.push(conj.clone());
+                    continue;
+                };
+                if r <= right_arity {
+                    left_keys.push(l);
+                    right_keys.push(r);
+                    continue;
+                }
+            }
+        }
+        residual.push(conj.clone());
+    }
+    if left_keys.is_empty() {
+        return None;
+    }
+    Some(EquiCondition {
+        left_keys,
+        right_keys,
+        residual: if residual.is_empty() {
+            None
+        } else {
+            Some(ScalarExpr::conjoin(residual))
+        },
+    })
+}
+
+/// Hash join on extracted equi-keys: the right side is built into a hash
+/// table keyed by its key projection; the left side streams and probes.
+pub struct HashJoin {
+    left: BoxedOp,
+    table: FxHashMap<Tuple, Vec<Counted>>,
+    left_keys: AttrList,
+    residual: Option<ScalarExpr>,
+    schema: SchemaRef,
+    /// Matches for the current left row not yet emitted.
+    pending: Vec<Counted>,
+}
+
+impl HashJoin {
+    /// Builds the operator, draining the right input into the hash table.
+    pub fn build(left: BoxedOp, mut right: BoxedOp, cond: EquiCondition) -> CoreResult<Self> {
+        let schema = Arc::new(left.schema().concat(right.schema()));
+        let key_list = AttrList::new(cond.right_keys.clone())?;
+        let mut table: FxHashMap<Tuple, Vec<Counted>> = FxHashMap::default();
+        while let Some((t, m)) = right.next()? {
+            let key = t.project(&key_list)?;
+            table.entry(key).or_default().push((t, m));
+        }
+        Ok(HashJoin {
+            left,
+            table,
+            left_keys: AttrList::new(cond.left_keys)?,
+            residual: cond.residual,
+            schema,
+            pending: Vec::new(),
+        })
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            if let Some(pair) = self.pending.pop() {
+                return Ok(Some(pair));
+            }
+            let (lt, lm) = match self.left.next()? {
+                None => return Ok(None),
+                Some(p) => p,
+            };
+            let key = lt.project(&self.left_keys)?;
+            if let Some(matches) = self.table.get(&key) {
+                for (rt, rm) in matches {
+                    let joined = lt.concat(rt);
+                    let keep = match &self.residual {
+                        None => true,
+                        Some(p) => p.eval_predicate(&joined)?,
+                    };
+                    if keep {
+                        let m = lm
+                            .checked_mul(*rm)
+                            .ok_or(CoreError::Overflow("join multiplicity"))?;
+                        self.pending.push((joined, m));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::collect;
+    use crate::physical::ops::ScanOp;
+    use mera_core::tuple;
+
+    fn rel(rows: Vec<(Tuple, u64)>, types: &[DataType]) -> Relation {
+        Relation::from_counted(Arc::new(Schema::anon(types)), rows).unwrap()
+    }
+
+    fn scan(r: &Relation) -> BoxedOp {
+        Box::new(ScanOp::new(r))
+    }
+
+    fn left_rel() -> Relation {
+        rel(
+            vec![
+                (tuple![1_i64, "a"], 2),
+                (tuple![2_i64, "b"], 1),
+                (tuple![3_i64, "c"], 1),
+            ],
+            &[DataType::Int, DataType::Str],
+        )
+    }
+
+    fn right_rel() -> Relation {
+        rel(
+            vec![(tuple![1_i64, 10_i64], 3), (tuple![2_i64, 20_i64], 1)],
+            &[DataType::Int, DataType::Int],
+        )
+    }
+
+    #[test]
+    fn nested_loop_product() {
+        let l = left_rel();
+        let r = right_rel();
+        let op = NestedLoopJoin::build(scan(&l), scan(&r), None).unwrap();
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), l.len() * r.len());
+        assert_eq!(out.multiplicity(&tuple![1_i64, "a", 1_i64, 10_i64]), 6);
+    }
+
+    #[test]
+    fn nested_loop_with_predicate() {
+        let l = left_rel();
+        let r = right_rel();
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let op = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred)).unwrap();
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1_i64, "a", 1_i64, 10_i64]), 6);
+        assert_eq!(out.multiplicity(&tuple![2_i64, "b", 2_i64, 20_i64]), 1);
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn extract_simple_equi() {
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let c = extract_equi_condition(&pred, 2, 2).unwrap();
+        assert_eq!(c.left_keys, vec![1]);
+        assert_eq!(c.right_keys, vec![1]);
+        assert!(c.residual.is_none());
+    }
+
+    #[test]
+    fn extract_flipped_and_residual() {
+        // %4 = %2 (right-to-left) AND %1 < %3
+        let pred = ScalarExpr::attr(4)
+            .eq(ScalarExpr::attr(2))
+            .and(ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3)));
+        let c = extract_equi_condition(&pred, 2, 2).unwrap();
+        assert_eq!(c.left_keys, vec![2]);
+        assert_eq!(c.right_keys, vec![2]);
+        assert!(c.residual.is_some());
+    }
+
+    #[test]
+    fn extract_rejects_same_side_equalities() {
+        // %1 = %2 are both left attributes
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(2));
+        assert!(extract_equi_condition(&pred, 2, 2).is_none());
+        // literal comparison is no equi-key either
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
+        assert!(extract_equi_condition(&pred, 2, 2).is_none());
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let l = left_rel();
+        let r = right_rel();
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let cond = extract_equi_condition(&pred, 2, 2).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&r), cond).unwrap();
+        let nl = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred)).unwrap();
+        assert_eq!(
+            collect(Box::new(hj)).unwrap(),
+            collect(Box::new(nl)).unwrap()
+        );
+    }
+
+    #[test]
+    fn hash_join_applies_residual() {
+        let l = left_rel();
+        let r = right_rel();
+        // equi on %1=%3 plus residual %4 > %1... (int comparisons)
+        let pred = ScalarExpr::attr(1)
+            .eq(ScalarExpr::attr(3))
+            .and(ScalarExpr::attr(4).cmp(CmpOp::Gt, ScalarExpr::int(15)));
+        let cond = extract_equi_condition(&pred, 2, 2).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&r), cond).unwrap();
+        let out = collect(Box::new(hj)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.multiplicity(&tuple![2_i64, "b", 2_i64, 20_i64]), 1);
+    }
+
+    #[test]
+    fn join_with_empty_side_is_empty() {
+        let l = left_rel();
+        let empty = rel(vec![], &[DataType::Int, DataType::Int]);
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let cond = extract_equi_condition(&pred, 2, 2).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&empty), cond).unwrap();
+        assert!(collect(Box::new(hj)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! The physical engine: Volcano-style operators over *counted* tuple
+//! streams.
+//!
+//! Every operator yields `(Tuple, multiplicity)` pairs. Streaming counted
+//! pairs rather than duplicate-expanded tuples keeps bag semantics exact
+//! (multiplicities are arithmetic, Definitions 3.1–3.2) and means a tuple
+//! with multiplicity one million costs one stream element, not a million.
+//!
+//! A counted stream may emit the *same* tuple in several chunks (e.g. after
+//! a union or a collapsing projection); operators whose multiplicity law
+//! needs the merged count (difference, intersection, group-by) therefore
+//! materialise and merge their inputs, while selection, projection, product
+//! and join act chunk-wise — their laws are linear in the multiplicity.
+//!
+//! The [`planner`] translates a [`RelExpr`](mera_expr::RelExpr) into an
+//! operator tree, picking hash joins for equi-predicates and falling back
+//! to nested loops, and [`collect`] drains any operator into a materialised
+//! [`Relation`].
+
+pub mod agg;
+pub mod join;
+pub mod ops;
+pub mod planner;
+pub mod stats;
+
+use mera_core::prelude::*;
+
+/// One element of a counted stream.
+pub type Counted = (Tuple, u64);
+
+/// A Volcano-style physical operator producing a counted tuple stream.
+pub trait Operator {
+    /// The schema of the tuples this operator produces.
+    fn schema(&self) -> &SchemaRef;
+
+    /// Produces the next counted chunk, `None` at end of stream.
+    ///
+    /// Multiplicities are always ≥ 1; operators never emit empty chunks.
+    fn next(&mut self) -> CoreResult<Option<Counted>>;
+}
+
+/// A boxed operator, the unit of plan composition.
+pub type BoxedOp = Box<dyn Operator>;
+
+/// Drains an operator into a materialised relation, merging multiplicities
+/// of tuples that arrive in separate chunks.
+pub fn collect(mut op: BoxedOp) -> CoreResult<Relation> {
+    let schema = std::sync::Arc::clone(op.schema());
+    let mut out = Relation::empty(schema);
+    while let Some((t, m)) = op.next()? {
+        out.insert(t, m)?;
+    }
+    Ok(out)
+}
+
+/// Plans and executes an expression against a relation provider — the
+/// physical counterpart of [`reference::eval`](crate::reference::eval).
+pub fn execute(
+    expr: &mera_expr::RelExpr,
+    provider: &(impl crate::provider::RelationProvider + ?Sized),
+) -> CoreResult<Relation> {
+    let plan = planner::plan(expr, provider)?;
+    collect(plan)
+}

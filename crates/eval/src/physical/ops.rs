@@ -1,0 +1,405 @@
+//! Streaming and blocking operators for the unary and union-family
+//! constructs.
+
+use std::sync::Arc;
+
+use mera_core::multiset::Bag;
+use mera_core::prelude::*;
+use mera_expr::ScalarExpr;
+use rustc_hash::FxHashSet;
+
+use super::{BoxedOp, Counted, Operator};
+
+/// Leaf scan over a materialised relation (both database relations and
+/// `Values` literals plan to this).
+pub struct ScanOp {
+    schema: SchemaRef,
+    pairs: std::vec::IntoIter<Counted>,
+}
+
+impl ScanOp {
+    /// Builds a scan by snapshotting a relation's counted pairs.
+    pub fn new(rel: &Relation) -> Self {
+        ScanOp {
+            schema: Arc::clone(rel.schema()),
+            pairs: rel
+                .iter()
+                .map(|(t, m)| (t.clone(), m))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        }
+    }
+}
+
+impl Operator for ScanOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        Ok(self.pairs.next())
+    }
+}
+
+/// Streaming selection `σ_φ`: multiplicities pass through unchanged.
+pub struct FilterOp {
+    input: BoxedOp,
+    predicate: ScalarExpr,
+}
+
+impl FilterOp {
+    /// Wraps `input` with predicate `φ`.
+    pub fn new(input: BoxedOp, predicate: ScalarExpr) -> Self {
+        FilterOp { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn schema(&self) -> &SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        while let Some((t, m)) = self.input.next()? {
+            if self.predicate.eval_predicate(&t)? {
+                return Ok(Some((t, m)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming projection (plain or extended). Collapsing tuples may be
+/// emitted in separate chunks; downstream merging restores the summed
+/// multiplicities, which is exactly the paper's projection law.
+pub struct ProjectOp {
+    input: BoxedOp,
+    exprs: Vec<ScalarExpr>,
+    schema: SchemaRef,
+}
+
+impl ProjectOp {
+    /// Builds a projection with a pre-computed output schema.
+    pub fn new(input: BoxedOp, exprs: Vec<ScalarExpr>, schema: SchemaRef) -> Self {
+        ProjectOp {
+            input,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some((t, m)) => {
+                let vals: CoreResult<Vec<Value>> =
+                    self.exprs.iter().map(|e| e.eval(&t)).collect();
+                Ok(Some((Tuple::new(vals?), m)))
+            }
+        }
+    }
+}
+
+/// Streaming union `⊎`: concatenates both inputs (multiplicities add once
+/// merged downstream).
+pub struct UnionOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    on_right: bool,
+}
+
+impl UnionOp {
+    /// Chains `left` then `right`.
+    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+        UnionOp {
+            left,
+            right,
+            on_right: false,
+        }
+    }
+}
+
+impl Operator for UnionOp {
+    fn schema(&self) -> &SchemaRef {
+        self.left.schema()
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        if !self.on_right {
+            if let Some(pair) = self.left.next()? {
+                return Ok(Some(pair));
+            }
+            self.on_right = true;
+        }
+        self.right.next()
+    }
+}
+
+/// Streaming duplicate elimination `δ` with a seen-set: the first chunk of
+/// each distinct tuple is emitted with multiplicity 1, later chunks are
+/// dropped.
+pub struct DistinctOp {
+    input: BoxedOp,
+    seen: FxHashSet<Tuple>,
+}
+
+impl DistinctOp {
+    /// Wraps `input` with duplicate elimination.
+    pub fn new(input: BoxedOp) -> Self {
+        DistinctOp {
+            input,
+            seen: FxHashSet::default(),
+        }
+    }
+}
+
+impl Operator for DistinctOp {
+    fn schema(&self) -> &SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        while let Some((t, _)) = self.input.next()? {
+            if self.seen.insert(t.clone()) {
+                return Ok(Some((t, 1)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Blocking transitive closure `α` (the §5 extension): drains its input
+/// into a relation, computes the δ-based fixpoint, streams the result.
+pub struct ClosureOp {
+    schema: SchemaRef,
+    state: ClosureState,
+}
+
+enum ClosureState {
+    Pending(BoxedOp),
+    Draining(std::vec::IntoIter<Counted>),
+}
+
+impl ClosureOp {
+    /// Wraps `input` (a binary edge relation) with transitive closure.
+    pub fn new(input: BoxedOp) -> Self {
+        ClosureOp {
+            schema: Arc::clone(input.schema()),
+            state: ClosureState::Pending(input),
+        }
+    }
+}
+
+impl Operator for ClosureOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            match &mut self.state {
+                ClosureState::Pending(input) => {
+                    let mut rel = Relation::empty(Arc::clone(&self.schema));
+                    while let Some((t, m)) = input.next()? {
+                        rel.insert(t, m)?;
+                    }
+                    let closed = crate::reference::transitive_closure(&rel)?;
+                    let pairs: Vec<Counted> =
+                        closed.iter().map(|(t, m)| (t.clone(), m)).collect();
+                    self.state = ClosureState::Draining(pairs.into_iter());
+                }
+                ClosureState::Draining(it) => return Ok(it.next()),
+            }
+        }
+    }
+}
+
+/// Drains an operator into a merged bag (helper for the blocking
+/// operators, whose laws need the *total* multiplicity per tuple).
+fn drain_to_bag(op: &mut BoxedOp) -> CoreResult<Bag<Tuple>> {
+    let mut bag = Bag::new();
+    while let Some((t, m)) = op.next()? {
+        bag.insert(t, m)?;
+    }
+    Ok(bag)
+}
+
+/// Blocking difference `−`: materialises and merges both sides, emits
+/// `max(0, m₁ − m₂)`.
+pub struct DifferenceOp {
+    schema: SchemaRef,
+    state: DiffState,
+}
+
+enum DiffState {
+    Pending(BoxedOp, BoxedOp),
+    Draining(std::vec::IntoIter<Counted>),
+}
+
+impl DifferenceOp {
+    /// Builds `left − right`.
+    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+        DifferenceOp {
+            schema: Arc::clone(left.schema()),
+            state: DiffState::Pending(left, right),
+        }
+    }
+}
+
+impl Operator for DifferenceOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            match &mut self.state {
+                DiffState::Pending(left, right) => {
+                    let l = drain_to_bag(left)?;
+                    let r = drain_to_bag(right)?;
+                    let d = l.difference(&r);
+                    let pairs: Vec<Counted> = d.iter().map(|(t, m)| (t.clone(), m)).collect();
+                    self.state = DiffState::Draining(pairs.into_iter());
+                }
+                DiffState::Draining(it) => return Ok(it.next()),
+            }
+        }
+    }
+}
+
+/// Blocking intersection `∩`: materialises and merges both sides, emits
+/// `min(m₁, m₂)`.
+pub struct IntersectOp {
+    schema: SchemaRef,
+    state: DiffState,
+}
+
+impl IntersectOp {
+    /// Builds `left ∩ right`.
+    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+        IntersectOp {
+            schema: Arc::clone(left.schema()),
+            state: DiffState::Pending(left, right),
+        }
+    }
+}
+
+impl Operator for IntersectOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        loop {
+            match &mut self.state {
+                DiffState::Pending(left, right) => {
+                    let l = drain_to_bag(left)?;
+                    let r = drain_to_bag(right)?;
+                    let i = l.intersection(&r);
+                    let pairs: Vec<Counted> = i.iter().map(|(t, m)| (t.clone(), m)).collect();
+                    self.state = DiffState::Draining(pairs.into_iter());
+                }
+                DiffState::Draining(it) => return Ok(it.next()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::collect;
+    use mera_core::tuple;
+
+    fn ints(rows: &[(i64, u64)]) -> Relation {
+        let schema = Arc::new(Schema::anon(&[DataType::Int]));
+        Relation::from_counted(schema, rows.iter().map(|&(v, m)| (tuple![v], m))).unwrap()
+    }
+
+    fn scan(rel: &Relation) -> BoxedOp {
+        Box::new(ScanOp::new(rel))
+    }
+
+    #[test]
+    fn scan_streams_counted_pairs() {
+        let r = ints(&[(1, 2), (2, 1)]);
+        let out = collect(scan(&r)).unwrap();
+        assert_eq!(out, r);
+    }
+
+    #[test]
+    fn filter_preserves_multiplicity() {
+        let r = ints(&[(1, 2), (2, 3)]);
+        let op = FilterOp::new(
+            scan(&r),
+            ScalarExpr::attr(1).cmp(mera_expr::CmpOp::Gt, ScalarExpr::int(1)),
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple![2_i64]), 3);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn project_merges_downstream() {
+        let schema = Arc::new(Schema::anon(&[DataType::Int, DataType::Int]));
+        let r = Relation::from_counted(
+            schema,
+            vec![(tuple![1_i64, 10_i64], 2), (tuple![2_i64, 10_i64], 3)],
+        )
+        .unwrap();
+        let out_schema = Arc::new(Schema::anon(&[DataType::Int]));
+        let op = ProjectOp::new(scan(&r), vec![ScalarExpr::attr(2)], out_schema);
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple![10_i64]), 5);
+    }
+
+    #[test]
+    fn union_adds() {
+        let a = ints(&[(1, 2)]);
+        let b = ints(&[(1, 3), (2, 1)]);
+        let op = UnionOp::new(scan(&a), scan(&b));
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1_i64]), 5);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn distinct_emits_once() {
+        let a = ints(&[(1, 5), (2, 1)]);
+        // stack a union to create split chunks of the same tuple
+        let b = ints(&[(1, 4)]);
+        let op = DistinctOp::new(Box::new(UnionOp::new(scan(&a), scan(&b))));
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1_i64]), 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn difference_merges_chunked_input() {
+        // left emits <1> in two chunks (2 and 3); right has 4.
+        // pointwise law on merged counts: max(0, 5-4) = 1.
+        let a = ints(&[(1, 2)]);
+        let b = ints(&[(1, 3)]);
+        let left = Box::new(UnionOp::new(scan(&a), scan(&b)));
+        let right = scan(&ints(&[(1, 4)]));
+        let out = collect(Box::new(DifferenceOp::new(left, right))).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1_i64]), 1);
+    }
+
+    #[test]
+    fn intersect_merges_chunked_input() {
+        let a = ints(&[(1, 2)]);
+        let b = ints(&[(1, 3)]);
+        let left = Box::new(UnionOp::new(scan(&a), scan(&b)));
+        let right = scan(&ints(&[(1, 4), (9, 1)]));
+        let out = collect(Box::new(IntersectOp::new(left, right))).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1_i64]), 4);
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Translation of algebra expressions into physical operator trees.
+//!
+//! The planner is deliberately simple — operator *choice* is local:
+//!
+//! * joins with at least one cross-side equality conjunct become
+//!   [`HashJoin`]s (residual conjuncts are applied post-probe); all other
+//!   joins and every product become [`NestedLoopJoin`]s;
+//! * plain and extended projections share [`ProjectOp`];
+//! * difference/intersection materialise both sides (their multiplicity
+//!   laws need merged counts);
+//! * group-by becomes a [`HashAggregate`].
+//!
+//! Plan-*level* optimisation (pushdowns, join ordering) lives in
+//! `mera-opt`, which rewrites the algebra tree before it reaches this
+//! planner.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::rel::RelExpr;
+use mera_expr::ScalarExpr;
+
+use crate::provider::{RelationProvider, Schemas};
+
+use super::agg::HashAggregate;
+use super::join::{extract_equi_condition, HashJoin, NestedLoopJoin};
+use super::ops::{DifferenceOp, DistinctOp, FilterOp, IntersectOp, ProjectOp, ScanOp, UnionOp};
+use super::stats::{ExecStats, Instrumented};
+use super::BoxedOp;
+
+/// Plans an expression into an operator tree, validating schemas up front.
+pub fn plan(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+) -> CoreResult<BoxedOp> {
+    expr.schema(&Schemas(provider))?;
+    plan_node(expr, provider, None)
+}
+
+/// Plans with per-operator instrumentation; every operator registers a
+/// counter in `stats` labelled with its display form.
+pub fn plan_instrumented(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    stats: &mut ExecStats,
+) -> CoreResult<BoxedOp> {
+    expr.schema(&Schemas(provider))?;
+    plan_node(expr, provider, Some(stats))
+}
+
+fn plan_node(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    mut stats: Option<&mut ExecStats>,
+) -> CoreResult<BoxedOp> {
+    let op: BoxedOp = match expr {
+        RelExpr::Scan(name) => Box::new(ScanOp::new(provider.relation(name)?)),
+        RelExpr::Values(rel) => Box::new(ScanOp::new(rel)),
+        RelExpr::Union(l, r) => {
+            let left = plan_node(l, provider, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, stats.as_deref_mut())?;
+            Box::new(UnionOp::new(left, right))
+        }
+        RelExpr::Difference(l, r) => {
+            let left = plan_node(l, provider, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, stats.as_deref_mut())?;
+            Box::new(DifferenceOp::new(left, right))
+        }
+        RelExpr::Intersect(l, r) => {
+            let left = plan_node(l, provider, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, stats.as_deref_mut())?;
+            Box::new(IntersectOp::new(left, right))
+        }
+        RelExpr::Product(l, r) => {
+            let left = plan_node(l, provider, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, stats.as_deref_mut())?;
+            Box::new(NestedLoopJoin::build(left, right, None)?)
+        }
+        RelExpr::Select { input, predicate } => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            Box::new(FilterOp::new(child, predicate.clone()))
+        }
+        RelExpr::Project { input, attrs } => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let out_schema = Arc::new(child.schema().project(attrs)?);
+            let exprs = attrs
+                .indexes()
+                .iter()
+                .map(|&i| ScalarExpr::Attr(i))
+                .collect();
+            Box::new(ProjectOp::new(child, exprs, out_schema))
+        }
+        RelExpr::ExtProject { input, exprs } => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let out_schema = ext_project_schema(child.schema(), exprs)?;
+            Box::new(ProjectOp::new(child, exprs.clone(), out_schema))
+        }
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = plan_node(left, provider, stats.as_deref_mut())?;
+            let r = plan_node(right, provider, stats.as_deref_mut())?;
+            let la = l.schema().arity();
+            let ra = r.schema().arity();
+            match extract_equi_condition(predicate, la, ra) {
+                Some(cond) => Box::new(HashJoin::build(l, r, cond)?),
+                None => Box::new(NestedLoopJoin::build(l, r, Some(predicate.clone()))?),
+            }
+        }
+        RelExpr::Distinct(input) => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            Box::new(DistinctOp::new(child))
+        }
+        RelExpr::GroupBy {
+            input,
+            keys,
+            agg,
+            attr,
+        } => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            Box::new(HashAggregate::build(child, keys, *agg, *attr)?)
+        }
+        RelExpr::Closure(input) => {
+            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            Box::new(super::ops::ClosureOp::new(child))
+        }
+    };
+    Ok(match stats {
+        Some(stats) => {
+            let counter = stats.register(describe(expr));
+            Box::new(Instrumented::new(op, counter))
+        }
+        None => op,
+    })
+}
+
+/// Output schema of an extended projection over a known input schema.
+fn ext_project_schema(input: &SchemaRef, exprs: &[ScalarExpr]) -> CoreResult<SchemaRef> {
+    let mut attrs = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let t = e.infer_type(input)?;
+        let name = match e {
+            ScalarExpr::Attr(i) => input.attr(*i)?.name.clone(),
+            _ => None,
+        };
+        attrs.push(Attribute { name, dtype: t });
+    }
+    Ok(Arc::new(Schema::new(attrs)))
+}
+
+/// A short label for instrumentation (operator name plus scanned relation
+/// where applicable).
+fn describe(expr: &RelExpr) -> String {
+    match expr {
+        RelExpr::Scan(name) => format!("scan({name})"),
+        other => other.op_name().to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{collect, execute};
+    use crate::reference;
+    use mera_core::tuple;
+    use mera_expr::Aggregate;
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new()
+            .with(
+                "r",
+                Schema::anon(&[DataType::Int, DataType::Str]),
+            )
+            .unwrap()
+            .with("s", Schema::anon(&[DataType::Int, DataType::Int]))
+            .unwrap();
+        let mut db = Database::new(schema);
+        let rs = Arc::clone(db.schema().get("r").unwrap());
+        db.replace(
+            "r",
+            Relation::from_counted(
+                rs,
+                vec![
+                    (tuple![1_i64, "a"], 2),
+                    (tuple![2_i64, "b"], 1),
+                    (tuple![3_i64, "a"], 3),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let ss = Arc::clone(db.schema().get("s").unwrap());
+        db.replace(
+            "s",
+            Relation::from_counted(
+                ss,
+                vec![(tuple![1_i64, 10_i64], 1), (tuple![3_i64, 30_i64], 2)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// A grab-bag of plans covering every operator; each must agree with
+    /// the reference evaluator.
+    fn plans() -> Vec<RelExpr> {
+        use mera_expr::CmpOp;
+        let r = RelExpr::scan("r");
+        let s = RelExpr::scan("s");
+        vec![
+            r.clone(),
+            r.clone().union(r.clone()),
+            r.clone().difference(r.clone().select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)))),
+            r.clone().intersect(r.clone()),
+            r.clone().product(s.clone()),
+            r.clone().select(ScalarExpr::attr(2).eq(ScalarExpr::str("a"))),
+            r.clone().project(&[2]),
+            r.clone().ext_project(vec![ScalarExpr::attr(1).mul(ScalarExpr::int(10))]),
+            r.clone().join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3))),
+            // non-equi join → nested loop
+            r.clone().join(s.clone(), ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3))),
+            // equi + residual
+            r.clone().join(
+                s.clone(),
+                ScalarExpr::attr(1)
+                    .eq(ScalarExpr::attr(3))
+                    .and(ScalarExpr::attr(4).cmp(CmpOp::Gt, ScalarExpr::int(15))),
+            ),
+            r.clone().distinct(),
+            r.clone().group_by(&[2], Aggregate::Cnt, 1),
+            r.clone().group_by(&[2], Aggregate::Sum, 1),
+            r.clone().group_by(&[], Aggregate::Avg, 1),
+            r.clone()
+                .union(r.clone())
+                .project(&[2])
+                .distinct()
+                .product(s.clone())
+                .select(ScalarExpr::attr(2).eq(ScalarExpr::int(1)))
+                .group_by(&[1], Aggregate::Cnt, 1),
+        ]
+    }
+
+    #[test]
+    fn physical_agrees_with_reference_on_all_operators() {
+        let db = db();
+        for e in plans() {
+            let expected = reference::eval(&e, &db).unwrap();
+            let actual = execute(&e, &db).unwrap();
+            assert_eq!(actual, expected, "plan disagreed for {e}");
+        }
+    }
+
+    #[test]
+    fn instrumented_plan_counts_rows() {
+        let db = db();
+        let e = RelExpr::scan("r")
+            .select(ScalarExpr::attr(2).eq(ScalarExpr::str("a")))
+            .project(&[1]);
+        let mut stats = ExecStats::new();
+        let plan = plan_instrumented(&e, &db, &mut stats).unwrap();
+        let out = collect(plan).unwrap();
+        assert_eq!(out.len(), 5);
+        let rows = stats.rows_out();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("scan(r)".to_owned(), 6));
+        assert_eq!(rows[1], ("select".to_owned(), 5));
+        assert_eq!(rows[2], ("project".to_owned(), 5));
+        assert_eq!(stats.total_intermediate(), 16);
+    }
+
+    #[test]
+    fn plan_rejects_invalid_expressions() {
+        let db = db();
+        let bad = RelExpr::scan("r").union(RelExpr::scan("s"));
+        assert!(plan(&bad, &db).is_err());
+        assert!(plan(&RelExpr::scan("zzz"), &db).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution statistics: per-operator row counters.
+//!
+//! Example 3.2's point is that inserting a projection *reduces the size of
+//! intermediate results*. To measure that claim (experiment E5) the planner
+//! can wrap every operator in an [`Instrumented`] shell that counts the
+//! tuples (with multiplicity) flowing out of it; [`ExecStats`] aggregates
+//! the counters per operator for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+
+use super::{BoxedOp, Counted, Operator};
+
+/// One operator's counters.
+#[derive(Debug, Default)]
+pub struct OpCounter {
+    /// Tuples produced, counted with multiplicity.
+    pub rows_out: AtomicU64,
+    /// Attribute values produced (`rows × arity`) — the paper's "size of
+    /// intermediate results" is data volume, so narrowing projections
+    /// shrink this even when the row count is unchanged.
+    pub cells_out: AtomicU64,
+    /// Stream chunks produced (distinct `next()` yields).
+    pub chunks_out: AtomicU64,
+}
+
+/// Shared execution statistics for one plan.
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    counters: Vec<(String, Arc<OpCounter>)>,
+}
+
+impl ExecStats {
+    /// Creates an empty stats registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter for an operator label, returning the handle the
+    /// instrumented operator updates.
+    pub fn register(&mut self, label: impl Into<String>) -> Arc<OpCounter> {
+        let c = Arc::new(OpCounter::default());
+        self.counters.push((label.into(), Arc::clone(&c)));
+        c
+    }
+
+    /// `(label, rows_out)` per registered operator, in registration order
+    /// (bottom-up plan order).
+    pub fn rows_out(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(l, c)| (l.clone(), c.rows_out.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// `(label, cells_out)` per registered operator, in registration order
+    /// (bottom-up plan order: an operator's input precedes it).
+    pub fn cells_out(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(l, c)| (l.clone(), c.cells_out.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total tuples that crossed operator boundaries.
+    pub fn total_intermediate(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|(_, c)| c.rows_out.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total attribute values that crossed operator boundaries — the
+    /// intermediate *data volume* of the plan (rows × arity summed over
+    /// operators).
+    pub fn total_cells(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|(_, c)| c.cells_out.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders a small per-operator report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        for (label, rows) in self.rows_out() {
+            s.push_str(&format!("{rows:>12}  {label}\n"));
+        }
+        s.push_str(&format!(
+            "{:>12}  total intermediate tuples\n",
+            self.total_intermediate()
+        ));
+        s
+    }
+}
+
+/// Wraps an operator, counting its output.
+pub struct Instrumented {
+    inner: BoxedOp,
+    counter: Arc<OpCounter>,
+}
+
+impl Instrumented {
+    /// Wraps `inner`, reporting into `counter`.
+    pub fn new(inner: BoxedOp, counter: Arc<OpCounter>) -> Self {
+        Instrumented { inner, counter }
+    }
+}
+
+impl Operator for Instrumented {
+    fn schema(&self) -> &SchemaRef {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> CoreResult<Option<Counted>> {
+        let out = self.inner.next()?;
+        if let Some((t, m)) = &out {
+            self.counter.rows_out.fetch_add(*m, Ordering::Relaxed);
+            self.counter
+                .cells_out
+                .fetch_add(*m * t.arity() as u64, Ordering::Relaxed);
+            self.counter.chunks_out.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::collect;
+    use crate::physical::ops::ScanOp;
+    use mera_core::tuple;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn counters_track_rows_and_chunks() {
+        let rel = Relation::from_counted(
+            StdArc::new(Schema::anon(&[DataType::Int])),
+            vec![(tuple![1_i64], 5), (tuple![2_i64], 1)],
+        )
+        .unwrap();
+        let mut stats = ExecStats::new();
+        let c = stats.register("scan(r)");
+        let op = Instrumented::new(Box::new(ScanOp::new(&rel)), c);
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 6);
+        let rows = stats.rows_out();
+        assert_eq!(rows, vec![("scan(r)".to_owned(), 6)]);
+        assert_eq!(stats.total_intermediate(), 6);
+        assert_eq!(stats.total_cells(), 6); // arity 1
+        assert!(stats.report().contains("scan(r)"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Access to stored relations during evaluation.
+
+use mera_core::prelude::*;
+use mera_expr::SchemaProvider;
+
+/// Supplies relation *instances* by name — what an evaluator needs on top
+/// of the schema-only [`SchemaProvider`].
+pub trait RelationProvider {
+    /// The current instance of the relation called `name`.
+    fn relation(&self, name: &str) -> CoreResult<&Relation>;
+}
+
+impl RelationProvider for Database {
+    fn relation(&self, name: &str) -> CoreResult<&Relation> {
+        Database::relation(self, name)
+    }
+}
+
+/// Adapter exposing any [`RelationProvider`] as a [`SchemaProvider`].
+pub struct Schemas<'a, P: RelationProvider + ?Sized>(pub &'a P);
+
+impl<P: RelationProvider + ?Sized> SchemaProvider for Schemas<'_, P> {
+    fn relation_schema(&self, name: &str) -> CoreResult<SchemaRef> {
+        Ok(std::sync::Arc::clone(self.0.relation(name)?.schema()))
+    }
+}
+
+/// A provider with no relations, for self-contained `Values` trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRelations;
+
+impl RelationProvider for NoRelations {
+    fn relation(&self, name: &str) -> CoreResult<&Relation> {
+        Err(CoreError::UnknownRelation(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_relations_always_errors() {
+        assert!(NoRelations.relation("r").is_err());
+        assert!(Schemas(&NoRelations).relation_schema("r").is_err());
+    }
+
+    #[test]
+    fn database_provides_relations_and_schemas() {
+        let schema = DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int]))
+            .unwrap();
+        let db = Database::new(schema);
+        assert!(RelationProvider::relation(&db, "r").is_ok());
+        assert_eq!(Schemas(&db).relation_schema("r").unwrap().arity(), 1);
+        assert!(Schemas(&db).relation_schema("s").is_err());
+    }
+}

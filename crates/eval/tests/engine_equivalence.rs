@@ -1,0 +1,181 @@
+//! Engine equivalence: the physical Volcano engine and the reference
+//! evaluator implement the *same* algebra.
+//!
+//! Random databases (with heavy duplication, the regime bag semantics is
+//! about) and random well-typed expression trees are generated; both
+//! engines must produce pointwise-equal relations — or fail with the same
+//! error.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_eval::{execute, eval};
+use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
+use proptest::prelude::*;
+
+/// r: (int, str) with multiplicities up to 4.
+fn rel_r() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(((0i64..5), (0u8..3), (1u64..5)), 0..8).prop_map(|rows| {
+        let schema = Arc::new(Schema::named(&[
+            ("a", DataType::Int),
+            ("tag", DataType::Str),
+        ]));
+        let tags = ["x", "y", "z"];
+        Relation::from_counted(
+            schema,
+            rows.into_iter()
+                .map(|(a, t, m)| (tuple![a, tags[t as usize]], m)),
+        )
+        .expect("well-typed by construction")
+    })
+}
+
+/// s: (int, int).
+fn rel_s() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(((0i64..5), (0i64..50), (1u64..4)), 0..6).prop_map(|rows| {
+        let schema = Arc::new(Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]));
+        Relation::from_counted(
+            schema,
+            rows.into_iter().map(|(k, v, m)| (tuple![k, v], m)),
+        )
+        .expect("well-typed by construction")
+    })
+}
+
+/// A database with relations r and s.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    (rel_r(), rel_s()).prop_map(|(r, s)| {
+        let schema = DatabaseSchema::new()
+            .with(
+                "r",
+                Schema::named(&[("a", DataType::Int), ("tag", DataType::Str)]),
+            )
+            .expect("fresh schema")
+            .with(
+                "s",
+                Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .expect("fresh schema");
+        let mut db = Database::new(schema);
+        db.replace("r", r).expect("schema matches");
+        db.replace("s", s).expect("schema matches");
+        db
+    })
+}
+
+/// Random predicates over r's schema (int attr %1, str attr %2).
+fn pred_r() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        (0i64..5).prop_map(|c| ScalarExpr::attr(1).eq(ScalarExpr::int(c))),
+        (0i64..5).prop_map(|c| ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(c))),
+        Just(ScalarExpr::attr(2).eq(ScalarExpr::str("x"))),
+        (0i64..5).prop_map(|c| {
+            ScalarExpr::attr(1)
+                .cmp(CmpOp::Ge, ScalarExpr::int(c))
+                .and(ScalarExpr::attr(2).eq(ScalarExpr::str("y")).not())
+        }),
+        Just(ScalarExpr::bool(true)),
+        Just(ScalarExpr::bool(false)),
+    ]
+}
+
+/// Random well-typed expressions over schema (int, str) — closed under the
+/// r-schema so unary operators compose freely.
+fn expr_r(depth: u32) -> BoxedStrategy<RelExpr> {
+    let leaf = Just(RelExpr::scan("r")).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = expr_r(depth - 1);
+    prop_oneof![
+        inner.clone().prop_flat_map(|e| {
+            pred_r().prop_map(move |p| e.clone().select(p))
+        }),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+        inner.clone().prop_map(|e| e.distinct()),
+        // schema-preserving extended projection keeps the tree closed
+        inner.clone().prop_map(|e| {
+            e.ext_project(vec![
+                ScalarExpr::attr(1).mul(ScalarExpr::int(2)),
+                ScalarExpr::attr(2),
+            ])
+        }),
+        leaf,
+    ]
+    .boxed()
+}
+
+/// Terminal shapes applied on top: projections, joins, group-bys.
+fn full_expr() -> impl Strategy<Value = RelExpr> {
+    let base = expr_r(3);
+    prop_oneof![
+        base.clone(),
+        base.clone().prop_map(|e| e.project(&[1])),
+        base.clone().prop_map(|e| e.project(&[2, 1, 2])),
+        base.clone()
+            .prop_map(|e| e.join(RelExpr::scan("s"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))),
+        base.clone()
+            .prop_map(|e| e.product(RelExpr::scan("s"))),
+        base.clone().prop_map(|e| {
+            e.join(
+                RelExpr::scan("s"),
+                ScalarExpr::attr(1).cmp(CmpOp::Le, ScalarExpr::attr(4)),
+            )
+        }),
+        base.clone()
+            .prop_map(|e| e.group_by(&[2], Aggregate::Cnt, 1)),
+        base.clone()
+            .prop_map(|e| e.group_by(&[2], Aggregate::Avg, 1)),
+        base.clone()
+            .prop_map(|e| e.group_by(&[], Aggregate::Sum, 1)),
+        base.prop_map(|e| e.group_by(&[], Aggregate::Max, 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn physical_engine_agrees_with_reference(db in db_strategy(), e in full_expr()) {
+        let expected = eval(&e, &db);
+        let actual = execute(&e, &db);
+        match (expected, actual) {
+            (Ok(want), Ok(got)) => prop_assert_eq!(got, want, "plan: {}", e),
+            (Err(we), Err(ge)) => prop_assert_eq!(we, ge, "errors differ for plan: {}", e),
+            (want, got) => prop_assert!(
+                false,
+                "one engine failed for plan {}: reference={:?} physical={:?}",
+                e, want, got
+            ),
+        }
+    }
+
+    /// Relation-level metamorphic check: evaluating `E u+ E` doubles every
+    /// multiplicity of `E` — across arbitrary generated plans.
+    #[test]
+    fn self_union_doubles(db in db_strategy(), e in expr_r(2)) {
+        if let Ok(single) = eval(&e, &db) {
+            let doubled = execute(&e.clone().union(e.clone()), &db).expect("union of valid plans");
+            for (t, m) in single.iter() {
+                prop_assert_eq!(doubled.multiplicity(t), 2 * m);
+            }
+            prop_assert_eq!(doubled.len(), 2 * single.len());
+        }
+    }
+
+    /// `E − E` is always empty; `E ∩ E = E`; `δE ⊑ E`.
+    #[test]
+    fn self_identities(db in db_strategy(), e in expr_r(2)) {
+        if eval(&e, &db).is_ok() {
+            let minus = execute(&e.clone().difference(e.clone()), &db).expect("valid");
+            prop_assert!(minus.is_empty());
+            let inter = execute(&e.clone().intersect(e.clone()), &db).expect("valid");
+            let orig = eval(&e, &db).expect("checked above");
+            prop_assert_eq!(inter, orig.clone());
+            let dist = execute(&e.clone().distinct(), &db).expect("valid");
+            prop_assert!(dist.is_submultiset(&orig).expect("same schema"));
+        }
+    }
+}

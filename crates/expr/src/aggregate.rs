@@ -1,0 +1,479 @@
+//! Multi-set aggregate functions (Definition 3.3).
+//!
+//! Aggregates compute one value over a *bag* of attribute values — crucially
+//! counting multiplicities:
+//!
+//! * `CNT_p E = Σ_x E(x)` — `p` is a dummy parameter kept "for reasons of
+//!   syntactical uniformity",
+//! * `SUM_p E = Σ_x x.p · E(x)` — numeric `p` only,
+//! * `AVG_p E = SUM_p E / CNT_p E`,
+//! * `MIN_p E`, `MAX_p E` over the support.
+//!
+//! AVG, MIN and MAX are *partial* functions: applying them to an empty
+//! multi-set is an error ([`CoreError::AggregateOnEmpty`]), exactly as the
+//! paper notes. CNT and SUM of an empty bag are 0.
+
+use std::fmt;
+
+use mera_core::prelude::*;
+use mera_core::value::{Money, Real};
+
+/// The multi-set aggregate functions: the five of Definition 3.3 plus
+/// the statistical extensions its closing note invites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// `CNT` — cardinality with multiplicity.
+    Cnt,
+    /// `SUM` — multiplicity-weighted sum of a numeric attribute.
+    Sum,
+    /// `AVG` — `SUM/CNT`; partial (empty input is an error).
+    Avg,
+    /// `MIN` — minimum over the support; partial.
+    Min,
+    /// `MAX` — maximum over the support; partial.
+    Max,
+    /// `STDDEV` — population standard deviation, multiplicity-weighted;
+    /// partial. One of the "statistical aggregate functions" the
+    /// definition's note explicitly allows as alternative choices.
+    StdDev,
+    /// `MEDIAN` — multiplicity-weighted median (mean of the two middle
+    /// elements for even counts); partial.
+    Median,
+}
+
+impl Aggregate {
+    /// The name used by the textual language and `Display`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Cnt => "CNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+            Aggregate::StdDev => "STDDEV",
+            Aggregate::Median => "MEDIAN",
+        }
+    }
+
+    /// Parses an aggregate name (case-insensitive; accepts the common
+    /// `COUNT` alias for `CNT`).
+    pub fn parse(s: &str) -> Option<Aggregate> {
+        match s.to_ascii_uppercase().as_str() {
+            "CNT" | "COUNT" => Some(Aggregate::Cnt),
+            "SUM" => Some(Aggregate::Sum),
+            "AVG" => Some(Aggregate::Avg),
+            "MIN" => Some(Aggregate::Min),
+            "MAX" => Some(Aggregate::Max),
+            "STDDEV" | "STD" => Some(Aggregate::StdDev),
+            "MEDIAN" => Some(Aggregate::Median),
+            _ => None,
+        }
+    }
+
+    /// The domain of the aggregate's range `ran(f(×p→τ))` given the
+    /// aggregated attribute's domain, or an error when the aggregate is not
+    /// defined on it ("p must have a numeric domain" for SUM/AVG).
+    pub fn result_type(self, input: DataType) -> CoreResult<DataType> {
+        match self {
+            Aggregate::Cnt => Ok(DataType::Int),
+            Aggregate::Sum => {
+                if input.is_numeric() {
+                    Ok(input)
+                } else {
+                    Err(CoreError::TypeError(format!("SUM over non-numeric {input}")))
+                }
+            }
+            Aggregate::Avg => {
+                if input.is_numeric() {
+                    Ok(DataType::Real)
+                } else {
+                    Err(CoreError::TypeError(format!("AVG over non-numeric {input}")))
+                }
+            }
+            Aggregate::Min | Aggregate::Max => {
+                if input.is_ordered() {
+                    Ok(input)
+                } else {
+                    Err(CoreError::TypeError(format!(
+                        "{} over unordered {input}",
+                        self.name()
+                    )))
+                }
+            }
+            Aggregate::StdDev | Aggregate::Median => {
+                if input.is_numeric() {
+                    Ok(DataType::Real)
+                } else {
+                    Err(CoreError::TypeError(format!(
+                        "{} over non-numeric {input}",
+                        self.name()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Computes the aggregate over `(value, multiplicity)` pairs.
+    ///
+    /// The pairs are the projections `x.p` of a group's tuples with their
+    /// multiplicities; order is irrelevant. `input_type` is the domain of
+    /// the aggregated attribute; it types SUM's neutral element so that
+    /// `SUM` of an empty bag is the *zero of the attribute's domain*
+    /// (`0`, `0.0` or `0.00`), keeping results schema-correct.
+    pub fn compute<'a, I>(self, input_type: DataType, values: I) -> CoreResult<Value>
+    where
+        I: IntoIterator<Item = (&'a Value, u64)>,
+    {
+        match self {
+            Aggregate::Cnt => {
+                let mut n: u64 = 0;
+                for (_, m) in values {
+                    n = n.checked_add(m).ok_or(CoreError::Overflow("CNT"))?;
+                }
+                let n = i64::try_from(n).map_err(|_| CoreError::Overflow("CNT"))?;
+                Ok(Value::Int(n))
+            }
+            Aggregate::Sum => compute_sum(input_type, values).map(|(sum, _)| sum),
+            Aggregate::Avg => {
+                let (sum, count) = compute_sum(input_type, values)?;
+                if count == 0 {
+                    return Err(CoreError::AggregateOnEmpty("AVG"));
+                }
+                let avg = sum.as_f64()? / count as f64;
+                Ok(Value::Real(Real::new(avg).map_err(|_| {
+                    CoreError::Overflow("AVG produced NaN")
+                })?))
+            }
+            Aggregate::Min | Aggregate::Max => {
+                let mut best: Option<&Value> = None;
+                for (v, m) in values {
+                    if m == 0 {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = if self == Aggregate::Min { v < b } else { v > b };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.cloned()
+                    .ok_or(CoreError::AggregateOnEmpty(self.name()))
+            }
+            Aggregate::StdDev => {
+                // two-pass population stddev, multiplicity-weighted
+                let pairs: Vec<(f64, u64)> = collect_numeric(values)?;
+                let count: u64 = pairs.iter().map(|&(_, m)| m).sum();
+                if count == 0 {
+                    return Err(CoreError::AggregateOnEmpty("STDDEV"));
+                }
+                let mean = pairs
+                    .iter()
+                    .map(|&(v, m)| v * m as f64)
+                    .sum::<f64>()
+                    / count as f64;
+                let var = pairs
+                    .iter()
+                    .map(|&(v, m)| (v - mean).powi(2) * m as f64)
+                    .sum::<f64>()
+                    / count as f64;
+                Ok(Value::Real(Real::new(var.sqrt()).map_err(|_| {
+                    CoreError::Overflow("STDDEV produced NaN")
+                })?))
+            }
+            Aggregate::Median => {
+                let mut pairs: Vec<(f64, u64)> = collect_numeric(values)?;
+                let count: u64 = pairs.iter().map(|&(_, m)| m).sum();
+                if count == 0 {
+                    return Err(CoreError::AggregateOnEmpty("MEDIAN"));
+                }
+                pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                // positions are 0-based into the multiplicity-expanded
+                // sequence; even counts average the two middle elements
+                let lo_pos = (count - 1) / 2;
+                let hi_pos = count / 2;
+                let at = |pos: u64| -> f64 {
+                    let mut seen = 0u64;
+                    for &(v, m) in &pairs {
+                        seen += m;
+                        if pos < seen {
+                            return v;
+                        }
+                    }
+                    pairs.last().expect("non-empty").0
+                };
+                let median = (at(lo_pos) + at(hi_pos)) / 2.0;
+                Ok(Value::Real(Real::new(median).map_err(|_| {
+                    CoreError::Overflow("MEDIAN produced NaN")
+                })?))
+            }
+        }
+    }
+}
+
+/// Collects numeric `(value, multiplicity)` pairs as `f64`, rejecting
+/// non-numeric domains.
+fn collect_numeric<'a, I>(values: I) -> CoreResult<Vec<(f64, u64)>>
+where
+    I: IntoIterator<Item = (&'a Value, u64)>,
+{
+    values
+        .into_iter()
+        .filter(|&(_, m)| m > 0)
+        .map(|(v, m)| Ok((v.as_f64()?, m)))
+        .collect()
+}
+
+/// Multiplicity-weighted sum plus total count. Int sums stay exact in
+/// `i128` then narrow; real sums accumulate in `f64`; money sums stay in
+/// minor units. The empty sum is the typed zero of `input_type`.
+fn compute_sum<'a, I>(input_type: DataType, values: I) -> CoreResult<(Value, u64)>
+where
+    I: IntoIterator<Item = (&'a Value, u64)>,
+{
+    enum Acc {
+        Empty,
+        Int(i128),
+        Real(f64),
+        Money(i128),
+    }
+    let mut acc = Acc::Empty;
+    let mut count: u64 = 0;
+    for (v, m) in values {
+        if m == 0 {
+            continue;
+        }
+        count = count.checked_add(m).ok_or(CoreError::Overflow("SUM count"))?;
+        match (&mut acc, v) {
+            (Acc::Empty, Value::Int(i)) => acc = Acc::Int(i128::from(*i) * i128::from(m)),
+            (Acc::Empty, Value::Real(r)) => acc = Acc::Real(r.get() * m as f64),
+            (Acc::Empty, Value::Money(mo)) => {
+                acc = Acc::Money(i128::from(mo.0) * i128::from(m))
+            }
+            (Acc::Int(s), Value::Int(i)) => {
+                *s = s
+                    .checked_add(i128::from(*i) * i128::from(m))
+                    .ok_or(CoreError::Overflow("SUM"))?;
+            }
+            (Acc::Real(s), Value::Real(r)) => *s += r.get() * m as f64,
+            (Acc::Money(s), Value::Money(mo)) => {
+                *s = s
+                    .checked_add(i128::from(mo.0) * i128::from(m))
+                    .ok_or(CoreError::Overflow("SUM"))?;
+            }
+            (_, other) => {
+                return Err(CoreError::TypeError(format!(
+                    "SUM over mixed or non-numeric domain ({})",
+                    other.data_type()
+                )))
+            }
+        }
+    }
+    let sum = match acc {
+        // SUM of the empty bag is the typed zero of the attribute's domain
+        Acc::Empty => match input_type {
+            DataType::Int => Value::Int(0),
+            DataType::Real => Value::Real(Real::new(0.0).expect("zero is not NaN")),
+            DataType::Money => Value::Money(Money(0)),
+            other => {
+                return Err(CoreError::TypeError(format!(
+                    "SUM over non-numeric {other}"
+                )))
+            }
+        },
+        Acc::Int(s) => Value::Int(i64::try_from(s).map_err(|_| CoreError::Overflow("SUM"))?),
+        Acc::Real(s) => {
+            Value::Real(Real::new(s).map_err(|_| CoreError::Overflow("SUM produced NaN"))?)
+        }
+        Acc::Money(s) => Value::Money(Money(
+            i64::try_from(s).map_err(|_| CoreError::Overflow("SUM"))?,
+        )),
+    };
+    Ok((sum, count))
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(pairs: &[(i64, u64)]) -> Vec<(Value, u64)> {
+        pairs.iter().map(|&(v, m)| (Value::Int(v), m)).collect()
+    }
+
+    fn run(agg: Aggregate, pairs: &[(Value, u64)]) -> CoreResult<Value> {
+        let t = pairs
+            .first()
+            .map(|(v, _)| v.data_type())
+            .unwrap_or(DataType::Int);
+        agg.compute(t, pairs.iter().map(|(v, m)| (v, *m)))
+    }
+
+    #[test]
+    fn empty_sum_is_typed_zero() {
+        let none: [(Value, u64); 0] = [];
+        let go = |t| Aggregate::Sum.compute(t, none.iter().map(|(v, m)| (v, *m)));
+        assert_eq!(go(DataType::Int).unwrap(), Value::Int(0));
+        assert_eq!(go(DataType::Real).unwrap(), Value::real(0.0).unwrap());
+        assert_eq!(go(DataType::Money).unwrap(), Value::Money(Money(0)));
+        assert!(go(DataType::Str).is_err());
+    }
+
+    #[test]
+    fn cnt_counts_with_multiplicity() {
+        let v = vals(&[(10, 3), (20, 2)]);
+        assert_eq!(run(Aggregate::Cnt, &v).unwrap(), Value::Int(5));
+        assert_eq!(run(Aggregate::Cnt, &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_weights_by_multiplicity() {
+        let v = vals(&[(10, 3), (20, 2)]);
+        assert_eq!(run(Aggregate::Sum, &v).unwrap(), Value::Int(70));
+        assert_eq!(run(Aggregate::Sum, &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_real_and_money() {
+        let v = vec![
+            (Value::real(1.5).unwrap(), 2),
+            (Value::real(2.0).unwrap(), 1),
+        ];
+        assert_eq!(run(Aggregate::Sum, &v).unwrap(), Value::real(5.0).unwrap());
+        let v = vec![(Value::Money(Money(150)), 3)];
+        assert_eq!(run(Aggregate::Sum, &v).unwrap(), Value::Money(Money(450)));
+    }
+
+    #[test]
+    fn avg_is_sum_over_cnt() {
+        let v = vals(&[(10, 3), (20, 1)]);
+        assert_eq!(run(Aggregate::Avg, &v).unwrap(), Value::real(12.5).unwrap());
+    }
+
+    #[test]
+    fn avg_min_max_partial_on_empty() {
+        assert_eq!(
+            run(Aggregate::Avg, &[]).unwrap_err(),
+            CoreError::AggregateOnEmpty("AVG")
+        );
+        assert_eq!(
+            run(Aggregate::Min, &[]).unwrap_err(),
+            CoreError::AggregateOnEmpty("MIN")
+        );
+        assert_eq!(
+            run(Aggregate::Max, &[]).unwrap_err(),
+            CoreError::AggregateOnEmpty("MAX")
+        );
+    }
+
+    #[test]
+    fn min_max_over_support() {
+        let v = vals(&[(10, 1), (20, 5), (15, 2)]);
+        assert_eq!(run(Aggregate::Min, &v).unwrap(), Value::Int(10));
+        assert_eq!(run(Aggregate::Max, &v).unwrap(), Value::Int(20));
+        // strings are ordered, so MIN/MAX apply
+        let v = vec![(Value::str("pils"), 1), (Value::str("ale"), 2)];
+        assert_eq!(run(Aggregate::Min, &v).unwrap(), Value::str("ale"));
+        assert_eq!(run(Aggregate::Max, &v).unwrap(), Value::str("pils"));
+    }
+
+    #[test]
+    fn zero_multiplicity_pairs_ignored() {
+        let v = vals(&[(10, 0), (20, 1)]);
+        assert_eq!(run(Aggregate::Min, &v).unwrap(), Value::Int(20));
+        assert_eq!(run(Aggregate::Cnt, &v).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn sum_rejects_mixed_domains() {
+        let v = vec![(Value::Int(1), 1), (Value::real(1.0).unwrap(), 1)];
+        assert!(run(Aggregate::Sum, &v).is_err());
+        let v = vec![(Value::str("x"), 1)];
+        assert!(run(Aggregate::Sum, &v).is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Aggregate::Cnt.result_type(DataType::Str).unwrap(), DataType::Int);
+        assert_eq!(Aggregate::Sum.result_type(DataType::Int).unwrap(), DataType::Int);
+        assert_eq!(Aggregate::Sum.result_type(DataType::Money).unwrap(), DataType::Money);
+        assert_eq!(Aggregate::Avg.result_type(DataType::Int).unwrap(), DataType::Real);
+        assert_eq!(Aggregate::Min.result_type(DataType::Str).unwrap(), DataType::Str);
+        assert!(Aggregate::Sum.result_type(DataType::Str).is_err());
+        assert!(Aggregate::Avg.result_type(DataType::Date).is_err());
+        assert!(Aggregate::Min.result_type(DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Aggregate::parse("avg"), Some(Aggregate::Avg));
+        assert_eq!(Aggregate::parse("COUNT"), Some(Aggregate::Cnt));
+        assert_eq!(Aggregate::parse("quartile"), None);
+    }
+
+    #[test]
+    fn stddev_weighted() {
+        // values 2,2,4,4 (via multiplicities): mean 3, variance 1
+        let v = vals(&[(2, 2), (4, 2)]);
+        assert_eq!(run(Aggregate::StdDev, &v).unwrap(), Value::real(1.0).unwrap());
+        // single value: stddev 0
+        let v = vals(&[(7, 3)]);
+        assert_eq!(run(Aggregate::StdDev, &v).unwrap(), Value::real(0.0).unwrap());
+        assert_eq!(
+            run(Aggregate::StdDev, &[]).unwrap_err(),
+            CoreError::AggregateOnEmpty("STDDEV")
+        );
+        assert!(run(Aggregate::StdDev, &[(Value::str("x"), 1)]).is_err());
+    }
+
+    #[test]
+    fn median_weighted() {
+        // expanded sequence 1,1,1,9 → median (1+1)/2 = 1
+        let v = vals(&[(1, 3), (9, 1)]);
+        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(1.0).unwrap());
+        // 1,2,3 → 2
+        let v = vals(&[(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(2.0).unwrap());
+        // 1,2,3,10 → (2+3)/2
+        let v = vals(&[(1, 1), (2, 1), (3, 1), (10, 1)]);
+        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(2.5).unwrap());
+        assert_eq!(
+            run(Aggregate::Median, &[]).unwrap_err(),
+            CoreError::AggregateOnEmpty("MEDIAN")
+        );
+    }
+
+    #[test]
+    fn statistical_result_types() {
+        assert_eq!(
+            Aggregate::StdDev.result_type(DataType::Int).unwrap(),
+            DataType::Real
+        );
+        assert_eq!(
+            Aggregate::Median.result_type(DataType::Money).unwrap(),
+            DataType::Real
+        );
+        assert!(Aggregate::StdDev.result_type(DataType::Str).is_err());
+        assert_eq!(Aggregate::parse("stddev"), Some(Aggregate::StdDev));
+        assert_eq!(Aggregate::parse("median"), Some(Aggregate::Median));
+    }
+
+    #[test]
+    fn cnt_overflow_guard() {
+        let v = vec![(Value::Int(1), u64::MAX), (Value::Int(2), 2)];
+        assert!(matches!(
+            run(Aggregate::Cnt, &v),
+            Err(CoreError::Overflow(_))
+        ));
+    }
+}

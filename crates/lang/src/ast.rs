@@ -1,0 +1,206 @@
+//! The syntactic AST.
+//!
+//! This is the *named* surface form: attributes may be referenced by name,
+//! to be resolved against schemas during lowering (the paper's "notational
+//! convention" layer on top of prefixed indexes).
+
+use mera_core::types::DataType;
+
+/// Binary operators in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `mod`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `||`
+    Concat,
+}
+
+/// A scalar expression as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SScalar {
+    /// `%i` — prefixed attribute index.
+    AttrIndex(usize),
+    /// A bare identifier — an attribute name to resolve.
+    AttrName(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal (`true`/`false`).
+    Bool(bool),
+    /// Binary operation.
+    Binary(SBinOp, Box<SScalar>, Box<SScalar>),
+    /// `not e`.
+    Not(Box<SScalar>),
+    /// Unary minus.
+    Neg(Box<SScalar>),
+}
+
+/// A literal value in a `values` relation literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SLiteral {
+    /// Integer.
+    Int(i64),
+    /// Real.
+    Real(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// A relational expression as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SRel {
+    /// A relation name (database relation or program temporary).
+    Name(String),
+    /// `select[φ](E)`.
+    Select {
+        /// Input.
+        input: Box<SRel>,
+        /// Condition.
+        predicate: SScalar,
+    },
+    /// `project[e₁, …, eₙ](E)` — plain when all eᵢ are attribute refs.
+    Project {
+        /// Input.
+        input: Box<SRel>,
+        /// Projection expressions.
+        exprs: Vec<SScalar>,
+    },
+    /// `join[φ](E₁, E₂)`.
+    Join {
+        /// Left input.
+        left: Box<SRel>,
+        /// Right input.
+        right: Box<SRel>,
+        /// Join condition over the concatenated schema.
+        predicate: SScalar,
+    },
+    /// `E₁ union E₂`.
+    Union(Box<SRel>, Box<SRel>),
+    /// `E₁ minus E₂`.
+    Minus(Box<SRel>, Box<SRel>),
+    /// `E₁ intersect E₂`.
+    Intersect(Box<SRel>, Box<SRel>),
+    /// `E₁ times E₂`.
+    Times(Box<SRel>, Box<SRel>),
+    /// `unique(E)` — duplicate elimination `δ`.
+    Unique(Box<SRel>),
+    /// `closure(E)` — transitive closure `α` (the §5 extension).
+    Closure(Box<SRel>),
+    /// `groupby[(keys), AGG, attr](E)`.
+    GroupBy {
+        /// Input.
+        input: Box<SRel>,
+        /// Grouping attribute references (possibly empty).
+        keys: Vec<SScalar>,
+        /// Aggregate function name.
+        agg: String,
+        /// Aggregated attribute reference.
+        attr: Box<SScalar>,
+    },
+    /// `values (types) {(row), …}` — a literal relation.
+    Values {
+        /// The column types.
+        types: Vec<DataType>,
+        /// The rows (duplicates meaningful).
+        rows: Vec<Vec<SLiteral>>,
+    },
+}
+
+/// A statement as written (Definition 4.1 surface forms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SStmt {
+    /// `insert(R, E)`.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Source expression.
+        expr: SRel,
+    },
+    /// `delete(R, E)`.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// Expression selecting tuples to remove.
+        expr: SRel,
+    },
+    /// `update(R, E, (e₁, …, eₙ))`.
+    Update {
+        /// Target relation.
+        relation: String,
+        /// Expression selecting tuples to modify.
+        expr: SRel,
+        /// The structure-preserving expression list.
+        exprs: Vec<SScalar>,
+    },
+    /// `name = E`.
+    Assign {
+        /// Temporary name.
+        name: String,
+        /// Bound expression.
+        expr: SRel,
+    },
+    /// `?E`.
+    Query {
+        /// Queried expression.
+        expr: SRel,
+    },
+}
+
+/// A program: statements in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SProgram {
+    /// The statements.
+    pub statements: Vec<SStmt>,
+}
+
+/// A top-level script item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SItem {
+    /// `relation name (attr: type, …)` — a schema declaration.
+    RelationDecl {
+        /// Relation name.
+        name: String,
+        /// `(attribute name, domain)` pairs.
+        attrs: Vec<(String, DataType)>,
+    },
+    /// `begin p end` — a transaction.
+    Transaction(SProgram),
+    /// A bare statement (executed as a single-statement transaction).
+    Statement(SStmt),
+}
+
+/// A whole script: declarations, transactions and statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SScript {
+    /// The items in source order.
+    pub items: Vec<SItem>,
+}

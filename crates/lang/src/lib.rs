@@ -1,0 +1,41 @@
+//! # mera-lang — the XRA-style textual language
+//!
+//! The paper's extended relational algebra grew into XRA, the primary
+//! database language of PRISMA/DB. This crate is a textual front-end in
+//! that tradition:
+//!
+//! * [`token`] — lexer (`%i` attribute indexes, `select[…]`, comments),
+//! * [`ast`] / [`parser`] — the named surface syntax,
+//! * [`lower`] — name resolution and lowering to the typed algebra and
+//!   statements,
+//! * [`pretty`] — printing typed trees back to parseable source,
+//! * [`session`] — a stateful runner: scripts → atomic transactions.
+//!
+//! ```
+//! use mera_lang::Session;
+//!
+//! let mut session = Session::new();
+//! session.run_script(
+//!     "relation beer (name: str, brewery: str, alcperc: real); \
+//!      insert(beer, values (str, str, real) {('Grolsch','Grolsche',5.0)});",
+//! )?;
+//! let out = session.query("project[name](beer)")?;
+//! assert_eq!(out.len(), 1);
+//! # Ok::<(), mera_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod session;
+pub mod token;
+
+pub use error::{LangError, LangResult, Pos};
+pub use lower::{lower_script, Lowerer};
+pub use parser::{parse_program, parse_rel, parse_script};
+pub use pretty::{program_to_xra, rel_to_xra, scalar_to_xra, stmt_to_xra};
+pub use session::{RunResult, Session};

@@ -1,0 +1,789 @@
+//! Recursive-descent parser for the XRA-style language.
+//!
+//! ```text
+//! script  := item*
+//! item    := 'relation' IDENT '(' IDENT ':' TYPE (',' IDENT ':' TYPE)* ')' ';'
+//!          | 'begin' program 'end' ';'?
+//!          | stmt ';'
+//! program := stmt (';' stmt)* ';'?
+//! stmt    := 'insert' '(' IDENT ',' rel ')'
+//!          | 'delete' '(' IDENT ',' rel ')'
+//!          | 'update' '(' IDENT ',' rel ',' '(' scalar (',' scalar)* ')' ')'
+//!          | IDENT '=' rel
+//!          | '?' rel
+//! rel     := relterm (('union'|'minus'|'intersect'|'times') relterm)*
+//! relterm := 'select' '[' scalar ']' '(' rel ')'
+//!          | 'project' '[' scalar (',' scalar)* ']' '(' rel ')'
+//!          | 'join' '[' scalar ']' '(' rel ',' rel ')'
+//!          | 'unique' '(' rel ')'
+//!          | 'groupby' '[' '(' (attrref (',' attrref)*)? ')' ',' IDENT ',' attrref ']' '(' rel ')'
+//!          | 'values' '(' TYPE (',' TYPE)* ')' '{' (row (',' row)*)? '}'
+//!          | IDENT
+//!          | '(' rel ')'
+//! scalar  := or; standard precedence or < and < not < cmp < +- < */mod < unary- < primary
+//! ```
+
+use mera_core::types::DataType;
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult, Pos};
+use crate::token::{lex, Spanned, Token};
+
+/// Parses a whole script.
+pub fn parse_script(src: &str) -> LangResult<SScript> {
+    let mut p = Parser::new(src)?;
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(SScript { items })
+}
+
+/// Parses a single relational expression (handy for tests and the REPL).
+pub fn parse_rel(src: &str) -> LangResult<SRel> {
+    let mut p = Parser::new(src)?;
+    let rel = p.rel()?;
+    p.expect_end()?;
+    Ok(rel)
+}
+
+/// Parses a single program (without transaction brackets).
+pub fn parse_program(src: &str) -> LangResult<SProgram> {
+    let mut p = Parser::new(src)?;
+    let prog = p.program(None)?;
+    p.expect_end()?;
+    Ok(prog)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> LangResult<Self> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn here(&self) -> Pos {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.pos)
+            .unwrap_or(Pos { line: 1, col: 1 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> LangResult<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(LangError::parse(
+                self.here(),
+                format!("expected '{want}', found '{t}'"),
+            )),
+            None => Err(LangError::parse(
+                self.here(),
+                format!("expected '{want}', found end of input"),
+            )),
+        }
+    }
+
+    fn expect_end(&self) -> LangResult<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.here(),
+                format!(
+                    "unexpected trailing input starting at '{}'",
+                    self.peek().expect("not at end")
+                ),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> LangResult<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(LangError::parse(
+                self.here(),
+                format!(
+                    "expected identifier, found '{}'",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            )),
+        }
+    }
+
+    /// True when the next token is the given keyword (case-sensitive,
+    /// lowercase keywords).
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> LangResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.here(),
+                format!(
+                    "expected '{kw}', found '{}'",
+                    self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            ))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // script level
+    // ------------------------------------------------------------------
+
+    fn item(&mut self) -> LangResult<SItem> {
+        if self.at_kw("relation") {
+            return self.relation_decl();
+        }
+        if self.eat_kw("begin") {
+            let prog = self.program(Some("end"))?;
+            self.expect_kw("end")?;
+            let _ = self.peek() == Some(&Token::Semi) && self.bump().is_some();
+            return Ok(SItem::Transaction(prog));
+        }
+        let stmt = self.stmt()?;
+        self.expect(&Token::Semi)?;
+        Ok(SItem::Statement(stmt))
+    }
+
+    fn relation_decl(&mut self) -> LangResult<SItem> {
+        self.expect_kw("relation")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let dtype = self.dtype()?;
+            attrs.push((attr, dtype));
+            if self.peek() == Some(&Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Semi)?;
+        Ok(SItem::RelationDecl { name, attrs })
+    }
+
+    fn dtype(&mut self) -> LangResult<DataType> {
+        let pos = self.here();
+        let name = self.ident()?;
+        match name.as_str() {
+            "bool" => Ok(DataType::Bool),
+            "int" => Ok(DataType::Int),
+            "real" => Ok(DataType::Real),
+            "str" | "string" => Ok(DataType::Str),
+            "date" => Ok(DataType::Date),
+            "time" => Ok(DataType::Time),
+            "money" => Ok(DataType::Money),
+            other => Err(LangError::parse(pos, format!("unknown type '{other}'"))),
+        }
+    }
+
+    fn program(&mut self, terminator: Option<&str>) -> LangResult<SProgram> {
+        let mut statements = vec![self.stmt()?];
+        while self.peek() == Some(&Token::Semi) {
+            self.bump();
+            let done = match terminator {
+                Some(kw) => self.at_kw(kw) || self.at_end(),
+                None => self.at_end(),
+            };
+            if done {
+                break;
+            }
+            statements.push(self.stmt()?);
+        }
+        Ok(SProgram { statements })
+    }
+
+    fn stmt(&mut self) -> LangResult<SStmt> {
+        if self.peek() == Some(&Token::Question) {
+            self.bump();
+            return Ok(SStmt::Query { expr: self.rel()? });
+        }
+        if self.at_kw("insert") || self.at_kw("delete") {
+            let is_insert = self.at_kw("insert");
+            self.bump();
+            self.expect(&Token::LParen)?;
+            let relation = self.ident()?;
+            self.expect(&Token::Comma)?;
+            let expr = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(if is_insert {
+                SStmt::Insert { relation, expr }
+            } else {
+                SStmt::Delete { relation, expr }
+            });
+        }
+        if self.eat_kw("update") {
+            self.expect(&Token::LParen)?;
+            let relation = self.ident()?;
+            self.expect(&Token::Comma)?;
+            let expr = self.rel()?;
+            self.expect(&Token::Comma)?;
+            self.expect(&Token::LParen)?;
+            let mut exprs = vec![self.scalar()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.bump();
+                exprs.push(self.scalar()?);
+            }
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::RParen)?;
+            return Ok(SStmt::Update {
+                relation,
+                expr,
+                exprs,
+            });
+        }
+        // assignment: IDENT '=' rel
+        if matches!(self.peek(), Some(Token::Ident(_))) && self.peek2() == Some(&Token::Eq) {
+            let name = self.ident()?;
+            self.expect(&Token::Eq)?;
+            return Ok(SStmt::Assign {
+                name,
+                expr: self.rel()?,
+            });
+        }
+        Err(LangError::parse(
+            self.here(),
+            format!(
+                "expected a statement, found '{}'",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // relational expressions
+    // ------------------------------------------------------------------
+
+    fn rel(&mut self) -> LangResult<SRel> {
+        let mut left = self.rel_term()?;
+        loop {
+            let op = if self.at_kw("union") {
+                SRelOp::Union
+            } else if self.at_kw("minus") {
+                SRelOp::Minus
+            } else if self.at_kw("intersect") {
+                SRelOp::Intersect
+            } else if self.at_kw("times") {
+                SRelOp::Times
+            } else {
+                break;
+            };
+            self.bump();
+            let right = self.rel_term()?;
+            left = match op {
+                SRelOp::Union => SRel::Union(Box::new(left), Box::new(right)),
+                SRelOp::Minus => SRel::Minus(Box::new(left), Box::new(right)),
+                SRelOp::Intersect => SRel::Intersect(Box::new(left), Box::new(right)),
+                SRelOp::Times => SRel::Times(Box::new(left), Box::new(right)),
+            };
+        }
+        Ok(left)
+    }
+
+    fn rel_term(&mut self) -> LangResult<SRel> {
+        if self.eat_kw("select") {
+            self.expect(&Token::LBracket)?;
+            let predicate = self.scalar()?;
+            self.expect(&Token::RBracket)?;
+            self.expect(&Token::LParen)?;
+            let input = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::Select {
+                input: Box::new(input),
+                predicate,
+            });
+        }
+        if self.eat_kw("project") {
+            self.expect(&Token::LBracket)?;
+            let mut exprs = vec![self.scalar()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.bump();
+                exprs.push(self.scalar()?);
+            }
+            self.expect(&Token::RBracket)?;
+            self.expect(&Token::LParen)?;
+            let input = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::Project {
+                input: Box::new(input),
+                exprs,
+            });
+        }
+        if self.eat_kw("join") {
+            self.expect(&Token::LBracket)?;
+            let predicate = self.scalar()?;
+            self.expect(&Token::RBracket)?;
+            self.expect(&Token::LParen)?;
+            let left = self.rel()?;
+            self.expect(&Token::Comma)?;
+            let right = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                predicate,
+            });
+        }
+        if self.eat_kw("unique") {
+            self.expect(&Token::LParen)?;
+            let input = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::Unique(Box::new(input)));
+        }
+        if self.eat_kw("closure") {
+            self.expect(&Token::LParen)?;
+            let input = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::Closure(Box::new(input)));
+        }
+        if self.eat_kw("groupby") {
+            self.expect(&Token::LBracket)?;
+            self.expect(&Token::LParen)?;
+            let mut keys = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                keys.push(self.attr_ref()?);
+                while self.peek() == Some(&Token::Comma) {
+                    self.bump();
+                    keys.push(self.attr_ref()?);
+                }
+            }
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::Comma)?;
+            let agg = self.ident()?;
+            self.expect(&Token::Comma)?;
+            let attr = self.attr_ref()?;
+            self.expect(&Token::RBracket)?;
+            self.expect(&Token::LParen)?;
+            let input = self.rel()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SRel::GroupBy {
+                input: Box::new(input),
+                keys,
+                agg,
+                attr: Box::new(attr),
+            });
+        }
+        if self.eat_kw("values") {
+            self.expect(&Token::LParen)?;
+            let mut types = vec![self.dtype()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.bump();
+                types.push(self.dtype()?);
+            }
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::LBrace)?;
+            let mut rows = Vec::new();
+            if self.peek() != Some(&Token::RBrace) {
+                rows.push(self.row()?);
+                while self.peek() == Some(&Token::Comma) {
+                    self.bump();
+                    rows.push(self.row()?);
+                }
+            }
+            self.expect(&Token::RBrace)?;
+            return Ok(SRel::Values { types, rows });
+        }
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.rel()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(_)) => Ok(SRel::Name(self.ident()?)),
+            other => Err(LangError::parse(
+                self.here(),
+                format!(
+                    "expected a relational expression, found '{}'",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            )),
+        }
+    }
+
+    fn row(&mut self) -> LangResult<Vec<SLiteral>> {
+        self.expect(&Token::LParen)?;
+        let mut vals = vec![self.literal()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.bump();
+            vals.push(self.literal()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(vals)
+    }
+
+    fn literal(&mut self) -> LangResult<SLiteral> {
+        let pos = self.here();
+        let negate = if self.peek() == Some(&Token::Minus) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(SLiteral::Int(if negate { -v } else { v })),
+            Some(Token::Real(v)) => Ok(SLiteral::Real(if negate { -v } else { v })),
+            Some(Token::Str(s)) if !negate => Ok(SLiteral::Str(s)),
+            Some(Token::Ident(s)) if s == "true" && !negate => Ok(SLiteral::Bool(true)),
+            Some(Token::Ident(s)) if s == "false" && !negate => Ok(SLiteral::Bool(false)),
+            other => Err(LangError::parse(
+                pos,
+                format!(
+                    "expected a literal, found '{}'",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            )),
+        }
+    }
+
+    /// An attribute reference: `%i` or a bare name.
+    fn attr_ref(&mut self) -> LangResult<SScalar> {
+        match self.peek() {
+            Some(Token::AttrIndex(i)) => {
+                let i = *i;
+                self.bump();
+                Ok(SScalar::AttrIndex(i))
+            }
+            Some(Token::Ident(_)) => Ok(SScalar::AttrName(self.ident()?)),
+            other => Err(LangError::parse(
+                self.here(),
+                format!(
+                    "expected an attribute reference, found '{}'",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // scalar expressions
+    // ------------------------------------------------------------------
+
+    fn scalar(&mut self) -> LangResult<SScalar> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> LangResult<SScalar> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SScalar::Binary(SBinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> LangResult<SScalar> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = SScalar::Binary(SBinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> LangResult<SScalar> {
+        if self.eat_kw("not") {
+            Ok(SScalar::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> LangResult<SScalar> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => SBinOp::Eq,
+            Some(Token::Ne) => SBinOp::Ne,
+            Some(Token::Lt) => SBinOp::Lt,
+            Some(Token::Le) => SBinOp::Le,
+            Some(Token::Gt) => SBinOp::Gt,
+            Some(Token::Ge) => SBinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        Ok(SScalar::Binary(op, Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> LangResult<SScalar> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => SBinOp::Add,
+                Some(Token::Minus) => SBinOp::Sub,
+                Some(Token::Concat) => SBinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = SScalar::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> LangResult<SScalar> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => SBinOp::Mul,
+                Some(Token::Slash) => SBinOp::Div,
+                Some(Token::Ident(s)) if s == "mod" => SBinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary_expr()?;
+            left = SScalar::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> LangResult<SScalar> {
+        if self.peek() == Some(&Token::Minus) {
+            self.bump();
+            return Ok(SScalar::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> LangResult<SScalar> {
+        match self.peek() {
+            Some(Token::AttrIndex(i)) => {
+                let i = *i;
+                self.bump();
+                Ok(SScalar::AttrIndex(i))
+            }
+            Some(Token::Int(v)) => {
+                let v = *v;
+                self.bump();
+                Ok(SScalar::Int(v))
+            }
+            Some(Token::Real(v)) => {
+                let v = *v;
+                self.bump();
+                Ok(SScalar::Real(v))
+            }
+            Some(Token::Str(_)) => {
+                if let Some(Token::Str(s)) = self.bump() {
+                    Ok(SScalar::Str(s))
+                } else {
+                    unreachable!("peek said Str")
+                }
+            }
+            Some(Token::Ident(s)) if s == "true" => {
+                self.bump();
+                Ok(SScalar::Bool(true))
+            }
+            Some(Token::Ident(s)) if s == "false" => {
+                self.bump();
+                Ok(SScalar::Bool(false))
+            }
+            Some(Token::Ident(_)) => Ok(SScalar::AttrName(self.ident()?)),
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.scalar()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(LangError::parse(
+                self.here(),
+                format!(
+                    "expected a scalar expression, found '{}'",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ),
+            )),
+        }
+    }
+}
+
+enum SRelOp {
+    Union,
+    Minus,
+    Intersect,
+    Times,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_parses() {
+        // names of beers brewed in the Netherlands
+        let src = "project[%1](select[country = 'NL'](join[%2 = %4](beer, brewery)))";
+        let rel = parse_rel(src).expect("parses");
+        let SRel::Project { input, exprs } = rel else {
+            panic!("expected project at root");
+        };
+        assert_eq!(exprs, vec![SScalar::AttrIndex(1)]);
+        assert!(matches!(*input, SRel::Select { .. }));
+    }
+
+    #[test]
+    fn binary_rel_ops_left_assoc() {
+        let rel = parse_rel("a union b minus c").expect("parses");
+        assert!(matches!(rel, SRel::Minus(l, _) if matches!(*l, SRel::Union(..))));
+        let rel = parse_rel("a times (b intersect c)").expect("parses");
+        assert!(matches!(rel, SRel::Times(_, r) if matches!(*r, SRel::Intersect(..))));
+    }
+
+    #[test]
+    fn groupby_parses_with_and_without_keys() {
+        let rel = parse_rel("groupby[(country), AVG, alcperc](beer)").expect("parses");
+        let SRel::GroupBy { keys, agg, attr, .. } = rel else {
+            panic!("expected group-by");
+        };
+        assert_eq!(keys, vec![SScalar::AttrName("country".into())]);
+        assert_eq!(agg, "AVG");
+        assert_eq!(*attr, SScalar::AttrName("alcperc".into()));
+
+        let rel = parse_rel("groupby[(), CNT, %1](beer)").expect("parses");
+        assert!(matches!(rel, SRel::GroupBy { keys, .. } if keys.is_empty()));
+    }
+
+    #[test]
+    fn values_literal_parses() {
+        let rel = parse_rel("values (int, str) {(1, 'a'), (1, 'a'), (-2, 'b')}").expect("parses");
+        let SRel::Values { types, rows } = rel else {
+            panic!("expected values");
+        };
+        assert_eq!(types, vec![DataType::Int, DataType::Str]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2][0], SLiteral::Int(-2));
+        // empty literal
+        let rel = parse_rel("values (bool) {}").expect("parses");
+        assert!(matches!(rel, SRel::Values { rows, .. } if rows.is_empty()));
+    }
+
+    #[test]
+    fn scalar_precedence() {
+        // 1 + 2 * 3 = 7 and %1 > 0  →  ((1 + (2*3)) = 7) and (%1 > 0)
+        let rel = parse_rel("select[1 + 2 * 3 = 7 and %1 > 0](r)").expect("parses");
+        let SRel::Select { predicate, .. } = rel else {
+            panic!("expected select");
+        };
+        let SScalar::Binary(SBinOp::And, l, _) = predicate else {
+            panic!("expected and at top, got {predicate:?}");
+        };
+        let SScalar::Binary(SBinOp::Eq, sum, _) = *l else {
+            panic!("expected = under and");
+        };
+        assert!(matches!(*sum, SScalar::Binary(SBinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let p = parse_program(
+            "insert(beer, values (str) {('X')}); \
+             delete(beer, select[%1 = 'X'](beer)); \
+             update(beer, beer, (%1)); \
+             t = project[%1](beer); \
+             ?t",
+        )
+        .expect("parses");
+        assert_eq!(p.statements.len(), 5);
+        assert!(matches!(p.statements[0], SStmt::Insert { .. }));
+        assert!(matches!(p.statements[2], SStmt::Update { ref exprs, .. } if exprs.len() == 1));
+        assert!(matches!(p.statements[3], SStmt::Assign { .. }));
+        assert!(matches!(p.statements[4], SStmt::Query { .. }));
+    }
+
+    #[test]
+    fn script_with_ddl_and_transaction() {
+        let s = parse_script(
+            "relation beer (name: str, brewery: str, alcperc: real);\n\
+             begin\n  insert(beer, values (str, str, real) {('G','G',5.0)});\n  ?beer;\nend;\n\
+             ?beer;",
+        )
+        .expect("parses");
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(s.items[0], SItem::RelationDecl { ref attrs, .. } if attrs.len() == 3));
+        assert!(matches!(s.items[1], SItem::Transaction(ref p) if p.statements.len() == 2));
+        assert!(matches!(s.items[2], SItem::Statement(_)));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_rel("select[%1 = ](beer)").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }), "{err}");
+        let err = parse_rel("project[](r)").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+        let err = parse_script("relation r (a: b);").unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+        let err = parse_rel("a union").unwrap_err();
+        assert!(err.to_string().contains("end of input"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_rel("beer beer").is_err());
+        assert!(parse_program("?beer extra").is_err());
+    }
+
+    #[test]
+    fn not_and_negation() {
+        let rel = parse_rel("select[not %1 = 1 and %2 = -3](r)").expect("parses");
+        let SRel::Select { predicate, .. } = rel else {
+            panic!();
+        };
+        // not binds tighter than and: (not (%1=1)) and (%2=-3)
+        let SScalar::Binary(SBinOp::And, l, r) = predicate else {
+            panic!("expected and");
+        };
+        assert!(matches!(*l, SScalar::Not(_)));
+        let SScalar::Binary(SBinOp::Eq, _, neg) = *r else {
+            panic!("expected =");
+        };
+        assert!(matches!(*neg, SScalar::Neg(_)));
+    }
+}

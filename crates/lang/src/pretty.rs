@@ -1,0 +1,228 @@
+//! Pretty-printer: typed algebra back to parseable XRA source.
+//!
+//! `parse(print(e))` lowers back to `e` for every expressible tree — the
+//! round-trip property checked in `tests/roundtrip.rs`. Attribute
+//! references are always printed in the paper's prefixed-index form, which
+//! is resolution-free.
+
+use mera_expr::{ArithOp, CmpOp, RelExpr, ScalarExpr};
+use mera_txn::{Program, Statement};
+
+/// Renders a relational expression as parseable XRA source.
+pub fn rel_to_xra(expr: &RelExpr) -> String {
+    match expr {
+        RelExpr::Scan(name) => name.clone(),
+        RelExpr::Values(rel) => {
+            let mut s = String::from("values (");
+            for (i, a) in rel.schema().attributes().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&a.dtype.to_string());
+            }
+            s.push_str(") {");
+            for (i, (t, m)) in rel.sorted_pairs().iter().enumerate() {
+                for k in 0..*m {
+                    if i > 0 || k > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push('(');
+                    for (j, v) in t.values().iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&v.to_string());
+                    }
+                    s.push(')');
+                }
+            }
+            s.push('}');
+            s
+        }
+        RelExpr::Union(l, r) => format!("({} union {})", rel_to_xra(l), rel_to_xra(r)),
+        RelExpr::Difference(l, r) => format!("({} minus {})", rel_to_xra(l), rel_to_xra(r)),
+        RelExpr::Intersect(l, r) => {
+            format!("({} intersect {})", rel_to_xra(l), rel_to_xra(r))
+        }
+        RelExpr::Product(l, r) => format!("({} times {})", rel_to_xra(l), rel_to_xra(r)),
+        RelExpr::Select { input, predicate } => {
+            format!("select[{}]({})", scalar_to_xra(predicate), rel_to_xra(input))
+        }
+        RelExpr::Project { input, attrs } => {
+            let list: Vec<String> = attrs.indexes().iter().map(|i| format!("%{i}")).collect();
+            format!("project[{}]({})", list.join(", "), rel_to_xra(input))
+        }
+        RelExpr::ExtProject { input, exprs } => {
+            let list: Vec<String> = exprs.iter().map(scalar_to_xra).collect();
+            format!("project[{}]({})", list.join(", "), rel_to_xra(input))
+        }
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => format!(
+            "join[{}]({}, {})",
+            scalar_to_xra(predicate),
+            rel_to_xra(left),
+            rel_to_xra(right)
+        ),
+        RelExpr::Distinct(input) => format!("unique({})", rel_to_xra(input)),
+        RelExpr::Closure(input) => format!("closure({})", rel_to_xra(input)),
+        RelExpr::GroupBy {
+            input,
+            keys,
+            agg,
+            attr,
+        } => {
+            let list: Vec<String> = keys.iter().map(|i| format!("%{i}")).collect();
+            format!(
+                "groupby[({}), {}, %{}]({})",
+                list.join(", "),
+                agg.name(),
+                attr,
+                rel_to_xra(input)
+            )
+        }
+    }
+}
+
+/// Renders a scalar expression as parseable XRA source.
+pub fn scalar_to_xra(e: &ScalarExpr) -> String {
+    use mera_core::value::Value;
+    match e {
+        ScalarExpr::Attr(i) => format!("%{i}"),
+        ScalarExpr::Literal(v) => match v {
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Real(r) => {
+                // ensure reals keep a decimal point so they re-lex as reals
+                let s = r.get().to_string();
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            other => other.to_string(),
+        },
+        ScalarExpr::Arith(op, l, r) => {
+            let op = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+                ArithOp::Mod => "mod",
+            };
+            format!("({} {} {})", scalar_to_xra(l), op, scalar_to_xra(r))
+        }
+        ScalarExpr::Neg(inner) => format!("(-{})", scalar_to_xra(inner)),
+        ScalarExpr::Cmp(op, l, r) => {
+            let op = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {} {})", scalar_to_xra(l), op, scalar_to_xra(r))
+        }
+        ScalarExpr::And(l, r) => format!("({} and {})", scalar_to_xra(l), scalar_to_xra(r)),
+        ScalarExpr::Or(l, r) => format!("({} or {})", scalar_to_xra(l), scalar_to_xra(r)),
+        ScalarExpr::Not(inner) => format!("(not {})", scalar_to_xra(inner)),
+        ScalarExpr::Concat(l, r) => {
+            format!("({} || {})", scalar_to_xra(l), scalar_to_xra(r))
+        }
+    }
+}
+
+/// Renders a statement as parseable XRA source.
+pub fn stmt_to_xra(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Insert { relation, expr } => {
+            format!("insert({relation}, {})", rel_to_xra(expr))
+        }
+        Statement::Delete { relation, expr } => {
+            format!("delete({relation}, {})", rel_to_xra(expr))
+        }
+        Statement::Update {
+            relation,
+            expr,
+            exprs,
+        } => {
+            let list: Vec<String> = exprs.iter().map(scalar_to_xra).collect();
+            format!(
+                "update({relation}, {}, ({}))",
+                rel_to_xra(expr),
+                list.join(", ")
+            )
+        }
+        Statement::Assign { name, expr } => format!("{name} = {}", rel_to_xra(expr)),
+        Statement::Query { expr } => format!("?{}", rel_to_xra(expr)),
+    }
+}
+
+/// Renders a program as parseable XRA source (one statement per line).
+pub fn program_to_xra(program: &Program) -> String {
+    program
+        .statements
+        .iter()
+        .map(stmt_to_xra)
+        .collect::<Vec<_>>()
+        .join(";\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::Aggregate;
+
+    #[test]
+    fn renders_example_3_1() {
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .select(ScalarExpr::attr(6).eq(ScalarExpr::str("NL")))
+            .project(&[1]);
+        assert_eq!(
+            rel_to_xra(&e),
+            "project[%1](select[(%6 = 'NL')](join[(%2 = %4)](beer, brewery)))"
+        );
+    }
+
+    #[test]
+    fn renders_groupby_and_unique() {
+        let e = RelExpr::scan("beer")
+            .group_by(&[2], Aggregate::Avg, 3)
+            .distinct();
+        assert_eq!(rel_to_xra(&e), "unique(groupby[(%2), AVG, %3](beer))");
+    }
+
+    #[test]
+    fn reals_keep_decimal_point() {
+        let e = ScalarExpr::real(5.0);
+        assert_eq!(scalar_to_xra(&e), "5.0");
+        let e = ScalarExpr::real(1.25);
+        assert_eq!(scalar_to_xra(&e), "1.25");
+    }
+
+    #[test]
+    fn strings_escape_quotes() {
+        let e = ScalarExpr::str("it's");
+        assert_eq!(scalar_to_xra(&e), "'it''s'");
+    }
+
+    #[test]
+    fn statement_rendering() {
+        let s = Statement::update(
+            "beer",
+            RelExpr::scan("beer"),
+            vec![ScalarExpr::attr(1), ScalarExpr::attr(2).mul(ScalarExpr::real(1.1))],
+        );
+        assert_eq!(
+            stmt_to_xra(&s),
+            "update(beer, beer, (%1, (%2 * 1.1)))"
+        );
+    }
+}

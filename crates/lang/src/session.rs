@@ -1,0 +1,198 @@
+//! An interactive session: parse → lower → run as transactions.
+//!
+//! [`Session`] is the glue a REPL or script runner needs: it owns a
+//! database state, accepts XRA source, lowers each transaction and runs it
+//! with atomic commit/abort semantics, returning rendered query outputs.
+
+use mera_core::prelude::*;
+use mera_txn::exec::ExecConfig;
+use mera_txn::transaction::{run_transaction, Outcome};
+use mera_txn::Program;
+
+use crate::error::{LangError, LangResult};
+use crate::lower::lower_script;
+use crate::parser::parse_script;
+
+/// The result of running one transaction in a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunResult {
+    /// Committed; the relations are the `?E` outputs in statement order.
+    Committed(Vec<Relation>),
+    /// Aborted with a rendered reason; the database is unchanged.
+    Aborted(String),
+}
+
+/// A stateful XRA session.
+pub struct Session {
+    db: Database,
+    config: ExecConfig,
+}
+
+impl Session {
+    /// A fresh session with an empty database schema.
+    pub fn new() -> Self {
+        Session {
+            db: Database::new(DatabaseSchema::new()),
+            config: ExecConfig::default(),
+        }
+    }
+
+    /// A session over an existing database state.
+    pub fn with_database(db: Database) -> Self {
+        Session {
+            db,
+            config: ExecConfig::default(),
+        }
+    }
+
+    /// Overrides the execution configuration.
+    pub fn set_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+
+    /// The current database state.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Runs a whole script: declarations extend the schema immediately;
+    /// each transaction (or bare statement) runs atomically. Returns one
+    /// [`RunResult`] per transaction.
+    ///
+    /// A semantic or parse error anywhere in the script aborts the whole
+    /// call *before* any transaction runs only for parse errors;
+    /// declarations and transactions are otherwise applied in order (a
+    /// failing transaction aborts itself, not the script).
+    pub fn run_script(&mut self, src: &str) -> LangResult<Vec<RunResult>> {
+        let script = parse_script(src)?;
+        // declarations must be visible to lowering: lower against the
+        // session's schema extended with the script's declarations
+        let lowered = lower_script(&script, self.db.schema())?;
+        for decl in lowered.declarations {
+            self.db.add_relation(decl)?;
+        }
+        let mut results = Vec::with_capacity(lowered.transactions.len());
+        for program in &lowered.transactions {
+            results.push(self.run_program(program));
+        }
+        Ok(results)
+    }
+
+    /// Runs one already-lowered program as a transaction.
+    pub fn run_program(&mut self, program: &Program) -> RunResult {
+        let (next, outcome) = run_transaction(&self.db, program, self.config, None);
+        self.db = next;
+        match outcome {
+            Outcome::Committed(outputs) => RunResult::Committed(outputs.queries),
+            Outcome::Aborted(reason) => RunResult::Aborted(reason.to_string()),
+        }
+    }
+
+    /// Evaluates a single relational expression (as `?E`) without touching
+    /// the database — the REPL's expression mode.
+    pub fn query(&self, src: &str) -> LangResult<Relation> {
+        let rel = crate::parser::parse_rel(src)?;
+        let lowerer = crate::lower::Lowerer::new(self.db.schema());
+        let expr = lowerer.lower_rel(&rel)?;
+        let state = mera_txn::WorkingState::new(self.db.clone());
+        mera_txn::exec::eval_expr(&state, &expr, self.config).map_err(LangError::Semantic)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+
+    #[test]
+    fn script_end_to_end() {
+        let mut session = Session::new();
+        let results = session
+            .run_script(
+                "relation beer (name: str, brewery: str, alcperc: real);\n\
+                 begin\n\
+                   insert(beer, values (str, str, real) {\n\
+                     ('Grolsch', 'Grolsche', 5.0),\n\
+                     ('GuinekenPils', 'Guineken', 5.0)\n\
+                   });\n\
+                 end;\n\
+                 ?select[brewery = 'Guineken'](beer);",
+            )
+            .expect("script runs");
+        assert_eq!(results.len(), 2);
+        let RunResult::Committed(ref outs) = results[1] else {
+            panic!("query transaction committed");
+        };
+        assert_eq!(outs[0].len(), 1);
+        assert!(outs[0].contains(&tuple!["GuinekenPils", "Guineken", 5.0_f64]));
+    }
+
+    #[test]
+    fn example_4_1_via_source() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation beer (name: str, brewery: str, alcperc: real);\n\
+                 insert(beer, values (str, str, real) {('GuinekenPils','Guineken',5.0)});",
+            )
+            .expect("setup");
+        let results = session
+            .run_script(
+                "update(beer, select[brewery = 'Guineken'](beer),\n\
+                         (name, brewery, alcperc * 1.1));\n\
+                 ?beer;",
+            )
+            .expect("update runs");
+        let RunResult::Committed(ref outs) = results[1] else {
+            panic!("committed");
+        };
+        assert!(outs[0].contains(&tuple!["GuinekenPils", "Guineken", 5.5_f64]));
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_database_unchanged() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int);")
+            .expect("declares");
+        let results = session
+            .run_script(
+                "begin\n\
+                   insert(r, values (int) {(1)});\n\
+                   ?groupby[(), AVG, %1](select[false](r));\n\
+                 end;",
+            )
+            .expect("script parses and lowers");
+        assert!(matches!(results[0], RunResult::Aborted(ref m) if m.contains("AVG")));
+        // the insert rolled back
+        let out = session.query("r").expect("queries");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn query_mode_is_side_effect_free() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int); insert(r, values (int) {(1),(1)});")
+            .expect("setup");
+        let before = session.database().clone();
+        let out = session.query("unique(r)").expect("queries");
+        assert_eq!(out.len(), 1);
+        assert_eq!(session.database(), &before);
+    }
+
+    #[test]
+    fn parse_errors_do_not_mutate() {
+        let mut session = Session::new();
+        session.run_script("relation r (a: int);").expect("setup");
+        let before = session.database().clone();
+        assert!(session.run_script("insert(r values);").is_err());
+        assert_eq!(session.database(), &before);
+    }
+}

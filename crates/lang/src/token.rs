@@ -1,0 +1,435 @@
+//! Tokens and the hand-rolled lexer for the XRA-style language.
+//!
+//! The surface syntax is an ASCII rendering of the paper's notation:
+//! `select[…](E)` for `σ`, `project[…](E)` for `π`, `union`/`minus`/
+//! `intersect`/`times` for `⊎ − ∩ ×`, `unique(E)` for `δ`, and
+//! `groupby[(keys), AGG, attr](E)` for `γ`. Attributes are written with
+//! the paper's prefix form `%i` or by name.
+
+use std::fmt;
+
+use crate::error::{LangError, LangResult, Pos};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised by the parser so
+    /// identifiers stay maximally permissive).
+    Ident(String),
+    /// Prefixed attribute index `%i`.
+    AttrIndex(usize),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (contains a decimal point or exponent).
+    Real(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `.` (qualified names in the SQL front-end).
+    Dot,
+    /// `?`.
+    Question,
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::AttrIndex(i) => write!(f, "%{i}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Real(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Question => write!(f, "?"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Concat => write!(f, "||"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lexes a source string into tokens. `--` starts a comment to end of
+/// line.
+pub fn lex(src: &str) -> LangResult<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let push_simple = |out: &mut Vec<Spanned>, token: Token, line: u32, col: u32| {
+        out.push(Spanned {
+            token,
+            pos: Pos { line, col },
+        });
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        macro_rules! advance {
+            ($n:expr) => {{
+                i += $n;
+                col += $n as u32;
+            }};
+        }
+        match c {
+            ' ' | '\t' | '\r' => advance!(1),
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push_simple(&mut out, Token::LParen, line, col);
+                advance!(1);
+            }
+            ')' => {
+                push_simple(&mut out, Token::RParen, line, col);
+                advance!(1);
+            }
+            '[' => {
+                push_simple(&mut out, Token::LBracket, line, col);
+                advance!(1);
+            }
+            ']' => {
+                push_simple(&mut out, Token::RBracket, line, col);
+                advance!(1);
+            }
+            '{' => {
+                push_simple(&mut out, Token::LBrace, line, col);
+                advance!(1);
+            }
+            '}' => {
+                push_simple(&mut out, Token::RBrace, line, col);
+                advance!(1);
+            }
+            ',' => {
+                push_simple(&mut out, Token::Comma, line, col);
+                advance!(1);
+            }
+            ';' => {
+                push_simple(&mut out, Token::Semi, line, col);
+                advance!(1);
+            }
+            ':' => {
+                push_simple(&mut out, Token::Colon, line, col);
+                advance!(1);
+            }
+            '.' => {
+                push_simple(&mut out, Token::Dot, line, col);
+                advance!(1);
+            }
+            '?' => {
+                push_simple(&mut out, Token::Question, line, col);
+                advance!(1);
+            }
+            '=' => {
+                push_simple(&mut out, Token::Eq, line, col);
+                advance!(1);
+            }
+            '+' => {
+                push_simple(&mut out, Token::Plus, line, col);
+                advance!(1);
+            }
+            '-' => {
+                push_simple(&mut out, Token::Minus, line, col);
+                advance!(1);
+            }
+            '*' => {
+                push_simple(&mut out, Token::Star, line, col);
+                advance!(1);
+            }
+            '/' => {
+                push_simple(&mut out, Token::Slash, line, col);
+                advance!(1);
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                push_simple(&mut out, Token::Concat, line, col);
+                advance!(2);
+            }
+            '<' => {
+                let token = match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        advance!(2);
+                        Token::Le
+                    }
+                    Some(b'>') => {
+                        advance!(2);
+                        Token::Ne
+                    }
+                    _ => {
+                        advance!(1);
+                        Token::Lt
+                    }
+                };
+                out.push(Spanned { token, pos });
+            }
+            '>' => {
+                let token = if bytes.get(i + 1) == Some(&b'=') {
+                    advance!(2);
+                    Token::Ge
+                } else {
+                    advance!(1);
+                    Token::Gt
+                };
+                out.push(Spanned { token, pos });
+            }
+            '%' => {
+                // prefixed attribute index
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LangError::lex(pos, "expected digits after '%'"));
+                }
+                let n: usize = src[start..j]
+                    .parse()
+                    .map_err(|_| LangError::lex(pos, "attribute index too large"))?;
+                out.push(Spanned {
+                    token: Token::AttrIndex(n),
+                    pos,
+                });
+                let len = j - i;
+                advance!(len);
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(LangError::lex(pos, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    pos,
+                });
+                let len = j - i;
+                advance!(len);
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_real = false;
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_real = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[start..j];
+                let token = if is_real {
+                    Token::Real(
+                        text.parse()
+                            .map_err(|_| LangError::lex(pos, "invalid real literal"))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| LangError::lex(pos, "integer literal too large"))?,
+                    )
+                };
+                out.push(Spanned { token, pos });
+                let len = j - i;
+                advance!(len);
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[start..j].to_owned()),
+                    pos,
+                });
+                let len = j - i;
+                advance!(len);
+            }
+            other => {
+                return Err(LangError::lex(pos, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).expect("lexes").into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("select[%1 = 5](beer)"),
+            vec![
+                Token::Ident("select".into()),
+                Token::LBracket,
+                Token::AttrIndex(1),
+                Token::Eq,
+                Token::Int(5),
+                Token::RBracket,
+                Token::LParen,
+                Token::Ident("beer".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_reals() {
+        assert_eq!(toks("42 1.5 0.25"), vec![
+            Token::Int(42),
+            Token::Real(1.5),
+            Token::Real(0.25),
+        ]);
+        // a real literal requires digits after the point; a separated '.'
+        // lexes as the qualified-name dot
+        assert_eq!(toks("3 ."), vec![Token::Int(3), Token::Dot]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("'Guineken' 'it''s'"),
+            vec![Token::Str("Guineken".into()), Token::Str("it's".into())]
+        );
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = <>"),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        assert_eq!(
+            toks("a -- the rest is ignored\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn attr_index_requires_digits() {
+        assert!(lex("%x").is_err());
+        assert_eq!(toks("%12"), vec![Token::AttrIndex(12)]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("a\n  b").expect("lexes");
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(toks("a || b"), vec![
+            Token::Ident("a".into()),
+            Token::Concat,
+            Token::Ident("b".into()),
+        ]);
+        assert!(lex("a | b").is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Cardinality estimation and a simple cost model.
+//!
+//! Standard System-R-style selectivities over the bag algebra. Estimates
+//! are heuristics — their only job is to rank alternative plans (join
+//! orders, rule ablations), not to be accurate in absolute terms.
+
+use mera_core::prelude::*;
+use mera_expr::{CmpOp, RelExpr, ScalarExpr};
+
+use crate::stats::CatalogStats;
+
+/// Default row count assumed for relations without statistics.
+const DEFAULT_ROWS: f64 = 1000.0;
+/// Default selectivity of a predicate we cannot analyse.
+const DEFAULT_SELECTIVITY: f64 = 0.1;
+/// Selectivity of a range comparison.
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Estimated output cardinality of an expression.
+pub fn estimate_rows(expr: &RelExpr, stats: &CatalogStats) -> f64 {
+    match expr {
+        RelExpr::Scan(name) => stats
+            .get(name)
+            .map(|t| t.rows as f64)
+            .unwrap_or(DEFAULT_ROWS),
+        RelExpr::Values(rel) => rel.len() as f64,
+        RelExpr::Union(l, r) => estimate_rows(l, stats) + estimate_rows(r, stats),
+        RelExpr::Difference(l, _) => estimate_rows(l, stats), // upper bound
+        RelExpr::Intersect(l, r) => estimate_rows(l, stats).min(estimate_rows(r, stats)),
+        RelExpr::Product(l, r) => estimate_rows(l, stats) * estimate_rows(r, stats),
+        RelExpr::Select { input, predicate } => {
+            estimate_rows(input, stats) * selectivity(predicate, input, stats)
+        }
+        RelExpr::Project { input, .. } | RelExpr::ExtProject { input, .. } => {
+            estimate_rows(input, stats)
+        }
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let cross = estimate_rows(left, stats) * estimate_rows(right, stats);
+            cross * join_selectivity(predicate, left, right, stats)
+        }
+        RelExpr::Distinct(input) => {
+            // distinct keeps at most the input cardinality; assume a 2:1
+            // duplication factor absent real statistics
+            (estimate_rows(input, stats) / 2.0).max(1.0)
+        }
+        RelExpr::Closure(input) => {
+            // closure of n distinct edges has between n and d² pairs where
+            // d is the node count; assume modest fan-out
+            let rows = estimate_rows(input, stats);
+            (rows * 4.0).max(1.0)
+        }
+        RelExpr::GroupBy { input, keys, .. } => {
+            if keys.is_empty() {
+                1.0
+            } else {
+                // number of groups ≈ product of key distincts, capped by
+                // the input size
+                let rows = estimate_rows(input, stats);
+                let groups = keys
+                    .iter()
+                    .map(|&k| column_distinct(input, k, stats))
+                    .product::<f64>();
+                groups.min(rows).max(1.0)
+            }
+        }
+    }
+}
+
+/// Estimated distinct count of a column of an expression's output.
+fn column_distinct(expr: &RelExpr, attr: usize, stats: &CatalogStats) -> f64 {
+    match expr {
+        RelExpr::Scan(name) => stats
+            .get(name)
+            .map(|t| t.column_distinct(attr) as f64)
+            .unwrap_or(DEFAULT_ROWS.sqrt()),
+        RelExpr::Values(rel) => {
+            // exact for literals
+            let mut seen = std::collections::HashSet::new();
+            for t in rel.support() {
+                if let Ok(v) = t.attr(attr) {
+                    seen.insert(v.clone());
+                }
+            }
+            (seen.len() as f64).max(1.0)
+        }
+        RelExpr::Select { input, .. } | RelExpr::Distinct(input) => {
+            column_distinct(input, attr, stats)
+        }
+        RelExpr::Project { input, attrs } => attrs
+            .indexes()
+            .get(attr.wrapping_sub(1))
+            .map(|&orig| column_distinct(input, orig, stats))
+            .unwrap_or(DEFAULT_ROWS.sqrt()),
+        RelExpr::Product(l, r) | RelExpr::Union(l, r) => {
+            // map through the left side when in range, else the right
+            let la = arity_guess(l, stats);
+            if attr <= la {
+                column_distinct(l, attr, stats)
+            } else {
+                column_distinct(r, attr - la, stats)
+            }
+        }
+        RelExpr::Join { left, right, .. } => {
+            let la = arity_guess(left, stats);
+            if attr <= la {
+                column_distinct(left, attr, stats)
+            } else {
+                column_distinct(right, attr - la, stats)
+            }
+        }
+        _ => estimate_rows(expr, stats).sqrt().max(1.0),
+    }
+}
+
+/// Best-effort arity without a schema provider (estimation never fails).
+fn arity_guess(expr: &RelExpr, stats: &CatalogStats) -> usize {
+    match expr {
+        RelExpr::Scan(name) => stats.get(name).map(|t| t.columns.len()).unwrap_or(1),
+        RelExpr::Values(rel) => rel.schema().arity(),
+        RelExpr::Select { input, .. } | RelExpr::Distinct(input) => arity_guess(input, stats),
+        RelExpr::Project { attrs, .. } => attrs.len(),
+        RelExpr::ExtProject { exprs, .. } => exprs.len(),
+        RelExpr::Union(l, _) | RelExpr::Difference(l, _) | RelExpr::Intersect(l, _) => {
+            arity_guess(l, stats)
+        }
+        RelExpr::Product(l, r) => arity_guess(l, stats) + arity_guess(r, stats),
+        RelExpr::Join { left, right, .. } => arity_guess(left, stats) + arity_guess(right, stats),
+        RelExpr::GroupBy { keys, .. } => keys.len() + 1,
+        RelExpr::Closure(_) => 2,
+    }
+}
+
+/// Selectivity of a selection predicate over its input.
+fn selectivity(predicate: &ScalarExpr, input: &RelExpr, stats: &CatalogStats) -> f64 {
+    predicate
+        .conjuncts()
+        .iter()
+        .map(|c| conjunct_selectivity(c, input, stats))
+        .product::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+fn conjunct_selectivity(conj: &ScalarExpr, input: &RelExpr, stats: &CatalogStats) -> f64 {
+    match conj {
+        ScalarExpr::Literal(Value::Bool(true)) => 1.0,
+        ScalarExpr::Literal(Value::Bool(false)) => 0.0,
+        ScalarExpr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (ScalarExpr::Attr(i), ScalarExpr::Literal(_))
+            | (ScalarExpr::Literal(_), ScalarExpr::Attr(i)) => {
+                1.0 / column_distinct(input, *i, stats)
+            }
+            (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) => {
+                1.0 / column_distinct(input, *i, stats)
+                    .max(column_distinct(input, *j, stats))
+            }
+            _ => DEFAULT_SELECTIVITY,
+        },
+        ScalarExpr::Cmp(CmpOp::Ne, _, _) => 1.0 - DEFAULT_SELECTIVITY,
+        ScalarExpr::Cmp(_, _, _) => RANGE_SELECTIVITY,
+        ScalarExpr::Not(inner) => 1.0 - conjunct_selectivity(inner, input, stats),
+        ScalarExpr::Or(l, r) => {
+            let a = conjunct_selectivity(l, input, stats);
+            let b = conjunct_selectivity(r, input, stats);
+            (a + b - a * b).clamp(0.0, 1.0)
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+/// Selectivity of a join predicate over `left ⊕ right`.
+fn join_selectivity(
+    predicate: &ScalarExpr,
+    left: &RelExpr,
+    right: &RelExpr,
+    stats: &CatalogStats,
+) -> f64 {
+    let la = arity_guess(left, stats);
+    predicate
+        .conjuncts()
+        .iter()
+        .map(|c| {
+            if let ScalarExpr::Cmp(CmpOp::Eq, a, b) = c {
+                if let (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) = (a.as_ref(), b.as_ref()) {
+                    let (li, rj) = if *i <= la { (*i, *j) } else { (*j, *i) };
+                    if li <= la && rj > la {
+                        let dl = column_distinct(left, li, stats);
+                        let dr = column_distinct(right, rj - la, stats);
+                        return 1.0 / dl.max(dr);
+                    }
+                }
+            }
+            DEFAULT_SELECTIVITY
+        })
+        .product::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Estimated execution cost of a plan: tuples touched per operator, with
+/// products paying for the full cross size and hash-joinable joins paying
+/// build + probe + output.
+pub fn estimate_cost(expr: &RelExpr, stats: &CatalogStats) -> f64 {
+    let children_cost: f64 = expr
+        .children()
+        .iter()
+        .map(|c| estimate_cost(c, stats))
+        .sum();
+    let own = match expr {
+        RelExpr::Scan(_) | RelExpr::Values(_) => estimate_rows(expr, stats),
+        RelExpr::Product(l, r) => estimate_rows(l, stats) * estimate_rows(r, stats),
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let lr = estimate_rows(left, stats);
+            let rr = estimate_rows(right, stats);
+            let la = arity_guess(left, stats);
+            let ra = arity_guess(right, stats);
+            let has_equi = predicate.conjuncts().iter().any(|c| {
+                matches!(c, ScalarExpr::Cmp(CmpOp::Eq, a, b)
+                    if matches!((a.as_ref(), b.as_ref()),
+                        (ScalarExpr::Attr(i), ScalarExpr::Attr(j))
+                        if (*i <= la && *j > la && *j <= la + ra)
+                            || (*j <= la && *i > la && *i <= la + ra)))
+            });
+            if has_equi {
+                lr + rr + estimate_rows(expr, stats)
+            } else {
+                lr * rr
+            }
+        }
+        _ => estimate_rows(expr, stats),
+    };
+    children_cost + own
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{ColumnStats, TableStats};
+
+    fn stats() -> CatalogStats {
+        let mut cs = CatalogStats::new();
+        cs.insert(
+            "big",
+            TableStats {
+                rows: 10_000,
+                distinct_rows: 10_000,
+                columns: vec![ColumnStats { distinct: 100 }, ColumnStats { distinct: 50 }],
+            },
+        );
+        cs.insert(
+            "small",
+            TableStats {
+                rows: 10,
+                distinct_rows: 10,
+                columns: vec![ColumnStats { distinct: 10 }],
+            },
+        );
+        cs
+    }
+
+    #[test]
+    fn scan_and_values_cardinalities() {
+        let cs = stats();
+        assert_eq!(estimate_rows(&RelExpr::scan("big"), &cs), 10_000.0);
+        assert_eq!(estimate_rows(&RelExpr::scan("unknown"), &cs), 1000.0);
+    }
+
+    #[test]
+    fn equality_selection_uses_distinct() {
+        let cs = stats();
+        let e = RelExpr::scan("big").select(ScalarExpr::attr(1).eq(ScalarExpr::int(5)));
+        // 10000 / 100 distinct = 100
+        assert_eq!(estimate_rows(&e, &cs), 100.0);
+    }
+
+    #[test]
+    fn range_selection_uses_third() {
+        let cs = stats();
+        let e = RelExpr::scan("big")
+            .select(ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(5)));
+        assert!((estimate_rows(&e, &cs) - 10_000.0 / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn join_cardinality_uses_key_distincts() {
+        let cs = stats();
+        let e = RelExpr::scan("big").join(
+            RelExpr::scan("small"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        );
+        // 10000 * 10 / max(100, 10) = 1000
+        assert_eq!(estimate_rows(&e, &cs), 1000.0);
+    }
+
+    #[test]
+    fn product_cost_dominates_hash_join_cost() {
+        let cs = stats();
+        let join = RelExpr::scan("big").join(
+            RelExpr::scan("small"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        );
+        let product = RelExpr::scan("big").product(RelExpr::scan("small"));
+        assert!(estimate_cost(&join, &cs) < estimate_cost(&product, &cs));
+    }
+
+    #[test]
+    fn selection_pushdown_lowers_cost() {
+        let cs = stats();
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
+        let outside = RelExpr::scan("big")
+            .product(RelExpr::scan("small"))
+            .select(pred.clone());
+        let inside = RelExpr::scan("big")
+            .select(pred)
+            .product(RelExpr::scan("small"));
+        assert!(estimate_cost(&inside, &cs) < estimate_cost(&outside, &cs));
+    }
+
+    #[test]
+    fn group_by_groups_capped_by_rows() {
+        let cs = stats();
+        let e = RelExpr::scan("big").group_by(&[1], mera_expr::Aggregate::Cnt, 1);
+        assert_eq!(estimate_rows(&e, &cs), 100.0);
+        let e = RelExpr::scan("big").group_by(&[], mera_expr::Aggregate::Cnt, 1);
+        assert_eq!(estimate_rows(&e, &cs), 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The rewrite driver: applies rules bottom-up to a fixpoint.
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, SchemaProvider};
+
+use crate::rules::{
+    ConstantFold, DistinctPruning, FuseSelections, ProjectBeforeGroupBy, PushProjectionIntoJoin,
+    PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelectionThroughBinary, Rule,
+    RuleContext, SelectProductToJoin,
+};
+
+/// Hard cap on full rewrite passes; a correct rule set reaches its fixpoint
+/// long before this, and the cap turns a non-terminating rule combination
+/// into a visible error instead of a hang.
+const MAX_PASSES: usize = 32;
+
+/// The outcome of an optimization run.
+#[derive(Debug)]
+pub struct Optimized {
+    /// The rewritten expression.
+    pub expr: RelExpr,
+    /// `(rule name, application count)`, in rule order, zero-count rules
+    /// omitted.
+    pub applications: Vec<(String, usize)>,
+    /// Number of bottom-up passes until the fixpoint.
+    pub passes: usize,
+}
+
+/// A rule-based optimizer over the multi-set algebra.
+pub struct Optimizer {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Optimizer {
+    /// The standard rule set, in application order:
+    /// fold constants → fuse selections → push selections → recognise
+    /// joins → push projections → prune distincts → prune group-by inputs.
+    pub fn standard() -> Self {
+        Optimizer {
+            rules: vec![
+                Box::new(ConstantFold),
+                Box::new(FuseSelections),
+                Box::new(PushSelectionThroughBinary),
+                Box::new(PushSelectionIntoJoin),
+                Box::new(SelectProductToJoin),
+                Box::new(PushProjectionThroughUnion),
+                Box::new(DistinctPruning),
+                Box::new(ProjectBeforeGroupBy),
+                Box::new(PushProjectionIntoJoin),
+            ],
+        }
+    }
+
+    /// An optimizer with an explicit rule list (used by the ablation
+    /// benchmarks).
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Self {
+        Optimizer { rules }
+    }
+
+    /// The standard rule set minus the named rules — ablation helper.
+    pub fn standard_without(excluded: &[&str]) -> Self {
+        let all = Self::standard();
+        Optimizer {
+            rules: all
+                .rules
+                .into_iter()
+                .filter(|r| !excluded.contains(&r.name()))
+                .collect(),
+        }
+    }
+
+    /// Names of the active rules, in order.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Rewrites `expr` to a fixpoint of the rule set. The input is
+    /// validated first; every intermediate tree stays well-typed (each rule
+    /// preserves typing), which the optimizer re-checks at the end as a
+    /// safety net.
+    pub fn optimize<P: SchemaProvider>(
+        &self,
+        expr: &RelExpr,
+        provider: &P,
+    ) -> CoreResult<Optimized> {
+        expr.schema(provider)?; // reject ill-typed inputs up front
+        let ctx = RuleContext::new(provider);
+        let mut current = expr.clone();
+        let mut counts = vec![0usize; self.rules.len()];
+        let mut passes = 0;
+        for _ in 0..MAX_PASSES {
+            passes += 1;
+            let (next, changed) = self.rewrite_pass(&current, &ctx, &mut counts)?;
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        current.schema(provider)?; // safety net: output must still type
+        Ok(Optimized {
+            expr: current,
+            applications: self
+                .rules
+                .iter()
+                .zip(&counts)
+                .filter(|(_, &c)| c > 0)
+                .map(|(r, &c)| (r.name().to_owned(), c))
+                .collect(),
+            passes,
+        })
+    }
+
+    /// One bottom-up pass: children first, then this node, repeating rules
+    /// at a node until none applies (a node rewrite can enable another).
+    fn rewrite_pass(
+        &self,
+        expr: &RelExpr,
+        ctx: &RuleContext<'_>,
+        counts: &mut [usize],
+    ) -> CoreResult<(RelExpr, bool)> {
+        let mut changed = false;
+        // rewrite children
+        let mut node = if expr.children().is_empty() {
+            expr.clone()
+        } else {
+            let mut new_children = Vec::with_capacity(expr.children().len());
+            for child in expr.children() {
+                let (c, ch) = self.rewrite_pass(child, ctx, counts)?;
+                changed |= ch;
+                new_children.push(c);
+            }
+            if changed {
+                expr.with_children(new_children)
+            } else {
+                expr.clone()
+            }
+        };
+        // then apply rules at this node to a local fixpoint
+        let mut local_budget = 16;
+        'outer: while local_budget > 0 {
+            local_budget -= 1;
+            for (i, rule) in self.rules.iter().enumerate() {
+                if let Some(next) = rule.apply(&node, ctx)? {
+                    debug_assert_ne!(
+                        next, node,
+                        "rule {} returned an identical tree",
+                        rule.name()
+                    );
+                    node = next;
+                    counts[i] += 1;
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok((node, changed))
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::{Aggregate, ScalarExpr};
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh")
+            .with(
+                "brewery",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("city", DataType::Str),
+                    ("country", DataType::Str),
+                ]),
+            )
+            .expect("fresh")
+    }
+
+    #[test]
+    fn example_3_1_plan_normalises() {
+        // the textbook form: π(σ(beer × brewery)) — the optimizer should
+        // recognise the join and split the single-side conjunct
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .product(RelExpr::scan("brewery"))
+            .select(
+                ScalarExpr::attr(2)
+                    .eq(ScalarExpr::attr(4))
+                    .and(ScalarExpr::attr(6).eq(ScalarExpr::str("NL"))),
+            )
+            .project(&[1]);
+        let opt = Optimizer::standard();
+        let out = opt.optimize(&e, &cat).expect("optimizes");
+        // expected shape: the join recognised, the single-side conjunct
+        // pushed into the brewery side, and both join inputs narrowed to
+        // the attributes the projection and predicate need
+        let want = RelExpr::scan("beer")
+            .project(&[1, 2])
+            .join(
+                RelExpr::scan("brewery")
+                    .select(ScalarExpr::attr(3).eq(ScalarExpr::str("NL")))
+                    .project(&[1]),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(3)),
+            )
+            .project(&[1]);
+        assert_eq!(out.expr, want, "got {}", out.expr);
+        assert!(out.passes <= 5);
+        assert!(!out.applications.is_empty());
+    }
+
+    #[test]
+    fn example_3_2_projection_inserted_automatically() {
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .group_by(&[6], Aggregate::Avg, 3);
+        let opt = Optimizer::standard();
+        let out = opt.optimize(&e, &cat).expect("optimizes");
+        assert!(
+            out.applications
+                .iter()
+                .any(|(n, _)| n == "project-before-group-by"),
+            "applications: {:?}",
+            out.applications
+        );
+        // resulting group-by must read a 2-wide input
+        if let RelExpr::GroupBy { input, .. } = &out.expr {
+            assert_eq!(input.schema(&cat).expect("types").arity(), 2);
+        } else {
+            panic!("expected group-by at root, got {}", out.expr);
+        }
+    }
+
+    #[test]
+    fn fixpoint_reached_and_idempotent() {
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .select(ScalarExpr::bool(true))
+            .select(ScalarExpr::attr(3).eq(ScalarExpr::real(5.0)))
+            .distinct()
+            .distinct();
+        let opt = Optimizer::standard();
+        let once = opt.optimize(&e, &cat).expect("optimizes");
+        let twice = opt.optimize(&once.expr, &cat).expect("optimizes");
+        assert_eq!(once.expr, twice.expr);
+        assert!(twice.applications.is_empty());
+    }
+
+    #[test]
+    fn ablation_excludes_rules() {
+        let opt = Optimizer::standard_without(&["project-before-group-by"]);
+        assert!(!opt.rule_names().contains(&"project-before-group-by"));
+        let cat = catalog();
+        let e = RelExpr::scan("beer").group_by(&[2], Aggregate::Avg, 3);
+        let out = opt.optimize(&e, &cat).expect("optimizes");
+        assert_eq!(out.expr, e); // nothing else applies
+    }
+
+    #[test]
+    fn optimizer_rejects_ill_typed_input() {
+        let cat = catalog();
+        let bad = RelExpr::scan("beer").union(RelExpr::scan("brewery"));
+        assert!(Optimizer::standard().optimize(&bad, &cat).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # mera-opt — rule-based and cost-based optimization for the multi-set
+//! algebra
+//!
+//! The paper's §3.3 argues that "the expression equivalences used in the
+//! set-oriented relational context for query optimization also hold in the
+//! proposed multi-set context", and proves the key cases:
+//!
+//! * Theorem 3.1 — `E₁∩E₂ = E₁−(E₁−E₂)` and `E₁⋈_φE₂ = σ_φ(E₁×E₂)`,
+//! * Theorem 3.2 — `σ` and `π` distribute over `⊎`,
+//! * Theorem 3.3 — `×`, `⋈`, `⊎`, `∩` are associative,
+//! * the §3.3 caveat — `δ` does *not* distribute over `⊎`.
+//!
+//! This crate turns those licences into an optimizer:
+//!
+//! * [`rules`] — local rewrite rules (pushdowns, fusions, constant folding,
+//!   Example 3.2's projection insertion),
+//! * [`driver`] — bottom-up fixpoint application with ablation support,
+//! * [`stats`] / [`cost`] — table statistics and a System-R-style cost
+//!   model,
+//! * [`join_order`] — cost-based join re-ordering justified by
+//!   Theorem 3.3, with schema-restoring projections.
+//!
+//! Every rule is checked against the reference evaluator by the property
+//! tests in `tests/rewrite_soundness.rs`.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod driver;
+pub mod join_order;
+pub mod rules;
+pub mod stats;
+
+pub use driver::{Optimized, Optimizer};
+pub use join_order::reorder_joins;
+pub use stats::{CatalogStats, TableStats};

@@ -1,0 +1,274 @@
+//! Constant folding and trivial-selection elimination.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, ScalarExpr};
+
+use super::{Rule, RuleContext};
+
+/// Folds constant scalar subexpressions inside selection and join
+/// predicates and extended projections, and eliminates trivial selections:
+///
+/// * `σ_true(E) → E`,
+/// * `σ_false(E) → ∅` (an empty `Values` of E's schema),
+/// * `true ∧ p → p`, `false ∨ p → p`, etc.
+///
+/// Folding is conservative: a constant subexpression that *errors* (e.g.
+/// `1/0`) is left in place so the runtime error is preserved — the paper's
+/// expressions are partial functions and rewrites must not change
+/// definedness.
+pub struct ConstantFold;
+
+impl ConstantFold {
+    /// Folds one scalar tree; returns the folded tree and whether anything
+    /// changed.
+    fn fold(e: &ScalarExpr) -> (ScalarExpr, bool) {
+        // fold children first
+        let (node, child_changed) = match e {
+            ScalarExpr::Arith(op, l, r) => {
+                let (fl, cl) = Self::fold(l);
+                let (fr, cr) = Self::fold(r);
+                (ScalarExpr::Arith(*op, Arc::new(fl), Arc::new(fr)), cl || cr)
+            }
+            ScalarExpr::Cmp(op, l, r) => {
+                let (fl, cl) = Self::fold(l);
+                let (fr, cr) = Self::fold(r);
+                (ScalarExpr::Cmp(*op, Arc::new(fl), Arc::new(fr)), cl || cr)
+            }
+            ScalarExpr::And(l, r) => {
+                let (fl, cl) = Self::fold(l);
+                let (fr, cr) = Self::fold(r);
+                // boolean simplifications that respect strictness on the
+                // *left* operand (our And short-circuits left to right):
+                match (&fl, &fr) {
+                    (ScalarExpr::Literal(Value::Bool(true)), _) => return (fr, true),
+                    (ScalarExpr::Literal(Value::Bool(false)), _) => {
+                        return (ScalarExpr::bool(false), true)
+                    }
+                    (_, ScalarExpr::Literal(Value::Bool(true))) => return (fl, true),
+                    _ => {}
+                }
+                (ScalarExpr::And(Arc::new(fl), Arc::new(fr)), cl || cr)
+            }
+            ScalarExpr::Or(l, r) => {
+                let (fl, cl) = Self::fold(l);
+                let (fr, cr) = Self::fold(r);
+                match (&fl, &fr) {
+                    (ScalarExpr::Literal(Value::Bool(false)), _) => return (fr, true),
+                    (ScalarExpr::Literal(Value::Bool(true)), _) => {
+                        return (ScalarExpr::bool(true), true)
+                    }
+                    (_, ScalarExpr::Literal(Value::Bool(false))) => return (fl, true),
+                    _ => {}
+                }
+                (ScalarExpr::Or(Arc::new(fl), Arc::new(fr)), cl || cr)
+            }
+            ScalarExpr::Not(x) => {
+                let (fx, cx) = Self::fold(x);
+                if let ScalarExpr::Not(inner) = &fx {
+                    return (inner.as_ref().clone(), true);
+                }
+                (ScalarExpr::Not(Arc::new(fx)), cx)
+            }
+            ScalarExpr::Neg(x) => {
+                let (fx, cx) = Self::fold(x);
+                (ScalarExpr::Neg(Arc::new(fx)), cx)
+            }
+            ScalarExpr::Concat(l, r) => {
+                let (fl, cl) = Self::fold(l);
+                let (fr, cr) = Self::fold(r);
+                (ScalarExpr::Concat(Arc::new(fl), Arc::new(fr)), cl || cr)
+            }
+            leaf => (leaf.clone(), false),
+        };
+        // then try to evaluate this node if fully constant
+        if !matches!(node, ScalarExpr::Literal(_)) && node.is_constant() {
+            // evaluating a constant needs no tuple
+            if let Ok(v) = node.eval(&Tuple::empty()) {
+                return (ScalarExpr::Literal(v), true);
+            }
+        }
+        (node, child_changed)
+    }
+}
+
+impl Rule for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant-fold"
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        match expr {
+            RelExpr::Select { input, predicate } => {
+                let (folded, changed) = Self::fold(predicate);
+                match folded {
+                    ScalarExpr::Literal(Value::Bool(true)) => {
+                        Ok(Some(input.as_ref().clone()))
+                    }
+                    ScalarExpr::Literal(Value::Bool(false)) => {
+                        let schema = ctx.schema(input)?;
+                        Ok(Some(RelExpr::values(Relation::empty(schema))))
+                    }
+                    _ if changed => Ok(Some(RelExpr::Select {
+                        input: Arc::new(input.as_ref().clone()),
+                        predicate: folded,
+                    })),
+                    _ => Ok(None),
+                }
+            }
+            RelExpr::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let (folded, changed) = Self::fold(predicate);
+                match folded {
+                    // ⋈_true = × (Definition 3.2 with φ ≡ true)
+                    ScalarExpr::Literal(Value::Bool(true)) => Ok(Some(RelExpr::Product(
+                        Arc::new(left.as_ref().clone()),
+                        Arc::new(right.as_ref().clone()),
+                    ))),
+                    ScalarExpr::Literal(Value::Bool(false)) => {
+                        let schema = Arc::new(
+                            ctx.schema(left)?.concat(ctx.schema(right)?.as_ref()),
+                        );
+                        Ok(Some(RelExpr::values(Relation::empty(schema))))
+                    }
+                    _ if changed => Ok(Some(RelExpr::Join {
+                        left: Arc::new(left.as_ref().clone()),
+                        right: Arc::new(right.as_ref().clone()),
+                        predicate: folded,
+                    })),
+                    _ => Ok(None),
+                }
+            }
+            RelExpr::ExtProject { input, exprs } => {
+                let mut changed = false;
+                let folded: Vec<ScalarExpr> = exprs
+                    .iter()
+                    .map(|e| {
+                        let (f, c) = Self::fold(e);
+                        changed |= c;
+                        f
+                    })
+                    .collect();
+                if changed {
+                    Ok(Some(RelExpr::ExtProject {
+                        input: Arc::new(input.as_ref().clone()),
+                        exprs: folded,
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::ArithOp;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Str]))
+            .expect("fresh")
+    }
+
+    fn apply(e: &RelExpr) -> Option<RelExpr> {
+        let cat = catalog();
+        let ctx = RuleContext::new(&cat);
+        ConstantFold.apply(e, &ctx).expect("rule application")
+    }
+
+    #[test]
+    fn select_true_vanishes() {
+        let e = RelExpr::scan("r").select(ScalarExpr::bool(true));
+        assert_eq!(apply(&e).expect("applies"), RelExpr::scan("r"));
+    }
+
+    #[test]
+    fn select_false_becomes_empty_values() {
+        let e = RelExpr::scan("r").select(ScalarExpr::bool(false));
+        let out = apply(&e).expect("applies");
+        match out {
+            RelExpr::Values(rel) => {
+                assert!(rel.is_empty());
+                assert_eq!(rel.schema().arity(), 2);
+            }
+            other => panic!("expected empty Values, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_constants_fold() {
+        // %1 = 2 + 3 → %1 = 5
+        let p = ScalarExpr::attr(1).eq(ScalarExpr::int(2).add(ScalarExpr::int(3)));
+        let e = RelExpr::scan("r").select(p);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("r").select(ScalarExpr::attr(1).eq(ScalarExpr::int(5)));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn boolean_identities_fold() {
+        let p = ScalarExpr::bool(true).and(ScalarExpr::attr(2).eq(ScalarExpr::str("x")));
+        let e = RelExpr::scan("r").select(p);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("r").select(ScalarExpr::attr(2).eq(ScalarExpr::str("x")));
+        assert_eq!(out, want);
+
+        let p = ScalarExpr::attr(2).eq(ScalarExpr::str("x")).or(ScalarExpr::bool(false));
+        let e = RelExpr::scan("r").select(p);
+        let out = apply(&e).expect("applies");
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let p = ScalarExpr::attr(2).eq(ScalarExpr::str("x")).not().not();
+        let e = RelExpr::scan("r").select(p);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("r").select(ScalarExpr::attr(2).eq(ScalarExpr::str("x")));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn erroring_constants_preserved() {
+        // 1/0 = 1 must NOT fold away — definedness is part of semantics
+        let p = ScalarExpr::int(1)
+            .div(ScalarExpr::int(0))
+            .eq(ScalarExpr::int(1));
+        let e = RelExpr::scan("r").select(p.clone());
+        // the fold leaves the erroring subtree; nothing changes
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn join_true_becomes_product() {
+        let e = RelExpr::scan("r").join(RelExpr::scan("r"), ScalarExpr::bool(true));
+        let out = apply(&e).expect("applies");
+        assert_eq!(out, RelExpr::scan("r").product(RelExpr::scan("r")));
+    }
+
+    #[test]
+    fn ext_project_folds_expressions() {
+        let e = RelExpr::scan("r").ext_project(vec![ScalarExpr::int(1).arith(
+            ArithOp::Mul,
+            ScalarExpr::int(10),
+        )]);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("r").ext_project(vec![ScalarExpr::int(10)]);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn no_change_returns_none() {
+        let e = RelExpr::scan("r").select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)));
+        assert!(apply(&e).is_none());
+        assert!(apply(&RelExpr::scan("r")).is_none());
+    }
+}

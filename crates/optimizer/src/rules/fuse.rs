@@ -1,0 +1,220 @@
+//! Fusion rules: adjacent-operator combinations.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, ScalarExpr};
+
+use super::{Rule, RuleContext};
+
+/// `σ_p(σ_q(E)) → σ_{q ∧ p}(E)`.
+///
+/// Bag-valid because selection multiplies multiplicities by indicator
+/// functions, which compose by conjunction. The inner predicate goes
+/// *first* in the conjunction to preserve evaluation order (and therefore
+/// definedness: `q` may guard a division in `p`).
+pub struct FuseSelections;
+
+impl Rule for FuseSelections {
+    fn name(&self) -> &'static str {
+        "fuse-selections"
+    }
+
+    fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::Select { input, predicate } = expr else {
+            return Ok(None);
+        };
+        let RelExpr::Select {
+            input: inner_input,
+            predicate: inner_pred,
+        } = input.as_ref()
+        else {
+            return Ok(None);
+        };
+        Ok(Some(RelExpr::Select {
+            input: Arc::new(inner_input.as_ref().clone()),
+            predicate: inner_pred.clone().and(predicate.clone()),
+        }))
+    }
+}
+
+/// Theorem 3.1 applied in the profitable direction:
+/// `σ_φ(E₁ × E₂) → E₁ ⋈_φ E₂` whenever `φ` contains a cross-side equality
+/// — the join node is what the physical planner turns into a hash join.
+pub struct SelectProductToJoin;
+
+impl Rule for SelectProductToJoin {
+    fn name(&self) -> &'static str {
+        "select-product-to-join"
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::Select { input, predicate } = expr else {
+            return Ok(None);
+        };
+        let RelExpr::Product(l, r) = input.as_ref() else {
+            return Ok(None);
+        };
+        // only rewrite when the predicate actually has an equi-key the
+        // engine can hash on; otherwise σ(×) and ⋈ plan identically
+        let la = ctx.arity(l)?;
+        let ra = ctx.arity(r)?;
+        let has_equi = predicate.conjuncts().iter().any(|c| {
+            if let ScalarExpr::Cmp(mera_expr::CmpOp::Eq, a, b) = c {
+                if let (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) = (a.as_ref(), b.as_ref()) {
+                    let cross = |x: usize, y: usize| x <= la && y > la && y <= la + ra;
+                    return cross(*i, *j) || cross(*j, *i);
+                }
+            }
+            false
+        });
+        if !has_equi {
+            return Ok(None);
+        }
+        Ok(Some(RelExpr::Join {
+            left: Arc::new(l.as_ref().clone()),
+            right: Arc::new(r.as_ref().clone()),
+            predicate: predicate.clone(),
+        }))
+    }
+}
+
+/// Removes redundant `δ` applications:
+///
+/// * `δ(δE) → δE` (idempotence),
+/// * `δ(γ…E) → γ…E` — a group-by result is duplicate-free by construction
+///   (one tuple per group, Definition 3.4),
+/// * `δ(E)` where `E` is a `Values` literal already duplicate-free.
+pub struct DistinctPruning;
+
+impl DistinctPruning {
+    /// Conservatively determines whether an expression provably produces no
+    /// duplicates.
+    fn is_duplicate_free(expr: &RelExpr) -> bool {
+        match expr {
+            RelExpr::Distinct(_) => true,
+            RelExpr::GroupBy { .. } => true,
+            // transitive closure is δ-based by definition
+            RelExpr::Closure(_) => true,
+            RelExpr::Values(rel) => rel.iter().all(|(_, m)| m == 1),
+            // a selection over a duplicate-free input stays duplicate-free
+            RelExpr::Select { input, .. } => Self::is_duplicate_free(input),
+            _ => false,
+        }
+    }
+}
+
+impl Rule for DistinctPruning {
+    fn name(&self) -> &'static str {
+        "distinct-pruning"
+    }
+
+    fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::Distinct(input) = expr else {
+            return Ok(None);
+        };
+        if Self::is_duplicate_free(input) {
+            Ok(Some(input.as_ref().clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use mera_expr::{Aggregate, CmpOp};
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Str]))
+            .expect("fresh")
+            .with("s", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+    }
+
+    fn apply(rule: &dyn Rule, e: &RelExpr) -> Option<RelExpr> {
+        let cat = catalog();
+        let ctx = RuleContext::new(&cat);
+        rule.apply(e, &ctx).expect("rule application")
+    }
+
+    #[test]
+    fn selections_fuse_inner_first() {
+        let q = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
+        let p = ScalarExpr::attr(2).eq(ScalarExpr::str("x"));
+        let e = RelExpr::scan("r").select(q.clone()).select(p.clone());
+        let out = apply(&FuseSelections, &e).expect("applies");
+        let want = RelExpr::scan("r").select(q.and(p));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn select_product_with_equi_becomes_join() {
+        let p = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let e = RelExpr::scan("r").product(RelExpr::scan("s")).select(p.clone());
+        let out = apply(&SelectProductToJoin, &e).expect("applies");
+        let want = RelExpr::scan("r").join(RelExpr::scan("s"), p);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn select_product_without_equi_stays() {
+        let p = ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3));
+        let e = RelExpr::scan("r").product(RelExpr::scan("s")).select(p);
+        assert!(apply(&SelectProductToJoin, &e).is_none());
+        // same-side equality is not a join key
+        let p = ScalarExpr::attr(1).eq(ScalarExpr::attr(2));
+        let e = RelExpr::scan("r").product(RelExpr::scan("s")).select(p);
+        assert!(apply(&SelectProductToJoin, &e).is_none());
+    }
+
+    #[test]
+    fn double_distinct_pruned() {
+        let e = RelExpr::scan("r").distinct().distinct();
+        let out = apply(&DistinctPruning, &e).expect("applies");
+        assert_eq!(out, RelExpr::scan("r").distinct());
+    }
+
+    #[test]
+    fn distinct_over_group_by_pruned() {
+        let g = RelExpr::scan("r").group_by(&[2], Aggregate::Cnt, 1);
+        let e = g.clone().distinct();
+        let out = apply(&DistinctPruning, &e).expect("applies");
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn distinct_over_selected_distinct_pruned() {
+        let inner = RelExpr::scan("r")
+            .distinct()
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)));
+        let e = inner.clone().distinct();
+        let out = apply(&DistinctPruning, &e).expect("applies");
+        assert_eq!(out, inner);
+    }
+
+    #[test]
+    fn distinct_over_duplicate_free_values_pruned() {
+        let rel = relation_of(Schema::anon(&[DataType::Int]), vec![tuple![1_i64]]).expect("ok");
+        let v = RelExpr::values(rel);
+        let out = apply(&DistinctPruning, &v.clone().distinct()).expect("applies");
+        assert_eq!(out, v);
+        // but NOT when the literal has duplicates
+        let rel = relation_of(
+            Schema::anon(&[DataType::Int]),
+            vec![tuple![1_i64], tuple![1_i64]],
+        )
+        .expect("ok");
+        let v = RelExpr::values(rel);
+        assert!(apply(&DistinctPruning, &v.distinct()).is_none());
+    }
+
+    #[test]
+    fn plain_distinct_kept() {
+        let e = RelExpr::scan("r").distinct();
+        assert!(apply(&DistinctPruning, &e).is_none());
+    }
+}

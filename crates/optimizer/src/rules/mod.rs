@@ -1,0 +1,77 @@
+//! Rewrite rules.
+//!
+//! Every rule is a semantics-preserving transformation justified by an
+//! equivalence that holds in the *multi-set* algebra — most directly from
+//! the paper's §3.3 (Theorems 3.1–3.3), the rest standard bag-algebra
+//! identities proven by the same pointwise multiplicity reasoning and
+//! checked here by property tests against the reference evaluator.
+//!
+//! A rule is a local pattern: it looks at one node (with its children) and
+//! either produces a replacement or declines. The [`driver`](crate::driver)
+//! applies rules bottom-up to a fixpoint.
+
+mod folding;
+mod fuse;
+mod project;
+mod project_join;
+mod pushdown;
+
+pub use folding::ConstantFold;
+pub use fuse::{DistinctPruning, FuseSelections, SelectProductToJoin};
+pub use project::ProjectBeforeGroupBy;
+pub use project_join::PushProjectionIntoJoin;
+pub use pushdown::{PushSelectionIntoJoin, PushSelectionThroughBinary, PushProjectionThroughUnion};
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, SchemaProvider};
+
+/// Context handed to rules: schema access for arity-sensitive rewrites.
+pub struct RuleContext<'a> {
+    provider: &'a dyn DynSchemaProvider,
+}
+
+/// Object-safe schema lookup (rules are dyn, so the provider must be too).
+trait DynSchemaProvider {
+    fn schema_of(&self, name: &str) -> CoreResult<SchemaRef>;
+}
+
+impl<P: SchemaProvider> DynSchemaProvider for P {
+    fn schema_of(&self, name: &str) -> CoreResult<SchemaRef> {
+        self.relation_schema(name)
+    }
+}
+
+impl<'a> RuleContext<'a> {
+    /// Builds a context over any schema provider.
+    pub fn new<P: SchemaProvider>(provider: &'a P) -> Self {
+        RuleContext { provider }
+    }
+
+    /// The schema of a subexpression.
+    pub fn schema(&self, expr: &RelExpr) -> CoreResult<SchemaRef> {
+        expr.schema(&ProviderShim(self.provider))
+    }
+
+    /// The arity of a subexpression.
+    pub fn arity(&self, expr: &RelExpr) -> CoreResult<usize> {
+        Ok(self.schema(expr)?.arity())
+    }
+}
+
+struct ProviderShim<'a>(&'a dyn DynSchemaProvider);
+
+impl SchemaProvider for ProviderShim<'_> {
+    fn relation_schema(&self, name: &str) -> CoreResult<SchemaRef> {
+        self.0.schema_of(name)
+    }
+}
+
+/// A local rewrite rule.
+pub trait Rule {
+    /// Rule name for reports and ablation selection.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to rewrite `expr` (looking only at this node and its
+    /// children). Returns `Ok(None)` when the rule does not apply.
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>>;
+}

@@ -1,0 +1,155 @@
+//! Projection insertion before group-by — the transformation of
+//! Example 3.2.
+//!
+//! The paper's example inserts `π_(alcperc,country)` between the join and
+//! the group-by "to reduce the size of intermediate results", and stresses
+//! that under *multi-set* semantics both expressions yield the same result
+//! (under set semantics the insertion would be wrong, because the
+//! projection would collapse duplicates feeding the average).
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::RelExpr;
+
+use super::{Rule, RuleContext};
+
+/// `γ_{a,f,p}(E) → γ_{a',f,p'}(π_{a∪{p}}(E))` when `E` carries attributes
+/// that neither the grouping list nor the aggregate needs.
+///
+/// Sound in the bag algebra because projection preserves the total
+/// multiplicity of each group (collapsing tuples *sum*), so every
+/// aggregate — including CNT and AVG, which are duplicate-sensitive —
+/// sees exactly the same value bag.
+pub struct ProjectBeforeGroupBy;
+
+impl Rule for ProjectBeforeGroupBy {
+    fn name(&self) -> &'static str {
+        "project-before-group-by"
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::GroupBy {
+            input,
+            keys,
+            agg,
+            attr,
+        } = expr
+        else {
+            return Ok(None);
+        };
+        let arity = ctx.arity(input)?;
+        // needed attributes: grouping keys plus the aggregated one
+        let mut needed: Vec<usize> = keys.clone();
+        if !needed.contains(attr) {
+            needed.push(*attr);
+        }
+        needed.sort_unstable();
+        if needed.len() >= arity {
+            return Ok(None); // nothing to prune
+        }
+        // position (1-based) of an old attribute inside the pruned schema
+        let pos = |old: usize| -> usize {
+            needed
+                .iter()
+                .position(|&n| n == old)
+                .expect("needed contains all referenced attrs")
+                + 1
+        };
+        let new_keys: Vec<usize> = keys.iter().map(|&k| pos(k)).collect();
+        let new_attr = pos(*attr);
+        let pruned = RelExpr::Project {
+            input: Arc::new(input.as_ref().clone()),
+            attrs: AttrList::new(needed)?,
+        };
+        Ok(Some(RelExpr::GroupBy {
+            input: Arc::new(pruned),
+            keys: new_keys,
+            agg: *agg,
+            attr: new_attr,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::{Aggregate, ScalarExpr};
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh")
+            .with(
+                "brewery",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("city", DataType::Str),
+                    ("country", DataType::Str),
+                ]),
+            )
+            .expect("fresh")
+    }
+
+    fn apply(e: &RelExpr) -> Option<RelExpr> {
+        let cat = catalog();
+        let ctx = RuleContext::new(&cat);
+        ProjectBeforeGroupBy.apply(e, &ctx).expect("rule application")
+    }
+
+    #[test]
+    fn example_3_2_projection_inserted() {
+        // gamma[(country=%6), AVG, alcperc=%3] over the 6-wide join
+        let join = RelExpr::scan("beer").join(
+            RelExpr::scan("brewery"),
+            ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+        );
+        let e = join.clone().group_by(&[6], Aggregate::Avg, 3);
+        let out = apply(&e).expect("applies");
+        // π(%3,%6) inserted; keys/attr re-based: alcperc→%1, country→%2
+        let want = join.project(&[3, 6]).group_by(&[2], Aggregate::Avg, 1);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn no_insertion_when_all_attrs_needed() {
+        let e = RelExpr::scan("brewery").group_by(&[1, 3], Aggregate::Cnt, 2);
+        assert!(apply(&e).is_none());
+        // after one application the rule must not fire again (fixpoint)
+        let join = RelExpr::scan("beer").join(
+            RelExpr::scan("brewery"),
+            ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+        );
+        let e = join.clone().group_by(&[6], Aggregate::Avg, 3);
+        let once = apply(&e).expect("applies");
+        assert!(apply(&once).is_none());
+    }
+
+    #[test]
+    fn empty_keys_prune_to_single_attr() {
+        let e = RelExpr::scan("beer").group_by(&[], Aggregate::Avg, 3);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("beer")
+            .project(&[3])
+            .group_by(&[], Aggregate::Avg, 1);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn aggregate_attr_inside_keys_not_duplicated() {
+        // grouping on %2 and aggregating %2: needed = {2} only
+        let e = RelExpr::scan("beer").group_by(&[2], Aggregate::Cnt, 2);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("beer")
+            .project(&[2])
+            .group_by(&[1], Aggregate::Cnt, 1);
+        assert_eq!(out, want);
+    }
+}

@@ -1,0 +1,276 @@
+//! Projection pushdown through products and joins.
+//!
+//! `π_a(E₁ ⋈_φ E₂) = π_{a'}(π_{n₁}(E₁) ⋈_{φ'} π_{n₂}(E₂))` where `n₁`/`n₂`
+//! are the attributes each side actually contributes to `a` or `φ`, and
+//! `a'`/`φ'` are re-based into the narrowed layout.
+//!
+//! Bag-valid by the same argument as Example 3.2's transformation: the
+//! inner projections *sum* the multiplicities of collapsing tuples, the
+//! join multiplies them, and the double sum factors — provided `φ` only
+//! references kept attributes, which the rule guarantees by adding `φ`'s
+//! attributes to the needed set.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, ScalarExpr};
+
+use super::{Rule, RuleContext};
+
+/// Narrows join/product inputs to the attributes the projection above (and
+/// the join predicate) actually use.
+pub struct PushProjectionIntoJoin;
+
+impl Rule for PushProjectionIntoJoin {
+    fn name(&self) -> &'static str {
+        "push-projection-into-join"
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        // unify the two projection forms into an expression list
+        let (input, out_exprs, is_plain): (&Arc<RelExpr>, Vec<ScalarExpr>, bool) = match expr {
+            RelExpr::Project { input, attrs } => (
+                input,
+                attrs.indexes().iter().map(|&i| ScalarExpr::Attr(i)).collect(),
+                true,
+            ),
+            RelExpr::ExtProject { input, exprs } => (input, exprs.clone(), false),
+            _ => return Ok(None),
+        };
+        let (left, right, predicate) = match input.as_ref() {
+            RelExpr::Product(l, r) => (l, r, None),
+            RelExpr::Join {
+                left,
+                right,
+                predicate,
+            } => (left, right, Some(predicate)),
+            _ => return Ok(None),
+        };
+        let la = ctx.arity(left)?;
+        let ra = ctx.arity(right)?;
+
+        // attributes the rewrite must keep: projection outputs + predicate
+        let mut needed: Vec<usize> = out_exprs.iter().flat_map(|e| e.attrs_used()).collect();
+        if let Some(p) = predicate {
+            needed.extend(p.attrs_used());
+        }
+        needed.sort_unstable();
+        needed.dedup();
+
+        let mut left_needed: Vec<usize> = needed.iter().copied().filter(|&g| g <= la).collect();
+        let mut right_needed: Vec<usize> =
+            needed.iter().filter(|&&g| g > la).map(|&g| g - la).collect();
+        // a projection needs at least one attribute per narrowed side;
+        // keep the first attribute of an otherwise-unused side (its
+        // multiplicity contribution must survive)
+        if left_needed.is_empty() {
+            left_needed.push(1);
+        }
+        if right_needed.is_empty() {
+            right_needed.push(1);
+        }
+        if left_needed.len() >= la && right_needed.len() >= ra {
+            return Ok(None); // nothing to prune
+        }
+
+        // global old index → global new index (1-based)
+        let remap = |g: usize| -> CoreResult<usize> {
+            if g <= la {
+                left_needed
+                    .iter()
+                    .position(|&x| x == g)
+                    .map(|p| p + 1)
+                    .ok_or(CoreError::AttrIndexOutOfRange { index: g, arity: la })
+            } else {
+                right_needed
+                    .iter()
+                    .position(|&x| x == g - la)
+                    .map(|p| left_needed.len() + p + 1)
+                    .ok_or(CoreError::AttrIndexOutOfRange {
+                        index: g,
+                        arity: la + ra,
+                    })
+            }
+        };
+
+        let narrow = |side: &Arc<RelExpr>, needed: &[usize], arity: usize| -> RelExpr {
+            if needed.len() >= arity {
+                side.as_ref().clone()
+            } else {
+                side.as_ref().clone().project(needed)
+            }
+        };
+        let new_left = narrow(left, &left_needed, la);
+        let new_right = narrow(right, &right_needed, ra);
+
+        let core = match predicate {
+            None => new_left.product(new_right),
+            Some(p) => {
+                let p2 = p.clone().map_attrs(&mut |g| remap(g))?;
+                new_left.join(new_right, p2)
+            }
+        };
+        let new_out: CoreResult<Vec<ScalarExpr>> = out_exprs
+            .iter()
+            .map(|e| e.clone().map_attrs(&mut |g| remap(g)))
+            .collect();
+        let new_out = new_out?;
+        Ok(Some(if is_plain {
+            let attrs: Vec<usize> = new_out
+                .iter()
+                .map(|e| match e {
+                    ScalarExpr::Attr(i) => *i,
+                    _ => unreachable!("plain projections only remap attrs"),
+                })
+                .collect();
+            core.project(&attrs)
+        } else {
+            core.ext_project(new_out)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::CmpOp;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh")
+            .with(
+                "brewery",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("city", DataType::Str),
+                    ("country", DataType::Str),
+                ]),
+            )
+            .expect("fresh")
+    }
+
+    fn apply(e: &RelExpr) -> Option<RelExpr> {
+        let cat = catalog();
+        let ctx = RuleContext::new(&cat);
+        PushProjectionIntoJoin.apply(e, &ctx).expect("rule application")
+    }
+
+    #[test]
+    fn narrows_both_sides_of_a_join() {
+        // π(%1, %6)(beer ⋈_{%2=%4} brewery): needed = {1,2} ⊕ {4,6}
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .project(&[1, 6]);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("beer")
+            .project(&[1, 2])
+            .join(
+                RelExpr::scan("brewery").project(&[1, 3]),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(3)),
+            )
+            .project(&[1, 4]);
+        assert_eq!(out, want);
+        // fixpoint: a second application does nothing
+        assert!(apply(&out).is_none());
+    }
+
+    #[test]
+    fn keeps_predicate_attributes_alive() {
+        // the projection drops %2/%4 but the predicate needs them
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .project(&[3]);
+        let out = apply(&e).expect("applies");
+        let cat = catalog();
+        // must still type-check and keep arity 1
+        assert_eq!(out.schema(&cat).expect("types").arity(), 1);
+    }
+
+    #[test]
+    fn product_without_predicate_narrows_too() {
+        let e = RelExpr::scan("beer")
+            .product(RelExpr::scan("brewery"))
+            .project(&[3, 6]);
+        let out = apply(&e).expect("applies");
+        let want = RelExpr::scan("beer")
+            .project(&[3])
+            .product(RelExpr::scan("brewery").project(&[3]))
+            .project(&[1, 2]);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn side_with_no_needed_attrs_keeps_one_for_multiplicity() {
+        // π(%1): the right side contributes nothing but its cardinality
+        // still multiplies — one attribute must survive
+        let e = RelExpr::scan("beer")
+            .product(RelExpr::scan("brewery"))
+            .project(&[1]);
+        let out = apply(&e).expect("applies");
+        let cat = catalog();
+        assert_eq!(out.schema(&cat).expect("types").arity(), 1);
+        let want = RelExpr::scan("beer")
+            .project(&[1])
+            .product(RelExpr::scan("brewery").project(&[1]))
+            .project(&[1]);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn ext_projection_pushes_as_well() {
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .ext_project(vec![ScalarExpr::attr(3).mul(ScalarExpr::real(2.0))]);
+        let out = apply(&e).expect("applies");
+        let cat = catalog();
+        let s = out.schema(&cat).expect("types");
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.dtype(1).expect("typed"), DataType::Real);
+    }
+
+    #[test]
+    fn no_change_when_everything_is_needed() {
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .project(&[1, 2, 3, 4, 5, 6]);
+        assert!(apply(&e).is_none());
+        // non-join inputs pass through
+        let e = RelExpr::scan("beer").project(&[1]);
+        assert!(apply(&e).is_none());
+    }
+
+    #[test]
+    fn range_predicates_keep_their_attrs() {
+        let e = RelExpr::scan("beer")
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(3)
+                    .cmp(CmpOp::Gt, ScalarExpr::real(5.0))
+                    .and(ScalarExpr::attr(2).eq(ScalarExpr::attr(4))),
+            )
+            .project(&[6]);
+        let out = apply(&e).expect("applies");
+        let cat = catalog();
+        assert_eq!(out.schema(&cat).expect("types").arity(), 1);
+    }
+}

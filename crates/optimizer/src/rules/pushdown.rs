@@ -1,0 +1,307 @@
+//! Selection and projection pushdown.
+//!
+//! The distribution laws of Theorem 3.2 —
+//! `σ_φ(E₁ ⊎ E₂) = σ_φE₁ ⊎ σ_φE₂` and `π_a(E₁ ⊎ E₂) = π_aE₁ ⊎ π_aE₂` —
+//! plus the analogous bag identities for difference and intersection
+//! (selection commutes with both: the multiplicity of a tuple failing `φ`
+//! is 0 on both sides of each law), and the classic split of a selection
+//! over a product/join into per-side selections.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, ScalarExpr};
+
+use super::{Rule, RuleContext};
+
+/// Pushes `σ_φ` through `⊎`, `−` and `∩` onto both operands.
+///
+/// * union: Theorem 3.2 (exact distribution);
+/// * difference: `σ(E₁−E₂) = σE₁ − σE₂` — pointwise, a tuple failing φ has
+///   multiplicity 0 on both sides, and one passing φ keeps
+///   `max(0, m₁−m₂)`;
+/// * intersection: same reasoning with `min`.
+pub struct PushSelectionThroughBinary;
+
+impl Rule for PushSelectionThroughBinary {
+    fn name(&self) -> &'static str {
+        "push-selection-through-binary"
+    }
+
+    fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::Select { input, predicate } = expr else {
+            return Ok(None);
+        };
+        let rebuilt = match input.as_ref() {
+            RelExpr::Union(l, r) => RelExpr::Union(
+                Arc::new(l.as_ref().clone().select(predicate.clone())),
+                Arc::new(r.as_ref().clone().select(predicate.clone())),
+            ),
+            RelExpr::Difference(l, r) => RelExpr::Difference(
+                Arc::new(l.as_ref().clone().select(predicate.clone())),
+                Arc::new(r.as_ref().clone().select(predicate.clone())),
+            ),
+            RelExpr::Intersect(l, r) => RelExpr::Intersect(
+                Arc::new(l.as_ref().clone().select(predicate.clone())),
+                Arc::new(r.as_ref().clone().select(predicate.clone())),
+            ),
+            _ => return Ok(None),
+        };
+        Ok(Some(rebuilt))
+    }
+}
+
+/// Pushes the single-side conjuncts of a selection over a product or join
+/// into the corresponding operand:
+/// `σ_{φL ∧ φR ∧ φX}(E₁ × E₂) = σ_{φX}(σ_{φL}E₁ × σ_{φR}E₂)` where `φL`
+/// references only left attributes, `φR` only right attributes (re-based),
+/// and `φX` the genuinely mixed remainder.
+pub struct PushSelectionIntoJoin;
+
+impl PushSelectionIntoJoin {
+    /// Splits conjuncts of `predicate` (over `left ⊕ right`) into
+    /// (left-only, right-only re-based, mixed).
+    fn split(
+        predicate: &ScalarExpr,
+        left_arity: usize,
+    ) -> CoreResult<(Vec<ScalarExpr>, Vec<ScalarExpr>, Vec<ScalarExpr>)> {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let mut mixed = Vec::new();
+        for conj in predicate.conjuncts() {
+            let used = conj.attrs_used();
+            if used.is_empty() {
+                // constant conjunct: keep where it is (folding handles it)
+                mixed.push(conj.clone());
+            } else if used.iter().all(|&i| i <= left_arity) {
+                left.push(conj.clone());
+            } else if used.iter().all(|&i| i > left_arity) {
+                right.push(conj.clone().map_attrs(&mut |i| Ok(i - left_arity))?);
+            } else {
+                mixed.push(conj.clone());
+            }
+        }
+        Ok((left, right, mixed))
+    }
+}
+
+impl Rule for PushSelectionIntoJoin {
+    fn name(&self) -> &'static str {
+        "push-selection-into-join"
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        // two shapes: σ over × / ⋈, and a ⋈ whose own predicate has
+        // single-side conjuncts
+        match expr {
+            RelExpr::Select { input, predicate } => {
+                let (l, r, join_pred) = match input.as_ref() {
+                    RelExpr::Product(l, r) => (l, r, None),
+                    RelExpr::Join {
+                        left,
+                        right,
+                        predicate: jp,
+                    } => (left, right, Some(jp.clone())),
+                    _ => return Ok(None),
+                };
+                let la = ctx.arity(l)?;
+                let (lp, rp, mixed) = Self::split(predicate, la)?;
+                if lp.is_empty() && rp.is_empty() {
+                    return Ok(None);
+                }
+                let mut new_left = l.as_ref().clone();
+                if !lp.is_empty() {
+                    new_left = new_left.select(ScalarExpr::conjoin(lp));
+                }
+                let mut new_right = r.as_ref().clone();
+                if !rp.is_empty() {
+                    new_right = new_right.select(ScalarExpr::conjoin(rp));
+                }
+                let core = match join_pred {
+                    None => new_left.product(new_right),
+                    Some(jp) => new_left.join(new_right, jp),
+                };
+                Ok(Some(if mixed.is_empty() {
+                    core
+                } else {
+                    core.select(ScalarExpr::conjoin(mixed))
+                }))
+            }
+            RelExpr::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let la = ctx.arity(left)?;
+                let (lp, rp, mixed) = Self::split(predicate, la)?;
+                if lp.is_empty() && rp.is_empty() {
+                    return Ok(None);
+                }
+                let mut new_left = left.as_ref().clone();
+                if !lp.is_empty() {
+                    new_left = new_left.select(ScalarExpr::conjoin(lp));
+                }
+                let mut new_right = right.as_ref().clone();
+                if !rp.is_empty() {
+                    new_right = new_right.select(ScalarExpr::conjoin(rp));
+                }
+                // the remaining mixed conjuncts stay as the join predicate;
+                // if none remain the join degenerates to a product
+                Ok(Some(if mixed.is_empty() {
+                    new_left.product(new_right)
+                } else {
+                    new_left.join(new_right, ScalarExpr::conjoin(mixed))
+                }))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Pushes `π_a` through `⊎` (Theorem 3.2's second law).
+pub struct PushProjectionThroughUnion;
+
+impl Rule for PushProjectionThroughUnion {
+    fn name(&self) -> &'static str {
+        "push-projection-through-union"
+    }
+
+    fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let RelExpr::Project { input, attrs } = expr else {
+            return Ok(None);
+        };
+        let RelExpr::Union(l, r) = input.as_ref() else {
+            return Ok(None);
+        };
+        Ok(Some(RelExpr::Union(
+            Arc::new(RelExpr::Project {
+                input: Arc::new(l.as_ref().clone()),
+                attrs: attrs.clone(),
+            }),
+            Arc::new(RelExpr::Project {
+                input: Arc::new(r.as_ref().clone()),
+                attrs: attrs.clone(),
+            }),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::CmpOp;
+
+    fn ctx_catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Str]))
+            .expect("fresh")
+            .with("s", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+    }
+
+    fn apply(rule: &dyn Rule, e: &RelExpr) -> Option<RelExpr> {
+        let cat = ctx_catalog();
+        let ctx = RuleContext::new(&cat);
+        rule.apply(e, &ctx).expect("rule application")
+    }
+
+    #[test]
+    fn selection_distributes_over_union() {
+        let p = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
+        let e = RelExpr::scan("r").union(RelExpr::scan("r")).select(p.clone());
+        let out = apply(&PushSelectionThroughBinary, &e).expect("applies");
+        let want = RelExpr::scan("r")
+            .select(p.clone())
+            .union(RelExpr::scan("r").select(p));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn selection_distributes_over_difference_and_intersection() {
+        let p = ScalarExpr::attr(2).eq(ScalarExpr::str("x"));
+        for mk in [RelExpr::difference, RelExpr::intersect] {
+            let e = mk(RelExpr::scan("r"), RelExpr::scan("r")).select(p.clone());
+            let out = apply(&PushSelectionThroughBinary, &e).expect("applies");
+            let want = mk(
+                RelExpr::scan("r").select(p.clone()),
+                RelExpr::scan("r").select(p.clone()),
+            );
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn selection_not_pushed_through_other_nodes() {
+        let p = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
+        let e = RelExpr::scan("r").distinct().select(p);
+        assert!(apply(&PushSelectionThroughBinary, &e).is_none());
+    }
+
+    #[test]
+    fn split_selection_over_product() {
+        // σ[%1=1 ∧ %3=2 ∧ %1=%3](r × s)
+        let pred = ScalarExpr::attr(1)
+            .eq(ScalarExpr::int(1))
+            .and(ScalarExpr::attr(3).eq(ScalarExpr::int(2)))
+            .and(ScalarExpr::attr(1).eq(ScalarExpr::attr(3)));
+        let e = RelExpr::scan("r").product(RelExpr::scan("s")).select(pred);
+        let out = apply(&PushSelectionIntoJoin, &e).expect("applies");
+        // left conjunct stays %1=1; right conjunct re-bases to %1=2;
+        // mixed conjunct remains on top
+        let want = RelExpr::scan("r")
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)))
+            .product(RelExpr::scan("s").select(ScalarExpr::attr(1).eq(ScalarExpr::int(2))))
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::attr(3)));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn join_predicate_single_side_conjuncts_sink() {
+        // r ⋈[%1=%3 ∧ %2='x'] s → σ[%2='x']r ⋈[%1=%3] s
+        let pred = ScalarExpr::attr(1)
+            .eq(ScalarExpr::attr(3))
+            .and(ScalarExpr::attr(2).eq(ScalarExpr::str("x")));
+        let e = RelExpr::scan("r").join(RelExpr::scan("s"), pred);
+        let out = apply(&PushSelectionIntoJoin, &e).expect("applies");
+        let want = RelExpr::scan("r")
+            .select(ScalarExpr::attr(2).eq(ScalarExpr::str("x")))
+            .join(RelExpr::scan("s"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn join_degenerates_to_product_when_all_conjuncts_sink() {
+        let pred = ScalarExpr::attr(1)
+            .eq(ScalarExpr::int(5))
+            .and(ScalarExpr::attr(4).cmp(CmpOp::Gt, ScalarExpr::int(0)));
+        let e = RelExpr::scan("r").join(RelExpr::scan("s"), pred);
+        let out = apply(&PushSelectionIntoJoin, &e).expect("applies");
+        let want = RelExpr::scan("r")
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::int(5)))
+            .product(
+                RelExpr::scan("s")
+                    .select(ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::int(0))),
+            );
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn pure_cross_predicate_does_not_apply() {
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let e = RelExpr::scan("r").join(RelExpr::scan("s"), pred);
+        assert!(apply(&PushSelectionIntoJoin, &e).is_none());
+    }
+
+    #[test]
+    fn projection_distributes_over_union() {
+        let e = RelExpr::scan("r").union(RelExpr::scan("r")).project(&[2]);
+        let out = apply(&PushProjectionThroughUnion, &e).expect("applies");
+        let want = RelExpr::scan("r")
+            .project(&[2])
+            .union(RelExpr::scan("r").project(&[2]));
+        assert_eq!(out, want);
+        // does not fire elsewhere
+        let e = RelExpr::scan("r").distinct().project(&[1]);
+        assert!(apply(&PushProjectionThroughUnion, &e).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Table statistics for cardinality estimation.
+
+use mera_core::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Statistics for one column: the number of distinct values observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Distinct values in the column (≥ 1 unless the table is empty).
+    pub distinct: u64,
+}
+
+/// Statistics for one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Total tuples, counted with multiplicity.
+    pub rows: u64,
+    /// Distinct tuples.
+    pub distinct_rows: u64,
+    /// Per-column statistics, in attribute order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes exact statistics by scanning a relation once.
+    pub fn analyze(rel: &Relation) -> TableStats {
+        let arity = rel.schema().arity();
+        let mut seen: Vec<FxHashSet<&Value>> = (0..arity).map(|_| FxHashSet::default()).collect();
+        for t in rel.support() {
+            for (i, v) in t.values().iter().enumerate() {
+                seen[i].insert(v);
+            }
+        }
+        TableStats {
+            rows: rel.len(),
+            distinct_rows: rel.distinct_len() as u64,
+            columns: seen
+                .into_iter()
+                .map(|s| ColumnStats {
+                    distinct: s.len() as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Distinct count of a 1-based column, defaulting to the distinct row
+    /// count when out of range (conservative).
+    pub fn column_distinct(&self, attr: usize) -> u64 {
+        self.columns
+            .get(attr.wrapping_sub(1))
+            .map(|c| c.distinct.max(1))
+            .unwrap_or_else(|| self.distinct_rows.max(1))
+    }
+}
+
+/// Statistics for every relation in a database.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogStats {
+    tables: FxHashMap<String, TableStats>,
+}
+
+impl CatalogStats {
+    /// Empty statistics (every lookup falls back to defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzes every relation of a database.
+    pub fn from_database(db: &Database) -> CoreResult<CatalogStats> {
+        let mut tables = FxHashMap::default();
+        for name in db.relation_names() {
+            tables.insert(name.to_owned(), TableStats::analyze(db.relation(name)?));
+        }
+        Ok(CatalogStats { tables })
+    }
+
+    /// Registers statistics for a named relation.
+    pub fn insert(&mut self, name: impl Into<String>, stats: TableStats) {
+        self.tables.insert(name.into(), stats);
+    }
+
+    /// Statistics for a relation, if known.
+    pub fn get(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use std::sync::Arc;
+
+    #[test]
+    fn analyze_counts_rows_and_distincts() {
+        let rel = Relation::from_counted(
+            Arc::new(Schema::anon(&[DataType::Int, DataType::Str])),
+            vec![
+                (tuple![1_i64, "a"], 3),
+                (tuple![2_i64, "a"], 1),
+                (tuple![2_i64, "b"], 2),
+            ],
+        )
+        .expect("well-typed");
+        let s = TableStats::analyze(&rel);
+        assert_eq!(s.rows, 6);
+        assert_eq!(s.distinct_rows, 3);
+        assert_eq!(s.columns[0].distinct, 2);
+        assert_eq!(s.columns[1].distinct, 2);
+        assert_eq!(s.column_distinct(1), 2);
+        // out-of-range column falls back to distinct rows
+        assert_eq!(s.column_distinct(9), 3);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let rel = Relation::empty(Arc::new(Schema::anon(&[DataType::Int])));
+        let s = TableStats::analyze(&rel);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.column_distinct(1), 1); // clamped to ≥ 1
+    }
+
+    #[test]
+    fn catalog_stats_from_database() {
+        let schema = DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int]))
+            .expect("fresh");
+        let mut db = Database::new(schema);
+        db.update_with("r", |r| {
+            let mut r = r.clone();
+            r.insert(tuple![7_i64], 4)?;
+            Ok(r)
+        })
+        .expect("update");
+        let cs = CatalogStats::from_database(&db).expect("analyze");
+        assert_eq!(cs.get("r").expect("present").rows, 4);
+        assert!(cs.get("zzz").is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Rewrite soundness: every plan the optimizer produces must evaluate to
+//! the *same multi-set* as the original, on arbitrary databases — including
+//! plans whose evaluation errors (definedness must be preserved; see the
+//! constant-folding rule's conservatism).
+//!
+//! Expressions are generated from flat index tuples and assembled in plain
+//! code — deeply nested proptest combinators have large debug-mode stack
+//! frames and overflow the 2 MiB test-thread stack.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_eval::eval;
+use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
+use mera_opt::{reorder_joins, CatalogStats, Optimizer};
+use proptest::prelude::*;
+
+type RRows = Vec<(i64, u8, u64)>;
+type SRows = Vec<(i64, i64, u64)>;
+
+fn build_db(r_rows: RRows, s_rows: SRows) -> Database {
+    let schema = DatabaseSchema::new()
+        .with(
+            "r",
+            Schema::named(&[("a", DataType::Int), ("tag", DataType::Str)]),
+        )
+        .expect("fresh")
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh");
+    let mut db = Database::new(schema);
+    let tags = ["x", "y", "z"];
+    let r_schema = Arc::clone(db.schema().get("r").expect("declared"));
+    db.replace(
+        "r",
+        Relation::from_counted(
+            r_schema,
+            r_rows
+                .into_iter()
+                .map(|(a, t, m)| (tuple![a, tags[(t % 3) as usize]], m)),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    let s_schema = Arc::clone(db.schema().get("s").expect("declared"));
+    db.replace(
+        "s",
+        Relation::from_counted(
+            s_schema,
+            s_rows.into_iter().map(|(k, v, m)| (tuple![k, v], m)),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    db
+}
+
+/// Predicates over r's schema, selected by index.
+fn pred_r(ix: u8, c: i64) -> ScalarExpr {
+    match ix % 5 {
+        0 => ScalarExpr::attr(1).eq(ScalarExpr::int(c)),
+        1 => ScalarExpr::attr(2).eq(ScalarExpr::str("y")),
+        2 => ScalarExpr::bool(true).and(ScalarExpr::attr(1).cmp(CmpOp::Ge, ScalarExpr::int(c))),
+        3 => ScalarExpr::bool(false),
+        _ => ScalarExpr::int(2).add(ScalarExpr::int(2)).eq(ScalarExpr::attr(1)),
+    }
+}
+
+/// Join predicates over `r ⊕ s`, selected by index.
+fn join_pred(ix: u8) -> ScalarExpr {
+    match ix % 5 {
+        0 => ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        1 => ScalarExpr::attr(1)
+            .eq(ScalarExpr::attr(3))
+            .and(ScalarExpr::attr(2).eq(ScalarExpr::str("x"))),
+        2 => ScalarExpr::attr(4)
+            .cmp(CmpOp::Gt, ScalarExpr::int(3))
+            .and(ScalarExpr::attr(1).eq(ScalarExpr::attr(3))),
+        3 => ScalarExpr::attr(1).cmp(CmpOp::Le, ScalarExpr::attr(4)),
+        _ => ScalarExpr::bool(true),
+    }
+}
+
+/// Assembles an expression from flat selector indexes.
+fn build_expr(shape: u8, base_ix: u8, p_ix: u8, q_ix: u8, j_ix: u8, c: i64) -> RelExpr {
+    let r = RelExpr::scan("r");
+    let base = match base_ix % 6 {
+        0 => r,
+        1 => r.select(pred_r(p_ix, c)),
+        2 => r.select(pred_r(p_ix, c)).select(pred_r(q_ix, c + 1)),
+        3 => r.union(RelExpr::scan("r")),
+        4 => r.union(RelExpr::scan("r")).select(pred_r(p_ix, c)),
+        _ => r.difference(RelExpr::scan("r")).distinct().distinct(),
+    };
+    match shape % 6 {
+        0 => base,
+        1 => base.join(RelExpr::scan("s"), join_pred(j_ix)),
+        2 => base.product(RelExpr::scan("s")).select(join_pred(j_ix)),
+        3 => base
+            .join(RelExpr::scan("s"), join_pred(j_ix))
+            .group_by(&[2], Aggregate::Cnt, 1),
+        4 => base
+            .join(RelExpr::scan("s"), join_pred(j_ix))
+            .group_by(&[2, 4], Aggregate::Sum, 3),
+        _ => base.project(&[2, 1]).distinct(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn optimized_plans_evaluate_identically(
+        r_rows in proptest::collection::vec(((0i64..5), (0u8..3), (1u64..5)), 0..8),
+        s_rows in proptest::collection::vec(((0i64..5), (0i64..9), (1u64..4)), 0..6),
+        shape in 0u8..6,
+        base_ix in 0u8..6,
+        p_ix in 0u8..5,
+        q_ix in 0u8..5,
+        j_ix in 0u8..5,
+        c in 0i64..5,
+    ) {
+        let db = build_db(r_rows, s_rows);
+        let e = build_expr(shape, base_ix, p_ix, q_ix, j_ix, c);
+        let opt = Optimizer::standard();
+        let optimized = opt.optimize(&e, db.schema()).expect("optimize");
+        let want = eval(&e, &db);
+        let got = eval(&optimized.expr, &db);
+        match (want, got) {
+            (Ok(w), Ok(g)) => prop_assert_eq!(
+                g, w,
+                "rewrite changed semantics\noriginal:  {}\noptimized: {}",
+                e, optimized.expr
+            ),
+            (Err(we), Err(ge)) => prop_assert_eq!(we, ge),
+            (w, g) => prop_assert!(
+                false,
+                "definedness changed\noriginal:  {} -> {:?}\noptimized: {} -> {:?}",
+                e, w, optimized.expr, g
+            ),
+        }
+    }
+
+    #[test]
+    fn ablated_optimizers_also_sound(
+        r_rows in proptest::collection::vec(((0i64..5), (0u8..3), (1u64..5)), 0..8),
+        s_rows in proptest::collection::vec(((0i64..5), (0i64..9), (1u64..4)), 0..6),
+        shape in 0u8..6,
+        base_ix in 0u8..6,
+        j_ix in 0u8..5,
+        drop_rule in 0usize..9,
+    ) {
+        let db = build_db(r_rows, s_rows);
+        let e = build_expr(shape, base_ix, 0, 1, j_ix, 2);
+        let all = Optimizer::standard();
+        let names = all.rule_names();
+        let opt = Optimizer::standard_without(&[names[drop_rule % names.len()]]);
+        let optimized = opt.optimize(&e, db.schema()).expect("optimize");
+        let want = eval(&e, &db);
+        let got = eval(&optimized.expr, &db);
+        match (want, got) {
+            (Ok(w), Ok(g)) => prop_assert_eq!(g, w),
+            (Err(we), Err(ge)) => prop_assert_eq!(we, ge),
+            _ => prop_assert!(false, "definedness changed under ablation"),
+        }
+    }
+
+    #[test]
+    fn join_reordering_preserves_semantics(
+        r_rows in proptest::collection::vec(((0i64..5), (0u8..3), (1u64..5)), 0..8),
+        s_rows in proptest::collection::vec(((0i64..5), (0i64..9), (1u64..4)), 0..6),
+        j_ix in 0u8..5,
+    ) {
+        let db = build_db(r_rows, s_rows);
+        // three-way chain: (r ⋈p1 s) ⋈ s with a fixed second predicate
+        let e = RelExpr::scan("r")
+            .join(RelExpr::scan("s"), join_pred(j_ix))
+            .join(
+                RelExpr::scan("s"),
+                ScalarExpr::attr(3).eq(ScalarExpr::attr(5)),
+            );
+        let stats = CatalogStats::from_database(&db).expect("analyze");
+        let reordered = reorder_joins(&e, &stats, db.schema()).expect("reorder");
+        let want = eval(&e, &db).expect("three-way join evaluates");
+        let got = eval(&reordered, &db).expect("reordered join evaluates");
+        prop_assert_eq!(got, want, "reorder broke {} -> {}", e, reordered);
+    }
+}

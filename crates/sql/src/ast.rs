@@ -1,0 +1,173 @@
+//! The SQL subset's AST.
+//!
+//! Coverage mirrors what the paper uses when it presents SQL forms of its
+//! examples (§3.2 and §4.1): single-block `SELECT` with `FROM` list,
+//! `WHERE`, `GROUP BY`, `HAVING` and `DISTINCT`; plus `INSERT INTO …
+//! VALUES`, `DELETE FROM`, and `UPDATE … SET`. One aggregate call per
+//! query block (the algebra's `γ` carries one aggregate function).
+
+/// A possibly-qualified column reference `[table.]column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Optional qualifier (table name).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// An unqualified column.
+    pub fn new(column: impl Into<String>) -> Self {
+        ColRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified column.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Binary operators in SQL expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A scalar SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Col(ColRef),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Binary operation.
+    Binary(SqlBinOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// `NOT e`.
+    Not(Box<SqlExpr>),
+    /// Unary minus.
+    Neg(Box<SqlExpr>),
+    /// An aggregate call — only meaningful inside `HAVING`, where it
+    /// refers to the query's aggregate output column.
+    Agg(AggCall),
+}
+
+/// One aggregate call `AGG(col)` or `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Function name (uppercased).
+    pub func: String,
+    /// Aggregated column; `None` for `COUNT(*)`.
+    pub arg: Option<ColRef>,
+}
+
+/// An item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A scalar expression with an optional `AS` alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+    /// An aggregate call with an optional `AS` alias.
+    Aggregate {
+        /// The call.
+        call: AggCall,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// A single-block `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// The select list (non-empty).
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables, in order.
+    pub from: Vec<String>,
+    /// Optional `WHERE` condition.
+    pub where_clause: Option<SqlExpr>,
+    /// `GROUP BY` columns (empty = no grouping).
+    pub group_by: Vec<ColRef>,
+    /// Optional `HAVING` condition (requires grouping or an aggregate).
+    pub having: Option<SqlExpr>,
+}
+
+/// One SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStmt {
+    /// A query.
+    Select(SelectQuery),
+    /// `INSERT INTO t VALUES (…), …`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    /// `DELETE FROM t [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional condition.
+        where_clause: Option<SqlExpr>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments in order.
+        sets: Vec<(String, SqlExpr)>,
+        /// Optional condition.
+        where_clause: Option<SqlExpr>,
+    },
+}

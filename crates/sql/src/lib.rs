@@ -1,0 +1,266 @@
+//! # mera-sql — a SQL subset over the multi-set algebra
+//!
+//! §1 of the paper positions the extended algebra "as a formal background
+//! to other multi-set languages like SQL". This crate demonstrates that
+//! role concretely: a single-block SQL subset (the fragment the paper's
+//! own SQL examples use) parsed and translated into the algebra, so SQL
+//! statements execute with exactly the multi-set semantics of §3.
+//!
+//! * [`ast`] — the SQL AST,
+//! * [`parser`] — case-insensitive recursive descent,
+//! * [`translate`](mod@translate) — FROM→`×`, WHERE→`σ`, SELECT→`π`, DISTINCT→`δ`,
+//!   GROUP BY→`γ`, DML→Definition 4.1 statements.
+//!
+//! ```
+//! use mera_core::prelude::*;
+//! use mera_sql::run_sql;
+//! use mera_txn::{Program, TransactionManager};
+//!
+//! let schema = DatabaseSchema::new()
+//!     .with("beer", Schema::named(&[
+//!         ("name", DataType::Str),
+//!         ("brewery", DataType::Str),
+//!         ("alcperc", DataType::Real),
+//!     ]))?;
+//! let mgr = TransactionManager::new(schema);
+//! run_sql(&mgr, "INSERT INTO beer VALUES ('Grolsch', 'Grolsche', 5.0)")?;
+//! let out = run_sql(&mgr, "SELECT name FROM beer WHERE alcperc >= 5.0")?;
+//! assert_eq!(out.expect("query output").len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{ColRef, SelectItem, SelectQuery, SqlExpr, SqlStmt};
+pub use parser::{parse_sql, parse_sql_script};
+pub use translate::{translate, Translated};
+
+use mera_core::prelude::*;
+use mera_lang::error::{LangError, LangResult};
+use mera_txn::{Outcome, Program, TransactionManager};
+
+/// Parses, translates and runs one SQL statement as a transaction against
+/// a manager. Returns the result relation for queries, `None` for DML.
+pub fn run_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Option<Relation>> {
+    let stmt = parse_sql(sql)?;
+    let snapshot = mgr.snapshot();
+    let translated = translate(&stmt, snapshot.schema())?;
+    let is_query = matches!(translated, Translated::Query(_));
+    let program = Program::single(translated.into_statement());
+    let (outcome, _) = mgr.execute(&program).map_err(LangError::Semantic)?;
+    match outcome {
+        Outcome::Committed(mut outputs) => {
+            if is_query {
+                Ok(Some(outputs.queries.remove(0)))
+            } else {
+                Ok(None)
+            }
+        }
+        Outcome::Aborted(reason) => Err(LangError::Semantic(CoreError::TypeError(format!(
+            "transaction aborted: {reason}"
+        )))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use mera_expr::{Aggregate, RelExpr, ScalarExpr};
+
+    fn beer_schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh")
+            .with(
+                "brewery",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("city", DataType::Str),
+                    ("country", DataType::Str),
+                ]),
+            )
+            .expect("fresh")
+    }
+
+    fn loaded_manager() -> TransactionManager {
+        let mgr = TransactionManager::new(beer_schema());
+        run_sql(
+            &mgr,
+            "INSERT INTO beer VALUES \
+             ('Grolsch', 'Grolsche', 5.0), \
+             ('Heineken', 'Heineken', 5.0), \
+             ('Amstel', 'Heineken', 5.1), \
+             ('Bock', 'Grolsche', 6.5), \
+             ('Bock', 'Heineken', 6.3), \
+             ('Guinness', 'StJames', 4.2)",
+        )
+        .expect("insert beers");
+        run_sql(
+            &mgr,
+            "INSERT INTO brewery VALUES \
+             ('Grolsche', 'Enschede', 'NL'), \
+             ('Heineken', 'Amsterdam', 'NL'), \
+             ('StJames', 'Dublin', 'IE')",
+        )
+        .expect("insert breweries");
+        mgr
+    }
+
+    #[test]
+    fn example_3_2_translation_shape() {
+        // SELECT country, AVG(alcperc) FROM beer, brewery
+        // WHERE beer.brewery = brewery.name GROUP BY country
+        let stmt = parse_sql(
+            "SELECT country, AVG(alcperc) FROM beer, brewery \
+             WHERE beer.brewery = brewery.name GROUP BY country",
+        )
+        .expect("parses");
+        let schema = beer_schema();
+        let Translated::Query(e) = translate(&stmt, &schema).expect("translates") else {
+            panic!("expected a query");
+        };
+        let want = RelExpr::scan("beer")
+            .product(RelExpr::scan("brewery"))
+            .select(ScalarExpr::attr(2).eq(ScalarExpr::attr(4)))
+            .group_by(&[6], Aggregate::Avg, 3);
+        assert_eq!(e, want);
+    }
+
+    #[test]
+    fn example_3_2_executes_with_bag_semantics() {
+        let mgr = loaded_manager();
+        let out = run_sql(
+            &mgr,
+            "SELECT country, AVG(alcperc) FROM beer, brewery \
+             WHERE beer.brewery = brewery.name GROUP BY country",
+        )
+        .expect("runs")
+        .expect("query output");
+        let nl = (5.0 + 5.0 + 5.1 + 6.5 + 6.3) / 5.0;
+        assert_eq!(out.multiplicity(&tuple!["NL", nl]), 1);
+        assert_eq!(out.multiplicity(&tuple!["IE", 4.2_f64]), 1);
+    }
+
+    #[test]
+    fn example_4_1_update() {
+        let mgr = loaded_manager();
+        run_sql(
+            &mgr,
+            "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Heineken'",
+        )
+        .expect("updates");
+        let out = run_sql(&mgr, "SELECT alcperc FROM beer WHERE name = 'Amstel'")
+            .expect("runs")
+            .expect("query output");
+        assert_eq!(out.multiplicity(&tuple![5.1 * 1.1]), 1);
+    }
+
+    #[test]
+    fn plain_select_preserves_duplicates() {
+        let mgr = loaded_manager();
+        let out = run_sql(&mgr, "SELECT alcperc FROM beer")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.multiplicity(&tuple![5.0_f64]), 2);
+        // DISTINCT collapses them
+        let out = run_sql(&mgr, "SELECT DISTINCT alcperc FROM beer")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.multiplicity(&tuple![5.0_f64]), 1);
+    }
+
+    #[test]
+    fn select_star_and_qualified_columns() {
+        let mgr = loaded_manager();
+        let out = run_sql(
+            &mgr,
+            "SELECT * FROM beer, brewery WHERE beer.brewery = brewery.name",
+        )
+        .expect("runs")
+        .expect("output");
+        assert_eq!(out.schema().arity(), 6);
+        assert_eq!(out.len(), 6);
+        // ambiguous unqualified 'name' is an error
+        let err = run_sql(&mgr, "SELECT name FROM beer, brewery").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn count_star_and_having() {
+        let mgr = loaded_manager();
+        let out = run_sql(
+            &mgr,
+            "SELECT brewery, COUNT(*) FROM beer GROUP BY brewery HAVING COUNT(*) > 1",
+        )
+        .expect("runs")
+        .expect("output");
+        assert_eq!(out.multiplicity(&tuple!["Heineken", 3_i64]), 1);
+        assert_eq!(out.multiplicity(&tuple!["Grolsche", 2_i64]), 1);
+        assert_eq!(out.len(), 2); // StJames (1 beer) filtered by HAVING
+    }
+
+    #[test]
+    fn select_list_reorders_group_output() {
+        let mgr = loaded_manager();
+        // aggregate first, key second
+        let out = run_sql(
+            &mgr,
+            "SELECT MAX(alcperc), brewery FROM beer GROUP BY brewery",
+        )
+        .expect("runs")
+        .expect("output");
+        assert_eq!(out.multiplicity(&tuple![6.5_f64, "Grolsche"]), 1);
+    }
+
+    #[test]
+    fn delete_with_where() {
+        let mgr = loaded_manager();
+        run_sql(&mgr, "DELETE FROM beer WHERE alcperc < 5.0").expect("deletes");
+        let out = run_sql(&mgr, "SELECT COUNT(*) FROM beer")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.multiplicity(&tuple![5_i64]), 1);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let mgr = loaded_manager();
+        let out = run_sql(&mgr, "SELECT AVG(alcperc) FROM beer")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 1);
+        let avg = (5.0 + 5.0 + 5.1 + 6.5 + 6.3 + 4.2) / 6.0;
+        assert_eq!(out.multiplicity(&tuple![avg]), 1);
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let mgr = loaded_manager();
+        // two aggregates
+        assert!(run_sql(&mgr, "SELECT AVG(alcperc), MAX(alcperc) FROM beer").is_err());
+        // non-grouped column
+        assert!(run_sql(&mgr, "SELECT name, COUNT(*) FROM beer GROUP BY brewery").is_err());
+        // star with group by
+        assert!(run_sql(&mgr, "SELECT * FROM beer GROUP BY brewery").is_err());
+        // having without grouping
+        assert!(run_sql(&mgr, "SELECT name FROM beer HAVING name = 'x'").is_err());
+        // unknown table / column
+        assert!(run_sql(&mgr, "SELECT * FROM ales").is_err());
+        assert!(run_sql(&mgr, "SELECT colour FROM beer").is_err());
+        // ill-typed insert
+        assert!(run_sql(&mgr, "INSERT INTO beer VALUES (1, 2, 3)").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Translation of the SQL subset into the multi-set extended relational
+//! algebra — the paper's "formal background for SQL" role, following the
+//! classic scheme of Ceri & Gottlob (the paper's reference \[5\]):
+//!
+//! * `FROM t₁, …, tₙ` → product chain `t₁ × … × tₙ`,
+//! * `WHERE φ` → `σ_φ`,
+//! * plain `SELECT` list → (extended) projection `π`,
+//! * `SELECT DISTINCT` → `δ`,
+//! * `GROUP BY` + one aggregate → `γ_{a,f,p}` (then `σ` for `HAVING` and a
+//!   final `π` to lay columns out in `SELECT`-list order),
+//! * `INSERT`/`DELETE`/`UPDATE` → the statements of Definition 4.1.
+//!
+//! SQL's *bag* behaviour drops out automatically: no `δ` is inserted
+//! anywhere the user did not write `DISTINCT`, so duplicates flow exactly
+//! as SQL prescribes — which is the paper's point.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{Aggregate, ArithOp, CmpOp, RelExpr, ScalarExpr, SchemaProvider};
+use mera_lang::error::{LangError, LangResult};
+use mera_txn::Statement;
+
+use crate::ast::*;
+
+/// A translated SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Translated {
+    /// A `SELECT` becomes a query statement.
+    Query(RelExpr),
+    /// DML becomes an update statement.
+    Statement(Statement),
+}
+
+impl Translated {
+    /// Converts to an executable statement (`SELECT` → `?E`).
+    pub fn into_statement(self) -> Statement {
+        match self {
+            Translated::Query(e) => Statement::query(e),
+            Translated::Statement(s) => s,
+        }
+    }
+}
+
+/// Translates one SQL statement against a catalog.
+pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<Translated> {
+    match stmt {
+        SqlStmt::Select(q) => Ok(Translated::Query(translate_select(q, provider)?)),
+        SqlStmt::Insert { table, rows } => {
+            let schema = provider.relation_schema(table)?;
+            let mut rel = Relation::empty(Arc::clone(&schema));
+            for row in rows {
+                let vals: LangResult<Vec<Value>> =
+                    row.iter().map(const_value).collect();
+                rel.insert(Tuple::new(vals?), 1)?;
+            }
+            Ok(Translated::Statement(Statement::insert(
+                table.clone(),
+                RelExpr::values(rel),
+            )))
+        }
+        SqlStmt::Delete {
+            table,
+            where_clause,
+        } => {
+            let schema = provider.relation_schema(table)?;
+            let env = NameEnv::for_table(table, &schema);
+            let mut expr = RelExpr::scan(table.clone());
+            if let Some(w) = where_clause {
+                expr = expr.select(translate_expr(w, &env)?);
+            }
+            Ok(Translated::Statement(Statement::delete(
+                table.clone(),
+                expr,
+            )))
+        }
+        SqlStmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let schema = provider.relation_schema(table)?;
+            let env = NameEnv::for_table(table, &schema);
+            let mut selected = RelExpr::scan(table.clone());
+            if let Some(w) = where_clause {
+                selected = selected.select(translate_expr(w, &env)?);
+            }
+            // build the structure-preserving expression list: identity for
+            // unassigned attributes, the SET expression otherwise
+            let mut exprs: Vec<ScalarExpr> = (1..=schema.arity()).map(ScalarExpr::Attr).collect();
+            for (col, e) in sets {
+                let idx = schema.index_of(col)?;
+                exprs[idx - 1] = translate_expr(e, &env)?;
+            }
+            Ok(Translated::Statement(Statement::update(
+                table.clone(),
+                selected,
+                exprs,
+            )))
+        }
+    }
+}
+
+/// The name environment of a `FROM` clause: 1-based positions tagged with
+/// their table and column names.
+struct NameEnv {
+    entries: Vec<(String, Option<String>)>, // (table, column name)
+}
+
+impl NameEnv {
+    fn for_table(table: &str, schema: &Schema) -> Self {
+        let mut env = NameEnv {
+            entries: Vec::with_capacity(schema.arity()),
+        };
+        env.push_table(table, schema);
+        env
+    }
+
+    fn push_table(&mut self, table: &str, schema: &Schema) {
+        for a in schema.attributes() {
+            self.entries.push((table.to_owned(), a.name.clone()));
+        }
+    }
+
+    /// Resolves a column reference to its 1-based position; ambiguity (two
+    /// matches) and misses are errors.
+    fn resolve(&self, col: &ColRef) -> LangResult<usize> {
+        let matches: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, c))| {
+                c.as_deref() == Some(col.column.as_str())
+                    && col.table.as_deref().map(|q| q == t).unwrap_or(true)
+            })
+            .map(|(i, _)| i + 1)
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(LangError::Semantic(CoreError::UnknownAttribute(
+                col.to_string(),
+            ))),
+            _ => Err(LangError::Semantic(CoreError::TypeError(format!(
+                "ambiguous column reference '{col}'"
+            )))),
+        }
+    }
+}
+
+fn translate_select<P: SchemaProvider>(q: &SelectQuery, provider: &P) -> LangResult<RelExpr> {
+    if q.items.is_empty() || q.from.is_empty() {
+        return Err(LangError::Semantic(CoreError::TypeError(
+            "SELECT needs a select list and a FROM clause".into(),
+        )));
+    }
+    // FROM: product chain, building the name environment
+    let mut env = NameEnv { entries: vec![] };
+    let mut from_iter = q.from.iter();
+    let first = from_iter.next().expect("non-empty FROM");
+    env.push_table(first, provider.relation_schema(first)?.as_ref());
+    let mut expr = RelExpr::scan(first.clone());
+    for table in from_iter {
+        env.push_table(table, provider.relation_schema(table)?.as_ref());
+        expr = expr.product(RelExpr::scan(table.clone()));
+    }
+    // WHERE
+    if let Some(w) = &q.where_clause {
+        expr = expr.select(translate_expr(w, &env)?);
+    }
+
+    let aggregates: Vec<(&AggCall, Option<&String>)> = q
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Aggregate { call, alias } => Some((call, alias.as_ref())),
+            _ => None,
+        })
+        .collect();
+
+    if q.group_by.is_empty() && aggregates.is_empty() {
+        // plain projection block
+        let mut out_exprs = Vec::new();
+        for item in &q.items {
+            match item {
+                SelectItem::Star => {
+                    out_exprs.extend((1..=env.entries.len()).map(ScalarExpr::Attr));
+                }
+                SelectItem::Expr { expr: e, .. } => out_exprs.push(translate_expr(e, &env)?),
+                SelectItem::Aggregate { .. } => unreachable!("no aggregates in this branch"),
+            }
+        }
+        expr = project(expr, out_exprs);
+        if q.having.is_some() {
+            return Err(LangError::Semantic(CoreError::TypeError(
+                "HAVING requires GROUP BY or an aggregate".into(),
+            )));
+        }
+        if q.distinct {
+            expr = expr.distinct();
+        }
+        return Ok(expr);
+    }
+
+    // aggregation block: exactly one aggregate (the algebra's γ carries a
+    // single aggregate function)
+    if aggregates.len() != 1 {
+        return Err(LangError::Semantic(CoreError::TypeError(format!(
+            "exactly one aggregate per query block is supported, found {}",
+            aggregates.len()
+        ))));
+    }
+    let (call, _) = aggregates[0];
+    let agg = Aggregate::parse(&call.func).ok_or_else(|| {
+        LangError::Semantic(CoreError::TypeError(format!(
+            "unknown aggregate '{}'",
+            call.func
+        )))
+    })?;
+    let agg_attr = match &call.arg {
+        Some(col) => env.resolve(col)?,
+        None => 1, // COUNT(*): the dummy parameter of Definition 3.3
+    };
+    let keys: LangResult<Vec<usize>> = q.group_by.iter().map(|c| env.resolve(c)).collect();
+    let keys = keys?;
+    expr = expr.group_by(&keys, agg, agg_attr);
+    // output layout of γ: keys in clause order, then the aggregate
+    let agg_pos = keys.len() + 1;
+    let key_pos = |col: &ColRef| -> LangResult<usize> {
+        let resolved = env.resolve(col)?;
+        keys.iter()
+            .position(|&k| k == resolved)
+            .map(|p| p + 1)
+            .ok_or_else(|| {
+                LangError::Semantic(CoreError::TypeError(format!(
+                    "column '{col}' must appear in GROUP BY"
+                )))
+            })
+    };
+    // HAVING runs over the γ output
+    if let Some(h) = &q.having {
+        let pred = translate_having(h, &key_pos, call, agg_pos)?;
+        expr = expr.select(pred);
+    }
+    // final projection into SELECT-list order
+    let mut out_attrs = Vec::with_capacity(q.items.len());
+    for item in &q.items {
+        match item {
+            SelectItem::Star => {
+                return Err(LangError::Semantic(CoreError::TypeError(
+                    "SELECT * cannot be combined with GROUP BY".into(),
+                )))
+            }
+            SelectItem::Expr { expr: SqlExpr::Col(c), .. } => out_attrs.push(key_pos(c)?),
+            SelectItem::Expr { .. } => {
+                return Err(LangError::Semantic(CoreError::TypeError(
+                    "grouped SELECT items must be grouping columns or the aggregate".into(),
+                )))
+            }
+            SelectItem::Aggregate { .. } => out_attrs.push(agg_pos),
+        }
+    }
+    // skip the no-op projection when the layout already matches
+    let identity: Vec<usize> = (1..=agg_pos).collect();
+    if out_attrs != identity {
+        expr = expr.project(&out_attrs);
+    }
+    if q.distinct {
+        expr = expr.distinct();
+    }
+    Ok(expr)
+}
+
+/// Wraps an expression list as a plain or extended projection.
+fn project(input: RelExpr, exprs: Vec<ScalarExpr>) -> RelExpr {
+    let plain: Option<Vec<usize>> = exprs
+        .iter()
+        .map(|e| match e {
+            ScalarExpr::Attr(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    match plain {
+        Some(attrs) if !attrs.is_empty() => input.project(&attrs),
+        _ => input.ext_project(exprs),
+    }
+}
+
+/// Translates a scalar SQL expression against a FROM environment.
+fn translate_expr(e: &SqlExpr, env: &NameEnv) -> LangResult<ScalarExpr> {
+    Ok(match e {
+        SqlExpr::Col(c) => ScalarExpr::Attr(env.resolve(c)?),
+        SqlExpr::Int(v) => ScalarExpr::int(*v),
+        SqlExpr::Real(v) => ScalarExpr::Literal(Value::real(*v).map_err(LangError::Semantic)?),
+        SqlExpr::Str(s) => ScalarExpr::str(s.clone()),
+        SqlExpr::Bool(b) => ScalarExpr::bool(*b),
+        SqlExpr::Not(inner) => translate_expr(inner, env)?.not(),
+        SqlExpr::Neg(inner) => match translate_expr(inner, env)? {
+            ScalarExpr::Literal(Value::Int(v)) => ScalarExpr::Literal(Value::Int(
+                v.checked_neg().ok_or(CoreError::Overflow("negation"))?,
+            )),
+            ScalarExpr::Literal(Value::Real(r)) => {
+                ScalarExpr::Literal(Value::real(-r.get()).map_err(LangError::Semantic)?)
+            }
+            other => ScalarExpr::Neg(Arc::new(other)),
+        },
+        SqlExpr::Agg(_) => {
+            return Err(LangError::Semantic(CoreError::TypeError(
+                "aggregate calls are only allowed in the SELECT list and HAVING".into(),
+            )))
+        }
+        SqlExpr::Binary(op, l, r) => {
+            let l = translate_expr(l, env)?;
+            let r = translate_expr(r, env)?;
+            apply_binop(*op, l, r)
+        }
+    })
+}
+
+fn apply_binop(op: SqlBinOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    match op {
+        SqlBinOp::Add => l.arith(ArithOp::Add, r),
+        SqlBinOp::Sub => l.arith(ArithOp::Sub, r),
+        SqlBinOp::Mul => l.arith(ArithOp::Mul, r),
+        SqlBinOp::Div => l.arith(ArithOp::Div, r),
+        SqlBinOp::Eq => l.cmp(CmpOp::Eq, r),
+        SqlBinOp::Ne => l.cmp(CmpOp::Ne, r),
+        SqlBinOp::Lt => l.cmp(CmpOp::Lt, r),
+        SqlBinOp::Le => l.cmp(CmpOp::Le, r),
+        SqlBinOp::Gt => l.cmp(CmpOp::Gt, r),
+        SqlBinOp::Ge => l.cmp(CmpOp::Ge, r),
+        SqlBinOp::And => l.and(r),
+        SqlBinOp::Or => l.or(r),
+    }
+}
+
+/// Translates a HAVING predicate over the γ output schema: grouping
+/// columns resolve through `key_pos`, and an aggregate call matching the
+/// SELECT aggregate resolves to the aggregate output column.
+fn translate_having(
+    e: &SqlExpr,
+    key_pos: &dyn Fn(&ColRef) -> LangResult<usize>,
+    select_agg: &AggCall,
+    agg_pos: usize,
+) -> LangResult<ScalarExpr> {
+    Ok(match e {
+        SqlExpr::Col(c) => ScalarExpr::Attr(key_pos(c)?),
+        SqlExpr::Agg(call) => {
+            if call == select_agg {
+                ScalarExpr::Attr(agg_pos)
+            } else {
+                return Err(LangError::Semantic(CoreError::TypeError(format!(
+                    "HAVING aggregate {}({}) must match the SELECT aggregate",
+                    call.func,
+                    call.arg.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "*".into())
+                ))));
+            }
+        }
+        SqlExpr::Int(v) => ScalarExpr::int(*v),
+        SqlExpr::Real(v) => ScalarExpr::Literal(Value::real(*v).map_err(LangError::Semantic)?),
+        SqlExpr::Str(s) => ScalarExpr::str(s.clone()),
+        SqlExpr::Bool(b) => ScalarExpr::bool(*b),
+        SqlExpr::Not(inner) => translate_having(inner, key_pos, select_agg, agg_pos)?.not(),
+        SqlExpr::Neg(inner) => ScalarExpr::Neg(Arc::new(translate_having(
+            inner, key_pos, select_agg, agg_pos,
+        )?)),
+        SqlExpr::Binary(op, l, r) => {
+            let l = translate_having(l, key_pos, select_agg, agg_pos)?;
+            let r = translate_having(r, key_pos, select_agg, agg_pos)?;
+            apply_binop(*op, l, r)
+        }
+    })
+}
+
+/// Evaluates a literal-only expression (INSERT rows).
+fn const_value(e: &SqlExpr) -> LangResult<Value> {
+    match e {
+        SqlExpr::Int(v) => Ok(Value::Int(*v)),
+        SqlExpr::Real(v) => Value::real(*v).map_err(LangError::Semantic),
+        SqlExpr::Str(s) => Ok(Value::Str(s.clone())),
+        SqlExpr::Bool(b) => Ok(Value::Bool(*b)),
+        SqlExpr::Neg(inner) => match const_value(inner)? {
+            Value::Int(v) => Ok(Value::Int(
+                v.checked_neg()
+                    .ok_or(LangError::Semantic(CoreError::Overflow("negation")))?,
+            )),
+            Value::Real(r) => Value::real(-r.get()).map_err(LangError::Semantic),
+            other => Err(LangError::Semantic(CoreError::TypeError(format!(
+                "cannot negate {}",
+                other.data_type()
+            )))),
+        },
+        other => Err(LangError::Semantic(CoreError::TypeError(format!(
+            "INSERT VALUES must be literals, found {other:?}"
+        )))),
+    }
+}

@@ -1,0 +1,414 @@
+//! Integrity constraints — the companion topic the paper scopes out
+//! ("integrity constraints are not discussed in this paper … interested
+//! readers are referred to \[11\]", Grefen's *Integrity Control in Parallel
+//! Database Systems*). This module implements the transaction-time
+//! enforcement model from that line of work: constraints are predicates
+//! over database states, checked at the commit point; a violating
+//! transaction aborts, preserving the §4.3 atomicity property.
+//!
+//! Three constraint forms cover the classic cases:
+//!
+//! * [`Constraint::PrimaryKey`] — in the bag model this is *two* conditions:
+//!   key values are unique across distinct tuples **and** no tuple has
+//!   multiplicity > 1 (a duplicated row duplicates its key),
+//! * [`Constraint::ForeignKey`] — set-containment of key projections,
+//! * [`Constraint::Check`] — a per-tuple predicate (domain constraints like
+//!   `alcperc >= 0`).
+
+use std::fmt;
+
+use mera_core::prelude::*;
+use mera_expr::ScalarExpr;
+use rustc_hash::FxHashSet;
+
+/// One declarative integrity constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// The listed attributes form a primary key of the relation.
+    PrimaryKey {
+        /// Constrained relation.
+        relation: String,
+        /// Key attribute indexes (1-based, duplicate-free).
+        attrs: Vec<usize>,
+    },
+    /// The listed attributes reference a key of another relation.
+    ForeignKey {
+        /// Referencing relation.
+        relation: String,
+        /// Referencing attribute indexes (1-based).
+        attrs: Vec<usize>,
+        /// Referenced relation.
+        references: String,
+        /// Referenced attribute indexes (1-based, same arity as `attrs`).
+        ref_attrs: Vec<usize>,
+    },
+    /// Every tuple of the relation satisfies the predicate.
+    Check {
+        /// Constrained relation.
+        relation: String,
+        /// A boolean expression over the relation's schema.
+        predicate: ScalarExpr,
+    },
+}
+
+/// A constraint violation: which constraint, and a human-readable witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The name the constraint was registered under.
+    pub constraint: String,
+    /// What went wrong, including a witness tuple where applicable.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint '{}' violated: {}", self.constraint, self.detail)
+    }
+}
+
+/// A named set of constraints, validated against database states.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<(String, Constraint)>,
+}
+
+impl ConstraintSet {
+    /// The empty set (validates everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a constraint under a name, validating it against the
+    /// database schema (unknown relations/attributes and ill-typed check
+    /// predicates are rejected at declaration time, not at commit time).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        constraint: Constraint,
+        schema: &DatabaseSchema,
+    ) -> CoreResult<()> {
+        match &constraint {
+            Constraint::PrimaryKey { relation, attrs } => {
+                let s = schema.get(relation)?;
+                let list = AttrList::new_unique(attrs.clone())?;
+                list.check_arity(s.arity())?;
+            }
+            Constraint::ForeignKey {
+                relation,
+                attrs,
+                references,
+                ref_attrs,
+            } => {
+                let s = schema.get(relation)?;
+                let r = schema.get(references)?;
+                let al = AttrList::new_unique(attrs.clone())?;
+                al.check_arity(s.arity())?;
+                let rl = AttrList::new_unique(ref_attrs.clone())?;
+                rl.check_arity(r.arity())?;
+                if attrs.len() != ref_attrs.len() {
+                    return Err(CoreError::TypeError(format!(
+                        "foreign key arity mismatch: {} vs {}",
+                        attrs.len(),
+                        ref_attrs.len()
+                    )));
+                }
+                for (&a, &ra) in attrs.iter().zip(ref_attrs) {
+                    if s.dtype(a)? != r.dtype(ra)? {
+                        return Err(CoreError::TypeError(format!(
+                            "foreign key domain mismatch on %{a} vs %{ra}"
+                        )));
+                    }
+                }
+            }
+            Constraint::Check {
+                relation,
+                predicate,
+            } => {
+                let s = schema.get(relation)?;
+                let t = predicate.infer_type(s)?;
+                if t != DataType::Bool {
+                    return Err(CoreError::TypeError(format!(
+                        "check constraint has type {t}, expected bool"
+                    )));
+                }
+            }
+        }
+        self.constraints.push((name.into(), constraint));
+        Ok(())
+    }
+
+    /// Builder form of [`ConstraintSet::add`].
+    pub fn with(
+        mut self,
+        name: impl Into<String>,
+        constraint: Constraint,
+        schema: &DatabaseSchema,
+    ) -> CoreResult<Self> {
+        self.add(name, constraint, schema)?;
+        Ok(self)
+    }
+
+    /// Number of registered constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Validates a database state, returning the first violation.
+    pub fn validate(&self, db: &Database) -> CoreResult<Result<(), Violation>> {
+        for (name, c) in &self.constraints {
+            if let Some(detail) = check_one(c, db)? {
+                return Ok(Err(Violation {
+                    constraint: name.clone(),
+                    detail,
+                }));
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+/// Checks one constraint, returning a violation witness if any.
+fn check_one(c: &Constraint, db: &Database) -> CoreResult<Option<String>> {
+    match c {
+        Constraint::PrimaryKey { relation, attrs } => {
+            let rel = db.relation(relation)?;
+            let list = AttrList::new_unique(attrs.clone())?;
+            let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+            for (t, m) in rel.iter() {
+                if m > 1 {
+                    return Ok(Some(format!(
+                        "tuple {t} appears {m} times in {relation}"
+                    )));
+                }
+                let key = t.project(&list)?;
+                if !seen.insert(key.clone()) {
+                    return Ok(Some(format!(
+                        "duplicate key {key} in {relation}"
+                    )));
+                }
+            }
+            Ok(None)
+        }
+        Constraint::ForeignKey {
+            relation,
+            attrs,
+            references,
+            ref_attrs,
+        } => {
+            let rel = db.relation(relation)?;
+            let target = db.relation(references)?;
+            let al = AttrList::new(attrs.clone())?;
+            let rl = AttrList::new(ref_attrs.clone())?;
+            let known: FxHashSet<Tuple> = target
+                .support()
+                .map(|t| t.project(&rl))
+                .collect::<CoreResult<_>>()?;
+            for t in rel.support() {
+                let key = t.project(&al)?;
+                if !known.contains(&key) {
+                    return Ok(Some(format!(
+                        "{relation} references {key}, absent from {references}"
+                    )));
+                }
+            }
+            Ok(None)
+        }
+        Constraint::Check {
+            relation,
+            predicate,
+        } => {
+            let rel = db.relation(relation)?;
+            for t in rel.support() {
+                if !predicate.eval_predicate(t)? {
+                    return Ok(Some(format!(
+                        "tuple {t} fails {predicate} in {relation}"
+                    )));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use std::sync::Arc;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh")
+            .with(
+                "brewery",
+                Schema::named(&[("name", DataType::Str), ("country", DataType::Str)]),
+            )
+            .expect("fresh")
+    }
+
+    fn db_with(beers: Vec<(Tuple, u64)>, breweries: Vec<Tuple>) -> Database {
+        let mut db = Database::new(schema());
+        let bs = Arc::clone(db.schema().get("beer").expect("declared"));
+        db.replace("beer", Relation::from_counted(bs, beers).expect("typed"))
+            .expect("replace");
+        let ws = Arc::clone(db.schema().get("brewery").expect("declared"));
+        db.replace("brewery", Relation::from_tuples(ws, breweries).expect("typed"))
+            .expect("replace");
+        db
+    }
+
+    fn constraints() -> ConstraintSet {
+        let s = schema();
+        ConstraintSet::new()
+            .with(
+                "beer_pk",
+                Constraint::PrimaryKey {
+                    relation: "beer".into(),
+                    attrs: vec![1, 2],
+                },
+                &s,
+            )
+            .expect("valid pk")
+            .with(
+                "beer_brewery_fk",
+                Constraint::ForeignKey {
+                    relation: "beer".into(),
+                    attrs: vec![2],
+                    references: "brewery".into(),
+                    ref_attrs: vec![1],
+                },
+                &s,
+            )
+            .expect("valid fk")
+            .with(
+                "alcperc_nonnegative",
+                Constraint::Check {
+                    relation: "beer".into(),
+                    predicate: ScalarExpr::attr(3)
+                        .cmp(mera_expr::CmpOp::Ge, ScalarExpr::real(0.0)),
+                },
+                &s,
+            )
+            .expect("valid check")
+    }
+
+    #[test]
+    fn valid_state_passes() {
+        let db = db_with(
+            vec![(tuple!["A", "X", 5.0_f64], 1), (tuple!["B", "X", 4.0_f64], 1)],
+            vec![tuple!["X", "NL"]],
+        );
+        assert!(constraints().validate(&db).expect("checks run").is_ok());
+    }
+
+    #[test]
+    fn primary_key_rejects_duplicate_rows() {
+        // the bag model makes this failure mode possible: same row twice
+        let db = db_with(vec![(tuple!["A", "X", 5.0_f64], 2)], vec![tuple!["X", "NL"]]);
+        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        assert_eq!(v.constraint, "beer_pk");
+        assert!(v.detail.contains("2 times"), "{v}");
+    }
+
+    #[test]
+    fn primary_key_rejects_duplicate_keys() {
+        let db = db_with(
+            vec![
+                (tuple!["A", "X", 5.0_f64], 1),
+                (tuple!["A", "X", 6.0_f64], 1), // same (name, brewery) key
+            ],
+            vec![tuple!["X", "NL"]],
+        );
+        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        assert_eq!(v.constraint, "beer_pk");
+        assert!(v.detail.contains("duplicate key"), "{v}");
+    }
+
+    #[test]
+    fn foreign_key_rejects_dangling_reference() {
+        let db = db_with(vec![(tuple!["A", "Ghost", 5.0_f64], 1)], vec![tuple!["X", "NL"]]);
+        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        assert_eq!(v.constraint, "beer_brewery_fk");
+        assert!(v.detail.contains("Ghost"), "{v}");
+    }
+
+    #[test]
+    fn check_constraint_rejects_bad_tuple() {
+        let db = db_with(vec![(tuple!["A", "X", -1.0_f64], 1)], vec![tuple!["X", "NL"]]);
+        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        assert_eq!(v.constraint, "alcperc_nonnegative");
+    }
+
+    #[test]
+    fn declaration_time_validation() {
+        let s = schema();
+        // unknown relation
+        assert!(ConstraintSet::new()
+            .add(
+                "x",
+                Constraint::PrimaryKey {
+                    relation: "ale".into(),
+                    attrs: vec![1]
+                },
+                &s
+            )
+            .is_err());
+        // attribute out of range
+        assert!(ConstraintSet::new()
+            .add(
+                "x",
+                Constraint::PrimaryKey {
+                    relation: "beer".into(),
+                    attrs: vec![9]
+                },
+                &s
+            )
+            .is_err());
+        // fk domain mismatch (str vs real)
+        assert!(ConstraintSet::new()
+            .add(
+                "x",
+                Constraint::ForeignKey {
+                    relation: "beer".into(),
+                    attrs: vec![3],
+                    references: "brewery".into(),
+                    ref_attrs: vec![1]
+                },
+                &s
+            )
+            .is_err());
+        // non-boolean check
+        assert!(ConstraintSet::new()
+            .add(
+                "x",
+                Constraint::Check {
+                    relation: "beer".into(),
+                    predicate: ScalarExpr::attr(3)
+                },
+                &s
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn empty_set_is_vacuous() {
+        let db = db_with(vec![(tuple!["A", "Ghost", -9.0_f64], 7)], vec![]);
+        let set = ConstraintSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(set.validate(&db).expect("checks run").is_ok());
+    }
+}

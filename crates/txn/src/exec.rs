@@ -1,0 +1,384 @@
+//! Statement and program execution over intermediate database states.
+//!
+//! §4.3: during the execution of a transaction's statements the database
+//! passes through *intermediate states* `D_t.0 … D_t.n` which "are not
+//! normal database states as they may contain temporary relations defined
+//! by assignment statements". [`WorkingState`] is exactly that: the base
+//! relations plus a temporary namespace, usable as a relation provider for
+//! expression evaluation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_eval::provider::RelationProvider;
+use mera_eval::{execute as physical_execute, reference};
+use mera_expr::rel::RelExpr;
+use mera_opt::Optimizer;
+
+use crate::statement::{Program, Statement};
+
+/// How statements evaluate their expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Run the rule-based optimizer before evaluation.
+    pub optimize: bool,
+    /// Use the physical Volcano engine (`false` ⇒ the reference
+    /// evaluator — slower, used for differential testing).
+    pub physical: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            optimize: true,
+            physical: true,
+        }
+    }
+}
+
+/// An intermediate state `D_t.i`: the database plus temporaries.
+#[derive(Debug, Clone)]
+pub struct WorkingState {
+    /// The (mutable copy of the) database state.
+    pub db: Database,
+    /// Temporary relations bound by assignment statements.
+    pub temps: BTreeMap<String, Relation>,
+}
+
+impl WorkingState {
+    /// Starts from a snapshot of a database state (`D_t.0 = D_t`).
+    pub fn new(db: Database) -> Self {
+        WorkingState {
+            db,
+            temps: BTreeMap::new(),
+        }
+    }
+
+    /// Reads a relation: temporaries first, then database relations (a
+    /// temporary may never collide with a database name, enforced on
+    /// assignment, so the order is immaterial — it simply avoids a second
+    /// lookup for temp-heavy programs).
+    pub fn relation(&self, name: &str) -> CoreResult<&Relation> {
+        if let Some(r) = self.temps.get(name) {
+            return Ok(r);
+        }
+        self.db.relation(name)
+    }
+}
+
+impl RelationProvider for WorkingState {
+    fn relation(&self, name: &str) -> CoreResult<&Relation> {
+        WorkingState::relation(self, name)
+    }
+}
+
+/// The result of executing one program: query outputs in statement order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Outputs {
+    /// One relation per executed `?E` statement.
+    pub queries: Vec<Relation>,
+}
+
+/// Executes one statement against a working state (Definition 4.1).
+pub fn execute_statement(
+    state: &mut WorkingState,
+    stmt: &Statement,
+    config: ExecConfig,
+    outputs: &mut Outputs,
+) -> CoreResult<()> {
+    match stmt {
+        Statement::Insert { relation, expr } => {
+            let value = eval_expr(state, expr, config)?;
+            let current = state.db.relation(relation)?;
+            let next = current.union(&value)?;
+            state.db.replace(relation, next)
+        }
+        Statement::Delete { relation, expr } => {
+            let value = eval_expr(state, expr, config)?;
+            let current = state.db.relation(relation)?;
+            let next = current.difference(&value)?;
+            state.db.replace(relation, next)
+        }
+        Statement::Update {
+            relation,
+            expr,
+            exprs,
+        } => {
+            let value = eval_expr(state, expr, config)?;
+            let current = state.db.relation(relation)?.clone();
+            // schema-preservation check on the expression list (the
+            // definition's note: π̄ₐ "results a multi-set of the same
+            // schema as its operand")
+            let target_schema = Arc::clone(current.schema());
+            let updated_schema = {
+                let mut attrs = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    attrs.push(Attribute::anon(e.infer_type(&target_schema)?));
+                }
+                Schema::new(attrs)
+            };
+            if !updated_schema.same_types(&target_schema) {
+                return Err(CoreError::SchemaMismatch {
+                    expected: target_schema.to_string(),
+                    found: updated_schema.to_string(),
+                });
+            }
+            // R ← (R − E) ⊎ π̄ₐ(R ∩ E)
+            let touched = current.intersection(&value)?;
+            let kept = current.difference(&value)?;
+            let rewritten = touched.map_tuples(target_schema, |t| {
+                let vals: CoreResult<Vec<Value>> = exprs.iter().map(|e| e.eval(t)).collect();
+                Ok(Tuple::new(vals?))
+            })?;
+            state.db.replace(relation, kept.union(&rewritten)?)
+        }
+        Statement::Assign { name, expr } => {
+            if state.db.schema().contains(name) {
+                return Err(CoreError::DuplicateRelation(name.clone()));
+            }
+            let value = eval_expr(state, expr, config)?;
+            state.temps.insert(name.clone(), value);
+            Ok(())
+        }
+        Statement::Query { expr } => {
+            let value = eval_expr(state, expr, config)?;
+            outputs.queries.push(value);
+            Ok(())
+        }
+    }
+}
+
+/// Executes a whole program in order, collecting query outputs.
+pub fn execute_program(
+    state: &mut WorkingState,
+    program: &Program,
+    config: ExecConfig,
+) -> CoreResult<Outputs> {
+    let mut outputs = Outputs::default();
+    for stmt in &program.statements {
+        execute_statement(state, stmt, config, &mut outputs)?;
+    }
+    Ok(outputs)
+}
+
+/// Evaluates one algebra expression against the working state, honouring
+/// the execution configuration.
+pub fn eval_expr(
+    state: &WorkingState,
+    expr: &RelExpr,
+    config: ExecConfig,
+) -> CoreResult<Relation> {
+    let expr_storage;
+    let expr = if config.optimize {
+        let provider = WorkingSchemas(state);
+        expr_storage = Optimizer::standard().optimize(expr, &provider)?.expr;
+        &expr_storage
+    } else {
+        expr
+    };
+    if config.physical {
+        physical_execute(expr, state)
+    } else {
+        reference::eval(expr, state)
+    }
+}
+
+/// Schema-provider view of a working state (temporaries included).
+pub struct WorkingSchemas<'a>(pub &'a WorkingState);
+
+impl mera_expr::SchemaProvider for WorkingSchemas<'_> {
+    fn relation_schema(&self, name: &str) -> CoreResult<SchemaRef> {
+        Ok(Arc::clone(self.0.relation(name)?.schema()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use mera_expr::ScalarExpr;
+
+    fn beer_db() -> Database {
+        let schema = DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ]),
+            )
+            .expect("fresh");
+        let mut db = Database::new(schema);
+        let bs = Arc::clone(db.schema().get("beer").expect("declared"));
+        db.replace(
+            "beer",
+            Relation::from_tuples(
+                bs,
+                vec![
+                    tuple!["Grolsch", "Grolsche", 5.0_f64],
+                    tuple!["GuinekenPils", "Guineken", 5.0_f64],
+                    tuple!["GuinekenBock", "Guineken", 6.0_f64],
+                ],
+            )
+            .expect("typed"),
+        )
+        .expect("replace");
+        db
+    }
+
+    fn run(db: Database, program: Program) -> (WorkingState, Outputs) {
+        let mut state = WorkingState::new(db);
+        let out = execute_program(&mut state, &program, ExecConfig::default())
+            .expect("program executes");
+        (state, out)
+    }
+
+    #[test]
+    fn insert_is_bag_union() {
+        let db = beer_db();
+        let new_row = relation_of(
+            Schema::named(&[
+                ("name", DataType::Str),
+                ("brewery", DataType::Str),
+                ("alcperc", DataType::Real),
+            ]),
+            vec![tuple!["Grolsch", "Grolsche", 5.0_f64]], // already present!
+        )
+        .expect("typed");
+        let p = Program::single(Statement::insert("beer", RelExpr::values(new_row)));
+        let (state, _) = run(db, p);
+        // bag insert: the duplicate is *kept* (multiplicity 2)
+        let beer = state.db.relation("beer").expect("present");
+        assert_eq!(beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]), 2);
+        assert_eq!(beer.len(), 4);
+    }
+
+    #[test]
+    fn delete_is_bag_difference() {
+        let db = beer_db();
+        let p = Program::single(Statement::delete(
+            "beer",
+            RelExpr::scan("beer").select(ScalarExpr::attr(2).eq(ScalarExpr::str("Guineken"))),
+        ));
+        let (state, _) = run(db, p);
+        assert_eq!(state.db.relation("beer").expect("present").len(), 1);
+    }
+
+    /// Example 4.1: Guineken raises the alcohol percentage of its beers by
+    /// 10%.
+    #[test]
+    fn example_4_1_guineken_update() {
+        let db = beer_db();
+        let p = Program::single(Statement::update(
+            "beer",
+            RelExpr::scan("beer").select(ScalarExpr::attr(2).eq(ScalarExpr::str("Guineken"))),
+            vec![
+                ScalarExpr::attr(1),
+                ScalarExpr::attr(2),
+                ScalarExpr::attr(3).mul(ScalarExpr::real(1.1)),
+            ],
+        ));
+        let (state, _) = run(db, p);
+        let beer = state.db.relation("beer").expect("present");
+        assert_eq!(
+            beer.multiplicity(&tuple!["GuinekenPils", "Guineken", 5.0 * 1.1]),
+            1
+        );
+        assert_eq!(
+            beer.multiplicity(&tuple!["GuinekenBock", "Guineken", 6.0 * 1.1]),
+            1
+        );
+        // non-Guineken beers untouched
+        assert_eq!(beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]), 1);
+        assert_eq!(beer.len(), 3);
+    }
+
+    #[test]
+    fn update_rejects_schema_changing_expression_list() {
+        let db = beer_db();
+        let p = Program::single(Statement::update(
+            "beer",
+            RelExpr::scan("beer"),
+            vec![ScalarExpr::attr(1)], // drops two attributes
+        ));
+        let mut state = WorkingState::new(db);
+        let err = execute_program(&mut state, &p, ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn assignment_binds_temporary() {
+        let db = beer_db();
+        let p = Program::new()
+            .then(Statement::assign(
+                "strong",
+                RelExpr::scan("beer").select(
+                    ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Gt, ScalarExpr::real(5.5)),
+                ),
+            ))
+            .then(Statement::query(RelExpr::scan("strong").project(&[1])));
+        let (state, out) = run(db, p);
+        assert_eq!(out.queries.len(), 1);
+        assert_eq!(out.queries[0].multiplicity(&tuple!["GuinekenBock"]), 1);
+        assert!(state.temps.contains_key("strong"));
+        // the database itself is untouched
+        assert_eq!(state.db.relation("beer").expect("present").len(), 3);
+    }
+
+    #[test]
+    fn assignment_cannot_shadow_database_relation() {
+        let db = beer_db();
+        let p = Program::single(Statement::assign("beer", RelExpr::scan("beer")));
+        let mut state = WorkingState::new(db);
+        let err = execute_program(&mut state, &p, ExecConfig::default()).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateRelation("beer".into()));
+    }
+
+    #[test]
+    fn query_has_no_database_effect() {
+        let db = beer_db();
+        let before = db.clone();
+        let p = Program::single(Statement::query(RelExpr::scan("beer")));
+        let (state, out) = run(db, p);
+        assert_eq!(state.db, before);
+        assert_eq!(out.queries[0].len(), 3);
+    }
+
+    #[test]
+    fn reference_and_physical_configs_agree() {
+        let program = Program::new()
+            .then(Statement::assign(
+                "t",
+                RelExpr::scan("beer").project(&[2]),
+            ))
+            .then(Statement::insert(
+                "beer",
+                RelExpr::scan("beer").select(ScalarExpr::attr(3).eq(ScalarExpr::real(5.0))),
+            ))
+            .then(Statement::query(RelExpr::scan("beer").group_by(
+                &[2],
+                mera_expr::Aggregate::Cnt,
+                1,
+            )));
+        let configs = [
+            ExecConfig { optimize: true, physical: true },
+            ExecConfig { optimize: false, physical: true },
+            ExecConfig { optimize: true, physical: false },
+            ExecConfig { optimize: false, physical: false },
+        ];
+        let results: Vec<(Database, Outputs)> = configs
+            .iter()
+            .map(|&c| {
+                let mut state = WorkingState::new(beer_db());
+                let out = execute_program(&mut state, &program, c).expect("executes");
+                (state.db, out)
+            })
+            .collect();
+        for (db, out) in &results[1..] {
+            assert_eq!(db, &results[0].0);
+            assert_eq!(out, &results[0].1);
+        }
+    }
+}

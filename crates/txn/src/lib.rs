@@ -1,0 +1,30 @@
+//! # mera-txn — statements, programs and transactions (paper §4)
+//!
+//! The constructs that grow the multi-set algebra into "a complete
+//! sequential database manipulation language":
+//!
+//! * [`statement`] — the five statements of Definition 4.1 (`insert`,
+//!   `delete`, `update`, assignment, `?E`) and programs (Definition 4.2),
+//! * [`exec`] — execution over intermediate states `D_t.i` with temporary
+//!   relations,
+//! * [`transaction`] — transaction brackets with atomic commit/abort
+//!   (Definition 4.3), logical-time transitions, and a serial
+//!   [`TransactionManager`],
+//! * [`log`] — a redo log of committed programs (durability for a
+//!   main-memory DBMS, as in PRISMA/DB).
+
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod exec;
+pub mod log;
+pub mod statement;
+pub mod transaction;
+
+pub use constraints::{Constraint, ConstraintSet, Violation};
+pub use exec::{execute_program, execute_statement, ExecConfig, Outputs, WorkingState};
+pub use log::{LogRecord, RedoLog};
+pub use statement::{Program, Statement};
+pub use transaction::{
+    run_transaction, run_transaction_checked, AbortReason, Outcome, TransactionManager,
+};

@@ -1,0 +1,250 @@
+//! Extended relational algebra statements (Definition 4.1).
+//!
+//! | paper | here | semantics |
+//! |---|---|---|
+//! | `insert(R, E)` | [`Statement::Insert`] | `R ← R ⊎ E` |
+//! | `delete(R, E)` | [`Statement::Delete`] | `R ← R − E` |
+//! | `update(R, E, a)` | [`Statement::Update`] | `R ← (R − E) ⊎ π̄_a(R ∩ E)` |
+//! | `R = E` | [`Statement::Assign`] | bind a *temporary* relation |
+//! | `?E` | [`Statement::Query`] | output `E`, no database effect |
+//!
+//! `π̄_a` is the *structure-preserving* extended projection: its expression
+//! list must produce exactly the schema of `R` (the definition's note).
+
+use std::fmt;
+
+use mera_expr::{RelExpr, ScalarExpr};
+
+/// One statement of the database manipulation language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `insert(R, E)`: adds the elements of `E` to relation `R`.
+    Insert {
+        /// Target relation name.
+        relation: String,
+        /// Source expression (same schema as the target).
+        expr: RelExpr,
+    },
+    /// `delete(R, E)`: removes the elements of `E` from relation `R`.
+    Delete {
+        /// Target relation name.
+        relation: String,
+        /// Expression computing the tuples to remove.
+        expr: RelExpr,
+    },
+    /// `update(R, E, a)`: modifies the elements in `R ∩ E` according to the
+    /// structure-preserving attribute expression list `a`.
+    Update {
+        /// Target relation name.
+        relation: String,
+        /// Expression selecting the tuples to modify.
+        expr: RelExpr,
+        /// The attribute expression list `a`; must preserve `R`'s schema.
+        exprs: Vec<ScalarExpr>,
+    },
+    /// `R = E`: binds expression `E` to a new, implicitly defined
+    /// *temporary* relational variable, visible to later statements of the
+    /// same program and removed at transaction end (§4.3).
+    Assign {
+        /// The temporary relation's name.
+        name: String,
+        /// The bound expression.
+        expr: RelExpr,
+    },
+    /// `?E`: sends the result of `E` to the user; no database effect.
+    Query {
+        /// The queried expression.
+        expr: RelExpr,
+    },
+}
+
+impl Statement {
+    /// Convenience constructor for `insert`.
+    pub fn insert(relation: impl Into<String>, expr: RelExpr) -> Self {
+        Statement::Insert {
+            relation: relation.into(),
+            expr,
+        }
+    }
+
+    /// Convenience constructor for `delete`.
+    pub fn delete(relation: impl Into<String>, expr: RelExpr) -> Self {
+        Statement::Delete {
+            relation: relation.into(),
+            expr,
+        }
+    }
+
+    /// Convenience constructor for `update`.
+    pub fn update(relation: impl Into<String>, expr: RelExpr, exprs: Vec<ScalarExpr>) -> Self {
+        Statement::Update {
+            relation: relation.into(),
+            expr,
+            exprs,
+        }
+    }
+
+    /// Convenience constructor for assignment.
+    pub fn assign(name: impl Into<String>, expr: RelExpr) -> Self {
+        Statement::Assign {
+            name: name.into(),
+            expr,
+        }
+    }
+
+    /// Convenience constructor for `?E`.
+    pub fn query(expr: RelExpr) -> Self {
+        Statement::Query { expr }
+    }
+
+    /// The relation this statement writes, if any.
+    pub fn written_relation(&self) -> Option<&str> {
+        match self {
+            Statement::Insert { relation, .. }
+            | Statement::Delete { relation, .. }
+            | Statement::Update { relation, .. } => Some(relation),
+            Statement::Assign { name, .. } => Some(name),
+            Statement::Query { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Insert { relation, expr } => write!(f, "insert({relation}, {expr})"),
+            Statement::Delete { relation, expr } => write!(f, "delete({relation}, {expr})"),
+            Statement::Update {
+                relation,
+                expr,
+                exprs,
+            } => {
+                write!(f, "update({relation}, {expr}, (")?;
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Statement::Assign { name, expr } => write!(f, "{name} = {expr}"),
+            Statement::Query { expr } => write!(f, "?{expr}"),
+        }
+    }
+}
+
+/// A program: a non-empty sequence of statements (Definition 4.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The statements, in execution order.
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// The empty program (useful as a builder seed).
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// A single-statement program.
+    pub fn single(stmt: Statement) -> Self {
+        Program {
+            statements: vec![stmt],
+        }
+    }
+
+    /// Builder: appends a statement (`p; a` in the paper's grammar).
+    pub fn then(mut self, stmt: Statement) -> Self {
+        self.statements.push(stmt);
+        self
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True when the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.statements.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Statement> for Program {
+    fn from_iter<I: IntoIterator<Item = Statement>>(iter: I) -> Self {
+        Program {
+            statements: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let s = Statement::insert("beer", RelExpr::scan("new_beers"));
+        assert_eq!(s.to_string(), "insert(beer, new_beers)");
+        assert_eq!(s.written_relation(), Some("beer"));
+
+        let s = Statement::update(
+            "beer",
+            RelExpr::scan("beer"),
+            vec![
+                ScalarExpr::attr(1),
+                ScalarExpr::attr(2),
+                ScalarExpr::attr(3).mul(ScalarExpr::real(1.1)),
+            ],
+        );
+        assert_eq!(
+            s.to_string(),
+            "update(beer, beer, (%1, %2, (%3 * 1.1)))"
+        );
+
+        let s = Statement::query(RelExpr::scan("beer").project(&[1]));
+        assert_eq!(s.to_string(), "?pi(%1)(beer)");
+        assert_eq!(s.written_relation(), None);
+
+        let s = Statement::assign("tmp", RelExpr::scan("beer"));
+        assert_eq!(s.to_string(), "tmp = beer");
+        assert_eq!(s.written_relation(), Some("tmp"));
+    }
+
+    #[test]
+    fn program_builder() {
+        let p = Program::new()
+            .then(Statement::assign("t", RelExpr::scan("beer")))
+            .then(Statement::query(RelExpr::scan("t")));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.to_string(), "t = beer; ?t");
+        let single = Program::single(Statement::query(RelExpr::scan("x")));
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+        assert!(Program::new().is_empty());
+    }
+
+    #[test]
+    fn program_from_iterator() {
+        let p: Program = vec![
+            Statement::query(RelExpr::scan("a")),
+            Statement::query(RelExpr::scan("b")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Transactions (Definition 4.3) and the serial transaction manager.
+//!
+//! A transaction is a program in *transaction brackets* executed against a
+//! database state `D_t`. The end bracket either **commits** — temporaries
+//! are removed and the final intermediate state is installed as `D_{t+1}` —
+//! or **aborts** — `D_t` is (re-)installed as `D_{t+1}`. Either way the
+//! atomicity property holds: `T(D) = D_{t.n}` or `T(D) = D`.
+//!
+//! Isolation is by serial execution: the [`TransactionManager`] runs one
+//! transaction at a time under a lock, so only pre- and post-transaction
+//! states are ever visible — precisely the paper's visibility rule.
+
+use std::fmt;
+
+use mera_core::prelude::*;
+use parking_lot::Mutex;
+
+use crate::constraints::ConstraintSet;
+use crate::exec::{execute_statement, ExecConfig, Outputs, WorkingState};
+use crate::log::{LogRecord, RedoLog};
+use crate::statement::Program;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A statement failed with an error (the common case: partial
+    /// aggregates, division by zero, schema violations).
+    Error(CoreError),
+    /// An injected fault (testing hook) fired before the given statement
+    /// index.
+    InjectedFault(usize),
+    /// The commit-time integrity check found a violation (the enforcement
+    /// model of the paper's reference \[11\]).
+    ConstraintViolation(String),
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Error(e) => write!(f, "statement error: {e}"),
+            AbortReason::InjectedFault(i) => write!(f, "injected fault before statement {i}"),
+            AbortReason::ConstraintViolation(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The outcome of one transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The transaction committed; query outputs are delivered.
+    Committed(Outputs),
+    /// The transaction aborted; the database is unchanged.
+    Aborted(AbortReason),
+}
+
+impl Outcome {
+    /// True when committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, Outcome::Committed(_))
+    }
+
+    /// The outputs of a committed transaction.
+    pub fn outputs(&self) -> Option<&Outputs> {
+        match self {
+            Outcome::Committed(o) => Some(o),
+            Outcome::Aborted(_) => None,
+        }
+    }
+}
+
+/// Runs one transaction against a database state, returning the outcome
+/// and the resulting state (`D_{t+1}` in both branches — logical time
+/// advances even for aborts, marking the attempt as a transition).
+///
+/// `fault_before` injects an abort before the statement with that index
+/// (0-based), exercising the atomicity property under mid-program failure.
+pub fn run_transaction(
+    db: &Database,
+    program: &Program,
+    config: ExecConfig,
+    fault_before: Option<usize>,
+) -> (Database, Outcome) {
+    run_transaction_checked(db, program, config, fault_before, &ConstraintSet::new())
+}
+
+/// [`run_transaction`] with commit-time integrity enforcement: after the
+/// last statement, the candidate state is validated against `constraints`;
+/// a violation aborts exactly like a statement error.
+pub fn run_transaction_checked(
+    db: &Database,
+    program: &Program,
+    config: ExecConfig,
+    fault_before: Option<usize>,
+    constraints: &ConstraintSet,
+) -> (Database, Outcome) {
+    let mut state = WorkingState::new(db.clone());
+    let mut outputs = Outputs::default();
+    for (i, stmt) in program.statements.iter().enumerate() {
+        if fault_before == Some(i) {
+            // abort: D_t is installed as D_{t+1}
+            let mut next = db.clone();
+            next.tick();
+            return (next, Outcome::Aborted(AbortReason::InjectedFault(i)));
+        }
+        if let Err(e) = execute_statement(&mut state, stmt, config, &mut outputs) {
+            let mut next = db.clone();
+            next.tick();
+            return (next, Outcome::Aborted(AbortReason::Error(e)));
+        }
+    }
+    // commit-time integrity check (the [11] enforcement point)
+    match constraints.validate(&state.db) {
+        Ok(Ok(())) => {}
+        Ok(Err(violation)) => {
+            let mut next = db.clone();
+            next.tick();
+            return (
+                next,
+                Outcome::Aborted(AbortReason::ConstraintViolation(violation.to_string())),
+            );
+        }
+        Err(e) => {
+            let mut next = db.clone();
+            next.tick();
+            return (next, Outcome::Aborted(AbortReason::Error(e)));
+        }
+    }
+    // commit: temporaries vanish with the working state; D_{t.n} → D_{t+1}
+    let mut next = state.db;
+    next.tick();
+    (next, Outcome::Committed(outputs))
+}
+
+/// A serial transaction manager: owns the database state, executes
+/// transactions one at a time, and maintains a redo log of committed
+/// programs for recovery.
+pub struct TransactionManager {
+    inner: Mutex<ManagerInner>,
+    config: ExecConfig,
+    constraints: ConstraintSet,
+}
+
+struct ManagerInner {
+    db: Database,
+    log: RedoLog,
+}
+
+impl TransactionManager {
+    /// Creates a manager over the initial state of a database schema.
+    pub fn new(schema: DatabaseSchema) -> Self {
+        Self::with_config(schema, ExecConfig::default())
+    }
+
+    /// Creates a manager with an explicit execution configuration.
+    pub fn with_config(schema: DatabaseSchema, config: ExecConfig) -> Self {
+        Self::with_constraints(schema, config, ConstraintSet::new())
+    }
+
+    /// Creates a manager enforcing an integrity constraint set at every
+    /// commit point.
+    pub fn with_constraints(
+        schema: DatabaseSchema,
+        config: ExecConfig,
+        constraints: ConstraintSet,
+    ) -> Self {
+        TransactionManager {
+            inner: Mutex::new(ManagerInner {
+                db: Database::new(schema),
+                log: RedoLog::new(),
+            }),
+            config,
+            constraints,
+        }
+    }
+
+    /// The constraint set enforced at commit time.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Restores a manager from a redo log by replaying every committed
+    /// program against the initial state (the durability property: a
+    /// committed transaction's effects survive a restart).
+    pub fn recover(schema: DatabaseSchema, log: &RedoLog) -> CoreResult<Self> {
+        let manager = Self::new(schema);
+        {
+            let mut inner = manager.inner.lock();
+            for record in log.records() {
+                let (next, outcome) = run_transaction_checked(
+                    &inner.db,
+                    &record.program,
+                    manager.config,
+                    None,
+                    &manager.constraints,
+                );
+                match outcome {
+                    Outcome::Committed(_) => {
+                        let time = next.time();
+                        inner.db = next;
+                        inner.log.append(LogRecord {
+                            time,
+                            program: record.program.clone(),
+                        });
+                    }
+                    Outcome::Aborted(reason) => {
+                        return Err(CoreError::TypeError(format!(
+                            "redo log replay aborted at t={}: {reason}",
+                            record.time
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(manager)
+    }
+
+    /// Executes one transaction; on commit the effects are installed and
+    /// logged, on abort the database is untouched (other than logical
+    /// time). Returns the outcome together with the observed transition.
+    pub fn execute(&self, program: &Program) -> CoreResult<(Outcome, Transition)> {
+        let mut inner = self.inner.lock();
+        let before = inner.db.clone();
+        let (next, outcome) =
+            run_transaction_checked(&before, program, self.config, None, &self.constraints);
+        if outcome.is_committed() {
+            inner.log.append(LogRecord {
+                time: next.time(),
+                program: program.clone(),
+            });
+        }
+        inner.db = next.clone();
+        let transition = Transition::new(before, next)?;
+        Ok((outcome, transition))
+    }
+
+    /// Executes with an injected fault (testing hook, never logged).
+    pub fn execute_with_fault(
+        &self,
+        program: &Program,
+        fault_before: usize,
+    ) -> CoreResult<(Outcome, Transition)> {
+        let mut inner = self.inner.lock();
+        let before = inner.db.clone();
+        let (next, outcome) = run_transaction_checked(
+            &before,
+            program,
+            self.config,
+            Some(fault_before),
+            &self.constraints,
+        );
+        inner.db = next.clone();
+        let transition = Transition::new(before, next)?;
+        Ok((outcome, transition))
+    }
+
+    /// A snapshot of the current database state.
+    pub fn snapshot(&self) -> Database {
+        self.inner.lock().db.clone()
+    }
+
+    /// A copy of the redo log.
+    pub fn log(&self) -> RedoLog {
+        self.inner.lock().log.clone()
+    }
+
+    /// Current logical time.
+    pub fn time(&self) -> LogicalTime {
+        self.inner.lock().db.time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::Statement;
+    use mera_core::tuple;
+    use mera_expr::{RelExpr, ScalarExpr};
+    use std::sync::Arc;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "acct",
+                Schema::named(&[("owner", DataType::Str), ("amount", DataType::Int)]),
+            )
+            .expect("fresh")
+    }
+
+    fn deposit(owner: &str, amount: i64) -> Statement {
+        let row = relation_of(
+            Schema::named(&[("owner", DataType::Str), ("amount", DataType::Int)]),
+            vec![tuple![owner, amount]],
+        )
+        .expect("typed");
+        Statement::insert("acct", RelExpr::values(row))
+    }
+
+    #[test]
+    fn commit_installs_next_state_and_advances_time() {
+        let mgr = TransactionManager::new(schema());
+        assert_eq!(mgr.time(), 0);
+        let (outcome, transition) = mgr
+            .execute(&Program::single(deposit("a", 100)))
+            .expect("executes");
+        assert!(outcome.is_committed());
+        assert!(transition.is_single_step());
+        assert!(!transition.is_identity());
+        assert_eq!(mgr.time(), 1);
+        assert_eq!(mgr.snapshot().relation("acct").expect("present").len(), 1);
+    }
+
+    #[test]
+    fn statement_error_aborts_whole_transaction() {
+        let mgr = TransactionManager::new(schema());
+        mgr.execute(&Program::single(deposit("a", 100))).expect("setup");
+        // deposit then a failing statement (AVG over empty bag)
+        let failing = Program::new()
+            .then(deposit("b", 50))
+            .then(Statement::query(
+                RelExpr::scan("acct")
+                    .select(ScalarExpr::bool(false))
+                    .group_by(&[], mera_expr::Aggregate::Avg, 2),
+            ));
+        let (outcome, transition) = mgr.execute(&failing).expect("runs");
+        assert!(matches!(
+            outcome,
+            Outcome::Aborted(AbortReason::Error(CoreError::AggregateOnEmpty("AVG")))
+        ));
+        // atomicity: the deposit of 50 is rolled back
+        assert!(transition.is_identity());
+        let snap = mgr.snapshot();
+        assert_eq!(snap.relation("acct").expect("present").len(), 1);
+        // but time advanced: the attempt is a transition
+        assert_eq!(snap.time(), 2);
+    }
+
+    #[test]
+    fn injected_fault_mid_program_restores_pre_state() {
+        let mgr = TransactionManager::new(schema());
+        let program = Program::new()
+            .then(deposit("a", 1))
+            .then(deposit("b", 2))
+            .then(deposit("c", 3));
+        let (outcome, transition) = mgr.execute_with_fault(&program, 2).expect("runs");
+        assert!(matches!(
+            outcome,
+            Outcome::Aborted(AbortReason::InjectedFault(2))
+        ));
+        assert!(transition.is_identity());
+        assert!(mgr.snapshot().relation("acct").expect("present").is_empty());
+    }
+
+    #[test]
+    fn temporaries_never_leak_into_committed_state() {
+        let mgr = TransactionManager::new(schema());
+        let program = Program::new()
+            .then(Statement::assign("scratch", RelExpr::scan("acct")))
+            .then(deposit("a", 10))
+            .then(Statement::query(RelExpr::scan("scratch")));
+        let (outcome, _) = mgr.execute(&program).expect("runs");
+        assert!(outcome.is_committed());
+        // the post-transaction state has no relation called "scratch"
+        let snap = mgr.snapshot();
+        assert!(snap.relation("scratch").is_err());
+        // and a later transaction cannot see it either
+        let later = Program::single(Statement::query(RelExpr::scan("scratch")));
+        let (outcome, _) = mgr.execute(&later).expect("runs");
+        assert!(matches!(
+            outcome,
+            Outcome::Aborted(AbortReason::Error(CoreError::UnknownRelation(_)))
+        ));
+    }
+
+    #[test]
+    fn committed_outputs_are_delivered() {
+        let mgr = TransactionManager::new(schema());
+        let program = Program::new()
+            .then(deposit("a", 100))
+            .then(deposit("a", 100))
+            .then(Statement::query(RelExpr::scan("acct").group_by(
+                &[1],
+                mera_expr::Aggregate::Sum,
+                2,
+            )));
+        let (outcome, _) = mgr.execute(&program).expect("runs");
+        let outputs = outcome.outputs().expect("committed");
+        assert_eq!(outputs.queries.len(), 1);
+        assert_eq!(outputs.queries[0].multiplicity(&tuple!["a", 200_i64]), 1);
+    }
+
+    #[test]
+    fn recovery_replays_committed_transactions_only() {
+        let mgr = TransactionManager::new(schema());
+        mgr.execute(&Program::single(deposit("a", 100))).expect("t1");
+        // an aborted transaction must not be logged
+        let bad = Program::new().then(deposit("b", 1)).then(Statement::query(
+            RelExpr::scan("nosuch"),
+        ));
+        let (outcome, _) = mgr.execute(&bad).expect("t2");
+        assert!(!outcome.is_committed());
+        mgr.execute(&Program::single(deposit("c", 7))).expect("t3");
+
+        let log = mgr.log();
+        assert_eq!(log.records().len(), 2);
+        let recovered = TransactionManager::recover(schema(), &log).expect("recovers");
+        let original = mgr.snapshot();
+        let replayed = recovered.snapshot();
+        assert_eq!(
+            original.relation("acct").expect("present"),
+            replayed.relation("acct").expect("present")
+        );
+    }
+
+    #[test]
+    fn serial_execution_from_many_threads() {
+        let mgr = Arc::new(TransactionManager::new(schema()));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        mgr.execute(&Program::single(deposit("x", i)))
+                            .expect("commits");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        let snap = mgr.snapshot();
+        assert_eq!(snap.relation("acct").expect("present").len(), 80);
+        assert_eq!(snap.time(), 80);
+    }
+}

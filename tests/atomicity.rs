@@ -1,0 +1,214 @@
+//! Experiment E9 — the §4.3 atomicity property under systematic fault
+//! injection: for a program of n statements and every fault point
+//! `0..=n`, the resulting state is either the full effect (`T(D) =
+//! D_{t.n}`) or the original (`T(D) = D`) — never anything in between.
+
+use std::sync::Arc;
+
+use mera::core::prelude::*;
+use mera::expr::{Aggregate, RelExpr, ScalarExpr};
+use mera::txn::{Outcome, Program, Statement, TransactionManager};
+use proptest::prelude::*;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::new()
+        .with(
+            "acct",
+            Schema::named(&[("owner", DataType::Str), ("amount", DataType::Int)]),
+        )
+        .expect("fresh")
+}
+
+fn deposit(owner: &str, amount: i64) -> Statement {
+    let s = Arc::new(Schema::named(&[
+        ("owner", DataType::Str),
+        ("amount", DataType::Int),
+    ]));
+    let rel = Relation::from_tuples(s, vec![tuple![owner, amount]]).expect("typed");
+    Statement::insert("acct", RelExpr::values(rel))
+}
+
+/// A program built from flat selectors: deposits, deletes, updates,
+/// assignments and queries in arbitrary order.
+fn build_program(ops: &[(u8, i64)]) -> Program {
+    let mut p = Program::new();
+    for (i, &(op, v)) in ops.iter().enumerate() {
+        let stmt = match op % 5 {
+            0 => deposit("a", v),
+            1 => deposit("b", v),
+            2 => Statement::delete(
+                "acct",
+                RelExpr::scan("acct")
+                    .select(ScalarExpr::attr(2).cmp(mera::expr::CmpOp::Lt, ScalarExpr::int(v))),
+            ),
+            3 => Statement::update(
+                "acct",
+                RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str("a"))),
+                vec![
+                    ScalarExpr::attr(1),
+                    ScalarExpr::attr(2).add(ScalarExpr::int(v)),
+                ],
+            ),
+            _ => Statement::assign(
+                format!("t{i}"),
+                RelExpr::scan("acct").group_by(&[1], Aggregate::Cnt, 1),
+            ),
+        };
+        p = p.then(stmt);
+    }
+    p
+}
+
+proptest! {
+    /// All-or-nothing: for every fault point, the database equals either
+    /// the pre-state or the full post-state.
+    #[test]
+    fn atomicity_under_fault_injection(
+        ops in proptest::collection::vec((0u8..5, 0i64..10), 1..8),
+        seed in proptest::collection::vec((0u8..2, 1i64..10), 0..4),
+    ) {
+        let program = build_program(&ops);
+        // seed some initial data through a committed transaction
+        let mgr = TransactionManager::new(schema());
+        let mut seed_p = Program::new();
+        for &(who, amount) in &seed {
+            seed_p = seed_p.then(deposit(if who == 0 { "a" } else { "b" }, amount));
+        }
+        if !seed_p.is_empty() {
+            let (o, _) = mgr.execute(&seed_p).expect("seed commits");
+            prop_assert!(o.is_committed());
+        }
+        let pre = mgr.snapshot();
+
+        // the full effect, computed on an independent manager
+        let oracle = TransactionManager::new(schema());
+        if !seed_p.is_empty() {
+            oracle.execute(&seed_p).expect("seed commits");
+        }
+        let (oracle_outcome, _) = oracle.execute(&program).expect("runs");
+        let full = oracle.snapshot();
+
+        for fault_at in 0..=program.len() {
+            // a fresh manager in the pre-state each time
+            let m = TransactionManager::new(schema());
+            if !seed_p.is_empty() {
+                m.execute(&seed_p).expect("seed commits");
+            }
+            let (outcome, transition) = if fault_at < program.len() {
+                m.execute_with_fault(&program, fault_at).expect("runs")
+            } else {
+                m.execute(&program).expect("runs")
+            };
+            let acct = m.snapshot().relation("acct").expect("present").clone();
+            match outcome {
+                Outcome::Aborted(_) => {
+                    prop_assert_eq!(
+                        &acct,
+                        pre.relation("acct").expect("present"),
+                        "aborted at {} but state is neither pre nor post",
+                        fault_at
+                    );
+                    prop_assert!(transition.is_identity());
+                }
+                Outcome::Committed(_) => {
+                    prop_assert!(oracle_outcome.is_committed());
+                    prop_assert_eq!(&acct, full.relation("acct").expect("present"));
+                    prop_assert_eq!(fault_at, program.len(), "fault must abort");
+                }
+            }
+        }
+    }
+
+    /// Durability: replaying the redo log always reconstructs the exact
+    /// relation contents, whatever mix of commits and aborts happened.
+    #[test]
+    fn recovery_reconstructs_state(
+        txns in proptest::collection::vec(
+            (proptest::collection::vec((0u8..5, 0i64..10), 1..5), proptest::bool::ANY),
+            0..6
+        ),
+    ) {
+        let mgr = TransactionManager::new(schema());
+        for (ops, inject_fault) in &txns {
+            let program = build_program(ops);
+            if *inject_fault && !program.is_empty() {
+                let _ = mgr.execute_with_fault(&program, 0).expect("runs");
+            } else {
+                let _ = mgr.execute(&program).expect("runs");
+            }
+        }
+        let recovered = TransactionManager::recover(schema(), &mgr.log()).expect("recovers");
+        let replayed = recovered.snapshot();
+        let live = mgr.snapshot();
+        prop_assert_eq!(
+            replayed.relation("acct").expect("present"),
+            live.relation("acct").expect("present")
+        );
+    }
+}
+
+/// Isolation by serial execution: concurrent transfer transactions keep
+/// the invariant Σ amounts constant.
+#[test]
+fn serial_isolation_preserves_invariants() {
+    let mgr = Arc::new(TransactionManager::new(schema()));
+    // seed: two accounts with 1000 each
+    let (o, _) = mgr
+        .execute(&Program::new().then(deposit("a", 1000)).then(deposit("b", 1000)))
+        .expect("seed");
+    assert!(o.is_committed());
+
+    let transfer = |from: &str, to: &str, amount: i64| -> Program {
+        // delete the old rows, insert adjusted ones — a classic
+        // read-modify-write expressed in the algebra
+        Program::new()
+            .then(Statement::assign(
+                "old_from",
+                RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str(from))),
+            ))
+            .then(Statement::update(
+                "acct",
+                RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str(from))),
+                vec![
+                    ScalarExpr::attr(1),
+                    ScalarExpr::attr(2).sub(ScalarExpr::int(amount)),
+                ],
+            ))
+            .then(Statement::update(
+                "acct",
+                RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str(to))),
+                vec![
+                    ScalarExpr::attr(1),
+                    ScalarExpr::attr(2).add(ScalarExpr::int(amount)),
+                ],
+            ))
+    };
+
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            let mgr = Arc::clone(&mgr);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let p = if i % 2 == 0 {
+                        transfer("a", "b", 7)
+                    } else {
+                        transfer("b", "a", 5)
+                    };
+                    mgr.execute(&p).expect("commits");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no panics");
+    }
+
+    // Σ amounts is invariant under transfers
+    let snapshot = mgr.snapshot();
+    let acct = snapshot.relation("acct").expect("present");
+    let total: i64 = acct
+        .iter()
+        .map(|(t, m)| t.attr(2).expect("amount").as_int().expect("int") * m as i64)
+        .sum();
+    assert_eq!(total, 2000);
+}

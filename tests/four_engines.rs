@@ -1,0 +1,94 @@
+//! Four-way engine differential: the reference evaluator, the Volcano
+//! engine, the partition-parallel evaluator and the index-aware executor
+//! must all compute the same multi-sets on random databases and plans.
+
+use std::sync::Arc;
+
+use mera::core::prelude::*;
+use mera::eval::{eval, execute, execute_indexed, execute_parallel, IndexSet};
+use mera::expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
+use proptest::prelude::*;
+
+fn build_db(rows: Vec<(i64, i64, u64)>) -> Database {
+    let schema = DatabaseSchema::new()
+        .with(
+            "r",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh")
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh");
+    let mut db = Database::new(schema);
+    let rs = Arc::clone(db.schema().get("r").expect("declared"));
+    db.replace(
+        "r",
+        Relation::from_counted(
+            rs,
+            rows.iter().map(|&(k, v, m)| (tuple![k, v], m)),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    let ss = Arc::clone(db.schema().get("s").expect("declared"));
+    db.replace(
+        "s",
+        Relation::from_counted(
+            ss,
+            rows.iter()
+                .rev()
+                .map(|&(k, v, m)| (tuple![v % 4, k], m.min(3))),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    db
+}
+
+fn build_expr(shape: u8, c: i64) -> RelExpr {
+    let r = RelExpr::scan("r");
+    let s = RelExpr::scan("s");
+    match shape % 8 {
+        0 => r.select(ScalarExpr::attr(1).eq(ScalarExpr::int(c))),
+        1 => r.join(s, ScalarExpr::attr(1).eq(ScalarExpr::attr(3))),
+        2 => r
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::int(c)))
+            .join(s, ScalarExpr::attr(2).eq(ScalarExpr::attr(4))),
+        3 => r.group_by(&[1], Aggregate::Sum, 2),
+        4 => r
+            .join(s, ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+            .group_by(&[3], Aggregate::Cnt, 1),
+        5 => r.union(s).project(&[1]).distinct(),
+        6 => r
+            .select(ScalarExpr::attr(2).cmp(CmpOp::Ge, ScalarExpr::int(c)))
+            .difference(s),
+        _ => r.project(&[1, 1]).closure(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn all_engines_agree(
+        rows in proptest::collection::vec(((0i64..5), (0i64..8), (1u64..4)), 0..10),
+        shape in 0u8..8,
+        c in 0i64..5,
+        partitions in 1usize..6,
+    ) {
+        let db = build_db(rows);
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "r", &[1]).expect("index builds");
+        let e = build_expr(shape, c);
+
+        let reference = eval(&e, &db).expect("reference evaluates");
+        let physical = execute(&e, &db).expect("physical executes");
+        prop_assert_eq!(&physical, &reference, "physical differs on {}", e);
+        let parallel = execute_parallel(&e, &db, partitions).expect("parallel executes");
+        prop_assert_eq!(&parallel, &reference, "parallel differs on {}", e);
+        let indexed = execute_indexed(&e, &db, &indexes).expect("indexed executes");
+        prop_assert_eq!(&indexed, &reference, "indexed differs on {}", e);
+    }
+}

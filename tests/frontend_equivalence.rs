@@ -1,0 +1,137 @@
+//! Front-end differential tests: the same logical query expressed in SQL
+//! and in XRA must evaluate to the same multi-set, and arbitrary garbage
+//! must never panic any front-end.
+
+use mera::eval::eval;
+use mera::lang::{parse_rel, parse_script, Lowerer};
+use mera::sql::{parse_sql, translate, Translated};
+use proptest::prelude::*;
+
+fn beer_queries() -> Vec<(&'static str, &'static str)> {
+    // (SQL, XRA) pairs expressing the same query
+    vec![
+        (
+            "SELECT name FROM beer",
+            "project[name](beer)",
+        ),
+        (
+            "SELECT DISTINCT brewery FROM beer",
+            "unique(project[brewery](beer))",
+        ),
+        (
+            "SELECT name, alcperc FROM beer WHERE alcperc >= 5.0",
+            "project[name, alcperc](select[alcperc >= 5.0](beer))",
+        ),
+        (
+            "SELECT beer.name FROM beer, brewery \
+             WHERE beer.brewery = brewery.name AND country = 'NL'",
+            "project[%1](select[%6 = 'NL'](select[%2 = %4](beer times brewery)))",
+        ),
+        (
+            "SELECT country, AVG(alcperc) FROM beer, brewery \
+             WHERE beer.brewery = brewery.name GROUP BY country",
+            "groupby[(%6), AVG, %3](select[%2 = %4](beer times brewery))",
+        ),
+        (
+            "SELECT brewery, COUNT(*) FROM beer GROUP BY brewery",
+            "groupby[(brewery), CNT, %1](beer)",
+        ),
+        (
+            "SELECT brewery, MEDIAN(alcperc) FROM beer GROUP BY brewery",
+            "groupby[(brewery), MEDIAN, alcperc](beer)",
+        ),
+        (
+            "SELECT name, alcperc * 2.0 FROM beer",
+            "project[name, alcperc * 2.0](beer)",
+        ),
+    ]
+}
+
+#[test]
+fn sql_and_xra_agree_on_the_beer_database() {
+    let db = mera::beer_database();
+    for (sql, xra) in beer_queries() {
+        let stmt = parse_sql(sql).unwrap_or_else(|e| panic!("SQL {sql:?}: {e}"));
+        let Translated::Query(sq) =
+            translate(&stmt, db.schema()).unwrap_or_else(|e| panic!("SQL {sql:?}: {e}"))
+        else {
+            panic!("expected a query for {sql:?}");
+        };
+        let lowerer = Lowerer::new(db.schema());
+        let parsed = parse_rel(xra).unwrap_or_else(|e| panic!("XRA {xra:?}: {e}"));
+        let xe = lowerer
+            .lower_rel(&parsed)
+            .unwrap_or_else(|e| panic!("XRA {xra:?}: {e}"));
+        let sql_out = eval(&sq, &db).unwrap_or_else(|e| panic!("SQL eval {sql:?}: {e}"));
+        let xra_out = eval(&xe, &db).unwrap_or_else(|e| panic!("XRA eval {xra:?}: {e}"));
+        assert_eq!(sql_out, xra_out, "front-ends disagree on {sql:?} / {xra:?}");
+    }
+}
+
+proptest! {
+    /// Fuzz: the XRA lexer/parser and SQL parser return errors, never
+    /// panic, on arbitrary input.
+    #[test]
+    fn parsers_never_panic(input in "\\PC{0,120}") {
+        let _ = parse_rel(&input);
+        let _ = parse_script(&input);
+        let _ = parse_sql(&input);
+    }
+
+    /// Fuzz with token-shaped soup (more likely to get deep into the
+    /// grammar than fully random characters).
+    #[test]
+    fn parsers_survive_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("select".to_owned()), Just("project".to_owned()),
+                Just("join".to_owned()), Just("union".to_owned()),
+                Just("values".to_owned()), Just("groupby".to_owned()),
+                Just("closure".to_owned()), Just("begin".to_owned()),
+                Just("end".to_owned()), Just("insert".to_owned()),
+                Just("(".to_owned()), Just(")".to_owned()),
+                Just("[".to_owned()), Just("]".to_owned()),
+                Just("{".to_owned()), Just("}".to_owned()),
+                Just(",".to_owned()), Just(";".to_owned()),
+                Just("%1".to_owned()), Just("%2".to_owned()),
+                Just("=".to_owned()), Just("'x'".to_owned()),
+                Just("1".to_owned()), Just("1.5".to_owned()),
+                Just("beer".to_owned()), Just("and".to_owned()),
+            ],
+            0..25
+        ),
+    ) {
+        let input = words.join(" ");
+        let _ = parse_rel(&input);
+        let _ = parse_script(&input);
+        let _ = parse_sql(&input);
+    }
+
+    /// Lowering against the beer schema errors gracefully on any parse
+    /// that happens to succeed.
+    #[test]
+    fn lowering_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("select".to_owned()), Just("project".to_owned()),
+                Just("[".to_owned()), Just("]".to_owned()),
+                Just("(".to_owned()), Just(")".to_owned()),
+                Just("%1".to_owned()), Just("%9".to_owned()),
+                Just("=".to_owned()), Just("beer".to_owned()),
+                Just("name".to_owned()), Just("nosuch".to_owned()),
+                Just("1".to_owned()), Just("'NL'".to_owned()),
+            ],
+            0..20
+        ),
+    ) {
+        let input = words.join(" ");
+        if let Ok(parsed) = parse_rel(&input) {
+            let db = mera::beer_database();
+            let lowerer = Lowerer::new(db.schema());
+            if let Ok(expr) = lowerer.lower_rel(&parsed) {
+                // anything that lowers must also evaluate or error cleanly
+                let _ = eval(&expr, &db);
+            }
+        }
+    }
+}
