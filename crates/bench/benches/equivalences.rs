@@ -41,9 +41,13 @@ fn thm32_distribution(c: &mut Criterion) {
         let pushed = RelExpr::scan("e1")
             .select(pred.clone())
             .union(RelExpr::scan("e2").select(pred.clone()));
-        group.bench_with_input(BenchmarkId::new("sigma_above_union", rows), &above, |b, e| {
-            b.iter(|| execute(e, &db).expect("executes"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sigma_above_union", rows),
+            &above,
+            |b, e| {
+                b.iter(|| execute(e, &db).expect("executes"));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sigma_pushed", rows), &pushed, |b, e| {
             b.iter(|| execute(e, &db).expect("executes"));
         });

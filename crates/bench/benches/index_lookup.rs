@@ -10,10 +10,14 @@ use mera_expr::{RelExpr, ScalarExpr};
 
 fn db(rows: usize) -> Database {
     let schema = DatabaseSchema::new()
-        .with("r", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "r",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh");
     let mut d = Database::new(schema);
-    d.replace("r", int_relation(rows, rows / 10 + 1, 0.0, 41)).expect("replace");
+    d.replace("r", int_relation(rows, rows / 10 + 1, 0.0, 41))
+        .expect("replace");
     d
 }
 

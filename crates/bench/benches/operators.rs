@@ -6,18 +6,26 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use mera_bench::experiments::two_column_db;
 use mera_bench::int_relation;
 use mera_core::prelude::*;
-use mera_eval::execute;
+use mera_eval::{execute, Engine};
 use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
 
 fn join_db(rows: usize) -> Database {
     let schema = DatabaseSchema::new()
-        .with("r", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "r",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh")
-        .with("s", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh");
     let mut db = Database::new(schema);
-    db.replace("r", int_relation(rows, rows / 8 + 1, 0.5, 11)).expect("replace");
-    db.replace("s", int_relation(rows / 4 + 1, rows / 8 + 1, 0.5, 12)).expect("replace");
+    db.replace("r", int_relation(rows, rows / 8 + 1, 0.5, 11))
+        .expect("replace");
+    db.replace("s", int_relation(rows / 4 + 1, rows / 8 + 1, 0.5, 12))
+        .expect("replace");
     db
 }
 
@@ -75,9 +83,13 @@ fn joins(c: &mut Criterion) {
                 .and(ScalarExpr::attr(1).cmp(CmpOp::Ge, ScalarExpr::attr(3))),
         );
         if rows < 5_000 {
-            group.bench_with_input(BenchmarkId::new("nested_loop_join", rows), &theta, |b, e| {
-                b.iter(|| execute(e, &db).expect("executes"));
-            });
+            group.bench_with_input(
+                BenchmarkId::new("nested_loop_join", rows),
+                &theta,
+                |b, e| {
+                    b.iter(|| execute(e, &db).expect("executes"));
+                },
+            );
         }
     }
     group.finish();
@@ -95,12 +107,34 @@ fn aggregation(c: &mut Criterion) {
             ("min", Aggregate::Min),
         ] {
             let expr = RelExpr::scan("r").group_by(&[1], agg, 2);
-            group.bench_with_input(
-                BenchmarkId::new(name, rows),
-                &expr,
-                |b, e| b.iter(|| execute(e, &db).expect("executes")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, rows), &expr, |b, e| {
+                b.iter(|| execute(e, &db).expect("executes"))
+            });
         }
+    }
+    group.finish();
+}
+
+/// Batch-size sweep: the same select→join→group-by pipeline at batch
+/// sizes from row-at-a-time Volcano (1) to the 1024-row default — the
+/// experiment behind `DEFAULT_BATCH_SIZE`.
+fn batch_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators/batch_size");
+    let rows = 20_000usize;
+    let db = join_db(rows);
+    let expr = RelExpr::scan("r")
+        .select(ScalarExpr::attr(2).cmp(CmpOp::Lt, ScalarExpr::int((rows / 2) as i64)))
+        .join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        )
+        .group_by(&[1], Aggregate::Sum, 4);
+    group.throughput(Throughput::Elements(rows as u64));
+    for batch_size in [1usize, 16, 64, 256, 1024, 8192] {
+        let engine = Engine::physical().with_batch_size(batch_size);
+        group.bench_with_input(BenchmarkId::new("pipeline", batch_size), &expr, |b, e| {
+            b.iter(|| engine.run(e, &db).expect("executes"))
+        });
     }
     group.finish();
 }
@@ -111,6 +145,6 @@ criterion_group! {
         .sample_size(12)
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = unary_and_set_ops, joins, aggregation
+    targets = unary_and_set_ops, joins, aggregation, batch_size_sweep
 }
 criterion_main!(benches);

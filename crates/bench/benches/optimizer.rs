@@ -46,20 +46,35 @@ fn join_ordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_ordering");
     // big ⋈ small ⋈ medium in the worst textual order
     let schema = DatabaseSchema::new()
-        .with("big", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "big",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh")
-        .with("small", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "small",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh")
-        .with("mid", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "mid",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh");
     let mut db = Database::new(schema);
-    db.replace("big", int_relation(40_000, 4_000, 0.3, 21)).expect("replace");
-    db.replace("small", int_relation(50, 40, 0.0, 22)).expect("replace");
-    db.replace("mid", int_relation(4_000, 400, 0.3, 23)).expect("replace");
+    db.replace("big", int_relation(40_000, 4_000, 0.3, 21))
+        .expect("replace");
+    db.replace("small", int_relation(50, 40, 0.0, 22))
+        .expect("replace");
+    db.replace("mid", int_relation(4_000, 400, 0.3, 23))
+        .expect("replace");
 
     // (big × mid) ⋈ small — the product first is pathological
     let chain = RelExpr::scan("big")
-        .join(RelExpr::scan("mid"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+        .join(
+            RelExpr::scan("mid"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        )
         .join(
             RelExpr::scan("small"),
             ScalarExpr::attr(3).eq(ScalarExpr::attr(5)),

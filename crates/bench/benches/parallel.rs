@@ -5,18 +5,26 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mera_bench::int_relation;
 use mera_core::prelude::*;
-use mera_eval::{execute, execute_parallel};
+use mera_eval::{execute, Engine};
 use mera_expr::{Aggregate, RelExpr, ScalarExpr};
 
 fn join_db(rows: usize) -> Database {
     let schema = DatabaseSchema::new()
-        .with("r", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "r",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh")
-        .with("s", Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
         .expect("fresh");
     let mut db = Database::new(schema);
-    db.replace("r", int_relation(rows, rows / 4 + 1, 0.3, 31)).expect("replace");
-    db.replace("s", int_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 32)).expect("replace");
+    db.replace("r", int_relation(rows, rows / 4 + 1, 0.3, 31))
+        .expect("replace");
+    db.replace("s", int_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 32))
+        .expect("replace");
     db
 }
 
@@ -36,7 +44,10 @@ fn parallel_join(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("partitions_{partitions}"), rows),
                 &e,
-                |b, e| b.iter(|| execute_parallel(e, &db, partitions).expect("parallel executes")),
+                |b, e| {
+                    let engine = Engine::parallel().with_partitions(partitions);
+                    b.iter(|| engine.run(e, &db).expect("parallel executes"))
+                },
             );
         }
     }
@@ -56,7 +67,10 @@ fn parallel_aggregate(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("partitions_{partitions}"), rows),
                 &e,
-                |b, e| b.iter(|| execute_parallel(e, &db, partitions).expect("parallel executes")),
+                |b, e| {
+                    let engine = Engine::parallel().with_partitions(partitions);
+                    b.iter(|| engine.run(e, &db).expect("parallel executes"))
+                },
             );
         }
     }

@@ -8,8 +8,8 @@
 //! wall-clock; the Criterion benches (`cargo bench`) are the
 //! statistically careful version of the same workloads.
 
-use mera_bench::experiments::*;
 use mera_bench::experiments::two_column_db;
+use mera_bench::experiments::*;
 use mera_bench::scaled_beer_db;
 use mera_eval::execute;
 
@@ -116,7 +116,10 @@ fn e12_report(scale: usize) {
     println!("| dropped rule | plan time | estimated cost |");
     println!("|---|---|---|");
     for run in e12_run(n).expect("e12 runs") {
-        println!("| {} | {:.2?} | {:.0} |", run.dropped, run.time, run.est_cost);
+        println!(
+            "| {} | {:.2?} | {:.0} |",
+            run.dropped, run.time, run.est_cost
+        );
     }
     println!();
     let db = scaled_beer_db(n, n / 20 + 2, 8, n / 4 + 2, 0xE12);

@@ -196,9 +196,8 @@ pub struct DedupRun {
 /// column — every step duplicate-producing.
 pub fn e7_query() -> RelExpr {
     let half = |name: &str| {
-        RelExpr::scan(name).select(
-            ScalarExpr::attr(1).cmp(mera_expr::CmpOp::Ge, ScalarExpr::int(0)),
-        )
+        RelExpr::scan(name)
+            .select(ScalarExpr::attr(1).cmp(mera_expr::CmpOp::Ge, ScalarExpr::int(0)))
     };
     half("e1").union(half("e2")).project(&[1])
 }

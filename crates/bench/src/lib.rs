@@ -56,10 +56,7 @@ pub fn zipf_indices(rng: &mut StdRng, n: usize, universe: usize, s: f64) -> Vec<
 /// `rows / distinct_keys` is the mean duplication factor.
 pub fn int_relation(rows: usize, distinct_keys: usize, skew: f64, seed: u64) -> Relation {
     let mut r = rng(seed);
-    let schema = Arc::new(Schema::named(&[
-        ("k", DataType::Int),
-        ("v", DataType::Int),
-    ]));
+    let schema = Arc::new(Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]));
     let keys = zipf_indices(&mut r, rows, distinct_keys.max(1), skew);
     let mut rel = Relation::empty(schema);
     for k in keys {
@@ -121,7 +118,10 @@ pub fn scaled_beer_db(
     for b in 0..n_breweries {
         let country = format!("C{}", b % n_countries.max(1));
         breweries
-            .insert(tuple![format!("brewery{b}"), format!("city{b}"), country], 1)
+            .insert(
+                tuple![format!("brewery{b}"), format!("city{b}"), country],
+                1,
+            )
             .expect("well-typed");
     }
     db.replace("brewery", breweries).expect("replace");
@@ -136,11 +136,7 @@ pub fn scaled_beer_db(
         let alc = (r.gen_range(30..130) as f64) / 10.0;
         beers
             .insert(
-                tuple![
-                    format!("beer{name_ix}"),
-                    format!("brewery{brewery}"),
-                    alc
-                ],
+                tuple![format!("beer{name_ix}"), format!("brewery{brewery}"), alc],
                 1,
             )
             .expect("well-typed");
@@ -197,8 +193,10 @@ mod tests {
         // every beer's brewery exists (referential integrity of the
         // generator, not the model — the paper keeps constraints out of
         // scope)
-        let known: std::collections::HashSet<&Value> =
-            brewery.support().map(|t| t.attr(1).expect("name")).collect();
+        let known: std::collections::HashSet<&Value> = brewery
+            .support()
+            .map(|t| t.attr(1).expect("name"))
+            .collect();
         for t in beer.support() {
             assert!(known.contains(t.attr(2).expect("brewery")));
         }
@@ -206,7 +204,10 @@ mod tests {
 
     #[test]
     fn generators_are_seed_stable() {
-        assert_eq!(int_relation(100, 10, 1.0, 42), int_relation(100, 10, 1.0, 42));
+        assert_eq!(
+            int_relation(100, 10, 1.0, 42),
+            int_relation(100, 10, 1.0, 42)
+        );
         let a = scaled_beer_db(100, 10, 3, 20, 9);
         let b = scaled_beer_db(100, 10, 3, 20, 9);
         assert_eq!(

@@ -167,8 +167,7 @@ impl Database {
         let name = rs.name.clone();
         let rel_schema = Arc::clone(&rs.schema);
         schema.add(rs)?;
-        self.relations
-            .insert(name, Relation::empty(rel_schema));
+        self.relations.insert(name, Relation::empty(rel_schema));
         Ok(())
     }
 
@@ -287,17 +286,16 @@ mod tests {
     fn replace_validates_schema() {
         let mut db = beer_db();
         let beer_schema = Arc::clone(db.schema().get("beer").unwrap());
-        let rel = Relation::from_tuples(
-            beer_schema,
-            vec![tuple!["Grolsch", "Grolsche", 5.0_f64]],
-        )
-        .unwrap();
+        let rel = Relation::from_tuples(beer_schema, vec![tuple!["Grolsch", "Grolsche", 5.0_f64]])
+            .unwrap();
         db.replace("beer", rel).unwrap();
         assert_eq!(db.relation("beer").unwrap().len(), 1);
 
         let wrong = Relation::empty(Arc::new(Schema::anon(&[DataType::Int])));
         assert!(db.replace("beer", wrong).is_err());
-        assert!(db.replace("nosuch", Relation::empty(Arc::new(Schema::anon(&[])))).is_err());
+        assert!(db
+            .replace("nosuch", Relation::empty(Arc::new(Schema::anon(&[]))))
+            .is_err());
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl fmt::Display for CoreError {
                 write!(f, "relation already exists: {name}")
             }
             CoreError::DuplicateAttrInList(i) => {
-                write!(f, "attribute %{i} repeated in duplicate-free attribute list")
+                write!(
+                    f,
+                    "attribute %{i} repeated in duplicate-free attribute list"
+                )
             }
             CoreError::AggregateOnEmpty(agg) => {
                 write!(f, "{agg} is undefined on an empty multi-set")

@@ -186,7 +186,8 @@ impl<T: Eq + Hash + Clone> Bag<T> {
 
     /// Duplicate elimination `δB`: every present element at multiplicity 1.
     pub fn distinct(&self) -> Self {
-        let mut counts = FxHashMap::with_capacity_and_hasher(self.distinct_len(), Default::default());
+        let mut counts =
+            FxHashMap::with_capacity_and_hasher(self.distinct_len(), Default::default());
         for x in self.support() {
             counts.insert(x.clone(), 1);
         }

@@ -182,9 +182,7 @@ impl Relation {
     /// Product `R₁ × R₂`: tuples concatenate, multiplicities multiply.
     pub fn product(&self, other: &Relation) -> CoreResult<Relation> {
         let schema = Arc::new(self.schema.concat(&other.schema));
-        let bag = self
-            .tuples
-            .product(&other.tuples, |x, y| x.concat(y))?;
+        let bag = self.tuples.product(&other.tuples, |x, y| x.concat(y))?;
         Ok(Relation::from_bag(schema, bag))
     }
 
@@ -258,8 +256,7 @@ impl fmt::Display for Relation {
         let cells: Vec<Vec<String>> = rows
             .iter()
             .map(|(t, m)| {
-                let mut row: Vec<String> =
-                    t.values().iter().map(|v| v.to_string()).collect();
+                let mut row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
                 row.push(m.to_string());
                 row
             })
@@ -291,7 +288,12 @@ impl fmt::Display for Relation {
         for row in &cells {
             write_row(f, row)?;
         }
-        write!(f, "({} tuples, {} distinct)", self.len(), self.distinct_len())
+        write!(
+            f,
+            "({} tuples, {} distinct)",
+            self.len(),
+            self.distinct_len()
+        )
     }
 }
 
@@ -455,9 +457,7 @@ mod tests {
         let r = ints(&[1, 2]);
         let out = Arc::new(Schema::anon(&[DataType::Int]));
         let doubled = r
-            .map_tuples(Arc::clone(&out), |t| {
-                Ok(tuple![t.attr(1)?.as_int()? * 2])
-            })
+            .map_tuples(Arc::clone(&out), |t| Ok(tuple![t.attr(1)?.as_int()? * 2]))
             .unwrap();
         assert!(doubled.contains(&tuple![4_i64]));
         let bad = r.map_tuples(out, |_| Ok(tuple!["oops"]));

@@ -69,10 +69,7 @@ impl Schema {
     /// Builds a schema of named attributes from `(name, type)` pairs.
     pub fn named(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            attrs: pairs
-                .iter()
-                .map(|&(n, t)| Attribute::named(n, t))
-                .collect(),
+            attrs: pairs.iter().map(|&(n, t)| Attribute::named(n, t)).collect(),
         }
     }
 
@@ -327,8 +324,8 @@ mod tests {
 
     #[test]
     fn with_attr_appends() {
-        let s = Schema::named(&[("country", DataType::Str)])
-            .with_attr(Attribute::anon(DataType::Real));
+        let s =
+            Schema::named(&[("country", DataType::Str)]).with_attr(Attribute::anon(DataType::Real));
         assert_eq!(s.arity(), 2);
         assert_eq!(s.dtype(2).unwrap(), DataType::Real);
     }

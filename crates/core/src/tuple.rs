@@ -31,7 +31,10 @@ impl AttrList {
             ));
         }
         if let Some(&bad) = indexes.iter().find(|&&i| i == 0) {
-            return Err(CoreError::AttrIndexOutOfRange { index: bad, arity: 0 });
+            return Err(CoreError::AttrIndexOutOfRange {
+                index: bad,
+                arity: 0,
+            });
         }
         Ok(AttrList(indexes))
     }

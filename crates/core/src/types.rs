@@ -130,6 +130,9 @@ mod tests {
     #[test]
     fn display_names() {
         let names: Vec<String> = ALL_TYPES.iter().map(|t| t.to_string()).collect();
-        assert_eq!(names, ["bool", "int", "real", "str", "date", "time", "money"]);
+        assert_eq!(
+            names,
+            ["bool", "int", "real", "str", "date", "time", "money"]
+        );
     }
 }

@@ -1,0 +1,261 @@
+//! The single execution entry point shared by every evaluation path.
+//!
+//! An [`Engine`] bundles *which* evaluator runs ([`EngineKind`]), *how* it
+//! runs ([`ExecOptions`]: batch size and partition count), and optionally a
+//! set of hash indexes applied as a rewrite pre-pass. The transaction
+//! layer, the language session, the SQL examples, and the benchmarks all
+//! construct an `Engine` and call [`Engine::run`] — there is one pipeline
+//! behind the physical, parallel, and indexed paths, not three.
+
+use mera_core::prelude::*;
+use mera_expr::rel::RelExpr;
+
+use crate::index::{rewrite_with_indexes, IndexSet};
+use crate::provider::{RelationProvider, Schemas};
+
+/// Default target number of rows per [`CountedBatch`](crate::physical::CountedBatch).
+///
+/// Batches amortise dynamic dispatch: one virtual call moves up to this
+/// many counted rows. 1024 keeps a batch of small tuples comfortably in
+/// cache while making the per-call overhead negligible.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Tuning knobs shared by all execution paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Target rows per batch flowing between physical operators (≥ 1;
+    /// values of 0 are treated as 1). Operators may overshoot when a
+    /// single input row expands to several output rows.
+    pub batch_size: usize,
+    /// Number of hash partitions (and worker threads) the parallel kernels
+    /// use. Ignored by the serial paths.
+    pub partitions: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            partitions: crate::parallel::default_partitions(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with an explicit batch size (partitions stay default).
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        ExecOptions {
+            batch_size,
+            ..Self::default()
+        }
+    }
+
+    /// Options with an explicit partition count (batch size stays default).
+    pub fn with_partitions(partitions: usize) -> Self {
+        ExecOptions {
+            partitions,
+            ..Self::default()
+        }
+    }
+
+    /// The batch size clamped to at least one row.
+    pub fn effective_batch_size(&self) -> usize {
+        self.batch_size.max(1)
+    }
+
+    /// The partition count clamped to at least one partition.
+    pub fn effective_partitions(&self) -> usize {
+        self.partitions.max(1)
+    }
+}
+
+/// Which evaluator an [`Engine`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The executable form of the paper's definitions — slow, obvious, the
+    /// oracle everything else is checked against.
+    Reference,
+    /// The batched Volcano-style operator pipeline.
+    #[default]
+    Physical,
+    /// Hash-partitioned parallel kernels over the same batched operators.
+    Parallel,
+}
+
+/// The unified execution engine: kind + options + optional indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    kind: EngineKind,
+    opts: ExecOptions,
+    indexes: Option<IndexSet>,
+}
+
+impl Engine {
+    /// An engine of the given kind with default options.
+    pub fn new(kind: EngineKind) -> Self {
+        Engine {
+            kind,
+            opts: ExecOptions::default(),
+            indexes: None,
+        }
+    }
+
+    /// The reference evaluator.
+    pub fn reference() -> Self {
+        Self::new(EngineKind::Reference)
+    }
+
+    /// The batched physical engine (the default).
+    pub fn physical() -> Self {
+        Self::new(EngineKind::Physical)
+    }
+
+    /// The partition-parallel engine.
+    pub fn parallel() -> Self {
+        Self::new(EngineKind::Parallel)
+    }
+
+    /// The physical engine with an index rewrite pre-pass.
+    pub fn indexed(indexes: IndexSet) -> Self {
+        Self::physical().with_indexes(indexes)
+    }
+
+    /// Replaces the execution options.
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the target batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.opts.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the partition count used by the parallel kernels.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.opts.partitions = partitions;
+        self
+    }
+
+    /// Attaches indexes; point-selections over indexed base relations are
+    /// rewritten into lookups before planning.
+    pub fn with_indexes(mut self, indexes: IndexSet) -> Self {
+        self.indexes = Some(indexes);
+        self
+    }
+
+    /// The evaluator this engine dispatches to.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The execution options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// The attached indexes, if any.
+    pub fn indexes(&self) -> Option<&IndexSet> {
+        self.indexes.as_ref()
+    }
+
+    /// Evaluates `expr` against `provider`.
+    ///
+    /// The expression is schema-checked once up front; if indexes are
+    /// attached, eligible point-selections are rewritten into lookups;
+    /// then the configured evaluator runs.
+    pub fn run(
+        &self,
+        expr: &RelExpr,
+        provider: &(impl RelationProvider + ?Sized),
+    ) -> CoreResult<Relation> {
+        expr.schema(&Schemas(provider))?;
+        let rewritten;
+        let expr = match &self.indexes {
+            Some(indexes) => {
+                rewritten = rewrite_with_indexes(expr, indexes)?;
+                &rewritten
+            }
+            None => expr,
+        };
+        match self.kind {
+            EngineKind::Reference => crate::reference::eval_unchecked(expr, provider),
+            EngineKind::Physical => {
+                let plan = crate::physical::planner::plan_with(expr, provider, self.opts)?;
+                crate::physical::collect(plan)
+            }
+            EngineKind::Parallel => crate::parallel::eval_parallel(expr, provider, &self.opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use mera_expr::ScalarExpr;
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Int]))
+            .unwrap();
+        let mut db = Database::new(schema);
+        let rs = Arc::clone(db.schema().get("r").unwrap());
+        let mut r = Relation::empty(rs);
+        for i in 0..50_i64 {
+            r.insert(tuple![i % 7, i], (i % 3 + 1) as u64).unwrap();
+        }
+        db.replace("r", r).unwrap();
+        db
+    }
+
+    #[test]
+    fn all_kinds_agree() {
+        let db = db();
+        let e = RelExpr::scan("r")
+            .join(
+                RelExpr::scan("r"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .project(&[1])
+            .group_by(&[1], mera_expr::Aggregate::Cnt, 1);
+        let reference = Engine::reference().run(&e, &db).unwrap();
+        for engine in [
+            Engine::physical(),
+            Engine::parallel(),
+            Engine::physical().with_batch_size(3),
+            Engine::parallel().with_partitions(3),
+        ] {
+            assert_eq!(engine.run(&e, &db).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn indexed_engine_rewrites_point_lookups() {
+        let db = db();
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "r", &[1]).unwrap();
+        let e = RelExpr::scan("r").select(ScalarExpr::attr(1).eq(ScalarExpr::int(3)));
+        let plain = Engine::physical().run(&e, &db).unwrap();
+        let indexed = Engine::indexed(indexes).run(&e, &db).unwrap();
+        assert_eq!(indexed, plain);
+    }
+
+    #[test]
+    fn engine_rejects_invalid_expressions() {
+        let db = db();
+        assert!(Engine::physical().run(&RelExpr::scan("zzz"), &db).is_err());
+    }
+
+    #[test]
+    fn options_clamp_degenerate_values() {
+        let opts = ExecOptions {
+            batch_size: 0,
+            partitions: 0,
+        };
+        assert_eq!(opts.effective_batch_size(), 1);
+        assert_eq!(opts.effective_partitions(), 1);
+    }
+}

@@ -166,12 +166,27 @@ pub fn execute_indexed(
     provider: &(impl RelationProvider + ?Sized),
     indexes: &IndexSet,
 ) -> CoreResult<Relation> {
-    expr.schema(&Schemas(provider))?;
-    let rewritten = rewrite_with_indexes(expr, indexes)?;
-    crate::physical::execute(&rewritten, provider)
+    execute_indexed_with(
+        expr,
+        provider,
+        indexes,
+        &crate::engine::ExecOptions::default(),
+    )
 }
 
-fn rewrite_with_indexes(expr: &RelExpr, indexes: &IndexSet) -> CoreResult<RelExpr> {
+/// [`execute_indexed`] with explicit execution options.
+pub fn execute_indexed_with(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    indexes: &IndexSet,
+    opts: &crate::engine::ExecOptions,
+) -> CoreResult<Relation> {
+    expr.schema(&Schemas(provider))?;
+    let rewritten = rewrite_with_indexes(expr, indexes)?;
+    crate::physical::execute_with(&rewritten, provider, opts)
+}
+
+pub(crate) fn rewrite_with_indexes(expr: &RelExpr, indexes: &IndexSet) -> CoreResult<RelExpr> {
     // rewrite children first
     let children: CoreResult<Vec<RelExpr>> = expr
         .children()
@@ -311,7 +326,10 @@ mod tests {
         let plain = execute(&q, &db).expect("plain");
         let indexed = execute_indexed(&q, &db, &indexes).expect("indexed");
         assert_eq!(indexed, plain);
-        assert_eq!(indexed.multiplicity(&tuple!["Bock", "Grolsche", 6.5_f64]), 2);
+        assert_eq!(
+            indexed.multiplicity(&tuple!["Bock", "Grolsche", 6.5_f64]),
+            2
+        );
     }
 
     #[test]

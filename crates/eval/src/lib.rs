@@ -1,29 +1,37 @@
 //! # mera-eval — evaluators for the multi-set extended relational algebra
 //!
-//! Two independent implementations of the algebra's semantics:
+//! One batched execution core behind several evaluation paths:
 //!
 //! * [`mod@reference`] — the executable form of Definitions 3.1–3.4, computed
 //!   directly from the multiplicity laws on counted bags. Slow, obvious,
 //!   and the oracle everything else is checked against.
-//! * [`physical`] — a Volcano-style engine streaming `(tuple,
+//! * [`physical`] — a pipelined engine streaming batches of `(tuple,
 //!   multiplicity)` pairs, with hash joins, hash aggregation and
 //!   instrumented plans,
-//! * [`parallel`] - hash-partitioned parallel kernels for equi-joins and
-//!   keyed group-bys (the PRISMA/DB direction from section 5).
+//! * [`parallel`] — hash-partitioned parallel kernels for equi-joins and
+//!   keyed group-bys (the PRISMA/DB direction from section 5); each
+//!   partition runs the same batched physical operators,
+//! * [`index`] — hash indexes and a rewrite pre-pass turning
+//!   point-selections into lookups, feeding the physical engine.
 //!
-//! The equivalence of the two on arbitrary inputs is enforced by property
-//! tests (`tests/engine_equivalence.rs`).
+//! The [`engine::Engine`] entry point unifies them: pick an
+//! [`engine::EngineKind`], tune [`engine::ExecOptions`] (batch size,
+//! partitions), optionally attach an [`IndexSet`], and call
+//! [`engine::Engine::run`]. Equivalence of all paths on arbitrary inputs
+//! is enforced by property tests (`tests/engine_equivalence.rs`).
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod index;
 pub mod parallel;
 pub mod physical;
 pub mod provider;
 pub mod reference;
 
-pub use index::{execute_indexed, HashIndex, IndexSet};
-pub use parallel::execute_parallel;
-pub use physical::{collect, execute};
+pub use engine::{Engine, EngineKind, ExecOptions, DEFAULT_BATCH_SIZE};
+pub use index::{execute_indexed, execute_indexed_with, HashIndex, IndexSet};
+pub use parallel::{default_partitions, execute_parallel, execute_parallel_with};
+pub use physical::{collect, execute, execute_with};
 pub use provider::{NoRelations, RelationProvider, Schemas};
 pub use reference::eval;

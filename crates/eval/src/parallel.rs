@@ -13,25 +13,45 @@
 //!   partition,
 //! * selection / projection — trivially per-tuple.
 //!
+//! Each partition runs an ordinary *physical batch plan* — a
+//! [`HashJoin`]/[`HashAggregate`] over [`VecScanOp`]s of the partition's
+//! rows — so the parallel path exercises exactly the same operator code as
+//! the serial one; only the partitioning and the thread fan-out differ.
 //! [`execute_parallel`] evaluates an algebra expression with these kernels
-//! (falling back to the serial kernels where partitioning does not apply);
-//! its agreement with the reference evaluator is property-tested.
+//! (falling back to the serial physical engine where partitioning does not
+//! apply); its agreement with the reference evaluator is property-tested.
 
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use mera_core::prelude::*;
 use mera_expr::rel::RelExpr;
-use mera_expr::{Aggregate, ScalarExpr};
+use mera_expr::Aggregate;
 use rustc_hash::FxHasher;
 
-use crate::physical::join::{extract_equi_condition, EquiCondition};
+use crate::engine::ExecOptions;
+use crate::physical::agg::HashAggregate;
+use crate::physical::join::{extract_equi_condition, EquiCondition, HashJoin, NestedLoopJoin};
+use crate::physical::ops::{ScanOp, VecScanOp};
+use crate::physical::{collect, BoxedOp};
 use crate::provider::{RelationProvider, Schemas};
-use crate::reference;
 
-/// Number of partitions/threads used by default (a small fixed degree —
-/// PRISMA ran one partition per node; we run one per thread).
-pub const DEFAULT_PARTITIONS: usize = 4;
+/// The default number of partitions/threads: the `MERA_PARTITIONS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism (PRISMA ran one partition per node; we
+/// run one per core), otherwise 4.
+pub fn default_partitions() -> usize {
+    if let Ok(v) = std::env::var("MERA_PARTITIONS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 fn partition_of(t: &Tuple, keys: &AttrList, partitions: usize) -> CoreResult<usize> {
     let mut h = FxHasher::default();
@@ -57,55 +77,35 @@ fn partition(
 }
 
 /// Hash-partitioned parallel equi-join: both sides are partitioned on
-/// their key projections; each partition joins independently on its own
-/// thread; partition results concatenate (disjoint by construction).
+/// their key projections; each partition runs a physical [`HashJoin`] plan
+/// on its own thread; partition results concatenate (disjoint by
+/// construction). Residual conjuncts in `cond` are applied post-probe by
+/// the join itself.
 pub fn parallel_equi_join(
     left: &Relation,
     right: &Relation,
     cond: &EquiCondition,
-    residual_check: Option<&ScalarExpr>,
-    partitions: usize,
+    opts: &ExecOptions,
 ) -> CoreResult<Relation> {
-    let partitions = partitions.max(1);
+    let partitions = opts.effective_partitions();
+    let batch = opts.effective_batch_size();
     let out_schema = Arc::new(left.schema().concat(right.schema()));
     let lk = AttrList::new(cond.left_keys.clone())?;
     let rk = AttrList::new(cond.right_keys.clone())?;
     let left_parts = partition(left, &lk, partitions)?;
     let right_parts = partition(right, &rk, partitions)?;
+    let (ls, rs) = (left.schema(), right.schema());
 
-    let results: Vec<CoreResult<Vec<(Tuple, u64)>>> = std::thread::scope(|scope| {
+    let results: Vec<CoreResult<Relation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = left_parts
             .into_iter()
             .zip(right_parts)
             .map(|(lp, rp)| {
-                let lk = &lk;
-                let rk = &rk;
-                scope.spawn(move || -> CoreResult<Vec<(Tuple, u64)>> {
-                    // build on the right partition, probe with the left
-                    let mut table: rustc_hash::FxHashMap<Tuple, Vec<(Tuple, u64)>> =
-                        rustc_hash::FxHashMap::default();
-                    for (t, m) in rp {
-                        table.entry(t.project(rk)?).or_default().push((t, m));
-                    }
-                    let mut out = Vec::new();
-                    for (lt, lm) in lp {
-                        if let Some(matches) = table.get(&lt.project(lk)?) {
-                            for (rt, rm) in matches {
-                                let joined = lt.concat(rt);
-                                let keep = match residual_check {
-                                    None => true,
-                                    Some(p) => p.eval_predicate(&joined)?,
-                                };
-                                if keep {
-                                    let m = lm.checked_mul(*rm).ok_or(CoreError::Overflow(
-                                        "join multiplicity",
-                                    ))?;
-                                    out.push((joined, m));
-                                }
-                            }
-                        }
-                    }
-                    Ok(out)
+                let cond = cond.clone();
+                scope.spawn(move || -> CoreResult<Relation> {
+                    let lop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(ls), lp, batch));
+                    let rop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(rs), rp, batch));
+                    collect(Box::new(HashJoin::build(lop, rop, cond, batch)?))
                 })
             })
             .collect();
@@ -117,42 +117,49 @@ pub fn parallel_equi_join(
 
     let mut out = Relation::empty(out_schema);
     for part in results {
-        for (t, m) in part? {
-            out.insert(t, m)?;
+        for (t, m) in part?.iter() {
+            out.insert(t.clone(), m)?;
         }
     }
     Ok(out)
 }
 
 /// Hash-partitioned parallel group-by (non-empty key list): partitions by
-/// grouping key, aggregates each partition independently, concatenates —
-/// every group is wholly contained in one partition, so no merge phase is
-/// needed.
+/// grouping key, runs a physical [`HashAggregate`] plan per partition,
+/// concatenates — every group is wholly contained in one partition, so no
+/// merge phase is needed.
 pub fn parallel_group_by(
     rel: &Relation,
     keys: &[usize],
     agg: Aggregate,
     attr: usize,
-    partitions: usize,
+    opts: &ExecOptions,
 ) -> CoreResult<Relation> {
+    let batch = opts.effective_batch_size();
     if keys.is_empty() {
-        // a single global group cannot be partitioned on keys
-        return reference::group_by(rel, keys, agg, attr);
+        // a single global group cannot be partitioned on keys: run the
+        // serial physical aggregate
+        let scan: BoxedOp<'_> = Box::new(ScanOp::new(rel, batch));
+        return collect(Box::new(HashAggregate::build(
+            scan, keys, agg, attr, batch,
+        )?));
     }
-    let partitions = partitions.max(1);
+    let partitions = opts.effective_partitions();
     let key_list = AttrList::new_unique(keys.to_vec())?;
     key_list.check_arity(rel.schema().arity())?;
     let parts = partition(rel, &key_list, partitions)?;
-    let schema = Arc::clone(rel.schema());
+    let schema = rel.schema();
 
     let results: Vec<CoreResult<Relation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .into_iter()
             .map(|pairs| {
-                let schema = Arc::clone(&schema);
                 scope.spawn(move || -> CoreResult<Relation> {
-                    let part = Relation::from_counted(schema, pairs)?;
-                    reference::group_by(&part, keys, agg, attr)
+                    let scan: BoxedOp<'_> =
+                        Box::new(VecScanOp::new(Arc::clone(schema), pairs, batch));
+                    collect(Box::new(HashAggregate::build(
+                        scan, keys, agg, attr, batch,
+                    )?))
                 })
             })
             .collect();
@@ -171,21 +178,34 @@ pub fn parallel_group_by(
 }
 
 /// Evaluates an expression using the partition-parallel kernels where they
-/// apply (equi-joins, keyed group-bys) and the serial reference kernels
-/// elsewhere.
+/// apply (equi-joins, keyed group-bys) and the serial batched physical
+/// engine elsewhere, with `partitions` workers.
 pub fn execute_parallel(
     expr: &RelExpr,
     provider: &(impl RelationProvider + ?Sized),
     partitions: usize,
 ) -> CoreResult<Relation> {
-    expr.schema(&Schemas(provider))?;
-    eval_parallel(expr, provider, partitions)
+    let opts = ExecOptions {
+        partitions,
+        ..ExecOptions::default()
+    };
+    execute_parallel_with(expr, provider, &opts)
 }
 
-fn eval_parallel(
+/// [`execute_parallel`] with full execution options.
+pub fn execute_parallel_with(
     expr: &RelExpr,
     provider: &(impl RelationProvider + ?Sized),
-    partitions: usize,
+    opts: &ExecOptions,
+) -> CoreResult<Relation> {
+    expr.schema(&Schemas(provider))?;
+    eval_parallel(expr, provider, opts)
+}
+
+pub(crate) fn eval_parallel(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    opts: &ExecOptions,
 ) -> CoreResult<Relation> {
     match expr {
         RelExpr::Join {
@@ -193,19 +213,20 @@ fn eval_parallel(
             right,
             predicate,
         } => {
-            let l = eval_parallel(left, provider, partitions)?;
-            let r = eval_parallel(right, provider, partitions)?;
+            let l = eval_parallel(left, provider, opts)?;
+            let r = eval_parallel(right, provider, opts)?;
             let la = l.schema().arity();
             let ra = r.schema().arity();
             match extract_equi_condition(predicate, la, ra) {
-                Some(cond) => {
-                    let residual = cond.residual.clone();
-                    parallel_equi_join(&l, &r, &cond, residual.as_ref(), partitions)
-                }
+                Some(cond) => parallel_equi_join(&l, &r, &cond, opts),
                 None => {
-                    // θ-joins fall back to the serial definition σ_φ(E×E')
-                    let prod = l.product(&r)?;
-                    prod.select(|t| predicate.eval_predicate(t))
+                    // θ-joins have no partitioning key: run the serial
+                    // physical nested loop over the evaluated inputs
+                    let batch = opts.effective_batch_size();
+                    let lop: BoxedOp<'_> = Box::new(ScanOp::new(&l, batch));
+                    let rop: BoxedOp<'_> = Box::new(ScanOp::new(&r, batch));
+                    let join = NestedLoopJoin::build(lop, rop, Some(predicate.clone()), batch)?;
+                    collect(Box::new(join))
                 }
             }
         }
@@ -215,18 +236,19 @@ fn eval_parallel(
             agg,
             attr,
         } => {
-            let rel = eval_parallel(input, provider, partitions)?;
-            parallel_group_by(&rel, keys, *agg, *attr, partitions)
+            let rel = eval_parallel(input, provider, opts)?;
+            parallel_group_by(&rel, keys, *agg, *attr, opts)
         }
-        // unary/binary structure: recurse, then apply the serial kernel
+        // other structure: evaluate children parallel-recursively, then run
+        // the node itself as a serial physical batch plan over the results
         _ => {
             let children: CoreResult<Vec<RelExpr>> = expr
                 .children()
                 .iter()
-                .map(|c| Ok(RelExpr::values(eval_parallel(c, provider, partitions)?)))
+                .map(|c| Ok(RelExpr::values(eval_parallel(c, provider, opts)?)))
                 .collect();
             let rebuilt = expr.with_children(children?);
-            reference::eval_unchecked(&rebuilt, provider)
+            crate::physical::execute_with(&rebuilt, provider, opts)
         }
     }
 }
@@ -234,8 +256,9 @@ fn eval_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference;
     use mera_core::tuple;
-    use mera_expr::CmpOp;
+    use mera_expr::{CmpOp, ScalarExpr};
 
     fn db() -> Database {
         let schema = DatabaseSchema::new()
@@ -247,13 +270,15 @@ mod tests {
         let rs = Arc::clone(db.schema().get("r").expect("declared"));
         let mut r = Relation::empty(rs);
         for i in 0..200_i64 {
-            r.insert(tuple![i % 17, i], (i % 3 + 1) as u64).expect("typed");
+            r.insert(tuple![i % 17, i], (i % 3 + 1) as u64)
+                .expect("typed");
         }
         db.replace("r", r).expect("replace");
         let ss = Arc::clone(db.schema().get("s").expect("declared"));
         let mut s = Relation::empty(ss);
         for i in 0..17_i64 {
-            s.insert(tuple![i, format!("g{}", i % 5)], 1).expect("typed");
+            s.insert(tuple![i, format!("g{}", i % 5)], 1)
+                .expect("typed");
         }
         db.replace("s", s).expect("replace");
         db
@@ -267,7 +292,7 @@ mod tests {
             ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
         );
         let want = reference::eval(&e, &db).expect("reference");
-        for partitions in [1, 2, 4, 7] {
+        for partitions in [1, 2, 8] {
             let got = execute_parallel(&e, &db, partitions).expect("parallel");
             assert_eq!(got, want, "partitions={partitions}");
         }
@@ -283,18 +308,27 @@ mod tests {
                 .and(ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::int(100))),
         );
         let want = reference::eval(&e, &db).expect("reference");
-        let got = execute_parallel(&e, &db, 4).expect("parallel");
-        assert_eq!(got, want);
+        for partitions in [1, 2, 8] {
+            let got = execute_parallel(&e, &db, partitions).expect("parallel");
+            assert_eq!(got, want, "partitions={partitions}");
+        }
     }
 
     #[test]
     fn parallel_group_by_matches_reference() {
         let db = db();
-        for agg in [Aggregate::Cnt, Aggregate::Sum, Aggregate::Avg, Aggregate::Min] {
+        for agg in [
+            Aggregate::Cnt,
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Min,
+        ] {
             let e = RelExpr::scan("r").group_by(&[1], agg, 2);
             let want = reference::eval(&e, &db).expect("reference");
-            let got = execute_parallel(&e, &db, 4).expect("parallel");
-            assert_eq!(got, want, "agg={agg:?}");
+            for partitions in [1, 2, 8] {
+                let got = execute_parallel(&e, &db, partitions).expect("parallel");
+                assert_eq!(got, want, "agg={agg:?} partitions={partitions}");
+            }
         }
     }
 
@@ -319,8 +353,10 @@ mod tests {
             .project(&[4, 2])
             .group_by(&[1], Aggregate::Cnt, 2);
         let want = reference::eval(&e, &db).expect("reference");
-        let got = execute_parallel(&e, &db, 4).expect("parallel");
-        assert_eq!(got, want);
+        for partitions in [1, 2, 8] {
+            let got = execute_parallel(&e, &db, partitions).expect("parallel");
+            assert_eq!(got, want, "partitions={partitions}");
+        }
     }
 
     #[test]
@@ -333,5 +369,30 @@ mod tests {
         let want = reference::eval(&e, &db).expect("reference");
         let got = execute_parallel(&e, &db, 4).expect("parallel");
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn default_partitions_is_positive() {
+        assert!(default_partitions() >= 1);
+    }
+
+    #[test]
+    fn small_batch_sizes_agree_with_reference() {
+        let db = db();
+        let e = RelExpr::scan("r")
+            .join(
+                RelExpr::scan("s"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .group_by(&[4], Aggregate::Cnt, 2);
+        let want = reference::eval(&e, &db).expect("reference");
+        for batch_size in [1, 2, 7, 1024] {
+            let opts = ExecOptions {
+                batch_size,
+                partitions: 3,
+            };
+            let got = execute_parallel_with(&e, &db, &opts).expect("parallel");
+            assert_eq!(got, want, "batch={batch_size}");
+        }
     }
 }

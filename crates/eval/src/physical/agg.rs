@@ -6,34 +6,37 @@ use mera_core::prelude::*;
 use mera_expr::Aggregate;
 use rustc_hash::FxHashMap;
 
-use super::{BoxedOp, Counted, Operator};
+use super::ops::VecScanOp;
+use super::{BoxedOp, Counted, CountedBatch, Operator};
 
-/// Hash-based group-by: drains its input, partitions by the key
-/// projection, computes the aggregate per group with multiplicities, then
-/// streams the result rows.
-pub struct HashAggregate {
+/// Hash-based group-by: drains its input batch by batch, partitions by the
+/// key projection, computes the aggregate per group with multiplicities,
+/// then streams the result rows in batches.
+pub struct HashAggregate<'a> {
     schema: SchemaRef,
-    state: State,
+    batch_size: usize,
+    state: State<'a>,
 }
 
-enum State {
+enum State<'a> {
     Pending {
-        input: BoxedOp,
+        input: BoxedOp<'a>,
         keys: Option<AttrList>,
         agg: Aggregate,
         attr: usize,
     },
-    Draining(std::vec::IntoIter<Counted>),
+    Draining(VecScanOp),
 }
 
-impl HashAggregate {
+impl<'a> HashAggregate<'a> {
     /// Builds a group-by over `input`. `keys` may be empty (whole-relation
     /// aggregation producing exactly one tuple).
     pub fn build(
-        input: BoxedOp,
+        input: BoxedOp<'a>,
         keys: &[usize],
         agg: Aggregate,
         attr: usize,
+        batch_size: usize,
     ) -> CoreResult<Self> {
         let in_schema = input.schema();
         let key_list = if keys.is_empty() {
@@ -51,6 +54,7 @@ impl HashAggregate {
         let schema = Arc::new(key_schema.with_attr(Attribute::anon(out_type)));
         Ok(HashAggregate {
             schema,
+            batch_size,
             state: State::Pending {
                 input,
                 keys: key_list,
@@ -61,26 +65,28 @@ impl HashAggregate {
     }
 
     fn run(
-        input: &mut BoxedOp,
+        input: &mut BoxedOp<'a>,
         keys: &Option<AttrList>,
         agg: Aggregate,
         attr: usize,
     ) -> CoreResult<Vec<Counted>> {
         let in_type = input.schema().dtype(attr)?;
         let mut groups: FxHashMap<Tuple, Vec<(Value, u64)>> = FxHashMap::default();
-        while let Some((t, m)) = input.next()? {
-            let key = match keys {
-                Some(list) => t.project(list)?,
-                None => Tuple::empty(),
-            };
-            let v = t.attr(attr)?.clone();
-            // merge chunks of the same (key, value) eagerly to bound memory
-            let entry = groups.entry(key).or_default();
-            match entry.iter_mut().find(|(ev, _)| ev == &v) {
-                Some((_, em)) => {
-                    *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?
+        while let Some(batch) = input.next_batch()? {
+            for (t, m) in batch {
+                let key = match keys {
+                    Some(list) => t.project(list)?,
+                    None => Tuple::empty(),
+                };
+                let v = t.attr(attr)?.clone();
+                // merge rows of the same (key, value) eagerly to bound memory
+                let entry = groups.entry(key).or_default();
+                match entry.iter_mut().find(|(ev, _)| ev == &v) {
+                    Some((_, em)) => {
+                        *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?
+                    }
+                    None => entry.push((v, m)),
                 }
-                None => entry.push((v, m)),
             }
         }
         let mut out = Vec::with_capacity(groups.len().max(1));
@@ -100,12 +106,12 @@ impl HashAggregate {
     }
 }
 
-impl Operator for HashAggregate {
+impl Operator for HashAggregate<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         loop {
             match &mut self.state {
                 State::Pending {
@@ -115,9 +121,13 @@ impl Operator for HashAggregate {
                     attr,
                 } => {
                     let rows = Self::run(input, keys, *agg, *attr)?;
-                    self.state = State::Draining(rows.into_iter());
+                    self.state = State::Draining(VecScanOp::new(
+                        Arc::clone(&self.schema),
+                        rows,
+                        self.batch_size,
+                    ));
                 }
-                State::Draining(it) => return Ok(it.next()),
+                State::Draining(scan) => return scan.next_batch(),
             }
         }
     }
@@ -129,6 +139,8 @@ mod tests {
     use crate::physical::collect;
     use crate::physical::ops::{ScanOp, UnionOp};
     use mera_core::tuple;
+
+    const B: usize = 1024;
 
     fn sales() -> Relation {
         Relation::from_counted(
@@ -145,11 +157,14 @@ mod tests {
         .unwrap()
     }
 
+    fn scan(r: &Relation) -> BoxedOp<'_> {
+        Box::new(ScanOp::new(r, 2))
+    }
+
     #[test]
     fn grouped_sum_weights_multiplicities() {
         let r = sales();
-        let op =
-            HashAggregate::build(Box::new(ScanOp::new(&r)), &[1], Aggregate::Sum, 2).unwrap();
+        let op = HashAggregate::build(scan(&r), &[1], Aggregate::Sum, 2, B).unwrap();
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.multiplicity(&tuple!["ams", 40_i64]), 1);
         assert_eq!(out.multiplicity(&tuple!["ens", 15_i64]), 1);
@@ -159,8 +174,7 @@ mod tests {
     #[test]
     fn whole_relation_aggregate_single_tuple() {
         let r = sales();
-        let op =
-            HashAggregate::build(Box::new(ScanOp::new(&r)), &[], Aggregate::Cnt, 1).unwrap();
+        let op = HashAggregate::build(scan(&r), &[], Aggregate::Cnt, 1, B).unwrap();
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.multiplicity(&tuple![6_i64]), 1);
@@ -168,18 +182,31 @@ mod tests {
 
     #[test]
     fn chunked_input_merges_before_aggregation() {
-        // the same tuple arriving in two chunks must count once per total
+        // the same tuple arriving in two rows must count once per total
         // multiplicity, e.g. for AVG denominator correctness
         let r = sales();
-        let chunked = Box::new(UnionOp::new(
-            Box::new(ScanOp::new(&r)),
-            Box::new(ScanOp::new(&r)),
-        ));
-        let op = HashAggregate::build(chunked, &[1], Aggregate::Avg, 2).unwrap();
+        let chunked = Box::new(UnionOp::new(scan(&r), scan(&r)));
+        let op = HashAggregate::build(chunked, &[1], Aggregate::Avg, 2, B).unwrap();
         let out = collect(Box::new(op)).unwrap();
         // doubling every multiplicity does not change the average
         let expected_ams = (10.0 * 2.0 + 20.0) / 3.0;
         assert_eq!(out.multiplicity(&tuple!["ams", expected_ams]), 1);
+    }
+
+    #[test]
+    fn result_streams_in_batches() {
+        let schema = Arc::new(Schema::anon(&[DataType::Int]));
+        let mut r = Relation::empty(schema);
+        for i in 0..10_i64 {
+            r.insert(tuple![i], 1).unwrap();
+        }
+        // 10 groups drained with batch size 3 → batches of 3,3,3,1
+        let mut op = HashAggregate::build(scan(&r), &[1], Aggregate::Cnt, 1, 3).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(b) = op.next_batch().unwrap() {
+            sizes.push(b.len());
+        }
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
     }
 
     #[test]
@@ -188,8 +215,7 @@ mod tests {
             ("city", DataType::Str),
             ("amount", DataType::Int),
         ])));
-        let op = HashAggregate::build(Box::new(ScanOp::new(&empty)), &[1], Aggregate::Avg, 2)
-            .unwrap();
+        let op = HashAggregate::build(scan(&empty), &[1], Aggregate::Avg, 2, B).unwrap();
         assert!(collect(Box::new(op)).unwrap().is_empty());
     }
 
@@ -199,8 +225,7 @@ mod tests {
             ("city", DataType::Str),
             ("amount", DataType::Int),
         ])));
-        let op = HashAggregate::build(Box::new(ScanOp::new(&empty)), &[], Aggregate::Min, 2)
-            .unwrap();
+        let op = HashAggregate::build(scan(&empty), &[], Aggregate::Min, 2, B).unwrap();
         assert_eq!(
             collect(Box::new(op)).unwrap_err(),
             CoreError::AggregateOnEmpty("MIN")
@@ -210,26 +235,9 @@ mod tests {
     #[test]
     fn build_validates_keys() {
         let r = sales();
-        assert!(HashAggregate::build(
-            Box::new(ScanOp::new(&r)),
-            &[1, 1],
-            Aggregate::Cnt,
-            1
-        )
-        .is_err());
-        assert!(HashAggregate::build(
-            Box::new(ScanOp::new(&r)),
-            &[9],
-            Aggregate::Cnt,
-            1
-        )
-        .is_err());
-        assert!(HashAggregate::build(
-            Box::new(ScanOp::new(&r)),
-            &[1],
-            Aggregate::Sum,
-            1 // SUM over str
-        )
-        .is_err());
+        assert!(HashAggregate::build(scan(&r), &[1, 1], Aggregate::Cnt, 1, B).is_err());
+        assert!(HashAggregate::build(scan(&r), &[9], Aggregate::Cnt, 1, B).is_err());
+        // SUM over str
+        assert!(HashAggregate::build(scan(&r), &[1], Aggregate::Sum, 1, B).is_err());
     }
 }

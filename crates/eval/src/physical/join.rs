@@ -3,7 +3,9 @@
 //!
 //! Both implement `E₁ ⋈_φ E₂ = σ_φ(E₁ × E₂)` (Definition 3.2) with the
 //! product's multiplicity law `m₁ · m₂` — without materialising the
-//! product.
+//! product. Both are pipelined on the left (probe/outer) side: they pull
+//! left batches on demand and accumulate output rows until the batch-size
+//! target is reached, saving their loop positions between calls.
 
 use std::sync::Arc;
 
@@ -11,73 +13,106 @@ use mera_core::prelude::*;
 use mera_expr::scalar::{CmpOp, ScalarExpr};
 use rustc_hash::FxHashMap;
 
-use super::{BoxedOp, Counted, Operator};
+use super::{BoxedOp, Counted, CountedBatch, Operator};
 
 /// Nested-loop join with an optional predicate over the concatenated
 /// schema (`None` ⇒ plain Cartesian product).
 ///
-/// The right side is materialised once; the left side streams.
-pub struct NestedLoopJoin {
-    left: BoxedOp,
+/// The right side is materialised once; the left side streams in batches.
+pub struct NestedLoopJoin<'a> {
+    left: BoxedOp<'a>,
     right_rows: Vec<Counted>,
     predicate: Option<ScalarExpr>,
     schema: SchemaRef,
-    current_left: Option<Counted>,
+    batch_size: usize,
+    /// The current left batch and the resume positions within it.
+    left_rows: Vec<Counted>,
+    left_pos: usize,
     right_pos: usize,
+    done: bool,
 }
 
-impl NestedLoopJoin {
+impl<'a> NestedLoopJoin<'a> {
     /// Builds `left ⋈_φ right` (or `left × right` when `predicate` is
     /// `None`), draining the right input immediately.
-    pub fn build(left: BoxedOp, mut right: BoxedOp, predicate: Option<ScalarExpr>) -> CoreResult<Self> {
+    pub fn build(
+        left: BoxedOp<'a>,
+        mut right: BoxedOp<'a>,
+        predicate: Option<ScalarExpr>,
+        batch_size: usize,
+    ) -> CoreResult<Self> {
         let schema = Arc::new(left.schema().concat(right.schema()));
         let mut right_rows = Vec::new();
-        while let Some(pair) = right.next()? {
-            right_rows.push(pair);
+        while let Some(batch) = right.next_batch()? {
+            right_rows.extend(batch);
         }
         Ok(NestedLoopJoin {
             left,
             right_rows,
             predicate,
             schema,
-            current_left: None,
+            batch_size: batch_size.max(1),
+            left_rows: Vec::new(),
+            left_pos: 0,
             right_pos: 0,
+            done: false,
         })
     }
 }
 
-impl Operator for NestedLoopJoin {
+impl Operator for NestedLoopJoin<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        loop {
-            if self.current_left.is_none() {
-                self.current_left = self.left.next()?;
-                self.right_pos = 0;
-                if self.current_left.is_none() {
-                    return Ok(None);
-                }
-            }
-            let (lt, lm) = self.current_left.as_ref().expect("set above").clone();
-            while self.right_pos < self.right_rows.len() {
-                let (rt, rm) = &self.right_rows[self.right_pos];
-                self.right_pos += 1;
-                let joined = lt.concat(rt);
-                let keep = match &self.predicate {
-                    None => true,
-                    Some(p) => p.eval_predicate(&joined)?,
-                };
-                if keep {
-                    let m = lm
-                        .checked_mul(*rm)
-                        .ok_or(CoreError::Overflow("join multiplicity"))?;
-                    return Ok(Some((joined, m)));
-                }
-            }
-            self.current_left = None;
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        if self.done {
+            return Ok(None);
         }
+        let mut out: Vec<Counted> = Vec::with_capacity(self.batch_size);
+        'fill: loop {
+            if self.left_pos >= self.left_rows.len() {
+                match self.left.next_batch()? {
+                    None => {
+                        self.done = true;
+                        break 'fill;
+                    }
+                    Some(batch) => {
+                        self.left_rows = batch.into_rows();
+                        self.left_pos = 0;
+                        self.right_pos = 0;
+                    }
+                }
+            }
+            while self.left_pos < self.left_rows.len() {
+                let (lt, lm) = &self.left_rows[self.left_pos];
+                while self.right_pos < self.right_rows.len() {
+                    let (rt, rm) = &self.right_rows[self.right_pos];
+                    self.right_pos += 1;
+                    let joined = lt.concat(rt);
+                    let keep = match &self.predicate {
+                        None => true,
+                        Some(p) => p.eval_predicate(&joined)?,
+                    };
+                    if keep {
+                        let m = lm
+                            .checked_mul(*rm)
+                            .ok_or(CoreError::Overflow("join multiplicity"))?;
+                        out.push((joined, m));
+                        if out.len() >= self.batch_size {
+                            break 'fill;
+                        }
+                    }
+                }
+                self.right_pos = 0;
+                self.left_pos += 1;
+            }
+        }
+        Ok(if out.is_empty() {
+            None
+        } else {
+            Some(CountedBatch::from_rows(Arc::clone(&self.schema), out))
+        })
     }
 }
 
@@ -142,26 +177,37 @@ pub fn extract_equi_condition(
 }
 
 /// Hash join on extracted equi-keys: the right side is built into a hash
-/// table keyed by its key projection; the left side streams and probes.
-pub struct HashJoin {
-    left: BoxedOp,
+/// table keyed by its key projection; the left side streams in batches and
+/// probes a batch at a time.
+pub struct HashJoin<'a> {
+    left: BoxedOp<'a>,
     table: FxHashMap<Tuple, Vec<Counted>>,
     left_keys: AttrList,
     residual: Option<ScalarExpr>,
     schema: SchemaRef,
-    /// Matches for the current left row not yet emitted.
-    pending: Vec<Counted>,
+    batch_size: usize,
+    /// The current probe batch and the resume position within it.
+    probe_rows: Vec<Counted>,
+    probe_pos: usize,
+    done: bool,
 }
 
-impl HashJoin {
+impl<'a> HashJoin<'a> {
     /// Builds the operator, draining the right input into the hash table.
-    pub fn build(left: BoxedOp, mut right: BoxedOp, cond: EquiCondition) -> CoreResult<Self> {
+    pub fn build(
+        left: BoxedOp<'a>,
+        mut right: BoxedOp<'a>,
+        cond: EquiCondition,
+        batch_size: usize,
+    ) -> CoreResult<Self> {
         let schema = Arc::new(left.schema().concat(right.schema()));
         let key_list = AttrList::new(cond.right_keys.clone())?;
         let mut table: FxHashMap<Tuple, Vec<Counted>> = FxHashMap::default();
-        while let Some((t, m)) = right.next()? {
-            let key = t.project(&key_list)?;
-            table.entry(key).or_default().push((t, m));
+        while let Some(batch) = right.next_batch()? {
+            for (t, m) in batch {
+                let key = t.project(&key_list)?;
+                table.entry(key).or_default().push((t, m));
+            }
         }
         Ok(HashJoin {
             left,
@@ -169,42 +215,66 @@ impl HashJoin {
             left_keys: AttrList::new(cond.left_keys)?,
             residual: cond.residual,
             schema,
-            pending: Vec::new(),
+            batch_size: batch_size.max(1),
+            probe_rows: Vec::new(),
+            probe_pos: 0,
+            done: false,
         })
     }
 }
 
-impl Operator for HashJoin {
+impl Operator for HashJoin<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        loop {
-            if let Some(pair) = self.pending.pop() {
-                return Ok(Some(pair));
-            }
-            let (lt, lm) = match self.left.next()? {
-                None => return Ok(None),
-                Some(p) => p,
-            };
-            let key = lt.project(&self.left_keys)?;
-            if let Some(matches) = self.table.get(&key) {
-                for (rt, rm) in matches {
-                    let joined = lt.concat(rt);
-                    let keep = match &self.residual {
-                        None => true,
-                        Some(p) => p.eval_predicate(&joined)?,
-                    };
-                    if keep {
-                        let m = lm
-                            .checked_mul(*rm)
-                            .ok_or(CoreError::Overflow("join multiplicity"))?;
-                        self.pending.push((joined, m));
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut out: Vec<Counted> = Vec::with_capacity(self.batch_size);
+        'fill: loop {
+            if self.probe_pos >= self.probe_rows.len() {
+                match self.left.next_batch()? {
+                    None => {
+                        self.done = true;
+                        break 'fill;
+                    }
+                    Some(batch) => {
+                        self.probe_rows = batch.into_rows();
+                        self.probe_pos = 0;
                     }
                 }
             }
+            while self.probe_pos < self.probe_rows.len() {
+                let (lt, lm) = &self.probe_rows[self.probe_pos];
+                self.probe_pos += 1;
+                let key = lt.project(&self.left_keys)?;
+                if let Some(matches) = self.table.get(&key) {
+                    for (rt, rm) in matches {
+                        let joined = lt.concat(rt);
+                        let keep = match &self.residual {
+                            None => true,
+                            Some(p) => p.eval_predicate(&joined)?,
+                        };
+                        if keep {
+                            let m = lm
+                                .checked_mul(*rm)
+                                .ok_or(CoreError::Overflow("join multiplicity"))?;
+                            out.push((joined, m));
+                        }
+                    }
+                }
+                if out.len() >= self.batch_size {
+                    break 'fill;
+                }
+            }
         }
+        Ok(if out.is_empty() {
+            None
+        } else {
+            Some(CountedBatch::from_rows(Arc::clone(&self.schema), out))
+        })
     }
 }
 
@@ -219,8 +289,8 @@ mod tests {
         Relation::from_counted(Arc::new(Schema::anon(types)), rows).unwrap()
     }
 
-    fn scan(r: &Relation) -> BoxedOp {
-        Box::new(ScanOp::new(r))
+    fn scan(r: &Relation) -> BoxedOp<'_> {
+        Box::new(ScanOp::new(r, 2))
     }
 
     fn left_rel() -> Relation {
@@ -245,7 +315,7 @@ mod tests {
     fn nested_loop_product() {
         let l = left_rel();
         let r = right_rel();
-        let op = NestedLoopJoin::build(scan(&l), scan(&r), None).unwrap();
+        let op = NestedLoopJoin::build(scan(&l), scan(&r), None, 1024).unwrap();
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.len(), l.len() * r.len());
         assert_eq!(out.multiplicity(&tuple![1_i64, "a", 1_i64, 10_i64]), 6);
@@ -256,11 +326,26 @@ mod tests {
         let l = left_rel();
         let r = right_rel();
         let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
-        let op = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred)).unwrap();
+        let op = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred), 1024).unwrap();
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.multiplicity(&tuple![1_i64, "a", 1_i64, 10_i64]), 6);
         assert_eq!(out.multiplicity(&tuple![2_i64, "b", 2_i64, 20_i64]), 1);
         assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn nested_loop_resumes_mid_row_across_batches() {
+        // batch size 1 forces a state save after every output row; the
+        // full product must still come out exactly once.
+        let l = left_rel();
+        let r = right_rel();
+        let mut op = NestedLoopJoin::build(scan(&l), scan(&r), None, 1).unwrap();
+        let mut total = 0_u64;
+        while let Some(b) = op.next_batch().unwrap() {
+            assert_eq!(b.len(), 1);
+            total += b.total_multiplicity();
+        }
+        assert_eq!(total, l.len() * r.len());
     }
 
     #[test]
@@ -300,12 +385,31 @@ mod tests {
         let r = right_rel();
         let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
         let cond = extract_equi_condition(&pred, 2, 2).unwrap();
-        let hj = HashJoin::build(scan(&l), scan(&r), cond).unwrap();
-        let nl = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred)).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&r), cond, 1024).unwrap();
+        let nl = NestedLoopJoin::build(scan(&l), scan(&r), Some(pred), 1024).unwrap();
         assert_eq!(
             collect(Box::new(hj)).unwrap(),
             collect(Box::new(nl)).unwrap()
         );
+    }
+
+    #[test]
+    fn hash_join_agrees_across_batch_sizes() {
+        let l = left_rel();
+        let r = right_rel();
+        let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
+        let want = {
+            let cond = extract_equi_condition(&pred, 2, 2).unwrap();
+            collect(Box::new(
+                HashJoin::build(scan(&l), scan(&r), cond, 1024).unwrap(),
+            ))
+            .unwrap()
+        };
+        for batch_size in [1, 2, 7] {
+            let cond = extract_equi_condition(&pred, 2, 2).unwrap();
+            let hj = HashJoin::build(scan(&l), scan(&r), cond, batch_size).unwrap();
+            assert_eq!(collect(Box::new(hj)).unwrap(), want, "batch={batch_size}");
+        }
     }
 
     #[test]
@@ -317,7 +421,7 @@ mod tests {
             .eq(ScalarExpr::attr(3))
             .and(ScalarExpr::attr(4).cmp(CmpOp::Gt, ScalarExpr::int(15)));
         let cond = extract_equi_condition(&pred, 2, 2).unwrap();
-        let hj = HashJoin::build(scan(&l), scan(&r), cond).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&r), cond, 1024).unwrap();
         let out = collect(Box::new(hj)).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.multiplicity(&tuple![2_i64, "b", 2_i64, 20_i64]), 1);
@@ -329,7 +433,7 @@ mod tests {
         let empty = rel(vec![], &[DataType::Int, DataType::Int]);
         let pred = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
         let cond = extract_equi_condition(&pred, 2, 2).unwrap();
-        let hj = HashJoin::build(scan(&l), scan(&empty), cond).unwrap();
+        let hj = HashJoin::build(scan(&l), scan(&empty), cond, 1024).unwrap();
         assert!(collect(Box::new(hj)).unwrap().is_empty());
     }
 }

@@ -1,21 +1,28 @@
-//! The physical engine: Volcano-style operators over *counted* tuple
+//! The physical engine: pipelined operators over *batched counted* tuple
 //! streams.
 //!
-//! Every operator yields `(Tuple, multiplicity)` pairs. Streaming counted
-//! pairs rather than duplicate-expanded tuples keeps bag semantics exact
-//! (multiplicities are arithmetic, Definitions 3.1–3.2) and means a tuple
-//! with multiplicity one million costs one stream element, not a million.
+//! Every operator yields [`CountedBatch`]es — schema-tagged vectors of
+//! `(Tuple, multiplicity)` pairs. Streaming counted pairs rather than
+//! duplicate-expanded tuples keeps bag semantics exact (multiplicities are
+//! arithmetic, Definitions 3.1–3.2) and means a tuple with multiplicity
+//! one million costs one row, not a million; batching them amortises the
+//! per-row virtual call into one call per ~thousand rows, so the inner
+//! loops of selection, projection and hash probing are tight loops over a
+//! contiguous chunk.
 //!
-//! A counted stream may emit the *same* tuple in several chunks (e.g. after
-//! a union or a collapsing projection); operators whose multiplicity law
-//! needs the merged count (difference, intersection, group-by) therefore
-//! materialise and merge their inputs, while selection, projection, product
-//! and join act chunk-wise — their laws are linear in the multiplicity.
+//! A counted stream may emit the *same* tuple in several rows and batches
+//! (e.g. after a union or a collapsing projection); operators whose
+//! multiplicity law needs the merged count (difference, intersection,
+//! group-by) therefore materialise and merge their inputs, while
+//! selection, projection, product and join act row-wise — their laws are
+//! linear in the multiplicity.
 //!
 //! The [`planner`] translates a [`RelExpr`](mera_expr::RelExpr) into an
 //! operator tree, picking hash joins for equi-predicates and falling back
-//! to nested loops, and [`collect`] drains any operator into a materialised
-//! [`Relation`].
+//! to nested loops, and [`collect`] drains any operator into a
+//! materialised [`Relation`]. Operators borrow their inputs (`BoxedOp<'a>`
+//! carries a lifetime), so scans stream straight out of the stored
+//! relation without an upfront snapshot.
 
 pub mod agg;
 pub mod join;
@@ -25,40 +32,140 @@ pub mod stats;
 
 use mera_core::prelude::*;
 
-/// One element of a counted stream.
+pub use crate::engine::{ExecOptions, DEFAULT_BATCH_SIZE};
+
+/// One row of a counted stream: a tuple and its multiplicity.
 pub type Counted = (Tuple, u64);
 
-/// A Volcano-style physical operator producing a counted tuple stream.
+/// A schema-tagged chunk of counted rows — the unit of data flow between
+/// physical operators.
+///
+/// Invariants maintained by the operators: batches are non-empty and every
+/// multiplicity is ≥ 1. The same tuple may occur in several rows (and in
+/// several batches); consumers that need merged counts must merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountedBatch {
+    schema: SchemaRef,
+    rows: Vec<Counted>,
+}
+
+impl CountedBatch {
+    /// An empty batch over `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        CountedBatch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// An empty batch with room for `capacity` rows.
+    pub fn with_capacity(schema: SchemaRef, capacity: usize) -> Self {
+        CountedBatch {
+            schema,
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an already-built row vector.
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Counted>) -> Self {
+        CountedBatch { schema, rows }
+    }
+
+    /// The schema every row conforms to.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The rows of the batch.
+    pub fn rows(&self) -> &[Counted] {
+        &self.rows
+    }
+
+    /// Number of rows (counted pairs, not multiplicity-expanded tuples).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total multiplicity across all rows.
+    pub fn total_multiplicity(&self) -> u64 {
+        self.rows.iter().map(|(_, m)| m).sum()
+    }
+
+    /// Appends a counted row.
+    pub fn push(&mut self, tuple: Tuple, multiplicity: u64) {
+        self.rows.push((tuple, multiplicity));
+    }
+
+    /// Consumes the batch, yielding its rows.
+    pub fn into_rows(self) -> Vec<Counted> {
+        self.rows
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Counted> {
+        self.rows.iter()
+    }
+}
+
+impl IntoIterator for CountedBatch {
+    type Item = Counted;
+    type IntoIter = std::vec::IntoIter<Counted>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+/// A pipelined physical operator producing a batched counted stream.
 pub trait Operator {
     /// The schema of the tuples this operator produces.
     fn schema(&self) -> &SchemaRef;
 
-    /// Produces the next counted chunk, `None` at end of stream.
+    /// Produces the next batch, `None` at end of stream.
     ///
-    /// Multiplicities are always ≥ 1; operators never emit empty chunks.
-    fn next(&mut self) -> CoreResult<Option<Counted>>;
+    /// Batches are never empty and multiplicities are always ≥ 1. The
+    /// batch size is a *target*: operators whose output expands (joins)
+    /// may overshoot, and operators that filter may undershoot.
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>>;
 }
 
-/// A boxed operator, the unit of plan composition.
-pub type BoxedOp = Box<dyn Operator>;
+/// A boxed operator, the unit of plan composition. The lifetime ties the
+/// plan to the relations (and expression literals) it scans.
+pub type BoxedOp<'a> = Box<dyn Operator + 'a>;
 
 /// Drains an operator into a materialised relation, merging multiplicities
-/// of tuples that arrive in separate chunks.
-pub fn collect(mut op: BoxedOp) -> CoreResult<Relation> {
+/// of tuples that arrive in separate rows or batches.
+pub fn collect(mut op: BoxedOp<'_>) -> CoreResult<Relation> {
     let schema = std::sync::Arc::clone(op.schema());
     let mut out = Relation::empty(schema);
-    while let Some((t, m)) = op.next()? {
-        out.insert(t, m)?;
+    while let Some(batch) = op.next_batch()? {
+        for (t, m) in batch {
+            out.insert(t, m)?;
+        }
     }
     Ok(out)
 }
 
-/// Plans and executes an expression against a relation provider — the
-/// physical counterpart of [`reference::eval`](crate::reference::eval).
+/// Plans and executes an expression with default options — the physical
+/// counterpart of [`reference::eval`](crate::reference::eval).
 pub fn execute(
     expr: &mera_expr::RelExpr,
     provider: &(impl crate::provider::RelationProvider + ?Sized),
 ) -> CoreResult<Relation> {
-    let plan = planner::plan(expr, provider)?;
+    execute_with(expr, provider, &ExecOptions::default())
+}
+
+/// Plans and executes an expression with explicit options.
+pub fn execute_with(
+    expr: &mera_expr::RelExpr,
+    provider: &(impl crate::provider::RelationProvider + ?Sized),
+    opts: &ExecOptions,
+) -> CoreResult<Relation> {
+    let plan = planner::plan_with(expr, provider, *opts)?;
     collect(plan)
 }

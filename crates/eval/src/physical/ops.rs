@@ -1,4 +1,4 @@
-//! Streaming and blocking operators for the unary and union-family
+//! Batched streaming and blocking operators for the unary and union-family
 //! constructs.
 
 use std::sync::Arc;
@@ -8,79 +8,126 @@ use mera_core::prelude::*;
 use mera_expr::ScalarExpr;
 use rustc_hash::FxHashSet;
 
-use super::{BoxedOp, Counted, Operator};
+use super::{BoxedOp, Counted, CountedBatch, Operator};
 
-/// Leaf scan over a materialised relation (both database relations and
-/// `Values` literals plan to this).
-pub struct ScanOp {
+/// Leaf scan over a stored relation. Lazy: the scan borrows the relation
+/// and batches rows straight out of its iterator — no upfront snapshot of
+/// the whole relation is taken.
+pub struct ScanOp<'a> {
     schema: SchemaRef,
-    pairs: std::vec::IntoIter<Counted>,
+    iter: Box<dyn Iterator<Item = (&'a Tuple, u64)> + 'a>,
+    batch_size: usize,
 }
 
-impl ScanOp {
-    /// Builds a scan by snapshotting a relation's counted pairs.
-    pub fn new(rel: &Relation) -> Self {
+impl<'a> ScanOp<'a> {
+    /// Builds a lazy scan over `rel` emitting batches of `batch_size`.
+    pub fn new(rel: &'a Relation, batch_size: usize) -> Self {
         ScanOp {
             schema: Arc::clone(rel.schema()),
-            pairs: rel
-                .iter()
-                .map(|(t, m)| (t.clone(), m))
-                .collect::<Vec<_>>()
-                .into_iter(),
+            iter: Box::new(rel.iter()),
+            batch_size: batch_size.max(1),
         }
     }
 }
 
-impl Operator for ScanOp {
+impl Operator for ScanOp<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        Ok(self.pairs.next())
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        let mut batch = CountedBatch::with_capacity(Arc::clone(&self.schema), self.batch_size);
+        for (t, m) in self.iter.by_ref().take(self.batch_size) {
+            batch.push(t.clone(), m);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }
 
-/// Streaming selection `σ_φ`: multiplicities pass through unchanged.
-pub struct FilterOp {
-    input: BoxedOp,
+/// Scan over an *owned* row vector, chunking it into batches. Used by the
+/// blocking operators to stream their materialised results, and by the
+/// parallel kernels to scan partition buckets.
+pub struct VecScanOp {
+    schema: SchemaRef,
+    rows: std::vec::IntoIter<Counted>,
+    batch_size: usize,
+}
+
+impl VecScanOp {
+    /// Wraps `rows` (conforming to `schema`) as a batched stream.
+    pub fn new(schema: SchemaRef, rows: Vec<Counted>, batch_size: usize) -> Self {
+        VecScanOp {
+            schema,
+            rows: rows.into_iter(),
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+impl Operator for VecScanOp {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        let rows: Vec<Counted> = self.rows.by_ref().take(self.batch_size).collect();
+        Ok(if rows.is_empty() {
+            None
+        } else {
+            Some(CountedBatch::from_rows(Arc::clone(&self.schema), rows))
+        })
+    }
+}
+
+/// Streaming selection `σ_φ`: a tight loop over each input batch;
+/// multiplicities pass through unchanged.
+pub struct FilterOp<'a> {
+    input: BoxedOp<'a>,
     predicate: ScalarExpr,
 }
 
-impl FilterOp {
+impl<'a> FilterOp<'a> {
     /// Wraps `input` with predicate `φ`.
-    pub fn new(input: BoxedOp, predicate: ScalarExpr) -> Self {
+    pub fn new(input: BoxedOp<'a>, predicate: ScalarExpr) -> Self {
         FilterOp { input, predicate }
     }
 }
 
-impl Operator for FilterOp {
+impl Operator for FilterOp<'_> {
     fn schema(&self) -> &SchemaRef {
         self.input.schema()
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        while let Some((t, m)) = self.input.next()? {
-            if self.predicate.eval_predicate(&t)? {
-                return Ok(Some((t, m)));
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let schema = Arc::clone(batch.schema());
+            let mut out = Vec::with_capacity(batch.len());
+            for (t, m) in batch {
+                if self.predicate.eval_predicate(&t)? {
+                    out.push((t, m));
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(CountedBatch::from_rows(schema, out)));
             }
         }
         Ok(None)
     }
 }
 
-/// Streaming projection (plain or extended). Collapsing tuples may be
-/// emitted in separate chunks; downstream merging restores the summed
-/// multiplicities, which is exactly the paper's projection law.
-pub struct ProjectOp {
-    input: BoxedOp,
+/// Streaming projection (plain or extended): a tight loop over each input
+/// batch. Collapsing tuples may be emitted in separate rows; downstream
+/// merging restores the summed multiplicities, which is exactly the
+/// paper's projection law.
+pub struct ProjectOp<'a> {
+    input: BoxedOp<'a>,
     exprs: Vec<ScalarExpr>,
     schema: SchemaRef,
 }
 
-impl ProjectOp {
+impl<'a> ProjectOp<'a> {
     /// Builds a projection with a pre-computed output schema.
-    pub fn new(input: BoxedOp, exprs: Vec<ScalarExpr>, schema: SchemaRef) -> Self {
+    pub fn new(input: BoxedOp<'a>, exprs: Vec<ScalarExpr>, schema: SchemaRef) -> Self {
         ProjectOp {
             input,
             exprs,
@@ -89,34 +136,38 @@ impl ProjectOp {
     }
 }
 
-impl Operator for ProjectOp {
+impl Operator for ProjectOp<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        match self.input.next()? {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        match self.input.next_batch()? {
             None => Ok(None),
-            Some((t, m)) => {
-                let vals: CoreResult<Vec<Value>> =
-                    self.exprs.iter().map(|e| e.eval(&t)).collect();
-                Ok(Some((Tuple::new(vals?), m)))
+            Some(batch) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for (t, m) in batch {
+                    let vals: CoreResult<Vec<Value>> =
+                        self.exprs.iter().map(|e| e.eval(&t)).collect();
+                    out.push((Tuple::new(vals?), m));
+                }
+                Ok(Some(CountedBatch::from_rows(Arc::clone(&self.schema), out)))
             }
         }
     }
 }
 
-/// Streaming union `⊎`: concatenates both inputs (multiplicities add once
-/// merged downstream).
-pub struct UnionOp {
-    left: BoxedOp,
-    right: BoxedOp,
+/// Streaming union `⊎`: concatenates both inputs batch-by-batch
+/// (multiplicities add once merged downstream).
+pub struct UnionOp<'a> {
+    left: BoxedOp<'a>,
+    right: BoxedOp<'a>,
     on_right: bool,
 }
 
-impl UnionOp {
+impl<'a> UnionOp<'a> {
     /// Chains `left` then `right`.
-    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>) -> Self {
         UnionOp {
             left,
             right,
@@ -125,33 +176,33 @@ impl UnionOp {
     }
 }
 
-impl Operator for UnionOp {
+impl Operator for UnionOp<'_> {
     fn schema(&self) -> &SchemaRef {
         self.left.schema()
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         if !self.on_right {
-            if let Some(pair) = self.left.next()? {
-                return Ok(Some(pair));
+            if let Some(batch) = self.left.next_batch()? {
+                return Ok(Some(batch));
             }
             self.on_right = true;
         }
-        self.right.next()
+        self.right.next_batch()
     }
 }
 
-/// Streaming duplicate elimination `δ` with a seen-set: the first chunk of
-/// each distinct tuple is emitted with multiplicity 1, later chunks are
+/// Streaming duplicate elimination `δ` with a seen-set: the first row of
+/// each distinct tuple is emitted with multiplicity 1, later rows are
 /// dropped.
-pub struct DistinctOp {
-    input: BoxedOp,
+pub struct DistinctOp<'a> {
+    input: BoxedOp<'a>,
     seen: FxHashSet<Tuple>,
 }
 
-impl DistinctOp {
+impl<'a> DistinctOp<'a> {
     /// Wraps `input` with duplicate elimination.
-    pub fn new(input: BoxedOp) -> Self {
+    pub fn new(input: BoxedOp<'a>) -> Self {
         DistinctOp {
             input,
             seen: FxHashSet::default(),
@@ -159,153 +210,184 @@ impl DistinctOp {
     }
 }
 
-impl Operator for DistinctOp {
+impl Operator for DistinctOp<'_> {
     fn schema(&self) -> &SchemaRef {
         self.input.schema()
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        while let Some((t, _)) = self.input.next()? {
-            if self.seen.insert(t.clone()) {
-                return Ok(Some((t, 1)));
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let schema = Arc::clone(batch.schema());
+            let mut out = Vec::new();
+            for (t, _) in batch {
+                if self.seen.insert(t.clone()) {
+                    out.push((t, 1));
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(CountedBatch::from_rows(schema, out)));
             }
         }
         Ok(None)
     }
 }
 
+/// Drains an operator into a merged bag (helper for the blocking
+/// operators, whose laws need the *total* multiplicity per tuple).
+fn drain_to_bag(op: &mut BoxedOp<'_>) -> CoreResult<Bag<Tuple>> {
+    let mut bag = Bag::new();
+    while let Some(batch) = op.next_batch()? {
+        for (t, m) in batch {
+            bag.insert(t, m)?;
+        }
+    }
+    Ok(bag)
+}
+
+fn bag_rows(bag: &Bag<Tuple>) -> Vec<Counted> {
+    bag.iter().map(|(t, m)| (t.clone(), m)).collect()
+}
+
 /// Blocking transitive closure `α` (the §5 extension): drains its input
-/// into a relation, computes the δ-based fixpoint, streams the result.
-pub struct ClosureOp {
+/// into a relation, computes the δ-based fixpoint, streams the result in
+/// batches.
+pub struct ClosureOp<'a> {
     schema: SchemaRef,
-    state: ClosureState,
+    batch_size: usize,
+    state: ClosureState<'a>,
 }
 
-enum ClosureState {
-    Pending(BoxedOp),
-    Draining(std::vec::IntoIter<Counted>),
+enum ClosureState<'a> {
+    Pending(BoxedOp<'a>),
+    Draining(VecScanOp),
 }
 
-impl ClosureOp {
+impl<'a> ClosureOp<'a> {
     /// Wraps `input` (a binary edge relation) with transitive closure.
-    pub fn new(input: BoxedOp) -> Self {
+    pub fn new(input: BoxedOp<'a>, batch_size: usize) -> Self {
         ClosureOp {
             schema: Arc::clone(input.schema()),
+            batch_size,
             state: ClosureState::Pending(input),
         }
     }
 }
 
-impl Operator for ClosureOp {
+impl Operator for ClosureOp<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         loop {
             match &mut self.state {
                 ClosureState::Pending(input) => {
                     let mut rel = Relation::empty(Arc::clone(&self.schema));
-                    while let Some((t, m)) = input.next()? {
-                        rel.insert(t, m)?;
+                    while let Some(batch) = input.next_batch()? {
+                        for (t, m) in batch {
+                            rel.insert(t, m)?;
+                        }
                     }
                     let closed = crate::reference::transitive_closure(&rel)?;
-                    let pairs: Vec<Counted> =
-                        closed.iter().map(|(t, m)| (t.clone(), m)).collect();
-                    self.state = ClosureState::Draining(pairs.into_iter());
+                    let rows: Vec<Counted> = closed.iter().map(|(t, m)| (t.clone(), m)).collect();
+                    self.state = ClosureState::Draining(VecScanOp::new(
+                        Arc::clone(&self.schema),
+                        rows,
+                        self.batch_size,
+                    ));
                 }
-                ClosureState::Draining(it) => return Ok(it.next()),
+                ClosureState::Draining(scan) => return scan.next_batch(),
             }
         }
     }
 }
 
-/// Drains an operator into a merged bag (helper for the blocking
-/// operators, whose laws need the *total* multiplicity per tuple).
-fn drain_to_bag(op: &mut BoxedOp) -> CoreResult<Bag<Tuple>> {
-    let mut bag = Bag::new();
-    while let Some((t, m)) = op.next()? {
-        bag.insert(t, m)?;
-    }
-    Ok(bag)
-}
-
 /// Blocking difference `−`: materialises and merges both sides, emits
-/// `max(0, m₁ − m₂)`.
-pub struct DifferenceOp {
+/// `max(0, m₁ − m₂)` in batches.
+pub struct DifferenceOp<'a> {
     schema: SchemaRef,
-    state: DiffState,
+    batch_size: usize,
+    state: DiffState<'a>,
 }
 
-enum DiffState {
-    Pending(BoxedOp, BoxedOp),
-    Draining(std::vec::IntoIter<Counted>),
+enum DiffState<'a> {
+    Pending(BoxedOp<'a>, BoxedOp<'a>),
+    Draining(VecScanOp),
 }
 
-impl DifferenceOp {
+impl<'a> DifferenceOp<'a> {
     /// Builds `left − right`.
-    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, batch_size: usize) -> Self {
         DifferenceOp {
             schema: Arc::clone(left.schema()),
+            batch_size,
             state: DiffState::Pending(left, right),
         }
     }
 }
 
-impl Operator for DifferenceOp {
+impl Operator for DifferenceOp<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         loop {
             match &mut self.state {
                 DiffState::Pending(left, right) => {
                     let l = drain_to_bag(left)?;
                     let r = drain_to_bag(right)?;
-                    let d = l.difference(&r);
-                    let pairs: Vec<Counted> = d.iter().map(|(t, m)| (t.clone(), m)).collect();
-                    self.state = DiffState::Draining(pairs.into_iter());
+                    let rows = bag_rows(&l.difference(&r));
+                    self.state = DiffState::Draining(VecScanOp::new(
+                        Arc::clone(&self.schema),
+                        rows,
+                        self.batch_size,
+                    ));
                 }
-                DiffState::Draining(it) => return Ok(it.next()),
+                DiffState::Draining(scan) => return scan.next_batch(),
             }
         }
     }
 }
 
 /// Blocking intersection `∩`: materialises and merges both sides, emits
-/// `min(m₁, m₂)`.
-pub struct IntersectOp {
+/// `min(m₁, m₂)` in batches.
+pub struct IntersectOp<'a> {
     schema: SchemaRef,
-    state: DiffState,
+    batch_size: usize,
+    state: DiffState<'a>,
 }
 
-impl IntersectOp {
+impl<'a> IntersectOp<'a> {
     /// Builds `left ∩ right`.
-    pub fn new(left: BoxedOp, right: BoxedOp) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, batch_size: usize) -> Self {
         IntersectOp {
             schema: Arc::clone(left.schema()),
+            batch_size,
             state: DiffState::Pending(left, right),
         }
     }
 }
 
-impl Operator for IntersectOp {
+impl Operator for IntersectOp<'_> {
     fn schema(&self) -> &SchemaRef {
         &self.schema
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         loop {
             match &mut self.state {
                 DiffState::Pending(left, right) => {
                     let l = drain_to_bag(left)?;
                     let r = drain_to_bag(right)?;
-                    let i = l.intersection(&r);
-                    let pairs: Vec<Counted> = i.iter().map(|(t, m)| (t.clone(), m)).collect();
-                    self.state = DiffState::Draining(pairs.into_iter());
+                    let rows = bag_rows(&l.intersection(&r));
+                    self.state = DiffState::Draining(VecScanOp::new(
+                        Arc::clone(&self.schema),
+                        rows,
+                        self.batch_size,
+                    ));
                 }
-                DiffState::Draining(it) => return Ok(it.next()),
+                DiffState::Draining(scan) => return scan.next_batch(),
             }
         }
     }
@@ -322,15 +404,41 @@ mod tests {
         Relation::from_counted(schema, rows.iter().map(|&(v, m)| (tuple![v], m))).unwrap()
     }
 
-    fn scan(rel: &Relation) -> BoxedOp {
-        Box::new(ScanOp::new(rel))
+    fn scan(rel: &Relation) -> BoxedOp<'_> {
+        Box::new(ScanOp::new(rel, 2))
     }
 
     #[test]
-    fn scan_streams_counted_pairs() {
-        let r = ints(&[(1, 2), (2, 1)]);
+    fn scan_streams_counted_batches() {
+        let r = ints(&[(1, 2), (2, 1), (3, 1)]);
         let out = collect(scan(&r)).unwrap();
         assert_eq!(out, r);
+    }
+
+    #[test]
+    fn scan_respects_batch_size() {
+        let r = ints(&[(1, 1), (2, 1), (3, 1), (4, 1), (5, 1)]);
+        let mut op = ScanOp::new(&r, 2);
+        let mut batches = 0;
+        let mut rows = 0;
+        while let Some(b) = op.next_batch().unwrap() {
+            assert!(b.len() <= 2, "scan batch overshot its target");
+            batches += 1;
+            rows += b.len();
+        }
+        assert_eq!(rows, 5);
+        assert_eq!(batches, 3);
+    }
+
+    #[test]
+    fn vec_scan_chunks_owned_rows() {
+        let schema = Arc::new(Schema::anon(&[DataType::Int]));
+        let rows: Vec<Counted> = (0..7).map(|i| (tuple![i as i64], 1)).collect();
+        let mut op = VecScanOp::new(schema, rows, 3);
+        let sizes: Vec<usize> = std::iter::from_fn(|| op.next_batch().unwrap())
+            .map(|b| b.len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
     }
 
     #[test]
@@ -372,7 +480,7 @@ mod tests {
     #[test]
     fn distinct_emits_once() {
         let a = ints(&[(1, 5), (2, 1)]);
-        // stack a union to create split chunks of the same tuple
+        // stack a union to create split rows of the same tuple
         let b = ints(&[(1, 4)]);
         let op = DistinctOp::new(Box::new(UnionOp::new(scan(&a), scan(&b))));
         let out = collect(Box::new(op)).unwrap();
@@ -382,13 +490,13 @@ mod tests {
 
     #[test]
     fn difference_merges_chunked_input() {
-        // left emits <1> in two chunks (2 and 3); right has 4.
+        // left emits <1> in two rows (2 and 3); right has 4.
         // pointwise law on merged counts: max(0, 5-4) = 1.
         let a = ints(&[(1, 2)]);
         let b = ints(&[(1, 3)]);
+        let c = ints(&[(1, 4)]);
         let left = Box::new(UnionOp::new(scan(&a), scan(&b)));
-        let right = scan(&ints(&[(1, 4)]));
-        let out = collect(Box::new(DifferenceOp::new(left, right))).unwrap();
+        let out = collect(Box::new(DifferenceOp::new(left, scan(&c), 1024))).unwrap();
         assert_eq!(out.multiplicity(&tuple![1_i64]), 1);
     }
 
@@ -396,9 +504,9 @@ mod tests {
     fn intersect_merges_chunked_input() {
         let a = ints(&[(1, 2)]);
         let b = ints(&[(1, 3)]);
+        let c = ints(&[(1, 4), (9, 1)]);
         let left = Box::new(UnionOp::new(scan(&a), scan(&b)));
-        let right = scan(&ints(&[(1, 4), (9, 1)]));
-        let out = collect(Box::new(IntersectOp::new(left, right))).unwrap();
+        let out = collect(Box::new(IntersectOp::new(left, scan(&c), 1024))).unwrap();
         assert_eq!(out.multiplicity(&tuple![1_i64]), 4);
         assert_eq!(out.len(), 4);
     }

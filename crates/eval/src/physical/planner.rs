@@ -13,6 +13,10 @@
 //! Plan-*level* optimisation (pushdowns, join ordering) lives in
 //! `mera-opt`, which rewrites the algebra tree before it reaches this
 //! planner.
+//!
+//! Plans borrow the expression and the provider (`BoxedOp<'a>`): scans
+//! stream lazily out of the stored relations, so nothing is snapshotted at
+//! plan time.
 
 use std::sync::Arc;
 
@@ -20,6 +24,7 @@ use mera_core::prelude::*;
 use mera_expr::rel::RelExpr;
 use mera_expr::ScalarExpr;
 
+use crate::engine::ExecOptions;
 use crate::provider::{RelationProvider, Schemas};
 
 use super::agg::HashAggregate;
@@ -28,60 +33,82 @@ use super::ops::{DifferenceOp, DistinctOp, FilterOp, IntersectOp, ProjectOp, Sca
 use super::stats::{ExecStats, Instrumented};
 use super::BoxedOp;
 
-/// Plans an expression into an operator tree, validating schemas up front.
-pub fn plan(
-    expr: &RelExpr,
-    provider: &(impl RelationProvider + ?Sized),
-) -> CoreResult<BoxedOp> {
+/// Plans an expression into an operator tree with default options,
+/// validating schemas up front.
+pub fn plan<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+) -> CoreResult<BoxedOp<'a>> {
+    plan_with(expr, provider, ExecOptions::default())
+}
+
+/// Plans an expression into an operator tree with explicit options,
+/// validating schemas up front.
+pub fn plan_with<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    opts: ExecOptions,
+) -> CoreResult<BoxedOp<'a>> {
     expr.schema(&Schemas(provider))?;
-    plan_node(expr, provider, None)
+    plan_node(expr, provider, opts.effective_batch_size(), None)
 }
 
 /// Plans with per-operator instrumentation; every operator registers a
 /// counter in `stats` labelled with its display form.
-pub fn plan_instrumented(
-    expr: &RelExpr,
-    provider: &(impl RelationProvider + ?Sized),
+pub fn plan_instrumented<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
     stats: &mut ExecStats,
-) -> CoreResult<BoxedOp> {
-    expr.schema(&Schemas(provider))?;
-    plan_node(expr, provider, Some(stats))
+) -> CoreResult<BoxedOp<'a>> {
+    plan_instrumented_with(expr, provider, ExecOptions::default(), stats)
 }
 
-fn plan_node(
-    expr: &RelExpr,
-    provider: &(impl RelationProvider + ?Sized),
+/// Plans with instrumentation and explicit options.
+pub fn plan_instrumented_with<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> CoreResult<BoxedOp<'a>> {
+    expr.schema(&Schemas(provider))?;
+    plan_node(expr, provider, opts.effective_batch_size(), Some(stats))
+}
+
+fn plan_node<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    batch: usize,
     mut stats: Option<&mut ExecStats>,
-) -> CoreResult<BoxedOp> {
-    let op: BoxedOp = match expr {
-        RelExpr::Scan(name) => Box::new(ScanOp::new(provider.relation(name)?)),
-        RelExpr::Values(rel) => Box::new(ScanOp::new(rel)),
+) -> CoreResult<BoxedOp<'a>> {
+    let op: BoxedOp<'a> = match expr {
+        RelExpr::Scan(name) => Box::new(ScanOp::new(provider.relation(name)?, batch)),
+        RelExpr::Values(rel) => Box::new(ScanOp::new(rel, batch)),
         RelExpr::Union(l, r) => {
-            let left = plan_node(l, provider, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, stats.as_deref_mut())?;
+            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
             Box::new(UnionOp::new(left, right))
         }
         RelExpr::Difference(l, r) => {
-            let left = plan_node(l, provider, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, stats.as_deref_mut())?;
-            Box::new(DifferenceOp::new(left, right))
+            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            Box::new(DifferenceOp::new(left, right, batch))
         }
         RelExpr::Intersect(l, r) => {
-            let left = plan_node(l, provider, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, stats.as_deref_mut())?;
-            Box::new(IntersectOp::new(left, right))
+            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            Box::new(IntersectOp::new(left, right, batch))
         }
         RelExpr::Product(l, r) => {
-            let left = plan_node(l, provider, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, stats.as_deref_mut())?;
-            Box::new(NestedLoopJoin::build(left, right, None)?)
+            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            Box::new(NestedLoopJoin::build(left, right, None, batch)?)
         }
         RelExpr::Select { input, predicate } => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
             Box::new(FilterOp::new(child, predicate.clone()))
         }
         RelExpr::Project { input, attrs } => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
             let out_schema = Arc::new(child.schema().project(attrs)?);
             let exprs = attrs
                 .indexes()
@@ -91,7 +118,7 @@ fn plan_node(
             Box::new(ProjectOp::new(child, exprs, out_schema))
         }
         RelExpr::ExtProject { input, exprs } => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
             let out_schema = ext_project_schema(child.schema(), exprs)?;
             Box::new(ProjectOp::new(child, exprs.clone(), out_schema))
         }
@@ -100,17 +127,17 @@ fn plan_node(
             right,
             predicate,
         } => {
-            let l = plan_node(left, provider, stats.as_deref_mut())?;
-            let r = plan_node(right, provider, stats.as_deref_mut())?;
+            let l = plan_node(left, provider, batch, stats.as_deref_mut())?;
+            let r = plan_node(right, provider, batch, stats.as_deref_mut())?;
             let la = l.schema().arity();
             let ra = r.schema().arity();
             match extract_equi_condition(predicate, la, ra) {
-                Some(cond) => Box::new(HashJoin::build(l, r, cond)?),
-                None => Box::new(NestedLoopJoin::build(l, r, Some(predicate.clone()))?),
+                Some(cond) => Box::new(HashJoin::build(l, r, cond, batch)?),
+                None => Box::new(NestedLoopJoin::build(l, r, Some(predicate.clone()), batch)?),
             }
         }
         RelExpr::Distinct(input) => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
             Box::new(DistinctOp::new(child))
         }
         RelExpr::GroupBy {
@@ -119,12 +146,12 @@ fn plan_node(
             agg,
             attr,
         } => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
-            Box::new(HashAggregate::build(child, keys, *agg, *attr)?)
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            Box::new(HashAggregate::build(child, keys, *agg, *attr, batch)?)
         }
         RelExpr::Closure(input) => {
-            let child = plan_node(input, provider, stats.as_deref_mut())?;
-            Box::new(super::ops::ClosureOp::new(child))
+            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            Box::new(super::ops::ClosureOp::new(child, batch))
         }
     };
     Ok(match stats {
@@ -162,17 +189,14 @@ fn describe(expr: &RelExpr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::physical::{collect, execute};
+    use crate::physical::{collect, execute, execute_with};
     use crate::reference;
     use mera_core::tuple;
     use mera_expr::Aggregate;
 
     fn db() -> Database {
         let schema = DatabaseSchema::new()
-            .with(
-                "r",
-                Schema::anon(&[DataType::Int, DataType::Str]),
-            )
+            .with("r", Schema::anon(&[DataType::Int, DataType::Str]))
             .unwrap()
             .with("s", Schema::anon(&[DataType::Int, DataType::Int]))
             .unwrap();
@@ -213,15 +237,22 @@ mod tests {
         vec![
             r.clone(),
             r.clone().union(r.clone()),
-            r.clone().difference(r.clone().select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)))),
+            r.clone()
+                .difference(r.clone().select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)))),
             r.clone().intersect(r.clone()),
             r.clone().product(s.clone()),
-            r.clone().select(ScalarExpr::attr(2).eq(ScalarExpr::str("a"))),
+            r.clone()
+                .select(ScalarExpr::attr(2).eq(ScalarExpr::str("a"))),
             r.clone().project(&[2]),
-            r.clone().ext_project(vec![ScalarExpr::attr(1).mul(ScalarExpr::int(10))]),
-            r.clone().join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3))),
+            r.clone()
+                .ext_project(vec![ScalarExpr::attr(1).mul(ScalarExpr::int(10))]),
+            r.clone()
+                .join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3))),
             // non-equi join → nested loop
-            r.clone().join(s.clone(), ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3))),
+            r.clone().join(
+                s.clone(),
+                ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3)),
+            ),
             // equi + residual
             r.clone().join(
                 s.clone(),
@@ -250,6 +281,22 @@ mod tests {
             let expected = reference::eval(&e, &db).unwrap();
             let actual = execute(&e, &db).unwrap();
             assert_eq!(actual, expected, "plan disagreed for {e}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let db = db();
+        for e in plans() {
+            let expected = reference::eval(&e, &db).unwrap();
+            for batch_size in [1, 3, 1024] {
+                let opts = ExecOptions {
+                    batch_size,
+                    partitions: 1,
+                };
+                let actual = execute_with(&e, &db, &opts).unwrap();
+                assert_eq!(actual, expected, "batch={batch_size} disagreed for {e}");
+            }
         }
     }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use mera_core::prelude::*;
 
-use super::{BoxedOp, Counted, Operator};
+use super::{BoxedOp, CountedBatch, Operator};
 
 /// One operator's counters.
 #[derive(Debug, Default)]
@@ -22,7 +22,7 @@ pub struct OpCounter {
     /// intermediate results" is data volume, so narrowing projections
     /// shrink this even when the row count is unchanged.
     pub cells_out: AtomicU64,
-    /// Stream chunks produced (distinct `next()` yields).
+    /// Stream batches produced (distinct `next_batch()` yields).
     pub chunks_out: AtomicU64,
 }
 
@@ -97,30 +97,32 @@ impl ExecStats {
 }
 
 /// Wraps an operator, counting its output.
-pub struct Instrumented {
-    inner: BoxedOp,
+pub struct Instrumented<'a> {
+    inner: BoxedOp<'a>,
     counter: Arc<OpCounter>,
 }
 
-impl Instrumented {
+impl<'a> Instrumented<'a> {
     /// Wraps `inner`, reporting into `counter`.
-    pub fn new(inner: BoxedOp, counter: Arc<OpCounter>) -> Self {
+    pub fn new(inner: BoxedOp<'a>, counter: Arc<OpCounter>) -> Self {
         Instrumented { inner, counter }
     }
 }
 
-impl Operator for Instrumented {
+impl Operator for Instrumented<'_> {
     fn schema(&self) -> &SchemaRef {
         self.inner.schema()
     }
 
-    fn next(&mut self) -> CoreResult<Option<Counted>> {
-        let out = self.inner.next()?;
-        if let Some((t, m)) = &out {
-            self.counter.rows_out.fetch_add(*m, Ordering::Relaxed);
+    fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
+        let out = self.inner.next_batch()?;
+        if let Some(batch) = &out {
+            let arity = batch.schema().arity() as u64;
+            let rows = batch.total_multiplicity();
+            self.counter.rows_out.fetch_add(rows, Ordering::Relaxed);
             self.counter
                 .cells_out
-                .fetch_add(*m * t.arity() as u64, Ordering::Relaxed);
+                .fetch_add(rows * arity, Ordering::Relaxed);
             self.counter.chunks_out.fetch_add(1, Ordering::Relaxed);
         }
         Ok(out)
@@ -144,7 +146,7 @@ mod tests {
         .unwrap();
         let mut stats = ExecStats::new();
         let c = stats.register("scan(r)");
-        let op = Instrumented::new(Box::new(ScanOp::new(&rel)), c);
+        let op = Instrumented::new(Box::new(ScanOp::new(&rel, 1024)), c);
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.len(), 6);
         let rows = stats.rows_out();

@@ -37,9 +37,7 @@ pub fn eval_unchecked(
     match expr {
         RelExpr::Scan(name) => Ok(provider.relation(name)?.clone()),
         RelExpr::Values(rel) => Ok(rel.as_ref().clone()),
-        RelExpr::Union(l, r) => {
-            eval_unchecked(l, provider)?.union(&eval_unchecked(r, provider)?)
-        }
+        RelExpr::Union(l, r) => eval_unchecked(l, provider)?.union(&eval_unchecked(r, provider)?),
         RelExpr::Difference(l, r) => {
             eval_unchecked(l, provider)?.difference(&eval_unchecked(r, provider)?)
         }
@@ -59,7 +57,8 @@ pub fn eval_unchecked(
             predicate,
         } => {
             // Definition 3.2: E₁ ⋈_φ E₂ = σ_φ(E₁ × E₂)
-            let prod = eval_unchecked(left, provider)?.product(&eval_unchecked(right, provider)?)?;
+            let prod =
+                eval_unchecked(left, provider)?.product(&eval_unchecked(right, provider)?)?;
             prod.select(|t| predicate.eval_predicate(t))
         }
         RelExpr::ExtProject { input, exprs } => {
@@ -164,7 +163,12 @@ fn expr_schema_for_ext_project(
 /// list produces exactly one tuple aggregating the whole input — in that
 /// case partial aggregates (AVG/MIN/MAX) over an empty input propagate the
 /// error the paper's partiality implies.
-pub fn group_by(rel: &Relation, keys: &[usize], agg: Aggregate, attr: usize) -> CoreResult<Relation> {
+pub fn group_by(
+    rel: &Relation,
+    keys: &[usize],
+    agg: Aggregate,
+    attr: usize,
+) -> CoreResult<Relation> {
     let key_list = if keys.is_empty() {
         None
     } else {
@@ -312,15 +316,12 @@ mod tests {
     #[test]
     fn intersect_is_double_difference() {
         let db = beer_db();
-        let strong = RelExpr::scan("beer").select(
-            ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Gt, ScalarExpr::real(5.0)),
-        );
-        let heineken = RelExpr::scan("beer")
-            .select(ScalarExpr::attr(2).eq(ScalarExpr::str("Heineken")));
+        let strong = RelExpr::scan("beer")
+            .select(ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Gt, ScalarExpr::real(5.0)));
+        let heineken =
+            RelExpr::scan("beer").select(ScalarExpr::attr(2).eq(ScalarExpr::str("Heineken")));
         let inter = strong.clone().intersect(heineken.clone());
-        let desugar = strong
-            .clone()
-            .difference(strong.difference(heineken));
+        let desugar = strong.clone().difference(strong.difference(heineken));
         assert_eq!(eval(&inter, &db).unwrap(), eval(&desugar, &db).unwrap());
     }
 
@@ -339,11 +340,7 @@ mod tests {
         assert_eq!(r.len(), 2);
         // NL: (5.0 + 5.0 + 5.1 + 6.5 + 6.3) / 5 = 5.58
         let nl_avg = (5.0 + 5.0 + 5.1 + 6.5 + 6.3) / 5.0;
-        assert_eq!(
-            r.multiplicity(&tuple!["NL", nl_avg]),
-            1,
-            "result was: {r}"
-        );
+        assert_eq!(r.multiplicity(&tuple!["NL", nl_avg]), 1, "result was: {r}");
         assert_eq!(r.multiplicity(&tuple!["IE", 4.2_f64]), 1);
     }
 
@@ -357,9 +354,7 @@ mod tests {
         let direct = join.clone().group_by(&[6], Aggregate::Avg, 3);
         // insert pi(alcperc, country) before grouping: alcperc is now %1,
         // country %2
-        let reduced = join
-            .project(&[3, 6])
-            .group_by(&[2], Aggregate::Avg, 1);
+        let reduced = join.project(&[3, 6]).group_by(&[2], Aggregate::Avg, 1);
         assert_eq!(eval(&direct, &db).unwrap(), eval(&reduced, &db).unwrap());
     }
 
@@ -375,7 +370,10 @@ mod tests {
                 ScalarExpr::attr(3).mul(ScalarExpr::real(1.1)),
             ]);
         let r = eval(&e, &db).unwrap();
-        assert_eq!(r.multiplicity(&tuple!["Heineken", "Heineken", 5.0 * 1.1]), 1);
+        assert_eq!(
+            r.multiplicity(&tuple!["Heineken", "Heineken", 5.0 * 1.1]),
+            1
+        );
         assert_eq!(r.len(), 3);
         // schema is structure-preserving: (str, str, real)
         assert!(r.schema().same_types(db.relation("beer").unwrap().schema()));

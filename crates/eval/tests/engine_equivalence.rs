@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use mera_core::prelude::*;
-use mera_eval::{execute, eval};
+use mera_eval::{eval, execute, Engine};
 use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
 use proptest::prelude::*;
 
@@ -34,11 +34,8 @@ fn rel_r() -> impl Strategy<Value = Relation> {
 fn rel_s() -> impl Strategy<Value = Relation> {
     proptest::collection::vec(((0i64..5), (0i64..50), (1u64..4)), 0..6).prop_map(|rows| {
         let schema = Arc::new(Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]));
-        Relation::from_counted(
-            schema,
-            rows.into_iter().map(|(k, v, m)| (tuple![k, v], m)),
-        )
-        .expect("well-typed by construction")
+        Relation::from_counted(schema, rows.into_iter().map(|(k, v, m)| (tuple![k, v], m)))
+            .expect("well-typed by construction")
     })
 }
 
@@ -88,9 +85,9 @@ fn expr_r(depth: u32) -> BoxedStrategy<RelExpr> {
     }
     let inner = expr_r(depth - 1);
     prop_oneof![
-        inner.clone().prop_flat_map(|e| {
-            pred_r().prop_map(move |p| e.clone().select(p))
-        }),
+        inner
+            .clone()
+            .prop_flat_map(|e| { pred_r().prop_map(move |p| e.clone().select(p)) }),
         (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
         (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
         (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
@@ -114,10 +111,11 @@ fn full_expr() -> impl Strategy<Value = RelExpr> {
         base.clone(),
         base.clone().prop_map(|e| e.project(&[1])),
         base.clone().prop_map(|e| e.project(&[2, 1, 2])),
-        base.clone()
-            .prop_map(|e| e.join(RelExpr::scan("s"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))),
-        base.clone()
-            .prop_map(|e| e.product(RelExpr::scan("s"))),
+        base.clone().prop_map(|e| e.join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3))
+        )),
+        base.clone().prop_map(|e| e.product(RelExpr::scan("s"))),
         base.clone().prop_map(|e| {
             e.join(
                 RelExpr::scan("s"),
@@ -162,6 +160,25 @@ proptest! {
                 prop_assert_eq!(doubled.multiplicity(t), 2 * m);
             }
             prop_assert_eq!(doubled.len(), 2 * single.len());
+        }
+    }
+
+    /// Batch-size invariance: the batched engine computes the same
+    /// multi-set whether it streams one row at a time, odd mid-size
+    /// chunks, or the default 1024-row batches.
+    #[test]
+    fn batch_size_never_changes_results(db in db_strategy(), e in full_expr()) {
+        if let Ok(want) = eval(&e, &db) {
+            for batch_size in [1usize, 2, 7, 1024] {
+                let got = Engine::physical()
+                    .with_batch_size(batch_size)
+                    .run(&e, &db)
+                    .expect("valid plan evaluates at any batch size");
+                prop_assert_eq!(
+                    got, want.clone(),
+                    "batch_size={} differs on plan: {}", batch_size, e
+                );
+            }
         }
     }
 

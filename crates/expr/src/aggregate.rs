@@ -80,14 +80,18 @@ impl Aggregate {
                 if input.is_numeric() {
                     Ok(input)
                 } else {
-                    Err(CoreError::TypeError(format!("SUM over non-numeric {input}")))
+                    Err(CoreError::TypeError(format!(
+                        "SUM over non-numeric {input}"
+                    )))
                 }
             }
             Aggregate::Avg => {
                 if input.is_numeric() {
                     Ok(DataType::Real)
                 } else {
-                    Err(CoreError::TypeError(format!("AVG over non-numeric {input}")))
+                    Err(CoreError::TypeError(format!(
+                        "AVG over non-numeric {input}"
+                    )))
                 }
             }
             Aggregate::Min | Aggregate::Max => {
@@ -140,9 +144,9 @@ impl Aggregate {
                     return Err(CoreError::AggregateOnEmpty("AVG"));
                 }
                 let avg = sum.as_f64()? / count as f64;
-                Ok(Value::Real(Real::new(avg).map_err(|_| {
-                    CoreError::Overflow("AVG produced NaN")
-                })?))
+                Ok(Value::Real(
+                    Real::new(avg).map_err(|_| CoreError::Overflow("AVG produced NaN"))?,
+                ))
             }
             Aggregate::Min | Aggregate::Max => {
                 let mut best: Option<&Value> = None;
@@ -172,19 +176,16 @@ impl Aggregate {
                 if count == 0 {
                     return Err(CoreError::AggregateOnEmpty("STDDEV"));
                 }
-                let mean = pairs
-                    .iter()
-                    .map(|&(v, m)| v * m as f64)
-                    .sum::<f64>()
-                    / count as f64;
+                let mean = pairs.iter().map(|&(v, m)| v * m as f64).sum::<f64>() / count as f64;
                 let var = pairs
                     .iter()
                     .map(|&(v, m)| (v - mean).powi(2) * m as f64)
                     .sum::<f64>()
                     / count as f64;
-                Ok(Value::Real(Real::new(var.sqrt()).map_err(|_| {
-                    CoreError::Overflow("STDDEV produced NaN")
-                })?))
+                Ok(Value::Real(
+                    Real::new(var.sqrt())
+                        .map_err(|_| CoreError::Overflow("STDDEV produced NaN"))?,
+                ))
             }
             Aggregate::Median => {
                 let mut pairs: Vec<(f64, u64)> = collect_numeric(values)?;
@@ -208,9 +209,9 @@ impl Aggregate {
                     pairs.last().expect("non-empty").0
                 };
                 let median = (at(lo_pos) + at(hi_pos)) / 2.0;
-                Ok(Value::Real(Real::new(median).map_err(|_| {
-                    CoreError::Overflow("MEDIAN produced NaN")
-                })?))
+                Ok(Value::Real(
+                    Real::new(median).map_err(|_| CoreError::Overflow("MEDIAN produced NaN"))?,
+                ))
             }
         }
     }
@@ -248,13 +249,13 @@ where
         if m == 0 {
             continue;
         }
-        count = count.checked_add(m).ok_or(CoreError::Overflow("SUM count"))?;
+        count = count
+            .checked_add(m)
+            .ok_or(CoreError::Overflow("SUM count"))?;
         match (&mut acc, v) {
             (Acc::Empty, Value::Int(i)) => acc = Acc::Int(i128::from(*i) * i128::from(m)),
             (Acc::Empty, Value::Real(r)) => acc = Acc::Real(r.get() * m as f64),
-            (Acc::Empty, Value::Money(mo)) => {
-                acc = Acc::Money(i128::from(mo.0) * i128::from(m))
-            }
+            (Acc::Empty, Value::Money(mo)) => acc = Acc::Money(i128::from(mo.0) * i128::from(m)),
             (Acc::Int(s), Value::Int(i)) => {
                 *s = s
                     .checked_add(i128::from(*i) * i128::from(m))
@@ -404,11 +405,26 @@ mod tests {
 
     #[test]
     fn result_types() {
-        assert_eq!(Aggregate::Cnt.result_type(DataType::Str).unwrap(), DataType::Int);
-        assert_eq!(Aggregate::Sum.result_type(DataType::Int).unwrap(), DataType::Int);
-        assert_eq!(Aggregate::Sum.result_type(DataType::Money).unwrap(), DataType::Money);
-        assert_eq!(Aggregate::Avg.result_type(DataType::Int).unwrap(), DataType::Real);
-        assert_eq!(Aggregate::Min.result_type(DataType::Str).unwrap(), DataType::Str);
+        assert_eq!(
+            Aggregate::Cnt.result_type(DataType::Str).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Aggregate::Sum.result_type(DataType::Int).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Aggregate::Sum.result_type(DataType::Money).unwrap(),
+            DataType::Money
+        );
+        assert_eq!(
+            Aggregate::Avg.result_type(DataType::Int).unwrap(),
+            DataType::Real
+        );
+        assert_eq!(
+            Aggregate::Min.result_type(DataType::Str).unwrap(),
+            DataType::Str
+        );
         assert!(Aggregate::Sum.result_type(DataType::Str).is_err());
         assert!(Aggregate::Avg.result_type(DataType::Date).is_err());
         assert!(Aggregate::Min.result_type(DataType::Bool).is_err());
@@ -425,10 +441,16 @@ mod tests {
     fn stddev_weighted() {
         // values 2,2,4,4 (via multiplicities): mean 3, variance 1
         let v = vals(&[(2, 2), (4, 2)]);
-        assert_eq!(run(Aggregate::StdDev, &v).unwrap(), Value::real(1.0).unwrap());
+        assert_eq!(
+            run(Aggregate::StdDev, &v).unwrap(),
+            Value::real(1.0).unwrap()
+        );
         // single value: stddev 0
         let v = vals(&[(7, 3)]);
-        assert_eq!(run(Aggregate::StdDev, &v).unwrap(), Value::real(0.0).unwrap());
+        assert_eq!(
+            run(Aggregate::StdDev, &v).unwrap(),
+            Value::real(0.0).unwrap()
+        );
         assert_eq!(
             run(Aggregate::StdDev, &[]).unwrap_err(),
             CoreError::AggregateOnEmpty("STDDEV")
@@ -440,13 +462,22 @@ mod tests {
     fn median_weighted() {
         // expanded sequence 1,1,1,9 → median (1+1)/2 = 1
         let v = vals(&[(1, 3), (9, 1)]);
-        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(1.0).unwrap());
+        assert_eq!(
+            run(Aggregate::Median, &v).unwrap(),
+            Value::real(1.0).unwrap()
+        );
         // 1,2,3 → 2
         let v = vals(&[(1, 1), (2, 1), (3, 1)]);
-        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(2.0).unwrap());
+        assert_eq!(
+            run(Aggregate::Median, &v).unwrap(),
+            Value::real(2.0).unwrap()
+        );
         // 1,2,3,10 → (2+3)/2
         let v = vals(&[(1, 1), (2, 1), (3, 1), (10, 1)]);
-        assert_eq!(run(Aggregate::Median, &v).unwrap(), Value::real(2.5).unwrap());
+        assert_eq!(
+            run(Aggregate::Median, &v).unwrap(),
+            Value::real(2.5).unwrap()
+        );
         assert_eq!(
             run(Aggregate::Median, &[]).unwrap_err(),
             CoreError::AggregateOnEmpty("MEDIAN")

@@ -706,7 +706,10 @@ mod tests {
         let c = catalog();
         let e = RelExpr::scan("beer")
             .select(ScalarExpr::attr(3).eq(ScalarExpr::real(5.0)))
-            .join(RelExpr::scan("brewery"), ScalarExpr::attr(2).eq(ScalarExpr::attr(4)))
+            .join(
+                RelExpr::scan("brewery"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
             .project(&[1, 6]);
         assert_eq!(e.node_count(), 5);
         let kids: Vec<RelExpr> = e.children().iter().map(|a| a.as_ref().clone()).collect();
@@ -742,9 +745,6 @@ mod tests {
     #[test]
     fn op_names() {
         assert_eq!(RelExpr::scan("r").op_name(), "scan");
-        assert_eq!(
-            RelExpr::scan("r").distinct().op_name(),
-            "distinct"
-        );
+        assert_eq!(RelExpr::scan("r").distinct().op_name(), "distinct");
     }
 }

@@ -704,7 +704,9 @@ mod tests {
     #[test]
     fn boolean_connectives_short_circuit() {
         // right side would error on eval; false AND short-circuits
-        let bad = ScalarExpr::int(1).div(ScalarExpr::int(0)).eq(ScalarExpr::int(1));
+        let bad = ScalarExpr::int(1)
+            .div(ScalarExpr::int(0))
+            .eq(ScalarExpr::int(1));
         let e = ScalarExpr::bool(false).and(bad.clone());
         assert_eq!(e.eval(&row()).unwrap(), Value::Bool(false));
         let e = ScalarExpr::bool(true).or(bad);
@@ -723,26 +725,47 @@ mod tests {
     fn type_inference() {
         let s = schema();
         assert_eq!(
-            ScalarExpr::attr(2).mul(ScalarExpr::real(1.1)).infer_type(&s).unwrap(),
+            ScalarExpr::attr(2)
+                .mul(ScalarExpr::real(1.1))
+                .infer_type(&s)
+                .unwrap(),
             DataType::Real
         );
         assert_eq!(
-            ScalarExpr::attr(3).add(ScalarExpr::int(1)).infer_type(&s).unwrap(),
+            ScalarExpr::attr(3)
+                .add(ScalarExpr::int(1))
+                .infer_type(&s)
+                .unwrap(),
             DataType::Int
         );
         assert_eq!(
-            ScalarExpr::attr(3).add(ScalarExpr::real(0.5)).infer_type(&s).unwrap(),
+            ScalarExpr::attr(3)
+                .add(ScalarExpr::real(0.5))
+                .infer_type(&s)
+                .unwrap(),
             DataType::Real
         );
         assert_eq!(
-            ScalarExpr::attr(1).eq(ScalarExpr::str("x")).infer_type(&s).unwrap(),
+            ScalarExpr::attr(1)
+                .eq(ScalarExpr::str("x"))
+                .infer_type(&s)
+                .unwrap(),
             DataType::Bool
         );
         // ill-typed trees rejected statically
-        assert!(ScalarExpr::attr(1).add(ScalarExpr::int(1)).infer_type(&s).is_err());
-        assert!(ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(1)).infer_type(&s).is_err());
+        assert!(ScalarExpr::attr(1)
+            .add(ScalarExpr::int(1))
+            .infer_type(&s)
+            .is_err());
+        assert!(ScalarExpr::attr(1)
+            .cmp(CmpOp::Lt, ScalarExpr::int(1))
+            .infer_type(&s)
+            .is_err());
         assert!(ScalarExpr::attr(9).infer_type(&s).is_err());
-        assert!(ScalarExpr::int(1).and(ScalarExpr::bool(true)).infer_type(&s).is_err());
+        assert!(ScalarExpr::int(1)
+            .and(ScalarExpr::bool(true))
+            .infer_type(&s)
+            .is_err());
         // bool has no order
         assert!(ScalarExpr::bool(true)
             .cmp(CmpOp::Lt, ScalarExpr::bool(false))
@@ -757,11 +780,15 @@ mod tests {
 
     #[test]
     fn attrs_used_and_constant() {
-        let e = ScalarExpr::attr(3).add(ScalarExpr::int(1)).eq(ScalarExpr::attr(3));
+        let e = ScalarExpr::attr(3)
+            .add(ScalarExpr::int(1))
+            .eq(ScalarExpr::attr(3));
         assert_eq!(e.attrs_used(), vec![3]);
         assert_eq!(e.max_attr(), 3);
         assert!(!e.is_constant());
-        let e = ScalarExpr::attr(1).eq(ScalarExpr::str("x")).and(ScalarExpr::attr(5).eq(ScalarExpr::int(2)));
+        let e = ScalarExpr::attr(1)
+            .eq(ScalarExpr::str("x"))
+            .and(ScalarExpr::attr(5).eq(ScalarExpr::int(2)));
         assert_eq!(e.attrs_used(), vec![1, 5]);
         assert_eq!(e.max_attr(), 5);
         assert!(ScalarExpr::int(1).add(ScalarExpr::int(2)).is_constant());

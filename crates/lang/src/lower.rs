@@ -116,10 +116,8 @@ impl<'a> Lowerer<'a> {
             } => {
                 let input = self.lower_rel(input)?;
                 let schema = input.schema(self)?;
-                let keys: LangResult<Vec<usize>> = keys
-                    .iter()
-                    .map(|k| self.resolve_attr(k, &schema))
-                    .collect();
+                let keys: LangResult<Vec<usize>> =
+                    keys.iter().map(|k| self.resolve_attr(k, &schema)).collect();
                 let attr = self.resolve_attr(attr, &schema)?;
                 let agg = Aggregate::parse(agg).ok_or_else(|| {
                     LangError::Semantic(CoreError::TypeError(format!(
@@ -133,8 +131,7 @@ impl<'a> Lowerer<'a> {
                 let tuples: LangResult<Vec<Tuple>> = rows
                     .iter()
                     .map(|row| {
-                        let vals: LangResult<Vec<Value>> =
-                            row.iter().map(lower_literal).collect();
+                        let vals: LangResult<Vec<Value>> = row.iter().map(lower_literal).collect();
                         Ok(Tuple::new(vals?))
                     })
                     .collect();
@@ -153,9 +150,7 @@ impl<'a> Lowerer<'a> {
             }
             SScalar::AttrName(name) => ScalarExpr::Attr(schema.index_of(name)?),
             SScalar::Int(v) => ScalarExpr::int(*v),
-            SScalar::Real(v) => {
-                ScalarExpr::Literal(Value::real(*v).map_err(LangError::Semantic)?)
-            }
+            SScalar::Real(v) => ScalarExpr::Literal(Value::real(*v).map_err(LangError::Semantic)?),
             SScalar::Str(s) => ScalarExpr::str(s.clone()),
             SScalar::Bool(b) => ScalarExpr::bool(*b),
             SScalar::Not(inner) => self.lower_scalar(inner, schema)?.not(),
@@ -367,10 +362,8 @@ mod tests {
     #[test]
     fn example_3_1_lowers_with_name_resolution() {
         // `country` resolves against the joined schema (attribute 6)
-        let e = lower(
-            "project[%1](select[country = 'NL'](join[brewery = %4](beer, brewery)))",
-        )
-        .expect("lowers");
+        let e = lower("project[%1](select[country = 'NL'](join[brewery = %4](beer, brewery)))")
+            .expect("lowers");
         let want = RelExpr::scan("beer")
             .join(
                 RelExpr::scan("brewery"),

@@ -138,7 +138,9 @@ impl Parser {
                 self.here(),
                 format!(
                     "expected identifier, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -167,7 +169,9 @@ impl Parser {
                 self.here(),
                 format!(
                     "expected '{kw}', found '{}'",
-                    self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    self.peek()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             ))
         }
@@ -296,7 +300,9 @@ impl Parser {
             self.here(),
             format!(
                 "expected a statement, found '{}'",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ),
         ))
     }
@@ -446,7 +452,9 @@ impl Parser {
                 self.here(),
                 format!(
                     "expected a relational expression, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -481,7 +489,9 @@ impl Parser {
                 pos,
                 format!(
                     "expected a literal, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -500,7 +510,9 @@ impl Parser {
                 self.here(),
                 format!(
                     "expected an attribute reference, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -639,7 +651,9 @@ impl Parser {
                 self.here(),
                 format!(
                     "expected a scalar expression, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -680,7 +694,10 @@ mod tests {
     #[test]
     fn groupby_parses_with_and_without_keys() {
         let rel = parse_rel("groupby[(country), AVG, alcperc](beer)").expect("parses");
-        let SRel::GroupBy { keys, agg, attr, .. } = rel else {
+        let SRel::GroupBy {
+            keys, agg, attr, ..
+        } = rel
+        else {
             panic!("expected group-by");
         };
         assert_eq!(keys, vec![SScalar::AttrName("country".into())]);

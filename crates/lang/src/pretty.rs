@@ -46,7 +46,11 @@ pub fn rel_to_xra(expr: &RelExpr) -> String {
         }
         RelExpr::Product(l, r) => format!("({} times {})", rel_to_xra(l), rel_to_xra(r)),
         RelExpr::Select { input, predicate } => {
-            format!("select[{}]({})", scalar_to_xra(predicate), rel_to_xra(input))
+            format!(
+                "select[{}]({})",
+                scalar_to_xra(predicate),
+                rel_to_xra(input)
+            )
         }
         RelExpr::Project { input, attrs } => {
             let list: Vec<String> = attrs.indexes().iter().map(|i| format!("%{i}")).collect();
@@ -218,11 +222,11 @@ mod tests {
         let s = Statement::update(
             "beer",
             RelExpr::scan("beer"),
-            vec![ScalarExpr::attr(1), ScalarExpr::attr(2).mul(ScalarExpr::real(1.1))],
+            vec![
+                ScalarExpr::attr(1),
+                ScalarExpr::attr(2).mul(ScalarExpr::real(1.1)),
+            ],
         );
-        assert_eq!(
-            stmt_to_xra(&s),
-            "update(beer, beer, (%1, (%2 * 1.1)))"
-        );
+        assert_eq!(stmt_to_xra(&s), "update(beer, beer, (%1, (%2 * 1.1)))");
     }
 }

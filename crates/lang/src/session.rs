@@ -50,6 +50,18 @@ impl Session {
         self.config = config;
     }
 
+    /// Selects the evaluator used by subsequent transactions and queries,
+    /// keeping the other configuration knobs.
+    pub fn set_engine(&mut self, engine: mera_txn::EngineKind) {
+        self.config.engine = engine;
+    }
+
+    /// Overrides the engine tuning options (batch size, partitions),
+    /// keeping the other configuration knobs.
+    pub fn set_exec_options(&mut self, options: mera_txn::ExecOptions) {
+        self.config.options = options;
+    }
+
     /// The current database state.
     pub fn database(&self) -> &Database {
         &self.db

@@ -300,7 +300,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Spanned>> {
                 let mut is_real = false;
                 if j < bytes.len()
                     && bytes[j] == b'.'
-                    && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                    && bytes
+                        .get(j + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_real = true;
                     j += 1;
@@ -340,7 +343,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Spanned>> {
                 advance!(len);
             }
             other => {
-                return Err(LangError::lex(pos, format!("unexpected character '{other}'")));
+                return Err(LangError::lex(
+                    pos,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -352,7 +358,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        lex(src).expect("lexes").into_iter().map(|s| s.token).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -375,11 +385,10 @@ mod tests {
 
     #[test]
     fn numbers_and_reals() {
-        assert_eq!(toks("42 1.5 0.25"), vec![
-            Token::Int(42),
-            Token::Real(1.5),
-            Token::Real(0.25),
-        ]);
+        assert_eq!(
+            toks("42 1.5 0.25"),
+            vec![Token::Int(42), Token::Real(1.5), Token::Real(0.25),]
+        );
         // a real literal requires digits after the point; a separated '.'
         // lexes as the qualified-name dot
         assert_eq!(toks("3 ."), vec![Token::Int(3), Token::Dot]);
@@ -398,7 +407,14 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("< <= > >= = <>"),
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne]
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne
+            ]
         );
     }
 
@@ -425,11 +441,14 @@ mod tests {
 
     #[test]
     fn concat_operator() {
-        assert_eq!(toks("a || b"), vec![
-            Token::Ident("a".into()),
-            Token::Concat,
-            Token::Ident("b".into()),
-        ]);
+        assert_eq!(
+            toks("a || b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Concat,
+                Token::Ident("b".into()),
+            ]
+        );
         assert!(lex("a | b").is_err());
     }
 }

@@ -33,8 +33,7 @@ fn pred(ix: u8, c: i64) -> ScalarExpr {
             .cmp(CmpOp::Ge, ScalarExpr::int(c))
             .and(ScalarExpr::attr(2).eq(ScalarExpr::str("x")).not()),
         4 => ScalarExpr::bool(true).or(ScalarExpr::attr(1).eq(ScalarExpr::int(c))),
-        _ => ScalarExpr::Neg(std::sync::Arc::new(ScalarExpr::attr(1)))
-            .eq(ScalarExpr::int(-c)),
+        _ => ScalarExpr::Neg(std::sync::Arc::new(ScalarExpr::attr(1))).eq(ScalarExpr::int(-c)),
     }
 }
 
@@ -45,7 +44,9 @@ fn build(shape: u8, p_ix: u8, q_ix: u8, c: i64) -> RelExpr {
     match shape % 10 {
         0 => r,
         1 => r.select(pred(p_ix, c)),
-        2 => r.select(pred(p_ix, c)).union(RelExpr::scan("r").select(pred(q_ix, c))),
+        2 => r
+            .select(pred(p_ix, c))
+            .union(RelExpr::scan("r").select(pred(q_ix, c))),
         3 => r.difference(RelExpr::scan("r")).distinct(),
         4 => r.intersect(RelExpr::scan("r")).project(&[2, 1]),
         5 => r.product(RelExpr::scan("s")),
@@ -111,7 +112,10 @@ fn statement_roundtrip() {
     use mera_txn::{Program, Statement};
 
     let rows = Relation::from_tuples(
-        std::sync::Arc::new(Schema::named(&[("a", DataType::Int), ("tag", DataType::Str)])),
+        std::sync::Arc::new(Schema::named(&[
+            ("a", DataType::Int),
+            ("tag", DataType::Str),
+        ])),
         vec![mera_core::tuple![1_i64, "x"], mera_core::tuple![1_i64, "x"]],
     )
     .expect("typed");

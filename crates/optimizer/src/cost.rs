@@ -154,8 +154,7 @@ fn conjunct_selectivity(conj: &ScalarExpr, input: &RelExpr, stats: &CatalogStats
                 1.0 / column_distinct(input, *i, stats)
             }
             (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) => {
-                1.0 / column_distinct(input, *i, stats)
-                    .max(column_distinct(input, *j, stats))
+                1.0 / column_distinct(input, *i, stats).max(column_distinct(input, *j, stats))
             }
             _ => DEFAULT_SELECTIVITY,
         },
@@ -282,8 +281,7 @@ mod tests {
     #[test]
     fn range_selection_uses_third() {
         let cs = stats();
-        let e = RelExpr::scan("big")
-            .select(ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(5)));
+        let e = RelExpr::scan("big").select(ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(5)));
         assert!((estimate_rows(&e, &cs) - 10_000.0 / 3.0).abs() < 1.0);
     }
 

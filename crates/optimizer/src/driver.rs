@@ -142,7 +142,8 @@ impl Optimizer {
             for (i, rule) in self.rules.iter().enumerate() {
                 if let Some(next) = rule.apply(&node, ctx)? {
                     debug_assert_ne!(
-                        next, node,
+                        next,
+                        node,
                         "rule {} returned an identical tree",
                         rule.name()
                     );

@@ -186,10 +186,7 @@ fn build_candidate(
         covered[li] = true;
         let mut preds = Vec::new();
         for (ci, c) in conjuncts.iter().enumerate() {
-            if !attached[ci]
-                && !c.leaves.is_empty()
-                && c.leaves.iter().all(|&l| covered[l])
-            {
+            if !attached[ci] && !c.leaves.is_empty() && c.leaves.iter().all(|&l| covered[l]) {
                 attached[ci] = true;
                 preds.push(remap(&c.expr)?);
             }
@@ -246,8 +243,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 fn greedy_order(leaves: &[Leaf], stats: &CatalogStats) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..leaves.len()).collect();
     idx.sort_by(|&a, &b| {
-        estimate_rows(&leaves[a].expr, stats)
-            .total_cmp(&estimate_rows(&leaves[b].expr, stats))
+        estimate_rows(&leaves[a].expr, stats).total_cmp(&estimate_rows(&leaves[b].expr, stats))
     });
     idx
 }
@@ -327,8 +323,14 @@ mod tests {
         // small b and c early wins:
         // a ⋈[%1=%3] (b) then ⋈[%2=%4] c, written in a poor order:
         let e = RelExpr::scan("a")
-            .join(RelExpr::scan("b"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
-            .join(RelExpr::scan("c"), ScalarExpr::attr(2).eq(ScalarExpr::attr(4)));
+            .join(
+                RelExpr::scan("b"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .join(
+                RelExpr::scan("c"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            );
         let out = reorder_joins(&e, &cs, &cat).expect("reorder");
         // whatever the chosen order, the schema must be restored
         let s_in = e.schema(&cat).expect("types");
@@ -357,12 +359,22 @@ mod tests {
                 tuple![2_i64, 10_i64],
             ],
         );
-        fill(&mut db, "b", vec![tuple![1_i64], tuple![1_i64], tuple![3_i64]]);
+        fill(
+            &mut db,
+            "b",
+            vec![tuple![1_i64], tuple![1_i64], tuple![3_i64]],
+        );
         fill(&mut db, "c", vec![tuple![10_i64], tuple![20_i64]]);
 
         let e = RelExpr::scan("a")
-            .join(RelExpr::scan("b"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
-            .join(RelExpr::scan("c"), ScalarExpr::attr(2).eq(ScalarExpr::attr(4)));
+            .join(
+                RelExpr::scan("b"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .join(
+                RelExpr::scan("c"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            );
         let reordered = reorder_joins(&e, &cs, db.schema()).expect("reorder");
         let want = mera_eval::eval(&e, &db).expect("reference");
         let got = mera_eval::eval(&reordered, &db).expect("reference");

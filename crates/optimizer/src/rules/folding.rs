@@ -103,9 +103,7 @@ impl Rule for ConstantFold {
             RelExpr::Select { input, predicate } => {
                 let (folded, changed) = Self::fold(predicate);
                 match folded {
-                    ScalarExpr::Literal(Value::Bool(true)) => {
-                        Ok(Some(input.as_ref().clone()))
-                    }
+                    ScalarExpr::Literal(Value::Bool(true)) => Ok(Some(input.as_ref().clone())),
                     ScalarExpr::Literal(Value::Bool(false)) => {
                         let schema = ctx.schema(input)?;
                         Ok(Some(RelExpr::values(Relation::empty(schema))))
@@ -130,9 +128,8 @@ impl Rule for ConstantFold {
                         Arc::new(right.as_ref().clone()),
                     ))),
                     ScalarExpr::Literal(Value::Bool(false)) => {
-                        let schema = Arc::new(
-                            ctx.schema(left)?.concat(ctx.schema(right)?.as_ref()),
-                        );
+                        let schema =
+                            Arc::new(ctx.schema(left)?.concat(ctx.schema(right)?.as_ref()));
                         Ok(Some(RelExpr::values(Relation::empty(schema))))
                     }
                     _ if changed => Ok(Some(RelExpr::Join {
@@ -221,7 +218,9 @@ mod tests {
         let want = RelExpr::scan("r").select(ScalarExpr::attr(2).eq(ScalarExpr::str("x")));
         assert_eq!(out, want);
 
-        let p = ScalarExpr::attr(2).eq(ScalarExpr::str("x")).or(ScalarExpr::bool(false));
+        let p = ScalarExpr::attr(2)
+            .eq(ScalarExpr::str("x"))
+            .or(ScalarExpr::bool(false));
         let e = RelExpr::scan("r").select(p);
         let out = apply(&e).expect("applies");
         assert_eq!(out, want);
@@ -256,10 +255,9 @@ mod tests {
 
     #[test]
     fn ext_project_folds_expressions() {
-        let e = RelExpr::scan("r").ext_project(vec![ScalarExpr::int(1).arith(
-            ArithOp::Mul,
-            ScalarExpr::int(10),
-        )]);
+        let e = RelExpr::scan("r").ext_project(vec![
+            ScalarExpr::int(1).arith(ArithOp::Mul, ScalarExpr::int(10))
+        ]);
         let out = apply(&e).expect("applies");
         let want = RelExpr::scan("r").ext_project(vec![ScalarExpr::int(10)]);
         assert_eq!(out, want);

@@ -154,7 +154,9 @@ mod tests {
     #[test]
     fn select_product_with_equi_becomes_join() {
         let p = ScalarExpr::attr(1).eq(ScalarExpr::attr(3));
-        let e = RelExpr::scan("r").product(RelExpr::scan("s")).select(p.clone());
+        let e = RelExpr::scan("r")
+            .product(RelExpr::scan("s"))
+            .select(p.clone());
         let out = apply(&SelectProductToJoin, &e).expect("applies");
         let want = RelExpr::scan("r").join(RelExpr::scan("s"), p);
         assert_eq!(out, want);

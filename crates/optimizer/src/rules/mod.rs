@@ -20,7 +20,7 @@ pub use folding::ConstantFold;
 pub use fuse::{DistinctPruning, FuseSelections, SelectProductToJoin};
 pub use project::ProjectBeforeGroupBy;
 pub use project_join::PushProjectionIntoJoin;
-pub use pushdown::{PushSelectionIntoJoin, PushSelectionThroughBinary, PushProjectionThroughUnion};
+pub use pushdown::{PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelectionThroughBinary};
 
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};

@@ -101,7 +101,9 @@ mod tests {
     fn apply(e: &RelExpr) -> Option<RelExpr> {
         let cat = catalog();
         let ctx = RuleContext::new(&cat);
-        ProjectBeforeGroupBy.apply(e, &ctx).expect("rule application")
+        ProjectBeforeGroupBy
+            .apply(e, &ctx)
+            .expect("rule application")
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl Rule for PushProjectionIntoJoin {
         let (input, out_exprs, is_plain): (&Arc<RelExpr>, Vec<ScalarExpr>, bool) = match expr {
             RelExpr::Project { input, attrs } => (
                 input,
-                attrs.indexes().iter().map(|&i| ScalarExpr::Attr(i)).collect(),
+                attrs
+                    .indexes()
+                    .iter()
+                    .map(|&i| ScalarExpr::Attr(i))
+                    .collect(),
                 true,
             ),
             RelExpr::ExtProject { input, exprs } => (input, exprs.clone(), false),
@@ -58,8 +62,11 @@ impl Rule for PushProjectionIntoJoin {
         needed.dedup();
 
         let mut left_needed: Vec<usize> = needed.iter().copied().filter(|&g| g <= la).collect();
-        let mut right_needed: Vec<usize> =
-            needed.iter().filter(|&&g| g > la).map(|&g| g - la).collect();
+        let mut right_needed: Vec<usize> = needed
+            .iter()
+            .filter(|&&g| g > la)
+            .map(|&g| g - la)
+            .collect();
         // a projection needs at least one attribute per narrowed side;
         // keep the first attribute of an otherwise-unused side (its
         // multiplicity contribution must survive)
@@ -80,7 +87,10 @@ impl Rule for PushProjectionIntoJoin {
                     .iter()
                     .position(|&x| x == g)
                     .map(|p| p + 1)
-                    .ok_or(CoreError::AttrIndexOutOfRange { index: g, arity: la })
+                    .ok_or(CoreError::AttrIndexOutOfRange {
+                        index: g,
+                        arity: la,
+                    })
             } else {
                 right_needed
                     .iter()
@@ -160,7 +170,9 @@ mod tests {
     fn apply(e: &RelExpr) -> Option<RelExpr> {
         let cat = catalog();
         let ctx = RuleContext::new(&cat);
-        PushProjectionIntoJoin.apply(e, &ctx).expect("rule application")
+        PushProjectionIntoJoin
+            .apply(e, &ctx)
+            .expect("rule application")
     }
 
     #[test]

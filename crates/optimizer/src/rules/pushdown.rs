@@ -208,7 +208,9 @@ mod tests {
     #[test]
     fn selection_distributes_over_union() {
         let p = ScalarExpr::attr(1).eq(ScalarExpr::int(1));
-        let e = RelExpr::scan("r").union(RelExpr::scan("r")).select(p.clone());
+        let e = RelExpr::scan("r")
+            .union(RelExpr::scan("r"))
+            .select(p.clone());
         let out = apply(&PushSelectionThroughBinary, &e).expect("applies");
         let want = RelExpr::scan("r")
             .select(p.clone())
@@ -265,7 +267,10 @@ mod tests {
         let out = apply(&PushSelectionIntoJoin, &e).expect("applies");
         let want = RelExpr::scan("r")
             .select(ScalarExpr::attr(2).eq(ScalarExpr::str("x")))
-            .join(RelExpr::scan("s"), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)));
+            .join(
+                RelExpr::scan("s"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            );
         assert_eq!(out, want);
     }
 
@@ -279,8 +284,7 @@ mod tests {
         let want = RelExpr::scan("r")
             .select(ScalarExpr::attr(1).eq(ScalarExpr::int(5)))
             .product(
-                RelExpr::scan("s")
-                    .select(ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::int(0))),
+                RelExpr::scan("s").select(ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::int(0))),
             );
         assert_eq!(out, want);
     }

@@ -64,7 +64,9 @@ fn pred_r(ix: u8, c: i64) -> ScalarExpr {
         1 => ScalarExpr::attr(2).eq(ScalarExpr::str("y")),
         2 => ScalarExpr::bool(true).and(ScalarExpr::attr(1).cmp(CmpOp::Ge, ScalarExpr::int(c))),
         3 => ScalarExpr::bool(false),
-        _ => ScalarExpr::int(2).add(ScalarExpr::int(2)).eq(ScalarExpr::attr(1)),
+        _ => ScalarExpr::int(2)
+            .add(ScalarExpr::int(2))
+            .eq(ScalarExpr::attr(1)),
     }
 }
 

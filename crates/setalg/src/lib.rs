@@ -47,10 +47,7 @@ pub fn eval_set(
     eval_inner(expr, provider)
 }
 
-fn eval_inner(
-    expr: &RelExpr,
-    provider: &(impl RelationProvider + ?Sized),
-) -> CoreResult<Relation> {
+fn eval_inner(expr: &RelExpr, provider: &(impl RelationProvider + ?Sized)) -> CoreResult<Relation> {
     match expr {
         // a set-based system stores sets: duplicates vanish at the base
         RelExpr::Scan(name) => Ok(provider.relation(name)?.distinct()),
@@ -134,7 +131,12 @@ fn ext_project_schema(rel: &Relation, exprs: &[mera_expr::ScalarExpr]) -> CoreRe
 /// Set-semantics group-by: aggregates run over the *set* of input tuples
 /// (each distinct tuple counted once) — the behaviour whose interaction
 /// with projection Example 3.2 calls incorrect.
-fn group_by_set(rel: &Relation, keys: &[usize], agg: Aggregate, attr: usize) -> CoreResult<Relation> {
+fn group_by_set(
+    rel: &Relation,
+    keys: &[usize],
+    agg: Aggregate,
+    attr: usize,
+) -> CoreResult<Relation> {
     let key_list = if keys.is_empty() {
         None
     } else {
@@ -203,7 +205,8 @@ fn counting_inner(
         RelExpr::Scan(name) => Ok(dedup(provider.relation(name)?.clone(), work)),
         RelExpr::Values(rel) => Ok(dedup(rel.as_ref().clone(), work)),
         RelExpr::Union(l, r) => {
-            let u = counting_inner(l, provider, work)?.union(&counting_inner(r, provider, work)?)?;
+            let u =
+                counting_inner(l, provider, work)?.union(&counting_inner(r, provider, work)?)?;
             Ok(dedup(u, work))
         }
         RelExpr::Project { input, attrs } => {
@@ -240,10 +243,12 @@ fn counting_inner(
                 _ => unreachable!("outer match covers these variants"),
             }
         }
-        RelExpr::Difference(l, r) => counting_inner(l, provider, work)?
-            .difference(&counting_inner(r, provider, work)?),
-        RelExpr::Intersect(l, r) => counting_inner(l, provider, work)?
-            .intersection(&counting_inner(r, provider, work)?),
+        RelExpr::Difference(l, r) => {
+            counting_inner(l, provider, work)?.difference(&counting_inner(r, provider, work)?)
+        }
+        RelExpr::Intersect(l, r) => {
+            counting_inner(l, provider, work)?.intersection(&counting_inner(r, provider, work)?)
+        }
         RelExpr::Product(l, r) => {
             counting_inner(l, provider, work)?.product(&counting_inner(r, provider, work)?)
         }
@@ -378,12 +383,8 @@ mod tests {
         // when the data and query produce no duplicates, both semantics
         // coincide — a sanity check on the baseline
         let db = beer_db();
-        let e = RelExpr::scan("brewery")
-            .select(ScalarExpr::attr(3).eq(ScalarExpr::str("NL")));
-        assert_eq!(
-            eval_set(&e, &db).expect("set"),
-            eval(&e, &db).expect("bag")
-        );
+        let e = RelExpr::scan("brewery").select(ScalarExpr::attr(3).eq(ScalarExpr::str("NL")));
+        assert_eq!(eval_set(&e, &db).expect("set"), eval(&e, &db).expect("bag"));
     }
 
     #[test]
@@ -414,7 +415,9 @@ mod tests {
         let exprs = vec![
             RelExpr::scan("beer").project(&[2]),
             RelExpr::scan("beer").union(RelExpr::scan("beer")),
-            RelExpr::scan("beer").product(RelExpr::scan("brewery")).project(&[2]),
+            RelExpr::scan("beer")
+                .product(RelExpr::scan("brewery"))
+                .project(&[2]),
             RelExpr::scan("beer").ext_project(vec![ScalarExpr::attr(2)]),
         ];
         for e in exprs {

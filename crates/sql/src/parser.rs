@@ -80,7 +80,9 @@ impl SqlParser {
                 self.here(),
                 format!(
                     "expected '{want}', found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -122,7 +124,9 @@ impl SqlParser {
                 self.here(),
                 format!(
                     "expected '{kw}', found '{}'",
-                    self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    self.peek()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             ))
         }
@@ -139,7 +143,9 @@ impl SqlParser {
                 self.here(),
                 format!(
                     "expected identifier, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -196,7 +202,9 @@ impl SqlParser {
             self.here(),
             format!(
                 "expected SELECT/INSERT/DELETE/UPDATE, found '{}'",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ),
         ))
     }
@@ -452,7 +460,9 @@ impl SqlParser {
                 self.here(),
                 format!(
                     "expected an expression, found '{}'",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             )),
         }
@@ -489,11 +499,14 @@ mod tests {
 
     #[test]
     fn example_4_1_sql_parses() {
-        let q = parse_sql(
-            "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'",
-        )
-        .expect("parses");
-        let SqlStmt::Update { table, sets, where_clause } = q else {
+        let q = parse_sql("UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'")
+            .expect("parses");
+        let SqlStmt::Update {
+            table,
+            sets,
+            where_clause,
+        } = q
+        else {
             panic!("expected update");
         };
         assert_eq!(table, "beer");
@@ -504,21 +517,30 @@ mod tests {
 
     #[test]
     fn insert_and_delete_parse() {
-        let q = parse_sql("INSERT INTO beer VALUES ('G', 'G', 5.0), ('H', 'H', 4.5);")
-            .expect("parses");
+        let q =
+            parse_sql("INSERT INTO beer VALUES ('G', 'G', 5.0), ('H', 'H', 4.5);").expect("parses");
         assert!(matches!(q, SqlStmt::Insert { ref rows, .. } if rows.len() == 2));
         let q = parse_sql("DELETE FROM beer WHERE alcperc < 2.0").expect("parses");
-        assert!(matches!(q, SqlStmt::Delete { where_clause: Some(_), .. }));
+        assert!(matches!(
+            q,
+            SqlStmt::Delete {
+                where_clause: Some(_),
+                ..
+            }
+        ));
         let q = parse_sql("DELETE FROM beer").expect("parses");
-        assert!(matches!(q, SqlStmt::Delete { where_clause: None, .. }));
+        assert!(matches!(
+            q,
+            SqlStmt::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn distinct_star_having_alias() {
-        let q = parse_sql(
-            "SELECT DISTINCT * FROM beer WHERE alcperc >= 5.0",
-        )
-        .expect("parses");
+        let q = parse_sql("SELECT DISTINCT * FROM beer WHERE alcperc >= 5.0").expect("parses");
         let SqlStmt::Select(q) = q else { panic!() };
         assert!(q.distinct);
         assert_eq!(q.items, vec![SelectItem::Star]);
@@ -548,10 +570,8 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_sql_script(
-            "INSERT INTO r VALUES (1); SELECT * FROM r; DELETE FROM r;",
-        )
-        .expect("parses");
+        let stmts = parse_sql_script("INSERT INTO r VALUES (1); SELECT * FROM r; DELETE FROM r;")
+            .expect("parses");
         assert_eq!(stmts.len(), 3);
     }
 

@@ -50,8 +50,7 @@ pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<
             let schema = provider.relation_schema(table)?;
             let mut rel = Relation::empty(Arc::clone(&schema));
             for row in rows {
-                let vals: LangResult<Vec<Value>> =
-                    row.iter().map(const_value).collect();
+                let vals: LangResult<Vec<Value>> = row.iter().map(const_value).collect();
                 rel.insert(Tuple::new(vals?), 1)?;
             }
             Ok(Translated::Statement(Statement::insert(
@@ -250,7 +249,10 @@ fn translate_select<P: SchemaProvider>(q: &SelectQuery, provider: &P) -> LangRes
                     "SELECT * cannot be combined with GROUP BY".into(),
                 )))
             }
-            SelectItem::Expr { expr: SqlExpr::Col(c), .. } => out_attrs.push(key_pos(c)?),
+            SelectItem::Expr {
+                expr: SqlExpr::Col(c),
+                ..
+            } => out_attrs.push(key_pos(c)?),
             SelectItem::Expr { .. } => {
                 return Err(LangError::Semantic(CoreError::TypeError(
                     "grouped SELECT items must be grouping columns or the aggregate".into(),
@@ -351,7 +353,10 @@ fn translate_having(
                 return Err(LangError::Semantic(CoreError::TypeError(format!(
                     "HAVING aggregate {}({}) must match the SELECT aggregate",
                     call.func,
-                    call.arg.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "*".into())
+                    call.arg
+                        .as_ref()
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "*".into())
                 ))));
             }
         }

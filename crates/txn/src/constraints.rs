@@ -62,7 +62,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constraint '{}' violated: {}", self.constraint, self.detail)
+        write!(
+            f,
+            "constraint '{}' violated: {}",
+            self.constraint, self.detail
+        )
     }
 }
 
@@ -181,15 +185,11 @@ fn check_one(c: &Constraint, db: &Database) -> CoreResult<Option<String>> {
             let mut seen: FxHashSet<Tuple> = FxHashSet::default();
             for (t, m) in rel.iter() {
                 if m > 1 {
-                    return Ok(Some(format!(
-                        "tuple {t} appears {m} times in {relation}"
-                    )));
+                    return Ok(Some(format!("tuple {t} appears {m} times in {relation}")));
                 }
                 let key = t.project(&list)?;
                 if !seen.insert(key.clone()) {
-                    return Ok(Some(format!(
-                        "duplicate key {key} in {relation}"
-                    )));
+                    return Ok(Some(format!("duplicate key {key} in {relation}")));
                 }
             }
             Ok(None)
@@ -225,9 +225,7 @@ fn check_one(c: &Constraint, db: &Database) -> CoreResult<Option<String>> {
             let rel = db.relation(relation)?;
             for t in rel.support() {
                 if !predicate.eval_predicate(t)? {
-                    return Ok(Some(format!(
-                        "tuple {t} fails {predicate} in {relation}"
-                    )));
+                    return Ok(Some(format!("tuple {t} fails {predicate} in {relation}")));
                 }
             }
             Ok(None)
@@ -265,8 +263,11 @@ mod tests {
         db.replace("beer", Relation::from_counted(bs, beers).expect("typed"))
             .expect("replace");
         let ws = Arc::clone(db.schema().get("brewery").expect("declared"));
-        db.replace("brewery", Relation::from_tuples(ws, breweries).expect("typed"))
-            .expect("replace");
+        db.replace(
+            "brewery",
+            Relation::from_tuples(ws, breweries).expect("typed"),
+        )
+        .expect("replace");
         db
     }
 
@@ -297,8 +298,7 @@ mod tests {
                 "alcperc_nonnegative",
                 Constraint::Check {
                     relation: "beer".into(),
-                    predicate: ScalarExpr::attr(3)
-                        .cmp(mera_expr::CmpOp::Ge, ScalarExpr::real(0.0)),
+                    predicate: ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Ge, ScalarExpr::real(0.0)),
                 },
                 &s,
             )
@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn valid_state_passes() {
         let db = db_with(
-            vec![(tuple!["A", "X", 5.0_f64], 1), (tuple!["B", "X", 4.0_f64], 1)],
+            vec![
+                (tuple!["A", "X", 5.0_f64], 1),
+                (tuple!["B", "X", 4.0_f64], 1),
+            ],
             vec![tuple!["X", "NL"]],
         );
         assert!(constraints().validate(&db).expect("checks run").is_ok());
@@ -317,8 +320,14 @@ mod tests {
     #[test]
     fn primary_key_rejects_duplicate_rows() {
         // the bag model makes this failure mode possible: same row twice
-        let db = db_with(vec![(tuple!["A", "X", 5.0_f64], 2)], vec![tuple!["X", "NL"]]);
-        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        let db = db_with(
+            vec![(tuple!["A", "X", 5.0_f64], 2)],
+            vec![tuple!["X", "NL"]],
+        );
+        let v = constraints()
+            .validate(&db)
+            .expect("checks run")
+            .unwrap_err();
         assert_eq!(v.constraint, "beer_pk");
         assert!(v.detail.contains("2 times"), "{v}");
     }
@@ -332,23 +341,38 @@ mod tests {
             ],
             vec![tuple!["X", "NL"]],
         );
-        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        let v = constraints()
+            .validate(&db)
+            .expect("checks run")
+            .unwrap_err();
         assert_eq!(v.constraint, "beer_pk");
         assert!(v.detail.contains("duplicate key"), "{v}");
     }
 
     #[test]
     fn foreign_key_rejects_dangling_reference() {
-        let db = db_with(vec![(tuple!["A", "Ghost", 5.0_f64], 1)], vec![tuple!["X", "NL"]]);
-        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        let db = db_with(
+            vec![(tuple!["A", "Ghost", 5.0_f64], 1)],
+            vec![tuple!["X", "NL"]],
+        );
+        let v = constraints()
+            .validate(&db)
+            .expect("checks run")
+            .unwrap_err();
         assert_eq!(v.constraint, "beer_brewery_fk");
         assert!(v.detail.contains("Ghost"), "{v}");
     }
 
     #[test]
     fn check_constraint_rejects_bad_tuple() {
-        let db = db_with(vec![(tuple!["A", "X", -1.0_f64], 1)], vec![tuple!["X", "NL"]]);
-        let v = constraints().validate(&db).expect("checks run").unwrap_err();
+        let db = db_with(
+            vec![(tuple!["A", "X", -1.0_f64], 1)],
+            vec![tuple!["X", "NL"]],
+        );
+        let v = constraints()
+            .validate(&db)
+            .expect("checks run")
+            .unwrap_err();
         assert_eq!(v.constraint, "alcperc_nonnegative");
     }
 

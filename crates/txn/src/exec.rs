@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use mera_core::prelude::*;
 use mera_eval::provider::RelationProvider;
-use mera_eval::{execute as physical_execute, reference};
+use mera_eval::{Engine, EngineKind, ExecOptions};
 use mera_expr::rel::RelExpr;
 use mera_opt::Optimizer;
 
@@ -23,16 +23,30 @@ use crate::statement::{Program, Statement};
 pub struct ExecConfig {
     /// Run the rule-based optimizer before evaluation.
     pub optimize: bool,
-    /// Use the physical Volcano engine (`false` ⇒ the reference
-    /// evaluator — slower, used for differential testing).
-    pub physical: bool,
+    /// Which evaluator runs the statements' expressions (the batched
+    /// physical engine by default; [`EngineKind::Reference`] is the slow
+    /// oracle used for differential testing).
+    pub engine: EngineKind,
+    /// Tuning knobs (batch size, partitions) passed to the engine.
+    pub options: ExecOptions,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             optimize: true,
-            physical: true,
+            engine: EngineKind::default(),
+            options: ExecOptions::default(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The default configuration with a different evaluator.
+    pub fn with_engine(engine: EngineKind) -> Self {
+        ExecConfig {
+            engine,
+            ..Self::default()
         }
     }
 }
@@ -164,11 +178,7 @@ pub fn execute_program(
 
 /// Evaluates one algebra expression against the working state, honouring
 /// the execution configuration.
-pub fn eval_expr(
-    state: &WorkingState,
-    expr: &RelExpr,
-    config: ExecConfig,
-) -> CoreResult<Relation> {
+pub fn eval_expr(state: &WorkingState, expr: &RelExpr, config: ExecConfig) -> CoreResult<Relation> {
     let expr_storage;
     let expr = if config.optimize {
         let provider = WorkingSchemas(state);
@@ -177,11 +187,9 @@ pub fn eval_expr(
     } else {
         expr
     };
-    if config.physical {
-        physical_execute(expr, state)
-    } else {
-        reference::eval(expr, state)
-    }
+    Engine::new(config.engine)
+        .with_options(config.options)
+        .run(expr, state)
 }
 
 /// Schema-provider view of a working state (temporaries included).
@@ -230,8 +238,8 @@ mod tests {
 
     fn run(db: Database, program: Program) -> (WorkingState, Outputs) {
         let mut state = WorkingState::new(db);
-        let out = execute_program(&mut state, &program, ExecConfig::default())
-            .expect("program executes");
+        let out =
+            execute_program(&mut state, &program, ExecConfig::default()).expect("program executes");
         (state, out)
     }
 
@@ -251,7 +259,10 @@ mod tests {
         let (state, _) = run(db, p);
         // bag insert: the duplicate is *kept* (multiplicity 2)
         let beer = state.db.relation("beer").expect("present");
-        assert_eq!(beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]), 2);
+        assert_eq!(
+            beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]),
+            2
+        );
         assert_eq!(beer.len(), 4);
     }
 
@@ -291,7 +302,10 @@ mod tests {
             1
         );
         // non-Guineken beers untouched
-        assert_eq!(beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]), 1);
+        assert_eq!(
+            beer.multiplicity(&tuple!["Grolsch", "Grolsche", 5.0_f64]),
+            1
+        );
         assert_eq!(beer.len(), 3);
     }
 
@@ -314,9 +328,8 @@ mod tests {
         let p = Program::new()
             .then(Statement::assign(
                 "strong",
-                RelExpr::scan("beer").select(
-                    ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Gt, ScalarExpr::real(5.5)),
-                ),
+                RelExpr::scan("beer")
+                    .select(ScalarExpr::attr(3).cmp(mera_expr::CmpOp::Gt, ScalarExpr::real(5.5))),
             ))
             .then(Statement::query(RelExpr::scan("strong").project(&[1])));
         let (state, out) = run(db, p);
@@ -349,10 +362,7 @@ mod tests {
     #[test]
     fn reference_and_physical_configs_agree() {
         let program = Program::new()
-            .then(Statement::assign(
-                "t",
-                RelExpr::scan("beer").project(&[2]),
-            ))
+            .then(Statement::assign("t", RelExpr::scan("beer").project(&[2])))
             .then(Statement::insert(
                 "beer",
                 RelExpr::scan("beer").select(ScalarExpr::attr(3).eq(ScalarExpr::real(5.0))),
@@ -363,10 +373,17 @@ mod tests {
                 1,
             )));
         let configs = [
-            ExecConfig { optimize: true, physical: true },
-            ExecConfig { optimize: false, physical: true },
-            ExecConfig { optimize: true, physical: false },
-            ExecConfig { optimize: false, physical: false },
+            ExecConfig::with_engine(EngineKind::Physical),
+            ExecConfig {
+                optimize: false,
+                ..ExecConfig::with_engine(EngineKind::Physical)
+            },
+            ExecConfig::with_engine(EngineKind::Reference),
+            ExecConfig {
+                optimize: false,
+                ..ExecConfig::with_engine(EngineKind::Reference)
+            },
+            ExecConfig::with_engine(EngineKind::Parallel),
         ];
         let results: Vec<(Database, Outputs)> = configs
             .iter()

@@ -24,6 +24,7 @@ pub mod transaction;
 pub use constraints::{Constraint, ConstraintSet, Violation};
 pub use exec::{execute_program, execute_statement, ExecConfig, Outputs, WorkingState};
 pub use log::{LogRecord, RedoLog};
+pub use mera_eval::{EngineKind, ExecOptions};
 pub use statement::{Program, Statement};
 pub use transaction::{
     run_transaction, run_transaction_checked, AbortReason, Outcome, TransactionManager,

@@ -210,10 +210,7 @@ mod tests {
                 ScalarExpr::attr(3).mul(ScalarExpr::real(1.1)),
             ],
         );
-        assert_eq!(
-            s.to_string(),
-            "update(beer, beer, (%1, %2, (%3 * 1.1)))"
-        );
+        assert_eq!(s.to_string(), "update(beer, beer, (%1, %2, (%3 * 1.1)))");
 
         let s = Statement::query(RelExpr::scan("beer").project(&[1]));
         assert_eq!(s.to_string(), "?pi(%1)(beer)");

@@ -312,15 +312,14 @@ mod tests {
     #[test]
     fn statement_error_aborts_whole_transaction() {
         let mgr = TransactionManager::new(schema());
-        mgr.execute(&Program::single(deposit("a", 100))).expect("setup");
+        mgr.execute(&Program::single(deposit("a", 100)))
+            .expect("setup");
         // deposit then a failing statement (AVG over empty bag)
-        let failing = Program::new()
-            .then(deposit("b", 50))
-            .then(Statement::query(
-                RelExpr::scan("acct")
-                    .select(ScalarExpr::bool(false))
-                    .group_by(&[], mera_expr::Aggregate::Avg, 2),
-            ));
+        let failing = Program::new().then(deposit("b", 50)).then(Statement::query(
+            RelExpr::scan("acct")
+                .select(ScalarExpr::bool(false))
+                .group_by(&[], mera_expr::Aggregate::Avg, 2),
+        ));
         let (outcome, transition) = mgr.execute(&failing).expect("runs");
         assert!(matches!(
             outcome,
@@ -391,11 +390,12 @@ mod tests {
     #[test]
     fn recovery_replays_committed_transactions_only() {
         let mgr = TransactionManager::new(schema());
-        mgr.execute(&Program::single(deposit("a", 100))).expect("t1");
+        mgr.execute(&Program::single(deposit("a", 100)))
+            .expect("t1");
         // an aborted transaction must not be logged
-        let bad = Program::new().then(deposit("b", 1)).then(Statement::query(
-            RelExpr::scan("nosuch"),
-        ));
+        let bad = Program::new()
+            .then(deposit("b", 1))
+            .then(Statement::query(RelExpr::scan("nosuch")));
         let (outcome, _) = mgr.execute(&bad).expect("t2");
         assert!(!outcome.is_committed());
         mgr.execute(&Program::single(deposit("c", 7))).expect("t3");

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let direct = join.clone().group_by(&[6], Aggregate::Avg, 3);
     // the paper's hand-optimized form with the projection inserted
-    let reduced = join.clone().project(&[3, 6]).group_by(&[2], Aggregate::Avg, 1);
+    let reduced = join
+        .clone()
+        .project(&[3, 6])
+        .group_by(&[2], Aggregate::Avg, 1);
 
     // ── bag semantics: both forms agree ───────────────────────────────
     let bag_direct = eval(&direct, &db)?;
@@ -63,17 +66,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── measured: the data volume feeding the blocking group-by ───────
     // (counters register bottom-up, so the entry before "group-by" is its
     // input operator)
-    let gamma_input_cells = |expr: &RelExpr| -> Result<(u64, Relation), Box<dyn std::error::Error>> {
-        let mut stats = ExecStats::new();
-        let plan = plan_instrumented(expr, &db, &mut stats)?;
-        let out = collect(plan)?;
-        let cells = stats.cells_out();
-        let gamma = cells
-            .iter()
-            .position(|(l, _)| l == "group-by")
-            .expect("plan contains a group-by");
-        Ok((cells[gamma - 1].1, out))
-    };
+    let gamma_input_cells =
+        |expr: &RelExpr| -> Result<(u64, Relation), Box<dyn std::error::Error>> {
+            let mut stats = ExecStats::new();
+            let plan = plan_instrumented(expr, &db, &mut stats)?;
+            let out = collect(plan)?;
+            let cells = stats.cells_out();
+            let gamma = cells
+                .iter()
+                .position(|(l, _)| l == "group-by")
+                .expect("plan contains a group-by");
+            Ok((cells[gamma - 1].1, out))
+        };
     let (direct_volume, a) = gamma_input_cells(&direct)?;
     let (reduced_volume, b) = gamma_input_cells(&optimized.expr)?;
     assert_eq!(a, b);

@@ -72,8 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "no_self_supply",
             Constraint::Check {
                 relation: "supplies".into(),
-                predicate: ScalarExpr::attr(1)
-                    .cmp(mera::expr::CmpOp::Ne, ScalarExpr::attr(2)),
+                predicate: ScalarExpr::attr(1).cmp(mera::expr::CmpOp::Ne, ScalarExpr::attr(2)),
             },
             &schema,
         )?;
@@ -104,8 +103,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "part",
                 RelExpr::values(part_rows(&["bike", "frame", "wheel"])),
             ))
-            .then(Statement::insert("supplies", RelExpr::values(edge("bike", "frame"))))
-            .then(Statement::insert("supplies", RelExpr::values(edge("bike", "wheel")))),
+            .then(Statement::insert(
+                "supplies",
+                RelExpr::values(edge("bike", "frame")),
+            ))
+            .then(Statement::insert(
+                "supplies",
+                RelExpr::values(edge("bike", "wheel")),
+            )),
     )?;
     println!("\nvalid load: committed = {}", outcome.is_committed());
 

@@ -5,10 +5,15 @@
 
 use mera::core::prelude::*;
 use mera::sql::run_sql;
-use mera::txn::TransactionManager;
+use mera::txn::{EngineKind, ExecConfig, TransactionManager};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mgr = TransactionManager::new(mera::beer_schema());
+    // every statement runs through the unified batched engine; swap in
+    // `EngineKind::Parallel` to fan the same plans out across partitions
+    let mgr = TransactionManager::with_config(
+        mera::beer_schema(),
+        ExecConfig::with_engine(EngineKind::Physical),
+    );
 
     run_sql(
         &mgr,

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     ));
     mgr.execute(&guineken_update)?;
-    println!("\nafter the Example 4.1 update:\n{}", mgr.snapshot().relation("beer")?);
+    println!(
+        "\nafter the Example 4.1 update:\n{}",
+        mgr.snapshot().relation("beer")?
+    );
 
     // ── a multi-statement transaction with a temporary relation ───────
     let report = Program::new()
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     let (outcome, _) = mgr.execute(&report)?;
     let outputs = outcome.outputs().expect("committed");
-    println!("\nstrongest beer per Dutch brewery (via a temporary):\n{}", outputs.queries[0]);
+    println!(
+        "\nstrongest beer per Dutch brewery (via a temporary):\n{}",
+        outputs.queries[0]
+    );
     // temporaries never survive the transaction
     assert!(mgr.snapshot().relation("dutch").is_err());
 

@@ -43,8 +43,8 @@ fn main() -> io::Result<()> {
         // execute once the buffer holds a complete item (ends with ';' or
         // an 'end' of a transaction)
         let trimmed = buffer.trim_end();
-        let complete = trimmed.ends_with(';')
-            && (!buffer.contains("begin") || trimmed.contains("end"));
+        let complete =
+            trimmed.ends_with(';') && (!buffer.contains("begin") || trimmed.contains("end"));
         if complete {
             run(&mut session, &buffer);
             buffer.clear();

@@ -154,7 +154,11 @@ fn serial_isolation_preserves_invariants() {
     let mgr = Arc::new(TransactionManager::new(schema()));
     // seed: two accounts with 1000 each
     let (o, _) = mgr
-        .execute(&Program::new().then(deposit("a", 1000)).then(deposit("b", 1000)))
+        .execute(
+            &Program::new()
+                .then(deposit("a", 1000))
+                .then(deposit("b", 1000)),
+        )
         .expect("seed");
     assert!(o.is_committed());
 

@@ -65,8 +65,11 @@ fn duplicate_edges_do_not_multiply() {
     let s = Arc::clone(db.schema().get("edge").expect("declared"));
     db.replace(
         "edge",
-        Relation::from_counted(s, vec![(tuple![1_i64, 2_i64], 3), (tuple![2_i64, 3_i64], 1)])
-            .expect("typed"),
+        Relation::from_counted(
+            s,
+            vec![(tuple![1_i64, 2_i64], 3), (tuple![2_i64, 3_i64], 1)],
+        )
+        .expect("typed"),
     )
     .expect("replace");
     let out = eval(&RelExpr::scan("edge").closure(), &db).expect("evaluates");

@@ -89,10 +89,12 @@ fn valid_transactions_commit() {
 #[test]
 fn duplicate_insert_aborts_on_pk() {
     let mgr = constrained_manager();
-    mgr.execute(&Program::new()
-        .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
-        .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)))
-        .expect("setup commits");
+    mgr.execute(
+        &Program::new()
+            .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
+            .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)),
+    )
+    .expect("setup commits");
     // bag insert would happily create multiplicity 2 — the PK forbids it
     let (outcome, transition) = mgr
         .execute(&Program::single(insert(
@@ -128,10 +130,12 @@ fn dangling_foreign_key_aborts() {
 #[test]
 fn check_constraint_guards_updates() {
     let mgr = constrained_manager();
-    mgr.execute(&Program::new()
-        .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
-        .then(insert("beer", vec![tuple!["A", "X", 60.0_f64]], &BEER_T)))
-        .expect("setup");
+    mgr.execute(
+        &Program::new()
+            .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
+            .then(insert("beer", vec![tuple!["A", "X", 60.0_f64]], &BEER_T)),
+    )
+    .expect("setup");
     // the Guineken update at ×2 would push alcperc past 100
     let update = Program::single(Statement::update(
         "beer",
@@ -170,10 +174,12 @@ fn checking_is_deferred_to_commit() {
 #[test]
 fn delete_can_break_fk_and_aborts() {
     let mgr = constrained_manager();
-    mgr.execute(&Program::new()
-        .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
-        .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)))
-        .expect("setup");
+    mgr.execute(
+        &Program::new()
+            .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
+            .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)),
+    )
+    .expect("setup");
     // deleting the brewery leaves a dangling beer reference
     let (outcome, _) = mgr
         .execute(&Program::single(Statement::delete(
@@ -187,9 +193,11 @@ fn delete_can_break_fk_and_aborts() {
     ));
     // cascading manually within one transaction works
     let (outcome, _) = mgr
-        .execute(&Program::new()
-            .then(Statement::delete("beer", RelExpr::scan("beer")))
-            .then(Statement::delete("brewery", RelExpr::scan("brewery"))))
+        .execute(
+            &Program::new()
+                .then(Statement::delete("beer", RelExpr::scan("beer")))
+                .then(Statement::delete("brewery", RelExpr::scan("brewery"))),
+        )
         .expect("runs");
     assert!(outcome.is_committed());
 }
@@ -197,10 +205,12 @@ fn delete_can_break_fk_and_aborts() {
 #[test]
 fn recovery_respects_constraints() {
     let mgr = constrained_manager();
-    mgr.execute(&Program::new()
-        .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
-        .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)))
-        .expect("setup");
+    mgr.execute(
+        &Program::new()
+            .then(insert("brewery", vec![tuple!["X", "NL"]], &BREWERY_T))
+            .then(insert("beer", vec![tuple!["A", "X", 5.0_f64]], &BEER_T)),
+    )
+    .expect("setup");
     // aborted (violating) transactions never reach the log, so replay
     // under the same constraints succeeds
     let _ = mgr.execute(&Program::single(insert(

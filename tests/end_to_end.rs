@@ -39,12 +39,11 @@ fn example_3_1_five_ways_agree() {
 
     // 4. XRA language
     let lowerer = Lowerer::new(db.schema());
-    let parsed = mera::lang::parse_rel(
-        "project[%1](select[country = 'NL'](join[%2 = %4](beer, brewery)))",
-    )
-    .expect("parses");
-    let via_lang = eval(&lowerer.lower_rel(&parsed).expect("lowers"), &db)
-        .expect("lowered form evaluates");
+    let parsed =
+        mera::lang::parse_rel("project[%1](select[country = 'NL'](join[%2 = %4](beer, brewery)))")
+            .expect("parses");
+    let via_lang =
+        eval(&lowerer.lower_rel(&parsed).expect("lowers"), &db).expect("lowered form evaluates");
     assert_eq!(via_lang, reference);
 
     // 5. SQL
@@ -158,16 +157,23 @@ fn sql_manager_lifecycle() {
     )
     .expect("insert");
     // bag counting: B appears twice
-    let out = run_sql(&mgr, "SELECT COUNT(*) FROM beer").expect("runs").expect("output");
+    let out = run_sql(&mgr, "SELECT COUNT(*) FROM beer")
+        .expect("runs")
+        .expect("output");
     assert_eq!(out.multiplicity(&tuple![3_i64]), 1);
-    run_sql(&mgr, "UPDATE beer SET alcperc = alcperc + 1.0 WHERE name = 'B'")
-        .expect("update");
+    run_sql(
+        &mgr,
+        "UPDATE beer SET alcperc = alcperc + 1.0 WHERE name = 'B'",
+    )
+    .expect("update");
     let out = run_sql(&mgr, "SELECT DISTINCT alcperc FROM beer")
         .expect("runs")
         .expect("output");
     assert!(out.contains(&tuple![6.0_f64]));
     run_sql(&mgr, "DELETE FROM beer WHERE name = 'B'").expect("delete");
-    let out = run_sql(&mgr, "SELECT COUNT(*) FROM beer").expect("runs").expect("output");
+    let out = run_sql(&mgr, "SELECT COUNT(*) FROM beer")
+        .expect("runs")
+        .expect("output");
     assert_eq!(out.multiplicity(&tuple![1_i64]), 1);
 }
 

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use mera::core::prelude::*;
-use mera::eval::{eval, execute, execute_indexed, execute_parallel, IndexSet};
+use mera::eval::{Engine, IndexSet};
 use mera::expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
 use proptest::prelude::*;
 
@@ -25,11 +25,7 @@ fn build_db(rows: Vec<(i64, i64, u64)>) -> Database {
     let rs = Arc::clone(db.schema().get("r").expect("declared"));
     db.replace(
         "r",
-        Relation::from_counted(
-            rs,
-            rows.iter().map(|&(k, v, m)| (tuple![k, v], m)),
-        )
-        .expect("typed"),
+        Relation::from_counted(rs, rows.iter().map(|&(k, v, m)| (tuple![k, v], m))).expect("typed"),
     )
     .expect("replace");
     let ss = Arc::clone(db.schema().get("s").expect("declared"));
@@ -77,18 +73,29 @@ proptest! {
         shape in 0u8..8,
         c in 0i64..5,
         partitions in 1usize..6,
+        batch in 1usize..9,
     ) {
         let db = build_db(rows);
         let mut indexes = IndexSet::new();
         indexes.create(&db, "r", &[1]).expect("index builds");
         let e = build_expr(shape, c);
 
-        let reference = eval(&e, &db).expect("reference evaluates");
-        let physical = execute(&e, &db).expect("physical executes");
+        let reference = Engine::reference().run(&e, &db).expect("reference evaluates");
+        let physical = Engine::physical()
+            .with_batch_size(batch)
+            .run(&e, &db)
+            .expect("physical executes");
         prop_assert_eq!(&physical, &reference, "physical differs on {}", e);
-        let parallel = execute_parallel(&e, &db, partitions).expect("parallel executes");
+        let parallel = Engine::parallel()
+            .with_partitions(partitions)
+            .with_batch_size(batch)
+            .run(&e, &db)
+            .expect("parallel executes");
         prop_assert_eq!(&parallel, &reference, "parallel differs on {}", e);
-        let indexed = execute_indexed(&e, &db, &indexes).expect("indexed executes");
+        let indexed = Engine::indexed(indexes)
+            .with_batch_size(batch)
+            .run(&e, &db)
+            .expect("indexed executes");
         prop_assert_eq!(&indexed, &reference, "indexed differs on {}", e);
     }
 }

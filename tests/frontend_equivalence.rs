@@ -10,10 +10,7 @@ use proptest::prelude::*;
 fn beer_queries() -> Vec<(&'static str, &'static str)> {
     // (SQL, XRA) pairs expressing the same query
     vec![
-        (
-            "SELECT name FROM beer",
-            "project[name](beer)",
-        ),
+        ("SELECT name FROM beer", "project[name](beer)"),
         (
             "SELECT DISTINCT brewery FROM beer",
             "unique(project[brewery](beer))",

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same API shape as the crate this workspace declares.
+//!
+//! Each benchmark runs a short calibration pass, then a timed measurement
+//! window, and prints mean time per iteration. There is no statistical
+//! analysis, outlier detection, or HTML report — the goal is that
+//! `cargo bench` compiles, runs every registered benchmark, and prints a
+//! usable per-iteration number.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that fills the window.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The harness entry point. Builder methods mirror criterion's; sampling
+/// parameters other than the measurement window are accepted and ignored.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this harness takes one sample.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; there is no warm-up pass.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.settings, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group throughput (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.settings, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(label: &str, settings: Settings, mut f: F) {
+    let mut result = None;
+    {
+        let mut b = Bencher {
+            measurement: settings.measurement,
+            result: &mut result,
+        };
+        f(&mut b);
+    }
+    match result {
+        Some(per_iter) => println!("{label:<60} {per_iter:>12.2?}/iter"),
+        None => println!("{label:<60} (no measurement)"),
+    }
+}
+
+/// Declares a group of benchmark functions; both the simple and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Offline stand-in for `serde`: an empty shell. The workspace declares
+//! the dependency but does not currently use it in code; this crate exists
+//! so dependency resolution succeeds without network access.
