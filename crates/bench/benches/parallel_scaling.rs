@@ -1,0 +1,53 @@
+//! E14 — parallel scaling: the morsel-driven engine vs the
+//! operator-at-a-time partitioned kernels vs the serial batched engine,
+//! across partition counts {1, 2, 4, cores}, on a whole join pipeline and
+//! a keyed group-by.
+//!
+//! The single-shot JSON record of this sweep lives in `BENCH_pr2.json`
+//! (regenerate with `cargo run --release -p mera-bench --bin
+//! parallel_scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mera_bench::scaling::{partition_sweep, scaling_db, scaling_plans};
+use mera_eval::{execute, Engine};
+
+fn parallel_scaling(c: &mut Criterion) {
+    let rows = 60_000usize;
+    let db = scaling_db(rows);
+    for (label, plan) in scaling_plans() {
+        let mut group = c.benchmark_group(format!("parallel_scaling/{label}"));
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("serial", rows), &plan, |b, e| {
+            b.iter(|| execute(e, &db).expect("serial executes"));
+        });
+        for partitions in partition_sweep() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("operator_at_a_time_p{partitions}"), rows),
+                &plan,
+                |b, e| {
+                    let engine = Engine::parallel().with_partitions(partitions);
+                    b.iter(|| engine.run(e, &db).expect("parallel executes"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("morsel_p{partitions}"), rows),
+                &plan,
+                |b, e| {
+                    let engine = Engine::morsel().with_partitions(partitions);
+                    b.iter(|| engine.run(e, &db).expect("morsel executes"));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = parallel_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Parallel-scaling report: times the serial batched engine, the
+//! operator-at-a-time partitioned kernels, and the morsel-driven engine
+//! across partition counts on the E14 workloads, and writes the sweep as
+//! JSON (hand-rendered — the vendored serde crates are empty shells).
+//!
+//! Usage: `cargo run --release -p mera-bench --bin parallel_scaling
+//! [output.json]` — the default output path is `BENCH_pr2.json`. The
+//! Criterion version of the same sweep is the `parallel_scaling` bench.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mera_bench::scaling::{partition_sweep, scaling_db, scaling_plans};
+use mera_core::prelude::*;
+use mera_eval::Engine;
+use mera_expr::RelExpr;
+
+struct Point {
+    engine: &'static str,
+    partitions: usize,
+    ns_per_run: u128,
+    speedup_vs_serial: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    result_rows: u64,
+    points: Vec<Point>,
+}
+
+/// Median wall-clock time of `runs` executions (after one warm-up).
+fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    f();
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn measure(
+    engine: &'static str,
+    partitions: usize,
+    runs: usize,
+    serial: Duration,
+    make: impl Fn() -> Engine,
+    plan: &RelExpr,
+    db: &Database,
+) -> Point {
+    let e = make().with_partitions(partitions);
+    let t = median_time(runs, || e.run(plan, db).expect("plan executes"));
+    Point {
+        engine,
+        partitions,
+        ns_per_run: t.as_nanos(),
+        speedup_vs_serial: serial.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"parallel_scaling\",");
+    let _ = writeln!(j, "  \"rows\": {rows},");
+    let _ = writeln!(j, "  \"cores\": {cores},");
+    let _ = writeln!(j, "  \"runs_per_point\": {runs},");
+    let _ = writeln!(
+        j,
+        "  \"note\": \"median wall-clock of runs_per_point executions after one warm-up; \
+         regenerate with `cargo run --release -p mera-bench --bin parallel_scaling`\","
+    );
+    j.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        j.push_str("    {\n");
+        let _ = writeln!(j, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(j, "      \"result_rows\": {},", w.result_rows);
+        j.push_str("      \"points\": [\n");
+        for (pi, p) in w.points.iter().enumerate() {
+            let _ = write!(
+                j,
+                "        {{\"engine\": \"{}\", \"partitions\": {}, \"ns_per_run\": {}, \
+                 \"speedup_vs_serial\": {:.3}}}",
+                p.engine, p.partitions, p.ns_per_run, p.speedup_vs_serial
+            );
+            j.push_str(if pi + 1 < w.points.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("      ]\n");
+        j.push_str(if wi + 1 < workloads.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+    let rows = 60_000usize;
+    let runs = 7usize;
+    let db = scaling_db(rows);
+    let sweep = partition_sweep();
+    let cores = *sweep.last().expect("non-empty sweep");
+
+    let mut workloads = Vec::new();
+    for (name, plan) in scaling_plans() {
+        let serial_engine = Engine::physical();
+        let result_rows = serial_engine.run(&plan, &db).expect("plan executes").len();
+        let serial = median_time(runs, || {
+            serial_engine.run(&plan, &db).expect("plan executes")
+        });
+        let mut points = vec![Point {
+            engine: "serial",
+            partitions: 1,
+            ns_per_run: serial.as_nanos(),
+            speedup_vs_serial: 1.0,
+        }];
+        for &p in &sweep {
+            points.push(measure(
+                "operator_at_a_time",
+                p,
+                runs,
+                serial,
+                Engine::parallel,
+                &plan,
+                &db,
+            ));
+            points.push(measure(
+                "morsel",
+                p,
+                runs,
+                serial,
+                Engine::morsel,
+                &plan,
+                &db,
+            ));
+        }
+        workloads.push(Workload {
+            name,
+            result_rows,
+            points,
+        });
+    }
+
+    let json = render_json(rows, cores, runs, &workloads);
+    std::fs::write(&out_path, json).expect("writable output path");
+    println!("wrote {out_path}");
+    for w in &workloads {
+        println!("\n{} ({} result rows)", w.name, w.result_rows);
+        for p in &w.points {
+            println!(
+                "  {:>20} p={:<3} {:>12.2?}  {:>5.2}x",
+                p.engine,
+                p.partitions,
+                Duration::from_nanos(p.ns_per_run as u64),
+                p.speedup_vs_serial
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared workloads for the parallel-scaling experiment (E14): the same
+//! databases and plans drive the `parallel_scaling` Criterion bench and
+//! the `parallel_scaling` report binary that records `BENCH_pr2.json`.
+
+use mera_core::prelude::*;
+use mera_expr::{Aggregate, RelExpr, ScalarExpr};
+
+use crate::int_relation;
+
+/// The partition counts the scaling sweep runs: 1, 2, 4, and the number
+/// of cores on this machine (deduplicated, sorted).
+pub fn partition_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut parts = vec![1usize, 2, 4, cores];
+    parts.sort_unstable();
+    parts.dedup();
+    parts
+}
+
+/// The scaling database: `r(k, v)` with `rows` tuples and `s(k, v)` with
+/// `rows / 2`, both moderately skewed so joins and group-bys have real
+/// duplication to merge.
+pub fn scaling_db(rows: usize) -> Database {
+    let schema = DatabaseSchema::new()
+        .with(
+            "r",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh")
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh");
+    let mut db = Database::new(schema);
+    db.replace("r", int_relation(rows, rows / 4 + 1, 0.3, 141))
+        .expect("replace");
+    db.replace("s", int_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 142))
+        .expect("replace");
+    db
+}
+
+/// The two measured plans, labelled:
+///
+/// * `join_pipeline` — `γ(π(σ(r) ⋈ s))`, a whole pipeline the morsel
+///   engine runs with zero intermediate relations (one breaker at the
+///   build side, one at the aggregate);
+/// * `group_by` — a keyed `γ` over `r`, the pure two-phase aggregation
+///   case.
+pub fn scaling_plans() -> [(&'static str, RelExpr); 2] {
+    let join_pipeline = RelExpr::scan("r")
+        .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(800)))
+        .join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        )
+        .project(&[1, 2, 4])
+        .group_by(&[1], Aggregate::Sum, 3);
+    let group_by = RelExpr::scan("r").group_by(&[1], Aggregate::Avg, 2);
+    [("join_pipeline", join_pipeline), ("group_by", group_by)]
+}

@@ -56,6 +56,12 @@ pub enum CoreError {
     Overflow(&'static str),
     /// Division by zero inside a scalar expression.
     DivisionByZero,
+    /// A parallel worker panicked while evaluating a partition or morsel.
+    ///
+    /// Panics are caught at the worker boundary and surfaced as this error
+    /// so one failing partition degrades the query to an error instead of
+    /// aborting the process.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for CoreError {
@@ -88,6 +94,9 @@ impl fmt::Display for CoreError {
             CoreError::TypeError(msg) => write!(f, "type error: {msg}"),
             CoreError::Overflow(what) => write!(f, "integer overflow in {what}"),
             CoreError::DivisionByZero => write!(f, "division by zero"),
+            CoreError::WorkerPanicked(msg) => {
+                write!(f, "parallel worker panicked: {msg}")
+            }
         }
     }
 }

@@ -151,6 +151,17 @@ impl<T: Eq + Hash + Clone> Bag<T> {
         Ok(out)
     }
 
+    /// In-place union absorbing `other` (multiplicities add) without
+    /// cloning its elements — the merge step of parallel two-phase
+    /// evaluation, where each worker's thread-local bag is moved into one
+    /// result.
+    pub fn absorb(&mut self, other: Bag<T>) -> CoreResult<()> {
+        for (x, m) in other {
+            self.insert(x, m)?;
+        }
+        Ok(())
+    }
+
     /// Multi-set difference `B₁ − B₂`: `max(0, m₁ − m₂)` pointwise.
     pub fn difference(&self, other: &Self) -> Self {
         let mut out = Self::with_capacity(self.distinct_len());
@@ -272,6 +283,16 @@ impl<T: Eq + Hash + Clone> FromIterator<T> for Bag<T> {
             bag.insert_one(x).expect("bag cardinality overflow");
         }
         bag
+    }
+}
+
+impl<T: Eq + Hash> IntoIterator for Bag<T> {
+    type Item = (T, u64);
+    type IntoIter = std::collections::hash_map::IntoIter<T, u64>;
+
+    /// Consumes the bag, yielding owned `(element, multiplicity)` pairs.
+    fn into_iter(self) -> Self::IntoIter {
+        self.counts.into_iter()
     }
 }
 

@@ -80,6 +80,10 @@ pub enum EngineKind {
     Physical,
     /// Hash-partitioned parallel kernels over the same batched operators.
     Parallel,
+    /// Morsel-driven whole-pipeline parallelism on the reusable worker
+    /// pool: work-stealing morsel scheduling, shared build-side hash
+    /// joins, two-phase parallel aggregation.
+    Morsel,
 }
 
 /// The unified execution engine: kind + options + optional indexes.
@@ -113,6 +117,11 @@ impl Engine {
     /// The partition-parallel engine.
     pub fn parallel() -> Self {
         Self::new(EngineKind::Parallel)
+    }
+
+    /// The morsel-driven parallel engine.
+    pub fn morsel() -> Self {
+        Self::new(EngineKind::Morsel)
     }
 
     /// The physical engine with an index rewrite pre-pass.
@@ -186,6 +195,7 @@ impl Engine {
                 crate::physical::collect(plan)
             }
             EngineKind::Parallel => crate::parallel::eval_parallel(expr, provider, &self.opts),
+            EngineKind::Morsel => crate::morsel::eval_morsel(expr, provider, &self.opts),
         }
     }
 }
@@ -225,8 +235,10 @@ mod tests {
         for engine in [
             Engine::physical(),
             Engine::parallel(),
+            Engine::morsel(),
             Engine::physical().with_batch_size(3),
             Engine::parallel().with_partitions(3),
+            Engine::morsel().with_partitions(3).with_batch_size(5),
         ] {
             assert_eq!(engine.run(&e, &db).unwrap(), reference);
         }

@@ -11,6 +11,10 @@
 //! * [`parallel`] — hash-partitioned parallel kernels for equi-joins and
 //!   keyed group-bys (the PRISMA/DB direction from section 5); each
 //!   partition runs the same batched physical operators,
+//! * [`morsel`] — morsel-driven whole-pipeline parallelism on a reusable
+//!   worker pool: plans are split at pipeline breakers, workers steal
+//!   row-chunk morsels and run entire operator chains over them, joins
+//!   share one build table and aggregation runs in two phases,
 //! * [`index`] — hash indexes and a rewrite pre-pass turning
 //!   point-selections into lookups, feeding the physical engine.
 //!
@@ -24,13 +28,16 @@
 
 pub mod engine;
 pub mod index;
+pub mod morsel;
 pub mod parallel;
 pub mod physical;
+mod pool;
 pub mod provider;
 pub mod reference;
 
 pub use engine::{Engine, EngineKind, ExecOptions, DEFAULT_BATCH_SIZE};
 pub use index::{execute_indexed, execute_indexed_with, HashIndex, IndexSet};
+pub use morsel::{execute_morsel, execute_morsel_with};
 pub use parallel::{default_partitions, execute_parallel, execute_parallel_with};
 pub use physical::{collect, execute, execute_with};
 pub use provider::{NoRelations, RelationProvider, Schemas};

@@ -1,0 +1,862 @@
+//! Morsel-driven whole-pipeline parallel execution.
+//!
+//! The operator-at-a-time kernels in [`crate::parallel`] parallelize one
+//! plan node at a time: every node materialises a full [`Relation`], both
+//! join inputs are cloned into hash partitions, and a fresh thread scope is
+//! spawned per operator. This module replaces that with the morsel-driven
+//! scheme (Leis et al., and the direction §5 of the paper points to for
+//! PRISMA/DB): a plan is decomposed at its **pipeline breakers** into
+//! *pipelines* of streaming operators, and each pipeline runs in parallel
+//! end to end — workers pull *morsels* (row chunks of `batch_size`) from a
+//! shared work list with work stealing and push every morsel through the
+//! whole operator chain, so a `σ → ⋈ → π` stretch of the plan produces
+//! **zero** intermediate relations.
+//!
+//! The multiplicity laws make this exact:
+//!
+//! * σ/π act row-wise and `⊎` merely concatenates, so morsels commute with
+//!   them freely;
+//! * equi- and θ-joins multiply multiplicities per row pair, so the build
+//!   side is built **once** (in parallel, thread-local [`JoinTable`]s
+//!   merged, then shared read-only behind an `Arc`) and every worker
+//!   probes the same table — neither input is cloned into partitions;
+//! * group-by and duplicate elimination aggregate in **two phases**:
+//!   thread-local [`AggState`]s / seen-sets over morsels, merged once.
+//!   Unlike hash partitioning, this also parallelizes the empty-key `γ`
+//!   (one global group) and `δ`;
+//! * difference and intersection need the *merged* count of both sides
+//!   (`max(0, m₁−m₂)`, `min(m₁, m₂)`), so they are breakers: both sides
+//!   are evaluated as parallel pipelines into per-worker bags, merged, and
+//!   the pointwise law is applied once.
+//!
+//! All workers come from the process-wide reusable [`crate::pool`] — no
+//! per-operator thread spawns — and the calling thread is always one of
+//! the workers, so execution completes even when the pool is saturated.
+//! Worker panics surface as [`CoreError::WorkerPanicked`]. Agreement with
+//! the reference evaluator across partition counts and morsel sizes is
+//! property-tested in `tests/engine_equivalence.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mera_core::multiset::Bag;
+use mera_core::prelude::*;
+use mera_expr::rel::RelExpr;
+use mera_expr::{Aggregate, ScalarExpr};
+use rustc_hash::FxHashSet;
+
+use crate::engine::ExecOptions;
+use crate::physical::agg::AggState;
+use crate::physical::join::{extract_equi_condition, JoinTable};
+use crate::physical::ops::{filter_rows, project_rows};
+use crate::physical::planner::ext_project_schema;
+use crate::physical::Counted;
+use crate::pool;
+use crate::provider::{RelationProvider, Schemas};
+
+/// Evaluates an expression with the morsel-driven parallel engine using
+/// `partitions` workers (and default batch/morsel size).
+pub fn execute_morsel(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    partitions: usize,
+) -> CoreResult<Relation> {
+    let opts = ExecOptions {
+        partitions,
+        ..ExecOptions::default()
+    };
+    execute_morsel_with(expr, provider, &opts)
+}
+
+/// [`execute_morsel`] with full execution options. The batch size doubles
+/// as the morsel size: the unit of work a worker claims from the shared
+/// queue.
+pub fn execute_morsel_with(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    opts: &ExecOptions,
+) -> CoreResult<Relation> {
+    expr.schema(&Schemas(provider))?;
+    eval_morsel(expr, provider, opts)
+}
+
+/// Engine entry point (input already schema-checked).
+pub(crate) fn eval_morsel(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    opts: &ExecOptions,
+) -> CoreResult<Relation> {
+    if opts.effective_partitions() == 1 {
+        // one worker: the serial batched plan *is* the single-partition
+        // morsel schedule — skip snapshotting and scheduling entirely
+        return crate::physical::execute_with(expr, provider, opts);
+    }
+    let mut plan = compile(expr, provider, opts)?;
+    let mut out = Relation::empty(Arc::clone(&plan.schema));
+    if is_passthrough(&plan) {
+        // the plan ended on a breaker (or is a bare scan): its rows are
+        // final, so pour them straight into the relation
+        match plan.legs.pop().expect("single leg").source {
+            Source::Rel(rel) => {
+                for (t, m) in rel.iter() {
+                    out.insert(t.clone(), m)?;
+                }
+            }
+            Source::Owned(rows) => {
+                for (t, m) in rows {
+                    out.insert(t, m)?;
+                }
+            }
+        }
+        return Ok(out);
+    }
+    for (t, m) in run_bag(plan, opts)? {
+        out.insert(t, m)?;
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Pipeline representation
+// ----------------------------------------------------------------------
+
+/// Where a pipeline leg's rows come from.
+enum Source<'a> {
+    /// A stored relation, morselised without snapshotting tuples (workers
+    /// clone only the rows their morsels touch).
+    Rel(&'a Relation),
+    /// Materialised output of an upstream pipeline breaker.
+    Owned(Vec<Counted>),
+}
+
+/// Streaming (morsel-wise) operators. Each maps one chunk of counted rows
+/// to the next, with no state shared between morsels — shared structures
+/// (`JoinTable`s, loop-join inner sides) are read-only behind `Arc`s.
+enum MorselOp {
+    /// `σ_φ` — multiplicities pass through.
+    Filter(ScalarExpr),
+    /// Plain or extended `π` — collapsing rows merge downstream.
+    Project(Vec<ScalarExpr>),
+    /// Equi-join probe against the shared build table: `m₁ · m₂`.
+    HashProbe {
+        table: Arc<JoinTable>,
+        keys: AttrList,
+        residual: Option<ScalarExpr>,
+    },
+    /// θ-join / product against a shared materialised inner side.
+    LoopProbe {
+        rows: Arc<Vec<Counted>>,
+        predicate: Option<ScalarExpr>,
+    },
+}
+
+/// One leg of a pipeline: a source plus the operator chain every one of
+/// its morsels flows through. A pipeline has several legs exactly when
+/// `⊎`-unions occur below the breaker — union is not a breaker, its sides
+/// simply contribute their morsels to the same sink.
+struct Leg<'a> {
+    source: Source<'a>,
+    ops: Vec<MorselOp>,
+}
+
+/// A fully-compiled pipeline: all legs feed one (per-worker, then merged)
+/// sink. Breakers below it have already run.
+struct Pipeline<'a> {
+    legs: Vec<Leg<'a>>,
+    schema: SchemaRef,
+}
+
+impl<'a> Pipeline<'a> {
+    fn single(source: Source<'a>, schema: SchemaRef) -> Self {
+        Pipeline {
+            legs: vec![Leg {
+                source,
+                ops: Vec::new(),
+            }],
+            schema,
+        }
+    }
+
+    fn push_op(&mut self, op: impl Fn() -> MorselOp) {
+        for leg in &mut self.legs {
+            leg.ops.push(op());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Plan → pipelines (breaker identification)
+// ----------------------------------------------------------------------
+
+/// Recursively decomposes `expr` into pipelines, **running** every
+/// pipeline below a breaker as it is reached (post-order): join build
+/// sides, group-bys, distincts, differences/intersections and closures
+/// execute here, and their materialised results become `Source::Owned`
+/// legs of the parent pipeline. What is returned is the topmost (still
+/// unexecuted) pipeline, ready for the caller's sink.
+fn compile<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    opts: &ExecOptions,
+) -> CoreResult<Pipeline<'a>> {
+    Ok(match expr {
+        RelExpr::Scan(name) => {
+            let rel = provider.relation(name)?;
+            Pipeline::single(Source::Rel(rel), Arc::clone(rel.schema()))
+        }
+        RelExpr::Values(rel) => Pipeline::single(Source::Rel(rel), Arc::clone(rel.schema())),
+        RelExpr::Union(l, r) => {
+            let mut lp = compile(l, provider, opts)?;
+            let rp = compile(r, provider, opts)?;
+            lp.legs.extend(rp.legs);
+            lp
+        }
+        RelExpr::Select { input, predicate } => {
+            let mut p = compile(input, provider, opts)?;
+            p.push_op(|| MorselOp::Filter(predicate.clone()));
+            p
+        }
+        RelExpr::Project { input, attrs } => {
+            let mut p = compile(input, provider, opts)?;
+            let schema = Arc::new(p.schema.project(attrs)?);
+            let exprs: Vec<ScalarExpr> = attrs
+                .indexes()
+                .iter()
+                .map(|&i| ScalarExpr::Attr(i))
+                .collect();
+            p.push_op(|| MorselOp::Project(exprs.clone()));
+            p.schema = schema;
+            p
+        }
+        RelExpr::ExtProject { input, exprs } => {
+            let mut p = compile(input, provider, opts)?;
+            let schema = ext_project_schema(&p.schema, exprs)?;
+            p.push_op(|| MorselOp::Project(exprs.clone()));
+            p.schema = schema;
+            p
+        }
+        RelExpr::Product(l, r) => {
+            let mut lp = compile(l, provider, opts)?;
+            let rp = compile(r, provider, opts)?;
+            let schema = Arc::new(lp.schema.concat(&rp.schema));
+            let rows = Arc::new(run_rows(rp, opts)?);
+            lp.push_op(|| MorselOp::LoopProbe {
+                rows: Arc::clone(&rows),
+                predicate: None,
+            });
+            lp.schema = schema;
+            lp
+        }
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let mut lp = compile(left, provider, opts)?;
+            let rp = compile(right, provider, opts)?;
+            let schema = Arc::new(lp.schema.concat(&rp.schema));
+            match extract_equi_condition(predicate, lp.schema.arity(), rp.schema.arity()) {
+                Some(cond) => {
+                    // pipeline breaker: build the shared table once, in
+                    // parallel, from the build side's own pipeline
+                    let build_keys = AttrList::new(cond.right_keys.clone())?;
+                    let table = Arc::new(run_build(rp, &build_keys, opts)?);
+                    let keys = AttrList::new(cond.left_keys.clone())?;
+                    lp.push_op(|| MorselOp::HashProbe {
+                        table: Arc::clone(&table),
+                        keys: keys.clone(),
+                        residual: cond.residual.clone(),
+                    });
+                }
+                None => {
+                    let rows = Arc::new(run_rows(rp, opts)?);
+                    lp.push_op(|| MorselOp::LoopProbe {
+                        rows: Arc::clone(&rows),
+                        predicate: Some(predicate.clone()),
+                    });
+                }
+            }
+            lp.schema = schema;
+            lp
+        }
+        RelExpr::GroupBy {
+            input,
+            keys,
+            agg,
+            attr,
+        } => {
+            let p = compile(input, provider, opts)?;
+            let in_type = p.schema.dtype(*attr)?;
+            let key_list = if keys.is_empty() {
+                None
+            } else {
+                let list = AttrList::new_unique(keys.clone())?;
+                list.check_arity(p.schema.arity())?;
+                Some(list)
+            };
+            let key_schema = match &key_list {
+                Some(list) => p.schema.project(list)?,
+                None => Schema::new(vec![]),
+            };
+            let schema = Arc::new(key_schema.with_attr(Attribute::anon(agg.result_type(in_type)?)));
+            let rows = run_agg(p, key_list, *agg, *attr, in_type, opts)?;
+            Pipeline::single(Source::Owned(rows), schema)
+        }
+        RelExpr::Distinct(input) => {
+            let p = compile(input, provider, opts)?;
+            let schema = Arc::clone(&p.schema);
+            let rows = run_distinct(p, opts)?;
+            Pipeline::single(Source::Owned(rows), schema)
+        }
+        RelExpr::Difference(l, r) => {
+            let lp = compile(l, provider, opts)?;
+            let schema = Arc::clone(&lp.schema);
+            let lb = run_bag(lp, opts)?;
+            let rb = run_bag(compile(r, provider, opts)?, opts)?;
+            Pipeline::single(Source::Owned(bag_rows(lb.difference(&rb))), schema)
+        }
+        RelExpr::Intersect(l, r) => {
+            let lp = compile(l, provider, opts)?;
+            let schema = Arc::clone(&lp.schema);
+            let lb = run_bag(lp, opts)?;
+            let rb = run_bag(compile(r, provider, opts)?, opts)?;
+            Pipeline::single(Source::Owned(bag_rows(lb.intersection(&rb))), schema)
+        }
+        RelExpr::Closure(input) => {
+            let p = compile(input, provider, opts)?;
+            let schema = Arc::clone(&p.schema);
+            let bag = run_bag(p, opts)?;
+            let mut rel = Relation::empty(Arc::clone(&schema));
+            for (t, m) in bag {
+                rel.insert(t, m)?;
+            }
+            let closed = crate::reference::transitive_closure(&rel)?;
+            let rows: Vec<Counted> = closed.iter().map(|(t, m)| (t.clone(), m)).collect();
+            Pipeline::single(Source::Owned(rows), schema)
+        }
+    })
+}
+
+fn bag_rows(bag: Bag<Tuple>) -> Vec<Counted> {
+    bag.into_iter().collect()
+}
+
+// ----------------------------------------------------------------------
+// Sinks (per-worker state, merged once per pipeline)
+// ----------------------------------------------------------------------
+
+/// Thread-local endpoint of a pipeline: each worker folds the morsels it
+/// claims into its own sink; the driver merges the per-worker sinks after
+/// the fork-join.
+trait Sink: Send {
+    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()>;
+}
+
+/// Plain concatenation (unmerged counted rows) — inner sides of loop
+/// joins, where duplicate rows are fine.
+#[derive(Default)]
+struct RowsSink(Vec<Counted>);
+
+impl Sink for RowsSink {
+    fn consume(&mut self, mut rows: Vec<Counted>) -> CoreResult<()> {
+        self.0.append(&mut rows);
+        Ok(())
+    }
+}
+
+/// Merged counted bag — final collection and the difference/intersection
+/// breakers, whose laws need total multiplicities.
+#[derive(Default)]
+struct BagSink(Bag<Tuple>);
+
+impl Sink for BagSink {
+    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
+        for (t, m) in rows {
+            self.0.insert(t, m)?;
+        }
+        Ok(())
+    }
+}
+
+/// Join build side: thread-local hash table fragment.
+struct BuildSink {
+    table: JoinTable,
+    keys: AttrList,
+}
+
+impl Sink for BuildSink {
+    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
+        for (t, m) in rows {
+            self.table.insert_row(t, m, &self.keys)?;
+        }
+        Ok(())
+    }
+}
+
+/// Phase one of two-phase aggregation.
+struct AggSink(AggState);
+
+impl Sink for AggSink {
+    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
+        for (t, m) in rows {
+            self.0.update(&t, m)?;
+        }
+        Ok(())
+    }
+}
+
+/// Phase one of two-phase duplicate elimination.
+#[derive(Default)]
+struct DistinctSink(FxHashSet<Tuple>);
+
+impl Sink for DistinctSink {
+    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
+        for (t, _) in rows {
+            self.0.insert(t);
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Breaker drivers
+// ----------------------------------------------------------------------
+
+/// True when the pipeline is a single leg with no operators — its source
+/// rows *are* the result, so scheduling morsels would only re-copy them.
+fn is_passthrough(p: &Pipeline<'_>) -> bool {
+    p.legs.len() == 1 && p.legs[0].ops.is_empty()
+}
+
+/// Runs a pipeline into unmerged rows (loop-join inner sides).
+fn run_rows(mut p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Vec<Counted>> {
+    if is_passthrough(&p) {
+        return Ok(match p.legs.pop().expect("single leg").source {
+            Source::Rel(rel) => rel.iter().map(|(t, m)| (t.clone(), m)).collect(),
+            Source::Owned(rows) => rows,
+        });
+    }
+    let sinks = run_pipeline(&p.legs, opts, RowsSink::default)?;
+    let mut out = Vec::new();
+    for s in sinks {
+        out.extend(s.0);
+    }
+    Ok(out)
+}
+
+/// Runs a pipeline into one merged bag.
+fn run_bag(mut p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Bag<Tuple>> {
+    if is_passthrough(&p) {
+        let mut out = Bag::default();
+        match p.legs.pop().expect("single leg").source {
+            Source::Rel(rel) => {
+                for (t, m) in rel.iter() {
+                    out.insert(t.clone(), m)?;
+                }
+            }
+            Source::Owned(rows) => {
+                for (t, m) in rows {
+                    out.insert(t, m)?;
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let sinks = run_pipeline(&p.legs, opts, BagSink::default)?;
+    let mut iter = sinks.into_iter();
+    let mut out = iter.next().map(|s| s.0).unwrap_or_default();
+    for s in iter {
+        out.absorb(s.0)?;
+    }
+    Ok(out)
+}
+
+/// Runs a build-side pipeline into one shared hash table.
+fn run_build(p: Pipeline<'_>, keys: &AttrList, opts: &ExecOptions) -> CoreResult<JoinTable> {
+    let sinks = run_pipeline(&p.legs, opts, || BuildSink {
+        table: JoinTable::new(),
+        keys: keys.clone(),
+    })?;
+    let mut iter = sinks.into_iter();
+    let mut table = iter.next().map(|s| s.table).unwrap_or_default();
+    for s in iter {
+        table.merge(s.table);
+    }
+    Ok(table)
+}
+
+/// Two-phase parallel group-by: thread-local [`AggState`]s, one merge, one
+/// finish. Exact for every aggregate and for the empty key list.
+fn run_agg(
+    p: Pipeline<'_>,
+    keys: Option<AttrList>,
+    agg: Aggregate,
+    attr: usize,
+    in_type: DataType,
+    opts: &ExecOptions,
+) -> CoreResult<Vec<Counted>> {
+    let sinks = run_pipeline(&p.legs, opts, || AggSink(AggState::new(keys.clone(), attr)))?;
+    let mut iter = sinks.into_iter();
+    let mut state = match iter.next() {
+        Some(s) => s.0,
+        None => AggState::new(keys.clone(), attr),
+    };
+    for s in iter {
+        state.merge(s.0)?;
+    }
+    state.finish(agg, in_type)
+}
+
+/// Two-phase parallel `δ`: thread-local seen-sets, one set union.
+fn run_distinct(p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Vec<Counted>> {
+    let sinks = run_pipeline(&p.legs, opts, DistinctSink::default)?;
+    let mut iter = sinks.into_iter();
+    let mut seen = iter.next().map(|s| s.0).unwrap_or_default();
+    for s in iter {
+        seen.extend(s.0);
+    }
+    Ok(seen.into_iter().map(|t| (t, 1)).collect())
+}
+
+// ----------------------------------------------------------------------
+// The morsel scheduler
+// ----------------------------------------------------------------------
+
+/// A claimable unit of work: one chunk of one leg's source rows.
+enum Chunk<'e> {
+    Borrowed(&'e [(&'e Tuple, u64)]),
+    Owned(&'e [Counted]),
+}
+
+struct Morsel<'e> {
+    leg: usize,
+    chunk: Chunk<'e>,
+}
+
+/// Runs every leg's morsels through its operator chain on the worker
+/// pool: morsels are dealt round-robin into per-worker lanes; each worker
+/// drains its own lane front-to-back and then **steals** from the other
+/// lanes (back-to-front) until no morsels remain, so a skewed or
+/// pool-starved schedule still finishes — in the limit the calling thread
+/// alone drains every lane. Returns one sink per worker.
+fn run_pipeline<'env, S, F>(
+    legs: &[Leg<'env>],
+    opts: &ExecOptions,
+    make_sink: F,
+) -> CoreResult<Vec<S>>
+where
+    S: Sink,
+    F: Fn() -> S + Sync,
+{
+    let workers = opts.effective_partitions();
+    let morsel_size = opts.effective_batch_size();
+
+    // snapshot stored-relation iterators as (ref, count) rows — tuples
+    // themselves are not cloned here, only when a worker materialises a
+    // morsel it actually claimed
+    let snapshots: Vec<Option<Vec<(&Tuple, u64)>>> = legs
+        .iter()
+        .map(|leg| match &leg.source {
+            Source::Rel(rel) => Some(rel.iter().collect()),
+            Source::Owned(_) => None,
+        })
+        .collect();
+
+    let mut morsels: Vec<Morsel<'_>> = Vec::new();
+    for (li, leg) in legs.iter().enumerate() {
+        match &leg.source {
+            Source::Rel(_) => {
+                let rows = snapshots[li].as_ref().expect("snapshotted above");
+                for chunk in rows.chunks(morsel_size) {
+                    morsels.push(Morsel {
+                        leg: li,
+                        chunk: Chunk::Borrowed(chunk),
+                    });
+                }
+            }
+            Source::Owned(rows) => {
+                for chunk in rows.chunks(morsel_size) {
+                    morsels.push(Morsel {
+                        leg: li,
+                        chunk: Chunk::Owned(chunk),
+                    });
+                }
+            }
+        }
+    }
+
+    // a single worker (or a single morsel) needs no scheduling
+    if workers == 1 || morsels.len() <= 1 {
+        let mut sink = make_sink();
+        for m in morsels {
+            process_morsel(&legs[m.leg].ops, &m.chunk, &mut sink)?;
+        }
+        return Ok(vec![sink]);
+    }
+
+    let lanes: Vec<Mutex<VecDeque<Morsel<'_>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, m) in morsels.into_iter().enumerate() {
+        lanes[i % workers]
+            .lock()
+            .expect("fresh lane lock")
+            .push_back(m);
+    }
+
+    let results: Mutex<Vec<CoreResult<S>>> = Mutex::new(Vec::with_capacity(workers));
+    let failed = AtomicBool::new(false);
+    pool::global().run_workers(workers, &|w| {
+        let mut sink = make_sink();
+        let mut res: CoreResult<()> = Ok(());
+        'work: for off in 0..workers {
+            let own = off == 0;
+            let lane = &lanes[(w + off) % workers];
+            loop {
+                if failed.load(Ordering::Relaxed) {
+                    break 'work;
+                }
+                let next = {
+                    let mut lane = lane.lock().expect("no panics while holding lane lock");
+                    if own {
+                        lane.pop_front()
+                    } else {
+                        lane.pop_back()
+                    }
+                };
+                let Some(m) = next else { break };
+                if let Err(e) = process_morsel(&legs[m.leg].ops, &m.chunk, &mut sink) {
+                    failed.store(true, Ordering::Relaxed);
+                    res = Err(e);
+                    break 'work;
+                }
+            }
+        }
+        results
+            .lock()
+            .expect("no panics while holding results lock")
+            .push(res.map(|()| sink));
+    })?;
+
+    let mut sinks = Vec::with_capacity(workers);
+    for r in results.into_inner().expect("workers joined") {
+        sinks.push(r?);
+    }
+    Ok(sinks)
+}
+
+/// Materialises one morsel and pushes it through the whole operator chain
+/// into the worker's sink.
+fn process_morsel<S: Sink>(ops: &[MorselOp], chunk: &Chunk<'_>, sink: &mut S) -> CoreResult<()> {
+    let mut rows: Vec<Counted> = match chunk {
+        Chunk::Borrowed(s) => s.iter().map(|(t, m)| ((*t).clone(), *m)).collect(),
+        Chunk::Owned(s) => s.to_vec(),
+    };
+    for op in ops {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        rows = apply_op(op, rows)?;
+    }
+    if !rows.is_empty() {
+        sink.consume(rows)?;
+    }
+    Ok(())
+}
+
+fn apply_op(op: &MorselOp, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
+    match op {
+        MorselOp::Filter(predicate) => filter_rows(predicate, rows),
+        MorselOp::Project(exprs) => project_rows(exprs, rows),
+        MorselOp::HashProbe {
+            table,
+            keys,
+            residual,
+        } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for (t, m) in &rows {
+                table.probe_into(t, *m, keys, residual.as_ref(), &mut out)?;
+            }
+            Ok(out)
+        }
+        MorselOp::LoopProbe {
+            rows: inner,
+            predicate,
+        } => {
+            let mut out = Vec::new();
+            for (lt, lm) in &rows {
+                for (rt, rm) in inner.iter() {
+                    let joined = lt.concat(rt);
+                    let keep = match predicate {
+                        None => true,
+                        Some(p) => p.eval_predicate(&joined)?,
+                    };
+                    if keep {
+                        let m = lm
+                            .checked_mul(*rm)
+                            .ok_or(CoreError::Overflow("join multiplicity"))?;
+                        out.push((joined, m));
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use mera_core::tuple;
+    use mera_expr::{CmpOp, ScalarExpr};
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+            .with("s", Schema::anon(&[DataType::Int, DataType::Str]))
+            .expect("fresh")
+            .with("edges", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh");
+        let mut db = Database::new(schema);
+        let rs = Arc::clone(db.schema().get("r").expect("declared"));
+        let mut r = Relation::empty(rs);
+        for i in 0..300_i64 {
+            r.insert(tuple![i % 23, i], (i % 4 + 1) as u64)
+                .expect("typed");
+        }
+        db.replace("r", r).expect("replace");
+        let ss = Arc::clone(db.schema().get("s").expect("declared"));
+        let mut s = Relation::empty(ss);
+        for i in 0..23_i64 {
+            s.insert(tuple![i, format!("g{}", i % 7)], (i % 2 + 1) as u64)
+                .expect("typed");
+        }
+        db.replace("s", s).expect("replace");
+        let es = Arc::clone(db.schema().get("edges").expect("declared"));
+        let mut e = Relation::empty(es);
+        for i in 0..12_i64 {
+            e.insert(tuple![i, i + 1], 1).expect("typed");
+        }
+        db.replace("edges", e).expect("replace");
+        db
+    }
+
+    /// Plans covering every operator class, including the ones hash
+    /// partitioning cannot parallelize: δ, empty-key γ, − and ∩.
+    fn plans() -> Vec<RelExpr> {
+        let r = RelExpr::scan("r");
+        let s = RelExpr::scan("s");
+        vec![
+            // whole pipeline: σ → ⋈ → π → γ
+            r.clone()
+                .select(ScalarExpr::attr(2).cmp(CmpOp::Lt, ScalarExpr::int(250)))
+                .join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+                .project(&[4, 2])
+                .group_by(&[1], Aggregate::Sum, 2),
+            // equi-join with residual
+            r.clone().join(
+                s.clone(),
+                ScalarExpr::attr(1)
+                    .eq(ScalarExpr::attr(3))
+                    .and(ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::int(100))),
+            ),
+            // θ-join (no equi-key) and product
+            s.clone().join(
+                s.clone(),
+                ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::attr(3)),
+            ),
+            s.clone().product(s.clone()),
+            // empty-key γ — unparallelizable by hash partitioning
+            r.clone().group_by(&[], Aggregate::Avg, 2),
+            r.clone().group_by(&[], Aggregate::Cnt, 1),
+            // δ over a collapsing projection
+            r.clone().project(&[1]).distinct(),
+            // difference / intersection pipeline breakers
+            r.clone()
+                .difference(r.clone().select(ScalarExpr::attr(1).eq(ScalarExpr::int(3)))),
+            r.clone().intersect(r.clone()),
+            // union feeding a breaker: two legs, one sink
+            r.clone().union(r.clone()).group_by(&[1], Aggregate::Cnt, 2),
+            // extended projection arithmetic
+            r.clone()
+                .ext_project(vec![
+                    ScalarExpr::attr(1).mul(ScalarExpr::int(3)),
+                    ScalarExpr::attr(2),
+                ])
+                .select(ScalarExpr::attr(1).cmp(CmpOp::Ge, ScalarExpr::int(30))),
+            // transitive closure (§5)
+            RelExpr::scan("edges").closure(),
+            // aggregates over a join result
+            r.clone()
+                .join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+                .group_by(&[4], Aggregate::Min, 2),
+        ]
+    }
+
+    #[test]
+    fn morsel_agrees_with_reference_across_partitions_and_morsel_sizes() {
+        let db = db();
+        for e in plans() {
+            let want = reference::eval(&e, &db).expect("reference evaluates");
+            for partitions in [1, 2, 8] {
+                for batch_size in [1, 7, 1024] {
+                    let opts = ExecOptions {
+                        batch_size,
+                        partitions,
+                    };
+                    let got = execute_morsel_with(&e, &db, &opts).expect("morsel evaluates");
+                    assert_eq!(
+                        got, want,
+                        "partitions={partitions} batch={batch_size} plan={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_aggregates_match_reference_errors() {
+        let db = db();
+        let empty = RelExpr::scan("r").select(ScalarExpr::bool(false));
+        // MIN over an empty multi-set is a partial function — the parallel
+        // merge phase must surface the same error as the reference
+        let e = empty.clone().group_by(&[], Aggregate::Min, 2);
+        let want = reference::eval(&e, &db).expect_err("partial function");
+        let got = execute_morsel(&e, &db, 4).expect_err("partial function");
+        assert_eq!(got, want);
+        // CNT over empty input yields a single 0 row
+        let e = empty.group_by(&[], Aggregate::Cnt, 1);
+        let want = reference::eval(&e, &db).expect("total");
+        assert_eq!(execute_morsel(&e, &db, 4).expect("total"), want);
+    }
+
+    #[test]
+    fn runtime_errors_propagate_from_workers() {
+        let db = db();
+        // division by zero inside a selection predicate, hit mid-pipeline
+        let e = RelExpr::scan("r").select(
+            ScalarExpr::int(1)
+                .div(ScalarExpr::attr(1).sub(ScalarExpr::attr(1)))
+                .eq(ScalarExpr::int(1)),
+        );
+        let got = execute_morsel(&e, &db, 4).expect_err("divides by zero");
+        assert_eq!(got, CoreError::DivisionByZero);
+    }
+
+    #[test]
+    fn more_partitions_than_rows_is_fine() {
+        let db = db();
+        let e = RelExpr::scan("s").group_by(&[2], Aggregate::Cnt, 1);
+        let want = reference::eval(&e, &db).expect("reference");
+        let got = execute_morsel(&e, &db, 64).expect("morsel");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn invalid_expressions_are_rejected_up_front() {
+        let db = db();
+        assert!(execute_morsel(&RelExpr::scan("zzz"), &db, 4).is_err());
+    }
+}

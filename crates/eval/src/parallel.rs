@@ -33,7 +33,8 @@ use crate::engine::ExecOptions;
 use crate::physical::agg::HashAggregate;
 use crate::physical::join::{extract_equi_condition, EquiCondition, HashJoin, NestedLoopJoin};
 use crate::physical::ops::{ScanOp, VecScanOp};
-use crate::physical::{collect, BoxedOp};
+use crate::physical::{collect, collect_rows, BoxedOp, Counted, Operator};
+use crate::pool;
 use crate::provider::{RelationProvider, Schemas};
 
 /// The default number of partitions/threads: the `MERA_PARTITIONS`
@@ -76,6 +77,30 @@ fn partition(
     Ok(out)
 }
 
+/// Runs one fallible job per partition on scoped threads and returns the
+/// per-partition results in order. A worker that *panics* (rather than
+/// returning an error) is contained: its slot becomes
+/// `Err(CoreError::WorkerPanicked)` instead of aborting the process, and
+/// the remaining workers still run to completion.
+fn run_partitioned<T, F>(jobs: Vec<F>) -> Vec<CoreResult<T>>
+where
+    T: Send,
+    F: FnOnce() -> CoreResult<T> + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(res) => res,
+                Err(payload) => Err(CoreError::WorkerPanicked(pool::panic_message(
+                    payload.as_ref(),
+                ))),
+            })
+            .collect()
+    })
+}
+
 /// Hash-partitioned parallel equi-join: both sides are partitioned on
 /// their key projections; each partition runs a physical [`HashJoin`] plan
 /// on its own thread; partition results concatenate (disjoint by
@@ -89,6 +114,13 @@ pub fn parallel_equi_join(
 ) -> CoreResult<Relation> {
     let partitions = opts.effective_partitions();
     let batch = opts.effective_batch_size();
+    if partitions == 1 {
+        // one partition: stream straight out of the stored relations —
+        // partitioning would clone every tuple for nothing
+        let lop: BoxedOp<'_> = Box::new(ScanOp::new(left, batch));
+        let rop: BoxedOp<'_> = Box::new(ScanOp::new(right, batch));
+        return collect(Box::new(HashJoin::build(lop, rop, cond.clone(), batch)?));
+    }
     let out_schema = Arc::new(left.schema().concat(right.schema()));
     let lk = AttrList::new(cond.left_keys.clone())?;
     let rk = AttrList::new(cond.right_keys.clone())?;
@@ -96,29 +128,25 @@ pub fn parallel_equi_join(
     let right_parts = partition(right, &rk, partitions)?;
     let (ls, rs) = (left.schema(), right.schema());
 
-    let results: Vec<CoreResult<Relation>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = left_parts
-            .into_iter()
-            .zip(right_parts)
-            .map(|(lp, rp)| {
-                let cond = cond.clone();
-                scope.spawn(move || -> CoreResult<Relation> {
-                    let lop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(ls), lp, batch));
-                    let rop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(rs), rp, batch));
-                    collect(Box::new(HashJoin::build(lop, rop, cond, batch)?))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    });
+    // workers return raw counted rows; the single merge below is the only
+    // multiplicity merge on the hot path
+    let jobs: Vec<_> = left_parts
+        .into_iter()
+        .zip(right_parts)
+        .map(|(lp, rp)| {
+            let cond = cond.clone();
+            move || -> CoreResult<Vec<Counted>> {
+                let lop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(ls), lp, batch));
+                let rop: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(rs), rp, batch));
+                collect_rows(Box::new(HashJoin::build(lop, rop, cond, batch)?))
+            }
+        })
+        .collect();
 
     let mut out = Relation::empty(out_schema);
-    for part in results {
-        for (t, m) in part?.iter() {
-            out.insert(t.clone(), m)?;
+    for part in run_partitioned(jobs) {
+        for (t, m) in part? {
+            out.insert(t, m)?;
         }
     }
     Ok(out)
@@ -145,34 +173,42 @@ pub fn parallel_group_by(
         )?));
     }
     let partitions = opts.effective_partitions();
+    if partitions == 1 {
+        // one partition: no point cloning the input into buckets
+        let scan: BoxedOp<'_> = Box::new(ScanOp::new(rel, batch));
+        return collect(Box::new(HashAggregate::build(
+            scan, keys, agg, attr, batch,
+        )?));
+    }
     let key_list = AttrList::new_unique(keys.to_vec())?;
     key_list.check_arity(rel.schema().arity())?;
     let parts = partition(rel, &key_list, partitions)?;
     let schema = rel.schema();
 
-    let results: Vec<CoreResult<Relation>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|pairs| {
-                scope.spawn(move || -> CoreResult<Relation> {
-                    let scan: BoxedOp<'_> =
-                        Box::new(VecScanOp::new(Arc::clone(schema), pairs, batch));
-                    collect(Box::new(HashAggregate::build(
-                        scan, keys, agg, attr, batch,
-                    )?))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    });
+    let jobs: Vec<_> = parts
+        .into_iter()
+        .map(|pairs| {
+            move || -> CoreResult<(SchemaRef, Vec<Counted>)> {
+                let scan: BoxedOp<'_> = Box::new(VecScanOp::new(Arc::clone(schema), pairs, batch));
+                let agg_op = HashAggregate::build(scan, keys, agg, attr, batch)?;
+                let out_schema = Arc::clone(agg_op.schema());
+                Ok((out_schema, collect_rows(Box::new(agg_op))?))
+            }
+        })
+        .collect();
 
-    let mut iter = results.into_iter();
-    let mut out = iter.next().expect("at least one partition")?;
-    for r in iter {
-        out = out.union(&r?)?;
+    // groups are disjoint across partitions, so rows insert straight into
+    // one output relation — a single merge instead of p repeated unions
+    let mut results = run_partitioned(jobs).into_iter();
+    let (out_schema, first) = results.next().expect("at least one partition")?;
+    let mut out = Relation::empty(out_schema);
+    for (t, m) in first {
+        out.insert(t, m)?;
+    }
+    for r in results {
+        for (t, m) in r?.1 {
+            out.insert(t, m)?;
+        }
     }
     Ok(out)
 }
@@ -207,6 +243,11 @@ pub(crate) fn eval_parallel(
     provider: &(impl RelationProvider + ?Sized),
     opts: &ExecOptions,
 ) -> CoreResult<Relation> {
+    if opts.effective_partitions() == 1 {
+        // a single worker makes the whole partition/fan-out machinery pure
+        // overhead — the serial batched plan is the same computation
+        return crate::physical::execute_with(expr, provider, opts);
+    }
     match expr {
         RelExpr::Join {
             left,
@@ -374,6 +415,40 @@ mod tests {
     #[test]
     fn default_partitions_is_positive() {
         assert!(default_partitions() >= 1);
+    }
+
+    #[test]
+    fn panicking_partition_worker_surfaces_as_error() {
+        let jobs: Vec<Box<dyn FnOnce() -> CoreResult<u32> + Send>> = vec![
+            Box::new(|| Ok(1)),
+            Box::new(|| panic!("injected partition failure")),
+            Box::new(|| Ok(3)),
+        ];
+        let results = run_partitioned(jobs);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[2], Ok(3), "surviving workers still complete");
+        match &results[1] {
+            Err(CoreError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("injected partition failure"), "got {msg:?}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_errors_propagate_not_panic() {
+        let db = db();
+        // division by zero inside the partitioned join's residual predicate
+        let e = RelExpr::scan("r").join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)).and(
+                ScalarExpr::int(1)
+                    .div(ScalarExpr::attr(2).sub(ScalarExpr::attr(2)))
+                    .eq(ScalarExpr::int(1)),
+            ),
+        );
+        let got = execute_parallel(&e, &db, 4).expect_err("divides by zero");
+        assert_eq!(got, CoreError::DivisionByZero);
     }
 
     #[test]

@@ -9,6 +9,87 @@ use rustc_hash::FxHashMap;
 use super::ops::VecScanOp;
 use super::{BoxedOp, Counted, CountedBatch, Operator};
 
+/// Accumulated per-group state for hash aggregation, factored out of the
+/// serial operator so the morsel engine can aggregate in **two phases**:
+/// each worker folds its morsels into a thread-local `AggState`, then the
+/// states are [`merge`](AggState::merge)d once and
+/// [`finish`](AggState::finish)ed. Because the same `(group, value)` pair
+/// merges associatively (multiplicities add), the split is exact for every
+/// aggregate — including AVG's weighted denominator — and works for the
+/// empty key list (one global group), which hash *partitioning* cannot
+/// handle at all.
+pub struct AggState {
+    keys: Option<AttrList>,
+    attr: usize,
+    groups: FxHashMap<Tuple, Vec<(Value, u64)>>,
+}
+
+impl AggState {
+    /// Fresh state grouping on `keys` (`None` ⇒ one global group) and
+    /// aggregating attribute `attr`.
+    pub fn new(keys: Option<AttrList>, attr: usize) -> Self {
+        AggState {
+            keys,
+            attr,
+            groups: FxHashMap::default(),
+        }
+    }
+
+    /// Folds one counted row into its group.
+    pub fn update(&mut self, t: &Tuple, m: u64) -> CoreResult<()> {
+        let key = match &self.keys {
+            Some(list) => t.project(list)?,
+            None => Tuple::empty(),
+        };
+        let v = t.attr(self.attr)?.clone();
+        // merge rows of the same (key, value) eagerly to bound memory
+        let entry = self.groups.entry(key).or_default();
+        match entry.iter_mut().find(|(ev, _)| ev == &v) {
+            Some((_, em)) => {
+                *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
+            }
+            None => entry.push((v, m)),
+        }
+        Ok(())
+    }
+
+    /// Absorbs a state built over a disjoint chunk of the same input
+    /// (phase two of parallel aggregation).
+    pub fn merge(&mut self, other: AggState) -> CoreResult<()> {
+        for (key, vals) in other.groups {
+            let entry = self.groups.entry(key).or_default();
+            for (v, m) in vals {
+                match entry.iter_mut().find(|(ev, _)| ev == &v) {
+                    Some((_, em)) => {
+                        *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
+                    }
+                    None => entry.push((v, m)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the aggregate per group, consuming the state. `in_type` is
+    /// the type of the aggregated attribute in the input schema.
+    pub fn finish(mut self, agg: Aggregate, in_type: DataType) -> CoreResult<Vec<Counted>> {
+        let mut out = Vec::with_capacity(self.groups.len().max(1));
+        if self.keys.is_none() {
+            let vals = self.groups.remove(&Tuple::empty()).unwrap_or_default();
+            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
+            out.push((Tuple::new(vec![v]), 1));
+            return Ok(out);
+        }
+        for (key, vals) in self.groups {
+            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
+            let mut kv = key.into_values();
+            kv.push(v);
+            out.push((Tuple::new(kv), 1));
+        }
+        Ok(out)
+    }
+}
+
 /// Hash-based group-by: drains its input batch by batch, partitions by the
 /// key projection, computes the aggregate per group with multiplicities,
 /// then streams the result rows in batches.
@@ -71,38 +152,13 @@ impl<'a> HashAggregate<'a> {
         attr: usize,
     ) -> CoreResult<Vec<Counted>> {
         let in_type = input.schema().dtype(attr)?;
-        let mut groups: FxHashMap<Tuple, Vec<(Value, u64)>> = FxHashMap::default();
+        let mut state = AggState::new(keys.clone(), attr);
         while let Some(batch) = input.next_batch()? {
             for (t, m) in batch {
-                let key = match keys {
-                    Some(list) => t.project(list)?,
-                    None => Tuple::empty(),
-                };
-                let v = t.attr(attr)?.clone();
-                // merge rows of the same (key, value) eagerly to bound memory
-                let entry = groups.entry(key).or_default();
-                match entry.iter_mut().find(|(ev, _)| ev == &v) {
-                    Some((_, em)) => {
-                        *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?
-                    }
-                    None => entry.push((v, m)),
-                }
+                state.update(&t, m)?;
             }
         }
-        let mut out = Vec::with_capacity(groups.len().max(1));
-        if keys.is_none() {
-            let vals = groups.remove(&Tuple::empty()).unwrap_or_default();
-            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
-            out.push((Tuple::new(vec![v]), 1));
-            return Ok(out);
-        }
-        for (key, vals) in groups {
-            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
-            let mut kv = key.into_values();
-            kv.push(v);
-            out.push((Tuple::new(kv), 1));
-        }
-        Ok(out)
+        state.finish(agg, in_type)
     }
 }
 

@@ -176,12 +176,89 @@ pub fn extract_equi_condition(
     })
 }
 
+/// The build side of a hash equi-join: build-side rows bucketed by their
+/// key projection.
+///
+/// The serial [`HashJoin`] owns one; the morsel-driven engine builds one
+/// *in parallel* (each worker fills a thread-local table over its morsels,
+/// the tables are [`merge`](JoinTable::merge)d once) and then shares it
+/// read-only behind an `Arc` so every worker probes the same table — no
+/// per-partition cloning of the probe input.
+#[derive(Debug, Default)]
+pub struct JoinTable {
+    map: FxHashMap<Tuple, Vec<Counted>>,
+}
+
+impl JoinTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JoinTable::default()
+    }
+
+    /// Inserts one build-side row under its `keys` projection.
+    pub fn insert_row(&mut self, t: Tuple, m: u64, keys: &AttrList) -> CoreResult<()> {
+        let key = t.project(keys)?;
+        self.map.entry(key).or_default().push((t, m));
+        Ok(())
+    }
+
+    /// Absorbs another table built over a disjoint chunk of the input.
+    /// Rows under the same key concatenate; duplicate build rows stay
+    /// separate entries (multiplicities merge downstream, as everywhere in
+    /// the counted-stream model).
+    pub fn merge(&mut self, other: JoinTable) {
+        for (key, mut rows) in other.map {
+            self.map.entry(key).or_default().append(&mut rows);
+        }
+    }
+
+    /// Number of distinct keys in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Probes with one left row: emits `left ⊕ right` with multiplicity
+    /// `m₁ · m₂` for every build row under the same key that passes the
+    /// residual predicate.
+    pub fn probe_into(
+        &self,
+        lt: &Tuple,
+        lm: u64,
+        left_keys: &AttrList,
+        residual: Option<&ScalarExpr>,
+        out: &mut Vec<Counted>,
+    ) -> CoreResult<()> {
+        let key = lt.project(left_keys)?;
+        if let Some(matches) = self.map.get(&key) {
+            for (rt, rm) in matches {
+                let joined = lt.concat(rt);
+                let keep = match residual {
+                    None => true,
+                    Some(p) => p.eval_predicate(&joined)?,
+                };
+                if keep {
+                    let m = lm
+                        .checked_mul(*rm)
+                        .ok_or(CoreError::Overflow("join multiplicity"))?;
+                    out.push((joined, m));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Hash join on extracted equi-keys: the right side is built into a hash
 /// table keyed by its key projection; the left side streams in batches and
 /// probes a batch at a time.
 pub struct HashJoin<'a> {
     left: BoxedOp<'a>,
-    table: FxHashMap<Tuple, Vec<Counted>>,
+    table: JoinTable,
     left_keys: AttrList,
     residual: Option<ScalarExpr>,
     schema: SchemaRef,
@@ -202,11 +279,10 @@ impl<'a> HashJoin<'a> {
     ) -> CoreResult<Self> {
         let schema = Arc::new(left.schema().concat(right.schema()));
         let key_list = AttrList::new(cond.right_keys.clone())?;
-        let mut table: FxHashMap<Tuple, Vec<Counted>> = FxHashMap::default();
+        let mut table = JoinTable::new();
         while let Some(batch) = right.next_batch()? {
             for (t, m) in batch {
-                let key = t.project(&key_list)?;
-                table.entry(key).or_default().push((t, m));
+                table.insert_row(t, m, &key_list)?;
             }
         }
         Ok(HashJoin {
@@ -249,22 +325,13 @@ impl Operator for HashJoin<'_> {
             while self.probe_pos < self.probe_rows.len() {
                 let (lt, lm) = &self.probe_rows[self.probe_pos];
                 self.probe_pos += 1;
-                let key = lt.project(&self.left_keys)?;
-                if let Some(matches) = self.table.get(&key) {
-                    for (rt, rm) in matches {
-                        let joined = lt.concat(rt);
-                        let keep = match &self.residual {
-                            None => true,
-                            Some(p) => p.eval_predicate(&joined)?,
-                        };
-                        if keep {
-                            let m = lm
-                                .checked_mul(*rm)
-                                .ok_or(CoreError::Overflow("join multiplicity"))?;
-                            out.push((joined, m));
-                        }
-                    }
-                }
+                self.table.probe_into(
+                    lt,
+                    *lm,
+                    &self.left_keys,
+                    self.residual.as_ref(),
+                    &mut out,
+                )?;
                 if out.len() >= self.batch_size {
                     break 'fill;
                 }

@@ -79,6 +79,30 @@ impl Operator for VecScanOp {
     }
 }
 
+/// Applies `σ_φ` to one chunk of counted rows — the row kernel shared by
+/// the batched [`FilterOp`] and the morsel-driven filter.
+pub(crate) fn filter_rows(predicate: &ScalarExpr, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for (t, m) in rows {
+        if predicate.eval_predicate(&t)? {
+            out.push((t, m));
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a (plain or extended) projection to one chunk of counted rows —
+/// the row kernel shared by the batched [`ProjectOp`] and the
+/// morsel-driven projection.
+pub(crate) fn project_rows(exprs: &[ScalarExpr], rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
+    rows.into_iter()
+        .map(|(t, m)| {
+            let vals: CoreResult<Vec<Value>> = exprs.iter().map(|e| e.eval(&t)).collect();
+            Ok((Tuple::new(vals?), m))
+        })
+        .collect()
+}
+
 /// Streaming selection `σ_φ`: a tight loop over each input batch;
 /// multiplicities pass through unchanged.
 pub struct FilterOp<'a> {
@@ -101,12 +125,7 @@ impl Operator for FilterOp<'_> {
     fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         while let Some(batch) = self.input.next_batch()? {
             let schema = Arc::clone(batch.schema());
-            let mut out = Vec::with_capacity(batch.len());
-            for (t, m) in batch {
-                if self.predicate.eval_predicate(&t)? {
-                    out.push((t, m));
-                }
-            }
+            let out = filter_rows(&self.predicate, batch.into_rows())?;
             if !out.is_empty() {
                 return Ok(Some(CountedBatch::from_rows(schema, out)));
             }
@@ -145,12 +164,7 @@ impl Operator for ProjectOp<'_> {
         match self.input.next_batch()? {
             None => Ok(None),
             Some(batch) => {
-                let mut out = Vec::with_capacity(batch.len());
-                for (t, m) in batch {
-                    let vals: CoreResult<Vec<Value>> =
-                        self.exprs.iter().map(|e| e.eval(&t)).collect();
-                    out.push((Tuple::new(vals?), m));
-                }
+                let out = project_rows(&self.exprs, batch.into_rows())?;
                 Ok(Some(CountedBatch::from_rows(Arc::clone(&self.schema), out)))
             }
         }

@@ -163,8 +163,9 @@ fn plan_node<'a>(
     })
 }
 
-/// Output schema of an extended projection over a known input schema.
-fn ext_project_schema(input: &SchemaRef, exprs: &[ScalarExpr]) -> CoreResult<SchemaRef> {
+/// Output schema of an extended projection over a known input schema
+/// (shared with the morsel-driven pipeline compiler).
+pub(crate) fn ext_project_schema(input: &SchemaRef, exprs: &[ScalarExpr]) -> CoreResult<SchemaRef> {
     let mut attrs = Vec::with_capacity(exprs.len());
     for e in exprs {
         let t = e.infer_type(input)?;

@@ -1,0 +1,286 @@
+//! A lazily-initialized, process-wide worker pool for parallel execution.
+//!
+//! The morsel-driven engine ([`crate::morsel`]) runs every pipeline on this
+//! pool instead of spawning fresh threads per operator. Threads are started
+//! on first use, grow to the largest worker count any query has asked for
+//! (capped), and are reused across queries for the lifetime of the process.
+//!
+//! [`WorkerPool::run_workers`] is a *scoped* fork-join: `n` logical workers
+//! run the given closure — `n − 1` as pool jobs, one on the calling thread —
+//! and the call does not return until every worker has finished, so the
+//! closure may borrow stack data. Deadlock-freedom does not depend on pool
+//! capacity: the calling thread is always one of the workers, and the
+//! morsel scheduler lets any single worker drain the whole work list, so a
+//! query completes even if every pool thread is busy elsewhere.
+//!
+//! Panics inside a worker are caught at the job boundary and surfaced as
+//! [`CoreError::WorkerPanicked`]; a failing partition degrades the query to
+//! an error instead of aborting the process, and the pool thread survives
+//! to serve later queries.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+use mera_core::prelude::*;
+
+/// A pool job with its borrow lifetime erased. Soundness is maintained by
+/// [`WorkerPool::run_workers`], which never returns (or unwinds) before
+/// every job it submitted has completed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Upper bound on pool threads, regardless of requested partition counts.
+/// Requests beyond the cap still complete: excess workers simply queue and
+/// the remaining morsels are drained by the workers that do run.
+const MAX_POOL_THREADS: usize = 64;
+
+struct PoolInner {
+    queue: VecDeque<Job>,
+    threads: usize,
+}
+
+/// The reusable worker pool. One process-wide instance is obtained via
+/// [`global`]; its threads are daemonic and live until process exit.
+pub(crate) struct WorkerPool {
+    inner: Mutex<PoolInner>,
+    job_ready: Condvar,
+}
+
+/// The process-wide pool, created on first use.
+pub(crate) fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool {
+        inner: Mutex::new(PoolInner {
+            queue: VecDeque::new(),
+            threads: 0,
+        }),
+        job_ready: Condvar::new(),
+    })
+}
+
+/// Locks a mutex, ignoring poisoning: pool state stays usable even if a
+/// panic ever escapes a job (jobs are individually unwind-caught, so this
+/// is a second line of defence, not the primary one).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders a panic payload for [`CoreError::WorkerPanicked`].
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Per-call fork-join bookkeeping shared between the caller and its jobs.
+struct CallState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<String>>,
+}
+
+impl CallState {
+    /// Blocks until every submitted job has completed.
+    fn wait(&self) {
+        let mut pending = lock_ignore_poison(&self.pending);
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks one job complete, waking the waiter on the last one.
+    fn complete_one(&self) {
+        let mut pending = lock_ignore_poison(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Records a panic message (first one wins).
+    fn record_panic(&self, msg: String) {
+        let mut slot = lock_ignore_poison(&self.panic);
+        slot.get_or_insert(msg);
+    }
+}
+
+/// Waits for outstanding jobs on drop, so [`WorkerPool::run_workers`] never
+/// unwinds past jobs that still borrow the caller's stack.
+struct WaitGuard<'a>(&'a CallState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+impl WorkerPool {
+    /// Grows the pool so at least `wanted` threads exist (up to the cap).
+    fn ensure_threads(&'static self, wanted: usize) {
+        let wanted = wanted.min(MAX_POOL_THREADS);
+        let mut inner = lock_ignore_poison(&self.inner);
+        while inner.threads < wanted {
+            let id = inner.threads;
+            let spawned = thread::Builder::new()
+                .name(format!("mera-worker-{id}"))
+                .spawn(move || self.worker_loop());
+            match spawned {
+                Ok(_) => inner.threads += 1,
+                // Out of threads: stop growing; the calling thread and any
+                // existing workers still drain every job.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut inner = lock_ignore_poison(&self.inner);
+                loop {
+                    if let Some(job) = inner.queue.pop_front() {
+                        break job;
+                    }
+                    inner = self
+                        .job_ready
+                        .wait(inner)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            job();
+        }
+    }
+
+    /// The number of live pool threads (for tests and diagnostics).
+    #[cfg(test)]
+    fn thread_count(&self) -> usize {
+        lock_ignore_poison(&self.inner).threads
+    }
+
+    /// Runs `worker(i)` for every `i in 0..n` and returns once all have
+    /// finished: workers `1..n` are submitted to the pool, worker `0` runs
+    /// on the calling thread. The closure may borrow from the caller's
+    /// stack (`'env`). Any panicking worker yields
+    /// `Err(CoreError::WorkerPanicked)` after the remaining workers finish.
+    pub(crate) fn run_workers<'env>(
+        &'static self,
+        n: usize,
+        worker: &'env (dyn Fn(usize) + Sync + 'env),
+    ) -> CoreResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let state = Arc::new(CallState {
+            pending: Mutex::new(n - 1),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        if n > 1 {
+            self.ensure_threads(n - 1);
+            let mut inner = lock_ignore_poison(&self.inner);
+            for i in 1..n {
+                let state = Arc::clone(&state);
+                let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(i))) {
+                        state.record_panic(panic_message(payload.as_ref()));
+                    }
+                    state.complete_one();
+                });
+                // SAFETY: the job borrows only `'env` data (the `worker`
+                // reference). `run_workers` waits — via WaitGuard even on
+                // unwind — until `pending == 0`, i.e. until this closure has
+                // run to completion, before returning. The borrow therefore
+                // never outlives its referent.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+                inner.queue.push_back(job);
+            }
+            drop(inner);
+            self.job_ready.notify_all();
+        }
+        let guard = WaitGuard(&state);
+        let own = catch_unwind(AssertUnwindSafe(|| worker(0)));
+        drop(guard);
+        if let Err(payload) = own {
+            return Err(CoreError::WorkerPanicked(panic_message(payload.as_ref())));
+        }
+        if let Some(msg) = lock_ignore_poison(&state.panic).take() {
+            return Err(CoreError::WorkerPanicked(msg));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_and_borrow_stack_data() {
+        let hits = AtomicUsize::new(0);
+        let local = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        global()
+            .run_workers(8, &|i| {
+                hits.fetch_add(local[i], Ordering::SeqCst);
+            })
+            .expect("no worker panics");
+        assert_eq!(hits.load(Ordering::SeqCst), 36);
+    }
+
+    #[test]
+    fn panicking_worker_becomes_error_and_pool_survives() {
+        let err = global()
+            .run_workers(4, &|i| {
+                if i == 2 {
+                    panic!("injected worker panic");
+                }
+            })
+            .expect_err("panic must surface");
+        match err {
+            CoreError::WorkerPanicked(msg) => assert!(msg.contains("injected worker panic")),
+            other => panic!("wrong error: {other:?}"),
+        }
+        // the pool remains usable after a caught panic
+        let hits = AtomicUsize::new(0);
+        global()
+            .run_workers(4, &|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool survives");
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_thread_panic_is_caught_too() {
+        let err = global()
+            .run_workers(1, &|_| panic!("caller-side panic"))
+            .expect_err("panic must surface");
+        assert!(matches!(err, CoreError::WorkerPanicked(_)));
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_calls() {
+        let pool = global();
+        pool.run_workers(3, &|_| {}).expect("runs");
+        let after_first = pool.thread_count();
+        for _ in 0..10 {
+            pool.run_workers(3, &|_| {}).expect("runs");
+        }
+        // repeated same-width runs must not spawn new threads
+        assert_eq!(pool.thread_count(), after_first);
+    }
+
+    #[test]
+    fn zero_workers_is_a_no_op() {
+        global()
+            .run_workers(0, &|_| panic!("never runs"))
+            .expect("ok");
+    }
+}

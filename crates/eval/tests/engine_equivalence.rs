@@ -1,10 +1,12 @@
-//! Engine equivalence: the physical Volcano engine and the reference
+//! Engine equivalence: the physical Volcano engine, the hash-partitioned
+//! parallel kernels, the morsel-driven parallel engine, and the reference
 //! evaluator implement the *same* algebra.
 //!
 //! Random databases (with heavy duplication, the regime bag semantics is
-//! about) and random well-typed expression trees are generated; both
+//! about) and random well-typed expression trees are generated; all
 //! engines must produce pointwise-equal relations — or fail with the same
-//! error.
+//! error (for the parallel engines, whose workers race to report first,
+//! with *an* error).
 
 use std::sync::Arc;
 
@@ -193,6 +195,47 @@ proptest! {
             prop_assert_eq!(inter, orig.clone());
             let dist = execute(&e.clone().distinct(), &db).expect("valid");
             prop_assert!(dist.is_submultiset(&orig).expect("same schema"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Four-engine differential test: physical, hash-partitioned parallel,
+    /// and morsel-driven engines all agree with the reference across
+    /// partition counts and batch/morsel sizes — including the plans hash
+    /// partitioning cannot decompose (δ, empty-key γ, −, ∩, θ-joins).
+    ///
+    /// On plans whose evaluation errors (partial aggregates, arithmetic),
+    /// every engine must fail too; the parallel engines' workers race, so
+    /// only *that* they error is required, not which error wins.
+    #[test]
+    fn all_engines_agree_across_partitions(db in db_strategy(), e in full_expr()) {
+        let expected = eval(&e, &db);
+        for partitions in [1usize, 2, 8] {
+            for batch_size in [1usize, 7, 1024] {
+                for engine in [Engine::physical(), Engine::parallel(), Engine::morsel()] {
+                    let kind = engine.kind();
+                    let got = engine
+                        .with_partitions(partitions)
+                        .with_batch_size(batch_size)
+                        .run(&e, &db);
+                    match (&expected, got) {
+                        (Ok(want), Ok(got)) => prop_assert_eq!(
+                            &got, want,
+                            "{:?} differs (partitions={}, batch={}) on plan: {}",
+                            kind, partitions, batch_size, e
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (want, got) => prop_assert!(
+                            false,
+                            "{:?} disagrees about failure (partitions={}, batch={}) on plan {}: reference={:?} engine={:?}",
+                            kind, partitions, batch_size, e, want, got
+                        ),
+                    }
+                }
+            }
         }
     }
 }

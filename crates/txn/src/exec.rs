@@ -384,6 +384,11 @@ mod tests {
                 ..ExecConfig::with_engine(EngineKind::Reference)
             },
             ExecConfig::with_engine(EngineKind::Parallel),
+            ExecConfig::with_engine(EngineKind::Morsel),
+            ExecConfig {
+                optimize: false,
+                ..ExecConfig::with_engine(EngineKind::Morsel)
+            },
         ];
         let results: Vec<(Database, Outputs)> = configs
             .iter()
