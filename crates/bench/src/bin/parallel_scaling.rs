@@ -1,25 +1,34 @@
 //! Parallel-scaling report: times the serial batched engine, the
 //! operator-at-a-time partitioned kernels, and the morsel-driven engine
-//! across partition counts on the E14 workloads, and writes the sweep as
-//! JSON (hand-rendered — the vendored serde crates are empty shells).
+//! across partition counts on the E14 workloads — including the
+//! string-heavy `string_join` plan — and writes the sweep as JSON
+//! (hand-rendered — the vendored serde crates are empty shells). Each
+//! point also records the heap-allocation count of one run, measured by
+//! the counting global allocator, so allocation regressions in the hot
+//! loops show up next to the timings.
 //!
 //! Usage: `cargo run --release -p mera-bench --bin parallel_scaling
-//! [output.json]` — the default output path is `BENCH_pr2.json`. The
+//! [output.json]` — the default output path is `BENCH_pr3.json`. The
 //! Criterion version of the same sweep is the `parallel_scaling` bench.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use mera_bench::scaling::{partition_sweep, scaling_db, scaling_plans};
+use mera_core::counting_alloc::{allocations_during, CountingAlloc};
 use mera_core::prelude::*;
 use mera_eval::Engine;
 use mera_expr::RelExpr;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Point {
     engine: &'static str,
     partitions: usize,
     ns_per_run: u128,
     speedup_vs_serial: f64,
+    allocs_per_run: u64,
 }
 
 struct Workload {
@@ -28,9 +37,11 @@ struct Workload {
     points: Vec<Point>,
 }
 
-/// Median wall-clock time of `runs` executions (after one warm-up).
-fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+/// Median wall-clock time of `runs` executions (after one warm-up), plus
+/// the allocation count of one post-warm-up execution.
+fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, u64) {
     f();
+    let (allocs, _) = allocations_during(&mut f);
     let mut times: Vec<Duration> = (0..runs)
         .map(|_| {
             let start = Instant::now();
@@ -39,7 +50,7 @@ fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
         })
         .collect();
     times.sort_unstable();
-    times[times.len() / 2]
+    (times[times.len() / 2], allocs)
 }
 
 fn measure(
@@ -52,12 +63,13 @@ fn measure(
     db: &Database,
 ) -> Point {
     let e = make().with_partitions(partitions);
-    let t = median_time(runs, || e.run(plan, db).expect("plan executes"));
+    let (t, allocs) = median_time(runs, || e.run(plan, db).expect("plan executes"));
     Point {
         engine,
         partitions,
         ns_per_run: t.as_nanos(),
         speedup_vs_serial: serial.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
+        allocs_per_run: allocs,
     }
 }
 
@@ -71,6 +83,7 @@ fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -
     let _ = writeln!(
         j,
         "  \"note\": \"median wall-clock of runs_per_point executions after one warm-up; \
+         allocs_per_run counts heap allocations of one execution; \
          regenerate with `cargo run --release -p mera-bench --bin parallel_scaling`\","
     );
     j.push_str("  \"workloads\": [\n");
@@ -83,8 +96,8 @@ fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -
             let _ = write!(
                 j,
                 "        {{\"engine\": \"{}\", \"partitions\": {}, \"ns_per_run\": {}, \
-                 \"speedup_vs_serial\": {:.3}}}",
-                p.engine, p.partitions, p.ns_per_run, p.speedup_vs_serial
+                 \"speedup_vs_serial\": {:.3}, \"allocs_per_run\": {}}}",
+                p.engine, p.partitions, p.ns_per_run, p.speedup_vs_serial, p.allocs_per_run
             );
             j.push_str(if pi + 1 < w.points.len() { ",\n" } else { "\n" });
         }
@@ -102,7 +115,7 @@ fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
     let rows = 60_000usize;
     let runs = 7usize;
     let db = scaling_db(rows);
@@ -113,7 +126,7 @@ fn main() {
     for (name, plan) in scaling_plans() {
         let serial_engine = Engine::physical();
         let result_rows = serial_engine.run(&plan, &db).expect("plan executes").len();
-        let serial = median_time(runs, || {
+        let (serial, serial_allocs) = median_time(runs, || {
             serial_engine.run(&plan, &db).expect("plan executes")
         });
         let mut points = vec![Point {
@@ -121,6 +134,7 @@ fn main() {
             partitions: 1,
             ns_per_run: serial.as_nanos(),
             speedup_vs_serial: 1.0,
+            allocs_per_run: serial_allocs,
         }];
         for &p in &sweep {
             points.push(measure(
@@ -156,11 +170,12 @@ fn main() {
         println!("\n{} ({} result rows)", w.name, w.result_rows);
         for p in &w.points {
             println!(
-                "  {:>20} p={:<3} {:>12.2?}  {:>5.2}x",
+                "  {:>20} p={:<3} {:>12.2?}  {:>5.2}x  {:>10} allocs",
                 p.engine,
                 p.partitions,
                 Duration::from_nanos(p.ns_per_run as u64),
-                p.speedup_vs_serial
+                p.speedup_vs_serial,
+                p.allocs_per_run
             );
         }
     }

@@ -67,6 +67,23 @@ pub fn int_relation(rows: usize, distinct_keys: usize, skew: f64, seed: u64) -> 
     rel
 }
 
+/// A generic relation `(k: str, v: int)` — the string-keyed sibling of
+/// [`int_relation`] for workloads that hash, compare and group interned
+/// string keys. Keys are `"key{i}"` over `distinct_keys` values with Zipf
+/// exponent `skew`.
+pub fn str_relation(rows: usize, distinct_keys: usize, skew: f64, seed: u64) -> Relation {
+    let mut r = rng(seed);
+    let schema = Arc::new(Schema::named(&[("k", DataType::Str), ("v", DataType::Int)]));
+    let keys = zipf_indices(&mut r, rows, distinct_keys.max(1), skew);
+    let mut rel = Relation::empty(schema);
+    for k in keys {
+        let v: i64 = r.gen_range(0..1_000);
+        rel.insert(tuple![format!("key{k}"), v], 1)
+            .expect("well-typed");
+    }
+    rel
+}
+
 /// A single-column `(a: int)` relation for set-operation workloads:
 /// `rows` tuples over `distinct` values, uniform.
 pub fn column_relation(rows: usize, distinct: usize, seed: u64) -> Relation {
@@ -173,6 +190,17 @@ mod tests {
             let k = t.attr(1).expect("key").as_int().expect("int");
             assert!((0..20).contains(&k));
         }
+    }
+
+    #[test]
+    fn str_relation_has_requested_shape() {
+        let rel = str_relation(500, 20, 0.0, 5);
+        assert_eq!(rel.len(), 500);
+        for t in rel.support() {
+            let k = t.attr(1).expect("key").as_str().expect("str");
+            assert!(k.starts_with("key"));
+        }
+        assert_eq!(str_relation(100, 10, 1.0, 7), str_relation(100, 10, 1.0, 7));
     }
 
     #[test]

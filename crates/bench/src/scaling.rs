@@ -5,7 +5,7 @@
 use mera_core::prelude::*;
 use mera_expr::{Aggregate, RelExpr, ScalarExpr};
 
-use crate::int_relation;
+use crate::{int_relation, str_relation};
 
 /// The partition counts the scaling sweep runs: 1, 2, 4, and the number
 /// of cores on this machine (deduplicated, sorted).
@@ -21,7 +21,9 @@ pub fn partition_sweep() -> Vec<usize> {
 
 /// The scaling database: `r(k, v)` with `rows` tuples and `s(k, v)` with
 /// `rows / 2`, both moderately skewed so joins and group-bys have real
-/// duplication to merge.
+/// duplication to merge, plus their string-keyed counterparts `t` and `u`
+/// (interned `"key{i}"` keys over the same profile) for the string-heavy
+/// workload.
 pub fn scaling_db(rows: usize) -> Database {
     let schema = DatabaseSchema::new()
         .with(
@@ -33,23 +35,41 @@ pub fn scaling_db(rows: usize) -> Database {
             "s",
             Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
         )
+        .expect("fresh")
+        .with(
+            "t",
+            Schema::named(&[("k", DataType::Str), ("v", DataType::Int)]),
+        )
+        .expect("fresh")
+        .with(
+            "u",
+            Schema::named(&[("k", DataType::Str), ("v", DataType::Int)]),
+        )
         .expect("fresh");
     let mut db = Database::new(schema);
     db.replace("r", int_relation(rows, rows / 4 + 1, 0.3, 141))
         .expect("replace");
     db.replace("s", int_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 142))
         .expect("replace");
+    db.replace("t", str_relation(rows, rows / 4 + 1, 0.3, 143))
+        .expect("replace");
+    db.replace("u", str_relation(rows / 2 + 1, rows / 4 + 1, 0.3, 144))
+        .expect("replace");
     db
 }
 
-/// The two measured plans, labelled:
+/// The measured plans, labelled:
 ///
 /// * `join_pipeline` — `γ(π(σ(r) ⋈ s))`, a whole pipeline the morsel
 ///   engine runs with zero intermediate relations (one breaker at the
 ///   build side, one at the aggregate);
 /// * `group_by` — a keyed `γ` over `r`, the pure two-phase aggregation
-///   case.
-pub fn scaling_plans() -> [(&'static str, RelExpr); 2] {
+///   case;
+/// * `string_join` — the same pipeline shape as `join_pipeline` but keyed
+///   on interned strings (`t ⋈ u` then a string-keyed `γ`): the workload
+///   where symbol interning (O(1) equality and hashing, pointer-sized
+///   keys) pays off.
+pub fn scaling_plans() -> [(&'static str, RelExpr); 3] {
     let join_pipeline = RelExpr::scan("r")
         .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(800)))
         .join(
@@ -59,5 +79,17 @@ pub fn scaling_plans() -> [(&'static str, RelExpr); 2] {
         .project(&[1, 2, 4])
         .group_by(&[1], Aggregate::Sum, 3);
     let group_by = RelExpr::scan("r").group_by(&[1], Aggregate::Avg, 2);
-    [("join_pipeline", join_pipeline), ("group_by", group_by)]
+    let string_join = RelExpr::scan("t")
+        .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(800)))
+        .join(
+            RelExpr::scan("u"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        )
+        .project(&[1, 2, 4])
+        .group_by(&[1], Aggregate::Sum, 3);
+    [
+        ("join_pipeline", join_pipeline),
+        ("group_by", group_by),
+        ("string_join", string_join),
+    ]
 }

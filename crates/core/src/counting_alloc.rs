@@ -1,0 +1,63 @@
+//! A counting global allocator for allocation-regression tests and
+//! benchmark reports.
+//!
+//! The hot-loop guarantees of this engine (filter, probe and group-update
+//! steady states allocate O(1) per batch, not O(rows)) are behavioural
+//! claims about the *allocator*, not about wall-clock time — so they are
+//! tested by counting allocations directly. [`CountingAlloc`] forwards to
+//! the system allocator and bumps a process-global counter on every
+//! `alloc`/`realloc`.
+//!
+//! This module only defines the type and the counter; nothing happens
+//! unless a downstream **binary or integration-test crate** registers it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mera_core::counting_alloc::CountingAlloc =
+//!     mera_core::counting_alloc::CountingAlloc;
+//! ```
+//!
+//! Registration is deliberately left to those leaf crates (a library must
+//! not impose a global allocator on its users).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every `alloc`/`realloc`.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`, which upholds the `GlobalAlloc`
+// contract; the counter update does not allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocations made so far (0 if [`CountingAlloc`] is not the
+/// registered global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations performed while running `f`.
+///
+/// Only meaningful single-threaded with [`CountingAlloc`] registered;
+/// concurrent allocations from other threads are attributed to `f`.
+pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}

@@ -1,0 +1,251 @@
+//! Process-wide string interning.
+//!
+//! Relations are functions `R : dom(R) → ℕ` (Definition 2.2): tuples are
+//! immutable *keys*, compared and hashed constantly and copied freely
+//! between operators, workers and hash tables. Owned `String` values make
+//! every such copy a heap allocation and every comparison O(len). A
+//! [`Sym`] is the interned alternative: construction goes through a
+//! process-wide table that guarantees **content-equal ⇒ pointer-equal**,
+//! so
+//!
+//! * `clone()` is an `Arc` refcount bump,
+//! * `==` is a pointer comparison (with a defensive content fallback),
+//! * `hash` writes one precomputed 64-bit content hash,
+//! * `cmp` still compares string *content* (pointer-equal fast path), so
+//!   ordered output formatting is unchanged.
+//!
+//! The table only grows: interned strings live for the life of the
+//! process. That is the right trade-off for a query engine whose string
+//! population is column data loaded once and recombined many times; see
+//! DESIGN.md ("Data representation") for the discussion.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, LazyLock, Mutex, PoisonError};
+
+use rustc_hash::{FxHashMap, FxHasher};
+
+/// The interned payload: the content hash is computed once at intern time
+/// and reused by every hash-table insertion of every copy of the symbol.
+#[derive(Debug)]
+struct SymData {
+    hash: u64,
+    text: Box<str>,
+}
+
+/// An interned, immutable string: one word wide, cheap to clone, O(1) to
+/// compare and hash. All construction paths intern, so two `Sym`s with
+/// equal content always share one allocation.
+#[derive(Debug, Clone)]
+pub struct Sym(Arc<SymData>);
+
+const SHARD_COUNT: usize = 8;
+
+/// Hash-sharded intern table: `content hash → symbols with that hash`
+/// (hash-then-verify, so colliding strings coexist correctly).
+struct Shard {
+    buckets: FxHashMap<u64, Vec<Arc<SymData>>>,
+}
+
+static SHARDS: LazyLock<Vec<Mutex<Shard>>> = LazyLock::new(|| {
+    (0..SHARD_COUNT)
+        .map(|_| {
+            Mutex::new(Shard {
+                buckets: FxHashMap::default(),
+            })
+        })
+        .collect()
+});
+
+fn content_hash(text: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+fn intern_impl(text: &str) -> Arc<SymData> {
+    let hash = content_hash(text);
+    let shard = &SHARDS[(hash as usize) % SHARD_COUNT];
+    let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+    let bucket = guard.buckets.entry(hash).or_default();
+    if let Some(existing) = bucket.iter().find(|d| &*d.text == text) {
+        return Arc::clone(existing);
+    }
+    let data = Arc::new(SymData {
+        hash,
+        text: Box::from(text),
+    });
+    bucket.push(Arc::clone(&data));
+    data
+}
+
+/// Interning an owned `String` reuses its allocation on a miss.
+fn intern_owned(text: String) -> Arc<SymData> {
+    let hash = content_hash(&text);
+    let shard = &SHARDS[(hash as usize) % SHARD_COUNT];
+    let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+    let bucket = guard.buckets.entry(hash).or_default();
+    if let Some(existing) = bucket.iter().find(|d| *d.text == *text) {
+        return Arc::clone(existing);
+    }
+    let data = Arc::new(SymData {
+        hash,
+        text: text.into_boxed_str(),
+    });
+    bucket.push(Arc::clone(&data));
+    data
+}
+
+impl Sym {
+    /// Interns a string slice.
+    pub fn new(text: &str) -> Self {
+        Sym(intern_impl(text))
+    }
+
+    /// The string content.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0.text
+    }
+
+    /// The precomputed content hash (stable for the process lifetime).
+    #[inline]
+    pub fn content_hash(&self) -> u64 {
+        self.0.hash
+    }
+}
+
+impl Deref for Sym {
+    type Target = str;
+
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym(intern_owned(s))
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl PartialEq for Sym {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // interning makes pointer equality complete; the content fallback
+        // keeps `Eq` correct even if that invariant were ever broken
+        Arc::ptr_eq(&self.0, &other.0) || self.0.text == other.0.text
+    }
+}
+
+impl Eq for Sym {}
+
+impl PartialOrd for Sym {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            Ordering::Equal
+        } else {
+            self.0.text.cmp(&other.0.text)
+        }
+    }
+}
+
+impl Hash for Sym {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_content_shares_one_allocation() {
+        let a = Sym::new("grolsch");
+        let b = Sym::from("grolsch".to_owned());
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_content_is_unequal() {
+        assert_ne!(Sym::new("a"), Sym::new("b"));
+        assert_ne!(Sym::new("a"), Sym::new("aa"));
+    }
+
+    #[test]
+    fn order_is_string_order() {
+        let mut v = [Sym::new("b"), Sym::new("a"), Sym::new("ab")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            vec!["a", "ab", "b"]
+        );
+    }
+
+    #[test]
+    fn equal_implies_hash_equal() {
+        let a = Sym::new("x");
+        let b = Sym::from(String::from("x"));
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn clone_is_same_symbol() {
+        let a = Sym::new("shared");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn deref_and_display() {
+        let s = Sym::new("it's");
+        assert_eq!(&*s, "it's");
+        assert_eq!(s.to_string(), "it's");
+        assert_eq!(s.replace('\'', "''"), "it''s");
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        assert_eq!(Sym::new(""), Sym::from(String::new()));
+        assert_eq!(Sym::new("").as_str(), "");
+    }
+}

@@ -32,8 +32,10 @@
 
 #![warn(missing_docs)]
 
+pub mod counting_alloc;
 pub mod database;
 pub mod error;
+pub mod intern;
 pub mod multiset;
 pub mod relation;
 pub mod schema;
@@ -48,11 +50,12 @@ pub use tuple::IntoValue;
 pub mod prelude {
     pub use crate::database::{Database, DatabaseSchema, LogicalTime, Transition};
     pub use crate::error::{CoreError, CoreResult};
+    pub use crate::intern::Sym;
     pub use crate::multiset::Bag;
     pub use crate::relation::{relation_of, Relation};
     pub use crate::schema::{Attribute, RelationSchema, Schema, SchemaRef};
     pub use crate::tuple;
-    pub use crate::tuple::{AttrList, IntoValue, Tuple};
+    pub use crate::tuple::{AttrList, IntoValue, ResolvedAttrs, Tuple};
     pub use crate::types::DataType;
     pub use crate::value::{Date, Money, Real, Time, Value};
 }

@@ -8,7 +8,10 @@
 //! * concatenation `r₁ ⊕ r₂`.
 
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, LazyLock};
+
+use rustc_hash::FxHasher;
 
 use crate::error::{CoreError, CoreResult};
 use crate::value::Value;
@@ -112,20 +115,27 @@ impl fmt::Display for AttrList {
 /// A tuple: an ordered sequence of atomic values.
 ///
 /// Tuples are immutable once built; every algebra operator constructs new
-/// tuples rather than mutating. The boxed-slice representation keeps the
-/// in-memory footprint at two words (pointer + length).
+/// tuples rather than mutating. Because relations are functions from
+/// tuples to multiplicities, tuples are pure *keys* — so the row storage
+/// is an atomically reference-counted slice and `clone()` is a refcount
+/// bump, never a deep copy. Equality, ordering and hashing remain
+/// value-wise (Definition 2.4).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Tuple(Box<[Value]>);
+pub struct Tuple(Arc<[Value]>);
+
+/// The single shared zero-arity row backing [`Tuple::empty`].
+static EMPTY_TUPLE: LazyLock<Tuple> = LazyLock::new(|| Tuple(Arc::from(Vec::new())));
 
 impl Tuple {
     /// Builds a tuple from its attribute values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple(values.into_boxed_slice())
+        Tuple(values.into())
     }
 
     /// The empty tuple (used by the empty-grouping-list aggregate form).
+    /// Always the same shared allocation.
     pub fn empty() -> Self {
-        Tuple(Box::new([]))
+        EMPTY_TUPLE.clone()
     }
 
     /// Number of attributes, `#r` in the paper.
@@ -151,10 +161,11 @@ impl Tuple {
 
     /// Tuple projection `α_a(r)`: concatenates the attributes named by `a`
     /// into a new tuple (duplicated indexes duplicate values).
+    ///
+    /// Validates `a` against this tuple's arity on every call; hot loops
+    /// should resolve the list once with [`ResolvedAttrs`] instead.
     pub fn project(&self, a: &AttrList) -> CoreResult<Tuple> {
-        a.check_arity(self.arity())?;
-        let vals: Vec<Value> = a.indexes().iter().map(|&i| self.0[i - 1].clone()).collect();
-        Ok(Tuple::new(vals))
+        Ok(ResolvedAttrs::new(a.indexes(), self.arity())?.project(self))
     }
 
     /// Tuple concatenation `r₁ ⊕ r₂`.
@@ -165,9 +176,95 @@ impl Tuple {
         Tuple::new(vals)
     }
 
-    /// Consumes the tuple and returns its values.
+    /// Consumes the tuple and returns its values (copied out of the shared
+    /// row; the per-value copies are refcount bumps at worst).
     pub fn into_values(self) -> Vec<Value> {
-        self.0.into_vec()
+        self.0.to_vec()
+    }
+}
+
+/// An attribute list resolved against a known arity: 0-based offsets,
+/// validated **once** at plan/build time so per-row access needs no
+/// bounds re-checks. This is the hot-loop counterpart of [`AttrList`] —
+/// joins, group-bys and partitioners hash and compare key columns *in
+/// place* through it instead of materialising key tuples per row.
+///
+/// Cloning shares the offset slice (the morsel compiler clones one
+/// resolved list into every pipeline leg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedAttrs(Arc<[usize]>);
+
+impl ResolvedAttrs {
+    /// Resolves 1-based `indexes` against `arity`, rejecting empty lists
+    /// and out-of-range entries exactly like [`AttrList`] + `check_arity`.
+    pub fn new(indexes: &[usize], arity: usize) -> CoreResult<Self> {
+        if indexes.is_empty() {
+            return Err(CoreError::TypeError(
+                "attribute list must contain at least one attribute".into(),
+            ));
+        }
+        if let Some(&bad) = indexes.iter().find(|&&i| i == 0 || i > arity) {
+            return Err(CoreError::AttrIndexOutOfRange { index: bad, arity });
+        }
+        Ok(ResolvedAttrs(indexes.iter().map(|&i| i - 1).collect()))
+    }
+
+    /// Resolves an [`AttrList`] against an arity.
+    pub fn from_attr_list(list: &AttrList, arity: usize) -> CoreResult<Self> {
+        Self::new(list.indexes(), arity)
+    }
+
+    /// The 0-based offsets.
+    pub fn offsets(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of resolved attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the list is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The projected values of `t`, in list order, borrowed in place.
+    ///
+    /// Like all per-row accessors here, this expects `t` to conform to the
+    /// arity the list was resolved against (operators guarantee this via
+    /// schema checking; a violation is a bug and panics).
+    pub fn values<'s, 't: 's>(&'s self, t: &'t Tuple) -> impl Iterator<Item = &'t Value> + 's {
+        let vals = t.values();
+        self.0.iter().map(move |&i| &vals[i])
+    }
+
+    /// Materialises the projection `α_a(t)` as a new tuple.
+    pub fn project(&self, t: &Tuple) -> Tuple {
+        self.values(t).cloned().collect()
+    }
+
+    /// Hashes the projected columns of `t` in place (no key tuple is
+    /// built). The hash matches any other [`ResolvedAttrs`] of the same
+    /// length over value-equal columns.
+    pub fn hash_key(&self, t: &Tuple) -> u64 {
+        let mut h = FxHasher::default();
+        for v in self.values(t) {
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// True when the projected columns of `t` equal the (already
+    /// materialised) key tuple `key`, compared in place.
+    pub fn key_eq(&self, t: &Tuple, key: &Tuple) -> bool {
+        self.0.len() == key.arity() && self.values(t).eq(key.values().iter())
+    }
+
+    /// True when the projections of two rows under two resolved lists are
+    /// value-equal (probe-side row vs build-side row of a join).
+    pub fn pair_eq(&self, t: &Tuple, other: &ResolvedAttrs, u: &Tuple) -> bool {
+        self.0.len() == other.0.len() && self.values(t).eq(other.values(u))
     }
 }
 
@@ -229,12 +326,12 @@ impl IntoValue for bool {
 }
 impl IntoValue for &str {
     fn into_value(self) -> Value {
-        Value::Str(self.to_owned())
+        Value::str(self)
     }
 }
 impl IntoValue for String {
     fn into_value(self) -> Value {
-        Value::Str(self)
+        Value::str(self)
     }
 }
 impl IntoValue for f64 {

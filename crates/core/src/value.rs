@@ -16,6 +16,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use crate::error::{CoreError, CoreResult};
+use crate::intern::Sym;
 
 /// A finite (non-NaN) IEEE-754 double, usable as a domain value.
 ///
@@ -176,8 +177,9 @@ pub enum Value {
     Int(i64),
     /// Real domain (finite doubles).
     Real(Real),
-    /// String domain.
-    Str(String),
+    /// String domain — interned: equal content shares one allocation, so
+    /// clones are refcount bumps and equality/hashing are O(1).
+    Str(Sym),
     /// Date domain.
     Date(Date),
     /// Time-of-day domain.
@@ -192,9 +194,20 @@ impl Value {
         Ok(Value::Real(Real::new(v)?))
     }
 
-    /// Convenience constructor for a string value.
-    pub fn str(s: impl Into<String>) -> Self {
+    /// Convenience constructor for a string value (interns the content).
+    pub fn str(s: impl Into<Sym>) -> Self {
         Value::Str(s.into())
+    }
+
+    /// Extracts the string content, or a type error.
+    pub fn as_str(&self) -> CoreResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s.as_str()),
+            other => Err(CoreError::TypeError(format!(
+                "expected str, found {}",
+                other.data_type()
+            ))),
+        }
     }
 
     /// The [`DataType`](crate::types::DataType) this value inhabits.
@@ -280,13 +293,13 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Sym::new(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Sym::from(v))
     }
 }
 

@@ -70,7 +70,7 @@ proptest! {
         for x in UNIVERSE {
             prop_assert_eq!(d.multiplicity(&x), a.multiplicity(&x).min(1));
         }
-        prop_assert_eq!(d.distinct(), d.clone());
+        prop_assert_eq!(&d.distinct(), &d);
         prop_assert_eq!(d.len() as usize, a.distinct_len());
     }
 

@@ -1,0 +1,88 @@
+//! Property tests for string interning: `Sym` must be observationally
+//! identical to the `String` it replaced. Equality, ordering, and hashing
+//! of `Value`s — the contracts the bag layer's maps and the display sort
+//! order rely on — may not change because the representation became a
+//! shared handle.
+
+use mera_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Arbitrary short strings over an alphabet that exercises sharing (small
+/// alphabet ⇒ frequent duplicates) plus quote and non-ASCII characters.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..12, 0..8).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| ['a', 'b', 'z', '0', '9', ' ', '\'', 'é', 'µ', '∈', 'x', '_'][i as usize])
+            .collect()
+    })
+}
+
+proptest! {
+    /// Interning preserves string equality exactly: two `Sym`s are equal
+    /// iff their contents are, and equal content yields one shared handle.
+    #[test]
+    fn interning_preserves_equality(a in arb_string(), b in arb_string()) {
+        let sa = Sym::new(&a);
+        let sb = Sym::new(&b);
+        prop_assert_eq!(sa == sb, a == b);
+        prop_assert_eq!(sa.as_str(), a.as_str());
+    }
+
+    /// `Sym` ordering is the string ordering — the display sort order of
+    /// relations must not change under interning.
+    #[test]
+    fn interning_preserves_order(a in arb_string(), b in arb_string()) {
+        prop_assert_eq!(Sym::new(&a).cmp(&Sym::new(&b)), a.cmp(&b));
+    }
+
+    /// Equal values hash equal after interning (the bag layer keys maps by
+    /// `Value`), and hashing is deterministic across separate interns.
+    #[test]
+    fn interning_preserves_hash(a in arb_string()) {
+        let v1 = Value::str(a.as_str());
+        let v2 = Value::str(a.clone());
+        prop_assert_eq!(&v1, &v2);
+        prop_assert_eq!(hash_of(&v1), hash_of(&v2));
+    }
+
+    /// `Value::Str` comparison across distinct values stays string-like,
+    /// and `Display` renders the raw content in quotes.
+    #[test]
+    fn str_values_order_like_strings(a in arb_string(), b in arb_string()) {
+        let va = Value::str(a.as_str());
+        let vb = Value::str(b.as_str());
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+        prop_assert_eq!(va.to_string(), format!("'{a}'"));
+    }
+
+    /// Real normalisation is unaffected: −0.0 and +0.0 stay one value with
+    /// one hash, so mixed tuples keyed on reals keep merging correctly.
+    #[test]
+    fn real_zero_normalisation_survives(sign in any::<bool>()) {
+        let z = Value::real(if sign { -0.0 } else { 0.0 }).expect("not NaN");
+        let pz = Value::real(0.0).expect("not NaN");
+        prop_assert_eq!(&z, &pz);
+        prop_assert_eq!(hash_of(&z), hash_of(&pz));
+    }
+
+    /// Tuples carrying interned strings still compare and hash value-wise.
+    #[test]
+    fn tuples_with_syms_hash_value_wise(a in arb_string(), n in 0i64..5) {
+        let t1 = Tuple::new(vec![Value::str(a.as_str()), Value::Int(n)]);
+        let t2 = Tuple::new(vec![Value::str(a.clone()), Value::Int(n)]);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(hash_of(&t1), hash_of(&t2));
+        // shared-row clone is the same row, and still equal
+        #[allow(clippy::redundant_clone)]
+        let t3 = t1.clone();
+        prop_assert_eq!(t3, t2);
+    }
+}

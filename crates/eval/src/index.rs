@@ -35,10 +35,11 @@ impl HashIndex {
     pub fn build(rel: &Relation, keys: &[usize]) -> CoreResult<Self> {
         let key_list = AttrList::new_unique(keys.to_vec())?;
         key_list.check_arity(rel.schema().arity())?;
+        let resolved = ResolvedAttrs::from_attr_list(&key_list, rel.schema().arity())?;
         let mut map: FxHashMap<Tuple, Vec<(Tuple, u64)>> = FxHashMap::default();
         let mut entries = 0;
         for (t, m) in rel.iter() {
-            map.entry(t.project(&key_list)?)
+            map.entry(resolved.project(t))
                 .or_default()
                 .push((t.clone(), m));
             entries += m;

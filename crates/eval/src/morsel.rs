@@ -10,7 +10,10 @@
 //! end to end — workers pull *morsels* (row chunks of `batch_size`) from a
 //! shared work list with work stealing and push every morsel through the
 //! whole operator chain, so a `σ → ⋈ → π` stretch of the plan produces
-//! **zero** intermediate relations.
+//! **zero** intermediate relations. A pure-column `π` directly above a
+//! residual-free equi-join even fuses *into* the probe: join output rows
+//! are assembled already projected, never materialising the concatenated
+//! tuple.
 //!
 //! The multiplicity laws make this exact:
 //!
@@ -48,7 +51,7 @@ use rustc_hash::FxHashSet;
 
 use crate::engine::ExecOptions;
 use crate::physical::agg::AggState;
-use crate::physical::join::{extract_equi_condition, JoinTable};
+use crate::physical::join::{extract_equi_condition, JoinTable, ProbeCol};
 use crate::physical::ops::{filter_rows, project_rows};
 use crate::physical::planner::ext_project_schema;
 use crate::physical::Counted;
@@ -138,11 +141,24 @@ enum MorselOp {
     Filter(ScalarExpr),
     /// Plain or extended `π` — collapsing rows merge downstream.
     Project(Vec<ScalarExpr>),
-    /// Equi-join probe against the shared build table: `m₁ · m₂`.
+    /// Equi-join probe against the shared build table: `m₁ · m₂`. The
+    /// probe keys are pre-resolved offsets, hashed in place per row.
     HashProbe {
         table: Arc<JoinTable>,
-        keys: AttrList,
+        keys: ResolvedAttrs,
         residual: Option<ScalarExpr>,
+        /// Arity of the probe side — where build-side columns start in the
+        /// concatenated schema; lets a downstream pure-column projection
+        /// fuse into the probe.
+        left_arity: usize,
+    },
+    /// A residual-free equi-join probe fused with a pure-column projection:
+    /// output rows are assembled directly from the two sides, never
+    /// materialising the concatenated tuple.
+    ProbeProject {
+        table: Arc<JoinTable>,
+        keys: ResolvedAttrs,
+        cols: Vec<ProbeCol>,
     },
     /// θ-join / product against a shared materialised inner side.
     LoopProbe {
@@ -220,19 +236,27 @@ fn compile<'a>(
         RelExpr::Project { input, attrs } => {
             let mut p = compile(input, provider, opts)?;
             let schema = Arc::new(p.schema.project(attrs)?);
-            let exprs: Vec<ScalarExpr> = attrs
-                .indexes()
-                .iter()
-                .map(|&i| ScalarExpr::Attr(i))
-                .collect();
-            p.push_op(|| MorselOp::Project(exprs.clone()));
+            if !fuse_probe_project(&mut p, attrs.indexes()) {
+                let exprs: Vec<ScalarExpr> = attrs
+                    .indexes()
+                    .iter()
+                    .map(|&i| ScalarExpr::Attr(i))
+                    .collect();
+                p.push_op(|| MorselOp::Project(exprs.clone()));
+            }
             p.schema = schema;
             p
         }
         RelExpr::ExtProject { input, exprs } => {
             let mut p = compile(input, provider, opts)?;
             let schema = ext_project_schema(&p.schema, exprs)?;
-            p.push_op(|| MorselOp::Project(exprs.clone()));
+            let fused = match attr_indexes(exprs) {
+                Some(ix) => fuse_probe_project(&mut p, &ix),
+                None => false,
+            };
+            if !fused {
+                p.push_op(|| MorselOp::Project(exprs.clone()));
+            }
             p.schema = schema;
             p
         }
@@ -259,14 +283,17 @@ fn compile<'a>(
             match extract_equi_condition(predicate, lp.schema.arity(), rp.schema.arity()) {
                 Some(cond) => {
                     // pipeline breaker: build the shared table once, in
-                    // parallel, from the build side's own pipeline
-                    let build_keys = AttrList::new(cond.right_keys.clone())?;
-                    let table = Arc::new(run_build(rp, &build_keys, opts)?);
-                    let keys = AttrList::new(cond.left_keys.clone())?;
+                    // parallel, from the build side's own pipeline; both
+                    // key lists resolve to offsets here, at plan time
+                    let build_keys = ResolvedAttrs::new(&cond.right_keys, rp.schema.arity())?;
+                    let keys = ResolvedAttrs::new(&cond.left_keys, lp.schema.arity())?;
+                    let left_arity = lp.schema.arity();
+                    let table = Arc::new(run_build(rp, build_keys, opts)?);
                     lp.push_op(|| MorselOp::HashProbe {
                         table: Arc::clone(&table),
                         keys: keys.clone(),
                         residual: cond.residual.clone(),
+                        left_arity,
                     });
                 }
                 None => {
@@ -300,7 +327,11 @@ fn compile<'a>(
                 None => Schema::new(vec![]),
             };
             let schema = Arc::new(key_schema.with_attr(Attribute::anon(agg.result_type(in_type)?)));
-            let rows = run_agg(p, key_list, *agg, *attr, in_type, opts)?;
+            let resolved = match &key_list {
+                Some(list) => Some(ResolvedAttrs::from_attr_list(list, p.schema.arity())?),
+                None => None,
+            };
+            let rows = run_agg(p, resolved, *agg, *attr - 1, in_type, opts)?;
             Pipeline::single(Source::Owned(rows), schema)
         }
         RelExpr::Distinct(input) => {
@@ -342,6 +373,62 @@ fn bag_rows(bag: Bag<Tuple>) -> Vec<Counted> {
     bag.into_iter().collect()
 }
 
+/// Extracts plain column picks from a projection list: `Some` exactly when
+/// every expression is a bare (1-based) attribute reference.
+fn attr_indexes(exprs: &[ScalarExpr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            ScalarExpr::Attr(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Fuses a pure-column projection into the residual-free equi-join probe
+/// directly below it: each leg's trailing [`MorselOp::HashProbe`] becomes a
+/// [`MorselOp::ProbeProject`] that assembles output rows in projected form,
+/// skipping the concatenated intermediate tuple — one allocation per join
+/// output row instead of two. Returns `false` (and fuses nothing) unless
+/// *every* leg ends in such a probe: probes with a residual need the full
+/// concatenated row to evaluate it, and other trailing ops have nothing to
+/// fuse with.
+fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize]) -> bool {
+    let fusable = !p.legs.is_empty()
+        && p.legs.iter().all(|leg| {
+            matches!(
+                leg.ops.last(),
+                Some(MorselOp::HashProbe { residual: None, .. })
+            )
+        });
+    if !fusable {
+        return false;
+    }
+    for leg in &mut p.legs {
+        let Some(MorselOp::HashProbe {
+            table,
+            keys,
+            residual: None,
+            left_arity,
+        }) = leg.ops.pop()
+        else {
+            unreachable!("every leg ends in a residual-free probe");
+        };
+        let cols = indexes
+            .iter()
+            .map(|&i| {
+                if i <= left_arity {
+                    ProbeCol::Left(i - 1)
+                } else {
+                    ProbeCol::Right(i - 1 - left_arity)
+                }
+            })
+            .collect();
+        leg.ops.push(MorselOp::ProbeProject { table, keys, cols });
+    }
+    true
+}
+
 // ----------------------------------------------------------------------
 // Sinks (per-worker state, merged once per pipeline)
 // ----------------------------------------------------------------------
@@ -379,16 +466,14 @@ impl Sink for BagSink {
     }
 }
 
-/// Join build side: thread-local hash table fragment.
-struct BuildSink {
-    table: JoinTable,
-    keys: AttrList,
-}
+/// Join build side: thread-local hash table fragment (the table carries
+/// its own resolved build keys).
+struct BuildSink(JoinTable);
 
 impl Sink for BuildSink {
     fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
         for (t, m) in rows {
-            self.table.insert_row(t, m, &self.keys)?;
+            self.0.insert_row(t, m);
         }
         Ok(())
     }
@@ -473,15 +558,11 @@ fn run_bag(mut p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Bag<Tuple>> {
 }
 
 /// Runs a build-side pipeline into one shared hash table.
-fn run_build(p: Pipeline<'_>, keys: &AttrList, opts: &ExecOptions) -> CoreResult<JoinTable> {
-    let sinks = run_pipeline(&p.legs, opts, || BuildSink {
-        table: JoinTable::new(),
-        keys: keys.clone(),
-    })?;
-    let mut iter = sinks.into_iter();
-    let mut table = iter.next().map(|s| s.table).unwrap_or_default();
-    for s in iter {
-        table.merge(s.table);
+fn run_build(p: Pipeline<'_>, keys: ResolvedAttrs, opts: &ExecOptions) -> CoreResult<JoinTable> {
+    let sinks = run_pipeline(&p.legs, opts, || BuildSink(JoinTable::new(keys.clone())))?;
+    let mut table = JoinTable::new(keys);
+    for s in sinks {
+        table.merge(s.0);
     }
     Ok(table)
 }
@@ -490,17 +571,19 @@ fn run_build(p: Pipeline<'_>, keys: &AttrList, opts: &ExecOptions) -> CoreResult
 /// finish. Exact for every aggregate and for the empty key list.
 fn run_agg(
     p: Pipeline<'_>,
-    keys: Option<AttrList>,
+    keys: Option<ResolvedAttrs>,
     agg: Aggregate,
-    attr: usize,
+    attr0: usize,
     in_type: DataType,
     opts: &ExecOptions,
 ) -> CoreResult<Vec<Counted>> {
-    let sinks = run_pipeline(&p.legs, opts, || AggSink(AggState::new(keys.clone(), attr)))?;
+    let sinks = run_pipeline(&p.legs, opts, || {
+        AggSink(AggState::new(keys.clone(), attr0))
+    })?;
     let mut iter = sinks.into_iter();
     let mut state = match iter.next() {
         Some(s) => s.0,
-        None => AggState::new(keys.clone(), attr),
+        None => AggState::new(keys, attr0),
     };
     for s in iter {
         state.merge(s.0)?;
@@ -522,6 +605,13 @@ fn run_distinct(p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Vec<Counted>>
 // ----------------------------------------------------------------------
 // The morsel scheduler
 // ----------------------------------------------------------------------
+
+/// Number of hardware threads — the cap on useful pipeline workers.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 /// A claimable unit of work: one chunk of one leg's source rows.
 enum Chunk<'e> {
@@ -549,7 +639,11 @@ where
     S: Sink,
     F: Fn() -> S + Sync,
 {
-    let workers = opts.effective_partitions();
+    // morsel parallelism comes from hardware threads, not the requested
+    // partition count: extra workers on the same cores only add scheduling
+    // and merge overhead (Leis et al. size the pool to hardware threads),
+    // and exactness never depends on the worker count
+    let workers = opts.effective_partitions().min(hardware_threads());
     let morsel_size = opts.effective_batch_size();
 
     // snapshot stored-relation iterators as (ref, count) rows — tuples
@@ -672,10 +766,18 @@ fn apply_op(op: &MorselOp, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
             table,
             keys,
             residual,
+            left_arity: _,
         } => {
             let mut out = Vec::with_capacity(rows.len());
             for (t, m) in &rows {
                 table.probe_into(t, *m, keys, residual.as_ref(), &mut out)?;
+            }
+            Ok(out)
+        }
+        MorselOp::ProbeProject { table, keys, cols } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for (t, m) in &rows {
+                table.probe_project_into(t, *m, keys, cols, &mut out)?;
             }
             Ok(out)
         }
@@ -789,8 +891,7 @@ mod tests {
             // transitive closure (§5)
             RelExpr::scan("edges").closure(),
             // aggregates over a join result
-            r.clone()
-                .join(s.clone(), ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+            r.join(s, ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
                 .group_by(&[4], Aggregate::Min, 2),
         ]
     }

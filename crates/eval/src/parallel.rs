@@ -21,13 +21,11 @@
 //! (falling back to the serial physical engine where partitioning does not
 //! apply); its agreement with the reference evaluator is property-tested.
 
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use mera_core::prelude::*;
 use mera_expr::rel::RelExpr;
 use mera_expr::Aggregate;
-use rustc_hash::FxHasher;
 
 use crate::engine::ExecOptions;
 use crate::physical::agg::HashAggregate;
@@ -54,27 +52,21 @@ pub fn default_partitions() -> usize {
         .unwrap_or(4)
 }
 
-fn partition_of(t: &Tuple, keys: &AttrList, partitions: usize) -> CoreResult<usize> {
-    let mut h = FxHasher::default();
-    for &i in keys.indexes() {
-        t.attr(i)?.hash(&mut h);
-    }
-    Ok((h.finish() % partitions as u64) as usize)
+fn partition_of(t: &Tuple, keys: &ResolvedAttrs, partitions: usize) -> usize {
+    (keys.hash_key(t) % partitions as u64) as usize
 }
 
 /// Splits a relation's counted pairs into `partitions` buckets by key
-/// hash.
-fn partition(
-    rel: &Relation,
-    keys: &AttrList,
-    partitions: usize,
-) -> CoreResult<Vec<Vec<(Tuple, u64)>>> {
+/// hash. Key offsets were resolved against the schema up front, so the
+/// per-row work is hashing the key columns in place — no key tuples, no
+/// bounds re-checks.
+fn partition(rel: &Relation, keys: &ResolvedAttrs, partitions: usize) -> Vec<Vec<(Tuple, u64)>> {
     let mut out: Vec<Vec<(Tuple, u64)>> = (0..partitions).map(|_| Vec::new()).collect();
     for (t, m) in rel.iter() {
-        let p = partition_of(t, keys, partitions)?;
+        let p = partition_of(t, keys, partitions);
         out[p].push((t.clone(), m));
     }
-    Ok(out)
+    out
 }
 
 /// Runs one fallible job per partition on scoped threads and returns the
@@ -122,10 +114,10 @@ pub fn parallel_equi_join(
         return collect(Box::new(HashJoin::build(lop, rop, cond.clone(), batch)?));
     }
     let out_schema = Arc::new(left.schema().concat(right.schema()));
-    let lk = AttrList::new(cond.left_keys.clone())?;
-    let rk = AttrList::new(cond.right_keys.clone())?;
-    let left_parts = partition(left, &lk, partitions)?;
-    let right_parts = partition(right, &rk, partitions)?;
+    let lk = ResolvedAttrs::new(&cond.left_keys, left.schema().arity())?;
+    let rk = ResolvedAttrs::new(&cond.right_keys, right.schema().arity())?;
+    let left_parts = partition(left, &lk, partitions);
+    let right_parts = partition(right, &rk, partitions);
     let (ls, rs) = (left.schema(), right.schema());
 
     // workers return raw counted rows; the single merge below is the only
@@ -182,7 +174,8 @@ pub fn parallel_group_by(
     }
     let key_list = AttrList::new_unique(keys.to_vec())?;
     key_list.check_arity(rel.schema().arity())?;
-    let parts = partition(rel, &key_list, partitions)?;
+    let resolved = ResolvedAttrs::from_attr_list(&key_list, rel.schema().arity())?;
+    let parts = partition(rel, &resolved, partitions);
     let schema = rel.schema();
 
     let jobs: Vec<_> = parts

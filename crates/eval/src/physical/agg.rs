@@ -9,6 +9,14 @@ use rustc_hash::FxHashMap;
 use super::ops::VecScanOp;
 use super::{BoxedOp, Counted, CountedBatch, Operator};
 
+/// One group's accumulated state: its key tuple — materialised exactly
+/// once, when the group is first seen — and the distinct aggregated values
+/// with total multiplicities.
+struct Group {
+    key: Tuple,
+    vals: Vec<(Value, u64)>,
+}
+
 /// Accumulated per-group state for hash aggregation, factored out of the
 /// serial operator so the morsel engine can aggregate in **two phases**:
 /// each worker folds its morsels into a thread-local `AggState`, then the
@@ -18,32 +26,64 @@ use super::{BoxedOp, Counted, CountedBatch, Operator};
 /// aggregate — including AVG's weighted denominator — and works for the
 /// empty key list (one global group), which hash *partitioning* cannot
 /// handle at all.
+///
+/// Groups are looked up hash-then-verify: the update path hashes the key
+/// columns of the incoming row **in place** (no key tuple per row) and
+/// compares candidates column-wise; a row landing in an existing group
+/// allocates nothing.
 pub struct AggState {
-    keys: Option<AttrList>,
-    attr: usize,
-    groups: FxHashMap<Tuple, Vec<(Value, u64)>>,
+    keys: Option<ResolvedAttrs>,
+    /// 0-based offset of the aggregated attribute.
+    attr0: usize,
+    groups: FxHashMap<u64, Vec<Group>>,
 }
 
 impl AggState {
-    /// Fresh state grouping on `keys` (`None` ⇒ one global group) and
-    /// aggregating attribute `attr`.
-    pub fn new(keys: Option<AttrList>, attr: usize) -> Self {
+    /// Fresh state grouping on the resolved `keys` (`None` ⇒ one global
+    /// group) and aggregating the 0-based attribute offset `attr0`.
+    pub fn new(keys: Option<ResolvedAttrs>, attr0: usize) -> Self {
         AggState {
             keys,
-            attr,
+            attr0,
             groups: FxHashMap::default(),
         }
     }
 
     /// Folds one counted row into its group.
     pub fn update(&mut self, t: &Tuple, m: u64) -> CoreResult<()> {
-        let key = match &self.keys {
-            Some(list) => t.project(list)?,
-            None => Tuple::empty(),
+        let v = match t.values().get(self.attr0) {
+            Some(v) => v.clone(),
+            None => {
+                return Err(CoreError::AttrIndexOutOfRange {
+                    index: self.attr0 + 1,
+                    arity: t.arity(),
+                })
+            }
         };
-        let v = t.attr(self.attr)?.clone();
+        let h = match &self.keys {
+            Some(k) => k.hash_key(t),
+            None => 0,
+        };
+        let bucket = self.groups.entry(h).or_default();
+        let gi = match bucket.iter().position(|g| match &self.keys {
+            Some(k) => k.key_eq(t, &g.key),
+            None => true,
+        }) {
+            Some(i) => i,
+            None => {
+                let key = match &self.keys {
+                    Some(k) => k.project(t),
+                    None => Tuple::empty(),
+                };
+                bucket.push(Group {
+                    key,
+                    vals: Vec::new(),
+                });
+                bucket.len() - 1
+            }
+        };
         // merge rows of the same (key, value) eagerly to bound memory
-        let entry = self.groups.entry(key).or_default();
+        let entry = &mut bucket[gi].vals;
         match entry.iter_mut().find(|(ev, _)| ev == &v) {
             Some((_, em)) => {
                 *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
@@ -54,16 +94,23 @@ impl AggState {
     }
 
     /// Absorbs a state built over a disjoint chunk of the same input
-    /// (phase two of parallel aggregation).
+    /// (phase two of parallel aggregation). Group keys are already
+    /// materialised on both sides, so candidates compare tuple-to-tuple.
     pub fn merge(&mut self, other: AggState) -> CoreResult<()> {
-        for (key, vals) in other.groups {
-            let entry = self.groups.entry(key).or_default();
-            for (v, m) in vals {
-                match entry.iter_mut().find(|(ev, _)| ev == &v) {
-                    Some((_, em)) => {
-                        *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
+        for (h, groups) in other.groups {
+            let bucket = self.groups.entry(h).or_default();
+            for g in groups {
+                let Some(mine) = bucket.iter_mut().find(|mine| mine.key == g.key) else {
+                    bucket.push(g);
+                    continue;
+                };
+                for (v, m) in g.vals {
+                    match mine.vals.iter_mut().find(|(ev, _)| ev == &v) {
+                        Some((_, em)) => {
+                            *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
+                        }
+                        None => mine.vals.push((v, m)),
                     }
-                    None => entry.push((v, m)),
                 }
             }
         }
@@ -72,17 +119,22 @@ impl AggState {
 
     /// Computes the aggregate per group, consuming the state. `in_type` is
     /// the type of the aggregated attribute in the input schema.
-    pub fn finish(mut self, agg: Aggregate, in_type: DataType) -> CoreResult<Vec<Counted>> {
-        let mut out = Vec::with_capacity(self.groups.len().max(1));
+    pub fn finish(self, agg: Aggregate, in_type: DataType) -> CoreResult<Vec<Counted>> {
         if self.keys.is_none() {
-            let vals = self.groups.remove(&Tuple::empty()).unwrap_or_default();
+            let vals = self
+                .groups
+                .into_values()
+                .flatten()
+                .next()
+                .map(|g| g.vals)
+                .unwrap_or_default();
             let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
-            out.push((Tuple::new(vec![v]), 1));
-            return Ok(out);
+            return Ok(vec![(Tuple::new(vec![v]), 1)]);
         }
-        for (key, vals) in self.groups {
-            let v = agg.compute(in_type, vals.iter().map(|(v, m)| (v, *m)))?;
-            let mut kv = key.into_values();
+        let mut out = Vec::with_capacity(self.groups.len().max(1));
+        for g in self.groups.into_values().flatten() {
+            let v = agg.compute(in_type, g.vals.iter().map(|(v, m)| (v, *m)))?;
+            let mut kv = g.key.into_values();
             kv.push(v);
             out.push((Tuple::new(kv), 1));
         }
@@ -102,16 +154,19 @@ pub struct HashAggregate<'a> {
 enum State<'a> {
     Pending {
         input: BoxedOp<'a>,
-        keys: Option<AttrList>,
+        keys: Option<ResolvedAttrs>,
         agg: Aggregate,
-        attr: usize,
+        attr0: usize,
+        in_type: DataType,
     },
     Draining(VecScanOp),
 }
 
 impl<'a> HashAggregate<'a> {
     /// Builds a group-by over `input`. `keys` may be empty (whole-relation
-    /// aggregation producing exactly one tuple).
+    /// aggregation producing exactly one tuple). Key offsets are resolved
+    /// against the input schema once, here — the per-row path is
+    /// index arithmetic only.
     pub fn build(
         input: BoxedOp<'a>,
         keys: &[usize],
@@ -131,28 +186,34 @@ impl<'a> HashAggregate<'a> {
             Some(list) => in_schema.project(list)?,
             None => Schema::new(vec![]),
         };
-        let out_type = agg.result_type(in_schema.dtype(attr)?)?;
+        let in_type = in_schema.dtype(attr)?;
+        let out_type = agg.result_type(in_type)?;
         let schema = Arc::new(key_schema.with_attr(Attribute::anon(out_type)));
+        let resolved = match &key_list {
+            Some(list) => Some(ResolvedAttrs::from_attr_list(list, in_schema.arity())?),
+            None => None,
+        };
         Ok(HashAggregate {
             schema,
             batch_size,
             state: State::Pending {
                 input,
-                keys: key_list,
+                keys: resolved,
                 agg,
-                attr,
+                attr0: attr - 1,
+                in_type,
             },
         })
     }
 
     fn run(
         input: &mut BoxedOp<'a>,
-        keys: &Option<AttrList>,
+        keys: &Option<ResolvedAttrs>,
         agg: Aggregate,
-        attr: usize,
+        attr0: usize,
+        in_type: DataType,
     ) -> CoreResult<Vec<Counted>> {
-        let in_type = input.schema().dtype(attr)?;
-        let mut state = AggState::new(keys.clone(), attr);
+        let mut state = AggState::new(keys.clone(), attr0);
         while let Some(batch) = input.next_batch()? {
             for (t, m) in batch {
                 state.update(&t, m)?;
@@ -174,9 +235,10 @@ impl Operator for HashAggregate<'_> {
                     input,
                     keys,
                     agg,
-                    attr,
+                    attr0,
+                    in_type,
                 } => {
-                    let rows = Self::run(input, keys, *agg, *attr)?;
+                    let rows = Self::run(input, keys, *agg, *attr0, *in_type)?;
                     self.state = State::Draining(VecScanOp::new(
                         Arc::clone(&self.schema),
                         rows,

@@ -176,30 +176,51 @@ pub fn extract_equi_condition(
     })
 }
 
-/// The build side of a hash equi-join: build-side rows bucketed by their
-/// key projection.
+/// One output column of a fused probe+projection: a 0-based offset into
+/// either the probe-side (left) row or the build-side (right) row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeCol {
+    /// Copy from the probe (left) tuple.
+    Left(usize),
+    /// Copy from the build (right) tuple.
+    Right(usize),
+}
+
+/// The build side of a hash equi-join: build-side rows bucketed by the
+/// hash of their key columns, **hashed and verified in place** — no key
+/// tuple is ever materialised, on either side. Buckets hold the full build
+/// rows; a probe hashes its own key columns, walks the matching bucket and
+/// verifies candidates by comparing the projected columns directly
+/// (hash-then-verify, so colliding keys are handled exactly).
 ///
 /// The serial [`HashJoin`] owns one; the morsel-driven engine builds one
 /// *in parallel* (each worker fills a thread-local table over its morsels,
 /// the tables are [`merge`](JoinTable::merge)d once) and then shares it
 /// read-only behind an `Arc` so every worker probes the same table — no
 /// per-partition cloning of the probe input.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct JoinTable {
-    map: FxHashMap<Tuple, Vec<Counted>>,
+    /// Build-side key offsets, resolved once at plan time.
+    build_keys: ResolvedAttrs,
+    map: FxHashMap<u64, Vec<Counted>>,
+    rows: usize,
 }
 
 impl JoinTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        JoinTable::default()
+    /// An empty table keyed on the resolved build-side columns.
+    pub fn new(build_keys: ResolvedAttrs) -> Self {
+        JoinTable {
+            build_keys,
+            map: FxHashMap::default(),
+            rows: 0,
+        }
     }
 
-    /// Inserts one build-side row under its `keys` projection.
-    pub fn insert_row(&mut self, t: Tuple, m: u64, keys: &AttrList) -> CoreResult<()> {
-        let key = t.project(keys)?;
-        self.map.entry(key).or_default().push((t, m));
-        Ok(())
+    /// Inserts one build-side row under the hash of its key columns.
+    pub fn insert_row(&mut self, t: Tuple, m: u64) {
+        let h = self.build_keys.hash_key(&t);
+        self.map.entry(h).or_default().push((t, m));
+        self.rows += 1;
     }
 
     /// Absorbs another table built over a disjoint chunk of the input.
@@ -207,35 +228,41 @@ impl JoinTable {
     /// separate entries (multiplicities merge downstream, as everywhere in
     /// the counted-stream model).
     pub fn merge(&mut self, other: JoinTable) {
-        for (key, mut rows) in other.map {
-            self.map.entry(key).or_default().append(&mut rows);
+        debug_assert_eq!(self.build_keys, other.build_keys);
+        for (h, mut rows) in other.map {
+            self.map.entry(h).or_default().append(&mut rows);
         }
+        self.rows += other.rows;
     }
 
-    /// Number of distinct keys in the table.
+    /// Number of build rows in the table.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.rows
     }
 
     /// True when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.rows == 0
     }
 
     /// Probes with one left row: emits `left ⊕ right` with multiplicity
     /// `m₁ · m₂` for every build row under the same key that passes the
-    /// residual predicate.
+    /// residual predicate. The probe key is hashed and compared in place —
+    /// a probe miss allocates nothing.
     pub fn probe_into(
         &self,
         lt: &Tuple,
         lm: u64,
-        left_keys: &AttrList,
+        left_keys: &ResolvedAttrs,
         residual: Option<&ScalarExpr>,
         out: &mut Vec<Counted>,
     ) -> CoreResult<()> {
-        let key = lt.project(left_keys)?;
-        if let Some(matches) = self.map.get(&key) {
-            for (rt, rm) in matches {
+        let h = left_keys.hash_key(lt);
+        if let Some(candidates) = self.map.get(&h) {
+            for (rt, rm) in candidates {
+                if !left_keys.pair_eq(lt, &self.build_keys, rt) {
+                    continue;
+                }
                 let joined = lt.concat(rt);
                 let keep = match residual {
                     None => true,
@@ -251,6 +278,44 @@ impl JoinTable {
         }
         Ok(())
     }
+
+    /// Fused probe + column projection: like [`probe_into`], but assembles
+    /// each output row *directly* in projected form from the two sides —
+    /// the concatenated tuple is never materialised, so a matching pair
+    /// costs one allocation instead of two. Only valid for joins without a
+    /// residual predicate (a residual must evaluate over the full
+    /// concatenated row).
+    ///
+    /// [`probe_into`]: JoinTable::probe_into
+    pub fn probe_project_into(
+        &self,
+        lt: &Tuple,
+        lm: u64,
+        left_keys: &ResolvedAttrs,
+        cols: &[ProbeCol],
+        out: &mut Vec<Counted>,
+    ) -> CoreResult<()> {
+        let h = left_keys.hash_key(lt);
+        if let Some(candidates) = self.map.get(&h) {
+            for (rt, rm) in candidates {
+                if !left_keys.pair_eq(lt, &self.build_keys, rt) {
+                    continue;
+                }
+                let m = lm
+                    .checked_mul(*rm)
+                    .ok_or(CoreError::Overflow("join multiplicity"))?;
+                let vals: Vec<Value> = cols
+                    .iter()
+                    .map(|c| match c {
+                        ProbeCol::Left(i) => lt.values()[*i].clone(),
+                        ProbeCol::Right(i) => rt.values()[*i].clone(),
+                    })
+                    .collect();
+                out.push((Tuple::new(vals), m));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Hash join on extracted equi-keys: the right side is built into a hash
@@ -259,7 +324,7 @@ impl JoinTable {
 pub struct HashJoin<'a> {
     left: BoxedOp<'a>,
     table: JoinTable,
-    left_keys: AttrList,
+    left_keys: ResolvedAttrs,
     residual: Option<ScalarExpr>,
     schema: SchemaRef,
     batch_size: usize,
@@ -278,17 +343,18 @@ impl<'a> HashJoin<'a> {
         batch_size: usize,
     ) -> CoreResult<Self> {
         let schema = Arc::new(left.schema().concat(right.schema()));
-        let key_list = AttrList::new(cond.right_keys.clone())?;
-        let mut table = JoinTable::new();
+        let build_keys = ResolvedAttrs::new(&cond.right_keys, right.schema().arity())?;
+        let left_keys = ResolvedAttrs::new(&cond.left_keys, left.schema().arity())?;
+        let mut table = JoinTable::new(build_keys);
         while let Some(batch) = right.next_batch()? {
             for (t, m) in batch {
-                table.insert_row(t, m, &key_list)?;
+                table.insert_row(t, m);
             }
         }
         Ok(HashJoin {
             left,
             table,
-            left_keys: AttrList::new(cond.left_keys)?,
+            left_keys,
             residual: cond.residual,
             schema,
             batch_size: batch_size.max(1),

@@ -266,10 +266,10 @@ mod tests {
             r.clone().group_by(&[2], Aggregate::Sum, 1),
             r.clone().group_by(&[], Aggregate::Avg, 1),
             r.clone()
-                .union(r.clone())
+                .union(r)
                 .project(&[2])
                 .distinct()
-                .product(s.clone())
+                .product(s)
                 .select(ScalarExpr::attr(2).eq(ScalarExpr::int(1)))
                 .group_by(&[1], Aggregate::Cnt, 1),
         ]

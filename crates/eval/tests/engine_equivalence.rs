@@ -95,7 +95,7 @@ fn expr_r(depth: u32) -> BoxedStrategy<RelExpr> {
         (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
         inner.clone().prop_map(|e| e.distinct()),
         // schema-preserving extended projection keeps the tree closed
-        inner.clone().prop_map(|e| {
+        inner.prop_map(|e| {
             e.ext_project(vec![
                 ScalarExpr::attr(1).mul(ScalarExpr::int(2)),
                 ScalarExpr::attr(2),
@@ -128,6 +128,15 @@ fn full_expr() -> impl Strategy<Value = RelExpr> {
             .prop_map(|e| e.group_by(&[2], Aggregate::Cnt, 1)),
         base.clone()
             .prop_map(|e| e.group_by(&[2], Aggregate::Avg, 1)),
+        // string-keyed equi-join feeding a string-keyed group-by: the
+        // interned-key probe and group paths must agree with the oracle
+        base.clone().prop_map(|e| {
+            e.join(
+                RelExpr::scan("r"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            )
+            .group_by(&[2], Aggregate::Min, 3)
+        }),
         base.clone()
             .prop_map(|e| e.group_by(&[], Aggregate::Sum, 1)),
         base.prop_map(|e| e.group_by(&[], Aggregate::Max, 1)),
@@ -192,7 +201,7 @@ proptest! {
             prop_assert!(minus.is_empty());
             let inter = execute(&e.clone().intersect(e.clone()), &db).expect("valid");
             let orig = eval(&e, &db).expect("checked above");
-            prop_assert_eq!(inter, orig.clone());
+            prop_assert_eq!(&inter, &orig);
             let dist = execute(&e.clone().distinct(), &db).expect("valid");
             prop_assert!(dist.is_submultiset(&orig).expect("same schema"));
         }

@@ -150,9 +150,9 @@ impl ScalarExpr {
         ScalarExpr::Literal(Value::real(v).expect("literal reals must not be NaN"))
     }
 
-    /// Literal string.
-    pub fn str(s: impl Into<String>) -> Self {
-        ScalarExpr::Literal(Value::Str(s.into()))
+    /// Literal string (interned).
+    pub fn str(s: impl AsRef<str>) -> Self {
+        ScalarExpr::Literal(Value::str(s.as_ref()))
     }
 
     /// Literal boolean.
@@ -267,7 +267,12 @@ impl ScalarExpr {
             }
             ScalarExpr::Not(e) => Ok(Value::Bool(!e.eval(tuple)?.as_bool()?)),
             ScalarExpr::Concat(l, r) => match (l.eval(tuple)?, r.eval(tuple)?) {
-                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(a + &b)),
+                (Value::Str(a), Value::Str(b)) => {
+                    let mut s = String::with_capacity(a.len() + b.len());
+                    s.push_str(&a);
+                    s.push_str(&b);
+                    Ok(Value::str(s))
+                }
                 (a, b) => Err(CoreError::TypeError(format!(
                     "cannot concatenate {} with {}",
                     a.data_type(),

@@ -253,7 +253,7 @@ fn lower_literal(l: &SLiteral) -> LangResult<Value> {
     Ok(match l {
         SLiteral::Int(v) => Value::Int(*v),
         SLiteral::Real(v) => Value::real(*v).map_err(LangError::Semantic)?,
-        SLiteral::Str(s) => Value::Str(s.clone()),
+        SLiteral::Str(s) => Value::str(s.as_str()),
         SLiteral::Bool(b) => Value::Bool(*b),
     })
 }

@@ -264,14 +264,15 @@ pub fn lex(src: &str) -> LangResult<Vec<Spanned>> {
                 advance!(len);
             }
             '\'' => {
-                // string literal with '' escaping
-                let mut s = String::new();
+                // string literal with '' escaping; content bytes are copied
+                // verbatim and decoded once, so multi-byte UTF-8 survives
+                let mut s: Vec<u8> = Vec::new();
                 let mut j = i + 1;
                 loop {
                     match bytes.get(j) {
                         None => return Err(LangError::lex(pos, "unterminated string literal")),
                         Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
-                            s.push('\'');
+                            s.push(b'\'');
                             j += 2;
                         }
                         Some(b'\'') => {
@@ -279,11 +280,13 @@ pub fn lex(src: &str) -> LangResult<Vec<Spanned>> {
                             break;
                         }
                         Some(&b) => {
-                            s.push(b as char);
+                            s.push(b);
                             j += 1;
                         }
                     }
                 }
+                let s = String::from_utf8(s)
+                    .map_err(|_| LangError::lex(pos, "invalid UTF-8 in string literal"))?;
                 out.push(Spanned {
                     token: Token::Str(s),
                     pos,

@@ -83,6 +83,23 @@ proptest! {
         prop_assert_eq!(lowered, e, "round-trip changed the tree for {}", src);
     }
 
+    /// Arbitrary (interned) string literals survive print → parse → lower,
+    /// including quotes, spaces and non-ASCII content.
+    #[test]
+    fn string_literal_roundtrip(ix in proptest::collection::vec(0usize..10, 0..10)) {
+        let alphabet = ['a', 'z', '0', ' ', '\'', 'é', 'µ', '_', '!', 'Q'];
+        let s: String = ix.into_iter().map(|i| alphabet[i]).collect();
+        let e = RelExpr::scan("r").select(ScalarExpr::attr(2).eq(ScalarExpr::str(&s)));
+        let src = rel_to_xra(&e);
+        let parsed = parse_rel(&src)
+            .unwrap_or_else(|err| panic!("printer produced unparseable source {src:?}: {err}"));
+        let cat = catalog();
+        let lowered = Lowerer::new(&cat)
+            .lower_rel(&parsed)
+            .unwrap_or_else(|err| panic!("round-trip failed to lower {src:?}: {err}"));
+        prop_assert_eq!(lowered, e, "round-trip changed string literal for {}", src);
+    }
+
     /// A `values` literal survives the round trip with duplicates intact.
     #[test]
     fn values_roundtrip(rows in proptest::collection::vec((0i64..4, 0i64..3), 0..6)) {

@@ -381,7 +381,7 @@ fn const_value(e: &SqlExpr) -> LangResult<Value> {
     match e {
         SqlExpr::Int(v) => Ok(Value::Int(*v)),
         SqlExpr::Real(v) => Value::real(*v).map_err(LangError::Semantic),
-        SqlExpr::Str(s) => Ok(Value::Str(s.clone())),
+        SqlExpr::Str(s) => Ok(Value::str(s.as_str())),
         SqlExpr::Bool(b) => Ok(Value::Bool(*b)),
         SqlExpr::Neg(inner) => match const_value(inner)? {
             Value::Int(v) => Ok(Value::Int(
