@@ -1,0 +1,297 @@
+//! Structured diagnostics with stable codes.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`]: a stable [`Code`]
+//! (never renumbered, so tooling and tests can match on it), a
+//! [`Severity`], a [`Span`] locating the offending plan node, a primary
+//! message and optional notes. Rendering is deterministic — golden tests
+//! pin the exact output.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The construct is suspicious but may execute fine (lint).
+    Warning,
+    /// The construct is certain to fail (or be unsound) at runtime.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// The numbering is grouped by pass: `E00xx` schema/type inference,
+/// `x01xx` partiality/emptiness analysis, `E02xx` rewrite soundness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `E0001` — an attribute reference `%i` that does not resolve against
+    /// the input schema (out of range, or index 0).
+    UnresolvedAttr,
+    /// `E0002` — a scanned relation name unknown to the catalog.
+    UnknownRelation,
+    /// `E0003` — an ill-typed scalar expression or aggregate/domain
+    /// mismatch (arithmetic between incompatible domains, non-boolean
+    /// predicate, `SUM` over strings, …).
+    TypeMismatch,
+    /// `E0004` — operands of `⊎`/`−`/`∩` (or a DML source and its target
+    /// relation) with incompatible schemas.
+    IncompatibleOperands,
+    /// `E0005` — a structurally malformed operator: empty extended
+    /// projection list, duplicated group-by key, non-binary closure input.
+    MalformedOperator,
+    /// `E0006` — an assignment that would shadow a database relation.
+    DuplicateRelation,
+    /// `E0007` — an `update` expression list that changes the target
+    /// relation's schema (Definition 4.1 requires structure preservation).
+    UpdateSchemaChange,
+    /// `W0101` — a partial aggregate (`AVG`/`MIN`/`MAX`/…) applied by a
+    /// whole-relation `γ` to an input that *may* be empty (Definition 3.4:
+    /// these aggregates are undefined on the empty multi-set).
+    PartialAggregateMayBeUndefined,
+    /// `E0102` — a partial aggregate applied by a whole-relation `γ` to an
+    /// input that is *provably* empty: the plan cannot evaluate.
+    PartialAggregateOnEmpty,
+    /// `E0201` — a rewrite whose declared precondition could not be
+    /// discharged, or that a differential check proved unsound.
+    UnsoundRewrite,
+}
+
+impl Code {
+    /// The stable textual code (`E0001`, `W0101`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnresolvedAttr => "E0001",
+            Code::UnknownRelation => "E0002",
+            Code::TypeMismatch => "E0003",
+            Code::IncompatibleOperands => "E0004",
+            Code::MalformedOperator => "E0005",
+            Code::DuplicateRelation => "E0006",
+            Code::UpdateSchemaChange => "E0007",
+            Code::PartialAggregateMayBeUndefined => "W0101",
+            Code::PartialAggregateOnEmpty => "E0102",
+            Code::UnsoundRewrite => "E0201",
+        }
+    }
+
+    /// The severity this code always carries (`W…` codes warn, `E…` codes
+    /// error).
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::PartialAggregateMayBeUndefined => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points: a statement index within the analyzed
+/// program (if any) and a root-to-node child path within that statement's
+/// plan tree, tagged with the node's operator name.
+///
+/// Plans have no source text of their own, so the span is *structural*:
+/// `/1/0` names the first child of the root's second child. Front-ends
+/// that track source positions can attach them via [`Diagnostic::notes`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 0-based statement index inside the analyzed program, if the
+    /// diagnostic arose from program analysis.
+    pub stmt: Option<usize>,
+    /// Child indexes from the plan root down to the node.
+    pub path: Vec<usize>,
+    /// The operator name of the node (`"group-by"`, `"select"`, …).
+    pub op: &'static str,
+}
+
+impl Span {
+    /// A span at the root of a bare expression.
+    pub fn root(op: &'static str) -> Self {
+        Span {
+            stmt: None,
+            path: Vec::new(),
+            op,
+        }
+    }
+
+    /// Extends the path with one child step.
+    pub fn child(&self, index: usize, op: &'static str) -> Self {
+        let mut path = self.path.clone();
+        path.push(index);
+        Span {
+            stmt: self.stmt,
+            path,
+            op,
+        }
+    }
+
+    /// The same span placed inside statement `stmt`.
+    pub fn in_stmt(mut self, stmt: usize) -> Self {
+        self.stmt = Some(stmt);
+        self
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(s) = self.stmt {
+            write!(f, "stmt {s}, ")?;
+        }
+        write!(f, "node /")?;
+        for (i, p) in self.path.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " ({})", self.op)
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (derived from the code).
+    pub severity: Severity,
+    /// Where in the program/plan.
+    pub span: Span,
+    /// The primary message.
+    pub message: String,
+    /// Secondary explanations (rendered as indented `note:` lines).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity comes from the code.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// True for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `error[E0102]: AVG is undefined … [stmt 0, node /0 (group-by)]`
+    /// followed by one indented `note:` line per note.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} [{}]",
+            self.severity, self.code, self.message, self.span
+        )?;
+        for n in &self.notes {
+            write!(f, "\n  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a batch of diagnostics one per line (notes indented), in the
+/// order produced by the analyzer.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&d.to_string());
+    }
+    out
+}
+
+/// True when any diagnostic is error-severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// The first error-severity diagnostic, if any.
+pub fn first_error(diags: &[Diagnostic]) -> Option<&Diagnostic> {
+    diags.iter().find(|d| d.is_error())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::UnresolvedAttr.as_str(), "E0001");
+        assert_eq!(Code::PartialAggregateMayBeUndefined.as_str(), "W0101");
+        assert_eq!(Code::PartialAggregateOnEmpty.as_str(), "E0102");
+        assert_eq!(Code::UnsoundRewrite.as_str(), "E0201");
+        assert_eq!(
+            Code::PartialAggregateMayBeUndefined.severity(),
+            Severity::Warning
+        );
+        assert_eq!(Code::UnresolvedAttr.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let d = Diagnostic::new(
+            Code::UnresolvedAttr,
+            Span::root("select").child(0, "scan").in_stmt(2),
+            "attribute %4 does not resolve (input arity 3)",
+        )
+        .with_note("the input schema is (int, str, real)");
+        assert_eq!(
+            d.to_string(),
+            "error[E0001]: attribute %4 does not resolve (input arity 3) \
+             [stmt 2, node /0 (scan)]\n  note: the input schema is (int, str, real)"
+        );
+    }
+
+    #[test]
+    fn span_paths_compose() {
+        let root = Span::root("union");
+        let right = root.child(1, "select").child(0, "scan");
+        assert_eq!(right.to_string(), "node /1/0 (scan)");
+        assert_eq!(root.to_string(), "node / (union)");
+    }
+
+    #[test]
+    fn error_helpers() {
+        let w = Diagnostic::new(
+            Code::PartialAggregateMayBeUndefined,
+            Span::root("group-by"),
+            "may be empty",
+        );
+        let e = Diagnostic::new(
+            Code::UnknownRelation,
+            Span::root("scan"),
+            "no such relation",
+        );
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        assert!(has_errors(&[w.clone(), e.clone()]));
+        assert_eq!(first_error(&[w, e.clone()]), Some(&e));
+        assert!(render(std::slice::from_ref(&e)).starts_with("error[E0002]"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Rewrite-soundness checking: rule preconditions as data.
+//!
+//! The paper's §3.3 is precise about which classical identities survive
+//! the move to multi-sets — and which do not (Theorem 3.3: `δ` does *not*
+//! distribute over `⊎`). An optimizer rule therefore carries its
+//! soundness argument as a [`Precondition`]: a citation-style
+//! justification plus zero or more machine-checkable [`Condition`]s. The
+//! driver calls [`discharge`] on **every** application; a condition that
+//! cannot be discharged turns the application into a refusal carrying a
+//! [`Code::UnsoundRewrite`] diagnostic instead of a rewritten plan.
+//!
+//! Static discharge is necessarily conservative; the companion
+//! [`differential`](crate::differential) module cross-checks applied
+//! rewrites dynamically in debug builds.
+
+use mera_expr::{RelExpr, ScalarExpr, SchemaProvider};
+
+use mera_core::prelude::Value;
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// One machine-checkable soundness obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// The replacement must have the same schema as the original (every
+    /// rule owes this; Definition 3.2's operators are schema-functional).
+    SchemaPreserved,
+    /// The replacement's output must be provably duplicate-free — the
+    /// obligation of `δE → E` style rules, where dropping the `δ` is only
+    /// the identity on multi-sets that are already sets.
+    OutputDuplicateFree,
+    /// The original must be `δ(E₁ ⊎ E₂)` with provably *disjoint*
+    /// operands — the only case where `δ` distributes over `⊎`
+    /// (Theorem 3.3 shows it does not in general). Statically this is
+    /// dischargeable only when one operand is provably empty.
+    DisjointUnionOperands,
+}
+
+/// A rule's declared soundness argument.
+#[derive(Debug, Clone)]
+pub struct Precondition {
+    /// Why the rewrite is sound (a theorem citation or a multiplicity
+    /// argument) — surfaced in refusal diagnostics.
+    pub justification: &'static str,
+    /// The obligations [`discharge`] must prove per application.
+    pub conditions: Vec<Condition>,
+}
+
+impl Precondition {
+    /// The baseline every rule owes: schema preservation.
+    pub fn schema_preserving(justification: &'static str) -> Self {
+        Precondition {
+            justification,
+            conditions: vec![Condition::SchemaPreserved],
+        }
+    }
+
+    /// Adds an obligation.
+    pub fn with(mut self, condition: Condition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+}
+
+/// Attempts to discharge every obligation of `pre` for one application
+/// rewriting `before` into `after`. `Err` carries the `E0201` diagnostic
+/// the driver turns into a refusal.
+pub fn discharge<P: SchemaProvider>(
+    rule_name: &str,
+    pre: &Precondition,
+    before: &RelExpr,
+    after: &RelExpr,
+    provider: &P,
+) -> Result<(), Diagnostic> {
+    for condition in &pre.conditions {
+        match condition {
+            Condition::SchemaPreserved => {
+                // an untypable original is not this rule's fault — the
+                // schema pass reports it; only judge typable inputs
+                let Ok(b) = before.schema(provider) else {
+                    continue;
+                };
+                let a = after.schema(provider).map_err(|e| {
+                    refusal(
+                        rule_name,
+                        pre,
+                        before,
+                        format!("replacement does not type: {e}"),
+                    )
+                })?;
+                if !b.same_types(&a) {
+                    return Err(refusal(
+                        rule_name,
+                        pre,
+                        before,
+                        format!("replacement changes the schema from {b} to {a}"),
+                    ));
+                }
+            }
+            Condition::OutputDuplicateFree => {
+                if !duplicate_free(after) {
+                    return Err(refusal(
+                        rule_name,
+                        pre,
+                        before,
+                        "cannot prove the replacement's output duplicate-free",
+                    )
+                    .with_note(
+                        "dropping a δ is only sound over multi-sets that are \
+                         already sets",
+                    ));
+                }
+            }
+            Condition::DisjointUnionOperands => {
+                let disjoint = match before {
+                    RelExpr::Distinct(inner) => match inner.as_ref() {
+                        RelExpr::Union(l, r) => provably_empty(l) || provably_empty(r),
+                        _ => false,
+                    },
+                    _ => false,
+                };
+                if !disjoint {
+                    return Err(refusal(
+                        rule_name,
+                        pre,
+                        before,
+                        "cannot prove the union operands disjoint",
+                    )
+                    .with_note(
+                        "δ does not distribute over ⊎ (Theorem 3.3): \
+                         δ(E₁ ⊎ E₂) = δE₁ ⊎ δE₂ fails whenever the operands share \
+                         a tuple",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn refusal(
+    rule_name: &str,
+    pre: &Precondition,
+    before: &RelExpr,
+    why: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic::new(
+        Code::UnsoundRewrite,
+        Span::root(before.op_name()),
+        format!("rule `{rule_name}` refused: {}", why.into()),
+    )
+    .with_note(format!("rule justification: {}", pre.justification))
+}
+
+/// True when every tuple of `expr`'s output provably has multiplicity 1.
+///
+/// This is the static property behind distinct-pruning: `δ`, `γ` and `α`
+/// produce sets by definition, a literal is a set when its multiplicities
+/// all equal 1, and `σ` preserves set-ness. Everything else (notably `⊎`,
+/// `×` and `π`, which *create* duplicates) is conservatively `false`.
+pub fn duplicate_free(expr: &RelExpr) -> bool {
+    match expr {
+        RelExpr::Distinct(_) | RelExpr::GroupBy { .. } | RelExpr::Closure(_) => true,
+        RelExpr::Values(rel) => rel.iter().all(|(_, m)| m == 1),
+        RelExpr::Select { input, .. } => duplicate_free(input),
+        _ => false,
+    }
+}
+
+/// True when `expr` provably evaluates to the empty multi-set, by
+/// structure alone (no catalog facts): an empty literal, `σ_false`, and
+/// the emptiness-propagation laws of the operators.
+pub fn provably_empty(expr: &RelExpr) -> bool {
+    match expr {
+        RelExpr::Scan(_) => false,
+        RelExpr::Values(rel) => rel.is_empty(),
+        RelExpr::Union(l, r) => provably_empty(l) && provably_empty(r),
+        RelExpr::Difference(l, _) => provably_empty(l),
+        RelExpr::Product(l, r)
+        | RelExpr::Join {
+            left: l, right: r, ..
+        } => provably_empty(l) || provably_empty(r),
+        RelExpr::Intersect(l, r) => provably_empty(l) || provably_empty(r),
+        RelExpr::Select { input, predicate } => {
+            matches!(predicate, ScalarExpr::Literal(Value::Bool(false))) || provably_empty(input)
+        }
+        RelExpr::Project { input, .. }
+        | RelExpr::ExtProject { input, .. }
+        | RelExpr::Distinct(input)
+        | RelExpr::Closure(input) => provably_empty(input),
+        // a whole-relation γ of an empty input either errors (partial
+        // aggregate) or yields one tuple (CNT/SUM) — never empty
+        RelExpr::GroupBy { input, keys, .. } => !keys.is_empty() && provably_empty(input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::prelude::*;
+    use mera_expr::Aggregate;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Str]))
+            .expect("fresh")
+    }
+
+    fn empty_scan() -> RelExpr {
+        RelExpr::scan("r").select(ScalarExpr::bool(false))
+    }
+
+    #[test]
+    fn schema_preservation_discharges_and_refuses() {
+        let pre = Precondition::schema_preserving("test");
+        let before = RelExpr::scan("r").select(ScalarExpr::bool(true));
+        let same = RelExpr::scan("r");
+        assert!(discharge("t", &pre, &before, &same, &catalog()).is_ok());
+
+        let narrower = RelExpr::scan("r").project(&[1]);
+        let d = discharge("t", &pre, &before, &narrower, &catalog()).unwrap_err();
+        assert_eq!(d.code, Code::UnsoundRewrite);
+        assert!(d.message.contains("changes the schema"), "{}", d.message);
+    }
+
+    #[test]
+    fn untypable_original_is_not_judged() {
+        let pre = Precondition::schema_preserving("test");
+        let before = RelExpr::scan("nonexistent");
+        let after = RelExpr::scan("also_nonexistent");
+        assert!(discharge("t", &pre, &before, &after, &catalog()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_free_obligation() {
+        let pre = Precondition::schema_preserving("δE → E when E is a set")
+            .with(Condition::OutputDuplicateFree);
+        let set = RelExpr::scan("r").distinct();
+        let before = set.clone().distinct();
+        assert!(discharge("t", &pre, &before, &set, &catalog()).is_ok());
+
+        let bag = RelExpr::scan("r");
+        let before = bag.clone().distinct();
+        let d = discharge("t", &pre, &before, &bag, &catalog()).unwrap_err();
+        assert_eq!(d.code, Code::UnsoundRewrite);
+    }
+
+    #[test]
+    fn disjoint_union_only_discharges_with_an_empty_operand() {
+        let pre = Precondition::schema_preserving("δ over ⊎ needs disjointness")
+            .with(Condition::DisjointUnionOperands);
+        // δ(r ⊎ r): operands share every tuple — must refuse
+        let before = RelExpr::scan("r").union(RelExpr::scan("r")).distinct();
+        let after = RelExpr::scan("r")
+            .distinct()
+            .union(RelExpr::scan("r").distinct());
+        let d = discharge("t", &pre, &before, &after, &catalog()).unwrap_err();
+        assert_eq!(d.code, Code::UnsoundRewrite);
+        assert!(d.notes.iter().any(|n| n.contains("Theorem 3.3")));
+
+        // δ(r ⊎ σ_false(r)): right operand provably empty — disjoint
+        let before = RelExpr::scan("r").union(empty_scan()).distinct();
+        let after = RelExpr::scan("r").distinct().union(empty_scan().distinct());
+        assert!(discharge("t", &pre, &before, &after, &catalog()).is_ok());
+    }
+
+    #[test]
+    fn provably_empty_structure() {
+        assert!(provably_empty(&empty_scan()));
+        assert!(provably_empty(&empty_scan().product(RelExpr::scan("r"))));
+        assert!(provably_empty(&empty_scan().project(&[1])));
+        assert!(provably_empty(&empty_scan().group_by(
+            &[1],
+            Aggregate::Cnt,
+            1
+        )));
+        assert!(!provably_empty(&RelExpr::scan("r")));
+        assert!(!provably_empty(&empty_scan().group_by(
+            &[],
+            Aggregate::Cnt,
+            1
+        )));
+        assert!(!provably_empty(&RelExpr::scan("r").union(empty_scan())));
+        assert!(provably_empty(&empty_scan().union(empty_scan())));
+    }
+
+    #[test]
+    fn duplicate_free_structure() {
+        assert!(duplicate_free(&RelExpr::scan("r").distinct()));
+        assert!(duplicate_free(&RelExpr::scan("r").group_by(
+            &[1],
+            Aggregate::Cnt,
+            1
+        )));
+        assert!(duplicate_free(
+            &RelExpr::scan("r").distinct().select(ScalarExpr::bool(true))
+        ));
+        assert!(!duplicate_free(&RelExpr::scan("r")));
+        assert!(!duplicate_free(
+            &RelExpr::scan("r")
+                .distinct()
+                .union(RelExpr::scan("r").distinct())
+        ));
+    }
+}

@@ -13,6 +13,7 @@
 //! The [`experiments`] module contains the measured experiment drivers
 //! shared by the Criterion benches and the `experiments` report binary.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

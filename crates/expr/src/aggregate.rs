@@ -117,6 +117,14 @@ impl Aggregate {
         }
     }
 
+    /// True for the *partial* aggregates of Definition 3.4 — the ones
+    /// undefined on the empty multi-set. `CNT` and `SUM` are total (they
+    /// return 0 / the domain's zero); everything else aborts on empty
+    /// input, which is what the static partiality lint warns about.
+    pub fn is_partial(self) -> bool {
+        !matches!(self, Aggregate::Cnt | Aggregate::Sum)
+    }
+
     /// Computes the aggregate over `(value, multiplicity)` pairs.
     ///
     /// The pairs are the projections `x.p` of a group's tuples with their

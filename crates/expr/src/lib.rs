@@ -12,6 +12,7 @@
 //!
 //! Evaluation lives in `mera-eval`; this crate is purely the typed ASTs.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
@@ -20,4 +21,4 @@ pub mod scalar;
 
 pub use aggregate::Aggregate;
 pub use rel::{EmptyProvider, RelExpr, SchemaProvider};
-pub use scalar::{ArithOp, CmpOp, ScalarExpr};
+pub use scalar::{arith_result_type, ArithOp, CmpOp, ScalarExpr};

@@ -812,7 +812,7 @@ mod tests {
         let a = ScalarExpr::attr(1).eq(ScalarExpr::str("x"));
         let b = ScalarExpr::attr(2).cmp(CmpOp::Gt, ScalarExpr::real(4.0));
         let c = ScalarExpr::attr(3).eq(ScalarExpr::int(1));
-        let conj = ScalarExpr::conjoin(vec![a.clone(), b.clone(), c.clone()]);
+        let conj = ScalarExpr::conjoin(vec![a.clone(), b, c.clone()]);
         let parts = conj.conjuncts();
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], &a);

@@ -24,6 +24,7 @@
 //! # Ok::<(), mera_lang::LangError>(())
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

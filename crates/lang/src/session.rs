@@ -90,6 +90,39 @@ impl Session {
         Ok(results)
     }
 
+    /// Statically checks a script without executing anything: parses,
+    /// lowers, and runs the `mera-analyze` passes over every transaction.
+    ///
+    /// Returns one diagnostic list per transaction (same order as
+    /// [`run_script`](Self::run_script) results). Neither the database
+    /// state nor the schema is touched — declarations in the script are
+    /// only *visible* to the check, not installed.
+    ///
+    /// Relation cardinalities are treated as unknown: a check is a claim
+    /// about the script against *any* database state matching the schema,
+    /// so only structurally provable facts (e.g. `select[false]`, literal
+    /// `values`) feed the emptiness pass.
+    pub fn check_script(&self, src: &str) -> LangResult<Vec<Vec<mera_analyze::Diagnostic>>> {
+        let script = parse_script(src)?;
+        let lowered = lower_script(&script, self.db.schema())?;
+        let mut schema = self.db.schema().clone();
+        for decl in lowered.declarations {
+            schema.add(decl).map_err(LangError::Semantic)?;
+        }
+        let cards = mera_analyze::CardEnv::new();
+        Ok(lowered
+            .transactions
+            .iter()
+            .map(|program| {
+                mera_analyze::analyze_program(
+                    program.statements.iter().map(|s| s.analyzer_view()),
+                    &schema,
+                    &cards,
+                )
+            })
+            .collect())
+    }
+
     /// Runs one already-lowered program as a transaction.
     pub fn run_program(&mut self, program: &Program) -> RunResult {
         let (next, outcome) = run_transaction(&self.db, program, self.config, None);
@@ -185,6 +218,59 @@ mod tests {
         // the insert rolled back
         let out = session.query("r").expect("queries");
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn check_script_reports_without_executing() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int, b: str);")
+            .expect("declares");
+        let before = session.database().clone();
+        // E0102: AVG over a provably-empty input
+        let diags = session
+            .check_script("?groupby[(), AVG, %1](select[false](r));")
+            .expect("checks");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0][0].code,
+            mera_analyze::Code::PartialAggregateOnEmpty
+        );
+        // W0101: AVG over a relation of unknown cardinality — a warning,
+        // so the program would still be admitted for execution
+        let diags = session
+            .check_script("?groupby[(), AVG, %1](r);")
+            .expect("checks");
+        assert_eq!(
+            diags[0][0].code,
+            mera_analyze::Code::PartialAggregateMayBeUndefined
+        );
+        assert!(!mera_analyze::has_errors(&diags[0]));
+        // declarations inside the checked script resolve but do not install
+        let diags = session
+            .check_script("relation s (x: int); ?s;")
+            .expect("checks");
+        assert!(diags.iter().all(|d| d.is_empty()));
+        assert_eq!(session.database(), &before);
+    }
+
+    #[test]
+    fn statically_bad_transaction_aborts_with_diagnostic() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int);")
+            .expect("declares");
+        // inserting strings into an int relation: lowering is structural
+        // and lets it through; the analyzer rejects it (E0004) before the
+        // engine would have
+        let results = session
+            .run_script("insert(r, values (str) {('x')});")
+            .expect("parses and lowers");
+        let RunResult::Aborted(ref msg) = results[0] else {
+            panic!("expected abort, got {:?}", results[0]);
+        };
+        assert!(msg.contains("static analysis rejected"), "{msg}");
+        assert!(msg.contains("E0004"), "{msg}");
     }
 
     #[test]

@@ -1,5 +1,23 @@
 //! The rewrite driver: applies rules bottom-up to a fixpoint.
+//!
+//! Soundness is enforced in two layers on **every** rule application:
+//!
+//! 1. the rule's declared [`Precondition`](crate::rules::Precondition) is
+//!    discharged statically ([`mera_analyze::discharge`]) — schema
+//!    preservation plus whatever obligations the rule owes;
+//! 2. under [`VerifyMode::Differential`] (the default in debug builds)
+//!    the original and the replacement are additionally evaluated on a
+//!    few tiny randomized instances and must agree
+//!    ([`mera_analyze::verify_rewrite`]).
+//!
+//! An application failing either layer is *refused*: the plan keeps its
+//! old shape and the `E0201` diagnostic is recorded in
+//! [`Optimized::refusals`], so a miswritten rule degrades performance,
+//! never correctness.
 
+use std::sync::OnceLock;
+
+use mera_analyze::Diagnostic;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};
 
@@ -14,6 +32,43 @@ use crate::rules::{
 /// into a visible error instead of a hang.
 const MAX_PASSES: usize = 32;
 
+/// How applied rewrites are cross-checked dynamically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Static precondition discharge only.
+    Off,
+    /// Precondition discharge plus differential evaluation of every
+    /// application on `trials` tiny randomized instances.
+    Differential {
+        /// Randomized instances per application.
+        trials: u32,
+    },
+}
+
+impl VerifyMode {
+    /// The process-wide default: differential with 2 trials in debug
+    /// builds, off in release. `MERA_VERIFY_REWRITES` overrides — `0`,
+    /// `off` or `false` disables, any number sets the trial count.
+    pub fn from_env() -> VerifyMode {
+        static MODE: OnceLock<VerifyMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("MERA_VERIFY_REWRITES") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" => VerifyMode::Off,
+                s => VerifyMode::Differential {
+                    trials: s.parse().unwrap_or(2).max(1),
+                },
+            },
+            Err(_) => {
+                if cfg!(debug_assertions) {
+                    VerifyMode::Differential { trials: 2 }
+                } else {
+                    VerifyMode::Off
+                }
+            }
+        })
+    }
+}
+
 /// The outcome of an optimization run.
 #[derive(Debug)]
 pub struct Optimized {
@@ -24,11 +79,16 @@ pub struct Optimized {
     pub applications: Vec<(String, usize)>,
     /// Number of bottom-up passes until the fixpoint.
     pub passes: usize,
+    /// `E0201` diagnostics for applications the driver refused because a
+    /// precondition could not be discharged or differential verification
+    /// found a counterexample (deduplicated).
+    pub refusals: Vec<Diagnostic>,
 }
 
 /// A rule-based optimizer over the multi-set algebra.
 pub struct Optimizer {
     rules: Vec<Box<dyn Rule>>,
+    verify: VerifyMode,
 }
 
 impl Optimizer {
@@ -48,13 +108,24 @@ impl Optimizer {
                 Box::new(ProjectBeforeGroupBy),
                 Box::new(PushProjectionIntoJoin),
             ],
+            verify: VerifyMode::from_env(),
         }
     }
 
     /// An optimizer with an explicit rule list (used by the ablation
     /// benchmarks).
     pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Self {
-        Optimizer { rules }
+        Optimizer {
+            rules,
+            verify: VerifyMode::from_env(),
+        }
+    }
+
+    /// Overrides the dynamic verification mode (tests; benchmarks that
+    /// want rewrite cost without verification cost).
+    pub fn with_verify_mode(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// The standard rule set minus the named rules — ablation helper.
@@ -66,6 +137,7 @@ impl Optimizer {
                 .into_iter()
                 .filter(|r| !excluded.contains(&r.name()))
                 .collect(),
+            verify: VerifyMode::from_env(),
         }
     }
 
@@ -87,10 +159,11 @@ impl Optimizer {
         let ctx = RuleContext::new(provider);
         let mut current = expr.clone();
         let mut counts = vec![0usize; self.rules.len()];
+        let mut refusals = Vec::new();
         let mut passes = 0;
         for _ in 0..MAX_PASSES {
             passes += 1;
-            let (next, changed) = self.rewrite_pass(&current, &ctx, &mut counts)?;
+            let (next, changed) = self.rewrite_pass(&current, &ctx, &mut counts, &mut refusals)?;
             current = next;
             if !changed {
                 break;
@@ -107,6 +180,7 @@ impl Optimizer {
                 .map(|(r, &c)| (r.name().to_owned(), c))
                 .collect(),
             passes,
+            refusals,
         })
     }
 
@@ -117,6 +191,7 @@ impl Optimizer {
         expr: &RelExpr,
         ctx: &RuleContext<'_>,
         counts: &mut [usize],
+        refusals: &mut Vec<Diagnostic>,
     ) -> CoreResult<(RelExpr, bool)> {
         let mut changed = false;
         // rewrite children
@@ -125,7 +200,7 @@ impl Optimizer {
         } else {
             let mut new_children = Vec::with_capacity(expr.children().len());
             for child in expr.children() {
-                let (c, ch) = self.rewrite_pass(child, ctx, counts)?;
+                let (c, ch) = self.rewrite_pass(child, ctx, counts, refusals)?;
                 changed |= ch;
                 new_children.push(c);
             }
@@ -147,6 +222,14 @@ impl Optimizer {
                         "rule {} returned an identical tree",
                         rule.name()
                     );
+                    if let Err(d) = self.admit(rule.as_ref(), &node, &next, ctx) {
+                        // a refused application keeps the old plan shape;
+                        // the same refusal recurs on later passes, so dedup
+                        if !refusals.contains(&d) {
+                            refusals.push(d);
+                        }
+                        continue; // try the remaining rules at this node
+                    }
                     node = next;
                     counts[i] += 1;
                     changed = true;
@@ -157,6 +240,39 @@ impl Optimizer {
         }
         Ok((node, changed))
     }
+
+    /// The two-layer soundness gate for one application.
+    fn admit(
+        &self,
+        rule: &dyn Rule,
+        before: &RelExpr,
+        after: &RelExpr,
+        ctx: &RuleContext<'_>,
+    ) -> Result<(), Diagnostic> {
+        let provider = ctx.as_provider();
+        mera_analyze::discharge(rule.name(), &rule.precondition(), before, after, &provider)?;
+        if let VerifyMode::Differential { trials } = self.verify {
+            mera_analyze::verify_rewrite(
+                rule.name(),
+                before,
+                after,
+                &provider,
+                trials,
+                verify_seed(rule.name(), before),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic per-application seed (FNV-1a of the rule name and the
+/// rewritten node's size), so failures reproduce exactly.
+fn verify_seed(rule_name: &str, before: &RelExpr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rule_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ before.node_count() as u64).wrapping_mul(0x100_0000_01b3)
 }
 
 impl Default for Optimizer {
@@ -280,5 +396,143 @@ mod tests {
         let cat = catalog();
         let bad = RelExpr::scan("beer").union(RelExpr::scan("brewery"));
         assert!(Optimizer::standard().optimize(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn standard_rules_never_refused() {
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .product(RelExpr::scan("brewery"))
+            .select(
+                ScalarExpr::attr(2)
+                    .eq(ScalarExpr::attr(4))
+                    .and(ScalarExpr::attr(6).eq(ScalarExpr::str("NL"))),
+            )
+            .project(&[1])
+            .distinct()
+            .distinct();
+        let out = Optimizer::standard()
+            .with_verify_mode(VerifyMode::Differential { trials: 3 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        assert!(!out.applications.is_empty());
+    }
+
+    /// The canonical misrewrite of Theorem 3.3: `δ(E₁ ⊎ E₂) → δE₁ ⊎ δE₂`.
+    /// Honestly declares the disjointness obligation it cannot discharge.
+    struct UnsoundDeltaOverUnion;
+
+    impl Rule for UnsoundDeltaOverUnion {
+        fn name(&self) -> &'static str {
+            "unsound-delta-over-union"
+        }
+
+        fn precondition(&self) -> crate::rules::Precondition {
+            crate::rules::Precondition::schema_preserving(
+                "δ distributes over ⊎ only for disjoint operands (Theorem 3.3)",
+            )
+            .with(crate::rules::Condition::DisjointUnionOperands)
+        }
+
+        fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+            let RelExpr::Distinct(input) = expr else {
+                return Ok(None);
+            };
+            let RelExpr::Union(l, r) = input.as_ref() else {
+                return Ok(None);
+            };
+            Ok(Some(
+                l.as_ref()
+                    .clone()
+                    .distinct()
+                    .union(r.as_ref().clone().distinct()),
+            ))
+        }
+    }
+
+    /// The same misrewrite, but *lying* about its obligations (baseline
+    /// schema preservation only) — static discharge passes, so only the
+    /// differential layer can catch it.
+    struct LyingDeltaOverUnion;
+
+    impl Rule for LyingDeltaOverUnion {
+        fn name(&self) -> &'static str {
+            "lying-delta-over-union"
+        }
+
+        fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+            UnsoundDeltaOverUnion.apply(expr, ctx)
+        }
+    }
+
+    #[test]
+    fn unsound_rule_refused_by_precondition_discharge() {
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .union(RelExpr::scan("beer"))
+            .distinct();
+        let out = Optimizer::with_rules(vec![Box::new(UnsoundDeltaOverUnion)])
+            .with_verify_mode(VerifyMode::Off)
+            .optimize(&e, &cat)
+            .expect("optimizes (by refusing)");
+        assert_eq!(out.expr, e, "the unsound rewrite must not be applied");
+        assert!(out.applications.is_empty());
+        assert_eq!(out.refusals.len(), 1);
+        let d = &out.refusals[0];
+        assert_eq!(d.code, mera_analyze::Code::UnsoundRewrite);
+        assert_eq!(d.code.as_str(), "E0201");
+        assert!(
+            d.message.contains("unsound-delta-over-union"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn unsound_rule_with_dishonest_precondition_caught_differentially() {
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .union(RelExpr::scan("beer"))
+            .distinct();
+        let out = Optimizer::with_rules(vec![Box::new(LyingDeltaOverUnion)])
+            .with_verify_mode(VerifyMode::Differential { trials: 8 })
+            .optimize(&e, &cat)
+            .expect("optimizes (by refusing)");
+        assert_eq!(out.expr, e);
+        assert_eq!(out.refusals.len(), 1);
+        assert_eq!(out.refusals[0].code, mera_analyze::Code::UnsoundRewrite);
+        assert!(
+            out.refusals[0].message.contains("differential"),
+            "{}",
+            out.refusals[0].message
+        );
+        // ...and with verification off, the lying rule slips through —
+        // exactly the gap the debug-mode verifier closes
+        let out = Optimizer::with_rules(vec![Box::new(LyingDeltaOverUnion)])
+            .with_verify_mode(VerifyMode::Off)
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert_ne!(out.expr, e);
+        assert!(out.refusals.is_empty());
+    }
+
+    #[test]
+    fn disjoint_operands_discharge_the_unsound_rule() {
+        // δ(beer ⊎ σ_false(beer)): the right operand is provably empty, so
+        // the operands are disjoint and the distribution is actually sound
+        let cat = catalog();
+        let e = RelExpr::scan("beer")
+            .union(RelExpr::scan("beer").select(ScalarExpr::bool(false)))
+            .distinct();
+        let out = Optimizer::with_rules(vec![Box::new(UnsoundDeltaOverUnion)])
+            .with_verify_mode(VerifyMode::Differential { trials: 4 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        assert_eq!(
+            out.applications,
+            vec![("unsound-delta-over-union".to_owned(), 1)]
+        );
     }
 }

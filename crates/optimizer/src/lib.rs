@@ -31,6 +31,6 @@ pub mod join_order;
 pub mod rules;
 pub mod stats;
 
-pub use driver::{Optimized, Optimizer};
+pub use driver::{Optimized, Optimizer, VerifyMode};
 pub use join_order::reorder_joins;
 pub use stats::{CatalogStats, TableStats};

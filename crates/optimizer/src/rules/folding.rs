@@ -5,7 +5,7 @@ use std::sync::Arc;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, ScalarExpr};
 
-use super::{Rule, RuleContext};
+use super::{Precondition, Rule, RuleContext};
 
 /// Folds constant scalar subexpressions inside selection and join
 /// predicates and extended projections, and eliminates trivial selections:
@@ -96,6 +96,13 @@ impl ConstantFold {
 impl Rule for ConstantFold {
     fn name(&self) -> &'static str {
         "constant-fold"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "constant subexpressions are replaced by their values; erroring \
+             constants are left in place, so definedness is unchanged",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -241,7 +248,7 @@ mod tests {
         let p = ScalarExpr::int(1)
             .div(ScalarExpr::int(0))
             .eq(ScalarExpr::int(1));
-        let e = RelExpr::scan("r").select(p.clone());
+        let e = RelExpr::scan("r").select(p);
         // the fold leaves the erroring subtree; nothing changes
         assert!(apply(&e).is_none());
     }

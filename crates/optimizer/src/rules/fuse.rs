@@ -5,7 +5,7 @@ use std::sync::Arc;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, ScalarExpr};
 
-use super::{Rule, RuleContext};
+use super::{Condition, Precondition, Rule, RuleContext};
 
 /// `σ_p(σ_q(E)) → σ_{q ∧ p}(E)`.
 ///
@@ -18,6 +18,13 @@ pub struct FuseSelections;
 impl Rule for FuseSelections {
     fn name(&self) -> &'static str {
         "fuse-selections"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "σ_p(σ_q(E)) = σ_{q∧p}(E): selection indicator functions compose \
+             by conjunction, pointwise per multiplicity",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -46,6 +53,13 @@ pub struct SelectProductToJoin;
 impl Rule for SelectProductToJoin {
     fn name(&self) -> &'static str {
         "select-product-to-join"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "Theorem 3.1: E₁ ⋈_φ E₂ is *defined* as σ_φ(E₁ × E₂) in the \
+             multi-set algebra (Definition 3.2)",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -87,33 +101,26 @@ impl Rule for SelectProductToJoin {
 /// * `δ(E)` where `E` is a `Values` literal already duplicate-free.
 pub struct DistinctPruning;
 
-impl DistinctPruning {
-    /// Conservatively determines whether an expression provably produces no
-    /// duplicates.
-    fn is_duplicate_free(expr: &RelExpr) -> bool {
-        match expr {
-            RelExpr::Distinct(_) => true,
-            RelExpr::GroupBy { .. } => true,
-            // transitive closure is δ-based by definition
-            RelExpr::Closure(_) => true,
-            RelExpr::Values(rel) => rel.iter().all(|(_, m)| m == 1),
-            // a selection over a duplicate-free input stays duplicate-free
-            RelExpr::Select { input, .. } => Self::is_duplicate_free(input),
-            _ => false,
-        }
-    }
-}
-
 impl Rule for DistinctPruning {
     fn name(&self) -> &'static str {
         "distinct-pruning"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "δE = E whenever every tuple of E has multiplicity 1 \
+             (δ is the identity on sets)",
+        )
+        .with(Condition::OutputDuplicateFree)
     }
 
     fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
         let RelExpr::Distinct(input) = expr else {
             return Ok(None);
         };
-        if Self::is_duplicate_free(input) {
+        // the matching static property lives in the analyzer, so the
+        // driver's precondition discharge re-proves exactly this claim
+        if mera_analyze::duplicate_free(input) {
             Ok(Some(input.as_ref().clone()))
         } else {
             Ok(None)

@@ -25,13 +25,15 @@ pub use pushdown::{PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelect
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};
 
+pub use mera_analyze::{Condition, Precondition};
+
 /// Context handed to rules: schema access for arity-sensitive rewrites.
 pub struct RuleContext<'a> {
     provider: &'a dyn DynSchemaProvider,
 }
 
 /// Object-safe schema lookup (rules are dyn, so the provider must be too).
-trait DynSchemaProvider {
+pub(crate) trait DynSchemaProvider {
     fn schema_of(&self, name: &str) -> CoreResult<SchemaRef>;
 }
 
@@ -56,9 +58,16 @@ impl<'a> RuleContext<'a> {
     pub fn arity(&self, expr: &RelExpr) -> CoreResult<usize> {
         Ok(self.schema(expr)?.arity())
     }
+
+    /// The context's schema access as a [`SchemaProvider`] — what the
+    /// driver hands to precondition discharge and differential
+    /// verification.
+    pub(crate) fn as_provider(&self) -> ProviderShim<'_> {
+        ProviderShim(self.provider)
+    }
 }
 
-struct ProviderShim<'a>(&'a dyn DynSchemaProvider);
+pub(crate) struct ProviderShim<'a>(pub(crate) &'a dyn DynSchemaProvider);
 
 impl SchemaProvider for ProviderShim<'_> {
     fn relation_schema(&self, name: &str) -> CoreResult<SchemaRef> {
@@ -74,4 +83,15 @@ pub trait Rule {
     /// Attempts to rewrite `expr` (looking only at this node and its
     /// children). Returns `Ok(None)` when the rule does not apply.
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>>;
+
+    /// The rule's declared soundness argument, as data. The driver
+    /// discharges it on **every** application ([`mera_analyze::discharge`])
+    /// and refuses applications whose obligations fail, so a rule cannot
+    /// silently apply outside its justification. The default is the
+    /// baseline every rule owes: schema preservation.
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "local rewrite justified by a pointwise multiplicity argument",
+        )
+    }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mera_core::prelude::*;
 use mera_expr::RelExpr;
 
-use super::{Rule, RuleContext};
+use super::{Precondition, Rule, RuleContext};
 
 /// `γ_{a,f,p}(E) → γ_{a',f,p'}(π_{a∪{p}}(E))` when `E` carries attributes
 /// that neither the grouping list nor the aggregate needs.
@@ -26,6 +26,14 @@ pub struct ProjectBeforeGroupBy;
 impl Rule for ProjectBeforeGroupBy {
     fn name(&self) -> &'static str {
         "project-before-group-by"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "Example 3.2: π collapsing tuples *sums* multiplicities, so every \
+             group hands its aggregate the same value bag (bag semantics only \
+             — unsound under set semantics)",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -129,7 +137,7 @@ mod tests {
             RelExpr::scan("brewery"),
             ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
         );
-        let e = join.clone().group_by(&[6], Aggregate::Avg, 3);
+        let e = join.group_by(&[6], Aggregate::Avg, 3);
         let once = apply(&e).expect("applies");
         assert!(apply(&once).is_none());
     }

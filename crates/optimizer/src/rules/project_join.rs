@@ -15,7 +15,7 @@ use std::sync::Arc;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, ScalarExpr};
 
-use super::{Rule, RuleContext};
+use super::{Precondition, Rule, RuleContext};
 
 /// Narrows join/product inputs to the attributes the projection above (and
 /// the join predicate) actually use.
@@ -24,6 +24,14 @@ pub struct PushProjectionIntoJoin;
 impl Rule for PushProjectionIntoJoin {
     fn name(&self) -> &'static str {
         "push-projection-into-join"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "inner projections sum collapsing multiplicities, the join \
+             multiplies them, and the double sum factors; the predicate only \
+             references kept attributes by construction",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {

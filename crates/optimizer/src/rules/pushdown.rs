@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, ScalarExpr};
 
-use super::{Rule, RuleContext};
+use super::{Precondition, Rule, RuleContext};
 
 /// Pushes `σ_φ` through `⊎`, `−` and `∩` onto both operands.
 ///
@@ -26,6 +26,14 @@ pub struct PushSelectionThroughBinary;
 impl Rule for PushSelectionThroughBinary {
     fn name(&self) -> &'static str {
         "push-selection-through-binary"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "Theorem 3.2 for ⊎; for − and ∩ a tuple failing φ has \
+             multiplicity 0 on both sides and one passing φ keeps \
+             max(0,m₁−m₂) / min(m₁,m₂)",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -88,6 +96,14 @@ impl PushSelectionIntoJoin {
 impl Rule for PushSelectionIntoJoin {
     fn name(&self) -> &'static str {
         "push-selection-into-join"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "single-side conjuncts of a product/join selection commute with \
+             ×: the product multiplies multiplicities and each indicator \
+             factors to its own side",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
@@ -164,6 +180,13 @@ pub struct PushProjectionThroughUnion;
 impl Rule for PushProjectionThroughUnion {
     fn name(&self) -> &'static str {
         "push-projection-through-union"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "Theorem 3.2: π_a(E₁ ⊎ E₂) = π_aE₁ ⊎ π_aE₂ — multiplicities add \
+             before or after projecting, the sums commute",
+        )
     }
 
     fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {

@@ -20,6 +20,7 @@
 //! Used by experiments E6 (Example 3.2 correctness divergence) and E7
 //! (duplicate-removal cost sweep), see `EXPERIMENTS.md`.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::Arc;

@@ -29,6 +29,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -42,6 +43,21 @@ pub use translate::{translate, Translated};
 use mera_core::prelude::*;
 use mera_lang::error::{LangError, LangResult};
 use mera_txn::{Outcome, Program, TransactionManager};
+
+/// Parses and translates one SQL statement, then runs the `mera-analyze`
+/// passes against the manager's current state *without executing it*.
+///
+/// Returns every diagnostic (errors and warnings). Unlike
+/// [`mera_lang::Session::check_script`], the check sees live relation
+/// cardinalities: `AVG` over a relation that is empty *right now* is
+/// reported as a hard `E0102`, not a `W0101` possibility.
+pub fn check_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Vec<mera_analyze::Diagnostic>> {
+    let stmt = parse_sql(sql)?;
+    let snapshot = mgr.snapshot();
+    let translated = translate(&stmt, snapshot.schema())?;
+    let program = Program::single(translated.into_statement());
+    Ok(mera_txn::exec::analyze_program(&snapshot, &program))
+}
 
 /// Parses, translates and runs one SQL statement as a transaction against
 /// a manager. Returns the result relation for queries, `None` for DML.
@@ -244,6 +260,29 @@ mod tests {
         assert_eq!(out.len(), 1);
         let avg = (5.0 + 5.0 + 5.1 + 6.5 + 6.3 + 4.2) / 6.0;
         assert_eq!(out.multiplicity(&tuple![avg]), 1);
+    }
+
+    #[test]
+    fn check_sql_reports_partiality_against_live_state() {
+        let mgr = TransactionManager::new(beer_schema());
+        // beer is empty right now: AVG is provably undefined — E0102
+        let diags = check_sql(&mgr, "SELECT AVG(alcperc) FROM beer").expect("checks");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, mera_analyze::Code::PartialAggregateOnEmpty);
+        // and the transaction path agrees: the statement is rejected
+        // before execution
+        let err = run_sql(&mgr, "SELECT AVG(alcperc) FROM beer").unwrap_err();
+        assert!(
+            err.to_string().contains("static analysis rejected"),
+            "{err}"
+        );
+        // once the relation is nonempty the check proves safety instead
+        run_sql(&mgr, "INSERT INTO beer VALUES ('Grolsch', 'Grolsche', 5.0)").expect("inserts");
+        let diags = check_sql(&mgr, "SELECT AVG(alcperc) FROM beer").expect("checks");
+        assert!(diags.is_empty(), "{diags:?}");
+        // COUNT is total, so it is clean either way (Definition 3.4)
+        let diags = check_sql(&mgr, "SELECT COUNT(*) FROM brewery").expect("checks");
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

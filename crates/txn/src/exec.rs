@@ -23,6 +23,11 @@ use crate::statement::{Program, Statement};
 pub struct ExecConfig {
     /// Run the rule-based optimizer before evaluation.
     pub optimize: bool,
+    /// Run the static analyzer over the whole program before the first
+    /// statement executes ([`run_transaction_checked`] only): programs
+    /// with error-severity diagnostics abort up front, before any
+    /// intermediate state is built.
+    pub analyze: bool,
     /// Which evaluator runs the statements' expressions (the batched
     /// physical engine by default; [`EngineKind::Reference`] is the slow
     /// oracle used for differential testing).
@@ -35,6 +40,7 @@ impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             optimize: true,
+            analyze: true,
             engine: EngineKind::default(),
             options: ExecOptions::default(),
         }
@@ -161,6 +167,25 @@ pub fn execute_statement(
             Ok(())
         }
     }
+}
+
+/// Statically analyzes a whole program against a database state: schemas
+/// come from the catalog, emptiness facts ([`mera_analyze::Card`]) from
+/// the live relation instances. Returns every diagnostic; the program is
+/// rejectable iff [`mera_analyze::has_errors`].
+pub fn analyze_program(db: &Database, program: &Program) -> Vec<mera_analyze::Diagnostic> {
+    let cards: mera_analyze::CardEnv = db
+        .relation_names()
+        .filter_map(|n| {
+            let rel = db.relation(n).ok()?;
+            Some((n.to_owned(), mera_analyze::Card::of_relation(rel)))
+        })
+        .collect();
+    mera_analyze::analyze_program(
+        program.statements.iter().map(Statement::analyzer_view),
+        db.schema(),
+        &cards,
+    )
 }
 
 /// Executes a whole program in order, collecting query outputs.

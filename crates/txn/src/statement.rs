@@ -97,6 +97,27 @@ impl Statement {
         Statement::Query { expr }
     }
 
+    /// The static analyzer's borrowed view of this statement
+    /// (`mera-analyze` is deliberately ignorant of this crate's types).
+    pub fn analyzer_view(&self) -> mera_analyze::ProgramStmt<'_> {
+        use mera_analyze::ProgramStmt;
+        match self {
+            Statement::Insert { relation, expr } => ProgramStmt::Insert { relation, expr },
+            Statement::Delete { relation, expr } => ProgramStmt::Delete { relation, expr },
+            Statement::Update {
+                relation,
+                expr,
+                exprs,
+            } => ProgramStmt::Update {
+                relation,
+                expr,
+                exprs,
+            },
+            Statement::Assign { name, expr } => ProgramStmt::Assign { name, expr },
+            Statement::Query { expr } => ProgramStmt::Query { expr },
+        }
+    }
+
     /// The relation this statement writes, if any.
     pub fn written_relation(&self) -> Option<&str> {
         match self {

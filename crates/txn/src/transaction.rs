@@ -16,7 +16,7 @@ use mera_core::prelude::*;
 use parking_lot::Mutex;
 
 use crate::constraints::ConstraintSet;
-use crate::exec::{execute_statement, ExecConfig, Outputs, WorkingState};
+use crate::exec::{analyze_program, execute_statement, ExecConfig, Outputs, WorkingState};
 use crate::log::{LogRecord, RedoLog};
 use crate::statement::Program;
 
@@ -26,6 +26,10 @@ pub enum AbortReason {
     /// A statement failed with an error (the common case: partial
     /// aggregates, division by zero, schema violations).
     Error(CoreError),
+    /// The pre-execution static analyzer found error-severity diagnostics;
+    /// no statement was executed. Carries *every* diagnostic of the run
+    /// (warnings included), in analysis order.
+    StaticallyRejected(Vec<mera_analyze::Diagnostic>),
     /// An injected fault (testing hook) fired before the given statement
     /// index.
     InjectedFault(usize),
@@ -38,6 +42,11 @@ impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AbortReason::Error(e) => write!(f, "statement error: {e}"),
+            AbortReason::StaticallyRejected(diags) => {
+                let first = mera_analyze::first_error(diags)
+                    .expect("a static rejection carries at least one error");
+                write!(f, "static analysis rejected the program: {first}")
+            }
             AbortReason::InjectedFault(i) => write!(f, "injected fault before statement {i}"),
             AbortReason::ConstraintViolation(v) => write!(f, "{v}"),
         }
@@ -93,6 +102,20 @@ pub fn run_transaction_checked(
     fault_before: Option<usize>,
     constraints: &ConstraintSet,
 ) -> (Database, Outcome) {
+    // static pre-check: a program with error-severity diagnostics aborts
+    // before any statement runs (warnings pass through — they describe
+    // plans that *may* fail, and execution is the arbiter)
+    if config.analyze {
+        let diags = analyze_program(db, program);
+        if mera_analyze::has_errors(&diags) {
+            let mut next = db.clone();
+            next.tick();
+            return (
+                next,
+                Outcome::Aborted(AbortReason::StaticallyRejected(diags)),
+            );
+        }
+    }
     let mut state = WorkingState::new(db.clone());
     let mut outputs = Outputs::default();
     for (i, stmt) in program.statements.iter().enumerate() {
@@ -311,7 +334,14 @@ mod tests {
 
     #[test]
     fn statement_error_aborts_whole_transaction() {
-        let mgr = TransactionManager::new(schema());
+        // analysis off: the failure surfaces at runtime, mid-program
+        let mgr = TransactionManager::with_config(
+            schema(),
+            ExecConfig {
+                analyze: false,
+                ..ExecConfig::default()
+            },
+        );
         mgr.execute(&Program::single(deposit("a", 100)))
             .expect("setup");
         // deposit then a failing statement (AVG over empty bag)
@@ -331,6 +361,28 @@ mod tests {
         assert_eq!(snap.relation("acct").expect("present").len(), 1);
         // but time advanced: the attempt is a transition
         assert_eq!(snap.time(), 2);
+    }
+
+    #[test]
+    fn statically_rejected_program_aborts_before_execution() {
+        // the same doomed program, with analysis on (the default): the
+        // E0102 partiality error is caught before the deposit ever runs
+        let mgr = TransactionManager::new(schema());
+        let failing = Program::new().then(deposit("b", 50)).then(Statement::query(
+            RelExpr::scan("acct")
+                .select(ScalarExpr::bool(false))
+                .group_by(&[], mera_expr::Aggregate::Avg, 2),
+        ));
+        let (outcome, transition) = mgr.execute(&failing).expect("runs");
+        let Outcome::Aborted(reason @ AbortReason::StaticallyRejected(diags)) = &outcome else {
+            panic!("expected a static rejection, got {outcome:?}");
+        };
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, mera_analyze::Code::PartialAggregateOnEmpty);
+        assert_eq!(diags[0].span.stmt, Some(1));
+        // the rendered reason names the offending aggregate
+        assert!(reason.to_string().contains("AVG"), "{reason}");
+        assert!(transition.is_identity());
     }
 
     #[test]
@@ -361,9 +413,25 @@ mod tests {
         // the post-transaction state has no relation called "scratch"
         let snap = mgr.snapshot();
         assert!(snap.relation("scratch").is_err());
-        // and a later transaction cannot see it either
+        // and a later transaction cannot see it either: the analyzer
+        // rejects the scan of `scratch` as an unknown relation (E0002)
         let later = Program::single(Statement::query(RelExpr::scan("scratch")));
         let (outcome, _) = mgr.execute(&later).expect("runs");
+        match outcome {
+            Outcome::Aborted(AbortReason::StaticallyRejected(diags)) => {
+                assert_eq!(diags[0].code, mera_analyze::Code::UnknownRelation);
+            }
+            other => panic!("expected static rejection, got {other:?}"),
+        }
+        // with analysis off, the runtime agrees
+        let unchecked = TransactionManager::with_config(
+            schema(),
+            ExecConfig {
+                analyze: false,
+                ..ExecConfig::default()
+            },
+        );
+        let (outcome, _) = unchecked.execute(&later).expect("runs");
         assert!(matches!(
             outcome,
             Outcome::Aborted(AbortReason::Error(CoreError::UnknownRelation(_)))

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let direct = join.clone().group_by(&[6], Aggregate::Avg, 3);
     // the paper's hand-optimized form with the projection inserted
-    let reduced = join
-        .clone()
-        .project(&[3, 6])
-        .group_by(&[2], Aggregate::Avg, 1);
+    let reduced = join.project(&[3, 6]).group_by(&[2], Aggregate::Avg, 1);
 
     // ── bag semantics: both forms agree ───────────────────────────────
     let bag_direct = eval(&direct, &db)?;

@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`analyze`] | `mera-analyze` | static analysis: schema inference, partiality lints, rewrite soundness |
 //! | [`core`] | `mera-core` | values, tuples, schemas, counted bags, databases (§2) |
 //! | [`expr`] | `mera-expr` | scalar/aggregate/relational expression trees (§3) |
 //! | [`eval`] | `mera-eval` | reference evaluator + Volcano engine |
@@ -38,6 +39,7 @@
 //! # Ok::<(), mera::lang::LangError>(())
 //! ```
 
+pub use mera_analyze as analyze;
 pub use mera_core as core;
 pub use mera_eval as eval;
 pub use mera_expr as expr;

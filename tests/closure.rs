@@ -135,7 +135,7 @@ proptest! {
         prop_assert!(base.is_submultiset(&closed).expect("same schema"));
 
         // idempotent: α(α(E)) = α(E)
-        let twice = eval(&e.clone().closure().closure(), &db).expect("double closure");
+        let twice = eval(&e.closure().closure(), &db).expect("double closure");
         prop_assert_eq!(&twice, &closed);
 
         // transitive: (a,b) ∈ α(E) ∧ (b,c) ∈ α(E) ⇒ (a,c) ∈ α(E)
