@@ -31,7 +31,7 @@ pub fn rel_to_xra(expr: &RelExpr) -> String {
                         if j > 0 {
                             s.push_str(", ");
                         }
-                        s.push_str(&v.to_string());
+                        s.push_str(&literal_to_xra(v));
                     }
                     s.push(')');
                 }
@@ -90,24 +90,31 @@ pub fn rel_to_xra(expr: &RelExpr) -> String {
     }
 }
 
+/// Renders one literal value as parseable XRA source — the single place
+/// where string quoting (`''` escaping) and real formatting live, shared
+/// by scalar literals and `values` rows.
+fn literal_to_xra(v: &mera_core::value::Value) -> String {
+    use mera_core::value::Value;
+    match v {
+        Value::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
+        Value::Real(r) => {
+            // ensure reals keep a decimal point so they re-lex as reals
+            let s = r.get().to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
 /// Renders a scalar expression as parseable XRA source.
 pub fn scalar_to_xra(e: &ScalarExpr) -> String {
-    use mera_core::value::Value;
     match e {
         ScalarExpr::Attr(i) => format!("%{i}"),
-        ScalarExpr::Literal(v) => match v {
-            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
-            Value::Real(r) => {
-                // ensure reals keep a decimal point so they re-lex as reals
-                let s = r.get().to_string();
-                if s.contains('.') || s.contains('e') {
-                    s
-                } else {
-                    format!("{s}.0")
-                }
-            }
-            other => other.to_string(),
-        },
+        ScalarExpr::Literal(v) => literal_to_xra(v),
         ScalarExpr::Arith(op, l, r) => {
             let op = match op {
                 ArithOp::Add => "+",

@@ -25,7 +25,7 @@ fn catalog() -> DatabaseSchema {
 fn pred(ix: u8, c: i64) -> ScalarExpr {
     match ix % 6 {
         0 => ScalarExpr::attr(1).eq(ScalarExpr::int(c)),
-        1 => ScalarExpr::attr(2).eq(ScalarExpr::str("it's")),
+        1 => ScalarExpr::attr(2).eq(ScalarExpr::str("it's\n\tµ")),
         2 => ScalarExpr::attr(1)
             .add(ScalarExpr::int(c))
             .cmp(CmpOp::Lt, ScalarExpr::int(7)),

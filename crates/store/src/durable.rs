@@ -1,0 +1,498 @@
+//! [`DurableDb`]: the transaction engine wired to a write-ahead log.
+//!
+//! The wrapper owns a [`Database`] plus a [`Storage`] backend holding two
+//! files: the WAL (`mera.wal`) and the latest checkpoint snapshot
+//! (`mera.snapshot`). The protocol is classical write-ahead logging
+//! specialized to this engine's logical redo records:
+//!
+//! * **Commit** — run the transaction in memory against the current state;
+//!   if it commits, append one [`WalRecord::Commit`] frame (logical time +
+//!   the program as XRA text) and fsync *before* publishing the new state.
+//!   A crash between append and publish re-applies the record at recovery;
+//!   a crash before the append loses only an unacknowledged transaction.
+//! * **Abort** — nothing is written. Aborts tick logical time in memory
+//!   (the paper's transition semantics) but leave no durable trace;
+//!   recovery re-derives the intervening ticks from the gap between
+//!   consecutive commit times.
+//! * **Checkpoint** — atomically replace the snapshot with the full
+//!   current state, then reset the WAL to an empty header. Crashing
+//!   between the two steps is safe: recovery skips WAL commits at or
+//!   before the snapshot time.
+//! * **Recovery** — load the snapshot (if any), scan the WAL, truncate the
+//!   torn tail, then replay declarations and commits in order. Replay uses
+//!   the same executor as the live path with static analysis disabled —
+//!   the log records *committed* work, so re-checking it could only
+//!   diverge.
+
+use crate::error::{StoreError, StoreResult};
+use crate::snapshot;
+use crate::storage::Storage;
+use crate::wal::{self, WalRecord};
+use mera_core::prelude::*;
+use mera_lang::{program_to_xra, Lowerer};
+use mera_txn::{run_transaction_checked, ConstraintSet, ExecConfig, Outcome, Outputs, Program};
+
+/// Name of the write-ahead log file inside a [`Storage`] root.
+pub const WAL_FILE: &str = "mera.wal";
+
+/// Name of the checkpoint snapshot file inside a [`Storage`] root.
+pub const SNAPSHOT_FILE: &str = "mera.snapshot";
+
+/// When the WAL file is flushed to stable storage.
+///
+/// The policy trades commit latency against the window of acknowledged
+/// transactions a crash can lose. It only affects real-file backends; the
+/// in-memory fault-injecting backend treats every written byte as durable
+/// so crash tests stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every commit record. No acknowledged commit is ever
+    /// lost; slowest.
+    Always,
+    /// Fsync after every `n` commit records (group commit). A crash loses
+    /// at most the last `n - 1` acknowledged commits.
+    EveryN(u32),
+    /// Never fsync the WAL from the commit path (the OS flushes when it
+    /// pleases). Fastest; a crash may lose any commit since the last
+    /// checkpoint.
+    Never,
+}
+
+/// Configuration for a [`DurableDb`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// WAL flush policy.
+    pub fsync: FsyncPolicy,
+    /// Execution configuration for the live transaction path. Replay
+    /// always runs with `analyze` off regardless of this setting.
+    pub exec: ExecConfig,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// A database whose committed history survives process death.
+///
+/// All mutation goes through [`execute`](DurableDb::execute) (transactions)
+/// and [`add_relation`](DurableDb::add_relation) (DDL); both follow the
+/// log-then-publish protocol described in the module docs.
+pub struct DurableDb<S: Storage> {
+    storage: S,
+    db: Database,
+    options: StoreOptions,
+    unsynced_appends: u32,
+}
+
+impl<S: Storage> std::fmt::Debug for DurableDb<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableDb")
+            .field("time", &self.db.time())
+            .field("relations", &self.db.schema().len())
+            .field("fsync", &self.options.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Storage> DurableDb<S> {
+    /// Opens (or creates) a durable database in `storage`.
+    ///
+    /// With no prior files this initializes a fresh database over
+    /// `initial_schema` and writes one `Declare` record per relation, so
+    /// the WAL alone reconstructs the catalog. With prior files it runs
+    /// recovery: snapshot restore, torn-tail truncation, then replay.
+    /// `initial_schema` is ignored when durable state exists — the files
+    /// are the source of truth.
+    pub fn open(
+        mut storage: S,
+        initial_schema: DatabaseSchema,
+        options: StoreOptions,
+    ) -> StoreResult<Self> {
+        let snapshot_bytes = storage.read(SNAPSHOT_FILE)?;
+        let wal_bytes = match storage.read(WAL_FILE)? {
+            // A WAL shorter than its magic can only be a crash during
+            // initial creation (every later state starts with the full
+            // header): treat it as absent and re-create.
+            Some(bytes)
+                if bytes.len() < wal::WAL_MAGIC.len() && wal::WAL_MAGIC.starts_with(&bytes[..]) =>
+            {
+                None
+            }
+            other => other,
+        };
+
+        if snapshot_bytes.is_none() && wal_bytes.is_none() {
+            // Fresh open: materialize the initial schema into the WAL,
+            // atomically — a crash mid-creation leaves no live WAL file,
+            // so the next open starts fresh again.
+            let db = Database::new(initial_schema);
+            let mut bytes = wal::empty_wal();
+            let mut names: Vec<&str> = db.relation_names().collect();
+            names.sort_unstable();
+            for name in names {
+                let record = WalRecord::Declare {
+                    name: name.to_string(),
+                    schema: db.relation(name)?.schema().as_ref().clone(),
+                };
+                bytes.extend_from_slice(&record.encode_frame());
+            }
+            storage.replace_atomic(WAL_FILE, &bytes)?;
+            return Ok(DurableDb {
+                storage,
+                db,
+                options,
+                unsynced_appends: 0,
+            });
+        }
+
+        let mut db = match snapshot_bytes {
+            Some(bytes) => snapshot::decode(&bytes)?,
+            None => Database::new(DatabaseSchema::new()),
+        };
+        let snapshot_time = db.time();
+
+        match wal_bytes {
+            None => {
+                // A snapshot with no (or torn-at-creation) WAL: start a
+                // fresh log. `replace_atomic` also clears any partial
+                // header bytes left by the crash.
+                storage.replace_atomic(WAL_FILE, &wal::empty_wal())?;
+            }
+            Some(bytes) => {
+                let scanned = wal::scan(&bytes)?;
+                if scanned.valid_len < bytes.len() as u64 {
+                    // Torn tail from a crash mid-append: drop it so the
+                    // next append starts at a frame boundary.
+                    storage.truncate(WAL_FILE, scanned.valid_len)?;
+                    storage.sync(WAL_FILE)?;
+                }
+                for record in scanned.records {
+                    Self::replay(&mut db, record, snapshot_time, options.exec)?;
+                }
+            }
+        }
+
+        Ok(DurableDb {
+            storage,
+            db,
+            options,
+            unsynced_appends: 0,
+        })
+    }
+
+    /// Applies one recovered WAL record to the rebuilding state.
+    fn replay(
+        db: &mut Database,
+        record: WalRecord,
+        snapshot_time: u64,
+        exec: ExecConfig,
+    ) -> StoreResult<()> {
+        match record {
+            WalRecord::Declare { name, schema } => {
+                // Declarations covered by the snapshot re-appear in the
+                // WAL; identical re-declarations are no-ops, conflicting
+                // ones mean the log belongs to a different database.
+                if let Ok(schema_ref) = db.schema().get(&name) {
+                    if schema_ref.as_ref() == &schema {
+                        return Ok(());
+                    }
+                    return Err(StoreError::CorruptWal(format!(
+                        "declaration of '{name}' conflicts with the recovered schema"
+                    )));
+                }
+                db.add_relation(RelationSchema::new(name, schema))?;
+                Ok(())
+            }
+            WalRecord::Commit { time, text } => {
+                if time <= snapshot_time {
+                    // Already folded into the snapshot.
+                    return Ok(());
+                }
+                let replay_err = |reason: String| StoreError::ReplayFailed { time, reason };
+                let program = Self::parse_text(db, &text).map_err(|e| replay_err(e.to_string()))?;
+                // Aborted attempts tick logical time but are never
+                // logged; bridge the gap so the replayed commit lands at
+                // exactly the time the record carries.
+                db.advance_time_to(time.saturating_sub(1))?;
+                let mut config = exec;
+                config.analyze = false; // the log holds *committed* work
+                let (next, outcome) =
+                    run_transaction_checked(db, &program, config, None, &ConstraintSet::new());
+                match outcome {
+                    Outcome::Committed(_) => {
+                        debug_assert_eq!(next.time(), time);
+                        *db = next;
+                        Ok(())
+                    }
+                    Outcome::Aborted(reason) => Err(replay_err(reason.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Parses and lowers a logged program text against the current schema.
+    fn parse_text(db: &Database, text: &str) -> StoreResult<Program> {
+        if text.is_empty() {
+            return Ok(Program::new());
+        }
+        let parsed = mera_lang::parse_program(text)?;
+        let mut lowerer = Lowerer::new(db.schema());
+        Ok(lowerer.lower_program(&parsed)?)
+    }
+
+    /// Runs one transaction with durable commit, without integrity
+    /// constraints.
+    pub fn execute(&mut self, program: &Program) -> StoreResult<Outputs> {
+        self.execute_checked(program, &ConstraintSet::new())
+    }
+
+    /// Runs one transaction with durable commit and commit-time integrity
+    /// enforcement.
+    ///
+    /// On commit, the redo record is appended (and flushed, per the fsync
+    /// policy) *before* the new state is published; an I/O failure leaves
+    /// the in-memory state unchanged. On abort nothing is written and the
+    /// error carries the abort reason.
+    pub fn execute_checked(
+        &mut self,
+        program: &Program,
+        constraints: &ConstraintSet,
+    ) -> StoreResult<Outputs> {
+        let (next, outcome) =
+            run_transaction_checked(&self.db, program, self.options.exec, None, constraints);
+        match outcome {
+            Outcome::Committed(outputs) => {
+                let record = WalRecord::Commit {
+                    time: next.time(),
+                    text: program_to_xra(program),
+                };
+                self.storage.append(WAL_FILE, &record.encode_frame())?;
+                self.maybe_sync()?;
+                self.db = next;
+                Ok(outputs)
+            }
+            Outcome::Aborted(reason) => {
+                // The aborted attempt is a transition (time ticks) but it
+                // is not durable history; recovery re-derives the tick.
+                self.db = next;
+                Err(StoreError::TransactionAborted(reason.to_string()))
+            }
+        }
+    }
+
+    /// Declares a new relation, durably.
+    ///
+    /// The `Declare` record is logged (and flushed) before the schema
+    /// change is published, mirroring the commit path.
+    pub fn add_relation(&mut self, rs: RelationSchema) -> StoreResult<()> {
+        let mut probe = self.db.clone();
+        probe.add_relation(RelationSchema::new(
+            rs.name.clone(),
+            rs.schema.as_ref().clone(),
+        ))?;
+        let record = WalRecord::Declare {
+            name: rs.name,
+            schema: rs.schema.as_ref().clone(),
+        };
+        self.storage.append(WAL_FILE, &record.encode_frame())?;
+        self.storage.sync(WAL_FILE)?;
+        self.db = probe;
+        Ok(())
+    }
+
+    /// Writes a checkpoint: snapshot the full state atomically, then reset
+    /// the WAL to an empty header.
+    ///
+    /// After a checkpoint, recovery restores the snapshot directly instead
+    /// of replaying history, and the log stops growing. A crash anywhere
+    /// inside this method is safe — the snapshot swap is atomic, and a
+    /// stale WAL alongside a fresh snapshot only contains records the
+    /// snapshot time filter skips.
+    pub fn checkpoint(&mut self) -> StoreResult<()> {
+        let bytes = snapshot::encode(&self.db);
+        self.storage.replace_atomic(SNAPSHOT_FILE, &bytes)?;
+        self.storage.replace_atomic(WAL_FILE, &wal::empty_wal())?;
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+
+    fn maybe_sync(&mut self) -> StoreResult<()> {
+        match self.options.fsync {
+            FsyncPolicy::Always => self.storage.sync(WAL_FILE),
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced_appends += 1;
+                if self.unsynced_appends >= n.max(1) {
+                    self.unsynced_appends = 0;
+                    self.storage.sync(WAL_FILE)
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// The current in-memory state (committed plus aborted-tick history).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The store options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// Borrows the storage backend (tests inspect fault counters through
+    /// this).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Consumes the wrapper, returning the storage backend.
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "accounts",
+                Schema::named(&[("owner", DataType::Str), ("balance", DataType::Int)]),
+            )
+            .expect("fresh schema")
+    }
+
+    fn open_mem(storage: MemStorage) -> DurableDb<MemStorage> {
+        DurableDb::open(storage, schema(), StoreOptions::default()).expect("open")
+    }
+
+    fn insert_program(db: &Database, owner: &str, balance: i64) -> Program {
+        let text = format!("insert(accounts, values (str, int) {{('{owner}', {balance})}})");
+        DurableDb::<MemStorage>::parse_text(db, &text).expect("valid program")
+    }
+
+    #[test]
+    fn commit_then_reopen_recovers_state() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        let expected = durable.database().clone();
+        drop(durable);
+
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.database(), &expected);
+    }
+
+    #[test]
+    fn abort_writes_nothing_and_still_ticks_time() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("insert commits");
+        let t0 = durable.database().time();
+        let before_units = storage.units_written();
+
+        // Division by zero over a non-empty relation aborts the
+        // transaction (statically or at runtime — either way, Aborted).
+        let bad =
+            DurableDb::<MemStorage>::parse_text(durable.database(), "?project[(%2 / 0)](accounts)")
+                .expect("parses and lowers");
+        let err = durable.execute(&bad).expect_err("aborts");
+        assert!(matches!(err, StoreError::TransactionAborted(_)));
+        assert_eq!(durable.database().time(), t0 + 1, "aborts tick time");
+        assert_eq!(
+            storage.units_written(),
+            before_units,
+            "aborts leave no durable trace"
+        );
+
+        // The aborted tick is not durable history: recovery lands on the
+        // last committed time.
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.database().time(), t0);
+    }
+
+    #[test]
+    fn duplicate_declaration_fails_before_logging() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let before_units = storage.units_written();
+        let err = durable
+            .add_relation(RelationSchema::new(
+                "accounts",
+                Schema::anon(&[DataType::Int]),
+            ))
+            .expect_err("duplicate relation");
+        assert!(matches!(err, StoreError::Core(_)));
+        assert_eq!(storage.units_written(), before_units);
+    }
+
+    #[test]
+    fn checkpoint_resets_wal_and_recovery_uses_snapshot() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        for (owner, amount) in [("ann", 10_i64), ("bob", 20), ("cho", 30)] {
+            let p = insert_program(durable.database(), owner, amount);
+            durable.execute(&p).expect("commits");
+        }
+        durable.checkpoint().expect("checkpoint");
+        let expected = durable.database().clone();
+        drop(durable);
+
+        let image = storage.image();
+        let wal = image.get(WAL_FILE).expect("wal exists");
+        assert_eq!(wal.as_slice(), wal::empty_wal().as_slice(), "wal reset");
+        assert!(image.contains_key(SNAPSHOT_FILE));
+
+        let recovered = open_mem(MemStorage::from_image(image));
+        assert_eq!(recovered.database(), &expected);
+    }
+
+    #[test]
+    fn declares_after_checkpoint_survive() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        durable.checkpoint().expect("checkpoint");
+        durable
+            .add_relation(RelationSchema::new(
+                "audit",
+                Schema::named(&[("note", DataType::Str)]),
+            ))
+            .expect("declare");
+        let p = DurableDb::<MemStorage>::parse_text(
+            durable.database(),
+            "insert(audit, values (str) {('hello')})",
+        )
+        .unwrap();
+        durable.execute(&p).expect("commits");
+        let expected = durable.database().clone();
+        drop(durable);
+
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.database(), &expected);
+    }
+
+    #[test]
+    fn io_failure_on_commit_leaves_memory_unchanged() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let before = durable.database().clone();
+        storage.set_budget(0);
+        let p = insert_program(durable.database(), "ann", 10);
+        let err = durable.execute(&p).expect_err("storage is dead");
+        assert_eq!(err, StoreError::Crashed);
+        assert_eq!(durable.database(), &before);
+    }
+}

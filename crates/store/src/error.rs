@@ -1,0 +1,106 @@
+//! Error types for the durable store.
+
+use std::fmt;
+
+use mera_core::prelude::CoreError;
+
+/// Errors raised by the durability layer.
+///
+/// The variants separate three very different situations a storage engine
+/// must keep apart: *environmental* failures (I/O errors, the injected
+/// [`Crashed`](StoreError::Crashed) fault), *data* failures (corrupt WAL or
+/// snapshot bytes that passed the length check but not the semantic one),
+/// and *logic* failures surfaced by the layers below (a replayed program
+/// aborting, an ill-typed snapshot relation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (rendered, to stay comparable).
+    Io(String),
+    /// The fault-injecting storage backend simulated a crash; every
+    /// operation on the "dead" store fails with this until it is reopened.
+    Crashed,
+    /// The write-ahead log is structurally unreadable: bad magic, an
+    /// unknown record version, or an intact (CRC-verified) record whose
+    /// payload does not decode. Torn tails are *not* errors — recovery
+    /// truncates them — so this variant always means real corruption or a
+    /// format change without a version bump.
+    CorruptWal(String),
+    /// The snapshot file is unreadable: bad magic, unknown version, CRC
+    /// mismatch, or an undecodable body.
+    CorruptSnapshot(String),
+    /// A logged transaction did not commit when replayed during recovery.
+    /// Committed programs replay deterministically, so this indicates the
+    /// log and the database schema have diverged.
+    ReplayFailed {
+        /// Logical time of the record that failed to replay.
+        time: u64,
+        /// Rendered reason.
+        reason: String,
+    },
+    /// A transaction submitted through the durable API aborted (the
+    /// database is unchanged; nothing was written).
+    TransactionAborted(String),
+    /// An error from the core data model (schema mismatches, etc.).
+    Core(CoreError),
+    /// A parse or lowering error from the textual front-ends.
+    Lang(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StoreError::Crashed => write!(f, "storage crashed (injected fault)"),
+            StoreError::CorruptWal(msg) => write!(f, "corrupt write-ahead log: {msg}"),
+            StoreError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StoreError::ReplayFailed { time, reason } => {
+                write!(f, "recovery replay failed at t={time}: {reason}")
+            }
+            StoreError::TransactionAborted(reason) => {
+                write!(f, "transaction aborted: {reason}")
+            }
+            StoreError::Core(e) => write!(f, "{e}"),
+            StoreError::Lang(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<mera_lang::LangError> for StoreError {
+    fn from(e: mera_lang::LangError) -> Self {
+        StoreError::Lang(e.to_string())
+    }
+}
+
+/// Result alias for the durable store.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StoreError::Crashed.to_string().contains("injected fault"));
+        let e = StoreError::ReplayFailed {
+            time: 7,
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains("t=7"));
+        let e: StoreError = CoreError::DivisionByZero.into();
+        assert_eq!(e.to_string(), "division by zero");
+    }
+}

@@ -1,0 +1,161 @@
+//! Durable front-ends: XRA scripts and SQL over a [`DurableDb`].
+//!
+//! [`DurableSession`] is the persistent counterpart of
+//! [`mera_lang::Session`]: the same script semantics (declarations extend
+//! the schema immediately, each transaction runs atomically), but every
+//! declaration and commit reaches the WAL before it is acknowledged.
+//! [`run_sql`] does the same for the SQL subset.
+
+use crate::durable::DurableDb;
+use crate::error::{StoreError, StoreResult};
+use crate::storage::Storage;
+use mera_core::prelude::*;
+use mera_lang::{lower_script, parse_script, RunResult};
+use mera_sql::{parse_sql, translate, Translated};
+use mera_txn::Program;
+
+/// A script-level session whose state survives restarts.
+pub struct DurableSession<S: Storage> {
+    db: DurableDb<S>,
+}
+
+impl<S: Storage> DurableSession<S> {
+    /// Wraps an opened durable database.
+    pub fn new(db: DurableDb<S>) -> Self {
+        DurableSession { db }
+    }
+
+    /// The current database state.
+    pub fn database(&self) -> &Database {
+        self.db.database()
+    }
+
+    /// Borrows the underlying durable database.
+    pub fn durable(&self) -> &DurableDb<S> {
+        &self.db
+    }
+
+    /// Consumes the session, returning the durable database.
+    pub fn into_durable(self) -> DurableDb<S> {
+        self.db
+    }
+
+    /// Runs a whole XRA script durably.
+    ///
+    /// Declarations are logged and applied in order; each transaction
+    /// commits through the WAL. Returns one [`RunResult`] per transaction
+    /// (aborts are reported in the results, not as errors — matching the
+    /// volatile session, a failing transaction aborts itself, not the
+    /// script). Storage failures *do* abort the script: whatever committed
+    /// before the failure is durable, the rest never ran.
+    pub fn run_script(&mut self, src: &str) -> StoreResult<Vec<RunResult>> {
+        let script = parse_script(src).map_err(StoreError::from)?;
+        let lowered =
+            lower_script(&script, self.db.database().schema()).map_err(StoreError::from)?;
+        for decl in lowered.declarations {
+            self.db.add_relation(decl)?;
+        }
+        let mut results = Vec::with_capacity(lowered.transactions.len());
+        for program in &lowered.transactions {
+            results.push(self.run_program(program)?);
+        }
+        Ok(results)
+    }
+
+    /// Runs one already-lowered program durably. Aborts become
+    /// [`RunResult::Aborted`]; only storage failures are errors.
+    pub fn run_program(&mut self, program: &Program) -> StoreResult<RunResult> {
+        match self.db.execute(program) {
+            Ok(outputs) => Ok(RunResult::Committed(outputs.queries)),
+            Err(StoreError::TransactionAborted(reason)) => Ok(RunResult::Aborted(reason)),
+            Err(other) => Err(other),
+        }
+    }
+}
+
+/// Parses, translates and durably runs one SQL statement. Returns the
+/// result relation for queries, `None` for DML.
+///
+/// The durable analogue of [`mera_sql::run_sql`]: a committed DML
+/// statement is in the WAL before this returns.
+pub fn run_sql<S: Storage>(db: &mut DurableDb<S>, sql: &str) -> StoreResult<Option<Relation>> {
+    let stmt = parse_sql(sql).map_err(StoreError::from)?;
+    let translated = translate(&stmt, db.database().schema()).map_err(StoreError::from)?;
+    let is_query = matches!(translated, Translated::Query(_));
+    let program = Program::single(translated.into_statement());
+    let mut outputs = db.execute(&program)?;
+    if is_query {
+        Ok(Some(outputs.queries.remove(0)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::StoreOptions;
+    use crate::storage::MemStorage;
+
+    fn open(storage: MemStorage) -> DurableDb<MemStorage> {
+        DurableDb::open(storage, DatabaseSchema::new(), StoreOptions::default()).expect("open")
+    }
+
+    #[test]
+    fn script_declarations_and_commits_survive_reopen() {
+        let storage = MemStorage::new();
+        let mut session = DurableSession::new(open(storage.clone()));
+        let results = session
+            .run_script(
+                "relation beer (name: str, alcperc: int);\n\
+                 begin insert(beer, values (str, int) {('Grolsch', 5)}); end\n\
+                 begin ?project[%1](beer); end",
+            )
+            .expect("script runs");
+        assert_eq!(results.len(), 2);
+        assert!(matches!(results[0], RunResult::Committed(_)));
+        let expected = session.database().clone();
+        drop(session);
+
+        let recovered = DurableSession::new(open(MemStorage::from_image(storage.image())));
+        assert_eq!(recovered.database(), &expected);
+        assert_eq!(
+            recovered
+                .database()
+                .relation("beer")
+                .expect("declared")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn sql_dml_is_durable_and_queries_read_it() {
+        let storage = MemStorage::new();
+        let schema = DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[("name", DataType::Str), ("alcperc", DataType::Int)]),
+            )
+            .expect("fresh");
+        let mut db =
+            DurableDb::open(storage.clone(), schema, StoreOptions::default()).expect("open");
+        assert!(run_sql(&mut db, "INSERT INTO beer VALUES ('Grolsch', 5)")
+            .expect("dml")
+            .is_none());
+        let out = run_sql(&mut db, "SELECT name FROM beer WHERE alcperc >= 5")
+            .expect("query")
+            .expect("relation");
+        assert_eq!(out.len(), 1);
+        let expected = db.database().clone();
+        drop(db);
+
+        let recovered = DurableDb::open(
+            MemStorage::from_image(storage.image()),
+            DatabaseSchema::new(),
+            StoreOptions::default(),
+        )
+        .expect("recovers");
+        assert_eq!(recovered.database(), &expected);
+    }
+}

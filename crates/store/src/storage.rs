@@ -1,0 +1,400 @@
+//! The storage abstraction: a flat namespace of byte files.
+//!
+//! All durable I/O goes through the [`Storage`] trait so the same WAL,
+//! snapshot and recovery code runs against two very different backends:
+//!
+//! * [`DirStorage`] — real files in a directory, with `fsync` and
+//!   write-temp-then-rename atomic replacement (the production backend);
+//! * [`MemStorage`] — an in-memory fault-injecting backend that accounts
+//!   every byte written and can simulate a crash after the N-th byte,
+//!   enabling the deterministic crash-at-every-point recovery harness
+//!   (no real fsync, so it runs identically everywhere, tmpfs included).
+//!
+//! The fault model of [`MemStorage`] is the standard one for WAL testing:
+//! every byte that was written before the crash point is durable, every
+//! byte after it is lost, and a crash can land *inside* any write. Renames
+//! are atomic (one unit): a crash during [`Storage::replace_atomic`]
+//! leaves either the old content or the new, never a mixture — which is
+//! exactly the contract `rename(2)` gives the real backend.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{StoreError, StoreResult};
+
+/// A flat namespace of append-able, atomically-replaceable byte files.
+pub trait Storage {
+    /// Reads the entire contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>>;
+
+    /// Appends `bytes` to `name`, creating the file if missing.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()>;
+
+    /// Durably flushes all previous appends to `name` (fsync).
+    fn sync(&mut self, name: &str) -> StoreResult<()>;
+
+    /// Atomically replaces the contents of `name` with `bytes`: the new
+    /// content is written to a temporary sibling, flushed, and renamed
+    /// into place, so a crash leaves either the old or the new version.
+    fn replace_atomic(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()>;
+
+    /// Truncates `name` to `len` bytes (drops a torn WAL tail).
+    fn truncate(&mut self, name: &str, len: u64) -> StoreResult<()>;
+}
+
+/// Real-file backend rooted at a directory.
+///
+/// Append handles are cached per file so a commit is one `write(2)` plus
+/// (policy permitting) one `fsync(2)`, not an open/close pair.
+pub struct DirStorage {
+    root: PathBuf,
+    handles: BTreeMap<String, fs::File>,
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) a storage directory.
+    pub fn open(root: impl AsRef<Path>) -> StoreResult<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DirStorage {
+            root,
+            handles: BTreeMap::new(),
+        })
+    }
+
+    /// The directory this storage lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn handle(&mut self, name: &str) -> StoreResult<&mut fs::File> {
+        if !self.handles.contains_key(name) {
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))?;
+            self.handles.insert(name.to_owned(), file);
+        }
+        Ok(self.handles.get_mut(name).expect("just inserted"))
+    }
+
+    /// Flushes the directory entry itself, making renames durable.
+    fn sync_dir(&self) -> StoreResult<()> {
+        // best-effort on platforms where directories cannot be opened
+        if let Ok(dir) = fs::File::open(&self.root) {
+            dir.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+impl Storage for DirStorage {
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        match fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()> {
+        self.handle(name)?.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> StoreResult<()> {
+        self.handle(name)?.sync_all()?;
+        Ok(())
+    }
+
+    fn replace_atomic(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()> {
+        // the cached append handle (if any) points at the old inode
+        self.handles.remove(name);
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(name))?;
+        self.sync_dir()
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> StoreResult<()> {
+        self.handles.remove(name);
+        let f = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        f.set_len(len)?;
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+/// One step of the fault-injection write accounting.
+///
+/// Appends and temp-file writes cost one unit per byte; a rename and a
+/// truncate are single atomic units. The budget counts units, so "crash
+/// after byte N" sweeps land inside every append and between every
+/// atomic step.
+const RENAME_COST: u64 = 1;
+const TRUNCATE_COST: u64 = 1;
+
+#[derive(Debug, Clone, Default)]
+struct MemInner {
+    files: BTreeMap<String, Vec<u8>>,
+    /// Remaining write units before the simulated crash (`None` = no fault).
+    budget: Option<u64>,
+    crashed: bool,
+    /// Total write units consumed (the fault-free run reads this to learn
+    /// how many crash points a workload has).
+    units: u64,
+    syncs: u64,
+}
+
+impl MemInner {
+    /// Charges up to `cost` units; returns how many units may be applied
+    /// before the crash fires. When the budget runs dry the store is
+    /// marked crashed.
+    fn charge(&mut self, cost: u64) -> u64 {
+        let applied = match self.budget {
+            None => cost,
+            Some(b) if b >= cost => {
+                self.budget = Some(b - cost);
+                cost
+            }
+            Some(b) => {
+                self.budget = Some(0);
+                self.crashed = true;
+                b
+            }
+        };
+        self.units += applied;
+        applied
+    }
+}
+
+/// In-memory fault-injecting backend. Cloning the handle shares the same
+/// underlying files, so a test can keep one handle while the store under
+/// test owns another — after a simulated crash the test clones the
+/// surviving bytes into a fresh store and "reboots".
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// A fault-free in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that crashes after `units` write units: every byte of an
+    /// append or temp-file write is one unit, a rename or truncate is one
+    /// unit. Writes up to the budget are durable; the write in flight is
+    /// truncated at the crash point, and every later operation fails with
+    /// [`StoreError::Crashed`].
+    pub fn with_budget(units: u64) -> Self {
+        let store = Self::new();
+        store.inner.lock().expect("unpoisoned").budget = Some(units);
+        store
+    }
+
+    /// Installs (or replaces) the crash budget on a live handle. With
+    /// `0`, the very next write-unit crashes the store.
+    pub fn set_budget(&self, units: u64) {
+        self.inner.lock().expect("unpoisoned").budget = Some(units);
+    }
+
+    /// True once the injected fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().expect("unpoisoned").crashed
+    }
+
+    /// Total write units consumed so far (crash points of a workload).
+    pub fn units_written(&self) -> u64 {
+        self.inner.lock().expect("unpoisoned").units
+    }
+
+    /// Number of [`Storage::sync`] calls observed.
+    pub fn sync_count(&self) -> u64 {
+        self.inner.lock().expect("unpoisoned").syncs
+    }
+
+    /// The surviving files, as a "disk image" after the crash.
+    pub fn image(&self) -> BTreeMap<String, Vec<u8>> {
+        self.inner.lock().expect("unpoisoned").files.clone()
+    }
+
+    /// Builds a fresh, fault-free store over a disk image (the reboot).
+    pub fn from_image(files: BTreeMap<String, Vec<u8>>) -> Self {
+        let store = Self::new();
+        store.inner.lock().expect("unpoisoned").files = files;
+        store
+    }
+
+    fn guard<T>(&self, f: impl FnOnce(&mut MemInner) -> StoreResult<T>) -> StoreResult<T> {
+        let mut inner = self.inner.lock().expect("unpoisoned");
+        if inner.crashed {
+            return Err(StoreError::Crashed);
+        }
+        f(&mut inner)
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        self.guard(|inner| Ok(inner.files.get(name).cloned()))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()> {
+        self.guard(|inner| {
+            let applied = inner.charge(bytes.len() as u64) as usize;
+            inner
+                .files
+                .entry(name.to_owned())
+                .or_default()
+                .extend_from_slice(&bytes[..applied]);
+            if applied < bytes.len() {
+                Err(StoreError::Crashed)
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    fn sync(&mut self, name: &str) -> StoreResult<()> {
+        let _ = name;
+        self.guard(|inner| {
+            inner.syncs += 1;
+            Ok(())
+        })
+    }
+
+    fn replace_atomic(&mut self, name: &str, bytes: &[u8]) -> StoreResult<()> {
+        self.guard(|inner| {
+            // phase 1: write the temporary sibling, byte-accounted
+            let applied = inner.charge(bytes.len() as u64) as usize;
+            let tmp = format!("{name}.tmp");
+            inner.files.insert(tmp.clone(), bytes[..applied].to_vec());
+            if applied < bytes.len() {
+                return Err(StoreError::Crashed);
+            }
+            // phase 2: the atomic rename — all or nothing
+            if inner.charge(RENAME_COST) < RENAME_COST {
+                return Err(StoreError::Crashed);
+            }
+            let content = inner.files.remove(&tmp).expect("just written");
+            inner.files.insert(name.to_owned(), content);
+            Ok(())
+        })
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> StoreResult<()> {
+        self.guard(|inner| {
+            if inner.charge(TRUNCATE_COST) < TRUNCATE_COST {
+                return Err(StoreError::Crashed);
+            }
+            if let Some(f) = inner.files.get_mut(name) {
+                f.truncate(len as usize);
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_append_read_roundtrip() {
+        let mut s = MemStorage::new();
+        assert_eq!(s.read("a").unwrap(), None);
+        s.append("a", b"hello ").unwrap();
+        s.append("a", b"world").unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello world");
+        assert_eq!(s.units_written(), 11);
+    }
+
+    #[test]
+    fn mem_crash_truncates_the_write_in_flight() {
+        let mut s = MemStorage::with_budget(8);
+        s.append("a", b"hello ").unwrap(); // 6 units
+        let err = s.append("a", b"world").unwrap_err(); // crashes after 2 more
+        assert_eq!(err, StoreError::Crashed);
+        assert!(s.crashed());
+        // every later operation fails
+        assert_eq!(s.read("a").unwrap_err(), StoreError::Crashed);
+        // ...but the image shows the durable prefix
+        assert_eq!(s.image()["a"], b"hello wo");
+    }
+
+    #[test]
+    fn mem_replace_atomic_is_all_or_nothing() {
+        // budget covers the old content plus part of the new temp file:
+        // the target keeps its old content
+        let mut s = MemStorage::with_budget(5 + 3);
+        s.append("f", b"old!!").unwrap();
+        assert_eq!(
+            s.replace_atomic("f", b"newer").unwrap_err(),
+            StoreError::Crashed
+        );
+        assert_eq!(s.image()["f"], b"old!!");
+        // with budget through the rename, the new content lands
+        let mut s = MemStorage::with_budget(5 + 5 + RENAME_COST);
+        s.append("f", b"old!!").unwrap();
+        s.replace_atomic("f", b"newer").unwrap();
+        assert_eq!(s.read("f").unwrap().unwrap(), b"newer");
+        // crash exactly between temp write and rename: old content survives,
+        // the temp file is left behind (and must be ignored by recovery)
+        let mut s = MemStorage::with_budget(5 + 5);
+        s.append("f", b"old!!").unwrap();
+        assert_eq!(
+            s.replace_atomic("f", b"newer").unwrap_err(),
+            StoreError::Crashed
+        );
+        let image = s.image();
+        assert_eq!(image["f"], b"old!!");
+        assert_eq!(image["f.tmp"], b"newer");
+    }
+
+    #[test]
+    fn mem_reboot_from_image() {
+        let mut s = MemStorage::with_budget(4);
+        let _ = s.append("wal", b"abcdefgh");
+        assert!(s.crashed());
+        let rebooted = MemStorage::from_image(s.image());
+        assert!(!rebooted.crashed());
+        assert_eq!(rebooted.read("wal").unwrap().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn dir_storage_roundtrip() {
+        let root = std::env::temp_dir().join(format!(
+            "mera-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let mut s = DirStorage::open(&root).unwrap();
+        assert_eq!(s.read("wal").unwrap(), None);
+        s.append("wal", b"one").unwrap();
+        s.append("wal", b"two").unwrap();
+        s.sync("wal").unwrap();
+        assert_eq!(s.read("wal").unwrap().unwrap(), b"onetwo");
+        s.truncate("wal", 4).unwrap();
+        assert_eq!(s.read("wal").unwrap().unwrap(), b"onet");
+        s.replace_atomic("snap", b"snapshot bytes").unwrap();
+        assert_eq!(s.read("snap").unwrap().unwrap(), b"snapshot bytes");
+        // reopening sees the same files
+        let s2 = DirStorage::open(&root).unwrap();
+        assert_eq!(s2.read("wal").unwrap().unwrap(), b"onet");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -8,7 +8,7 @@
 //! replayable from the initial state, serialisable to a line-delimited text
 //! form for on-disk storage.
 
-use mera_core::prelude::LogicalTime;
+use mera_core::prelude::{CoreError, CoreResult, LogicalTime};
 
 use crate::statement::Program;
 
@@ -35,15 +35,23 @@ impl RedoLog {
     }
 
     /// Appends a committed transaction's record.
-    pub fn append(&mut self, record: LogRecord) {
-        debug_assert!(
-            self.records
-                .last()
-                .map(|r| r.time < record.time)
-                .unwrap_or(true),
-            "log times must be strictly increasing"
-        );
+    ///
+    /// Log order is recovery order, so logical times must strictly
+    /// increase; an out-of-order append is rejected with
+    /// [`CoreError::LogOutOfOrder`] rather than silently corrupting the
+    /// replay sequence (this used to be a `debug_assert!`, which release
+    /// builds skipped entirely).
+    pub fn append(&mut self, record: LogRecord) -> CoreResult<()> {
+        if let Some(last) = self.records.last() {
+            if last.time >= record.time {
+                return Err(CoreError::LogOutOfOrder {
+                    last: last.time,
+                    next: record.time,
+                });
+            }
+        }
         self.records.push(record);
+        Ok(())
     }
 
     /// The committed records in commit order.
@@ -102,17 +110,37 @@ mod tests {
     fn append_and_read() {
         let mut log = RedoLog::new();
         assert!(log.is_empty());
-        log.append(record(1));
-        log.append(record(2));
+        log.append(record(1)).expect("in order");
+        log.append(record(2)).expect("in order");
         assert_eq!(log.len(), 2);
         assert_eq!(log.records()[0].time, 1);
+    }
+
+    #[test]
+    fn out_of_order_append_is_a_hard_error() {
+        let mut log = RedoLog::new();
+        log.append(record(3)).expect("in order");
+        // equal time: rejected
+        assert_eq!(
+            log.append(record(3)),
+            Err(CoreError::LogOutOfOrder { last: 3, next: 3 })
+        );
+        // decreasing time: rejected, log unchanged
+        assert_eq!(
+            log.append(record(2)),
+            Err(CoreError::LogOutOfOrder { last: 3, next: 2 })
+        );
+        assert_eq!(log.len(), 1);
+        // and strictly later times still append
+        log.append(record(4)).expect("in order");
+        assert_eq!(log.len(), 2);
     }
 
     #[test]
     fn point_in_time_truncation() {
         let mut log = RedoLog::new();
         for t in 1..=5 {
-            log.append(record(t));
+            log.append(record(t)).expect("in order");
         }
         let pit = log.up_to(3);
         assert_eq!(pit.len(), 3);
@@ -122,8 +150,8 @@ mod tests {
     #[test]
     fn text_form_is_line_per_record() {
         let mut log = RedoLog::new();
-        log.append(record(1));
-        log.append(record(2));
+        log.append(record(1)).expect("in order");
+        log.append(record(2)).expect("in order");
         let text = log.to_text();
         assert_eq!(text.lines().count(), 2);
         assert!(text.starts_with("1\t?r\n"));

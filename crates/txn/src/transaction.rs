@@ -223,7 +223,7 @@ impl TransactionManager {
                         inner.log.append(LogRecord {
                             time,
                             program: record.program.clone(),
-                        });
+                        })?;
                     }
                     Outcome::Aborted(reason) => {
                         return Err(CoreError::TypeError(format!(
@@ -249,7 +249,7 @@ impl TransactionManager {
             inner.log.append(LogRecord {
                 time: next.time(),
                 program: program.clone(),
-            });
+            })?;
         }
         inner.db = next.clone();
         let transition = Transition::new(before, next)?;

@@ -22,6 +22,7 @@
 //! | [`txn`] | `mera-txn` | statements, programs, transactions (§4) |
 //! | [`setalg`] | `mera-setalg` | classical set-semantics baseline |
 //! | [`sql`] | `mera-sql` | SQL subset front-end |
+//! | [`store`] | `mera-store` | durability: write-ahead log, snapshots, crash recovery |
 //!
 //! ```
 //! use mera::lang::Session;
@@ -47,6 +48,7 @@ pub use mera_lang as lang;
 pub use mera_opt as opt;
 pub use mera_setalg as setalg;
 pub use mera_sql as sql;
+pub use mera_store as store;
 pub use mera_txn as txn;
 
 use mera_core::prelude::*;

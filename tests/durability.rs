@@ -1,0 +1,90 @@
+//! Repo-level differential test: the durable engine against the volatile
+//! [`TransactionManager`] — same programs, same outcomes, same final
+//! state, and the durable one still has it after a "reboot".
+
+use mera::core::prelude::*;
+use mera::lang::Lowerer;
+use mera::store::{DurableDb, DurableSession, MemStorage, StoreOptions};
+use mera::txn::{Program, TransactionManager};
+
+fn parse(db: &Database, text: &str) -> Program {
+    let parsed = mera::lang::parse_program(text).expect("parses");
+    let mut lowerer = Lowerer::new(db.schema());
+    lowerer.lower_program(&parsed).expect("lowers")
+}
+
+#[test]
+fn durable_engine_matches_transaction_manager() {
+    let schema = mera::beer_schema();
+    let programs = [
+        "insert(beer, values (str, str, real) {('Grolsch', 'Grolsche', 5.0)})",
+        "insert(beer, values (str, str, real) {('Bock', 'Grolsche', 6.5), ('Bock', 'Heineken', 6.3)})",
+        "insert(brewery, values (str, str, str) {('Grolsche', 'Enschede', 'NL')})",
+        "delete(beer, select[(%3 > 6.4)](beer))",
+        "?project[%1](beer)",
+    ];
+
+    let mgr = TransactionManager::new(schema.clone());
+    let storage = MemStorage::new();
+    let mut durable =
+        DurableDb::open(storage.clone(), schema, StoreOptions::default()).expect("open");
+
+    for text in programs {
+        let program = parse(durable.database(), text);
+        let (outcome, _) = mgr.execute(&program).expect("volatile path");
+        let durable_outputs = durable.execute(&program).expect("durable path");
+        let volatile_outputs = outcome.outputs().expect("workload commits");
+        assert_eq!(&durable_outputs, volatile_outputs, "outputs for {text}");
+    }
+    assert_eq!(durable.database(), &mgr.snapshot());
+
+    // Reboot: only the durable engine survives, and it equals both.
+    let expected = durable.database().clone();
+    drop(durable);
+    let recovered = DurableDb::open(
+        MemStorage::from_image(storage.image()),
+        DatabaseSchema::new(),
+        StoreOptions::default(),
+    )
+    .expect("recovers");
+    assert_eq!(recovered.database(), &expected);
+    assert_eq!(recovered.database(), &mgr.snapshot());
+}
+
+#[test]
+fn durable_session_runs_the_readme_script() {
+    let storage = MemStorage::new();
+    let db = DurableDb::open(
+        storage.clone(),
+        DatabaseSchema::new(),
+        StoreOptions::default(),
+    )
+    .expect("open");
+    let mut session = DurableSession::new(db);
+    session
+        .run_script(
+            "relation beer (name: str, brewery: str, alcperc: real);\n\
+             begin insert(beer, values (str, str, real) {\n\
+               ('Grolsch','Grolsche',5.0), ('Bock','Grolsche',6.5), ('Bock','Heineken',6.3)\n\
+             }); end",
+        )
+        .expect("script commits");
+    let expected = session.database().clone();
+    drop(session);
+
+    let recovered = DurableDb::open(
+        MemStorage::from_image(storage.image()),
+        DatabaseSchema::new(),
+        StoreOptions::default(),
+    )
+    .expect("recovers");
+    assert_eq!(recovered.database(), &expected);
+    assert_eq!(
+        recovered
+            .database()
+            .relation("beer")
+            .expect("declared")
+            .len(),
+        3
+    );
+}
