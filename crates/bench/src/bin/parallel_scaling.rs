@@ -1,14 +1,22 @@
-//! Parallel-scaling report: times the serial batched engine, the
-//! operator-at-a-time partitioned kernels, and the morsel-driven engine
-//! across partition counts on the E14 workloads — including the
-//! string-heavy `string_join` plan — and writes the sweep as JSON
-//! (hand-rendered — the vendored serde crates are empty shells). Each
-//! point also records the heap-allocation count of one run, measured by
-//! the counting global allocator, so allocation regressions in the hot
-//! loops show up next to the timings.
+//! Parallel-scaling report: times the serial batched engine and the
+//! morsel-driven engine across partition counts on the E14 workloads —
+//! including the string-heavy `string_join` and `string_group_by` plans —
+//! and writes the sweep as JSON (hand-rendered — the vendored serde
+//! crates are empty shells). Each point also records the heap-allocation
+//! count of one run, measured by the counting global allocator, so
+//! allocation regressions in the hot loops show up next to the timings.
+//!
+//! The operator-at-a-time partitioned kernels are *not* part of the
+//! recorded sweep: that engine clones inputs into partitions and
+//! materialises a relation per plan node, so at `partitions > 1` it is
+//! slower than serial by design — it is kept as a differential/debug
+//! engine (see `mera_eval::parallel`), not a performance path.
 //!
 //! Usage: `cargo run --release -p mera-bench --bin parallel_scaling
-//! [output.json]` — the default output path is `BENCH_pr3.json`. The
+//! [output.json]` — the default output path is `BENCH_pr6.json`. Pass
+//! `--smoke` for a seconds-long CI variant on a tiny database that also
+//! cross-checks every engine (reference, physical, operator-at-a-time,
+//! morsel) for result equality and exits nonzero on divergence. The
 //! Criterion version of the same sweep is the `parallel_scaling` bench.
 
 use std::fmt::Write as _;
@@ -112,15 +120,67 @@ fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -
     j
 }
 
+/// Smoke mode: every engine agrees on every workload. Exercises the full
+/// sweep's code paths (including multi-partition morsel scheduling and
+/// the retired operator-at-a-time kernels) on a tiny database in seconds.
+fn smoke(db: &Database, sweep: &[usize]) -> Result<(), String> {
+    for (name, plan) in scaling_plans() {
+        let want = Engine::reference()
+            .run(&plan, db)
+            .map_err(|e| format!("{name}: reference failed: {e}"))?;
+        let check = |engine: &str, got: Result<Relation, CoreError>| -> Result<(), String> {
+            let got = got.map_err(|e| format!("{name}: {engine} failed: {e}"))?;
+            if got != want {
+                return Err(format!("{name}: {engine} diverges from reference"));
+            }
+            Ok(())
+        };
+        check("physical", Engine::physical().run(&plan, db))?;
+        for &p in sweep {
+            check(
+                &format!("operator_at_a_time p={p}"),
+                Engine::parallel().with_partitions(p).run(&plan, db),
+            )?;
+            check(
+                &format!("morsel p={p}"),
+                Engine::morsel().with_partitions(p).run(&plan, db),
+            )?;
+        }
+        println!("smoke: {name} ok ({} result rows)", want.len());
+    }
+    Ok(())
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr6.json".to_owned());
+    let sweep = partition_sweep();
+
+    if smoke_mode {
+        let db = scaling_db(2_000);
+        if let Err(msg) = smoke(&db, &sweep) {
+            eprintln!("smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("smoke: all engines agree on all workloads");
+        return;
+    }
+
     let rows = 60_000usize;
     let runs = 7usize;
     let db = scaling_db(rows);
-    let sweep = partition_sweep();
-    let cores = *sweep.last().expect("non-empty sweep");
+    // report the machine's real parallelism, not the sweep's max: the
+    // morsel engine clamps its worker fleet to the hardware, so on a
+    // single-core container every partition count degenerates to one
+    // worker and speedup_vs_serial can only show scheduling overhead
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut workloads = Vec::new();
     for (name, plan) in scaling_plans() {
@@ -137,15 +197,6 @@ fn main() {
             allocs_per_run: serial_allocs,
         }];
         for &p in &sweep {
-            points.push(measure(
-                "operator_at_a_time",
-                p,
-                runs,
-                serial,
-                Engine::parallel,
-                &plan,
-                &db,
-            ));
             points.push(measure(
                 "morsel",
                 p,
@@ -170,7 +221,7 @@ fn main() {
         println!("\n{} ({} result rows)", w.name, w.result_rows);
         for p in &w.points {
             println!(
-                "  {:>20} p={:<3} {:>12.2?}  {:>5.2}x  {:>10} allocs",
+                "  {:>10} p={:<3} {:>12.2?}  {:>5.2}x  {:>10} allocs",
                 p.engine,
                 p.partitions,
                 Duration::from_nanos(p.ns_per_run as u64),

@@ -1,6 +1,6 @@
 //! Shared workloads for the parallel-scaling experiment (E14): the same
 //! databases and plans drive the `parallel_scaling` Criterion bench and
-//! the `parallel_scaling` report binary that records `BENCH_pr2.json`.
+//! the `parallel_scaling` report binary that records `BENCH_pr6.json`.
 
 use mera_core::prelude::*;
 use mera_expr::{Aggregate, RelExpr, ScalarExpr};
@@ -68,8 +68,10 @@ pub fn scaling_db(rows: usize) -> Database {
 /// * `string_join` — the same pipeline shape as `join_pipeline` but keyed
 ///   on interned strings (`t ⋈ u` then a string-keyed `γ`): the workload
 ///   where symbol interning (O(1) equality and hashing, pointer-sized
-///   keys) pays off.
-pub fn scaling_plans() -> [(&'static str, RelExpr); 3] {
+///   keys) pays off;
+/// * `string_group_by` — a string-keyed `γ` over `t` alone: pure
+///   radix-partitioned aggregation on interned keys, no join in the way.
+pub fn scaling_plans() -> [(&'static str, RelExpr); 4] {
     let join_pipeline = RelExpr::scan("r")
         .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(800)))
         .join(
@@ -87,9 +89,11 @@ pub fn scaling_plans() -> [(&'static str, RelExpr); 3] {
         )
         .project(&[1, 2, 4])
         .group_by(&[1], Aggregate::Sum, 3);
+    let string_group_by = RelExpr::scan("t").group_by(&[1], Aggregate::Sum, 2);
     [
         ("join_pipeline", join_pipeline),
         ("group_by", group_by),
         ("string_join", string_join),
+        ("string_group_by", string_group_by),
     ]
 }

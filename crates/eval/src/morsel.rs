@@ -10,23 +10,30 @@
 //! end to end — workers pull *morsels* (row chunks of `batch_size`) from a
 //! shared work list with work stealing and push every morsel through the
 //! whole operator chain, so a `σ → ⋈ → π` stretch of the plan produces
-//! **zero** intermediate relations. A pure-column `π` directly above a
-//! residual-free equi-join even fuses *into* the probe: join output rows
-//! are assembled already projected, never materialising the concatenated
-//! tuple.
+//! **zero** intermediate relations. Morsels travel as columnar
+//! [`CountedBatch`]es end to end; a pure-column `π` directly above a
+//! residual-free equi-join even fuses *into* the probe: join output
+//! columns are gathered already projected, the concatenated row never
+//! exists.
 //!
 //! The multiplicity laws make this exact:
 //!
 //! * σ/π act row-wise and `⊎` merely concatenates, so morsels commute with
 //!   them freely;
 //! * equi- and θ-joins multiply multiplicities per row pair, so the build
-//!   side is built **once** (in parallel, thread-local [`JoinTable`]s
-//!   merged, then shared read-only behind an `Arc`) and every worker
-//!   probes the same table — neither input is cloned into partitions;
-//! * group-by and duplicate elimination aggregate in **two phases**:
-//!   thread-local [`AggState`]s / seen-sets over morsels, merged once.
-//!   Unlike hash partitioning, this also parallelizes the empty-key `γ`
-//!   (one global group) and `δ`;
+//!   side is built **once** and shared read-only behind an `Arc` — neither
+//!   input is cloned into partitions. The equi-join build is
+//!   **radix-partitioned**: the build pipeline's workers scatter their
+//!   batches by key-hash radix, then each worker builds the hash table of
+//!   exactly one partition — disjoint key spaces, no shared state, no
+//!   merge step — yielding a [`RadixJoinTable`] whose probes visit only
+//!   the partition their keys radix to;
+//! * keyed group-by radix-partitions the same way: each worker owns a
+//!   disjoint slice of the key space, aggregates it completely and
+//!   finishes its own groups — partition results simply concatenate. The
+//!   empty-key `γ` (one global group, which hash partitioning cannot
+//!   split) and `δ` aggregate in **two phases** instead: thread-local
+//!   [`AggState`]s / seen-sets over morsels, merged once;
 //! * difference and intersection need the *merged* count of both sides
 //!   (`max(0, m₁−m₂)`, `min(m₁, m₂)`), so they are breakers: both sides
 //!   are evaluated as parallel pipelines into per-worker bags, merged, and
@@ -51,10 +58,13 @@ use rustc_hash::FxHashSet;
 
 use crate::engine::ExecOptions;
 use crate::physical::agg::AggState;
-use crate::physical::join::{extract_equi_condition, JoinTable, ProbeCol};
-use crate::physical::ops::{filter_rows, project_rows};
+use crate::physical::column::radix_of;
+use crate::physical::join::{
+    extract_equi_condition, full_probe_cols, JoinTable, ProbeCol, RadixJoinTable,
+};
+use crate::physical::ops::{filter_batch, project_batch};
 use crate::physical::planner::ext_project_schema;
-use crate::physical::Counted;
+use crate::physical::{Counted, CountedBatch};
 use crate::pool;
 use crate::provider::{RelationProvider, Schemas};
 
@@ -133,46 +143,60 @@ enum Source<'a> {
     Owned(Vec<Counted>),
 }
 
-/// Streaming (morsel-wise) operators. Each maps one chunk of counted rows
-/// to the next, with no state shared between morsels — shared structures
-/// (`JoinTable`s, loop-join inner sides) are read-only behind `Arc`s.
+/// Streaming (morsel-wise) operators. Each maps one columnar batch to the
+/// next, with no state shared between morsels — shared structures
+/// (`RadixJoinTable`s, loop-join inner sides) are read-only behind `Arc`s.
+/// Schema-changing operators carry their output schema so batches can be
+/// assembled without consulting pipeline state.
 enum MorselOp {
     /// `σ_φ` — multiplicities pass through.
     Filter(ScalarExpr),
     /// Plain or extended `π` — collapsing rows merge downstream.
-    Project(Vec<ScalarExpr>),
-    /// Equi-join probe against the shared build table: `m₁ · m₂`. The
-    /// probe keys are pre-resolved offsets, hashed in place per row.
+    Project {
+        exprs: Vec<ScalarExpr>,
+        schema: SchemaRef,
+    },
+    /// Equi-join probe against the shared radix-partitioned build table:
+    /// `m₁ · m₂`. The probe keys are pre-resolved offsets, hashed in place
+    /// per batch.
     HashProbe {
-        table: Arc<JoinTable>,
+        table: Arc<RadixJoinTable>,
         keys: ResolvedAttrs,
+        /// Full `left ⊕ right` output columns.
+        cols: Vec<ProbeCol>,
         residual: Option<ScalarExpr>,
+        /// Concatenated output schema.
+        schema: SchemaRef,
         /// Arity of the probe side — where build-side columns start in the
         /// concatenated schema; lets a downstream pure-column projection
         /// fuse into the probe.
         left_arity: usize,
     },
     /// A residual-free equi-join probe fused with a pure-column projection:
-    /// output rows are assembled directly from the two sides, never
-    /// materialising the concatenated tuple.
+    /// output columns are gathered directly from the two sides, so the
+    /// concatenated intermediate never exists.
     ProbeProject {
-        table: Arc<JoinTable>,
+        table: Arc<RadixJoinTable>,
         keys: ResolvedAttrs,
         cols: Vec<ProbeCol>,
+        schema: SchemaRef,
     },
     /// θ-join / product against a shared materialised inner side.
     LoopProbe {
         rows: Arc<Vec<Counted>>,
         predicate: Option<ScalarExpr>,
+        schema: SchemaRef,
     },
 }
 
-/// One leg of a pipeline: a source plus the operator chain every one of
+/// One leg of a pipeline: a source (with its schema, so morsels can be
+/// assembled into columnar batches) plus the operator chain every one of
 /// its morsels flows through. A pipeline has several legs exactly when
 /// `⊎`-unions occur below the breaker — union is not a breaker, its sides
 /// simply contribute their morsels to the same sink.
 struct Leg<'a> {
     source: Source<'a>,
+    schema: SchemaRef,
     ops: Vec<MorselOp>,
 }
 
@@ -188,6 +212,7 @@ impl<'a> Pipeline<'a> {
         Pipeline {
             legs: vec![Leg {
                 source,
+                schema: Arc::clone(&schema),
                 ops: Vec::new(),
             }],
             schema,
@@ -236,13 +261,16 @@ fn compile<'a>(
         RelExpr::Project { input, attrs } => {
             let mut p = compile(input, provider, opts)?;
             let schema = Arc::new(p.schema.project(attrs)?);
-            if !fuse_probe_project(&mut p, attrs.indexes()) {
+            if !fuse_probe_project(&mut p, attrs.indexes(), &schema) {
                 let exprs: Vec<ScalarExpr> = attrs
                     .indexes()
                     .iter()
                     .map(|&i| ScalarExpr::Attr(i))
                     .collect();
-                p.push_op(|| MorselOp::Project(exprs.clone()));
+                p.push_op(|| MorselOp::Project {
+                    exprs: exprs.clone(),
+                    schema: Arc::clone(&schema),
+                });
             }
             p.schema = schema;
             p
@@ -251,11 +279,14 @@ fn compile<'a>(
             let mut p = compile(input, provider, opts)?;
             let schema = ext_project_schema(&p.schema, exprs)?;
             let fused = match attr_indexes(exprs) {
-                Some(ix) => fuse_probe_project(&mut p, &ix),
+                Some(ix) => fuse_probe_project(&mut p, &ix, &schema),
                 None => false,
             };
             if !fused {
-                p.push_op(|| MorselOp::Project(exprs.clone()));
+                p.push_op(|| MorselOp::Project {
+                    exprs: exprs.clone(),
+                    schema: Arc::clone(&schema),
+                });
             }
             p.schema = schema;
             p
@@ -268,6 +299,7 @@ fn compile<'a>(
             lp.push_op(|| MorselOp::LoopProbe {
                 rows: Arc::clone(&rows),
                 predicate: None,
+                schema: Arc::clone(&schema),
             });
             lp.schema = schema;
             lp
@@ -282,17 +314,21 @@ fn compile<'a>(
             let schema = Arc::new(lp.schema.concat(&rp.schema));
             match extract_equi_condition(predicate, lp.schema.arity(), rp.schema.arity()) {
                 Some(cond) => {
-                    // pipeline breaker: build the shared table once, in
-                    // parallel, from the build side's own pipeline; both
-                    // key lists resolve to offsets here, at plan time
+                    // pipeline breaker: build the shared radix-partitioned
+                    // table once, in parallel, from the build side's own
+                    // pipeline; both key lists resolve to offsets here, at
+                    // plan time
                     let build_keys = ResolvedAttrs::new(&cond.right_keys, rp.schema.arity())?;
                     let keys = ResolvedAttrs::new(&cond.left_keys, lp.schema.arity())?;
                     let left_arity = lp.schema.arity();
+                    let cols = full_probe_cols(left_arity, rp.schema.arity());
                     let table = Arc::new(run_build(rp, build_keys, opts)?);
                     lp.push_op(|| MorselOp::HashProbe {
                         table: Arc::clone(&table),
                         keys: keys.clone(),
+                        cols: cols.clone(),
                         residual: cond.residual.clone(),
+                        schema: Arc::clone(&schema),
                         left_arity,
                     });
                 }
@@ -301,6 +337,7 @@ fn compile<'a>(
                     lp.push_op(|| MorselOp::LoopProbe {
                         rows: Arc::clone(&rows),
                         predicate: Some(predicate.clone()),
+                        schema: Arc::clone(&schema),
                     });
                 }
             }
@@ -387,13 +424,12 @@ fn attr_indexes(exprs: &[ScalarExpr]) -> Option<Vec<usize>> {
 
 /// Fuses a pure-column projection into the residual-free equi-join probe
 /// directly below it: each leg's trailing [`MorselOp::HashProbe`] becomes a
-/// [`MorselOp::ProbeProject`] that assembles output rows in projected form,
-/// skipping the concatenated intermediate tuple — one allocation per join
-/// output row instead of two. Returns `false` (and fuses nothing) unless
-/// *every* leg ends in such a probe: probes with a residual need the full
-/// concatenated row to evaluate it, and other trailing ops have nothing to
-/// fuse with.
-fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize]) -> bool {
+/// [`MorselOp::ProbeProject`] that gathers output columns in projected
+/// form, so the concatenated intermediate batch never exists. Returns
+/// `false` (and fuses nothing) unless *every* leg ends in such a probe:
+/// probes with a residual need the full concatenated row to evaluate it,
+/// and other trailing ops have nothing to fuse with.
+fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize], out_schema: &SchemaRef) -> bool {
     let fusable = !p.legs.is_empty()
         && p.legs.iter().all(|leg| {
             matches!(
@@ -408,7 +444,9 @@ fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize]) -> bool {
         let Some(MorselOp::HashProbe {
             table,
             keys,
+            cols: _,
             residual: None,
+            schema: _,
             left_arity,
         }) = leg.ops.pop()
         else {
@@ -424,7 +462,12 @@ fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize]) -> bool {
                 }
             })
             .collect();
-        leg.ops.push(MorselOp::ProbeProject { table, keys, cols });
+        leg.ops.push(MorselOp::ProbeProject {
+            table,
+            keys,
+            cols,
+            schema: Arc::clone(out_schema),
+        });
     }
     true
 }
@@ -433,11 +476,11 @@ fn fuse_probe_project(p: &mut Pipeline<'_>, indexes: &[usize]) -> bool {
 // Sinks (per-worker state, merged once per pipeline)
 // ----------------------------------------------------------------------
 
-/// Thread-local endpoint of a pipeline: each worker folds the morsels it
-/// claims into its own sink; the driver merges the per-worker sinks after
-/// the fork-join.
+/// Thread-local endpoint of a pipeline: each worker folds the batches it
+/// produces into its own sink; the driver merges the per-worker sinks
+/// after the fork-join.
 trait Sink: Send {
-    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()>;
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()>;
 }
 
 /// Plain concatenation (unmerged counted rows) — inner sides of loop
@@ -446,8 +489,8 @@ trait Sink: Send {
 struct RowsSink(Vec<Counted>);
 
 impl Sink for RowsSink {
-    fn consume(&mut self, mut rows: Vec<Counted>) -> CoreResult<()> {
-        self.0.append(&mut rows);
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()> {
+        self.0.extend(batch.into_rows());
         Ok(())
     }
 }
@@ -458,36 +501,64 @@ impl Sink for RowsSink {
 struct BagSink(Bag<Tuple>);
 
 impl Sink for BagSink {
-    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
-        for (t, m) in rows {
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()> {
+        for (t, m) in batch {
             self.0.insert(t, m)?;
         }
         Ok(())
     }
 }
 
-/// Join build side: thread-local hash table fragment (the table carries
-/// its own resolved build keys).
-struct BuildSink(JoinTable);
+/// Phase one of radix-partitioned build/aggregation: scatter every batch
+/// into per-partition buffers by the radix of its key-column hash. Columns
+/// append cell-wise (`append_gather`), so a batch costs O(partitions)
+/// buffer growths, not a per-row allocation.
+struct RadixSink {
+    /// 0-based key column offsets to hash.
+    offsets: Vec<usize>,
+    /// One buffer per radix partition.
+    parts: Vec<CountedBatch>,
+}
 
-impl Sink for BuildSink {
-    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
-        for (t, m) in rows {
-            self.0.insert_row(t, m);
+impl RadixSink {
+    fn new(offsets: Vec<usize>, schema: &SchemaRef, parts: usize) -> Self {
+        RadixSink {
+            offsets,
+            parts: (0..parts)
+                .map(|_| CountedBatch::new(Arc::clone(schema)))
+                .collect(),
+        }
+    }
+}
+
+impl Sink for RadixSink {
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()> {
+        let n = self.parts.len();
+        if n == 1 {
+            self.parts[0].append(&batch);
+            return Ok(());
+        }
+        let hashes = batch.key_hashes(&self.offsets);
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &h) in hashes.iter().enumerate() {
+            sels[radix_of(h, n)].push(i as u32);
+        }
+        for (pi, sel) in sels.iter().enumerate() {
+            if !sel.is_empty() {
+                self.parts[pi].append_gather(&batch, sel);
+            }
         }
         Ok(())
     }
 }
 
-/// Phase one of two-phase aggregation.
+/// Phase one of two-phase aggregation (empty-key `γ` only — keyed `γ`
+/// radix-partitions instead).
 struct AggSink(AggState);
 
 impl Sink for AggSink {
-    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
-        for (t, m) in rows {
-            self.0.update(&t, m)?;
-        }
-        Ok(())
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()> {
+        self.0.update_batch(&batch)
     }
 }
 
@@ -496,8 +567,8 @@ impl Sink for AggSink {
 struct DistinctSink(FxHashSet<Tuple>);
 
 impl Sink for DistinctSink {
-    fn consume(&mut self, rows: Vec<Counted>) -> CoreResult<()> {
-        for (t, _) in rows {
+    fn consume(&mut self, batch: CountedBatch) -> CoreResult<()> {
+        for (t, _) in batch {
             self.0.insert(t);
         }
         Ok(())
@@ -557,18 +628,63 @@ fn run_bag(mut p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Bag<Tuple>> {
     Ok(out)
 }
 
-/// Runs a build-side pipeline into one shared hash table.
-fn run_build(p: Pipeline<'_>, keys: ResolvedAttrs, opts: &ExecOptions) -> CoreResult<JoinTable> {
-    let sinks = run_pipeline(&p.legs, opts, || BuildSink(JoinTable::new(keys.clone())))?;
-    let mut table = JoinTable::new(keys);
+/// Regroups per-worker radix buffers by partition: partition `pi` gets
+/// every worker's `pi`-th buffer (empty buffers dropped).
+fn regroup_radix(sinks: Vec<RadixSink>, parts: usize) -> Vec<Vec<CountedBatch>> {
+    let mut grouped: Vec<Vec<CountedBatch>> = (0..parts).map(|_| Vec::new()).collect();
     for s in sinks {
-        table.merge(s.0);
+        for (pi, b) in s.parts.into_iter().enumerate() {
+            if !b.is_empty() {
+                grouped[pi].push(b);
+            }
+        }
     }
-    Ok(table)
+    grouped
 }
 
-/// Two-phase parallel group-by: thread-local [`AggState`]s, one merge, one
-/// finish. Exact for every aggregate and for the empty key list.
+/// Runs a build-side pipeline into a radix-partitioned hash table: phase
+/// one scatters the pipeline's output batches into per-worker radix
+/// buffers, phase two gives each worker exactly one partition's buffers to
+/// build into its own [`JoinTable`] — disjoint key spaces, so the tables
+/// are complete as built and there is no merge step.
+fn run_build(
+    p: Pipeline<'_>,
+    keys: ResolvedAttrs,
+    opts: &ExecOptions,
+) -> CoreResult<RadixJoinTable> {
+    let parts = worker_count(opts);
+    let schema = Arc::clone(&p.schema);
+    let offsets = keys.offsets().to_vec();
+    let sinks = run_pipeline(&p.legs, opts, || {
+        RadixSink::new(offsets.clone(), &schema, parts)
+    })?;
+    let grouped = regroup_radix(sinks, parts);
+    let slots: Vec<Mutex<Option<JoinTable>>> = (0..parts).map(|_| Mutex::new(None)).collect();
+    pool::global().run_workers(parts, &|w| {
+        let mut table = JoinTable::new(keys.clone(), Arc::clone(&schema));
+        for b in &grouped[w] {
+            table.insert_batch(b);
+        }
+        *slots[w].lock().expect("no panics while holding slot lock") = Some(table);
+    })?;
+    let tables = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("workers joined")
+                .expect("worker filled its slot")
+        })
+        .collect();
+    Ok(RadixJoinTable::new(tables))
+}
+
+/// Parallel group-by. With keys, **radix-partitioned**: phase one scatters
+/// batches by key-hash radix, phase two has each worker aggregate and
+/// [`finish`](AggState::finish) its own partition outright — disjoint key
+/// spaces, so partition results concatenate with no merge. The empty key
+/// list (one global group) cannot be partitioned and keeps the two-phase
+/// shape: thread-local [`AggState`]s, one merge, one finish. Both are
+/// exact for every aggregate.
 fn run_agg(
     p: Pipeline<'_>,
     keys: Option<ResolvedAttrs>,
@@ -577,18 +693,46 @@ fn run_agg(
     in_type: DataType,
     opts: &ExecOptions,
 ) -> CoreResult<Vec<Counted>> {
-    let sinks = run_pipeline(&p.legs, opts, || {
-        AggSink(AggState::new(keys.clone(), attr0))
-    })?;
-    let mut iter = sinks.into_iter();
-    let mut state = match iter.next() {
-        Some(s) => s.0,
-        None => AggState::new(keys, attr0),
+    let Some(keys) = keys else {
+        let sinks = run_pipeline(&p.legs, opts, || AggSink(AggState::new(None, attr0)))?;
+        let mut iter = sinks.into_iter();
+        let mut state = match iter.next() {
+            Some(s) => s.0,
+            None => AggState::new(None, attr0),
+        };
+        for s in iter {
+            state.merge(s.0)?;
+        }
+        return state.finish(agg, in_type);
     };
-    for s in iter {
-        state.merge(s.0)?;
+    let parts = worker_count(opts);
+    let schema = Arc::clone(&p.schema);
+    let offsets = keys.offsets().to_vec();
+    let sinks = run_pipeline(&p.legs, opts, || {
+        RadixSink::new(offsets.clone(), &schema, parts)
+    })?;
+    let grouped = regroup_radix(sinks, parts);
+    let slots: Vec<Mutex<Option<CoreResult<Vec<Counted>>>>> =
+        (0..parts).map(|_| Mutex::new(None)).collect();
+    pool::global().run_workers(parts, &|w| {
+        let run = || -> CoreResult<Vec<Counted>> {
+            let mut state = AggState::new(Some(keys.clone()), attr0);
+            for b in &grouped[w] {
+                state.update_batch(b)?;
+            }
+            state.finish(agg, in_type)
+        };
+        *slots[w].lock().expect("no panics while holding slot lock") = Some(run());
+    })?;
+    let mut out = Vec::new();
+    for s in slots {
+        out.extend(
+            s.into_inner()
+                .expect("workers joined")
+                .expect("worker filled its slot")?,
+        );
     }
-    state.finish(agg, in_type)
+    Ok(out)
 }
 
 /// Two-phase parallel `δ`: thread-local seen-sets, one set union.
@@ -607,10 +751,20 @@ fn run_distinct(p: Pipeline<'_>, opts: &ExecOptions) -> CoreResult<Vec<Counted>>
 // ----------------------------------------------------------------------
 
 /// Number of hardware threads — the cap on useful pipeline workers.
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Workers per pipeline (also the radix partition count, so phase-two
+/// partition work saturates the same pool): morsel parallelism comes from
+/// hardware threads, not the requested partition count — extra workers on
+/// the same cores only add scheduling and merge overhead (Leis et al. size
+/// the pool to hardware threads), and exactness never depends on the
+/// worker count.
+fn worker_count(opts: &ExecOptions) -> usize {
+    opts.effective_partitions().min(hardware_threads())
 }
 
 /// A claimable unit of work: one chunk of one leg's source rows.
@@ -639,11 +793,7 @@ where
     S: Sink,
     F: Fn() -> S + Sync,
 {
-    // morsel parallelism comes from hardware threads, not the requested
-    // partition count: extra workers on the same cores only add scheduling
-    // and merge overhead (Leis et al. size the pool to hardware threads),
-    // and exactness never depends on the worker count
-    let workers = opts.effective_partitions().min(hardware_threads());
+    let workers = worker_count(opts);
     let morsel_size = opts.effective_batch_size();
 
     // snapshot stored-relation iterators as (ref, count) rows — tuples
@@ -684,7 +834,7 @@ where
     if workers == 1 || morsels.len() <= 1 {
         let mut sink = make_sink();
         for m in morsels {
-            process_morsel(&legs[m.leg].ops, &m.chunk, &mut sink)?;
+            process_morsel(&legs[m.leg], &m.chunk, &mut sink)?;
         }
         return Ok(vec![sink]);
     }
@@ -719,7 +869,7 @@ where
                     }
                 };
                 let Some(m) = next else { break };
-                if let Err(e) = process_morsel(&legs[m.leg].ops, &m.chunk, &mut sink) {
+                if let Err(e) = process_morsel(&legs[m.leg], &m.chunk, &mut sink) {
                     failed.store(true, Ordering::Relaxed);
                     res = Err(e);
                     break 'work;
@@ -739,54 +889,68 @@ where
     Ok(sinks)
 }
 
-/// Materialises one morsel and pushes it through the whole operator chain
-/// into the worker's sink.
-fn process_morsel<S: Sink>(ops: &[MorselOp], chunk: &Chunk<'_>, sink: &mut S) -> CoreResult<()> {
-    let mut rows: Vec<Counted> = match chunk {
-        Chunk::Borrowed(s) => s.iter().map(|(t, m)| ((*t).clone(), *m)).collect(),
-        Chunk::Owned(s) => s.to_vec(),
+/// Materialises one morsel as a columnar batch and pushes it through the
+/// whole operator chain into the worker's sink.
+fn process_morsel<S: Sink>(leg: &Leg<'_>, chunk: &Chunk<'_>, sink: &mut S) -> CoreResult<()> {
+    let len = match chunk {
+        Chunk::Borrowed(s) => s.len(),
+        Chunk::Owned(s) => s.len(),
     };
-    for op in ops {
-        if rows.is_empty() {
+    let mut batch = CountedBatch::with_capacity(Arc::clone(&leg.schema), len);
+    match chunk {
+        Chunk::Borrowed(s) => {
+            for (t, m) in *s {
+                batch.push_row(t, *m);
+            }
+        }
+        Chunk::Owned(s) => {
+            for (t, m) in *s {
+                batch.push_row(t, *m);
+            }
+        }
+    }
+    for op in &leg.ops {
+        if batch.is_empty() {
             return Ok(());
         }
-        rows = apply_op(op, rows)?;
+        match apply_op(op, batch)? {
+            Some(b) => batch = b,
+            None => return Ok(()),
+        }
     }
-    if !rows.is_empty() {
-        sink.consume(rows)?;
+    if !batch.is_empty() {
+        sink.consume(batch)?;
     }
     Ok(())
 }
 
-fn apply_op(op: &MorselOp, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
+fn apply_op(op: &MorselOp, batch: CountedBatch) -> CoreResult<Option<CountedBatch>> {
     match op {
-        MorselOp::Filter(predicate) => filter_rows(predicate, rows),
-        MorselOp::Project(exprs) => project_rows(exprs, rows),
+        MorselOp::Filter(predicate) => filter_batch(predicate, batch),
+        MorselOp::Project { exprs, schema } => project_batch(exprs, schema, batch).map(Some),
         MorselOp::HashProbe {
             table,
             keys,
+            cols,
             residual,
+            schema,
             left_arity: _,
-        } => {
-            let mut out = Vec::with_capacity(rows.len());
-            for (t, m) in &rows {
-                table.probe_into(t, *m, keys, residual.as_ref(), &mut out)?;
-            }
-            Ok(out)
-        }
-        MorselOp::ProbeProject { table, keys, cols } => {
-            let mut out = Vec::with_capacity(rows.len());
-            for (t, m) in &rows {
-                table.probe_project_into(t, *m, keys, cols, &mut out)?;
-            }
-            Ok(out)
-        }
+        } => table.probe_batch(&batch, keys, cols, schema, residual.as_ref()),
+        MorselOp::ProbeProject {
+            table,
+            keys,
+            cols,
+            schema,
+        } => table.probe_batch(&batch, keys, cols, schema, None),
         MorselOp::LoopProbe {
             rows: inner,
             predicate,
+            schema,
         } => {
-            let mut out = Vec::new();
-            for (lt, lm) in &rows {
+            let mut out = CountedBatch::new(Arc::clone(schema));
+            for i in 0..batch.len() {
+                let lt = batch.row(i);
+                let lm = batch.counts()[i];
                 for (rt, rm) in inner.iter() {
                     let joined = lt.concat(rt);
                     let keep = match predicate {
@@ -797,11 +961,11 @@ fn apply_op(op: &MorselOp, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
                         let m = lm
                             .checked_mul(*rm)
                             .ok_or(CoreError::Overflow("join multiplicity"))?;
-                        out.push((joined, m));
+                        out.push_row(&joined, m);
                     }
                 }
             }
-            Ok(out)
+            Ok((!out.is_empty()).then_some(out))
         }
     }
 }

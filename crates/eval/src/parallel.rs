@@ -20,6 +20,18 @@
 //! [`execute_parallel`] evaluates an algebra expression with these kernels
 //! (falling back to the serial physical engine where partitioning does not
 //! apply); its agreement with the reference evaluator is property-tested.
+//!
+//! **Role: differential/debug engine, not a fast path.** Partitioning
+//! clones both inputs into per-partition buckets and materialises a full
+//! [`Relation`] at every plan node, so at `partitions > 1` this engine is
+//! typically *slower* than the serial physical plan (bench sweeps measured
+//! 0.4–0.9× serial) — the per-node materialisation and input cloning
+//! dominate whatever the fan-out wins. Its value is exercising the paper's
+//! hash-partitioned decomposition semantics with exactly the serial
+//! operator code, as a third independent engine in the differential test
+//! suite. For parallel *speedups* use the morsel-driven engine
+//! ([`crate::morsel`]), which streams whole pipelines; the recorded bench
+//! sweep (`BENCH_pr6.json`) covers serial and morsel only.
 
 use std::sync::Arc;
 
@@ -69,28 +81,63 @@ fn partition(rel: &Relation, keys: &ResolvedAttrs, partitions: usize) -> Vec<Vec
     out
 }
 
-/// Runs one fallible job per partition on scoped threads and returns the
-/// per-partition results in order. A worker that *panics* (rather than
-/// returning an error) is contained: its slot becomes
+/// Runs one fallible job per partition on the process-wide worker
+/// [`pool`] (no per-call thread spawns; jobs are strided over at most
+/// `hardware_threads` workers, the calling thread being one of them) and
+/// returns the per-partition results in order. A job that *panics*
+/// (rather than returning an error) is contained: its slot becomes
 /// `Err(CoreError::WorkerPanicked)` instead of aborting the process, and
-/// the remaining workers still run to completion.
+/// the remaining jobs still run to completion.
 fn run_partitioned<T, F>(jobs: Vec<F>) -> Vec<CoreResult<T>>
 where
     T: Send,
     F: FnOnce() -> CoreResult<T> + Send,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(res) => res,
-                Err(payload) => Err(CoreError::WorkerPanicked(pool::panic_message(
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // each slot holds the pending job going in and its result coming out
+    type Slot<T, F> = (Option<F>, Option<CoreResult<T>>);
+    let slots: Vec<Mutex<Slot<T, F>>> = jobs
+        .into_iter()
+        .map(|j| Mutex::new((Some(j), None)))
+        .collect();
+    let workers = n.min(crate::morsel::hardware_threads());
+    let run = |w: usize| {
+        for slot in slots.iter().skip(w).step_by(workers) {
+            let job = slot
+                .lock()
+                .expect("no panics while holding slot lock")
+                .0
+                .take();
+            let Some(job) = job else { continue };
+            let res = catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|payload| {
+                Err(CoreError::WorkerPanicked(pool::panic_message(
                     payload.as_ref(),
-                ))),
+                )))
+            });
+            slot.lock().expect("no panics while holding slot lock").1 = Some(res);
+        }
+    };
+    let pool_res = pool::global().run_workers(workers, &run);
+    slots
+        .into_iter()
+        .map(|s| {
+            let (_, res) = s.into_inner().expect("workers joined");
+            res.unwrap_or_else(|| {
+                // only reachable if the pool itself failed before this
+                // job's stride ran (job panics are caught above)
+                Err(match &pool_res {
+                    Err(_) => CoreError::WorkerPanicked("partition job never ran".to_string()),
+                    Ok(()) => unreachable!("completed workers fill every slot"),
+                })
             })
-            .collect()
-    })
+        })
+        .collect()
 }
 
 /// Hash-partitioned parallel equi-join: both sides are partitioned on

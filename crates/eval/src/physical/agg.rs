@@ -18,19 +18,21 @@ struct Group {
 }
 
 /// Accumulated per-group state for hash aggregation, factored out of the
-/// serial operator so the morsel engine can aggregate in **two phases**:
-/// each worker folds its morsels into a thread-local `AggState`, then the
-/// states are [`merge`](AggState::merge)d once and
-/// [`finish`](AggState::finish)ed. Because the same `(group, value)` pair
-/// merges associatively (multiplicities add), the split is exact for every
-/// aggregate — including AVG's weighted denominator — and works for the
-/// empty key list (one global group), which hash *partitioning* cannot
-/// handle at all.
+/// serial operator so the morsel engine can parallelise it. Keyed
+/// aggregation parallelises by **radix partitioning**: batches are split
+/// on the columnar key hash so each worker owns a disjoint slice of the
+/// key space and builds a complete `AggState` for it — partition results
+/// simply concatenate, no merge step. The empty key list (one global
+/// group) cannot be partitioned, so it keeps the two-phase shape: each
+/// worker folds a thread-local state, then the states are
+/// [`merge`](AggState::merge)d once. Both splits are exact for every
+/// aggregate — the same `(group, value)` pair merges associatively
+/// (multiplicities add) — including AVG's weighted denominator.
 ///
-/// Groups are looked up hash-then-verify: the update path hashes the key
-/// columns of the incoming row **in place** (no key tuple per row) and
-/// compares candidates column-wise; a row landing in an existing group
-/// allocates nothing.
+/// Groups are looked up hash-then-verify on the columnar key hash: the
+/// update path hashes the key columns of each batch **in place** and
+/// compares candidates cell-wise against the group's key tuple; a row
+/// landing in an existing group allocates nothing.
 pub struct AggState {
     keys: Option<ResolvedAttrs>,
     /// 0-based offset of the aggregated attribute.
@@ -49,46 +51,57 @@ impl AggState {
         }
     }
 
-    /// Folds one counted row into its group.
-    pub fn update(&mut self, t: &Tuple, m: u64) -> CoreResult<()> {
-        let v = match t.values().get(self.attr0) {
-            Some(v) => v.clone(),
-            None => {
-                return Err(CoreError::AttrIndexOutOfRange {
-                    index: self.attr0 + 1,
-                    arity: t.arity(),
-                })
-            }
+    /// Folds every counted row of a batch into its group.
+    pub fn update_batch(&mut self, batch: &CountedBatch) -> CoreResult<()> {
+        if self.attr0 >= batch.schema().arity() {
+            return Err(CoreError::AttrIndexOutOfRange {
+                index: self.attr0 + 1,
+                arity: batch.schema().arity(),
+            });
+        }
+        let hashes = match &self.keys {
+            Some(k) => batch.key_hashes(k.offsets()),
+            None => vec![0; batch.len()],
         };
-        let h = match &self.keys {
-            Some(k) => k.hash_key(t),
-            None => 0,
-        };
-        let bucket = self.groups.entry(h).or_default();
-        let gi = match bucket.iter().position(|g| match &self.keys {
-            Some(k) => k.key_eq(t, &g.key),
-            None => true,
-        }) {
-            Some(i) => i,
-            None => {
-                let key = match &self.keys {
-                    Some(k) => k.project(t),
-                    None => Tuple::empty(),
-                };
-                bucket.push(Group {
-                    key,
-                    vals: Vec::new(),
-                });
-                bucket.len() - 1
+        let val_col = batch.column(self.attr0);
+        for (i, h) in hashes.into_iter().enumerate() {
+            let bucket = self.groups.entry(h).or_default();
+            let gi = match bucket.iter().position(|g| match &self.keys {
+                Some(k) => k
+                    .offsets()
+                    .iter()
+                    .zip(g.key.values())
+                    .all(|(&off, kv)| batch.column(off).eq_value(i, kv)),
+                None => true,
+            }) {
+                Some(gi) => gi,
+                None => {
+                    let key = match &self.keys {
+                        Some(k) => Tuple::new(
+                            k.offsets()
+                                .iter()
+                                .map(|&off| batch.column(off).value(i))
+                                .collect(),
+                        ),
+                        None => Tuple::empty(),
+                    };
+                    bucket.push(Group {
+                        key,
+                        vals: Vec::new(),
+                    });
+                    bucket.len() - 1
+                }
+            };
+            // merge rows of the same (key, value) eagerly to bound memory
+            let v = val_col.value(i);
+            let m = batch.counts()[i];
+            let entry = &mut bucket[gi].vals;
+            match entry.iter_mut().find(|(ev, _)| ev == &v) {
+                Some((_, em)) => {
+                    *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
+                }
+                None => entry.push((v, m)),
             }
-        };
-        // merge rows of the same (key, value) eagerly to bound memory
-        let entry = &mut bucket[gi].vals;
-        match entry.iter_mut().find(|(ev, _)| ev == &v) {
-            Some((_, em)) => {
-                *em = em.checked_add(m).ok_or(CoreError::Overflow("group size"))?;
-            }
-            None => entry.push((v, m)),
         }
         Ok(())
     }
@@ -215,9 +228,7 @@ impl<'a> HashAggregate<'a> {
     ) -> CoreResult<Vec<Counted>> {
         let mut state = AggState::new(keys.clone(), attr0);
         while let Some(batch) = input.next_batch()? {
-            for (t, m) in batch {
-                state.update(&t, m)?;
-            }
+            state.update_batch(&batch)?;
         }
         state.finish(agg, in_type)
     }

@@ -13,6 +13,7 @@ use mera_core::prelude::*;
 use mera_expr::scalar::{CmpOp, ScalarExpr};
 use rustc_hash::FxHashMap;
 
+use super::column::{eval_filter_mask, radix_of};
 use super::{BoxedOp, Counted, CountedBatch, Operator};
 
 /// Nested-loop join with an optional predicate over the concatenated
@@ -176,162 +177,321 @@ pub fn extract_equi_condition(
     })
 }
 
-/// One output column of a fused probe+projection: a 0-based offset into
-/// either the probe-side (left) row or the build-side (right) row.
+/// One output column of a probe: a 0-based offset into either the
+/// probe-side (left) schema or the build-side (right) schema. A full join
+/// emits [`full_probe_cols`]; the morsel engine's probe+projection fusion
+/// emits only the projected columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeCol {
-    /// Copy from the probe (left) tuple.
+    /// Copy from the probe (left) side.
     Left(usize),
-    /// Copy from the build (right) tuple.
+    /// Copy from the build (right) side.
     Right(usize),
 }
 
-/// The build side of a hash equi-join: build-side rows bucketed by the
-/// hash of their key columns, **hashed and verified in place** — no key
-/// tuple is ever materialised, on either side. Buckets hold the full build
-/// rows; a probe hashes its own key columns, walks the matching bucket and
-/// verifies candidates by comparing the projected columns directly
-/// (hash-then-verify, so colliding keys are handled exactly).
+/// The output columns of an unfused probe: the full `left ⊕ right`
+/// concatenation.
+pub fn full_probe_cols(left_arity: usize, right_arity: usize) -> Vec<ProbeCol> {
+    (0..left_arity)
+        .map(ProbeCol::Left)
+        .chain((0..right_arity).map(ProbeCol::Right))
+        .collect()
+}
+
+/// The build side of a hash equi-join, stored **columnar**: all build rows
+/// appended into one [`CountedBatch`] and bucketed by the columnar hash of
+/// their key columns — buckets hold row indexes, not tuples, so the table
+/// is one map plus one batch regardless of duplication. A probe hashes its
+/// own key columns batch-at-a-time, walks the matching buckets and
+/// verifies candidates cell-against-cell (hash-then-verify, so colliding
+/// keys are handled exactly), then assembles the output batch with one
+/// gather per output column.
 ///
-/// The serial [`HashJoin`] owns one; the morsel-driven engine builds one
-/// *in parallel* (each worker fills a thread-local table over its morsels,
-/// the tables are [`merge`](JoinTable::merge)d once) and then shares it
-/// read-only behind an `Arc` so every worker probes the same table — no
-/// per-partition cloning of the probe input.
+/// The serial [`HashJoin`] owns one; the morsel-driven engine builds a
+/// [`RadixJoinTable`] — one disjoint `JoinTable` per radix partition of
+/// the key space, each filled by exactly one worker with no shared state
+/// and no merge step.
 #[derive(Debug)]
 pub struct JoinTable {
     /// Build-side key offsets, resolved once at plan time.
     build_keys: ResolvedAttrs,
-    map: FxHashMap<u64, Vec<Counted>>,
-    rows: usize,
+    /// All build rows, in insertion order.
+    batch: CountedBatch,
+    /// Key hash → indexes into `batch`.
+    map: FxHashMap<u64, Vec<u32>>,
 }
 
 impl JoinTable {
     /// An empty table keyed on the resolved build-side columns.
-    pub fn new(build_keys: ResolvedAttrs) -> Self {
+    pub fn new(build_keys: ResolvedAttrs, schema: SchemaRef) -> Self {
         JoinTable {
             build_keys,
+            batch: CountedBatch::new(schema),
             map: FxHashMap::default(),
-            rows: 0,
         }
     }
 
-    /// Inserts one build-side row under the hash of its key columns.
-    pub fn insert_row(&mut self, t: Tuple, m: u64) {
-        let h = self.build_keys.hash_key(&t);
-        self.map.entry(h).or_default().push((t, m));
-        self.rows += 1;
-    }
-
-    /// Absorbs another table built over a disjoint chunk of the input.
-    /// Rows under the same key concatenate; duplicate build rows stay
-    /// separate entries (multiplicities merge downstream, as everywhere in
-    /// the counted-stream model).
-    pub fn merge(&mut self, other: JoinTable) {
-        debug_assert_eq!(self.build_keys, other.build_keys);
-        for (h, mut rows) in other.map {
-            self.map.entry(h).or_default().append(&mut rows);
+    /// Inserts every row of a build-side batch under the hash of its key
+    /// columns. Cells are appended column-wise (a `Sym`/scalar copy per
+    /// cell, never a tuple allocation).
+    pub fn insert_batch(&mut self, batch: &CountedBatch) {
+        let hashes = batch.key_hashes(self.build_keys.offsets());
+        let base = self.batch.len() as u32;
+        for (i, h) in hashes.into_iter().enumerate() {
+            self.map.entry(h).or_default().push(base + i as u32);
         }
-        self.rows += other.rows;
+        self.batch.append(batch);
     }
 
     /// Number of build rows in the table.
     pub fn len(&self) -> usize {
-        self.rows
+        self.batch.len()
     }
 
     /// True when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.batch.is_empty()
     }
 
-    /// Probes with one left row: emits `left ⊕ right` with multiplicity
-    /// `m₁ · m₂` for every build row under the same key that passes the
-    /// residual predicate. The probe key is hashed and compared in place —
-    /// a probe miss allocates nothing.
-    pub fn probe_into(
+    /// Probes with a whole batch: for every probe row (in order) and every
+    /// matching build row (in insertion order), emits the `cols` columns
+    /// of the pair with multiplicity `m₁ · m₂`, after the residual
+    /// predicate (which sees the full concatenated schema — callers pass
+    /// `cols = full_probe_cols(..)` alongside a residual). `None` when no
+    /// pair survives. Matches the row engine exactly: the residual is
+    /// evaluated *before* the multiplicity product, so only kept pairs can
+    /// overflow.
+    pub fn probe_batch(
         &self,
-        lt: &Tuple,
-        lm: u64,
-        left_keys: &ResolvedAttrs,
-        residual: Option<&ScalarExpr>,
-        out: &mut Vec<Counted>,
-    ) -> CoreResult<()> {
-        let h = left_keys.hash_key(lt);
-        if let Some(candidates) = self.map.get(&h) {
-            for (rt, rm) in candidates {
-                if !left_keys.pair_eq(lt, &self.build_keys, rt) {
-                    continue;
-                }
-                let joined = lt.concat(rt);
-                let keep = match residual {
-                    None => true,
-                    Some(p) => p.eval_predicate(&joined)?,
-                };
-                if keep {
-                    let m = lm
-                        .checked_mul(*rm)
-                        .ok_or(CoreError::Overflow("join multiplicity"))?;
-                    out.push((joined, m));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Fused probe + column projection: like [`probe_into`], but assembles
-    /// each output row *directly* in projected form from the two sides —
-    /// the concatenated tuple is never materialised, so a matching pair
-    /// costs one allocation instead of two. Only valid for joins without a
-    /// residual predicate (a residual must evaluate over the full
-    /// concatenated row).
-    ///
-    /// [`probe_into`]: JoinTable::probe_into
-    pub fn probe_project_into(
-        &self,
-        lt: &Tuple,
-        lm: u64,
-        left_keys: &ResolvedAttrs,
+        probe: &CountedBatch,
+        keys: &ResolvedAttrs,
         cols: &[ProbeCol],
-        out: &mut Vec<Counted>,
-    ) -> CoreResult<()> {
-        let h = left_keys.hash_key(lt);
-        if let Some(candidates) = self.map.get(&h) {
-            for (rt, rm) in candidates {
-                if !left_keys.pair_eq(lt, &self.build_keys, rt) {
-                    continue;
+        out_schema: &SchemaRef,
+        residual: Option<&ScalarExpr>,
+    ) -> CoreResult<Option<CountedBatch>> {
+        let hashes = probe.key_hashes(keys.offsets());
+        let rows: Vec<u32> = (0..probe.len() as u32).collect();
+        self.probe_rows(probe, &hashes, &rows, keys, cols, out_schema, residual)
+    }
+
+    /// [`probe_batch`](JoinTable::probe_batch) over a pre-hashed selection
+    /// of probe rows (the radix path probes each partition's table with
+    /// only the probe rows that hash into it).
+    #[allow(clippy::too_many_arguments)]
+    fn probe_rows(
+        &self,
+        probe: &CountedBatch,
+        hashes: &[u64],
+        rows: &[u32],
+        keys: &ResolvedAttrs,
+        cols: &[ProbeCol],
+        out_schema: &SchemaRef,
+        residual: Option<&ScalarExpr>,
+    ) -> CoreResult<Option<CountedBatch>> {
+        // collect matching (probe, build) index pairs — hash lookup plus
+        // cell-wise key verification, no materialisation yet
+        let mut lsel: Vec<u32> = Vec::new();
+        let mut rsel: Vec<u32> = Vec::new();
+        for &i in rows {
+            if let Some(bucket) = self.map.get(&hashes[i as usize]) {
+                for &j in bucket {
+                    if self.keys_match(probe, keys, i as usize, j as usize) {
+                        lsel.push(i);
+                        rsel.push(j);
+                    }
                 }
-                let m = lm
-                    .checked_mul(*rm)
-                    .ok_or(CoreError::Overflow("join multiplicity"))?;
-                let vals: Vec<Value> = cols
-                    .iter()
-                    .map(|c| match c {
-                        ProbeCol::Left(i) => lt.values()[*i].clone(),
-                        ProbeCol::Right(i) => rt.values()[*i].clone(),
-                    })
-                    .collect();
-                out.push((Tuple::new(vals), m));
             }
         }
-        Ok(())
+        if lsel.is_empty() {
+            return Ok(None);
+        }
+        // assemble the output columns: one gather per column, from
+        // whichever side it references
+        let assemble = |ls: &[u32], rs: &[u32]| -> Vec<super::Column> {
+            cols.iter()
+                .map(|c| match c {
+                    ProbeCol::Left(o) => probe.column(*o).gather(ls),
+                    ProbeCol::Right(o) => self.batch.column(*o).gather(rs),
+                })
+                .collect()
+        };
+        let (columns, lsel, rsel) = match residual {
+            None => (assemble(&lsel, &rsel), lsel, rsel),
+            Some(p) => {
+                let pairs = CountedBatch::from_parts(
+                    Arc::clone(out_schema),
+                    assemble(&lsel, &rsel),
+                    vec![1; lsel.len()],
+                );
+                let mask = match eval_filter_mask(p, &pairs) {
+                    Ok(mask) => mask,
+                    // canonicalize to the row engine's first error in
+                    // probe-row order (residual errors interleave with
+                    // multiplicity overflows there)
+                    Err(e) => {
+                        return Err(self
+                            .rowwise_probe_error(probe, hashes, rows, keys, residual)
+                            .unwrap_or(e))
+                    }
+                };
+                let keep: Vec<u32> = mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, &b)| b.then_some(k as u32))
+                    .collect();
+                if keep.is_empty() {
+                    return Ok(None);
+                }
+                let columns = if keep.len() == mask.len() {
+                    pairs.into_parts().1
+                } else {
+                    pairs.gather(&keep).into_parts().1
+                };
+                let filter = |sel: &[u32]| keep.iter().map(|&k| sel[k as usize]).collect();
+                (columns, filter(&lsel), filter(&rsel))
+            }
+        };
+        // multiplicity product, after the residual — exactly the row
+        // engine's per-pair order
+        let mut counts = Vec::with_capacity(lsel.len());
+        for (&i, &j) in lsel.iter().zip(&rsel) {
+            let m = probe.counts()[i as usize]
+                .checked_mul(self.batch.counts()[j as usize])
+                .ok_or(CoreError::Overflow("join multiplicity"))?;
+            counts.push(m);
+        }
+        Ok(Some(CountedBatch::from_parts(
+            Arc::clone(out_schema),
+            columns,
+            counts,
+        )))
+    }
+
+    /// Cell-wise key verification between probe row `i` and build row `j`.
+    fn keys_match(&self, probe: &CountedBatch, keys: &ResolvedAttrs, i: usize, j: usize) -> bool {
+        keys.offsets()
+            .iter()
+            .zip(self.build_keys.offsets())
+            .all(|(&po, &bo)| probe.column(po).eq_cells(i, self.batch.column(bo), j))
+    }
+
+    /// Row-order re-evaluation after a vectorized probe error: replays the
+    /// row engine's exact per-pair sequence (residual on the concatenated
+    /// tuple, then the checked multiplicity product) and returns its first
+    /// error.
+    fn rowwise_probe_error(
+        &self,
+        probe: &CountedBatch,
+        hashes: &[u64],
+        rows: &[u32],
+        keys: &ResolvedAttrs,
+        residual: Option<&ScalarExpr>,
+    ) -> Option<CoreError> {
+        for &i in rows {
+            let Some(bucket) = self.map.get(&hashes[i as usize]) else {
+                continue;
+            };
+            let lt = probe.row(i as usize);
+            let lm = probe.counts()[i as usize];
+            for &j in bucket {
+                if !self.keys_match(probe, keys, i as usize, j as usize) {
+                    continue;
+                }
+                let joined = lt.concat(&self.batch.row(j as usize));
+                match residual.map(|p| p.eval_predicate(&joined)).transpose() {
+                    Err(e) => return Some(e),
+                    Ok(Some(false)) => continue,
+                    Ok(_) => {}
+                }
+                if lm.checked_mul(self.batch.counts()[j as usize]).is_none() {
+                    return Some(CoreError::Overflow("join multiplicity"));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A radix-partitioned join build: one disjoint [`JoinTable`] per
+/// partition of the key-hash space ([`radix_of`] on the columnar key
+/// hash). The morsel engine's build phase fills each partition's table
+/// with exactly one worker — workers own disjoint key ranges, so there is
+/// no shared table, no locking and no merge step. Probing partitions each
+/// probe batch by the same radix function and probes only the matching
+/// table; matching keys always hash — and therefore radix — identically
+/// on both sides.
+#[derive(Debug)]
+pub struct RadixJoinTable {
+    tables: Vec<JoinTable>,
+}
+
+impl RadixJoinTable {
+    /// Wraps per-partition tables (index = radix partition).
+    pub fn new(tables: Vec<JoinTable>) -> Self {
+        debug_assert!(!tables.is_empty());
+        RadixJoinTable { tables }
+    }
+
+    /// Total build rows across all partitions.
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(JoinTable::len).sum()
+    }
+
+    /// True when no partition holds rows.
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(JoinTable::is_empty)
+    }
+
+    /// Probes a whole batch: rows are split by key radix and each
+    /// partition's table is probed with its selection; partition outputs
+    /// concatenate (bag semantics — row order across partitions is
+    /// irrelevant once multiplicities merge downstream).
+    pub fn probe_batch(
+        &self,
+        probe: &CountedBatch,
+        keys: &ResolvedAttrs,
+        cols: &[ProbeCol],
+        out_schema: &SchemaRef,
+        residual: Option<&ScalarExpr>,
+    ) -> CoreResult<Option<CountedBatch>> {
+        if self.tables.len() == 1 {
+            return self.tables[0].probe_batch(probe, keys, cols, out_schema, residual);
+        }
+        let hashes = probe.key_hashes(keys.offsets());
+        let parts = self.tables.len();
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (i, &h) in hashes.iter().enumerate() {
+            sels[radix_of(h, parts)].push(i as u32);
+        }
+        let mut out: Option<CountedBatch> = None;
+        for (pi, sel) in sels.iter().enumerate() {
+            if sel.is_empty() || self.tables[pi].is_empty() {
+                continue;
+            }
+            if let Some(b) =
+                self.tables[pi].probe_rows(probe, &hashes, sel, keys, cols, out_schema, residual)?
+            {
+                match &mut out {
+                    None => out = Some(b),
+                    Some(acc) => acc.append(&b),
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
 /// Hash join on extracted equi-keys: the right side is built into a hash
-/// table keyed by its key projection; the left side streams in batches and
-/// probes a batch at a time.
+/// table keyed by its key projection; the left side streams and probes a
+/// whole batch at a time (output batch sizes track the probe side's —
+/// expanding joins may overshoot the target, as the trait allows).
 pub struct HashJoin<'a> {
     left: BoxedOp<'a>,
     table: JoinTable,
     left_keys: ResolvedAttrs,
+    cols: Vec<ProbeCol>,
     residual: Option<ScalarExpr>,
     schema: SchemaRef,
-    batch_size: usize,
-    /// The current probe batch and the resume position within it.
-    probe_rows: Vec<Counted>,
-    probe_pos: usize,
-    done: bool,
 }
 
 impl<'a> HashJoin<'a> {
@@ -340,27 +500,23 @@ impl<'a> HashJoin<'a> {
         left: BoxedOp<'a>,
         mut right: BoxedOp<'a>,
         cond: EquiCondition,
-        batch_size: usize,
+        _batch_size: usize,
     ) -> CoreResult<Self> {
         let schema = Arc::new(left.schema().concat(right.schema()));
         let build_keys = ResolvedAttrs::new(&cond.right_keys, right.schema().arity())?;
         let left_keys = ResolvedAttrs::new(&cond.left_keys, left.schema().arity())?;
-        let mut table = JoinTable::new(build_keys);
+        let cols = full_probe_cols(left.schema().arity(), right.schema().arity());
+        let mut table = JoinTable::new(build_keys, Arc::clone(right.schema()));
         while let Some(batch) = right.next_batch()? {
-            for (t, m) in batch {
-                table.insert_row(t, m);
-            }
+            table.insert_batch(&batch);
         }
         Ok(HashJoin {
             left,
             table,
             left_keys,
+            cols,
             residual: cond.residual,
             schema,
-            batch_size: batch_size.max(1),
-            probe_rows: Vec::new(),
-            probe_pos: 0,
-            done: false,
         })
     }
 }
@@ -371,43 +527,18 @@ impl Operator for HashJoin<'_> {
     }
 
     fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
-        if self.done {
-            return Ok(None);
-        }
-        let mut out: Vec<Counted> = Vec::with_capacity(self.batch_size);
-        'fill: loop {
-            if self.probe_pos >= self.probe_rows.len() {
-                match self.left.next_batch()? {
-                    None => {
-                        self.done = true;
-                        break 'fill;
-                    }
-                    Some(batch) => {
-                        self.probe_rows = batch.into_rows();
-                        self.probe_pos = 0;
-                    }
-                }
-            }
-            while self.probe_pos < self.probe_rows.len() {
-                let (lt, lm) = &self.probe_rows[self.probe_pos];
-                self.probe_pos += 1;
-                self.table.probe_into(
-                    lt,
-                    *lm,
-                    &self.left_keys,
-                    self.residual.as_ref(),
-                    &mut out,
-                )?;
-                if out.len() >= self.batch_size {
-                    break 'fill;
-                }
+        while let Some(batch) = self.left.next_batch()? {
+            if let Some(out) = self.table.probe_batch(
+                &batch,
+                &self.left_keys,
+                &self.cols,
+                &self.schema,
+                self.residual.as_ref(),
+            )? {
+                return Ok(Some(out));
             }
         }
-        Ok(if out.is_empty() {
-            None
-        } else {
-            Some(CountedBatch::from_rows(Arc::clone(&self.schema), out))
-        })
+        Ok(None)
     }
 }
 

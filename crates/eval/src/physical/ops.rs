@@ -8,11 +8,13 @@ use mera_core::prelude::*;
 use mera_expr::ScalarExpr;
 use rustc_hash::FxHashSet;
 
+use super::column::{eval_filter_mask, eval_project};
 use super::{BoxedOp, Counted, CountedBatch, Operator};
 
 /// Leaf scan over a stored relation. Lazy: the scan borrows the relation
 /// and batches rows straight out of its iterator — no upfront snapshot of
-/// the whole relation is taken.
+/// the whole relation is taken; tuples are split into columns as they
+/// stream (a cell copy is an `i64`/handle copy, never a deep clone).
 pub struct ScanOp<'a> {
     schema: SchemaRef,
     iter: Box<dyn Iterator<Item = (&'a Tuple, u64)> + 'a>,
@@ -38,7 +40,7 @@ impl Operator for ScanOp<'_> {
     fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         let mut batch = CountedBatch::with_capacity(Arc::clone(&self.schema), self.batch_size);
         for (t, m) in self.iter.by_ref().take(self.batch_size) {
-            batch.push(t.clone(), m);
+            batch.push_row(t, m);
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
@@ -79,32 +81,51 @@ impl Operator for VecScanOp {
     }
 }
 
-/// Applies `σ_φ` to one chunk of counted rows — the row kernel shared by
-/// the batched [`FilterOp`] and the morsel-driven filter.
-pub(crate) fn filter_rows(predicate: &ScalarExpr, rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
-    let mut out = Vec::with_capacity(rows.len());
-    for (t, m) in rows {
-        if predicate.eval_predicate(&t)? {
-            out.push((t, m));
-        }
+/// Applies `σ_φ` to one columnar batch — the kernel shared by the batched
+/// [`FilterOp`] and the morsel-driven filter. The predicate is evaluated
+/// as a vectorized mask; a batch that keeps every row passes through
+/// untouched, one that keeps none yields `None`, anything in between is a
+/// single gather of the surviving rows.
+pub(crate) fn filter_batch(
+    predicate: &ScalarExpr,
+    batch: CountedBatch,
+) -> CoreResult<Option<CountedBatch>> {
+    let mask = eval_filter_mask(predicate, &batch)?;
+    let kept = mask.iter().filter(|&&b| b).count();
+    if kept == batch.len() {
+        return Ok(Some(batch));
     }
-    Ok(out)
+    if kept == 0 {
+        return Ok(None);
+    }
+    let sel: Vec<u32> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i as u32))
+        .collect();
+    Ok(Some(batch.gather(&sel)))
 }
 
-/// Applies a (plain or extended) projection to one chunk of counted rows —
-/// the row kernel shared by the batched [`ProjectOp`] and the
-/// morsel-driven projection.
-pub(crate) fn project_rows(exprs: &[ScalarExpr], rows: Vec<Counted>) -> CoreResult<Vec<Counted>> {
-    rows.into_iter()
-        .map(|(t, m)| {
-            let vals: CoreResult<Vec<Value>> = exprs.iter().map(|e| e.eval(&t)).collect();
-            Ok((Tuple::new(vals?), m))
-        })
-        .collect()
+/// Applies a (plain or extended) projection to one columnar batch — the
+/// kernel shared by the batched [`ProjectOp`] and the morsel-driven
+/// projection. A bare-attribute projection moves whole columns; counts
+/// pass through unchanged.
+pub(crate) fn project_batch(
+    exprs: &[ScalarExpr],
+    schema: &SchemaRef,
+    batch: CountedBatch,
+) -> CoreResult<CountedBatch> {
+    let columns = eval_project(exprs, schema, &batch)?;
+    let (_, _, counts) = batch.into_parts();
+    Ok(CountedBatch::from_parts(
+        Arc::clone(schema),
+        columns,
+        counts,
+    ))
 }
 
-/// Streaming selection `σ_φ`: a tight loop over each input batch;
-/// multiplicities pass through unchanged.
+/// Streaming selection `σ_φ`: a vectorized mask-and-gather over each input
+/// batch; multiplicities pass through unchanged.
 pub struct FilterOp<'a> {
     input: BoxedOp<'a>,
     predicate: ScalarExpr,
@@ -124,10 +145,8 @@ impl Operator for FilterOp<'_> {
 
     fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         while let Some(batch) = self.input.next_batch()? {
-            let schema = Arc::clone(batch.schema());
-            let out = filter_rows(&self.predicate, batch.into_rows())?;
-            if !out.is_empty() {
-                return Ok(Some(CountedBatch::from_rows(schema, out)));
+            if let Some(out) = filter_batch(&self.predicate, batch)? {
+                return Ok(Some(out));
             }
         }
         Ok(None)
@@ -163,10 +182,7 @@ impl Operator for ProjectOp<'_> {
     fn next_batch(&mut self) -> CoreResult<Option<CountedBatch>> {
         match self.input.next_batch()? {
             None => Ok(None),
-            Some(batch) => {
-                let out = project_rows(&self.exprs, batch.into_rows())?;
-                Ok(Some(CountedBatch::from_rows(Arc::clone(&self.schema), out)))
-            }
+            Some(batch) => Ok(Some(project_batch(&self.exprs, &self.schema, batch)?)),
         }
     }
 }

@@ -129,6 +129,34 @@ fn filter_project_probe_steady_state_allocates_per_batch() {
 }
 
 #[test]
+fn columnar_project_then_reject_all_allocates_per_batch() {
+    // a bare-column projection reorders whole columns (per-batch gathers,
+    // no per-row tuple assembly); the reject-all filter after it proves the
+    // projected batches flow through the vectorized mask without
+    // materialising rows
+    let e = RelExpr::scan("r")
+        .project(&[2, 1])
+        .select(ScalarExpr::attr(1).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(-1)));
+    assert_flat_allocations(&e, "columnar project -> filter reject-all");
+}
+
+#[test]
+fn columnar_int_arithmetic_allocates_per_batch() {
+    // κ with Int arithmetic runs element-wise over the unboxed i64 column
+    // (one output vector per batch); the reject-all filter keeps the
+    // pipeline's output empty so only the per-batch vectors remain
+    let e = RelExpr::scan("r")
+        .ext_project(vec![
+            ScalarExpr::attr(1),
+            ScalarExpr::attr(2)
+                .mul(ScalarExpr::int(3))
+                .add(ScalarExpr::attr(1)),
+        ])
+        .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Lt, ScalarExpr::int(-1)));
+    assert_flat_allocations(&e, "columnar int arithmetic -> filter reject-all");
+}
+
+#[test]
 fn group_updates_into_existing_groups_do_not_allocate() {
     // 16 groups at every scale; the group count (and each group's distinct
     // value set) is fixed, so updates after warm-up hit existing entries

@@ -41,9 +41,38 @@ fn rel_s() -> impl Strategy<Value = Relation> {
     })
 }
 
-/// A database with relations r and s.
+/// m: (bool, real, money) — the mixed-type relation that exercises the
+/// boxed `Val` column path (the columnar layout unboxes only Int and Str).
+/// Multiplicities are either small or enormous (`1 << 40`): two enormous
+/// rows meeting in a product overflow `u64` multiplicity arithmetic, so
+/// every engine must surface the overflow, and difference/intersection
+/// shapes drive merged counts through zero.
+fn rel_m() -> impl Strategy<Value = Relation> {
+    let mult = (0u64..5).prop_map(|i| if i == 0 { 1u64 << 40 } else { i });
+    proptest::collection::vec((any::<bool>(), (0i64..4), (-2i64..3), mult), 0..6).prop_map(|rows| {
+        let schema = Arc::new(Schema::named(&[
+            ("flag", DataType::Bool),
+            ("x", DataType::Real),
+            ("amt", DataType::Money),
+        ]));
+        Relation::from_counted(
+            schema,
+            rows.into_iter().map(|(b, x, c, m)| {
+                let t = Tuple::new(vec![
+                    Value::Bool(b),
+                    Value::real(x as f64 * 0.5).expect("finite"),
+                    Value::Money(Money(c * 25)),
+                ]);
+                (t, m)
+            }),
+        )
+        .expect("well-typed by construction")
+    })
+}
+
+/// A database with relations r, s, and the mixed-type m.
 fn db_strategy() -> impl Strategy<Value = Database> {
-    (rel_r(), rel_s()).prop_map(|(r, s)| {
+    (rel_r(), rel_s(), rel_m()).prop_map(|(r, s, m)| {
         let schema = DatabaseSchema::new()
             .with(
                 "r",
@@ -54,10 +83,20 @@ fn db_strategy() -> impl Strategy<Value = Database> {
                 "s",
                 Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
             )
+            .expect("fresh schema")
+            .with(
+                "m",
+                Schema::named(&[
+                    ("flag", DataType::Bool),
+                    ("x", DataType::Real),
+                    ("amt", DataType::Money),
+                ]),
+            )
             .expect("fresh schema");
         let mut db = Database::new(schema);
         db.replace("r", r).expect("schema matches");
         db.replace("s", s).expect("schema matches");
+        db.replace("m", m).expect("schema matches");
         db
     })
 }
@@ -208,8 +247,60 @@ proptest! {
     }
 }
 
+/// Plans over the mixed-type relation m: selections on the bool/real
+/// columns, products and self-joins that multiply the `1 << 40`
+/// multiplicities into overflow, differences that cancel counts to zero,
+/// and money aggregates. All of these run through the boxed `Val` columns.
+fn expr_m() -> impl Strategy<Value = RelExpr> {
+    let m = || RelExpr::scan("m");
+    prop_oneof![
+        Just(m().select(ScalarExpr::attr(1).eq(ScalarExpr::bool(true)))),
+        Just(m().select(ScalarExpr::attr(2).cmp(CmpOp::Lt, ScalarExpr::real(1.0)))),
+        // two 1<<40 rows pairing up overflows u64 multiplicity arithmetic:
+        // every engine must report the overflow, not wrap
+        Just(m().product(m())),
+        Just(m().join(m(), ScalarExpr::attr(1).eq(ScalarExpr::attr(4)))),
+        // E − E and E − σE drive merged multiplicities to (or toward) zero
+        Just(m().difference(m())),
+        Just(m().difference(m().select(ScalarExpr::attr(1).eq(ScalarExpr::bool(false))))),
+        Just(m().intersect(m())),
+        Just(m().union(m()).distinct()),
+        Just(m().group_by(&[1], Aggregate::Cnt, 2)),
+        Just(m().group_by(&[1], Aggregate::Sum, 3)),
+        Just(m().union(m()).group_by(&[3], Aggregate::Max, 2)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Mixed-type differential test: bool/real/money columns (the boxed
+    /// `Val` column representation), zero-multiplicity results from
+    /// differences, and `1 << 40` multiplicities whose products overflow —
+    /// all four engines agree with the reference, or all fail.
+    #[test]
+    fn mixed_type_engines_agree(db in db_strategy(), e in expr_m()) {
+        let expected = eval(&e, &db);
+        for partitions in [1usize, 2, 8] {
+            for engine in [Engine::physical(), Engine::parallel(), Engine::morsel()] {
+                let kind = engine.kind();
+                let got = engine.with_partitions(partitions).run(&e, &db);
+                match (&expected, got) {
+                    (Ok(want), Ok(got)) => prop_assert_eq!(
+                        &got, want,
+                        "{:?} differs (partitions={}) on plan: {}",
+                        kind, partitions, e
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (want, got) => prop_assert!(
+                        false,
+                        "{:?} disagrees about failure (partitions={}) on plan {}: reference={:?} engine={:?}",
+                        kind, partitions, e, want, got
+                    ),
+                }
+            }
+        }
+    }
 
     /// Four-engine differential test: physical, hash-partitioned parallel,
     /// and morsel-driven engines all agree with the reference across

@@ -21,4 +21,4 @@ pub mod scalar;
 
 pub use aggregate::Aggregate;
 pub use rel::{EmptyProvider, RelExpr, SchemaProvider};
-pub use scalar::{arith_result_type, ArithOp, CmpOp, ScalarExpr};
+pub use scalar::{arith_result_type, eval_arith, ArithOp, CmpOp, ScalarExpr};

@@ -64,8 +64,10 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    /// Evaluates the comparison on an ordering.
-    fn test(self, ord: std::cmp::Ordering) -> bool {
+    /// Evaluates the comparison on an ordering. Public so the columnar
+    /// evaluator in `mera-eval` can apply the exact comparison semantics
+    /// element-wise.
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CmpOp::Eq => ord == Equal,
@@ -495,8 +497,9 @@ pub fn arith_result_type(op: ArithOp, l: DataType, r: DataType) -> CoreResult<Da
 }
 
 /// Evaluates one arithmetic operation on two values, following
-/// [`arith_result_type`].
-fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> CoreResult<Value> {
+/// [`arith_result_type`]. Public so the columnar evaluator in `mera-eval`
+/// can reuse the exact scalar semantics element-wise.
+pub fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> CoreResult<Value> {
     use ArithOp::*;
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => {
