@@ -29,7 +29,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// The numbering is grouped by pass: `E00xx` schema/type inference,
-/// `x01xx` partiality/emptiness analysis, `E02xx` rewrite soundness.
+/// `x01xx` partiality/emptiness analysis, `E02xx` rewrite soundness,
+/// `E03xx` materialized-view validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `E0001` — an attribute reference `%i` that does not resolve against
@@ -62,6 +63,19 @@ pub enum Code {
     /// `E0201` — a rewrite whose declared precondition could not be
     /// discharged, or that a differential check proved unsound.
     UnsoundRewrite,
+    /// `E0301` — a materialized view whose definition scans the view
+    /// itself (directly or through another view): delta maintenance needs
+    /// a well-founded dependency order.
+    SelfReferentialView,
+    /// `E0302` — a DML statement (`insert`/`delete`/`update`/assignment)
+    /// targeting a materialized view; views are refreshed from their base
+    /// relations, never written directly.
+    DmlOnView,
+    /// `E0303` — a view definition that is not *total*: some database
+    /// state would make its evaluation fail (a partial aggregate over a
+    /// possibly-empty input). Views must refresh unconditionally at every
+    /// commit, so the `W0101` lint escalates to an error here.
+    PartialView,
 }
 
 impl Code {
@@ -78,6 +92,9 @@ impl Code {
             Code::PartialAggregateMayBeUndefined => "W0101",
             Code::PartialAggregateOnEmpty => "E0102",
             Code::UnsoundRewrite => "E0201",
+            Code::SelfReferentialView => "E0301",
+            Code::DmlOnView => "E0302",
+            Code::PartialView => "E0303",
         }
     }
 

@@ -34,9 +34,11 @@ pub mod differential;
 pub mod plan;
 pub mod program;
 pub mod rewrite;
+pub mod views;
 
 pub use diag::{first_error, has_errors, render, Code, Diagnostic, Severity, Span};
 pub use differential::verify_rewrite;
 pub use plan::{analyze_plan, Card, CardEnv, PlanAnalysis};
 pub use program::{analyze_program, ProgramStmt};
 pub use rewrite::{discharge, duplicate_free, provably_empty, Condition, Precondition};
+pub use views::{analyze_view_def, structural_card, ViewAnalysis};

@@ -1,0 +1,182 @@
+//! Validation of materialized-view definitions.
+//!
+//! A view is an algebra expression that the transaction layer promises to
+//! keep materialized across *every* future commit. That promise needs
+//! three static guarantees beyond ordinary plan analysis:
+//!
+//! 1. **Well-founded dependencies** — the definition must not scan the
+//!    view itself (`E0301`); views may reference base relations and
+//!    previously-created views only, so the dependency graph is acyclic
+//!    by construction.
+//! 2. **Schema inference** — the view's relation schema is the plan's
+//!    inferred output schema; a definition that does not infer is
+//!    rejected with the ordinary `E00xx` diagnostics.
+//! 3. **Totality** — refresh runs unconditionally at commit time, with no
+//!    user around to handle an error, so a definition whose evaluation is
+//!    partial (a whole-relation `γ` with `AVG`/`MIN`/`MAX`/… over a
+//!    possibly-empty input, Definition 3.4) is rejected: the `W0101`
+//!    warning escalates to the `E0303` error. Base-relation emptiness is
+//!    deliberately *not* consulted — a view accepted today must stay
+//!    valid after any sequence of inserts and deletes, so every scanned
+//!    relation is analyzed at [`Card::Unknown`].
+
+use mera_core::prelude::*;
+use mera_expr::rel::{RelExpr, SchemaProvider};
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::plan::{analyze_plan, Card, CardEnv};
+
+/// The result of validating one view definition.
+#[derive(Debug, Clone)]
+pub struct ViewAnalysis {
+    /// The view's inferred schema, when the definition is well-formed.
+    pub schema: Option<SchemaRef>,
+    /// Names the definition scans (base relations and earlier views),
+    /// sorted and deduplicated — the view's dependency set.
+    pub deps: Vec<String>,
+    /// Everything found; the definition is acceptable iff none of these
+    /// is error-severity.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ViewAnalysis {
+    /// True when no error-severity diagnostic was produced.
+    pub fn is_accepted(&self) -> bool {
+        !crate::diag::has_errors(&self.diagnostics)
+    }
+}
+
+/// Validates the definition of a view called `name` against a catalog
+/// that already resolves base relations and previously-created views.
+pub fn analyze_view_def<P: SchemaProvider>(
+    name: &str,
+    expr: &RelExpr,
+    provider: &P,
+) -> ViewAnalysis {
+    let mut diagnostics = Vec::new();
+    let deps: Vec<String> = expr
+        .scanned_relations()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    if deps.iter().any(|d| d == name) {
+        diagnostics.push(
+            Diagnostic::new(
+                Code::SelfReferentialView,
+                Span::root(expr.op_name()),
+                format!("materialized view `{name}` scans itself"),
+            )
+            .with_note("view definitions may reference base relations and earlier views only"),
+        );
+    }
+    // all scanned names at Unknown: acceptance must be state-independent
+    let cards: CardEnv = deps.iter().map(|d| (d.clone(), Card::Unknown)).collect();
+    let plan = analyze_plan(expr, provider, &cards);
+    for d in plan.diagnostics {
+        if d.code == Code::PartialAggregateMayBeUndefined {
+            let mut escalated = Diagnostic::new(
+                Code::PartialView,
+                d.span.clone(),
+                format!("materialized view `{name}` is not total: {}", d.message),
+            )
+            .with_note(
+                "view refresh runs unconditionally at every commit; \
+                 a partial aggregate over a possibly-empty input would make it fail",
+            );
+            escalated.notes.extend(d.notes);
+            diagnostics.push(escalated);
+        } else {
+            diagnostics.push(d);
+        }
+    }
+    ViewAnalysis {
+        schema: plan.schema,
+        deps,
+        diagnostics,
+    }
+}
+
+/// The emptiness abstraction of a view sub-plan with every scanned name
+/// at [`Card::Unknown`] — the gate deciding whether a subtree is provably
+/// empty in *all* states (and so needs no delta machinery at all).
+pub fn structural_card<P: SchemaProvider>(expr: &RelExpr, provider: &P) -> Card {
+    let cards: CardEnv = expr
+        .scanned_relations()
+        .into_iter()
+        .map(|d| (d.to_owned(), Card::Unknown))
+        .collect();
+    analyze_plan(expr, provider, &cards).card
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_expr::Aggregate;
+    use std::sync::Arc;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "r",
+                Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn good_view_infers_schema_and_deps() {
+        let expr = RelExpr::scan("r").group_by(&[1], Aggregate::Sum, 2);
+        let va = analyze_view_def("totals", &expr, &catalog());
+        assert!(va.is_accepted(), "{:?}", va.diagnostics);
+        assert_eq!(va.schema.unwrap().arity(), 2);
+        assert_eq!(va.deps, vec!["r".to_owned()]);
+    }
+
+    #[test]
+    fn self_reference_is_rejected() {
+        let expr = RelExpr::scan("totals").union(RelExpr::scan("totals"));
+        let va = analyze_view_def("totals", &expr, &catalog());
+        assert!(!va.is_accepted());
+        assert!(va
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::SelfReferentialView));
+    }
+
+    #[test]
+    fn partial_view_escalates_w0101() {
+        // AVG over the whole relation: fine as a query (warns), fatal as a view
+        let expr = RelExpr::scan("r").group_by(&[], Aggregate::Avg, 2);
+        let va = analyze_view_def("avg_v", &expr, &catalog());
+        assert!(!va.is_accepted());
+        let d = va
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::PartialView)
+            .expect("escalated");
+        assert!(d.message.contains("not total"), "{}", d.message);
+    }
+
+    #[test]
+    fn total_whole_relation_aggregates_pass() {
+        // CNT and SUM are total (Definition 3.3): fine even with empty keys
+        for agg in [Aggregate::Cnt, Aggregate::Sum] {
+            let expr = RelExpr::scan("r").group_by(&[], agg, 2);
+            let va = analyze_view_def("v", &expr, &catalog());
+            assert!(va.is_accepted(), "{agg:?}: {:?}", va.diagnostics);
+        }
+    }
+
+    #[test]
+    fn structural_card_ignores_live_state() {
+        assert_eq!(
+            structural_card(&RelExpr::scan("r"), &catalog()),
+            Card::Unknown
+        );
+        let empty = Relation::empty(Arc::new(Schema::anon(&[DataType::Int])));
+        assert_eq!(
+            structural_card(&RelExpr::values(empty).distinct(), &catalog()),
+            Card::Empty
+        );
+    }
+}

@@ -81,12 +81,20 @@ fn measure(
     }
 }
 
-fn render_json(rows: usize, cores: usize, runs: usize, workloads: &[Workload]) -> String {
+fn render_json(
+    rows: usize,
+    cores: usize,
+    workers: usize,
+    runs: usize,
+    workloads: &[Workload],
+) -> String {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"bench\": \"parallel_scaling\",");
     let _ = writeln!(j, "  \"rows\": {rows},");
     let _ = writeln!(j, "  \"cores\": {cores},");
+    let _ = writeln!(j, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(j, "  \"workers\": {workers},");
     let _ = writeln!(j, "  \"runs_per_point\": {runs},");
     let _ = writeln!(
         j,
@@ -214,7 +222,10 @@ fn main() {
         });
     }
 
-    let json = render_json(rows, cores, runs, &workloads);
+    // the morsel engine clamps its worker fleet to the hardware, so the
+    // effective fleet never exceeds the machine regardless of the sweep
+    let workers = cores.min(sweep.iter().copied().max().unwrap_or(1));
+    let json = render_json(rows, cores, workers, runs, &workloads);
     std::fs::write(&out_path, json).expect("writable output path");
     println!("wrote {out_path}");
     for w in &workloads {

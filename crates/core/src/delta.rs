@@ -1,0 +1,305 @@
+//! Signed counted bags: multiplicity functions into ℤ instead of ℕ.
+//!
+//! The paper models a relation instance as `R : dom(R) → ℕ` (Definition
+//! 2.2). Incremental view maintenance needs the *difference* of two such
+//! instances, which lives in the larger space of ℤ-valued multiplicity
+//! functions — the semiring generalisation studied in "Codd's Theorem for
+//! Databases over Semirings" (Badia, Kolaitis & Noguera). A [`SignedBag`]
+//! is that difference object: positive multiplicities are insertions,
+//! negative ones retractions.
+//!
+//! Canonical form is maintained on every mutation: an element with
+//! multiplicity 0 is never stored, mirroring the unsigned [`Bag`]'s
+//! invariant. This makes equality pointwise and `support_len() == 0`
+//! equivalent to "the delta is a no-op".
+
+use std::hash::Hash;
+
+use rustc_hash::FxHashMap;
+
+use crate::error::{CoreError, CoreResult};
+use crate::multiset::Bag;
+
+/// A finite ℤ-multiplicity multi-set over `T`, stored as
+/// `element → non-zero signed multiplicity`.
+#[derive(Debug, Clone)]
+pub struct SignedBag<T: Eq + Hash> {
+    counts: FxHashMap<T, i64>,
+}
+
+impl<T: Eq + Hash> Default for SignedBag<T> {
+    fn default() -> Self {
+        SignedBag {
+            counts: FxHashMap::default(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> SignedBag<T> {
+    /// The empty (no-op) delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when every multiplicity is zero — the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of elements with non-zero multiplicity (the support size).
+    pub fn support_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The signed multiplicity `Δ(x)`; 0 when absent.
+    pub fn multiplicity(&self, x: &T) -> i64 {
+        self.counts.get(x).copied().unwrap_or(0)
+    }
+
+    /// Adds `m` (possibly negative) occurrences of `x`, dropping the entry
+    /// if the multiplicity cancels to zero — the canonicalisation step that
+    /// keeps zero-multiplicity rows out of the representation.
+    pub fn insert(&mut self, x: T, m: i64) -> CoreResult<()> {
+        if m == 0 {
+            return Ok(());
+        }
+        match self.counts.entry(x) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let next = e
+                    .get()
+                    .checked_add(m)
+                    .ok_or(CoreError::Overflow("signed multiplicity"))?;
+                if next == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = next;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m);
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds another delta into this one (pointwise sum; `Δ₁ ⊎ Δ₂` in the
+    /// ℤ-semiring), consuming it.
+    pub fn merge(&mut self, other: SignedBag<T>) -> CoreResult<()> {
+        for (x, m) in other.counts {
+            self.insert(x, m)?;
+        }
+        Ok(())
+    }
+
+    /// Negates every multiplicity in place — turns an insertion delta into
+    /// the retraction that undoes it.
+    pub fn negate(&mut self) {
+        for m in self.counts.values_mut() {
+            *m = -*m;
+        }
+    }
+
+    /// Iterates `(element, signed multiplicity)` pairs; multiplicities are
+    /// never zero.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, i64)> {
+        self.counts.iter().map(|(x, &m)| (x, m))
+    }
+
+    /// The delta that transforms `old` into `new`:
+    /// `Δ(x) = new(x) − old(x)` pointwise.
+    pub fn from_diff(old: &Bag<T>, new: &Bag<T>) -> CoreResult<Self> {
+        let to_i64 = |m: u64| -> CoreResult<i64> {
+            i64::try_from(m).map_err(|_| CoreError::Overflow("signed multiplicity"))
+        };
+        let mut delta = SignedBag::new();
+        for (x, m) in new.iter() {
+            delta.insert(x.clone(), to_i64(m)?)?;
+        }
+        for (x, m) in old.iter() {
+            delta.insert(x.clone(), -to_i64(m)?)?;
+        }
+        Ok(delta)
+    }
+
+    /// Records `m` unsigned occurrences with a sign: the bridge from the
+    /// engine's ℕ-valued results to signed form.
+    pub fn insert_unsigned(&mut self, x: T, m: u64, positive: bool) -> CoreResult<()> {
+        let m = i64::try_from(m).map_err(|_| CoreError::Overflow("signed multiplicity"))?;
+        self.insert(x, if positive { m } else { -m })
+    }
+
+    /// Applies the delta to an ℕ-valued bag, failing with
+    /// [`CoreError::NegativeMultiplicity`] if any element would end up
+    /// below zero — the case where a retraction outruns the base state,
+    /// which a correctly-maintained delta never produces.
+    pub fn apply_to(&self, base: &Bag<T>) -> CoreResult<Bag<T>> {
+        let mut out = base.clone();
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// In-place variant of [`SignedBag::apply_to`].
+    pub fn apply_in_place(&self, base: &mut Bag<T>) -> CoreResult<()> {
+        for (x, m) in self.iter() {
+            if m > 0 {
+                base.insert(x.clone(), m as u64)?;
+            } else {
+                let want = m.unsigned_abs();
+                let removed = base.remove(x, want);
+                if removed != want {
+                    return Err(CoreError::NegativeMultiplicity("delta application"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits into `(insertions, retractions)` as unsigned bags — the form
+    /// the ℕ-only engine kernels can evaluate. `positive ⊎ (−negative)`
+    /// reconstructs the delta.
+    pub fn split(&self) -> (Bag<T>, Bag<T>) {
+        let mut pos = Bag::new();
+        let mut neg = Bag::new();
+        for (x, m) in self.iter() {
+            if m > 0 {
+                pos.insert(x.clone(), m as u64).expect("positive part fits");
+            } else {
+                neg.insert(x.clone(), m.unsigned_abs())
+                    .expect("negative part fits");
+            }
+        }
+        (pos, neg)
+    }
+}
+
+/// Pointwise multiplicity equality; canonical form makes this a plain map
+/// comparison.
+impl<T: Eq + Hash> PartialEq for SignedBag<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
+impl<T: Eq + Hash> Eq for SignedBag<T> {}
+
+impl<T: Eq + Hash + Clone> FromIterator<(T, i64)> for SignedBag<T> {
+    /// Collects `(element, signed multiplicity)` pairs, cancelling and
+    /// canonicalising as it goes. Panics only on i64 overflow, which
+    /// `FromIterator` cannot report.
+    fn from_iter<I: IntoIterator<Item = (T, i64)>>(iter: I) -> Self {
+        let mut bag = SignedBag::new();
+        for (x, m) in iter {
+            bag.insert(x, m).expect("signed multiplicity overflow");
+        }
+        bag
+    }
+}
+
+impl<T: Eq + Hash> IntoIterator for SignedBag<T> {
+    type Item = (T, i64);
+    type IntoIter = std::collections::hash_map::IntoIter<T, i64>;
+
+    /// Consumes the delta, yielding owned `(element, multiplicity)` pairs.
+    fn into_iter(self) -> Self::IntoIter {
+        self.counts.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sbag(xs: &[(i32, i64)]) -> SignedBag<i32> {
+        xs.iter().copied().collect()
+    }
+
+    fn bag(xs: &[(i32, u64)]) -> Bag<i32> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn zero_multiplicity_is_never_stored() {
+        let mut d = SignedBag::new();
+        d.insert(1, 0).unwrap();
+        assert!(d.is_empty());
+        d.insert(1, 3).unwrap();
+        d.insert(1, -3).unwrap(); // cancels back to zero
+        assert!(d.is_empty());
+        assert_eq!(d.support_len(), 0);
+        assert_eq!(d.multiplicity(&1), 0);
+    }
+
+    #[test]
+    fn canonical_form_makes_equality_pointwise() {
+        let a = sbag(&[(1, 2), (2, -1), (3, 5), (3, -5)]);
+        let b = sbag(&[(2, -1), (1, 2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, sbag(&[(1, 2)]));
+    }
+
+    #[test]
+    fn merge_sums_and_cancels() {
+        let mut a = sbag(&[(1, 2), (2, -1)]);
+        a.merge(sbag(&[(1, -2), (3, 4)])).unwrap();
+        assert_eq!(a, sbag(&[(2, -1), (3, 4)]));
+    }
+
+    #[test]
+    fn negate_flips_signs() {
+        let mut a = sbag(&[(1, 2), (2, -3)]);
+        a.negate();
+        assert_eq!(a, sbag(&[(1, -2), (2, 3)]));
+    }
+
+    #[test]
+    fn from_diff_round_trips_through_apply() {
+        let old = bag(&[(1, 3), (2, 1), (4, 2)]);
+        let new = bag(&[(1, 1), (3, 2), (4, 2)]);
+        let d = SignedBag::from_diff(&old, &new).unwrap();
+        // unchanged elements never appear in the delta
+        assert_eq!(d.multiplicity(&4), 0);
+        assert_eq!(d.apply_to(&old).unwrap(), new);
+        let mut back = d;
+        back.negate();
+        assert_eq!(back.apply_to(&new).unwrap(), old);
+    }
+
+    #[test]
+    fn apply_rejects_negative_result() {
+        let d = sbag(&[(1, -2)]);
+        let base = bag(&[(1, 1)]);
+        assert_eq!(
+            d.apply_to(&base).unwrap_err(),
+            CoreError::NegativeMultiplicity("delta application")
+        );
+    }
+
+    #[test]
+    fn split_separates_signs() {
+        let d = sbag(&[(1, 2), (2, -3)]);
+        let (pos, neg) = d.split();
+        assert_eq!(pos, bag(&[(1, 2)]));
+        assert_eq!(neg, bag(&[(2, 3)]));
+    }
+
+    #[test]
+    fn insert_unsigned_bridges_engine_results() {
+        let mut d = SignedBag::new();
+        d.insert_unsigned(1, 2, true).unwrap();
+        d.insert_unsigned(1, 5, false).unwrap();
+        assert_eq!(d, sbag(&[(1, -3)]));
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut d = SignedBag::new();
+        d.insert(1, i64::MAX).unwrap();
+        assert!(matches!(d.insert(1, 1), Err(CoreError::Overflow(_))));
+        let mut big = Bag::new();
+        big.insert(1, u64::MAX).unwrap();
+        assert!(matches!(
+            SignedBag::from_diff(&big, &Bag::new()),
+            Err(CoreError::Overflow(_))
+        ));
+    }
+}

@@ -56,6 +56,13 @@ pub enum CoreError {
     Overflow(&'static str),
     /// Division by zero inside a scalar expression.
     DivisionByZero,
+    /// Applying a signed delta would drive some multiplicity below zero.
+    ///
+    /// ℕ-valued relation instances (Definition 2.2) cannot represent
+    /// negative counts; a correctly-maintained view delta never retracts
+    /// more copies than the base holds, so this error signals a
+    /// maintenance-state bug (and triggers full-recompute fallback).
+    NegativeMultiplicity(&'static str),
     /// A parallel worker panicked while evaluating a partition or morsel.
     ///
     /// Panics are caught at the worker boundary and surfaced as this error
@@ -105,6 +112,9 @@ impl fmt::Display for CoreError {
             CoreError::TypeError(msg) => write!(f, "type error: {msg}"),
             CoreError::Overflow(what) => write!(f, "integer overflow in {what}"),
             CoreError::DivisionByZero => write!(f, "division by zero"),
+            CoreError::NegativeMultiplicity(what) => {
+                write!(f, "negative multiplicity in {what}")
+            }
             CoreError::WorkerPanicked(msg) => {
                 write!(f, "parallel worker panicked: {msg}")
             }

@@ -34,6 +34,7 @@
 
 pub mod counting_alloc;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod intern;
 pub mod multiset;
@@ -49,6 +50,7 @@ pub use tuple::IntoValue;
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::database::{Database, DatabaseSchema, LogicalTime, Transition};
+    pub use crate::delta::SignedBag;
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::intern::Sym;
     pub use crate::multiset::Bag;

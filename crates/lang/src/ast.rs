@@ -192,6 +192,13 @@ pub enum SItem {
         /// `(attribute name, domain)` pairs.
         attrs: Vec<(String, DataType)>,
     },
+    /// `view name = E` — a materialized-view declaration.
+    ViewDecl {
+        /// View name.
+        name: String,
+        /// The defining expression.
+        expr: SRel,
+    },
     /// `begin p end` — a transaction.
     Transaction(SProgram),
     /// A bare statement (executed as a single-statement transaction).

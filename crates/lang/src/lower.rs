@@ -258,14 +258,25 @@ fn lower_literal(l: &SLiteral) -> LangResult<Value> {
     })
 }
 
-/// A lowered script: schema declarations plus one program per transaction
-/// (bare statements become single-statement transactions, matching the
-/// paper's rule that transactions are "the best level for database access
-/// in practice").
+/// A lowered materialized-view declaration.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// The view's name.
+    pub name: String,
+    /// The lowered defining expression.
+    pub expr: RelExpr,
+}
+
+/// A lowered script: schema declarations, materialized-view declarations,
+/// plus one program per transaction (bare statements become
+/// single-statement transactions, matching the paper's rule that
+/// transactions are "the best level for database access in practice").
 #[derive(Debug, Clone, Default)]
 pub struct LoweredScript {
     /// Declared relation schemas, in source order.
     pub declarations: Vec<RelationSchema>,
+    /// Declared materialized views, in source order.
+    pub views: Vec<ViewDef>,
     /// One program per transaction.
     pub transactions: Vec<Program>,
 }
@@ -288,6 +299,22 @@ pub fn lower_script<P: SchemaProvider>(script: &SScript, base: &P) -> LangResult
                 declared.add(RelationSchema::new(name.clone(), schema.clone()))?;
                 out.declarations
                     .push(RelationSchema::new(name.clone(), schema));
+            }
+            SItem::ViewDecl { name, expr } => {
+                let combined = Combined {
+                    declared: &declared,
+                    base,
+                };
+                let lowerer = Lowerer::new(&combined);
+                let lowered = lowerer.lower_rel(expr)?;
+                // the view name resolves like a relation for the rest of
+                // the script (duplicates rejected exactly like relations)
+                let schema = lowered.schema(&combined)?;
+                declared.add(RelationSchema::new(name.clone(), schema.as_ref().clone()))?;
+                out.views.push(ViewDef {
+                    name: name.clone(),
+                    expr: lowered,
+                });
             }
             SItem::Transaction(p) => {
                 let combined = Combined {

@@ -3,6 +3,7 @@
 //! ```text
 //! script  := item*
 //! item    := 'relation' IDENT '(' IDENT ':' TYPE (',' IDENT ':' TYPE)* ')' ';'
+//!          | 'view' IDENT '=' rel ';'
 //!          | 'begin' program 'end' ';'?
 //!          | stmt ';'
 //! program := stmt (';' stmt)* ';'?
@@ -184,6 +185,16 @@ impl Parser {
     fn item(&mut self) -> LangResult<SItem> {
         if self.at_kw("relation") {
             return self.relation_decl();
+        }
+        // `view NAME = E;` — the peek2 guard keeps `view = E` (an
+        // assignment to a temporary called `view`) parsing as a statement
+        if self.at_kw("view") && matches!(self.peek2(), Some(Token::Ident(_))) {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let expr = self.rel()?;
+            self.expect(&Token::Semi)?;
+            return Ok(SItem::ViewDecl { name, expr });
         }
         if self.eat_kw("begin") {
             let prog = self.program(Some("end"))?;

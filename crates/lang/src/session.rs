@@ -5,9 +5,11 @@
 //! with atomic commit/abort semantics, returning rendered query outputs.
 
 use mera_core::prelude::*;
+use mera_expr::RelExpr;
 use mera_txn::exec::ExecConfig;
-use mera_txn::transaction::{run_transaction, Outcome};
-use mera_txn::Program;
+use mera_txn::transaction::{run_transaction_with_views, Outcome};
+use mera_txn::views::{CreateViewError, ViewSet};
+use mera_txn::{ConstraintSet, Program};
 
 use crate::error::{LangError, LangResult};
 use crate::lower::lower_script;
@@ -26,6 +28,7 @@ pub enum RunResult {
 pub struct Session {
     db: Database,
     config: ExecConfig,
+    views: ViewSet,
 }
 
 impl Session {
@@ -34,6 +37,7 @@ impl Session {
         Session {
             db: Database::new(DatabaseSchema::new()),
             config: ExecConfig::default(),
+            views: ViewSet::new(),
         }
     }
 
@@ -42,6 +46,7 @@ impl Session {
         Session {
             db,
             config: ExecConfig::default(),
+            views: ViewSet::new(),
         }
     }
 
@@ -67,6 +72,41 @@ impl Session {
         &self.db
     }
 
+    /// The session's materialized views.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// Creates a materialized view over the current state; it is kept
+    /// incrementally up to date by every subsequent commit.
+    pub fn create_view(&mut self, name: &str, expr: RelExpr) -> LangResult<()> {
+        self.views
+            .create(name, expr, &self.db, self.config)
+            .map(|_| ())
+            .map_err(|e| match e {
+                CreateViewError::Error(c) => LangError::Semantic(c),
+                CreateViewError::Rejected(diags) => {
+                    LangError::Semantic(CoreError::TypeError(format!(
+                        "view definition rejected:\n{}",
+                        mera_analyze::render(&diags)
+                    )))
+                }
+            })
+    }
+
+    /// The database schema extended with every view's schema — what the
+    /// lowerer resolves names against.
+    fn catalog(&self) -> DatabaseSchema {
+        let mut schema = self.db.schema().clone();
+        for v in self.views.iter() {
+            let _ = schema.add(RelationSchema::new(
+                v.name().to_owned(),
+                v.schema().as_ref().clone(),
+            ));
+        }
+        schema
+    }
+
     /// Runs a whole script: declarations extend the schema immediately;
     /// each transaction (or bare statement) runs atomically. Returns one
     /// [`RunResult`] per transaction.
@@ -78,10 +118,17 @@ impl Session {
     pub fn run_script(&mut self, src: &str) -> LangResult<Vec<RunResult>> {
         let script = parse_script(src)?;
         // declarations must be visible to lowering: lower against the
-        // session's schema extended with the script's declarations
-        let lowered = lower_script(&script, self.db.schema())?;
+        // session's schema (views included) extended with the script's
+        // declarations
+        let lowered = lower_script(&script, &self.catalog())?;
         for decl in lowered.declarations {
             self.db.add_relation(decl)?;
+        }
+        // views are created before the script's transactions run: their
+        // initial contents come from the current state, and every commit
+        // below refreshes them incrementally
+        for view in lowered.views {
+            self.create_view(&view.name, view.expr)?;
         }
         let mut results = Vec::with_capacity(lowered.transactions.len());
         for program in &lowered.transactions {
@@ -91,9 +138,11 @@ impl Session {
     }
 
     /// Statically checks a script without executing anything: parses,
-    /// lowers, and runs the `mera-analyze` passes over every transaction.
+    /// lowers, and runs the `mera-analyze` passes over every view
+    /// declaration and every transaction.
     ///
-    /// Returns one diagnostic list per transaction (same order as
+    /// Returns one diagnostic list per view declaration (in source
+    /// order), followed by one per transaction (same order as
     /// [`run_script`](Self::run_script) results). Neither the database
     /// state nor the schema is touched — declarations in the script are
     /// only *visible* to the check, not installed.
@@ -104,28 +153,44 @@ impl Session {
     /// `values`) feed the emptiness pass.
     pub fn check_script(&self, src: &str) -> LangResult<Vec<Vec<mera_analyze::Diagnostic>>> {
         let script = parse_script(src)?;
-        let lowered = lower_script(&script, self.db.schema())?;
-        let mut schema = self.db.schema().clone();
+        let catalog = self.catalog();
+        let lowered = lower_script(&script, &catalog)?;
+        let mut schema = catalog;
         for decl in lowered.declarations {
             schema.add(decl).map_err(LangError::Semantic)?;
         }
+        let mut out = Vec::new();
+        for view in &lowered.views {
+            let va = mera_analyze::analyze_view_def(&view.name, &view.expr, &schema);
+            if let Some(s) = &va.schema {
+                schema
+                    .add(RelationSchema::new(view.name.clone(), s.as_ref().clone()))
+                    .map_err(LangError::Semantic)?;
+            }
+            out.push(va.diagnostics);
+        }
         let cards = mera_analyze::CardEnv::new();
-        Ok(lowered
-            .transactions
-            .iter()
-            .map(|program| {
-                mera_analyze::analyze_program(
-                    program.statements.iter().map(|s| s.analyzer_view()),
-                    &schema,
-                    &cards,
-                )
-            })
-            .collect())
+        out.extend(lowered.transactions.iter().map(|program| {
+            mera_analyze::analyze_program(
+                program.statements.iter().map(|s| s.analyzer_view()),
+                &schema,
+                &cards,
+            )
+        }));
+        Ok(out)
     }
 
-    /// Runs one already-lowered program as a transaction.
+    /// Runs one already-lowered program as a transaction. Commits refresh
+    /// every materialized view incrementally.
     pub fn run_program(&mut self, program: &Program) -> RunResult {
-        let (next, outcome) = run_transaction(&self.db, program, self.config, None);
+        let (next, outcome) = run_transaction_with_views(
+            &self.db,
+            Some(&mut self.views),
+            program,
+            self.config,
+            None,
+            &ConstraintSet::new(),
+        );
         self.db = next;
         match outcome {
             Outcome::Committed(outputs) => RunResult::Committed(outputs.queries),
@@ -134,12 +199,14 @@ impl Session {
     }
 
     /// Evaluates a single relational expression (as `?E`) without touching
-    /// the database — the REPL's expression mode.
+    /// the database — the REPL's expression mode. Materialized views are
+    /// readable by name, served from their cached contents.
     pub fn query(&self, src: &str) -> LangResult<Relation> {
         let rel = crate::parser::parse_rel(src)?;
-        let lowerer = crate::lower::Lowerer::new(self.db.schema());
+        let catalog = self.catalog();
+        let lowerer = crate::lower::Lowerer::new(&catalog);
         let expr = lowerer.lower_rel(&rel)?;
-        let state = mera_txn::WorkingState::new(self.db.clone());
+        let state = mera_txn::WorkingState::with_views(self.db.clone(), &self.views);
         mera_txn::exec::eval_expr(&state, &expr, self.config).map_err(LangError::Semantic)
     }
 }
@@ -283,6 +350,105 @@ mod tests {
         let out = session.query("unique(r)").expect("queries");
         assert_eq!(out.len(), 1);
         assert_eq!(session.database(), &before);
+    }
+
+    #[test]
+    fn view_script_declares_and_maintains() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation sales (region: str, amount: int);\n\
+                 view totals = groupby[(region), SUM, amount](sales);",
+            )
+            .expect("declares view");
+        assert!(session.views().contains("totals"));
+        session
+            .run_script(
+                "insert(sales, values (str, int) {('north', 10), ('north', 5), ('south', 7)});",
+            )
+            .expect("inserts");
+        let out = session.query("totals").expect("view is readable");
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple!["north", 15_i64]));
+        assert!(out.contains(&tuple!["south", 7_i64]));
+        // views compose in queries like any relation
+        let out = session
+            .query("select[%2 > 10](totals)")
+            .expect("view composes");
+        assert_eq!(out.len(), 1);
+        // deletes retract through the view
+        session
+            .run_script("delete(sales, values (str, int) {('south', 7)});")
+            .expect("deletes");
+        let out = session.query("totals").expect("view is readable");
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple!["north", 15_i64]));
+    }
+
+    #[test]
+    fn view_name_resolves_in_later_script_items() {
+        let mut session = Session::new();
+        let results = session
+            .run_script(
+                "relation r (a: int);\n\
+                 insert(r, values (int) {(1), (2), (3)});\n\
+                 view big = select[%1 > 1](r);\n\
+                 ?big union big;",
+            )
+            .expect("runs");
+        let RunResult::Committed(ref outs) = results[1] else {
+            panic!("query committed: {:?}", results[1]);
+        };
+        assert_eq!(outs[0].len(), 4);
+    }
+
+    #[test]
+    fn dml_on_view_is_rejected() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation r (a: int);\n\
+                 view v = unique(r);",
+            )
+            .expect("declares");
+        let results = session
+            .run_script("insert(v, values (int) {(1)});")
+            .expect("parses and lowers");
+        let RunResult::Aborted(ref msg) = results[0] else {
+            panic!("expected abort, got {:?}", results[0]);
+        };
+        assert!(msg.contains("E0302"), "{msg}");
+    }
+
+    #[test]
+    fn partial_view_definition_is_rejected() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int);")
+            .expect("declares");
+        let err = session
+            .run_script("view avg = groupby[(), AVG, %1](r);")
+            .expect_err("partial view rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("E0303"), "{msg}");
+        assert!(!session.views().contains("avg"));
+    }
+
+    #[test]
+    fn check_script_reports_view_diagnostics_first() {
+        let mut session = Session::new();
+        session
+            .run_script("relation r (a: int);")
+            .expect("declares");
+        let diags = session
+            .check_script(
+                "view avg = groupby[(), AVG, %1](r);\n\
+                 ?r;",
+            )
+            .expect("checks");
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0][0].code, mera_analyze::Code::PartialView);
+        assert!(diags[1].is_empty());
     }
 
     #[test]

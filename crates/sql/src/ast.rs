@@ -170,4 +170,11 @@ pub enum SqlStmt {
         /// Optional condition.
         where_clause: Option<SqlExpr>,
     },
+    /// `CREATE MATERIALIZED VIEW v AS SELECT …`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// The defining query.
+        query: SelectQuery,
+    },
 }

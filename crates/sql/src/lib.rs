@@ -42,7 +42,28 @@ pub use translate::{translate, Translated};
 
 use mera_core::prelude::*;
 use mera_lang::error::{LangError, LangResult};
+use mera_txn::views::CreateViewError;
 use mera_txn::{Outcome, Program, TransactionManager};
+
+/// The manager's schema extended with every materialized view's schema —
+/// what SQL names resolve against.
+fn catalog(mgr: &TransactionManager) -> DatabaseSchema {
+    let mut schema = mgr.snapshot().schema().clone();
+    for (name, rel) in mgr.view_snapshots() {
+        let _ = schema.add(RelationSchema::new(name, rel.schema().as_ref().clone()));
+    }
+    schema
+}
+
+fn view_error(e: CreateViewError) -> LangError {
+    match e {
+        CreateViewError::Error(c) => LangError::Semantic(c),
+        CreateViewError::Rejected(diags) => LangError::Semantic(CoreError::TypeError(format!(
+            "view definition rejected:\n{}",
+            mera_analyze::render(&diags)
+        ))),
+    }
+}
 
 /// Parses and translates one SQL statement, then runs the `mera-analyze`
 /// passes against the manager's current state *without executing it*.
@@ -50,22 +71,36 @@ use mera_txn::{Outcome, Program, TransactionManager};
 /// Returns every diagnostic (errors and warnings). Unlike
 /// [`mera_lang::Session::check_script`], the check sees live relation
 /// cardinalities: `AVG` over a relation that is empty *right now* is
-/// reported as a hard `E0102`, not a `W0101` possibility.
+/// reported as a hard `E0102`, not a `W0101` possibility. A
+/// `CREATE MATERIALIZED VIEW` statement is checked with the view
+/// validator instead (`E0301`/`E0303` and the usual schema errors).
 pub fn check_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Vec<mera_analyze::Diagnostic>> {
     let stmt = parse_sql(sql)?;
-    let snapshot = mgr.snapshot();
-    let translated = translate(&stmt, snapshot.schema())?;
-    let program = Program::single(translated.into_statement());
-    Ok(mera_txn::exec::analyze_program(&snapshot, &program))
+    let schema = catalog(mgr);
+    match translate(&stmt, &schema)? {
+        Translated::CreateView { name, expr } => {
+            Ok(mera_analyze::analyze_view_def(&name, &expr, &schema).diagnostics)
+        }
+        translated => {
+            let program = Program::single(translated.into_statement());
+            Ok(mgr.check_program(&program))
+        }
+    }
 }
 
 /// Parses, translates and runs one SQL statement as a transaction against
-/// a manager. Returns the result relation for queries, `None` for DML.
+/// a manager. Returns the result relation for queries, `None` for DML and
+/// `CREATE MATERIALIZED VIEW`. Materialized views are readable in `FROM`
+/// clauses like tables, served from their incrementally-maintained
+/// contents.
 pub fn run_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Option<Relation>> {
     let stmt = parse_sql(sql)?;
-    let snapshot = mgr.snapshot();
-    let translated = translate(&stmt, snapshot.schema())?;
+    let translated = translate(&stmt, &catalog(mgr))?;
     let is_query = matches!(translated, Translated::Query(_));
+    if let Translated::CreateView { name, expr } = translated {
+        mgr.create_view(&name, expr).map_err(view_error)?;
+        return Ok(None);
+    }
     let program = Program::single(translated.into_statement());
     let (outcome, _) = mgr.execute(&program).map_err(LangError::Semantic)?;
     match outcome {
@@ -283,6 +318,73 @@ mod tests {
         // COUNT is total, so it is clean either way (Definition 3.4)
         let diags = check_sql(&mgr, "SELECT COUNT(*) FROM brewery").expect("checks");
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn create_materialized_view_and_query_it() {
+        let mgr = loaded_manager();
+        run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW strength AS \
+             SELECT country, MAX(alcperc) FROM beer, brewery \
+             WHERE beer.brewery = brewery.name GROUP BY country",
+        )
+        .expect("creates view");
+        let out = run_sql(&mgr, "SELECT * FROM strength WHERE country = 'NL'")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.multiplicity(&tuple!["NL", 6.5_f64]), 1);
+        // a commit on the base tables refreshes the view incrementally
+        run_sql(&mgr, "DELETE FROM beer WHERE alcperc > 6.0").expect("deletes");
+        let out = run_sql(&mgr, "SELECT * FROM strength")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.multiplicity(&tuple!["NL", 5.1_f64]), 1);
+        assert_eq!(out.multiplicity(&tuple!["IE", 4.2_f64]), 1);
+        let stats = mgr.view_stats();
+        assert_eq!(stats[0].0, "strength");
+        assert_eq!(stats[0].2, 0, "no recompute fallbacks: {stats:?}");
+    }
+
+    #[test]
+    fn dml_on_sql_view_is_rejected() {
+        let mgr = loaded_manager();
+        run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW lite AS SELECT name FROM beer WHERE alcperc < 5.0",
+        )
+        .expect("creates view");
+        let err = run_sql(&mgr, "DELETE FROM lite").unwrap_err();
+        assert!(err.to_string().contains("E0302"), "{err}");
+        let diags = check_sql(&mgr, "DELETE FROM lite").expect("checks");
+        assert_eq!(diags[0].code, mera_analyze::Code::DmlOnView);
+    }
+
+    #[test]
+    fn partial_view_definition_is_rejected_in_sql() {
+        let mgr = loaded_manager();
+        let diags = check_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW a AS SELECT AVG(alcperc) FROM beer",
+        )
+        .expect("checks");
+        assert_eq!(diags[0].code, mera_analyze::Code::PartialView);
+        let err = run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW a AS SELECT AVG(alcperc) FROM beer",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("E0303"), "{err}");
+        // total aggregates are accepted — COUNT is defined on ∅
+        run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW n AS SELECT brewery, COUNT(*) FROM beer GROUP BY brewery",
+        )
+        .expect("creates");
+        let out = run_sql(&mgr, "SELECT * FROM n WHERE brewery = 'Heineken'")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.multiplicity(&tuple!["Heineken", 3_i64]), 1);
     }
 
     #[test]

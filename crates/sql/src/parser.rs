@@ -198,10 +198,18 @@ impl SqlParser {
                 where_clause,
             });
         }
+        if self.eat_kw("create") {
+            self.expect_kw("materialized")?;
+            self.expect_kw("view")?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.select_query()?;
+            return Ok(SqlStmt::CreateView { name, query });
+        }
         Err(LangError::parse(
             self.here(),
             format!(
-                "expected SELECT/INSERT/DELETE/UPDATE, found '{}'",
+                "expected SELECT/INSERT/DELETE/UPDATE/CREATE, found '{}'",
                 self.peek()
                     .map(|t| t.to_string())
                     .unwrap_or_else(|| "end of input".into())

@@ -30,14 +30,30 @@ pub enum Translated {
     Query(RelExpr),
     /// DML becomes an update statement.
     Statement(Statement),
+    /// `CREATE MATERIALIZED VIEW` becomes a view definition — handled by
+    /// the catalog, not the transaction machinery.
+    CreateView {
+        /// View name.
+        name: String,
+        /// The defining algebra expression.
+        expr: RelExpr,
+    },
 }
 
 impl Translated {
     /// Converts to an executable statement (`SELECT` → `?E`).
+    ///
+    /// # Panics
+    /// On [`Translated::CreateView`]: a view definition is a catalog
+    /// operation, not a transaction statement — callers must dispatch it
+    /// to a view-creation API first.
     pub fn into_statement(self) -> Statement {
         match self {
             Translated::Query(e) => Statement::query(e),
             Translated::Statement(s) => s,
+            Translated::CreateView { name, .. } => {
+                panic!("CREATE MATERIALIZED VIEW '{name}' is not a transaction statement")
+            }
         }
     }
 }
@@ -97,6 +113,10 @@ pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<
                 exprs,
             )))
         }
+        SqlStmt::CreateView { name, query } => Ok(Translated::CreateView {
+            name: name.clone(),
+            expr: translate_select(query, provider)?,
+        }),
     }
 }
 

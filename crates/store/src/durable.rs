@@ -29,11 +29,22 @@ use crate::snapshot;
 use crate::storage::Storage;
 use crate::wal::{self, WalRecord};
 use mera_core::prelude::*;
-use mera_lang::{program_to_xra, Lowerer};
-use mera_txn::{run_transaction_checked, ConstraintSet, ExecConfig, Outcome, Outputs, Program};
+use mera_expr::RelExpr;
+use mera_lang::{program_to_xra, rel_to_xra, Lowerer};
+use mera_txn::{
+    run_transaction_with_views, ConstraintSet, CreateViewError, ExecConfig, Outcome, Outputs,
+    Program, ViewSet,
+};
 
 /// Name of the write-ahead log file inside a [`Storage`] root.
 pub const WAL_FILE: &str = "mera.wal";
+
+fn view_error(e: CreateViewError) -> StoreError {
+    match e {
+        CreateViewError::Error(c) => StoreError::Core(c),
+        rejected => StoreError::Core(CoreError::TypeError(rejected.to_string())),
+    }
+}
 
 /// Name of the checkpoint snapshot file inside a [`Storage`] root.
 pub const SNAPSHOT_FILE: &str = "mera.snapshot";
@@ -85,6 +96,7 @@ impl Default for StoreOptions {
 pub struct DurableDb<S: Storage> {
     storage: S,
     db: Database,
+    views: ViewSet,
     options: StoreOptions,
     unsynced_appends: u32,
 }
@@ -145,6 +157,7 @@ impl<S: Storage> DurableDb<S> {
             return Ok(DurableDb {
                 storage,
                 db,
+                views: ViewSet::new(),
                 options,
                 unsynced_appends: 0,
             });
@@ -155,6 +168,7 @@ impl<S: Storage> DurableDb<S> {
             None => Database::new(DatabaseSchema::new()),
         };
         let snapshot_time = db.time();
+        let mut views = ViewSet::new();
 
         match wal_bytes {
             None => {
@@ -172,7 +186,7 @@ impl<S: Storage> DurableDb<S> {
                     storage.sync(WAL_FILE)?;
                 }
                 for record in scanned.records {
-                    Self::replay(&mut db, record, snapshot_time, options.exec)?;
+                    Self::replay(&mut db, &mut views, record, snapshot_time, options.exec)?;
                 }
             }
         }
@@ -180,14 +194,20 @@ impl<S: Storage> DurableDb<S> {
         Ok(DurableDb {
             storage,
             db,
+            views,
             options,
             unsynced_appends: 0,
         })
     }
 
     /// Applies one recovered WAL record to the rebuilding state.
+    ///
+    /// Commits replay through the same view-maintaining executor as the
+    /// live path, so a recovered view's contents are derived exactly the
+    /// way they were the first time around.
     fn replay(
         db: &mut Database,
+        views: &mut ViewSet,
         record: WalRecord,
         snapshot_time: u64,
         exec: ExecConfig,
@@ -208,21 +228,35 @@ impl<S: Storage> DurableDb<S> {
                 db.add_relation(RelationSchema::new(name, schema))?;
                 Ok(())
             }
+            WalRecord::DeclareView { name, text } => {
+                let expr = Self::parse_rel_text(db, views, &text)?;
+                views
+                    .create(&name, expr, db, exec)
+                    .map_err(view_error)
+                    .map(|_| ())
+            }
             WalRecord::Commit { time, text } => {
                 if time <= snapshot_time {
                     // Already folded into the snapshot.
                     return Ok(());
                 }
                 let replay_err = |reason: String| StoreError::ReplayFailed { time, reason };
-                let program = Self::parse_text(db, &text).map_err(|e| replay_err(e.to_string()))?;
+                let program =
+                    Self::parse_text(db, views, &text).map_err(|e| replay_err(e.to_string()))?;
                 // Aborted attempts tick logical time but are never
                 // logged; bridge the gap so the replayed commit lands at
                 // exactly the time the record carries.
                 db.advance_time_to(time.saturating_sub(1))?;
                 let mut config = exec;
                 config.analyze = false; // the log holds *committed* work
-                let (next, outcome) =
-                    run_transaction_checked(db, &program, config, None, &ConstraintSet::new());
+                let (next, outcome) = run_transaction_with_views(
+                    db,
+                    Some(views),
+                    &program,
+                    config,
+                    None,
+                    &ConstraintSet::new(),
+                );
                 match outcome {
                     Outcome::Committed(_) => {
                         debug_assert_eq!(next.time(), time);
@@ -235,14 +269,36 @@ impl<S: Storage> DurableDb<S> {
         }
     }
 
+    /// The schema extended with every view's schema — what logged program
+    /// text resolves names against.
+    fn catalog(db: &Database, views: &ViewSet) -> DatabaseSchema {
+        let mut schema = db.schema().clone();
+        for v in views.iter() {
+            let _ = schema.add(RelationSchema::new(
+                v.name().to_owned(),
+                v.schema().as_ref().clone(),
+            ));
+        }
+        schema
+    }
+
     /// Parses and lowers a logged program text against the current schema.
-    fn parse_text(db: &Database, text: &str) -> StoreResult<Program> {
+    fn parse_text(db: &Database, views: &ViewSet, text: &str) -> StoreResult<Program> {
         if text.is_empty() {
             return Ok(Program::new());
         }
         let parsed = mera_lang::parse_program(text)?;
-        let mut lowerer = Lowerer::new(db.schema());
+        let catalog = Self::catalog(db, views);
+        let mut lowerer = Lowerer::new(&catalog);
         Ok(lowerer.lower_program(&parsed)?)
+    }
+
+    /// Parses and lowers a logged view-definition text.
+    fn parse_rel_text(db: &Database, views: &ViewSet, text: &str) -> StoreResult<RelExpr> {
+        let parsed = mera_lang::parse_rel(text)?;
+        let catalog = Self::catalog(db, views);
+        let lowerer = Lowerer::new(&catalog);
+        Ok(lowerer.lower_rel(&parsed)?)
     }
 
     /// Runs one transaction with durable commit, without integrity
@@ -263,16 +319,30 @@ impl<S: Storage> DurableDb<S> {
         program: &Program,
         constraints: &ConstraintSet,
     ) -> StoreResult<Outputs> {
-        let (next, outcome) =
-            run_transaction_checked(&self.db, program, self.options.exec, None, constraints);
+        let (next, outcome) = run_transaction_with_views(
+            &self.db,
+            Some(&mut self.views),
+            program,
+            self.options.exec,
+            None,
+            constraints,
+        );
         match outcome {
             Outcome::Committed(outputs) => {
                 let record = WalRecord::Commit {
                     time: next.time(),
                     text: program_to_xra(program),
                 };
-                self.storage.append(WAL_FILE, &record.encode_frame())?;
-                self.maybe_sync()?;
+                let logged = self
+                    .storage
+                    .append(WAL_FILE, &record.encode_frame())
+                    .and_then(|()| self.maybe_sync());
+                if let Err(e) = logged {
+                    // The views were refreshed for a commit that never
+                    // became durable: restore them to the published state.
+                    let _ = self.views.rebuild(&self.db, self.options.exec);
+                    return Err(e);
+                }
                 self.db = next;
                 Ok(outputs)
             }
@@ -305,6 +375,41 @@ impl<S: Storage> DurableDb<S> {
         Ok(())
     }
 
+    /// Creates a materialized view, durably.
+    ///
+    /// The definition is validated and evaluated first (rejections leave
+    /// no trace); the `DeclareView` record is logged (and flushed) before
+    /// the view is published. Recovery rebuilds the view's contents by
+    /// replaying the log through the same view-maintaining executor.
+    pub fn create_view(&mut self, name: &str, expr: RelExpr) -> StoreResult<SchemaRef> {
+        let text = rel_to_xra(&expr);
+        let mut probe = self.views.clone();
+        let schema = probe
+            .create(name, expr, &self.db, self.options.exec)
+            .map_err(view_error)?;
+        let record = WalRecord::DeclareView {
+            name: name.to_owned(),
+            text,
+        };
+        self.storage.append(WAL_FILE, &record.encode_frame())?;
+        self.storage.sync(WAL_FILE)?;
+        self.views = probe;
+        Ok(schema)
+    }
+
+    /// The materialized views, incrementally maintained by every commit.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// A snapshot of one materialized view's current contents.
+    pub fn view(&self, name: &str) -> CoreResult<Relation> {
+        self.views
+            .get(name)
+            .map(|v| v.data().as_ref().clone())
+            .ok_or_else(|| CoreError::UnknownRelation(name.to_owned()))
+    }
+
     /// Writes a checkpoint: snapshot the full state atomically, then reset
     /// the WAL to an empty header.
     ///
@@ -316,7 +421,19 @@ impl<S: Storage> DurableDb<S> {
     pub fn checkpoint(&mut self) -> StoreResult<()> {
         let bytes = snapshot::encode(&self.db);
         self.storage.replace_atomic(SNAPSHOT_FILE, &bytes)?;
-        self.storage.replace_atomic(WAL_FILE, &wal::empty_wal())?;
+        // The snapshot holds relations, not views: re-seed the fresh WAL
+        // with one DeclareView record per view (in creation order, so
+        // views over views rebuild in dependency order) to keep the pair
+        // of files self-contained.
+        let mut wal_bytes = wal::empty_wal();
+        for v in self.views.iter() {
+            let record = WalRecord::DeclareView {
+                name: v.name().to_owned(),
+                text: rel_to_xra(v.expr()),
+            };
+            wal_bytes.extend_from_slice(&record.encode_frame());
+        }
+        self.storage.replace_atomic(WAL_FILE, &wal_bytes)?;
         self.unsynced_appends = 0;
         Ok(())
     }
@@ -379,7 +496,7 @@ mod tests {
 
     fn insert_program(db: &Database, owner: &str, balance: i64) -> Program {
         let text = format!("insert(accounts, values (str, int) {{('{owner}', {balance})}})");
-        DurableDb::<MemStorage>::parse_text(db, &text).expect("valid program")
+        DurableDb::<MemStorage>::parse_text(db, &ViewSet::new(), &text).expect("valid program")
     }
 
     #[test]
@@ -406,9 +523,12 @@ mod tests {
 
         // Division by zero over a non-empty relation aborts the
         // transaction (statically or at runtime — either way, Aborted).
-        let bad =
-            DurableDb::<MemStorage>::parse_text(durable.database(), "?project[(%2 / 0)](accounts)")
-                .expect("parses and lowers");
+        let bad = DurableDb::<MemStorage>::parse_text(
+            durable.database(),
+            &ViewSet::new(),
+            "?project[(%2 / 0)](accounts)",
+        )
+        .expect("parses and lowers");
         let err = durable.execute(&bad).expect_err("aborts");
         assert!(matches!(err, StoreError::TransactionAborted(_)));
         assert_eq!(durable.database().time(), t0 + 1, "aborts tick time");
@@ -473,6 +593,7 @@ mod tests {
             .expect("declare");
         let p = DurableDb::<MemStorage>::parse_text(
             durable.database(),
+            &ViewSet::new(),
             "insert(audit, values (str) {('hello')})",
         )
         .unwrap();
@@ -482,6 +603,73 @@ mod tests {
 
         let recovered = open_mem(MemStorage::from_image(storage.image()));
         assert_eq!(recovered.database(), &expected);
+    }
+
+    fn totals_expr(db: &Database) -> mera_expr::RelExpr {
+        DurableDb::<MemStorage>::parse_rel_text(
+            db,
+            &ViewSet::new(),
+            "groupby[(%1), SUM, %2](accounts)",
+        )
+        .expect("lowers")
+    }
+
+    #[test]
+    fn views_survive_reopen_and_keep_refreshing() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        let expr = totals_expr(durable.database());
+        durable.create_view("totals", expr).expect("creates view");
+        let p = insert_program(durable.database(), "ann", 5);
+        durable.execute(&p).expect("commits");
+        let expected = durable.view("totals").expect("view exists");
+        assert_eq!(expected.multiplicity(&mera_core::tuple!["ann", 15_i64]), 1);
+        drop(durable);
+
+        let mut recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.view("totals").expect("recovered"), expected);
+        // and the recovered view keeps refreshing on new commits
+        let p = insert_program(recovered.database(), "bob", 7);
+        recovered.execute(&p).expect("commits");
+        let after = recovered.view("totals").expect("view");
+        assert_eq!(after.multiplicity(&mera_core::tuple!["bob", 7_i64]), 1);
+    }
+
+    #[test]
+    fn checkpoint_reseeds_view_declarations() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        let expr = totals_expr(durable.database());
+        durable.create_view("totals", expr).expect("creates view");
+        durable.checkpoint().expect("checkpoint");
+        let p = insert_program(durable.database(), "cho", 3);
+        durable.execute(&p).expect("commits");
+        let expected = durable.view("totals").expect("view");
+        drop(durable);
+
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.view("totals").expect("recovered"), expected);
+    }
+
+    #[test]
+    fn rejected_view_definitions_leave_no_durable_trace() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let before_units = storage.units_written();
+        let avg = DurableDb::<MemStorage>::parse_rel_text(
+            durable.database(),
+            &ViewSet::new(),
+            "groupby[(), AVG, %2](accounts)",
+        )
+        .expect("lowers");
+        let err = durable.create_view("avg", avg).expect_err("partial view");
+        assert!(err.to_string().contains("E0303"), "{err}");
+        assert_eq!(storage.units_written(), before_units);
+        assert!(durable.views().is_empty());
     }
 
     #[test]

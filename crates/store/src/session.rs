@@ -50,10 +50,12 @@ impl<S: Storage> DurableSession<S> {
     /// before the failure is durable, the rest never ran.
     pub fn run_script(&mut self, src: &str) -> StoreResult<Vec<RunResult>> {
         let script = parse_script(src).map_err(StoreError::from)?;
-        let lowered =
-            lower_script(&script, self.db.database().schema()).map_err(StoreError::from)?;
+        let lowered = lower_script(&script, &catalog(&self.db)).map_err(StoreError::from)?;
         for decl in lowered.declarations {
             self.db.add_relation(decl)?;
+        }
+        for view in lowered.views {
+            self.db.create_view(&view.name, view.expr)?;
         }
         let mut results = Vec::with_capacity(lowered.transactions.len());
         for program in &lowered.transactions {
@@ -73,15 +75,33 @@ impl<S: Storage> DurableSession<S> {
     }
 }
 
+/// The durable database's schema extended with every materialized view's
+/// schema — what script and SQL names resolve against.
+fn catalog<S: Storage>(db: &DurableDb<S>) -> DatabaseSchema {
+    let mut schema = db.database().schema().clone();
+    for v in db.views().iter() {
+        let _ = schema.add(RelationSchema::new(
+            v.name().to_owned(),
+            v.schema().as_ref().clone(),
+        ));
+    }
+    schema
+}
+
 /// Parses, translates and durably runs one SQL statement. Returns the
-/// result relation for queries, `None` for DML.
+/// result relation for queries, `None` for DML and
+/// `CREATE MATERIALIZED VIEW`.
 ///
 /// The durable analogue of [`mera_sql::run_sql`]: a committed DML
-/// statement is in the WAL before this returns.
+/// statement (or view definition) is in the WAL before this returns.
 pub fn run_sql<S: Storage>(db: &mut DurableDb<S>, sql: &str) -> StoreResult<Option<Relation>> {
     let stmt = parse_sql(sql).map_err(StoreError::from)?;
-    let translated = translate(&stmt, db.database().schema()).map_err(StoreError::from)?;
+    let translated = translate(&stmt, &catalog(db)).map_err(StoreError::from)?;
     let is_query = matches!(translated, Translated::Query(_));
+    if let Translated::CreateView { name, expr } = translated {
+        db.create_view(&name, expr)?;
+        return Ok(None);
+    }
     let program = Program::single(translated.into_statement());
     let mut outputs = db.execute(&program)?;
     if is_query {
@@ -127,6 +147,66 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn script_views_are_durable() {
+        let storage = MemStorage::new();
+        let mut session = DurableSession::new(open(storage.clone()));
+        session
+            .run_script(
+                "relation sales (region: str, amount: int);\n\
+                 view totals = groupby[(region), SUM, amount](sales);\n\
+                 insert(sales, values (str, int) {('north', 10), ('south', 7)});\n\
+                 ?totals;",
+            )
+            .expect("script runs");
+        let expected = session.durable().view("totals").expect("view");
+        assert_eq!(
+            expected.multiplicity(&mera_core::tuple!["north", 10_i64]),
+            1
+        );
+        drop(session);
+
+        let recovered = DurableSession::new(open(MemStorage::from_image(storage.image())));
+        assert_eq!(recovered.durable().view("totals").expect("view"), expected);
+    }
+
+    #[test]
+    fn sql_views_are_durable() {
+        let storage = MemStorage::new();
+        let schema = DatabaseSchema::new()
+            .with(
+                "beer",
+                Schema::named(&[("name", DataType::Str), ("alcperc", DataType::Int)]),
+            )
+            .expect("fresh");
+        let mut db =
+            DurableDb::open(storage.clone(), schema, StoreOptions::default()).expect("open");
+        run_sql(
+            &mut db,
+            "INSERT INTO beer VALUES ('Grolsch', 5), ('Bock', 7)",
+        )
+        .expect("dml");
+        run_sql(
+            &mut db,
+            "CREATE MATERIALIZED VIEW strong AS SELECT name FROM beer WHERE alcperc > 6",
+        )
+        .expect("creates view");
+        run_sql(&mut db, "INSERT INTO beer VALUES ('Tripel', 8)").expect("dml");
+        let out = run_sql(&mut db, "SELECT * FROM strong")
+            .expect("query")
+            .expect("relation");
+        assert_eq!(out.len(), 2);
+        drop(db);
+
+        let recovered = DurableDb::open(
+            MemStorage::from_image(storage.image()),
+            DatabaseSchema::new(),
+            StoreOptions::default(),
+        )
+        .expect("recovers");
+        assert_eq!(recovered.view("strong").expect("view").len(), 2);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * kind 2 — **Declare**: a relation name and its schema. Written when a
 //!   relation is created (including the initial schema on first open), so
 //!   a WAL is self-contained: recovery needs no out-of-band catalog.
+//! * kind 3 — **DeclareView**: a materialized-view name and its defining
+//!   expression as XRA source text. Recovery rebuilds the view's contents
+//!   by recomputing the expression over the recovered state — which the
+//!   incremental-maintenance invariant guarantees equals the state the
+//!   view held at the crash.
 //!
 //! # Torn tails vs. corruption
 //!
@@ -47,6 +52,7 @@ pub const RECORD_VERSION: u8 = 1;
 
 const KIND_COMMIT: u8 = 1;
 const KIND_DECLARE: u8 = 2;
+const KIND_DECLARE_VIEW: u8 = 3;
 
 /// One durable redo record.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +73,13 @@ pub enum WalRecord {
         /// Attribute list of the relation.
         schema: Schema,
     },
+    /// A materialized view declared into the catalog.
+    DeclareView {
+        /// View name.
+        name: String,
+        /// The defining expression, as XRA text.
+        text: String,
+    },
 }
 
 impl WalRecord {
@@ -83,6 +96,11 @@ impl WalRecord {
                 out.push(KIND_DECLARE);
                 codec::put_str(&mut out, name);
                 codec::put_schema(&mut out, schema);
+            }
+            WalRecord::DeclareView { name, text } => {
+                out.push(KIND_DECLARE_VIEW);
+                codec::put_str(&mut out, name);
+                codec::put_str(&mut out, text);
             }
         }
         out
@@ -110,6 +128,10 @@ impl WalRecord {
             KIND_DECLARE => WalRecord::Declare {
                 name: r.str().map_err(bad)?,
                 schema: codec::read_schema(&mut r).map_err(bad)?,
+            },
+            KIND_DECLARE_VIEW => WalRecord::DeclareView {
+                name: r.str().map_err(bad)?,
+                text: r.str().map_err(bad)?,
             },
             other => {
                 return Err(StoreError::CorruptWal(format!(
@@ -206,6 +228,10 @@ mod tests {
                 time: 2,
                 text: String::new(),
             },
+            WalRecord::DeclareView {
+                name: "rich".to_string(),
+                text: "select[%2 > 5](accounts)".to_string(),
+            },
         ]
     }
 
@@ -256,7 +282,7 @@ mod tests {
         let last = bytes.len() - 3;
         bytes[last] ^= 0x40;
         let scanned = scan(&bytes).expect("checksum failure is torn, not corrupt");
-        assert_eq!(scanned.records, records[..2]);
+        assert_eq!(scanned.records, records[..records.len() - 1]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! relations plus a temporary namespace, usable as a relation provider for
 //! expression evaluation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use mera_core::prelude::*;
@@ -17,6 +17,7 @@ use mera_expr::rel::RelExpr;
 use mera_opt::Optimizer;
 
 use crate::statement::{Program, Statement};
+use crate::views::{DeltaMap, ViewSet};
 
 /// How statements evaluate their expressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,33 +58,80 @@ impl ExecConfig {
     }
 }
 
-/// An intermediate state `D_t.i`: the database plus temporaries.
+/// An intermediate state `D_t.i`: the database plus temporaries, plus
+/// (when materialized views exist) read-only view snapshots and the
+/// signed deltas the transaction has accumulated so far.
 #[derive(Debug, Clone)]
 pub struct WorkingState {
     /// The (mutable copy of the) database state.
     pub db: Database,
     /// Temporary relations bound by assignment statements.
     pub temps: BTreeMap<String, Relation>,
+    /// Pre-transaction snapshots of materialized views, readable by
+    /// queries exactly like base relations (but never writable).
+    pub views: BTreeMap<String, Arc<Relation>>,
+    /// Signed per-relation deltas of the DML executed so far, restricted
+    /// to [`WorkingState::tracked`] — the input of view maintenance.
+    pub deltas: DeltaMap,
+    /// The base relations some view depends on: only their changes are
+    /// captured into [`WorkingState::deltas`].
+    pub tracked: BTreeSet<String>,
 }
 
 impl WorkingState {
-    /// Starts from a snapshot of a database state (`D_t.0 = D_t`).
+    /// Starts from a snapshot of a database state (`D_t.0 = D_t`), with
+    /// no views and no delta capture.
     pub fn new(db: Database) -> Self {
         WorkingState {
             db,
             temps: BTreeMap::new(),
+            views: BTreeMap::new(),
+            deltas: DeltaMap::new(),
+            tracked: BTreeSet::new(),
         }
     }
 
-    /// Reads a relation: temporaries first, then database relations (a
-    /// temporary may never collide with a database name, enforced on
-    /// assignment, so the order is immaterial — it simply avoids a second
-    /// lookup for temp-heavy programs).
+    /// Starts from a database snapshot plus the current materialized
+    /// views: view contents become readable, and changes to any relation
+    /// a view depends on are captured as signed deltas.
+    pub fn with_views(db: Database, views: &ViewSet) -> Self {
+        WorkingState {
+            db,
+            temps: BTreeMap::new(),
+            views: views.snapshots(),
+            deltas: DeltaMap::new(),
+            tracked: views.tracked_relations(),
+        }
+    }
+
+    /// Reads a relation: temporaries first, then database relations, then
+    /// materialized views (a temporary may never collide with a database
+    /// or view name, enforced on assignment, so the order is immaterial —
+    /// it simply avoids extra lookups for temp-heavy programs).
     pub fn relation(&self, name: &str) -> CoreResult<&Relation> {
         if let Some(r) = self.temps.get(name) {
             return Ok(r);
         }
-        self.db.relation(name)
+        match self.db.relation(name) {
+            Ok(r) => Ok(r),
+            Err(e) => match self.views.get(name) {
+                Some(v) => Ok(v),
+                None => Err(e),
+            },
+        }
+    }
+
+    /// Records `rel` into the delta of `relation` with the given sign, if
+    /// that relation is tracked by some view.
+    fn capture(&mut self, relation: &str, rel: &Relation, positive: bool) -> CoreResult<()> {
+        if !self.tracked.contains(relation) {
+            return Ok(());
+        }
+        let delta = self.deltas.entry(relation.to_owned()).or_default();
+        for (t, m) in rel.iter() {
+            delta.insert_unsigned(t.clone(), m, positive)?;
+        }
+        Ok(())
     }
 }
 
@@ -112,12 +160,18 @@ pub fn execute_statement(
             let value = eval_expr(state, expr, config)?;
             let current = state.db.relation(relation)?;
             let next = current.union(&value)?;
+            state.capture(relation, &value, true)?;
             state.db.replace(relation, next)
         }
         Statement::Delete { relation, expr } => {
             let value = eval_expr(state, expr, config)?;
             let current = state.db.relation(relation)?;
+            // what `−` actually removes is min(current, value) per tuple
+            // (Definition 3.2), i.e. the bag intersection — capture that,
+            // not the requested amount
+            let removed = current.intersection(&value)?;
             let next = current.difference(&value)?;
+            state.capture(relation, &removed, false)?;
             state.db.replace(relation, next)
         }
         Statement::Update {
@@ -151,10 +205,12 @@ pub fn execute_statement(
                 let vals: CoreResult<Vec<Value>> = exprs.iter().map(|e| e.eval(t)).collect();
                 Ok(Tuple::new(vals?))
             })?;
+            state.capture(relation, &touched, false)?;
+            state.capture(relation, &rewritten, true)?;
             state.db.replace(relation, kept.union(&rewritten)?)
         }
         Statement::Assign { name, expr } => {
-            if state.db.schema().contains(name) {
+            if state.db.schema().contains(name) || state.views.contains_key(name) {
                 return Err(CoreError::DuplicateRelation(name.clone()));
             }
             let value = eval_expr(state, expr, config)?;
@@ -174,18 +230,78 @@ pub fn execute_statement(
 /// the live relation instances. Returns every diagnostic; the program is
 /// rejectable iff [`mera_analyze::has_errors`].
 pub fn analyze_program(db: &Database, program: &Program) -> Vec<mera_analyze::Diagnostic> {
-    let cards: mera_analyze::CardEnv = db
+    analyze_program_with_views(db, &ViewSet::new(), program)
+}
+
+/// [`analyze_program`] over a catalog that also resolves materialized
+/// views: view names scan like relations (with their live emptiness
+/// facts), while DML targeting a view is rejected with `E0302` — views
+/// are refreshed from their base relations, never written directly.
+pub fn analyze_program_with_views(
+    db: &Database,
+    views: &ViewSet,
+    program: &Program,
+) -> Vec<mera_analyze::Diagnostic> {
+    let mut cards: mera_analyze::CardEnv = db
         .relation_names()
         .filter_map(|n| {
             let rel = db.relation(n).ok()?;
             Some((n.to_owned(), mera_analyze::Card::of_relation(rel)))
         })
         .collect();
-    mera_analyze::analyze_program(
+    for v in views.iter() {
+        cards.insert(
+            v.name().to_owned(),
+            mera_analyze::Card::of_relation(v.data()),
+        );
+    }
+    // DML-on-view pre-pass: a write target that names a view is an error
+    // regardless of anything the plan analyzer would say
+    let mut diags = Vec::new();
+    for (i, stmt) in program.statements.iter().enumerate() {
+        let (target, kind) = match stmt {
+            Statement::Insert { relation, .. } => (relation, "insert"),
+            Statement::Delete { relation, .. } => (relation, "delete"),
+            Statement::Update { relation, .. } => (relation, "update"),
+            Statement::Assign { name, .. } => (name, "assignment"),
+            Statement::Query { .. } => continue,
+        };
+        if views.contains(target) {
+            diags.push(
+                mera_analyze::Diagnostic::new(
+                    mera_analyze::Code::DmlOnView,
+                    mera_analyze::Span::root(kind).in_stmt(i),
+                    format!("{kind} targets the materialized view `{target}`"),
+                )
+                .with_note("views are maintained from their base relations and cannot be written"),
+            );
+        }
+    }
+    let provider = DbAndViewSchemas {
+        db: db.schema(),
+        views,
+    };
+    diags.extend(mera_analyze::analyze_program(
         program.statements.iter().map(Statement::analyzer_view),
-        db.schema(),
+        &provider,
         &cards,
-    )
+    ));
+    diags
+}
+
+/// Schema catalog layering materialized views over the database schema.
+struct DbAndViewSchemas<'a> {
+    db: &'a DatabaseSchema,
+    views: &'a ViewSet,
+}
+
+impl mera_expr::SchemaProvider for DbAndViewSchemas<'_> {
+    fn relation_schema(&self, name: &str) -> CoreResult<SchemaRef> {
+        if let Some(v) = self.views.get(name) {
+            return Ok(Arc::clone(v.schema()));
+        }
+        Ok(Arc::clone(self.db.get(name)?))
+    }
 }
 
 /// Executes a whole program in order, collecting query outputs.

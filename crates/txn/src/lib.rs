@@ -11,7 +11,10 @@
 //!   (Definition 4.3), logical-time transitions, and a serial
 //!   [`TransactionManager`],
 //! * [`log`] — a redo log of committed programs (durability for a
-//!   main-memory DBMS, as in PRISMA/DB).
+//!   main-memory DBMS, as in PRISMA/DB),
+//! * [`views`] — materialized views maintained incrementally at commit
+//!   time from signed deltas (ℤ-multiplicity bags) instead of
+//!   re-evaluated from scratch.
 
 #![warn(missing_docs)]
 
@@ -20,12 +23,18 @@ pub mod exec;
 pub mod log;
 pub mod statement;
 pub mod transaction;
+pub mod views;
 
 pub use constraints::{Constraint, ConstraintSet, Violation};
-pub use exec::{execute_program, execute_statement, ExecConfig, Outputs, WorkingState};
+pub use exec::{
+    analyze_program_with_views, execute_program, execute_statement, ExecConfig, Outputs,
+    WorkingState,
+};
 pub use log::{LogRecord, RedoLog};
 pub use mera_eval::{EngineKind, ExecOptions};
 pub use statement::{Program, Statement};
 pub use transaction::{
-    run_transaction, run_transaction_checked, AbortReason, Outcome, TransactionManager,
+    run_transaction, run_transaction_checked, run_transaction_with_views, AbortReason, Outcome,
+    TransactionManager,
 };
+pub use views::{CreateViewError, DeltaMap, TupleDelta, View, ViewSet};

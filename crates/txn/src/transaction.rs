@@ -16,9 +16,13 @@ use mera_core::prelude::*;
 use parking_lot::Mutex;
 
 use crate::constraints::ConstraintSet;
-use crate::exec::{analyze_program, execute_statement, ExecConfig, Outputs, WorkingState};
+use crate::exec::{
+    analyze_program_with_views, execute_statement, ExecConfig, Outputs, WorkingState,
+};
 use crate::log::{LogRecord, RedoLog};
 use crate::statement::Program;
+use crate::views::{CreateViewError, ViewSet};
+use mera_expr::rel::RelExpr;
 
 /// Why a transaction aborted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,55 +106,84 @@ pub fn run_transaction_checked(
     fault_before: Option<usize>,
     constraints: &ConstraintSet,
 ) -> (Database, Outcome) {
+    run_transaction_with_views(db, None, program, config, fault_before, constraints)
+}
+
+/// [`run_transaction_checked`] with materialized-view maintenance: view
+/// contents are readable during the transaction (as of `D_t` — a view
+/// never shows the transaction's own uncommitted writes), and at commit
+/// time the signed deltas of every view-tracked base relation are pushed
+/// through the views' maintenance plans. On abort the views are
+/// untouched.
+///
+/// If even the full-recompute fallback of some view fails, the whole
+/// transaction aborts and the views are rebuilt against the pre-state —
+/// views and base state never diverge.
+pub fn run_transaction_with_views(
+    db: &Database,
+    views: Option<&mut ViewSet>,
+    program: &Program,
+    config: ExecConfig,
+    fault_before: Option<usize>,
+    constraints: &ConstraintSet,
+) -> (Database, Outcome) {
+    let abort = |reason: AbortReason| {
+        let mut next = db.clone();
+        next.tick();
+        (next, Outcome::Aborted(reason))
+    };
     // static pre-check: a program with error-severity diagnostics aborts
     // before any statement runs (warnings pass through — they describe
     // plans that *may* fail, and execution is the arbiter)
     if config.analyze {
-        let diags = analyze_program(db, program);
+        let empty = ViewSet::new();
+        let vs = views.as_deref().unwrap_or(&empty);
+        let diags = analyze_program_with_views(db, vs, program);
         if mera_analyze::has_errors(&diags) {
-            let mut next = db.clone();
-            next.tick();
-            return (
-                next,
-                Outcome::Aborted(AbortReason::StaticallyRejected(diags)),
-            );
+            return abort(AbortReason::StaticallyRejected(diags));
         }
     }
-    let mut state = WorkingState::new(db.clone());
+    let mut state = match &views {
+        Some(vs) => WorkingState::with_views(db.clone(), vs),
+        None => WorkingState::new(db.clone()),
+    };
     let mut outputs = Outputs::default();
     for (i, stmt) in program.statements.iter().enumerate() {
         if fault_before == Some(i) {
             // abort: D_t is installed as D_{t+1}
-            let mut next = db.clone();
-            next.tick();
-            return (next, Outcome::Aborted(AbortReason::InjectedFault(i)));
+            return abort(AbortReason::InjectedFault(i));
         }
         if let Err(e) = execute_statement(&mut state, stmt, config, &mut outputs) {
-            let mut next = db.clone();
-            next.tick();
-            return (next, Outcome::Aborted(AbortReason::Error(e)));
+            return abort(AbortReason::Error(e));
         }
     }
     // commit-time integrity check (the [11] enforcement point)
     match constraints.validate(&state.db) {
         Ok(Ok(())) => {}
         Ok(Err(violation)) => {
-            let mut next = db.clone();
-            next.tick();
-            return (
-                next,
-                Outcome::Aborted(AbortReason::ConstraintViolation(violation.to_string())),
-            );
+            return abort(AbortReason::ConstraintViolation(violation.to_string()));
         }
-        Err(e) => {
-            let mut next = db.clone();
-            next.tick();
-            return (next, Outcome::Aborted(AbortReason::Error(e)));
+        Err(e) => return abort(AbortReason::Error(e)),
+    }
+    // commit: temporaries vanish with the working state; D_{t.n} → D_{t+1}.
+    // Destructuring drops the view snapshots, so delta application below
+    // mutates the sole owner of each view's contents in place.
+    let WorkingState {
+        db: mut next,
+        deltas,
+        ..
+    } = state;
+    next.tick();
+    if let Some(vs) = views {
+        if let Err(e) = vs.refresh_after_commit(deltas, &next, config) {
+            // even full recompute failed: abort and re-anchor the views
+            // to the pre-transaction state (which they evaluated against
+            // before, so this rebuild is expected to succeed)
+            let (aborted, outcome) = abort(AbortReason::Error(e));
+            let _ = vs.rebuild(db, config);
+            return (aborted, outcome);
         }
     }
-    // commit: temporaries vanish with the working state; D_{t.n} → D_{t+1}
-    let mut next = state.db;
-    next.tick();
     (next, Outcome::Committed(outputs))
 }
 
@@ -166,6 +199,7 @@ pub struct TransactionManager {
 struct ManagerInner {
     db: Database,
     log: RedoLog,
+    views: ViewSet,
 }
 
 impl TransactionManager {
@@ -190,6 +224,7 @@ impl TransactionManager {
             inner: Mutex::new(ManagerInner {
                 db: Database::new(schema),
                 log: RedoLog::new(),
+                views: ViewSet::new(),
             }),
             config,
             constraints,
@@ -241,10 +276,16 @@ impl TransactionManager {
     /// logged, on abort the database is untouched (other than logical
     /// time). Returns the outcome together with the observed transition.
     pub fn execute(&self, program: &Program) -> CoreResult<(Outcome, Transition)> {
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
         let before = inner.db.clone();
-        let (next, outcome) =
-            run_transaction_checked(&before, program, self.config, None, &self.constraints);
+        let (next, outcome) = run_transaction_with_views(
+            &before,
+            Some(&mut inner.views),
+            program,
+            self.config,
+            None,
+            &self.constraints,
+        );
         if outcome.is_committed() {
             inner.log.append(LogRecord {
                 time: next.time(),
@@ -262,10 +303,11 @@ impl TransactionManager {
         program: &Program,
         fault_before: usize,
     ) -> CoreResult<(Outcome, Transition)> {
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
         let before = inner.db.clone();
-        let (next, outcome) = run_transaction_checked(
+        let (next, outcome) = run_transaction_with_views(
             &before,
+            Some(&mut inner.views),
             program,
             self.config,
             Some(fault_before),
@@ -274,6 +316,51 @@ impl TransactionManager {
         inner.db = next.clone();
         let transition = Transition::new(before, next)?;
         Ok((outcome, transition))
+    }
+
+    /// Creates a materialized view over the current state: the definition
+    /// is validated (`E0301`/`E0303` and ordinary schema errors reject
+    /// it), evaluated once, and incrementally maintained by every
+    /// subsequent commit.
+    pub fn create_view(&self, name: &str, expr: RelExpr) -> Result<SchemaRef, CreateViewError> {
+        let inner = &mut *self.inner.lock();
+        inner.views.create(name, expr, &inner.db, self.config)
+    }
+
+    /// Runs the static-analysis passes over a program against the current
+    /// state (views included) without executing it.
+    pub fn check_program(&self, program: &Program) -> Vec<mera_analyze::Diagnostic> {
+        let inner = self.inner.lock();
+        crate::exec::analyze_program_with_views(&inner.db, &inner.views, program)
+    }
+
+    /// A snapshot of one materialized view's current contents.
+    pub fn view(&self, name: &str) -> CoreResult<Relation> {
+        let inner = self.inner.lock();
+        inner
+            .views
+            .get(name)
+            .map(|v| v.data().as_ref().clone())
+            .ok_or_else(|| CoreError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Snapshots of every materialized view, by name.
+    pub fn view_snapshots(&self) -> std::collections::BTreeMap<String, std::sync::Arc<Relation>> {
+        self.inner.lock().views.snapshots()
+    }
+
+    /// `(refreshes, full-recompute fallbacks)` per view — observability
+    /// for the incremental path (a healthy workload shows zero fallbacks).
+    pub fn view_stats(&self) -> Vec<(String, u64, u64)> {
+        self.inner
+            .lock()
+            .views
+            .iter()
+            .map(|v| {
+                let (r, f) = v.refresh_stats();
+                (v.name().to_owned(), r, f)
+            })
+            .collect()
     }
 
     /// A snapshot of the current database state.

@@ -1,0 +1,1213 @@
+//! Materialized views with signed-delta maintenance.
+//!
+//! A view is a named algebra expression whose result is kept materialized
+//! across commits. Instead of re-evaluating the definition after every
+//! transaction, the commit path computes per-base-relation *deltas* as
+//! signed counted bags ([`SignedBag`]) and pushes them through a
+//! delta-rewritten plan ([`MaintNode`]):
+//!
+//! * σ, π, π̄ and ⊎ are **homomorphic** in the ℤ-multiplicity semiring —
+//!   the §3.3 distribution identities (`σ(E₁ ⊎ E₂) = σE₁ ⊎ σE₂`, likewise
+//!   π) applied to `new = old ⊎ Δ`. Their deltas are evaluated by the
+//!   ordinary engine over `Values` trees, so maintenance reuses the
+//!   columnar `CountedBatch` kernels.
+//! * × and ⋈ are **bilinear**: `Δ(L ⋈ R) = ΔL ⋈ R ⊎ L' ⋈ ΔR` (with `L'`
+//!   the post-delta left state). The plan keeps both inputs materialized
+//!   with equi-key hash indexes, so a refresh probes `O(|Δ|)` keys.
+//! * δ, γ, − and ∩ are **stateful**: their multiplicity laws
+//!   (`min(1, m)`, per-group aggregation, `max(0, m₁−m₂)`, `min(m₁, m₂)`,
+//!   Definitions 3.1–3.4) are not linear, so the plan keeps support
+//!   counts (δ), per-group value bags (γ) or both input bags (−/∩) and
+//!   emits retraction/assertion pairs for the touched rows only.
+//! * closure and whole-relation γ fall back to **recompute-and-diff**
+//!   ([`MaintNode::Recompute`]): the subtree is re-evaluated and diffed
+//!   against its previous result.
+//!
+//! Subtrees that are provably empty in *every* database state (the
+//! analyzer's emptiness lattice at `Card::Unknown` inputs) are compiled
+//! to a constant-empty node — no state, no delta work.
+//!
+//! If an incremental refresh fails (e.g. maintenance state drifted into a
+//! negative multiplicity), the view falls back to a full recompute and
+//! its plan state is rebuilt — correctness never depends on the
+//! incremental path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mera_core::delta::SignedBag;
+use mera_core::prelude::*;
+use mera_eval::provider::{NoRelations, RelationProvider, Schemas};
+use mera_eval::Engine;
+use mera_expr::rel::RelExpr;
+use mera_expr::{Aggregate, ScalarExpr};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::exec::ExecConfig;
+
+/// A signed delta over tuples — the unit of view maintenance.
+pub type TupleDelta = SignedBag<Tuple>;
+
+/// Per-relation deltas of one commit, keyed by relation (or view) name.
+pub type DeltaMap = BTreeMap<String, TupleDelta>;
+
+/// Why a `CREATE MATERIALIZED VIEW` was refused.
+#[derive(Debug, Clone)]
+pub enum CreateViewError {
+    /// Static validation failed (self-reference, schema errors, partial
+    /// definition); carries every diagnostic.
+    Rejected(Vec<mera_analyze::Diagnostic>),
+    /// The initial evaluation of the definition failed.
+    Error(CoreError),
+}
+
+impl std::fmt::Display for CreateViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreateViewError::Rejected(diags) => {
+                let first = mera_analyze::first_error(diags)
+                    .expect("a rejection carries at least one error");
+                write!(f, "view definition rejected: {first}")
+            }
+            CreateViewError::Error(e) => write!(f, "view creation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CreateViewError {}
+
+impl From<CoreError> for CreateViewError {
+    fn from(e: CoreError) -> Self {
+        CreateViewError::Error(e)
+    }
+}
+
+/// One materialized view: definition, maintenance plan and current data.
+#[derive(Debug, Clone)]
+pub struct View {
+    name: String,
+    expr: RelExpr,
+    schema: SchemaRef,
+    deps: Vec<String>,
+    plan: MaintNode,
+    data: Arc<Relation>,
+    refreshes: u64,
+    fallbacks: u64,
+}
+
+impl View {
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The defining algebra expression.
+    pub fn expr(&self) -> &RelExpr {
+        &self.expr
+    }
+
+    /// The view's relation schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Names the definition scans (base relations and earlier views).
+    pub fn deps(&self) -> &[String] {
+        &self.deps
+    }
+
+    /// The current materialized contents.
+    pub fn data(&self) -> &Arc<Relation> {
+        &self.data
+    }
+
+    /// How many commits refreshed this view, and how many of those fell
+    /// back to a full recompute.
+    pub fn refresh_stats(&self) -> (u64, u64) {
+        (self.refreshes, self.fallbacks)
+    }
+}
+
+/// The materialized views of one database, in creation order (which is a
+/// topological order of the dependency graph: a view may only reference
+/// names that already exist).
+#[derive(Debug, Clone, Default)]
+pub struct ViewSet {
+    views: Vec<View>,
+}
+
+impl ViewSet {
+    /// An empty view set.
+    pub fn new() -> Self {
+        ViewSet::default()
+    }
+
+    /// True when no views exist (the zero-overhead fast path).
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The views in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &View> {
+        self.views.iter()
+    }
+
+    /// Looks a view up by name.
+    pub fn get(&self, name: &str) -> Option<&View> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// True when a view with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Cheap per-transaction snapshots of every view's contents.
+    pub fn snapshots(&self) -> BTreeMap<String, Arc<Relation>> {
+        self.views
+            .iter()
+            .map(|v| (v.name.clone(), Arc::clone(&v.data)))
+            .collect()
+    }
+
+    /// The union of every view's dependency set — the base relations
+    /// whose deltas commits must capture.
+    pub fn tracked_relations(&self) -> std::collections::BTreeSet<String> {
+        self.views
+            .iter()
+            .flat_map(|v| v.deps.iter().cloned())
+            .collect()
+    }
+
+    /// Creates a view over `expr` against the current database state:
+    /// validates the definition (self-reference, schema inference,
+    /// totality — see `mera_analyze::analyze_view_def`), evaluates it
+    /// once, and compiles the delta-maintenance plan.
+    pub fn create(
+        &mut self,
+        name: &str,
+        expr: RelExpr,
+        db: &Database,
+        config: ExecConfig,
+    ) -> Result<SchemaRef, CreateViewError> {
+        if self.contains(name) || db.schema().contains(name) {
+            return Err(CreateViewError::Error(CoreError::DuplicateRelation(
+                name.to_owned(),
+            )));
+        }
+        let provider = ViewCatalog {
+            views: &self.views,
+            db,
+        };
+        let analysis = mera_analyze::analyze_view_def(name, &expr, &Schemas(&provider));
+        if !analysis.is_accepted() {
+            return Err(CreateViewError::Rejected(analysis.diagnostics));
+        }
+        let schema = analysis
+            .schema
+            .expect("an accepted view definition has a schema");
+        let plan = MaintNode::build(&expr, &provider, config)?;
+        let data = eval(&expr, &provider, config)?;
+        self.views.push(View {
+            name: name.to_owned(),
+            expr,
+            schema: Arc::clone(&schema),
+            deps: analysis.deps,
+            plan,
+            data: Arc::new(data),
+            refreshes: 0,
+            fallbacks: 0,
+        });
+        Ok(schema)
+    }
+
+    /// Refreshes every view after a commit. `deltas` holds the signed
+    /// per-base-relation changes of the transaction; `db` is the
+    /// *post-commit* state. Views refresh in creation order, and each
+    /// view's own delta joins the map so downstream views see it.
+    ///
+    /// A view whose incremental refresh fails is recomputed from scratch
+    /// and its plan rebuilt — the error is absorbed, not surfaced.
+    pub fn refresh_after_commit(
+        &mut self,
+        mut deltas: DeltaMap,
+        db: &Database,
+        config: ExecConfig,
+    ) -> CoreResult<()> {
+        for i in 0..self.views.len() {
+            let (done, rest) = self.views.split_at_mut(i);
+            let view = &mut rest[0];
+            let touched = view
+                .deps
+                .iter()
+                .any(|d| deltas.get(d).is_some_and(|x| !x.is_empty()));
+            if !touched {
+                continue;
+            }
+            let provider = ViewCatalog { views: done, db };
+            view.refreshes += 1;
+            let delta = match view.plan.refresh(&deltas, &provider, config) {
+                Ok(delta) => match apply_delta(&mut view.data, &delta) {
+                    Ok(()) => delta,
+                    Err(_) => Self::recompute_view(view, &provider, config)?,
+                },
+                Err(_) => Self::recompute_view(view, &provider, config)?,
+            };
+            if !delta.is_empty() {
+                deltas.insert(view.name.clone(), delta);
+            }
+        }
+        Ok(())
+    }
+
+    /// Full-recompute fallback: re-evaluates the definition, diffs
+    /// against the old contents (so downstream views still get a delta),
+    /// and rebuilds the maintenance state.
+    fn recompute_view(
+        view: &mut View,
+        provider: &ViewCatalog<'_>,
+        config: ExecConfig,
+    ) -> CoreResult<TupleDelta> {
+        view.fallbacks += 1;
+        let fresh = eval(&view.expr, provider, config)?;
+        let delta = SignedBag::from_diff(view.data.bag(), fresh.bag())?;
+        view.plan = MaintNode::build(&view.expr, provider, config)?;
+        view.data = Arc::new(fresh);
+        Ok(delta)
+    }
+
+    /// Drops every view's data and plan and rebuilds them from `db` —
+    /// the recovery path: view *definitions* are durable, view *state*
+    /// is reconstructed (maintenance guarantees the incremental contents
+    /// equal a fresh evaluation, so rebuild and replay agree).
+    pub fn rebuild(&mut self, db: &Database, config: ExecConfig) -> CoreResult<()> {
+        for i in 0..self.views.len() {
+            let (done, rest) = self.views.split_at_mut(i);
+            let view = &mut rest[0];
+            let provider = ViewCatalog { views: done, db };
+            view.plan = MaintNode::build(&view.expr, &provider, config)?;
+            view.data = Arc::new(eval(&view.expr, &provider, config)?);
+        }
+        Ok(())
+    }
+}
+
+/// Applies a signed view delta to the materialized contents in place.
+/// Fails (without corrupting the data beyond repair — the caller falls
+/// back to recompute) when a retraction exceeds the stored multiplicity.
+fn apply_delta(data: &mut Arc<Relation>, delta: &TupleDelta) -> CoreResult<()> {
+    let rel = Arc::make_mut(data);
+    for (t, m) in delta.iter() {
+        if m > 0 {
+            rel.insert(t.clone(), m as u64)?;
+        } else {
+            let want = m.unsigned_abs();
+            if rel.remove(t, want) != want {
+                return Err(CoreError::NegativeMultiplicity("view contents"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves already-refreshed views first, then the database — the
+/// catalog every view's definition is evaluated against.
+struct ViewCatalog<'a> {
+    views: &'a [View],
+    db: &'a Database,
+}
+
+impl RelationProvider for ViewCatalog<'_> {
+    fn relation(&self, name: &str) -> CoreResult<&Relation> {
+        if let Some(v) = self.views.iter().find(|v| v.name == name) {
+            return Ok(&v.data);
+        }
+        self.db.relation(name)
+    }
+}
+
+/// Evaluates an expression with the configured engine (no optimizer: view
+/// plans are already shaped by the maintenance compiler).
+fn eval(
+    expr: &RelExpr,
+    provider: &(impl RelationProvider + ?Sized),
+    config: ExecConfig,
+) -> CoreResult<Relation> {
+    Engine::new(config.engine)
+        .with_options(config.options)
+        .run(expr, provider)
+}
+
+/// Evaluates a one-operator template over a literal relation — the path
+/// that routes homomorphic delta pieces through the columnar engine.
+fn eval_values(expr: RelExpr, config: ExecConfig) -> CoreResult<Relation> {
+    Engine::new(config.engine)
+        .with_options(config.options)
+        .run(&expr, &NoRelations)
+}
+
+// ---------------------------------------------------------------------
+// the delta-rewritten maintenance plan
+// ---------------------------------------------------------------------
+
+/// A homomorphic (per-tuple, multiplicity-linear) operator: its delta
+/// rule is the operator itself, applied separately to the positive and
+/// negative parts.
+#[derive(Debug, Clone)]
+enum LinearOp {
+    Select(ScalarExpr),
+    Project(AttrList),
+    ExtProject(Vec<ScalarExpr>),
+}
+
+impl LinearOp {
+    fn wrap(&self, input: RelExpr) -> RelExpr {
+        match self {
+            LinearOp::Select(p) => input.select(p.clone()),
+            LinearOp::Project(a) => RelExpr::Project {
+                input: Arc::new(input),
+                attrs: a.clone(),
+            },
+            LinearOp::ExtProject(es) => input.ext_project(es.clone()),
+        }
+    }
+}
+
+/// One side of a maintained join: the materialized input bag, hashed on
+/// the extracted equi-join key columns (`keys` are 0-based; empty when
+/// the predicate has no equi conjunct, degrading to one bucket).
+#[derive(Debug, Clone, Default)]
+struct JoinSide {
+    keys: Vec<usize>,
+    buckets: FxHashMap<Vec<Value>, Bag<Tuple>>,
+}
+
+impl JoinSide {
+    fn build(keys: Vec<usize>, rel: &Relation) -> CoreResult<Self> {
+        let mut side = JoinSide {
+            keys,
+            buckets: FxHashMap::default(),
+        };
+        for (t, m) in rel.iter() {
+            side.add(t.clone(), m)?;
+        }
+        Ok(side)
+    }
+
+    fn key_of(&self, t: &Tuple) -> Vec<Value> {
+        self.keys.iter().map(|&i| t.values()[i].clone()).collect()
+    }
+
+    fn add(&mut self, t: Tuple, m: u64) -> CoreResult<()> {
+        self.buckets
+            .entry(self.key_of(&t))
+            .or_default()
+            .insert(t, m)
+    }
+
+    fn remove(&mut self, t: &Tuple, m: u64) -> CoreResult<()> {
+        let key = self.key_of(t);
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            return Err(CoreError::NegativeMultiplicity("join state"));
+        };
+        if bucket.remove(t, m) != m {
+            return Err(CoreError::NegativeMultiplicity("join state"));
+        }
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, delta: &TupleDelta) -> CoreResult<()> {
+        for (t, m) in delta.iter() {
+            if m > 0 {
+                self.add(t.clone(), m as u64)?;
+            } else {
+                self.remove(t, m.unsigned_abs())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn probe(&self, key: &[Value]) -> Option<&Bag<Tuple>> {
+        self.buckets.get(key)
+    }
+}
+
+/// A node of the delta-rewritten plan. Mirrors the definition's
+/// expression tree, replacing each operator with its maintenance rule.
+#[derive(Debug, Clone)]
+enum MaintNode {
+    /// A scanned name: the delta comes straight from the commit's map.
+    Base { name: String },
+    /// A subtree that is empty in every state (literal values, provably
+    /// empty compositions): its delta is always empty.
+    ConstEmpty,
+    /// σ/π/π̄ over a child: delta maps through the operator.
+    Linear {
+        child: Box<MaintNode>,
+        op: LinearOp,
+        in_schema: SchemaRef,
+    },
+    /// ⊎: deltas add.
+    Union {
+        left: Box<MaintNode>,
+        right: Box<MaintNode>,
+    },
+    /// × / ⋈: bilinear, with both sides materialized and hash-indexed.
+    Join {
+        left: Box<MaintNode>,
+        right: Box<MaintNode>,
+        predicate: ScalarExpr,
+        left_state: JoinSide,
+        right_state: JoinSide,
+    },
+    /// δ: support counts decide 0↔1 transitions.
+    Distinct {
+        child: Box<MaintNode>,
+        seen: Bag<Tuple>,
+    },
+    /// − / ∩: both inputs materialized; touched tuples re-derive
+    /// `max(0, l−r)` / `min(l, r)`.
+    DiffLike {
+        minus: bool,
+        left: Box<MaintNode>,
+        right: Box<MaintNode>,
+        lstate: Bag<Tuple>,
+        rstate: Bag<Tuple>,
+    },
+    /// Keyed γ: per-group bags of the aggregated attribute's values;
+    /// touched groups emit a retraction of the old aggregate row and an
+    /// assertion of the new one.
+    GroupBy {
+        child: Box<MaintNode>,
+        keys: Vec<usize>,
+        agg: Aggregate,
+        attr: usize,
+        in_type: DataType,
+        groups: FxHashMap<Vec<Value>, Bag<Value>>,
+    },
+    /// Fallback for operators with no incremental rule (closure,
+    /// whole-relation γ): re-evaluate and diff.
+    Recompute { expr: RelExpr, last: Relation },
+}
+
+impl MaintNode {
+    /// Compiles a definition subtree into its maintenance plan,
+    /// evaluating subtrees as needed to seed operator state.
+    fn build(
+        expr: &RelExpr,
+        provider: &ViewCatalog<'_>,
+        config: ExecConfig,
+    ) -> CoreResult<MaintNode> {
+        // emptiness gate: a subtree that is empty in *every* state needs
+        // no maintenance machinery at all
+        if mera_analyze::structural_card(expr, &Schemas(provider)) == mera_analyze::Card::Empty {
+            return Ok(MaintNode::ConstEmpty);
+        }
+        Ok(match expr {
+            RelExpr::Scan(name) => MaintNode::Base { name: name.clone() },
+            // a literal never changes
+            RelExpr::Values(_) => MaintNode::ConstEmpty,
+            RelExpr::Select { input, predicate } => MaintNode::Linear {
+                in_schema: input.schema(&Schemas(provider))?,
+                child: Box::new(Self::build(input, provider, config)?),
+                op: LinearOp::Select(predicate.clone()),
+            },
+            RelExpr::Project { input, attrs } => MaintNode::Linear {
+                in_schema: input.schema(&Schemas(provider))?,
+                child: Box::new(Self::build(input, provider, config)?),
+                op: LinearOp::Project(attrs.clone()),
+            },
+            RelExpr::ExtProject { input, exprs } => MaintNode::Linear {
+                in_schema: input.schema(&Schemas(provider))?,
+                child: Box::new(Self::build(input, provider, config)?),
+                op: LinearOp::ExtProject(exprs.clone()),
+            },
+            RelExpr::Union(l, r) => MaintNode::Union {
+                left: Box::new(Self::build(l, provider, config)?),
+                right: Box::new(Self::build(r, provider, config)?),
+            },
+            RelExpr::Product(l, r)
+            | RelExpr::Join {
+                left: l, right: r, ..
+            } => {
+                let predicate = match expr {
+                    RelExpr::Join { predicate, .. } => predicate.clone(),
+                    _ => ScalarExpr::bool(true),
+                };
+                let left_arity = l.schema(&Schemas(provider))?.arity();
+                let (lk, rk) = equi_keys(&predicate, left_arity);
+                let lrel = eval(l, provider, config)?;
+                let rrel = eval(r, provider, config)?;
+                MaintNode::Join {
+                    left: Box::new(Self::build(l, provider, config)?),
+                    right: Box::new(Self::build(r, provider, config)?),
+                    predicate,
+                    left_state: JoinSide::build(lk, &lrel)?,
+                    right_state: JoinSide::build(rk, &rrel)?,
+                }
+            }
+            RelExpr::Distinct(input) => MaintNode::Distinct {
+                seen: eval(input, provider, config)?.into_bag(),
+                child: Box::new(Self::build(input, provider, config)?),
+            },
+            RelExpr::Difference(l, r) | RelExpr::Intersect(l, r) => MaintNode::DiffLike {
+                minus: matches!(expr, RelExpr::Difference(..)),
+                lstate: eval(l, provider, config)?.into_bag(),
+                rstate: eval(r, provider, config)?.into_bag(),
+                left: Box::new(Self::build(l, provider, config)?),
+                right: Box::new(Self::build(r, provider, config)?),
+            },
+            RelExpr::GroupBy {
+                input,
+                keys,
+                agg,
+                attr,
+            } if !keys.is_empty() => {
+                let in_schema = input.schema(&Schemas(provider))?;
+                let in_type = in_schema.dtype(*attr)?;
+                let rel = eval(input, provider, config)?;
+                let mut groups: FxHashMap<Vec<Value>, Bag<Value>> = FxHashMap::default();
+                for (t, m) in rel.iter() {
+                    let key = group_key(t, keys)?;
+                    groups
+                        .entry(key)
+                        .or_default()
+                        .insert(t.attr(*attr)?.clone(), m)?;
+                }
+                MaintNode::GroupBy {
+                    child: Box::new(Self::build(input, provider, config)?),
+                    keys: keys.clone(),
+                    agg: *agg,
+                    attr: *attr,
+                    in_type,
+                    groups,
+                }
+            }
+            // whole-relation γ and closure have no incremental rule here
+            RelExpr::GroupBy { .. } | RelExpr::Closure(_) => MaintNode::Recompute {
+                expr: expr.clone(),
+                last: eval(expr, provider, config)?,
+            },
+        })
+    }
+
+    /// Propagates the commit's deltas through this node, updating
+    /// maintenance state and returning the node's own output delta.
+    fn refresh(
+        &mut self,
+        deltas: &DeltaMap,
+        provider: &ViewCatalog<'_>,
+        config: ExecConfig,
+    ) -> CoreResult<TupleDelta> {
+        match self {
+            MaintNode::Base { name } => Ok(deltas.get(name).cloned().unwrap_or_default()),
+            MaintNode::ConstEmpty => Ok(TupleDelta::new()),
+            MaintNode::Linear {
+                child,
+                op,
+                in_schema,
+            } => {
+                let d = child.refresh(deltas, provider, config)?;
+                if d.is_empty() {
+                    return Ok(d);
+                }
+                let (pos, neg) = d.split();
+                let mut out = TupleDelta::new();
+                for (bag, positive) in [(pos, true), (neg, false)] {
+                    if bag.is_empty() {
+                        continue;
+                    }
+                    let part = Relation::from_counted(Arc::clone(in_schema), bag)?;
+                    let mapped = eval_values(op.wrap(RelExpr::values(part)), config)?;
+                    for (t, m) in mapped.iter() {
+                        out.insert_unsigned(t.clone(), m, positive)?;
+                    }
+                }
+                Ok(out)
+            }
+            MaintNode::Union { left, right } => {
+                let mut d = left.refresh(deltas, provider, config)?;
+                d.merge(right.refresh(deltas, provider, config)?)?;
+                Ok(d)
+            }
+            MaintNode::Join {
+                left,
+                right,
+                predicate,
+                left_state,
+                right_state,
+            } => {
+                let dl = left.refresh(deltas, provider, config)?;
+                let dr = right.refresh(deltas, provider, config)?;
+                let mut out = TupleDelta::new();
+                // ΔL ⋈ R_old: a left tuple's key values (taken at the
+                // left key columns) index the right side's buckets,
+                // because the key lists are parallel
+                for (t, m) in dl.iter() {
+                    if let Some(bucket) = right_state.probe(&left_state.key_of(t)) {
+                        for (u, n) in bucket.iter() {
+                            let joined = t.concat(u);
+                            if predicate.eval_predicate(&joined)? {
+                                out.insert(joined, signed_product(m, n)?)?;
+                            }
+                        }
+                    }
+                }
+                left_state.apply(&dl)?;
+                // L_new ⋈ ΔR (post-delta left state, so ΔL ⋈ ΔR counts once)
+                for (t, m) in dr.iter() {
+                    if let Some(bucket) = left_state.probe(&right_state.key_of(t)) {
+                        for (u, n) in bucket.iter() {
+                            let joined = u.concat(t);
+                            if predicate.eval_predicate(&joined)? {
+                                out.insert(joined, signed_product(m, n)?)?;
+                            }
+                        }
+                    }
+                }
+                right_state.apply(&dr)?;
+                Ok(out)
+            }
+            MaintNode::Distinct { child, seen } => {
+                let d = child.refresh(deltas, provider, config)?;
+                let mut out = TupleDelta::new();
+                for (t, m) in d.into_iter() {
+                    let old = seen.multiplicity(&t);
+                    if m > 0 {
+                        seen.insert(t.clone(), m as u64)?;
+                    } else {
+                        let want = m.unsigned_abs();
+                        if seen.remove(&t, want) != want {
+                            return Err(CoreError::NegativeMultiplicity("distinct state"));
+                        }
+                    }
+                    let new = seen.multiplicity(&t);
+                    out.insert(t, i64::from(new > 0) - i64::from(old > 0))?;
+                }
+                Ok(out)
+            }
+            MaintNode::DiffLike {
+                minus,
+                left,
+                right,
+                lstate,
+                rstate,
+            } => {
+                let dl = left.refresh(deltas, provider, config)?;
+                let dr = right.refresh(deltas, provider, config)?;
+                let minus = *minus;
+                let combine = |l: u64, r: u64| if minus { l.saturating_sub(r) } else { l.min(r) };
+                let mut out = TupleDelta::new();
+                // Dedup: a tuple changed on *both* sides (e.g. `r ∩ r`)
+                // must contribute its output diff exactly once.
+                let mut touched: Vec<Tuple> = Vec::new();
+                let mut seen: FxHashSet<&Tuple> = FxHashSet::default();
+                for (t, _) in dl.iter().chain(dr.iter()) {
+                    if seen.insert(t) {
+                        touched.push(t.clone());
+                    }
+                }
+                drop(seen);
+                let olds: Vec<(u64, u64)> = touched
+                    .iter()
+                    .map(|t| (lstate.multiplicity(t), rstate.multiplicity(t)))
+                    .collect();
+                apply_signed(lstate, &dl, "difference/intersection state")?;
+                apply_signed(rstate, &dr, "difference/intersection state")?;
+                for (t, (ol, or)) in touched.into_iter().zip(olds) {
+                    let old_out = combine(ol, or);
+                    let new_out = combine(lstate.multiplicity(&t), rstate.multiplicity(&t));
+                    out.insert(t, signed_diff(new_out, old_out)?)?;
+                }
+                Ok(out)
+            }
+            MaintNode::GroupBy {
+                child,
+                keys,
+                agg,
+                attr,
+                in_type,
+                groups,
+            } => {
+                let d = child.refresh(deltas, provider, config)?;
+                // bucket the delta by group key
+                let mut by_key: FxHashMap<Vec<Value>, Vec<(Value, i64)>> = FxHashMap::default();
+                for (t, m) in d.iter() {
+                    by_key
+                        .entry(group_key(t, keys)?)
+                        .or_default()
+                        .push((t.attr(*attr)?.clone(), m));
+                }
+                let mut out = TupleDelta::new();
+                for (key, entries) in by_key {
+                    let bag = groups.entry(key.clone()).or_default();
+                    if !bag.is_empty() {
+                        let old = agg.compute(*in_type, bag.iter())?;
+                        out.insert(agg_row(&key, old), -1)?;
+                    }
+                    for (v, m) in entries {
+                        if m > 0 {
+                            bag.insert(v, m as u64)?;
+                        } else {
+                            let want = m.unsigned_abs();
+                            if bag.remove(&v, want) != want {
+                                return Err(CoreError::NegativeMultiplicity("group state"));
+                            }
+                        }
+                    }
+                    if bag.is_empty() {
+                        groups.remove(&key);
+                    } else {
+                        let new = agg.compute(*in_type, bag.iter())?;
+                        out.insert(agg_row(&key, new), 1)?;
+                    }
+                }
+                Ok(out)
+            }
+            MaintNode::Recompute { expr, last } => {
+                let fresh = eval(expr, provider, config)?;
+                let delta = SignedBag::from_diff(last.bag(), fresh.bag())?;
+                *last = fresh;
+                Ok(delta)
+            }
+        }
+    }
+}
+
+/// `new − old` of two unsigned multiplicities as a checked i64.
+fn signed_diff(new: u64, old: u64) -> CoreResult<i64> {
+    let to = |m: u64| i64::try_from(m).map_err(|_| CoreError::Overflow("signed multiplicity"));
+    to(new)?
+        .checked_sub(to(old)?)
+        .ok_or(CoreError::Overflow("signed multiplicity"))
+}
+
+/// `m · n` of a signed and an unsigned multiplicity, checked.
+fn signed_product(m: i64, n: u64) -> CoreResult<i64> {
+    let n = i64::try_from(n).map_err(|_| CoreError::Overflow("join multiplicity"))?;
+    m.checked_mul(n)
+        .ok_or(CoreError::Overflow("join multiplicity"))
+}
+
+/// Applies a signed delta to an unsigned state bag, failing on underflow.
+fn apply_signed(state: &mut Bag<Tuple>, delta: &TupleDelta, what: &'static str) -> CoreResult<()> {
+    for (t, m) in delta.iter() {
+        if m > 0 {
+            state.insert(t.clone(), m as u64)?;
+        } else {
+            let want = m.unsigned_abs();
+            if state.remove(t, want) != want {
+                return Err(CoreError::NegativeMultiplicity(what));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Projects a tuple onto the grouping key (1-based indexes, in order).
+fn group_key(t: &Tuple, keys: &[usize]) -> CoreResult<Vec<Value>> {
+    keys.iter().map(|&k| t.attr(k).cloned()).collect()
+}
+
+/// Builds the output row `key ⊕ ⟨aggregate⟩` of a keyed γ.
+fn agg_row(key: &[Value], agg: Value) -> Tuple {
+    let mut vals = key.to_vec();
+    vals.push(agg);
+    Tuple::new(vals)
+}
+
+/// Extracts the equi-join key columns from a predicate over `E ⊕ E'`:
+/// the conjuncts of shape `%i = %j` with `i` on the left side and `j` on
+/// the right. Returns parallel 0-based key lists `(left, right)`; both
+/// empty when no such conjunct exists (the nested-loop degradation).
+fn equi_keys(predicate: &ScalarExpr, left_arity: usize) -> (Vec<usize>, Vec<usize>) {
+    fn conjuncts<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+        if let ScalarExpr::And(l, r) = e {
+            conjuncts(l, out);
+            conjuncts(r, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut cs = Vec::new();
+    conjuncts(predicate, &mut cs);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for c in cs {
+        if let ScalarExpr::Cmp(mera_expr::CmpOp::Eq, a, b) = c {
+            if let (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) = (a.as_ref(), b.as_ref()) {
+                let (i, j) = if i <= j { (*i, *j) } else { (*j, *i) };
+                if i >= 1 && i <= left_arity && j > left_arity {
+                    left.push(i - 1);
+                    right.push(j - left_arity - 1);
+                }
+            }
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::Program;
+    use crate::statement::Statement;
+    use crate::transaction::TransactionManager;
+    use mera_core::tuple;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "r",
+                Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .expect("fresh")
+            .with(
+                "s",
+                Schema::named(&[("k", DataType::Int), ("w", DataType::Int)]),
+            )
+            .expect("fresh")
+    }
+
+    fn row2(a: i64, b: i64) -> Relation {
+        relation_of(
+            Schema::anon(&[DataType::Int, DataType::Int]),
+            vec![tuple![a, b]],
+        )
+        .expect("typed")
+    }
+
+    fn insert(rel: &str, a: i64, b: i64) -> Statement {
+        Statement::insert(rel, RelExpr::values(row2(a, b)))
+    }
+
+    fn delete(rel: &str, a: i64, b: i64) -> Statement {
+        Statement::delete(rel, RelExpr::values(row2(a, b)))
+    }
+
+    /// The maintained contents must equal a fresh evaluation of the
+    /// definition at every commit point.
+    fn assert_consistent(mgr: &TransactionManager, name: &str) {
+        let db = mgr.snapshot();
+        let view = mgr.view(name).expect("view exists");
+        let expr = {
+            // recompute through the manager-independent engine
+            let snaps = mgr.view_snapshots();
+            let v = snaps.get(name).expect("view exists");
+            assert_eq!(&view, v.as_ref());
+            drop(snaps);
+            mgr_view_expr(mgr, name)
+        };
+        let fresh = Engine::new(EngineKind::Physical)
+            .run(&expr, &db)
+            .expect("definition evaluates");
+        assert_eq!(view, fresh, "view `{name}` diverged from its definition");
+    }
+
+    fn mgr_view_expr(mgr: &TransactionManager, name: &str) -> RelExpr {
+        // round-trip through the snapshot API is not enough: fetch the
+        // definition by re-creating it is impossible, so expose via stats
+        // — instead we just re-derive from the known test definitions
+        let _ = mgr;
+        TEST_DEFS.with(|m| m.borrow().get(name).expect("registered").clone())
+    }
+
+    thread_local! {
+        static TEST_DEFS: std::cell::RefCell<BTreeMap<String, RelExpr>> =
+            const { RefCell::new(BTreeMap::new()) };
+    }
+    use std::cell::RefCell;
+
+    fn create(mgr: &TransactionManager, name: &str, expr: RelExpr) {
+        TEST_DEFS.with(|m| m.borrow_mut().insert(name.to_owned(), expr.clone()));
+        mgr.create_view(name, expr).expect("view accepted");
+    }
+
+    use mera_eval::EngineKind;
+
+    #[test]
+    fn select_project_view_is_maintained() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "v",
+            RelExpr::scan("r")
+                .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Gt, ScalarExpr::int(10)))
+                .project(&[1]),
+        );
+        for stmt in [
+            insert("r", 1, 5),
+            insert("r", 2, 20),
+            insert("r", 2, 20),
+            delete("r", 2, 20),
+            insert("r", 3, 11),
+        ] {
+            mgr.execute(&Program::single(stmt)).expect("commits");
+            assert_consistent(&mgr, "v");
+        }
+        let (_, refreshes, fallbacks) = mgr.view_stats().remove(0);
+        assert!(refreshes >= 4);
+        assert_eq!(fallbacks, 0, "linear ops must never fall back");
+    }
+
+    #[test]
+    fn join_view_is_maintained_incrementally() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "j",
+            RelExpr::scan("r").join(
+                RelExpr::scan("s"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            ),
+        );
+        let steps = [
+            insert("r", 1, 10),
+            insert("s", 1, 100),
+            insert("s", 1, 200),
+            insert("r", 2, 20),
+            insert("s", 2, 300),
+            delete("s", 1, 100),
+            delete("r", 1, 10),
+        ];
+        for stmt in steps {
+            mgr.execute(&Program::single(stmt)).expect("commits");
+            assert_consistent(&mgr, "j");
+        }
+        let (_, _, fallbacks) = mgr.view_stats().remove(0);
+        assert_eq!(fallbacks, 0, "equi-joins must never fall back");
+    }
+
+    #[test]
+    fn keyed_group_by_view_tracks_group_births_and_deaths() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "totals",
+            RelExpr::scan("r").group_by(&[1], Aggregate::Sum, 2),
+        );
+        for stmt in [
+            insert("r", 1, 10),
+            insert("r", 1, 5),
+            insert("r", 2, 7),
+            delete("r", 1, 10),
+            delete("r", 2, 7), // group 2 dies
+            insert("r", 2, 9), // and is reborn
+        ] {
+            mgr.execute(&Program::single(stmt)).expect("commits");
+            assert_consistent(&mgr, "totals");
+        }
+        // MIN/MAX are maintainable too (full value bags are kept)
+        create(
+            &mgr,
+            "maxes",
+            RelExpr::scan("r").group_by(&[1], Aggregate::Max, 2),
+        );
+        mgr.execute(&Program::single(delete("r", 1, 5)))
+            .expect("commits");
+        assert_consistent(&mgr, "maxes");
+        for (_, _, fallbacks) in mgr.view_stats() {
+            assert_eq!(fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn distinct_union_difference_intersection_views() {
+        let mgr = TransactionManager::new(schema());
+        create(&mgr, "d", RelExpr::scan("r").distinct());
+        create(&mgr, "u", RelExpr::scan("r").union(RelExpr::scan("s")));
+        create(&mgr, "m", RelExpr::scan("r").difference(RelExpr::scan("s")));
+        create(&mgr, "i", RelExpr::scan("r").intersect(RelExpr::scan("s")));
+        for stmt in [
+            insert("r", 1, 1),
+            insert("r", 1, 1),
+            insert("s", 1, 1),
+            insert("s", 1, 1),
+            insert("s", 1, 1),
+            delete("r", 1, 1),
+            insert("r", 2, 2),
+            delete("s", 1, 1),
+        ] {
+            mgr.execute(&Program::single(stmt)).expect("commits");
+            for name in ["d", "u", "m", "i"] {
+                assert_consistent(&mgr, name);
+            }
+        }
+        for (_, _, fallbacks) in mgr.view_stats() {
+            assert_eq!(fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn whole_relation_aggregate_uses_recompute_fallback_node() {
+        let mgr = TransactionManager::new(schema());
+        // γ with empty keys has no incremental rule: Recompute node
+        create(
+            &mgr,
+            "cnt",
+            RelExpr::scan("r").group_by(&[], Aggregate::Cnt, 1),
+        );
+        for stmt in [insert("r", 1, 1), insert("r", 2, 2), delete("r", 1, 1)] {
+            mgr.execute(&Program::single(stmt)).expect("commits");
+            assert_consistent(&mgr, "cnt");
+        }
+    }
+
+    #[test]
+    fn views_layer_on_views() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "big",
+            RelExpr::scan("r")
+                .select(ScalarExpr::attr(2).cmp(mera_expr::CmpOp::Gt, ScalarExpr::int(0))),
+        );
+        // second view scans the first — the delta must cascade
+        create(
+            &mgr,
+            "big_total",
+            RelExpr::scan("big").group_by(&[1], Aggregate::Sum, 2),
+        );
+        mgr.execute(&Program::single(insert("r", 1, 3)))
+            .expect("commits");
+        let v = mgr.view("big_total").expect("exists");
+        assert_eq!(v.multiplicity(&tuple![1_i64, 3_i64]), 1);
+        mgr.execute(&Program::single(insert("r", 1, 4)))
+            .expect("commits");
+        let v = mgr.view("big_total").expect("exists");
+        assert_eq!(v.multiplicity(&tuple![1_i64, 7_i64]), 1);
+    }
+
+    #[test]
+    fn views_are_readable_but_not_writable() {
+        let mgr = TransactionManager::new(schema());
+        create(&mgr, "v", RelExpr::scan("r").project(&[1]));
+        mgr.execute(&Program::single(insert("r", 7, 1)))
+            .expect("commits");
+        // readable in queries
+        let (outcome, _) = mgr
+            .execute(&Program::single(Statement::query(RelExpr::scan("v"))))
+            .expect("runs");
+        let out = outcome.outputs().expect("committed");
+        assert_eq!(out.queries[0].multiplicity(&tuple![7_i64]), 1);
+        // not writable: E0302 at analysis time
+        let (outcome, _) = mgr
+            .execute(&Program::single(insert("v", 9, 9)))
+            .expect("runs");
+        let crate::transaction::Outcome::Aborted(
+            crate::transaction::AbortReason::StaticallyRejected(diags),
+        ) = outcome
+        else {
+            panic!("expected static rejection");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == mera_analyze::Code::DmlOnView));
+        // and a temporary may not shadow a view either
+        let (outcome, _) = mgr
+            .execute(&Program::single(Statement::assign("v", RelExpr::scan("r"))))
+            .expect("runs");
+        assert!(!outcome.is_committed());
+    }
+
+    #[test]
+    fn rejected_definitions_do_not_create_views() {
+        let mgr = TransactionManager::new(schema());
+        // duplicate of a base relation name
+        assert!(matches!(
+            mgr.create_view("r", RelExpr::scan("s")),
+            Err(CreateViewError::Error(CoreError::DuplicateRelation(_)))
+        ));
+        // partial aggregate over possibly-empty input: E0303
+        let err = mgr
+            .create_view("avg", RelExpr::scan("r").group_by(&[], Aggregate::Avg, 2))
+            .unwrap_err();
+        let CreateViewError::Rejected(diags) = err else {
+            panic!("expected rejection");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == mera_analyze::Code::PartialView));
+        assert!(mgr.view("avg").is_err());
+    }
+
+    #[test]
+    fn aborted_transactions_leave_views_untouched() {
+        let mgr = TransactionManager::new(schema());
+        create(&mgr, "v", RelExpr::scan("r").project(&[1]));
+        mgr.execute(&Program::single(insert("r", 1, 1)))
+            .expect("commits");
+        let before = mgr.view("v").expect("exists");
+        // a failing transaction: insert then scan of unknown relation
+        let bad = Program::new()
+            .then(insert("r", 2, 2))
+            .then(Statement::query(RelExpr::scan("nosuch")));
+        let (outcome, _) = mgr.execute(&bad).expect("runs");
+        assert!(!outcome.is_committed());
+        assert_eq!(mgr.view("v").expect("exists"), before);
+    }
+
+    #[test]
+    fn multi_statement_transactions_coalesce_deltas() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "totals",
+            RelExpr::scan("r").group_by(&[1], Aggregate::Sum, 2),
+        );
+        // one transaction that inserts, deletes and re-inserts: only the
+        // net change may reach the view
+        let p = Program::new()
+            .then(insert("r", 1, 10))
+            .then(delete("r", 1, 10))
+            .then(insert("r", 1, 20))
+            .then(insert("r", 2, 1));
+        mgr.execute(&p).expect("commits");
+        assert_consistent(&mgr, "totals");
+        let v = mgr.view("totals").expect("exists");
+        assert_eq!(v.multiplicity(&tuple![1_i64, 20_i64]), 1);
+        assert_eq!(v.multiplicity(&tuple![2_i64, 1_i64]), 1);
+    }
+
+    /// Regression: when the same base relation feeds *both* sides of a
+    /// difference or intersection (`r ∩ r`, `r − r`), the tuple shows up
+    /// in both child deltas and its output diff must still be applied
+    /// exactly once.
+    #[test]
+    fn self_intersection_and_difference_are_not_double_counted() {
+        let mgr = TransactionManager::new(schema());
+        create(
+            &mgr,
+            "self_cap",
+            RelExpr::scan("r").intersect(RelExpr::scan("r")),
+        );
+        create(
+            &mgr,
+            "self_minus",
+            RelExpr::scan("r").difference(RelExpr::scan("r")),
+        );
+        let p = Program::new()
+            .then(insert("r", 2, 2))
+            .then(insert("r", 2, 2))
+            .then(insert("r", 0, 4));
+        mgr.execute(&p).expect("commits");
+        assert_consistent(&mgr, "self_cap");
+        assert_consistent(&mgr, "self_minus");
+        let cap = mgr.view("self_cap").expect("exists");
+        assert_eq!(cap.multiplicity(&tuple![2_i64, 2_i64]), 2);
+        assert!(mgr.view("self_minus").expect("exists").is_empty());
+
+        mgr.execute(&Program::single(delete("r", 2, 2)))
+            .expect("commits");
+        assert_consistent(&mgr, "self_cap");
+        assert_consistent(&mgr, "self_minus");
+    }
+}
