@@ -1,0 +1,328 @@
+//! The cardinality-estimation lattice: intervals refining [`Card`].
+//!
+//! The emptiness lattice `{empty, nonempty, unknown}` answers one
+//! question — *can this bag be empty?* — which is all the partiality lint
+//! needs. A cost-based planner needs more: *how many tuples* (counted
+//! with multiplicity, per Definition 3.1) can flow out of a node. This
+//! module widens the three points into the interval lattice
+//!
+//! ```text
+//!     CardRange = { [lo, hi] | lo ∈ ℕ, hi ∈ ℕ ∪ {∞}, lo ≤ hi }
+//! ```
+//!
+//! ordered by inclusion, with `[0, ∞)` on top. The abstract transformers
+//! below are *sound*: for every operator `op` and every database state,
+//! `|op(E…)| ∈ op♯(range(E)…)`. They follow directly from the
+//! multiplicity laws of Definitions 3.1–3.4 — e.g. `⊎` adds
+//! multiplicities, so intervals add; `−` is `max(0, m₁ − m₂)` pointwise,
+//! so the lower bound is the saturating difference of `lo₁` and `hi₂`.
+//!
+//! [`CardRange::to_card`] is the Galois connection back down to the
+//! emptiness lattice: `[0,0] ↦ Empty`, `lo ≥ 1 ↦ NonEmpty`, the rest
+//! `Unknown`. The optimizer uses these sound bounds to *clamp* its
+//! (unsound, selectivity-based) point estimates.
+
+use std::collections::HashMap;
+
+use mera_core::prelude::*;
+use mera_expr::{RelExpr, ScalarExpr};
+
+use crate::plan::Card;
+
+/// An interval `[lo, hi]` of possible total multiplicities; `hi = None`
+/// means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CardRange {
+    /// Smallest possible total multiplicity.
+    pub lo: u64,
+    /// Largest possible total multiplicity (`None` = unbounded).
+    pub hi: Option<u64>,
+}
+
+/// Row-count facts about named relations, supplied by the embedder (e.g.
+/// exact counters off the live database state). Missing names are `top()`.
+pub type RangeEnv = HashMap<String, CardRange>;
+
+impl CardRange {
+    /// The top element `[0, ∞)` — nothing known.
+    pub fn top() -> CardRange {
+        CardRange { lo: 0, hi: None }
+    }
+
+    /// The exact singleton `[n, n]`.
+    pub fn exactly(n: u64) -> CardRange {
+        CardRange { lo: n, hi: Some(n) }
+    }
+
+    /// An interval `[lo, hi]`.
+    pub fn between(lo: u64, hi: u64) -> CardRange {
+        debug_assert!(lo <= hi);
+        CardRange { lo, hi: Some(hi) }
+    }
+
+    /// Whether `n` lies in the interval.
+    pub fn contains(&self, n: u64) -> bool {
+        n >= self.lo && self.hi.is_none_or(|h| n <= h)
+    }
+
+    /// Least upper bound (interval hull) — the merge across alternative
+    /// states, mirroring [`Card::join`].
+    pub fn join(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// The Galois connection down to the emptiness lattice.
+    pub fn to_card(self) -> Card {
+        if self.hi == Some(0) {
+            Card::Empty
+        } else if self.lo >= 1 {
+            Card::NonEmpty
+        } else {
+            Card::Unknown
+        }
+    }
+
+    /// Clamps a point estimate into the interval (the planner's
+    /// estimates are heuristic; the bounds are sound, so the bounds win).
+    pub fn clamp_estimate(&self, est: f64) -> f64 {
+        let mut e = est.max(self.lo as f64);
+        if let Some(h) = self.hi {
+            e = e.min(h as f64);
+        }
+        e
+    }
+
+    // ---- abstract transformers (Definitions 3.1–3.4) ----
+
+    fn add(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: self.lo.saturating_add(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+
+    fn mul(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: self.lo.saturating_mul(other.lo),
+            // n × 0 = 0 even when the other side is unbounded
+            hi: match (self.hi, other.hi) {
+                (Some(0), _) | (_, Some(0)) => Some(0),
+                (Some(a), Some(b)) => Some(a.saturating_mul(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// `max(0, m₁ − m₂)` pointwise: at most everything on the left
+    /// survives; at least `lo₁ − hi₂` must.
+    fn bag_difference(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: other.hi.map_or(0, |h| self.lo.saturating_sub(h)),
+            hi: self.hi,
+        }
+    }
+
+    /// `min(m₁, m₂)` pointwise — but tuples outside the intersection of
+    /// supports drop to 0, so only the upper bound survives.
+    fn bag_intersect(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: 0,
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            },
+        }
+    }
+
+    /// Anything from keeping everything to filtering everything.
+    fn filtered(self) -> CardRange {
+        CardRange { lo: 0, hi: self.hi }
+    }
+
+    /// δ: at least one tuple survives a nonempty input, at most all do.
+    fn distinct(self) -> CardRange {
+        CardRange {
+            lo: self.lo.min(1),
+            hi: self.hi,
+        }
+    }
+}
+
+/// Sound total-multiplicity bounds for a plan, given bounds for the
+/// relations it scans. Conservative on any structural problem (this is a
+/// bounds estimator, not a validator — pair it with [`analyze_plan`] for
+/// diagnostics).
+///
+/// [`analyze_plan`]: crate::analyze_plan
+pub fn range_of_plan(expr: &RelExpr, env: &RangeEnv) -> CardRange {
+    match expr {
+        RelExpr::Scan(name) => env
+            .get(name.as_str())
+            .copied()
+            .unwrap_or_else(CardRange::top),
+        RelExpr::Values(rel) => CardRange::exactly(rel.len()),
+        RelExpr::Union(l, r) => range_of_plan(l, env).add(range_of_plan(r, env)),
+        RelExpr::Difference(l, r) => range_of_plan(l, env).bag_difference(range_of_plan(r, env)),
+        RelExpr::Intersect(l, r) => range_of_plan(l, env).bag_intersect(range_of_plan(r, env)),
+        RelExpr::Product(l, r) => range_of_plan(l, env).mul(range_of_plan(r, env)),
+        // ⋈_φ = σ_φ ∘ × (Definition 3.2)
+        RelExpr::Join { left, right, .. } => range_of_plan(left, env)
+            .mul(range_of_plan(right, env))
+            .filtered(),
+        RelExpr::Select { input, predicate } => {
+            let i = range_of_plan(input, env);
+            match predicate {
+                ScalarExpr::Literal(Value::Bool(true)) => i,
+                ScalarExpr::Literal(Value::Bool(false)) => CardRange::exactly(0),
+                _ => i.filtered(),
+            }
+        }
+        // π preserves total multiplicity exactly (plain and extended)
+        RelExpr::Project { input, .. } | RelExpr::ExtProject { input, .. } => {
+            range_of_plan(input, env)
+        }
+        RelExpr::Distinct(input) => range_of_plan(input, env).distinct(),
+        RelExpr::GroupBy { input, keys, .. } => {
+            let i = range_of_plan(input, env);
+            if keys.is_empty() {
+                // one output tuple (partial aggregates abort on empty
+                // input rather than producing an empty result — the
+                // partiality lint owns that case)
+                CardRange::exactly(1)
+            } else {
+                // one tuple per nonempty group: bounded by the input
+                i.distinct()
+            }
+        }
+        RelExpr::Closure(input) => {
+            let i = range_of_plan(input, env);
+            // δ-based fixpoint: duplicate-free pairs over the endpoint
+            // domain — at most (2·|E|)² when the edge count is bounded
+            CardRange {
+                lo: i.lo.min(1),
+                hi: i
+                    .hi
+                    .map(|h| h.saturating_mul(2).saturating_mul(h.saturating_mul(2))),
+            }
+        }
+    }
+}
+
+/// Lifts exact per-relation row counts off a database state.
+pub fn range_env_of_database(db: &Database) -> RangeEnv {
+    db.relation_names()
+        .map(|n| {
+            let rows = db.relation(n).map(|r| r.len()).unwrap_or(0);
+            (n.to_owned(), CardRange::exactly(rows))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::tuple;
+    use mera_expr::Aggregate;
+    use std::sync::Arc;
+
+    fn values(n: u64) -> RelExpr {
+        let mut rel = Relation::empty(Arc::new(Schema::anon(&[DataType::Int])));
+        for i in 0..n {
+            rel.insert(tuple![i as i64], 1).expect("typed");
+        }
+        RelExpr::values(rel)
+    }
+
+    fn range(e: &RelExpr) -> CardRange {
+        range_of_plan(e, &RangeEnv::new())
+    }
+
+    #[test]
+    fn values_are_exact() {
+        assert_eq!(range(&values(7)), CardRange::exactly(7));
+    }
+
+    #[test]
+    fn unknown_scan_is_top() {
+        assert_eq!(range(&RelExpr::scan("r")), CardRange::top());
+        let mut env = RangeEnv::new();
+        env.insert("r".into(), CardRange::exactly(42));
+        assert_eq!(
+            range_of_plan(&RelExpr::scan("r"), &env),
+            CardRange::exactly(42)
+        );
+    }
+
+    #[test]
+    fn transformers_follow_the_multiplicity_laws() {
+        let e = values(3).union(values(4));
+        assert_eq!(range(&e), CardRange::exactly(7), "⊎ adds");
+        let e = values(3).product(values(4));
+        assert_eq!(range(&e), CardRange::exactly(12), "× multiplies");
+        let e = values(5).difference(values(2));
+        assert_eq!(range(&e), CardRange::between(3, 5), "− saturates");
+        let e = values(5).intersect(values(2));
+        assert_eq!(range(&e), CardRange::between(0, 2), "∩ below either");
+        let e = values(5).distinct();
+        assert_eq!(
+            range(&e),
+            CardRange::between(1, 5),
+            "δ keeps ≥1 of nonempty"
+        );
+        let e = values(5).select(ScalarExpr::bool(false));
+        assert_eq!(range(&e), CardRange::exactly(0), "σ_false empties");
+        let e = values(5).select(ScalarExpr::bool(true));
+        assert_eq!(range(&e), CardRange::exactly(5), "σ_true is identity");
+        let e = values(5).project(&[1]);
+        assert_eq!(range(&e), CardRange::exactly(5), "π preserves multiplicity");
+        let e = values(5).group_by(&[], Aggregate::Cnt, 1);
+        assert_eq!(range(&e), CardRange::exactly(1), "whole-relation γ");
+        let e = values(5).group_by(&[1], Aggregate::Cnt, 1);
+        assert_eq!(range(&e), CardRange::between(1, 5), "keyed γ");
+    }
+
+    #[test]
+    fn galois_connection_to_emptiness() {
+        assert_eq!(CardRange::exactly(0).to_card(), Card::Empty);
+        assert_eq!(CardRange::exactly(3).to_card(), Card::NonEmpty);
+        assert_eq!(CardRange::between(1, 9).to_card(), Card::NonEmpty);
+        assert_eq!(CardRange::top().to_card(), Card::Unknown);
+        assert_eq!(CardRange::between(0, 5).to_card(), Card::Unknown);
+    }
+
+    #[test]
+    fn join_is_interval_hull() {
+        let a = CardRange::between(2, 4);
+        let b = CardRange::between(3, 9);
+        assert_eq!(a.join(b), CardRange::between(2, 9));
+        assert_eq!(a.join(CardRange::top()), CardRange::top());
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let r = CardRange::between(10, 100);
+        assert_eq!(r.clamp_estimate(5.0), 10.0);
+        assert_eq!(r.clamp_estimate(50.0), 50.0);
+        assert_eq!(r.clamp_estimate(5000.0), 100.0);
+        assert_eq!(CardRange::top().clamp_estimate(7.5), 7.5);
+    }
+
+    #[test]
+    fn bounds_contain_actual_execution() {
+        // 3 × 2 joined under a selective predicate: actual ∈ [0, 6]
+        let e = values(3).join(values(2), ScalarExpr::attr(1).eq(ScalarExpr::attr(2)));
+        let r = range(&e);
+        assert_eq!(r, CardRange::between(0, 6));
+        assert!(r.contains(2), "the equi-join result fits the bounds");
+    }
+}

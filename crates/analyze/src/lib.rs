@@ -29,6 +29,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod card;
 pub mod diag;
 pub mod differential;
 pub mod plan;
@@ -36,6 +37,7 @@ pub mod program;
 pub mod rewrite;
 pub mod views;
 
+pub use card::{range_env_of_database, range_of_plan, CardRange, RangeEnv};
 pub use diag::{first_error, has_errors, render, Code, Diagnostic, Severity, Span};
 pub use differential::verify_rewrite;
 pub use plan::{analyze_plan, Card, CardEnv, PlanAnalysis};

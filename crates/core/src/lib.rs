@@ -40,6 +40,7 @@ pub mod intern;
 pub mod multiset;
 pub mod relation;
 pub mod schema;
+pub mod sketch;
 pub mod tuple;
 pub mod types;
 pub mod value;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::multiset::Bag;
     pub use crate::relation::{relation_of, Relation};
     pub use crate::schema::{Attribute, RelationSchema, Schema, SchemaRef};
+    pub use crate::sketch::{stable_hash, KmvSketch};
     pub use crate::tuple;
     pub use crate::tuple::{AttrList, IntoValue, ResolvedAttrs, Tuple};
     pub use crate::types::DataType;

@@ -7,10 +7,12 @@
 //! construct an `Engine` and call [`Engine::run`] — there is one pipeline
 //! behind the physical, parallel, and indexed paths, not three.
 
+use std::sync::Arc;
+
 use mera_core::prelude::*;
 use mera_expr::rel::RelExpr;
 
-use crate::index::{rewrite_with_indexes, IndexSet};
+use crate::index::{rewrite_with_indexes, IndexJoinHints, IndexSet};
 use crate::provider::{RelationProvider, Schemas};
 
 /// Default target number of rows per [`CountedBatch`](crate::physical::CountedBatch).
@@ -86,12 +88,14 @@ pub enum EngineKind {
     Morsel,
 }
 
-/// The unified execution engine: kind + options + optional indexes.
+/// The unified execution engine: kind + options + optional indexes (plus
+/// the cost-model hints naming joins to execute index-nested-loop).
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     kind: EngineKind,
     opts: ExecOptions,
-    indexes: Option<IndexSet>,
+    indexes: Option<Arc<IndexSet>>,
+    hints: IndexJoinHints,
 }
 
 impl Engine {
@@ -101,6 +105,7 @@ impl Engine {
             kind,
             opts: ExecOptions::default(),
             indexes: None,
+            hints: IndexJoinHints::default(),
         }
     }
 
@@ -147,10 +152,23 @@ impl Engine {
         self
     }
 
-    /// Attaches indexes; point-selections over indexed base relations are
-    /// rewritten into lookups before planning.
-    pub fn with_indexes(mut self, indexes: IndexSet) -> Self {
+    /// Attaches indexes; point-selections over indexed base relations take
+    /// the index access path.
+    pub fn with_indexes(self, indexes: IndexSet) -> Self {
+        self.with_shared_indexes(Arc::new(indexes))
+    }
+
+    /// Attaches shared indexes without cloning their contents — the
+    /// transaction layer hands out its delta-maintained catalog this way.
+    pub fn with_shared_indexes(mut self, indexes: Arc<IndexSet>) -> Self {
         self.indexes = Some(indexes);
+        self
+    }
+
+    /// Attaches cost-model hints: joins (by `(relation, sorted key
+    /// attrs)`) the physical planner should run as index-nested-loop.
+    pub fn with_index_hints(mut self, hints: IndexJoinHints) -> Self {
+        self.hints = hints;
         self
     }
 
@@ -166,22 +184,48 @@ impl Engine {
 
     /// The attached indexes, if any.
     pub fn indexes(&self) -> Option<&IndexSet> {
-        self.indexes.as_ref()
+        self.indexes.as_deref()
+    }
+
+    /// The cost-model index-join hints.
+    pub fn index_hints(&self) -> &IndexJoinHints {
+        &self.hints
+    }
+
+    /// The planner-facing view of the attached indexes and hints.
+    pub fn index_access(&self) -> Option<crate::physical::planner::IndexAccess<'_>> {
+        self.indexes
+            .as_deref()
+            .map(|indexes| crate::physical::planner::IndexAccess {
+                indexes,
+                hints: &self.hints,
+            })
     }
 
     /// Evaluates `expr` against `provider`.
     ///
-    /// The expression is schema-checked once up front; if indexes are
-    /// attached, eligible point-selections are rewritten into lookups;
-    /// then the configured evaluator runs.
+    /// The expression is schema-checked once up front. The physical engine
+    /// takes attached indexes as native access paths (lookup operators and
+    /// hinted index-nested-loop joins); the other evaluators fall back to
+    /// the point-selection rewrite pre-pass, which preserves semantics on
+    /// any engine.
     pub fn run(
         &self,
         expr: &RelExpr,
         provider: &(impl RelationProvider + ?Sized),
     ) -> CoreResult<Relation> {
         expr.schema(&Schemas(provider))?;
+        if self.kind == EngineKind::Physical {
+            let plan = crate::physical::planner::plan_indexed_with(
+                expr,
+                provider,
+                self.opts,
+                self.index_access(),
+            )?;
+            return crate::physical::collect(plan);
+        }
         let rewritten;
-        let expr = match &self.indexes {
+        let expr = match self.indexes.as_deref() {
             Some(indexes) => {
                 rewritten = rewrite_with_indexes(expr, indexes)?;
                 &rewritten
@@ -190,10 +234,7 @@ impl Engine {
         };
         match self.kind {
             EngineKind::Reference => crate::reference::eval_unchecked(expr, provider),
-            EngineKind::Physical => {
-                let plan = crate::physical::planner::plan_with(expr, provider, self.opts)?;
-                crate::physical::collect(plan)
-            }
+            EngineKind::Physical => unreachable!("handled above"),
             EngineKind::Parallel => crate::parallel::eval_parallel(expr, provider, &self.opts),
             EngineKind::Morsel => crate::morsel::eval_morsel(expr, provider, &self.opts),
         }
@@ -253,6 +294,46 @@ mod tests {
         let plain = Engine::physical().run(&e, &db).unwrap();
         let indexed = Engine::indexed(indexes).run(&e, &db).unwrap();
         assert_eq!(indexed, plain);
+    }
+
+    #[test]
+    fn hinted_index_join_agrees_with_reference() {
+        let db = db();
+        let mut indexes = IndexSet::new();
+        indexes.create(&db, "r", &[1]).unwrap();
+        let mut hints = IndexJoinHints::default();
+        hints.insert(("r".to_owned(), vec![1]));
+
+        let queries = vec![
+            // plain equi-join onto the indexed relation
+            RelExpr::scan("r").join(
+                RelExpr::scan("r"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            ),
+            // equi-join with a residual conjunct
+            RelExpr::scan("r").join(
+                RelExpr::scan("r"),
+                ScalarExpr::attr(1)
+                    .eq(ScalarExpr::attr(3))
+                    .and(ScalarExpr::attr(2).eq(ScalarExpr::attr(4))),
+            ),
+            // unhinted key set (attr 2): stays a hash join
+            RelExpr::scan("r").join(
+                RelExpr::scan("r"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            ),
+        ];
+        for q in queries {
+            let reference = Engine::reference().run(&q, &db).unwrap();
+            let engine = Engine::physical()
+                .with_indexes(indexes.clone())
+                .with_index_hints(hints.clone());
+            assert_eq!(
+                engine.run(&q, &db).unwrap(),
+                reference,
+                "index join path disagreed for {q}"
+            );
+        }
     }
 
     #[test]

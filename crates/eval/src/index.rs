@@ -76,12 +76,58 @@ impl HashIndex {
     /// as a relation over the indexed schema.
     pub fn lookup(&self, key: &Tuple) -> CoreResult<Relation> {
         let mut out = Relation::empty(Arc::clone(&self.schema));
-        if let Some(matches) = self.map.get(key) {
-            for (t, m) in matches {
-                out.insert(t.clone(), *m)?;
-            }
+        for (t, m) in self.matches(key) {
+            out.insert(t.clone(), *m)?;
         }
         Ok(out)
+    }
+
+    /// Point lookup without materialisation: the counted tuples carrying
+    /// `key`, as a borrowed slice (empty when the key is absent).
+    pub fn matches(&self, key: &Tuple) -> &[(Tuple, u64)] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The schema of the indexed relation.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Folds one commit's signed delta into the index — O(|delta|), the
+    /// same incremental-maintenance contract as materialized views: after
+    /// the call the index equals a fresh [`HashIndex::build`] over the
+    /// post-commit relation.
+    pub fn apply_delta(&mut self, delta: &SignedBag<Tuple>) -> CoreResult<()> {
+        let resolved = ResolvedAttrs::from_attr_list(&self.keys, self.schema.arity())?;
+        for (t, m) in delta.iter() {
+            let key = resolved.project(t);
+            if m > 0 {
+                let bucket = self.map.entry(key).or_default();
+                match bucket.iter_mut().find(|(bt, _)| bt == t) {
+                    Some((_, bm)) => *bm += m as u64,
+                    None => bucket.push((t.clone(), m as u64)),
+                }
+                self.entries += m as u64;
+            } else {
+                let drop = m.unsigned_abs();
+                if let Some(bucket) = self.map.get_mut(&key) {
+                    if let Some(pos) = bucket.iter().position(|(bt, _)| bt == t) {
+                        let cur = bucket[pos].1;
+                        let removed = drop.min(cur);
+                        if cur > removed {
+                            bucket[pos].1 = cur - removed;
+                        } else {
+                            bucket.swap_remove(pos);
+                        }
+                        self.entries -= removed;
+                        if bucket.is_empty() {
+                            self.map.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -126,16 +172,55 @@ impl IndexSet {
         self.indexes.get(&(relation.to_owned(), sorted))
     }
 
-    /// Drops all indexes of a relation (call after the relation changes —
-    /// indexes here are snapshot-bound, like the rest of the evaluator).
+    /// Drops all indexes of a relation.
     pub fn invalidate(&mut self, relation: &str) {
         self.indexes.retain(|(r, _), _| r != relation);
     }
+
+    /// Folds one commit's signed delta for `relation` into every index on
+    /// it — the catalog-object maintenance path: indexes stay consistent
+    /// across commits instead of being rebuilt or invalidated.
+    pub fn apply_commit(&mut self, relation: &str, delta: &SignedBag<Tuple>) -> CoreResult<()> {
+        for ((r, _), index) in self.indexes.iter_mut() {
+            if r == relation {
+                index.apply_delta(delta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds every registered index from `db`: definitions are kept,
+    /// entries are reconstructed. The fallback/recovery path — after an
+    /// abort that had already folded deltas in, or after a restart where
+    /// only the definitions were durable.
+    pub fn rebuild(&mut self, db: &Database) -> CoreResult<()> {
+        for ((relation, keys), index) in self.indexes.iter_mut() {
+            *index = HashIndex::build(db.relation(relation)?, keys)?;
+        }
+        Ok(())
+    }
+
+    /// Every registered index as `(relation, sorted key attrs)`, sorted —
+    /// the durable catalog definition (what a CREATE INDEX log record
+    /// carries; the entries themselves are rebuilt or delta-maintained).
+    pub fn definitions(&self) -> Vec<(String, Vec<usize>)> {
+        let mut defs: Vec<(String, Vec<usize>)> = self.indexes.keys().cloned().collect();
+        defs.sort();
+        defs
+    }
 }
+
+/// Cost-based planner hints: the `(relation, sorted key attrs)` pairs for
+/// which an index-nested-loop join was chosen over a hash join. The
+/// physical planner only takes the index path for hinted joins — the
+/// *choice* lives with the cost model, the *mechanism* lives here.
+pub type IndexJoinHints = rustc_hash::FxHashSet<(String, Vec<usize>)>;
 
 /// Splits a predicate's conjuncts into point-equalities (`%i = literal`)
 /// and the rest.
-fn split_point_conjuncts(predicate: &ScalarExpr) -> (Vec<(usize, Value)>, Vec<ScalarExpr>) {
+pub(crate) fn split_point_conjuncts(
+    predicate: &ScalarExpr,
+) -> (Vec<(usize, Value)>, Vec<ScalarExpr>) {
     let mut points = Vec::new();
     let mut rest = Vec::new();
     for conj in predicate.conjuncts() {
@@ -341,6 +426,46 @@ mod tests {
         indexes.invalidate("beer");
         assert!(indexes.is_empty());
         assert!(indexes.find("beer", &[1]).is_none());
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_build() {
+        let db = db();
+        let rel = db.relation("beer").expect("present");
+        let mut idx = HashIndex::build(rel, &[2]).expect("builds");
+
+        // +2 new Heineken rows, -1 of an existing Bock, full removal of Amstel
+        let mut delta = SignedBag::new();
+        delta
+            .insert(tuple!["Lager", "Heineken", 5.0_f64], 2)
+            .expect("inserts");
+        delta
+            .insert(tuple!["Bock", "Grolsche", 6.5_f64], -1)
+            .expect("inserts");
+        delta
+            .insert(tuple!["Amstel", "Heineken", 5.1_f64], -1)
+            .expect("inserts");
+
+        let mut post = rel.clone();
+        for (t, m) in delta.iter() {
+            if m > 0 {
+                post.insert(t.clone(), m as u64).expect("inserts");
+            } else {
+                post.remove(t, m.unsigned_abs());
+            }
+        }
+        idx.apply_delta(&delta).expect("applies");
+
+        let fresh = HashIndex::build(&post, &[2]).expect("builds");
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.distinct_keys(), fresh.distinct_keys());
+        for key in [tuple!["Heineken"], tuple!["Grolsche"], tuple!["Gone"]] {
+            assert_eq!(
+                idx.lookup(&key).expect("lookup"),
+                fresh.lookup(&key).expect("lookup"),
+                "delta-maintained index diverged on key {key:?}"
+            );
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod provider;
 pub mod reference;
 
 pub use engine::{Engine, EngineKind, ExecOptions, DEFAULT_BATCH_SIZE};
-pub use index::{execute_indexed, execute_indexed_with, HashIndex, IndexSet};
+pub use index::{execute_indexed, execute_indexed_with, HashIndex, IndexJoinHints, IndexSet};
 pub use morsel::{execute_morsel, execute_morsel_with};
 pub use parallel::{default_partitions, execute_parallel, execute_parallel_with};
 pub use physical::{collect, execute, execute_with};

@@ -28,6 +28,7 @@
 
 pub mod agg;
 pub mod column;
+pub mod index_ops;
 pub mod join;
 pub mod ops;
 pub mod planner;

@@ -25,13 +25,31 @@ use mera_expr::rel::RelExpr;
 use mera_expr::ScalarExpr;
 
 use crate::engine::ExecOptions;
+use crate::index::{split_point_conjuncts, IndexJoinHints, IndexSet};
 use crate::provider::{RelationProvider, Schemas};
 
 use super::agg::HashAggregate;
+use super::index_ops::{IndexLookupOp, IndexNestedLoopJoin};
 use super::join::{extract_equi_condition, HashJoin, NestedLoopJoin};
 use super::ops::{DifferenceOp, DistinctOp, FilterOp, IntersectOp, ProjectOp, ScanOp, UnionOp};
 use super::stats::{ExecStats, Instrumented};
 use super::BoxedOp;
+
+/// Index access paths available to the planner: the catalog's indexes plus
+/// the cost-model hints naming the joins that should run index-nested-loop.
+///
+/// Point-selections over an indexed base relation always take the index
+/// (a lookup is never worse than scan-and-filter); joins only do when the
+/// cost model hinted them, because probing per left row loses to a hash
+/// build once the probe side grows — a statistics question the planner
+/// itself does not answer.
+#[derive(Clone, Copy)]
+pub struct IndexAccess<'a> {
+    /// The registered indexes (the catalog objects).
+    pub indexes: &'a IndexSet,
+    /// `(relation, sorted key attrs)` joins chosen for index-nested-loop.
+    pub hints: &'a IndexJoinHints,
+}
 
 /// Plans an expression into an operator tree with default options,
 /// validating schemas up front.
@@ -49,8 +67,20 @@ pub fn plan_with<'a>(
     provider: &'a (impl RelationProvider + ?Sized),
     opts: ExecOptions,
 ) -> CoreResult<BoxedOp<'a>> {
+    plan_indexed_with(expr, provider, opts, None)
+}
+
+/// Plans with index access paths: point-selections over indexed base
+/// relations become [`IndexLookupOp`]s and hinted joins become
+/// [`IndexNestedLoopJoin`]s.
+pub fn plan_indexed_with<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    opts: ExecOptions,
+    access: Option<IndexAccess<'a>>,
+) -> CoreResult<BoxedOp<'a>> {
     expr.schema(&Schemas(provider))?;
-    plan_node(expr, provider, opts.effective_batch_size(), None)
+    plan_node(expr, provider, opts.effective_batch_size(), access, None)
 }
 
 /// Plans with per-operator instrumentation; every operator registers a
@@ -70,45 +100,74 @@ pub fn plan_instrumented_with<'a>(
     opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> CoreResult<BoxedOp<'a>> {
+    plan_instrumented_indexed_with(expr, provider, opts, None, stats)
+}
+
+/// Plans with both instrumentation and index access paths — the EXPLAIN
+/// entry point: counters are labelled with the chosen access path
+/// (`index_lookup(r)`, `index_nl_join(r)`) where an index was taken.
+pub fn plan_instrumented_indexed_with<'a>(
+    expr: &'a RelExpr,
+    provider: &'a (impl RelationProvider + ?Sized),
+    opts: ExecOptions,
+    access: Option<IndexAccess<'a>>,
+    stats: &mut ExecStats,
+) -> CoreResult<BoxedOp<'a>> {
     expr.schema(&Schemas(provider))?;
-    plan_node(expr, provider, opts.effective_batch_size(), Some(stats))
+    plan_node(
+        expr,
+        provider,
+        opts.effective_batch_size(),
+        access,
+        Some(stats),
+    )
 }
 
 fn plan_node<'a>(
     expr: &'a RelExpr,
     provider: &'a (impl RelationProvider + ?Sized),
     batch: usize,
+    access: Option<IndexAccess<'a>>,
     mut stats: Option<&mut ExecStats>,
 ) -> CoreResult<BoxedOp<'a>> {
+    let mut label: Option<String> = None;
     let op: BoxedOp<'a> = match expr {
         RelExpr::Scan(name) => Box::new(ScanOp::new(provider.relation(name)?, batch)),
         RelExpr::Values(rel) => Box::new(ScanOp::new(rel, batch)),
         RelExpr::Union(l, r) => {
-            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            let left = plan_node(l, provider, batch, access, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, access, stats.as_deref_mut())?;
             Box::new(UnionOp::new(left, right))
         }
         RelExpr::Difference(l, r) => {
-            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            let left = plan_node(l, provider, batch, access, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, access, stats.as_deref_mut())?;
             Box::new(DifferenceOp::new(left, right, batch))
         }
         RelExpr::Intersect(l, r) => {
-            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            let left = plan_node(l, provider, batch, access, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, access, stats.as_deref_mut())?;
             Box::new(IntersectOp::new(left, right, batch))
         }
         RelExpr::Product(l, r) => {
-            let left = plan_node(l, provider, batch, stats.as_deref_mut())?;
-            let right = plan_node(r, provider, batch, stats.as_deref_mut())?;
+            let left = plan_node(l, provider, batch, access, stats.as_deref_mut())?;
+            let right = plan_node(r, provider, batch, access, stats.as_deref_mut())?;
             Box::new(NestedLoopJoin::build(left, right, None, batch)?)
         }
         RelExpr::Select { input, predicate } => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
-            Box::new(FilterOp::new(child, predicate.clone()))
+            match try_index_select(input, predicate, access, batch)? {
+                Some((op, l)) => {
+                    label = Some(l);
+                    op
+                }
+                None => {
+                    let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
+                    Box::new(FilterOp::new(child, predicate.clone()))
+                }
+            }
         }
         RelExpr::Project { input, attrs } => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
             let out_schema = Arc::new(child.schema().project(attrs)?);
             let exprs = attrs
                 .indexes()
@@ -118,7 +177,7 @@ fn plan_node<'a>(
             Box::new(ProjectOp::new(child, exprs, out_schema))
         }
         RelExpr::ExtProject { input, exprs } => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
             let out_schema = ext_project_schema(child.schema(), exprs)?;
             Box::new(ProjectOp::new(child, exprs.clone(), out_schema))
         }
@@ -127,17 +186,27 @@ fn plan_node<'a>(
             right,
             predicate,
         } => {
-            let l = plan_node(left, provider, batch, stats.as_deref_mut())?;
-            let r = plan_node(right, provider, batch, stats.as_deref_mut())?;
-            let la = l.schema().arity();
-            let ra = r.schema().arity();
-            match extract_equi_condition(predicate, la, ra) {
-                Some(cond) => Box::new(HashJoin::build(l, r, cond, batch)?),
-                None => Box::new(NestedLoopJoin::build(l, r, Some(predicate.clone()), batch)?),
+            let l = plan_node(left, provider, batch, access, stats.as_deref_mut())?;
+            match try_index_join(l, right, predicate, access, provider, batch)? {
+                IndexJoinOutcome::Indexed(op, l) => {
+                    label = Some(l);
+                    op
+                }
+                IndexJoinOutcome::Fallback(l) => {
+                    let r = plan_node(right, provider, batch, access, stats.as_deref_mut())?;
+                    let la = l.schema().arity();
+                    let ra = r.schema().arity();
+                    match extract_equi_condition(predicate, la, ra) {
+                        Some(cond) => Box::new(HashJoin::build(l, r, cond, batch)?),
+                        None => {
+                            Box::new(NestedLoopJoin::build(l, r, Some(predicate.clone()), batch)?)
+                        }
+                    }
+                }
             }
         }
         RelExpr::Distinct(input) => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
             Box::new(DistinctOp::new(child))
         }
         RelExpr::GroupBy {
@@ -146,21 +215,146 @@ fn plan_node<'a>(
             agg,
             attr,
         } => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
             Box::new(HashAggregate::build(child, keys, *agg, *attr, batch)?)
         }
         RelExpr::Closure(input) => {
-            let child = plan_node(input, provider, batch, stats.as_deref_mut())?;
+            let child = plan_node(input, provider, batch, access, stats.as_deref_mut())?;
             Box::new(super::ops::ClosureOp::new(child, batch))
         }
     };
     Ok(match stats {
         Some(stats) => {
-            let counter = stats.register(describe(expr));
+            let counter = stats.register(label.unwrap_or_else(|| describe(expr)));
             Box::new(Instrumented::new(op, counter))
         }
         None => op,
     })
+}
+
+/// Plans `σ_{predicate}(input)` as an index lookup when `input` is a scan
+/// of an indexed base relation and the point-equality conjuncts exactly
+/// cover an index's key set. Returns the operator and its access-path
+/// label, or `None` to fall back to scan-and-filter.
+fn try_index_select<'a>(
+    input: &'a RelExpr,
+    predicate: &ScalarExpr,
+    access: Option<IndexAccess<'a>>,
+    batch: usize,
+) -> CoreResult<Option<(BoxedOp<'a>, String)>> {
+    let (Some(access), RelExpr::Scan(rel)) = (access, input) else {
+        return Ok(None);
+    };
+    let (points, rest) = split_point_conjuncts(predicate);
+    if points.is_empty() {
+        return Ok(None);
+    }
+    let attrs: Vec<usize> = points.iter().map(|(i, _)| *i).collect();
+    let Some(index) = access.indexes.find(rel, &attrs) else {
+        return Ok(None);
+    };
+    // assemble the key tuple in the index's key-attribute order
+    let mut key_vals = Vec::with_capacity(attrs.len());
+    for &k in index.key_attrs() {
+        let v = points
+            .iter()
+            .find(|(i, _)| *i == k)
+            .map(|(_, v)| v.clone())
+            .expect("index keys match point attributes");
+        key_vals.push(v);
+    }
+    let lookup: BoxedOp<'a> = Box::new(IndexLookupOp::new(index, Tuple::new(key_vals), batch));
+    let op = if rest.is_empty() {
+        lookup
+    } else {
+        Box::new(FilterOp::new(lookup, ScalarExpr::conjoin(rest)))
+    };
+    Ok(Some((op, format!("index_lookup({rel})"))))
+}
+
+/// What [`try_index_join`] decided: an index-nested-loop operator (with
+/// its label), or the untouched left plan for the hash/nested-loop
+/// fallback.
+enum IndexJoinOutcome<'a> {
+    Indexed(BoxedOp<'a>, String),
+    Fallback(BoxedOp<'a>),
+}
+
+/// Plans `l ⋈_{predicate} right` as an index-nested-loop join when `right`
+/// scans an indexed base relation and the cost model hinted an index whose
+/// key set is covered by the join's equi-keys. The hint may bind only a
+/// subset of the equi-keys (a partial-key probe): leftover equalities join
+/// the predicate's non-equality conjuncts as a residual filter over the
+/// concatenated schema.
+fn try_index_join<'a>(
+    l: BoxedOp<'a>,
+    right: &'a RelExpr,
+    predicate: &ScalarExpr,
+    access: Option<IndexAccess<'a>>,
+    provider: &'a (impl RelationProvider + ?Sized),
+    batch: usize,
+) -> CoreResult<IndexJoinOutcome<'a>> {
+    let (Some(access), RelExpr::Scan(rel)) = (access, right) else {
+        return Ok(IndexJoinOutcome::Fallback(l));
+    };
+    let la = l.schema().arity();
+    let ra = provider.relation(rel)?.schema().arity();
+    let Some(cond) = extract_equi_condition(predicate, la, ra) else {
+        return Ok(IndexJoinOutcome::Fallback(l));
+    };
+    let mut keys: Vec<usize> = cond.right_keys.clone();
+    keys.sort_unstable();
+    keys.dedup();
+    // best hinted index for this join: every hinted key must be an
+    // equi-key; prefer the longest (most selective) hinted key set
+    let mut hint_keys: Option<&Vec<usize>> = None;
+    for (r, k) in access.hints.iter() {
+        if r != rel || !k.iter().all(|a| keys.contains(a)) {
+            continue;
+        }
+        let better = match hint_keys {
+            None => true,
+            Some(b) => k.len() > b.len() || (k.len() == b.len() && k < b),
+        };
+        if better {
+            hint_keys = Some(k);
+        }
+    }
+    let Some(hint_keys) = hint_keys else {
+        return Ok(IndexJoinOutcome::Fallback(l));
+    };
+    let Some(index) = access.indexes.find(rel, hint_keys) else {
+        return Ok(IndexJoinOutcome::Fallback(l));
+    };
+    // split the equi pairs into probe keys — one per index key attribute —
+    // and leftover equalities; the condition carries 1-based attribute
+    // numbers, the operator takes 0-based offsets into each side's schema
+    let mut probe_left = Vec::with_capacity(hint_keys.len());
+    let mut probe_right = Vec::with_capacity(hint_keys.len());
+    let mut used = vec![false; cond.right_keys.len()];
+    for &ik in index.key_attrs() {
+        let Some(pos) = cond.right_keys.iter().position(|&rk| rk == ik) else {
+            return Ok(IndexJoinOutcome::Fallback(l));
+        };
+        used[pos] = true;
+        probe_left.push(cond.left_keys[pos] - 1);
+        probe_right.push(cond.right_keys[pos] - 1);
+    }
+    // unbound equi pairs are re-evaluated as residual equalities over the
+    // concatenated schema (right attributes shift by the left arity)
+    let mut residuals: Vec<ScalarExpr> = Vec::new();
+    for (i, &rk) in cond.right_keys.iter().enumerate() {
+        if !used[i] {
+            residuals.push(ScalarExpr::attr(cond.left_keys[i]).eq(ScalarExpr::attr(la + rk)));
+        }
+    }
+    residuals.extend(cond.residual);
+    let residual = (!residuals.is_empty()).then(|| ScalarExpr::conjoin(residuals));
+    let op = IndexNestedLoopJoin::build(l, index, &probe_left, &probe_right, residual, batch)?;
+    Ok(IndexJoinOutcome::Indexed(
+        Box::new(op),
+        format!("index_nl_join({rel})"),
+    ))
 }
 
 /// Output schema of an extended projection over a known input schema
@@ -317,6 +511,47 @@ mod tests {
         assert_eq!(rows[1], ("select".to_owned(), 5));
         assert_eq!(rows[2], ("project".to_owned(), 5));
         assert_eq!(stats.total_intermediate(), 16);
+    }
+
+    #[test]
+    fn partial_key_hint_takes_the_index_path() {
+        let db = db();
+        let mut indexes = crate::index::IndexSet::new();
+        indexes.create(&db, "s", &[1]).unwrap();
+        let mut hints = crate::index::IndexJoinHints::default();
+        hints.insert(("s".to_owned(), vec![1]));
+        // two equi conjuncts, but only the first is indexed: the probe
+        // binds %1, the second equality is re-checked as a residual
+        let e = RelExpr::scan("s").join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(1)
+                .eq(ScalarExpr::attr(3))
+                .and(ScalarExpr::attr(2).eq(ScalarExpr::attr(4))),
+        );
+        let expected = reference::eval(&e, &db).unwrap();
+        let mut stats = ExecStats::new();
+        let plan = plan_instrumented_indexed_with(
+            &e,
+            &db,
+            ExecOptions::default(),
+            Some(IndexAccess {
+                indexes: &indexes,
+                hints: &hints,
+            }),
+            &mut stats,
+        )
+        .unwrap();
+        let out = collect(plan).unwrap();
+        assert_eq!(out, expected);
+        assert_eq!(out.len(), 5, "self-join multiplicities multiply");
+        assert!(
+            stats
+                .rows_out()
+                .iter()
+                .any(|(label, _)| label == "index_nl_join(s)"),
+            "partial-key hint should take the index path, got {:?}",
+            stats.rows_out()
+        );
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! database state, accepts XRA source, lowers each transaction and runs it
 //! with atomic commit/abort semantics, returning rendered query outputs.
 
+use std::sync::Arc;
+
 use mera_core::prelude::*;
 use mera_expr::RelExpr;
 use mera_txn::exec::ExecConfig;
-use mera_txn::transaction::{run_transaction_with_views, Outcome};
+use mera_txn::transaction::{run_transaction_cataloged, CommitCatalog, Outcome};
 use mera_txn::views::{CreateViewError, ViewSet};
-use mera_txn::{ConstraintSet, Program};
+use mera_txn::{CatalogStats, ConstraintSet, IndexSet, Program};
 
 use crate::error::{LangError, LangResult};
 use crate::lower::lower_script;
@@ -29,24 +31,25 @@ pub struct Session {
     db: Database,
     config: ExecConfig,
     views: ViewSet,
+    stats: Arc<CatalogStats>,
+    indexes: Arc<IndexSet>,
 }
 
 impl Session {
     /// A fresh session with an empty database schema.
     pub fn new() -> Self {
-        Session {
-            db: Database::new(DatabaseSchema::new()),
-            config: ExecConfig::default(),
-            views: ViewSet::new(),
-        }
+        Session::with_database(Database::new(DatabaseSchema::new()))
     }
 
     /// A session over an existing database state.
     pub fn with_database(db: Database) -> Self {
+        let stats = CatalogStats::from_database(&db).expect("catalog relations resolve");
         Session {
             db,
             config: ExecConfig::default(),
             views: ViewSet::new(),
+            stats: Arc::new(stats),
+            indexes: Arc::new(IndexSet::new()),
         }
     }
 
@@ -181,16 +184,25 @@ impl Session {
     }
 
     /// Runs one already-lowered program as a transaction. Commits refresh
-    /// every materialized view incrementally.
+    /// every materialized view, the table statistics and every secondary
+    /// index incrementally.
     pub fn run_program(&mut self, program: &Program) -> RunResult {
-        let (next, outcome) = run_transaction_with_views(
+        let (next, outcome) = run_transaction_cataloged(
             &self.db,
-            Some(&mut self.views),
+            CommitCatalog {
+                views: Some(&mut self.views),
+                stats: Some(&mut self.stats),
+                indexes: Some(&mut self.indexes),
+            },
             program,
             self.config,
             None,
             &ConstraintSet::new(),
         );
+        if !outcome.is_committed() {
+            // contents unchanged by the abort, only logical time moved
+            Arc::make_mut(&mut self.stats).set_as_of(next.time());
+        }
         self.db = next;
         match outcome {
             Outcome::Committed(outputs) => RunResult::Committed(outputs.queries),
@@ -198,16 +210,61 @@ impl Session {
         }
     }
 
+    /// Creates a secondary index on the 1-based `keys` of `relation`; it
+    /// is kept incrementally up to date by every subsequent commit and
+    /// used as an access path by queries.
+    pub fn create_index(&mut self, relation: &str, keys: &[usize]) -> LangResult<()> {
+        Arc::make_mut(&mut self.indexes)
+            .create(&self.db, relation, keys)
+            .map_err(LangError::Semantic)
+    }
+
+    /// The session's maintained table statistics.
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    /// The session's maintained secondary indexes.
+    pub fn indexes(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// The working state a read-only evaluation (or EXPLAIN) runs
+    /// against: current database, view snapshots, statistics and indexes.
+    fn read_state(&self) -> mera_txn::WorkingState {
+        mera_txn::WorkingState::with_catalog(
+            self.db.clone(),
+            &self.views,
+            Some(Arc::clone(&self.stats)),
+            Some(Arc::clone(&self.indexes)),
+        )
+    }
+
     /// Evaluates a single relational expression (as `?E`) without touching
     /// the database — the REPL's expression mode. Materialized views are
-    /// readable by name, served from their cached contents.
+    /// readable by name, served from their cached contents; the plan is
+    /// cost-based against the session's statistics, with index access
+    /// paths.
     pub fn query(&self, src: &str) -> LangResult<Relation> {
+        let expr = self.lower_rel(src)?;
+        mera_txn::exec::eval_expr(&self.read_state(), &expr, self.config)
+            .map_err(LangError::Semantic)
+    }
+
+    /// Renders the plan a relational expression gets — join order, access
+    /// paths, estimated-vs-actual cardinalities — without touching the
+    /// database (the REPL's `explain` mode). See [`mera_txn::explain_expr`]
+    /// for the format.
+    pub fn explain(&self, src: &str) -> LangResult<String> {
+        let expr = self.lower_rel(src)?;
+        mera_txn::explain_expr(&self.read_state(), &expr, self.config).map_err(LangError::Semantic)
+    }
+
+    fn lower_rel(&self, src: &str) -> LangResult<RelExpr> {
         let rel = crate::parser::parse_rel(src)?;
         let catalog = self.catalog();
         let lowerer = crate::lower::Lowerer::new(&catalog);
-        let expr = lowerer.lower_rel(&rel)?;
-        let state = mera_txn::WorkingState::with_views(self.db.clone(), &self.views);
-        mera_txn::exec::eval_expr(&state, &expr, self.config).map_err(LangError::Semantic)
+        lowerer.lower_rel(&rel)
     }
 }
 

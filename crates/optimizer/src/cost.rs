@@ -1,9 +1,16 @@
 //! Cardinality estimation and a simple cost model.
 //!
-//! Standard System-R-style selectivities over the bag algebra. Estimates
-//! are heuristics — their only job is to rank alternative plans (join
-//! orders, rule ablations), not to be accurate in absolute terms.
+//! Standard System-R-style selectivities over the bag algebra, refined by
+//! the incrementally-maintained [`CatalogStats`]: equality selections use
+//! per-column distinct counts (KMV sketch estimates), range comparisons
+//! interpolate against per-column min/max bounds, and heuristic point
+//! estimates can be clamped into the *sound* cardinality interval computed
+//! by `mera-analyze`'s range lattice ([`estimate_rows_bounded`]).
+//! Estimates are heuristics — their only job is to rank alternative plans
+//! (join orders, access paths, rule ablations), not to be accurate in
+//! absolute terms.
 
+use mera_analyze::{range_of_plan, CardRange, RangeEnv};
 use mera_core::prelude::*;
 use mera_expr::{CmpOp, RelExpr, ScalarExpr};
 
@@ -13,8 +20,11 @@ use crate::stats::CatalogStats;
 const DEFAULT_ROWS: f64 = 1000.0;
 /// Default selectivity of a predicate we cannot analyse.
 const DEFAULT_SELECTIVITY: f64 = 0.1;
-/// Selectivity of a range comparison.
+/// Selectivity of a range comparison when no column bounds are known.
 const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Relative cost of one index probe versus one streamed row — probes are
+/// random-access into the hash index, streamed rows are sequential.
+pub const INDEX_PROBE_FACTOR: f64 = 2.0;
 
 /// Estimated output cardinality of an expression.
 pub fn estimate_rows(expr: &RelExpr, stats: &CatalogStats) -> f64 {
@@ -68,6 +78,56 @@ pub fn estimate_rows(expr: &RelExpr, stats: &CatalogStats) -> f64 {
             }
         }
     }
+}
+
+/// Sound cardinality interval for a plan, derived from the stats catalog:
+/// relation row counts are exact as of the catalog's logical time, so the
+/// lattice's abstract transformers yield an interval the true output size
+/// must fall in.
+pub fn range_env_from_stats(stats: &CatalogStats) -> RangeEnv {
+    let mut env = RangeEnv::new();
+    for (name, t) in stats.tables() {
+        env.insert(name.clone(), CardRange::exactly(t.rows));
+    }
+    env
+}
+
+/// [`estimate_rows`] clamped into the sound interval of `mera-analyze`'s
+/// cardinality-range lattice — the heuristic point estimate can never
+/// leave the provably-possible range (e.g. a selection under-estimate can
+/// never go below a lower bound proved by a literal `values` operand).
+pub fn estimate_rows_bounded(expr: &RelExpr, stats: &CatalogStats, env: &RangeEnv) -> f64 {
+    range_of_plan(expr, env).clamp_estimate(estimate_rows(expr, stats))
+}
+
+/// Estimated number of *distinct* output tuples — what a δ over the
+/// expression would produce. Used to gate δ placement: pushing δ below a
+/// join pays off exactly when inputs carry heavy duplication.
+pub fn estimate_distinct_rows(expr: &RelExpr, stats: &CatalogStats) -> f64 {
+    match expr {
+        RelExpr::Scan(name) => stats
+            .get(name)
+            .map(|t| t.distinct_rows as f64)
+            .unwrap_or(DEFAULT_ROWS / 2.0),
+        RelExpr::Values(rel) => rel.distinct_len() as f64,
+        RelExpr::Distinct(input) | RelExpr::GroupBy { input, .. } => {
+            // already duplicate-free outputs
+            estimate_rows(expr, stats).min(estimate_distinct_rows(input, stats).max(1.0))
+        }
+        RelExpr::Select { input, predicate } => {
+            estimate_distinct_rows(input, stats) * selectivity(predicate, input, stats)
+        }
+        RelExpr::Product(l, r)
+        | RelExpr::Join {
+            left: l, right: r, ..
+        } => {
+            // distinct pairs multiply, capped by the (duplicated) output
+            let d = estimate_distinct_rows(l, stats) * estimate_distinct_rows(r, stats);
+            d.min(estimate_rows(expr, stats)).max(1.0)
+        }
+        _ => estimate_rows(expr, stats),
+    }
+    .max(1.0)
 }
 
 /// Estimated distinct count of a column of an expression's output.
@@ -159,7 +219,16 @@ fn conjunct_selectivity(conj: &ScalarExpr, input: &RelExpr, stats: &CatalogStats
             _ => DEFAULT_SELECTIVITY,
         },
         ScalarExpr::Cmp(CmpOp::Ne, _, _) => 1.0 - DEFAULT_SELECTIVITY,
-        ScalarExpr::Cmp(_, _, _) => RANGE_SELECTIVITY,
+        ScalarExpr::Cmp(op, l, r) => match (l.as_ref(), r.as_ref()) {
+            (ScalarExpr::Attr(i), ScalarExpr::Literal(v)) => {
+                range_selectivity(input, *i, *op, v, stats)
+            }
+            // mirror `lit < %i` to `%i > lit` etc.
+            (ScalarExpr::Literal(v), ScalarExpr::Attr(i)) => {
+                range_selectivity(input, *i, mirror(*op), v, stats)
+            }
+            _ => RANGE_SELECTIVITY,
+        },
         ScalarExpr::Not(inner) => 1.0 - conjunct_selectivity(inner, input, stats),
         ScalarExpr::Or(l, r) => {
             let a = conjunct_selectivity(l, input, stats);
@@ -168,6 +237,77 @@ fn conjunct_selectivity(conj: &ScalarExpr, input: &RelExpr, stats: &CatalogStats
         }
         _ => DEFAULT_SELECTIVITY,
     }
+}
+
+/// Swaps the comparison direction (for `lit op %i` forms).
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Numeric min/max bounds of a column of an expression's output, when the
+/// underlying scan's maintained statistics know them.
+fn column_bounds_f64(expr: &RelExpr, attr: usize, stats: &CatalogStats) -> Option<(f64, f64)> {
+    let as_f64 = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Real(r) => Some(r.get()),
+        _ => None,
+    };
+    match expr {
+        RelExpr::Scan(name) => {
+            let (min, max) = stats.get(name)?.column_bounds(attr)?;
+            Some((as_f64(min)?, as_f64(max)?))
+        }
+        RelExpr::Select { input, .. } | RelExpr::Distinct(input) => {
+            column_bounds_f64(input, attr, stats)
+        }
+        RelExpr::Project { input, attrs } => attrs
+            .indexes()
+            .get(attr.wrapping_sub(1))
+            .and_then(|&orig| column_bounds_f64(input, orig, stats)),
+        _ => None,
+    }
+}
+
+/// Selectivity of `%attr op lit` — linear interpolation against the
+/// column's maintained min/max when known, [`RANGE_SELECTIVITY`] otherwise.
+fn range_selectivity(
+    input: &RelExpr,
+    attr: usize,
+    op: CmpOp,
+    lit: &Value,
+    stats: &CatalogStats,
+) -> f64 {
+    let lit = match lit {
+        Value::Int(i) => *i as f64,
+        Value::Real(r) => r.get(),
+        _ => return RANGE_SELECTIVITY,
+    };
+    let Some((min, max)) = column_bounds_f64(input, attr, stats) else {
+        return RANGE_SELECTIVITY;
+    };
+    if max <= min {
+        // single-valued column: the comparison is all-or-nothing
+        return match op {
+            CmpOp::Lt => (lit > min) as u8 as f64,
+            CmpOp::Le => (lit >= min) as u8 as f64,
+            CmpOp::Gt => (lit < min) as u8 as f64,
+            CmpOp::Ge => (lit <= min) as u8 as f64,
+            _ => RANGE_SELECTIVITY,
+        };
+    }
+    let frac_below = ((lit - min) / (max - min)).clamp(0.0, 1.0);
+    match op {
+        CmpOp::Lt | CmpOp::Le => frac_below,
+        CmpOp::Gt | CmpOp::Ge => 1.0 - frac_below,
+        _ => RANGE_SELECTIVITY,
+    }
+    .clamp(0.0, 1.0)
 }
 
 /// Selectivity of a join predicate over `left ⊕ right`.
@@ -240,26 +380,12 @@ pub fn estimate_cost(expr: &RelExpr, stats: &CatalogStats) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::{ColumnStats, TableStats};
+    use crate::stats::TableStats;
 
     fn stats() -> CatalogStats {
         let mut cs = CatalogStats::new();
-        cs.insert(
-            "big",
-            TableStats {
-                rows: 10_000,
-                distinct_rows: 10_000,
-                columns: vec![ColumnStats { distinct: 100 }, ColumnStats { distinct: 50 }],
-            },
-        );
-        cs.insert(
-            "small",
-            TableStats {
-                rows: 10,
-                distinct_rows: 10,
-                columns: vec![ColumnStats { distinct: 10 }],
-            },
-        );
+        cs.insert("big", TableStats::synthetic(10_000, 10_000, &[100, 50]));
+        cs.insert("small", TableStats::synthetic(10, 10, &[10]));
         cs
     }
 

@@ -15,17 +15,18 @@
 //! [`Optimized::refusals`], so a miswritten rule degrades performance,
 //! never correctness.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use mera_analyze::Diagnostic;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};
 
 use crate::rules::{
-    ConstantFold, DistinctPruning, FuseSelections, ProjectBeforeGroupBy, PushProjectionIntoJoin,
-    PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelectionThroughBinary, Rule,
-    RuleContext, SelectProductToJoin,
+    ConstantFold, DistinctPruning, FuseSelections, Precondition, ProjectBeforeGroupBy,
+    PushDistinctIntoJoin, PushProjectionIntoJoin, PushProjectionThroughUnion,
+    PushSelectionIntoJoin, PushSelectionThroughBinary, Rule, RuleContext, SelectProductToJoin,
 };
+use crate::stats::CatalogStats;
 
 /// Hard cap on full rewrite passes; a correct rule set reaches its fixpoint
 /// long before this, and the cap turns a non-terminating rule combination
@@ -85,10 +86,12 @@ pub struct Optimized {
     pub refusals: Vec<Diagnostic>,
 }
 
-/// A rule-based optimizer over the multi-set algebra.
+/// A rule-based optimizer over the multi-set algebra, optionally
+/// cost-based when statistics are attached ([`Optimizer::with_stats`]).
 pub struct Optimizer {
     rules: Vec<Box<dyn Rule>>,
     verify: VerifyMode,
+    stats: Option<Arc<CatalogStats>>,
 }
 
 impl Optimizer {
@@ -107,8 +110,10 @@ impl Optimizer {
                 Box::new(DistinctPruning),
                 Box::new(ProjectBeforeGroupBy),
                 Box::new(PushProjectionIntoJoin),
+                Box::new(PushDistinctIntoJoin),
             ],
             verify: VerifyMode::from_env(),
+            stats: None,
         }
     }
 
@@ -118,6 +123,7 @@ impl Optimizer {
         Optimizer {
             rules,
             verify: VerifyMode::from_env(),
+            stats: None,
         }
     }
 
@@ -126,6 +132,24 @@ impl Optimizer {
     pub fn with_verify_mode(mut self, verify: VerifyMode) -> Self {
         self.verify = verify;
         self
+    }
+
+    /// Attaches maintained statistics, turning the optimizer cost-based:
+    /// cost-gated rules (δ placement) see the statistics through their
+    /// context, and every optimization run finishes with cost-based join
+    /// reordering — admitted through the same precondition-discharge and
+    /// differential-verification gate as every rule application.
+    /// Accepts owned statistics or an [`Arc`] shared with the maintaining
+    /// catalog (the transaction manager re-plans every statement without
+    /// cloning sketches).
+    pub fn with_stats(mut self, stats: impl Into<Arc<CatalogStats>>) -> Self {
+        self.stats = Some(stats.into());
+        self
+    }
+
+    /// The attached statistics, if any.
+    pub fn stats(&self) -> Option<&CatalogStats> {
+        self.stats.as_deref()
     }
 
     /// The standard rule set minus the named rules — ablation helper.
@@ -138,6 +162,7 @@ impl Optimizer {
                 .filter(|r| !excluded.contains(&r.name()))
                 .collect(),
             verify: VerifyMode::from_env(),
+            stats: None,
         }
     }
 
@@ -156,7 +181,10 @@ impl Optimizer {
         provider: &P,
     ) -> CoreResult<Optimized> {
         expr.schema(provider)?; // reject ill-typed inputs up front
-        let ctx = RuleContext::new(provider);
+        let ctx = match &self.stats {
+            Some(stats) => RuleContext::with_stats(provider, stats),
+            None => RuleContext::new(provider),
+        };
         let mut current = expr.clone();
         let mut counts = vec![0usize; self.rules.len()];
         let mut refusals = Vec::new();
@@ -169,16 +197,37 @@ impl Optimizer {
                 break;
             }
         }
+        let mut applications: Vec<(String, usize)> = self
+            .rules
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, &c)| (r.name().to_owned(), c))
+            .collect();
+        // cost-based join reordering runs once, after the rule fixpoint has
+        // normalised the tree (selections pushed, joins recognised) — and
+        // through the same admission gate as any rule application
+        if let Some(stats) = &self.stats {
+            let reordered = crate::join_order::reorder_joins(&current, stats, provider)?;
+            if reordered != current {
+                let reorder_rule = CostBasedJoinOrder;
+                match self.admit(&reorder_rule, &current, &reordered, &ctx) {
+                    Ok(()) => {
+                        current = reordered;
+                        applications.push((reorder_rule.name().to_owned(), 1));
+                    }
+                    Err(d) => {
+                        if !refusals.contains(&d) {
+                            refusals.push(d);
+                        }
+                    }
+                }
+            }
+        }
         current.schema(provider)?; // safety net: output must still type
         Ok(Optimized {
             expr: current,
-            applications: self
-                .rules
-                .iter()
-                .zip(&counts)
-                .filter(|(_, &c)| c > 0)
-                .map(|(r, &c)| (r.name().to_owned(), c))
-                .collect(),
+            applications,
             passes,
             refusals,
         })
@@ -262,6 +311,33 @@ impl Optimizer {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Marker rule carrying the soundness argument for cost-based join
+/// reordering, so the reorder passes through the same [`Optimizer::admit`]
+/// gate (precondition discharge → `E0201` refusal; differential
+/// verification under `MERA_VERIFY_REWRITES`) as every local rule. The
+/// rewrite itself lives in [`crate::join_order::reorder_joins`]; `apply`
+/// is never called.
+struct CostBasedJoinOrder;
+
+impl Rule for CostBasedJoinOrder {
+    fn name(&self) -> &'static str {
+        "cost-based-join-order"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "⋈ and × are commutative and associative in the multi-set algebra \
+             (Theorems 3.2 and 3.3), so any permutation of a join chain is \
+             sound; the wrapping projection restoring the original attribute \
+             order is a bijective tuple map, preserving multiplicities",
+        )
+    }
+
+    fn apply(&self, _expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        Ok(None) // the driver invokes reorder_joins directly
     }
 }
 
@@ -417,6 +493,118 @@ mod tests {
             .expect("optimizes");
         assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
         assert!(!out.applications.is_empty());
+    }
+
+    fn chain_catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("a", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+            .with("b", Schema::anon(&[DataType::Int]))
+            .expect("fresh")
+            .with("c", Schema::anon(&[DataType::Int]))
+            .expect("fresh")
+    }
+
+    #[test]
+    fn with_stats_reorders_join_chains_through_admission() {
+        let cat = chain_catalog();
+        let mut cs = crate::stats::CatalogStats::new();
+        cs.insert(
+            "a",
+            crate::stats::TableStats::synthetic(10_000, 10_000, &[1000, 1000]),
+        );
+        cs.insert("b", crate::stats::TableStats::synthetic(10, 10, &[10]));
+        cs.insert("c", crate::stats::TableStats::synthetic(100, 100, &[100]));
+        // written in a poor order: the big×medium cross product first,
+        // with the selective join to tiny `b` left for last
+        let e = RelExpr::scan("a").product(RelExpr::scan("c")).join(
+            RelExpr::scan("b"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(4)),
+        );
+        let out = Optimizer::standard()
+            .with_stats(cs)
+            .with_verify_mode(VerifyMode::Differential { trials: 3 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        assert!(
+            out.applications
+                .iter()
+                .any(|(n, _)| n == "cost-based-join-order"),
+            "applications: {:?}",
+            out.applications
+        );
+        // the reordered plan must still produce the original schema
+        let s_in = e.schema(&cat).expect("types");
+        let s_out = out.expr.schema(&cat).expect("types");
+        assert!(s_in.same_types(&s_out));
+    }
+
+    #[test]
+    fn stats_free_optimizer_never_reorders() {
+        let cat = chain_catalog();
+        let e = RelExpr::scan("a")
+            .join(
+                RelExpr::scan("b"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .join(
+                RelExpr::scan("c"),
+                ScalarExpr::attr(2).eq(ScalarExpr::attr(4)),
+            );
+        let out = Optimizer::standard().optimize(&e, &cat).expect("optimizes");
+        assert!(out
+            .applications
+            .iter()
+            .all(|(n, _)| n != "cost-based-join-order"));
+    }
+
+    #[test]
+    fn distinct_push_gated_on_estimated_duplication() {
+        let cat = chain_catalog();
+        let e = RelExpr::scan("a")
+            .join(
+                RelExpr::scan("b"),
+                ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+            )
+            .distinct();
+
+        // heavy duplication: 10 copies per distinct row on `a` → push fires
+        let mut dup = crate::stats::CatalogStats::new();
+        dup.insert(
+            "a",
+            crate::stats::TableStats::synthetic(1000, 100, &[100, 100]),
+        );
+        dup.insert("b", crate::stats::TableStats::synthetic(10, 10, &[10]));
+        let out = Optimizer::standard()
+            .with_stats(dup)
+            .with_verify_mode(VerifyMode::Differential { trials: 3 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        assert!(
+            out.applications
+                .iter()
+                .any(|(n, _)| n == "push-distinct-into-join"),
+            "applications: {:?}",
+            out.applications
+        );
+
+        // duplicate-free inputs: the push would only add work → declined
+        let mut flat = crate::stats::CatalogStats::new();
+        flat.insert(
+            "a",
+            crate::stats::TableStats::synthetic(1000, 1000, &[100, 100]),
+        );
+        flat.insert("b", crate::stats::TableStats::synthetic(10, 10, &[10]));
+        let out = Optimizer::standard()
+            .with_stats(flat)
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out
+            .applications
+            .iter()
+            .all(|(n, _)| n != "push-distinct-into-join"));
     }
 
     /// The canonical misrewrite of Theorem 3.3: `δ(E₁ ⊎ E₂) → δE₁ ⊎ δE₂`.

@@ -47,22 +47,33 @@ pub fn reorder_joins<P: SchemaProvider>(
     stats: &CatalogStats,
     provider: &P,
 ) -> CoreResult<RelExpr> {
-    // rewrite children first (chains nested under other operators)
-    let children: CoreResult<Vec<RelExpr>> = expr
-        .children()
-        .iter()
-        .map(|c| reorder_joins(c, stats, provider))
-        .collect();
-    let node = expr.with_children(children?);
-
-    if !matches!(node, RelExpr::Product(..) | RelExpr::Join { .. }) {
-        return Ok(node);
+    // flatten the whole chain BEFORE recursing: rewriting children first
+    // would wrap inner chains in their restoring projections, splitting a
+    // single n-leaf chain into opaque fragments the search never sees as
+    // one ordering problem
+    if !matches!(expr, RelExpr::Product(..) | RelExpr::Join { .. }) {
+        let children: CoreResult<Vec<RelExpr>> = expr
+            .children()
+            .iter()
+            .map(|c| reorder_joins(c, stats, provider))
+            .collect();
+        return Ok(expr.with_children(children?));
     }
     let mut leaves = Vec::new();
     let mut conjuncts = Vec::new();
-    flatten(&node, provider, 0, &mut leaves, &mut conjuncts)?;
+    flatten(expr, provider, 0, &mut leaves, &mut conjuncts)?;
+    // chains nested under non-join operators (selections, projections)
+    // are leaves here — reorder inside them independently
+    for leaf in &mut leaves {
+        leaf.expr = reorder_joins(&leaf.expr, stats, provider)?;
+    }
     if leaves.len() < 3 {
-        return Ok(node);
+        let children: CoreResult<Vec<RelExpr>> = expr
+            .children()
+            .iter()
+            .map(|c| reorder_joins(c, stats, provider))
+            .collect();
+        return Ok(expr.with_children(children?));
     }
     // leaf index per global attribute for conjunct classification
     let leaf_of_attr = |g: usize| -> Option<usize> {
@@ -89,7 +100,7 @@ pub fn reorder_joins<P: SchemaProvider>(
         vec![greedy_order(&leaves, stats)]
     };
 
-    let original_cost = estimate_cost(&node, stats);
+    let original_cost = estimate_cost(expr, stats);
     let mut best: Option<(f64, RelExpr)> = None;
     for order in orders {
         let candidate = build_candidate(&leaves, &conjuncts, &order)?;
@@ -98,10 +109,19 @@ pub fn reorder_joins<P: SchemaProvider>(
             best = Some((cost, candidate));
         }
     }
-    match best {
-        Some((cost, candidate)) if cost < original_cost => Ok(candidate),
-        _ => Ok(node),
+    if let Some((cost, candidate)) = best {
+        if cost < original_cost {
+            return Ok(candidate);
+        }
     }
+    // no candidate beats the written order: keep it, but still rewrite
+    // chains nested below (the old bottom-up path)
+    let children: CoreResult<Vec<RelExpr>> = expr
+        .children()
+        .iter()
+        .map(|c| reorder_joins(c, stats, provider))
+        .collect();
+    Ok(expr.with_children(children?))
 }
 
 /// Flattens nested products/joins into leaves and globalised conjuncts.
@@ -251,7 +271,7 @@ fn greedy_order(leaves: &[Leaf], stats: &CatalogStats) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::{ColumnStats, TableStats};
+    use crate::stats::TableStats;
     use std::sync::Arc;
 
     fn catalog() -> DatabaseSchema {
@@ -266,33 +286,9 @@ mod tests {
 
     fn stats() -> CatalogStats {
         let mut cs = CatalogStats::new();
-        cs.insert(
-            "a",
-            TableStats {
-                rows: 10_000,
-                distinct_rows: 10_000,
-                columns: vec![
-                    ColumnStats { distinct: 1000 },
-                    ColumnStats { distinct: 1000 },
-                ],
-            },
-        );
-        cs.insert(
-            "b",
-            TableStats {
-                rows: 10,
-                distinct_rows: 10,
-                columns: vec![ColumnStats { distinct: 10 }],
-            },
-        );
-        cs.insert(
-            "c",
-            TableStats {
-                rows: 100,
-                distinct_rows: 100,
-                columns: vec![ColumnStats { distinct: 100 }],
-            },
-        );
+        cs.insert("a", TableStats::synthetic(10_000, 10_000, &[1000, 1000]));
+        cs.insert("b", TableStats::synthetic(10, 10, &[10]));
+        cs.insert("c", TableStats::synthetic(100, 100, &[100]));
         cs
     }
 

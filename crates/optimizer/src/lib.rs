@@ -13,24 +13,34 @@
 //! This crate turns those licences into an optimizer:
 //!
 //! * [`rules`] — local rewrite rules (pushdowns, fusions, constant folding,
-//!   Example 3.2's projection insertion),
-//! * [`driver`] — bottom-up fixpoint application with ablation support,
-//! * [`stats`] / [`cost`] — table statistics and a System-R-style cost
-//!   model,
+//!   Example 3.2's projection insertion, cost-gated δ placement),
+//! * [`driver`] — bottom-up fixpoint application with ablation support;
+//!   with statistics attached ([`Optimizer::with_stats`]) each run ends
+//!   with cost-based join reordering through the same admission gate,
+//! * [`stats`] / [`cost`] — incrementally-maintained table statistics
+//!   (row counts, KMV distinct sketches, column bounds) and a
+//!   System-R-style cost model clamped by `mera-analyze`'s sound
+//!   cardinality intervals,
 //! * [`join_order`] — cost-based join re-ordering justified by
-//!   Theorem 3.3, with schema-restoring projections.
+//!   Theorem 3.3, with schema-restoring projections,
+//! * [`access`] — index-versus-hash access-path selection, emitting the
+//!   hints `mera-eval`'s physical planner executes as index-nested-loop
+//!   joins.
 //!
 //! Every rule is checked against the reference evaluator by the property
 //! tests in `tests/rewrite_soundness.rs`.
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod cost;
 pub mod driver;
 pub mod join_order;
 pub mod rules;
 pub mod stats;
 
+pub use access::choose_access_paths;
+pub use cost::{estimate_cost, estimate_distinct_rows, estimate_rows, estimate_rows_bounded};
 pub use driver::{Optimized, Optimizer, VerifyMode};
 pub use join_order::reorder_joins;
 pub use stats::{CatalogStats, TableStats};

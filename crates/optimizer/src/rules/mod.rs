@@ -10,12 +10,14 @@
 //! either produces a replacement or declines. The [`driver`](crate::driver)
 //! applies rules bottom-up to a fixpoint.
 
+mod distinct_join;
 mod folding;
 mod fuse;
 mod project;
 mod project_join;
 mod pushdown;
 
+pub use distinct_join::PushDistinctIntoJoin;
 pub use folding::ConstantFold;
 pub use fuse::{DistinctPruning, FuseSelections, SelectProductToJoin};
 pub use project::ProjectBeforeGroupBy;
@@ -25,11 +27,15 @@ pub use pushdown::{PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelect
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};
 
+use crate::stats::CatalogStats;
+
 pub use mera_analyze::{Condition, Precondition};
 
-/// Context handed to rules: schema access for arity-sensitive rewrites.
+/// Context handed to rules: schema access for arity-sensitive rewrites,
+/// plus (optionally) the maintained statistics for cost-gated rules.
 pub struct RuleContext<'a> {
     provider: &'a dyn DynSchemaProvider,
+    stats: Option<&'a CatalogStats>,
 }
 
 /// Object-safe schema lookup (rules are dyn, so the provider must be too).
@@ -44,9 +50,27 @@ impl<P: SchemaProvider> DynSchemaProvider for P {
 }
 
 impl<'a> RuleContext<'a> {
-    /// Builds a context over any schema provider.
+    /// Builds a context over any schema provider (no statistics:
+    /// cost-gated rules decline).
     pub fn new<P: SchemaProvider>(provider: &'a P) -> Self {
-        RuleContext { provider }
+        RuleContext {
+            provider,
+            stats: None,
+        }
+    }
+
+    /// Builds a context with maintained statistics, enabling cost-gated
+    /// rules.
+    pub fn with_stats<P: SchemaProvider>(provider: &'a P, stats: &'a CatalogStats) -> Self {
+        RuleContext {
+            provider,
+            stats: Some(stats),
+        }
+    }
+
+    /// The maintained statistics, when the caller supplied them.
+    pub fn stats(&self) -> Option<&CatalogStats> {
+        self.stats
     }
 
     /// The schema of a subexpression.

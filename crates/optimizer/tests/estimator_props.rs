@@ -1,0 +1,176 @@
+//! Estimator sanity: the cardinality estimator must never poison the cost
+//! model. On arbitrary expressions over arbitrary databases — with real
+//! statistics, synthetic statistics, or no statistics at all — every
+//! estimate is finite and non-negative, and where the input carries its
+//! cardinality literally (a `values` node, a bare scan with fresh
+//! statistics) the estimate is exact.
+//!
+//! Expression shapes follow the flat-selector style of
+//! `rewrite_soundness.rs` to keep proptest stack frames small.
+
+use std::sync::Arc;
+
+use mera_core::prelude::*;
+use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
+use mera_opt::{estimate_rows, CatalogStats, TableStats};
+use proptest::prelude::*;
+
+type RRows = Vec<(i64, u8, u64)>;
+type SRows = Vec<(i64, i64, u64)>;
+
+fn build_db(r_rows: RRows, s_rows: SRows) -> Database {
+    let schema = DatabaseSchema::new()
+        .with(
+            "r",
+            Schema::named(&[("a", DataType::Int), ("tag", DataType::Str)]),
+        )
+        .expect("fresh")
+        .with(
+            "s",
+            Schema::named(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .expect("fresh");
+    let mut db = Database::new(schema);
+    let tags = ["x", "y", "z"];
+    let r_schema = Arc::clone(db.schema().get("r").expect("declared"));
+    db.replace(
+        "r",
+        Relation::from_counted(
+            r_schema,
+            r_rows
+                .into_iter()
+                .map(|(a, t, m)| (tuple![a, tags[(t % 3) as usize]], m)),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    let s_schema = Arc::clone(db.schema().get("s").expect("declared"));
+    db.replace(
+        "s",
+        Relation::from_counted(
+            s_schema,
+            s_rows.into_iter().map(|(k, v, m)| (tuple![k, v], m)),
+        )
+        .expect("typed"),
+    )
+    .expect("replace");
+    db
+}
+
+fn pred_r(ix: u8, c: i64) -> ScalarExpr {
+    match ix % 5 {
+        0 => ScalarExpr::attr(1).eq(ScalarExpr::int(c)),
+        1 => ScalarExpr::attr(2).eq(ScalarExpr::str("y")),
+        2 => ScalarExpr::attr(1).cmp(CmpOp::Ge, ScalarExpr::int(c)),
+        3 => ScalarExpr::bool(false),
+        _ => ScalarExpr::attr(1).cmp(CmpOp::Lt, ScalarExpr::int(c)),
+    }
+}
+
+fn join_pred(ix: u8) -> ScalarExpr {
+    match ix % 4 {
+        0 => ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        1 => ScalarExpr::attr(1)
+            .eq(ScalarExpr::attr(3))
+            .and(ScalarExpr::attr(2).eq(ScalarExpr::str("x"))),
+        2 => ScalarExpr::attr(1).cmp(CmpOp::Le, ScalarExpr::attr(4)),
+        _ => ScalarExpr::bool(true),
+    }
+}
+
+fn build_expr(shape: u8, base_ix: u8, p_ix: u8, j_ix: u8, c: i64) -> RelExpr {
+    let r = RelExpr::scan("r");
+    let base = match base_ix % 5 {
+        0 => r,
+        1 => r.select(pred_r(p_ix, c)),
+        2 => r.union(RelExpr::scan("r")),
+        3 => r.difference(RelExpr::scan("r")).distinct(),
+        _ => r.select(pred_r(p_ix, c)).project(&[2, 1]),
+    };
+    match shape % 6 {
+        0 => base,
+        1 => base.join(RelExpr::scan("s"), join_pred(j_ix)),
+        2 => base.product(RelExpr::scan("s")),
+        3 => base
+            .join(RelExpr::scan("s"), join_pred(j_ix))
+            .group_by(&[2], Aggregate::Cnt, 1),
+        4 => base.distinct(),
+        _ => base.join(RelExpr::scan("s"), join_pred(j_ix)).join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(3).eq(ScalarExpr::attr(5)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Estimates are always finite and non-negative — with real analyzed
+    /// statistics and with an empty catalog (schema-only defaults).
+    #[test]
+    fn estimates_are_finite_and_non_negative(
+        r_rows in proptest::collection::vec(((0i64..6), (0u8..3), (1u64..5)), 0..8),
+        s_rows in proptest::collection::vec(((0i64..6), (0i64..9), (1u64..4)), 0..6),
+        shape in 0u8..6,
+        base_ix in 0u8..5,
+        p_ix in 0u8..5,
+        j_ix in 0u8..4,
+        c in -2i64..8,
+    ) {
+        let db = build_db(r_rows, s_rows);
+        let e = build_expr(shape, base_ix, p_ix, j_ix, c);
+        let analyzed = CatalogStats::from_database(&db).expect("analyze");
+        for stats in [&analyzed, &CatalogStats::new()] {
+            let est = estimate_rows(&e, stats);
+            prop_assert!(est.is_finite(), "non-finite estimate {est} for {e}");
+            prop_assert!(est >= 0.0, "negative estimate {est} for {e}");
+        }
+    }
+
+    /// Where the cardinality is written down literally, the estimate is
+    /// exact: `values` nodes carry their own row count, and a bare scan
+    /// under fresh statistics is the maintained row counter.
+    #[test]
+    fn literal_cardinalities_are_estimated_exactly(
+        r_rows in proptest::collection::vec(((0i64..6), (0u8..3), (1u64..5)), 0..8),
+        v_rows in proptest::collection::vec(((0i64..9), (1u64..4)), 0..6),
+    ) {
+        let db = build_db(r_rows, vec![]);
+        let stats = CatalogStats::from_database(&db).expect("analyze");
+
+        let scan = RelExpr::scan("r");
+        let actual = db.relation("r").expect("present").len() as f64;
+        prop_assert_eq!(estimate_rows(&scan, &stats), actual);
+
+        let schema = Arc::new(Schema::anon(&[DataType::Int, DataType::Int]));
+        let rel = Relation::from_counted(
+            schema,
+            v_rows.iter().map(|&(v, m)| (tuple![v, v + 1], m)),
+        )
+        .expect("typed");
+        let expected = rel.len() as f64;
+        let values = RelExpr::values(rel);
+        // literal values need no statistics at all
+        prop_assert_eq!(estimate_rows(&values, &stats), expected);
+        prop_assert_eq!(estimate_rows(&values, &CatalogStats::new()), expected);
+    }
+
+    /// Synthetic statistics with extreme counters must not overflow the
+    /// estimator into infinities or NaN.
+    #[test]
+    fn extreme_synthetic_statistics_stay_finite(
+        rows in 0u64..u64::MAX / 4,
+        distinct in 1u64..u64::MAX / 4,
+        shape in 0u8..6,
+        j_ix in 0u8..4,
+    ) {
+        let mut cs = CatalogStats::new();
+        let d = distinct.min(rows.max(1));
+        cs.insert("r", TableStats::synthetic(rows, d, &[d, 3]));
+        cs.insert("s", TableStats::synthetic(rows / 2, d, &[d, d]));
+        let e = build_expr(shape, 0, 0, j_ix, 1);
+        let est = estimate_rows(&e, &cs);
+        prop_assert!(est.is_finite(), "non-finite estimate {est} for {e}");
+        prop_assert!(est >= 0.0);
+    }
+}

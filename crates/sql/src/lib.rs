@@ -88,6 +88,21 @@ pub fn check_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Vec<mera_ana
     }
 }
 
+/// Parses and translates one SQL query, then renders the plan it gets
+/// against the manager's current state — join order, access paths,
+/// estimated-vs-actual cardinalities (see [`mera_txn::explain_expr`] for
+/// the format). Only queries can be explained; DML and DDL statements are
+/// rejected.
+pub fn explain_sql(mgr: &TransactionManager, sql: &str) -> LangResult<String> {
+    let stmt = parse_sql(sql)?;
+    match translate(&stmt, &catalog(mgr))? {
+        Translated::Query(expr) => mgr.explain(&expr).map_err(LangError::Semantic),
+        _ => Err(LangError::Semantic(CoreError::TypeError(
+            "EXPLAIN takes a query, not a DML or DDL statement".to_string(),
+        ))),
+    }
+}
+
 /// Parses, translates and runs one SQL statement as a transaction against
 /// a manager. Returns the result relation for queries, `None` for DML and
 /// `CREATE MATERIALIZED VIEW`. Materialized views are readable in `FROM`

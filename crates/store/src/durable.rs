@@ -32,9 +32,10 @@ use mera_core::prelude::*;
 use mera_expr::RelExpr;
 use mera_lang::{program_to_xra, rel_to_xra, Lowerer};
 use mera_txn::{
-    run_transaction_with_views, ConstraintSet, CreateViewError, ExecConfig, Outcome, Outputs,
-    Program, ViewSet,
+    run_transaction_cataloged, CatalogStats, CommitCatalog, ConstraintSet, CreateViewError,
+    ExecConfig, IndexSet, Outcome, Outputs, Program, ViewSet,
 };
+use std::sync::Arc;
 
 /// Name of the write-ahead log file inside a [`Storage`] root.
 pub const WAL_FILE: &str = "mera.wal";
@@ -97,6 +98,8 @@ pub struct DurableDb<S: Storage> {
     storage: S,
     db: Database,
     views: ViewSet,
+    stats: Arc<CatalogStats>,
+    indexes: Arc<IndexSet>,
     options: StoreOptions,
     unsynced_appends: u32,
 }
@@ -154,10 +157,13 @@ impl<S: Storage> DurableDb<S> {
                 bytes.extend_from_slice(&record.encode_frame());
             }
             storage.replace_atomic(WAL_FILE, &bytes)?;
+            let stats = Arc::new(CatalogStats::from_database(&db)?);
             return Ok(DurableDb {
                 storage,
                 db,
                 views: ViewSet::new(),
+                stats,
+                indexes: Arc::new(IndexSet::new()),
                 options,
                 unsynced_appends: 0,
             });
@@ -169,6 +175,11 @@ impl<S: Storage> DurableDb<S> {
         };
         let snapshot_time = db.time();
         let mut views = ViewSet::new();
+        // the snapshot carries relations only: statistics restart from a
+        // full analyze of the restored state, then replay folds each
+        // commit's deltas exactly like the live path did
+        let mut stats = Arc::new(CatalogStats::from_database(&db)?);
+        let mut indexes = Arc::new(IndexSet::new());
 
         match wal_bytes {
             None => {
@@ -186,7 +197,15 @@ impl<S: Storage> DurableDb<S> {
                     storage.sync(WAL_FILE)?;
                 }
                 for record in scanned.records {
-                    Self::replay(&mut db, &mut views, record, snapshot_time, options.exec)?;
+                    Self::replay(
+                        &mut db,
+                        &mut views,
+                        &mut stats,
+                        &mut indexes,
+                        record,
+                        snapshot_time,
+                        options.exec,
+                    )?;
                 }
             }
         }
@@ -195,6 +214,8 @@ impl<S: Storage> DurableDb<S> {
             storage,
             db,
             views,
+            stats,
+            indexes,
             options,
             unsynced_appends: 0,
         })
@@ -208,6 +229,8 @@ impl<S: Storage> DurableDb<S> {
     fn replay(
         db: &mut Database,
         views: &mut ViewSet,
+        stats: &mut Arc<CatalogStats>,
+        indexes: &mut Arc<IndexSet>,
         record: WalRecord,
         snapshot_time: u64,
         exec: ExecConfig,
@@ -235,6 +258,13 @@ impl<S: Storage> DurableDb<S> {
                     .map_err(view_error)
                     .map(|_| ())
             }
+            WalRecord::DeclareIndex { relation, keys } => {
+                // only the definition is durable: entries are rebuilt from
+                // the recovered relation, then delta-maintained by the
+                // commits replayed after this record
+                Arc::make_mut(indexes).create(db, &relation, &keys)?;
+                Ok(())
+            }
             WalRecord::Commit { time, text } => {
                 if time <= snapshot_time {
                     // Already folded into the snapshot.
@@ -249,9 +279,13 @@ impl<S: Storage> DurableDb<S> {
                 db.advance_time_to(time.saturating_sub(1))?;
                 let mut config = exec;
                 config.analyze = false; // the log holds *committed* work
-                let (next, outcome) = run_transaction_with_views(
+                let (next, outcome) = run_transaction_cataloged(
                     db,
-                    Some(views),
+                    CommitCatalog {
+                        views: Some(views),
+                        stats: Some(stats),
+                        indexes: Some(indexes),
+                    },
                     &program,
                     config,
                     None,
@@ -319,9 +353,13 @@ impl<S: Storage> DurableDb<S> {
         program: &Program,
         constraints: &ConstraintSet,
     ) -> StoreResult<Outputs> {
-        let (next, outcome) = run_transaction_with_views(
+        let (next, outcome) = run_transaction_cataloged(
             &self.db,
-            Some(&mut self.views),
+            CommitCatalog {
+                views: Some(&mut self.views),
+                stats: Some(&mut self.stats),
+                indexes: Some(&mut self.indexes),
+            },
             program,
             self.options.exec,
             None,
@@ -338,9 +376,13 @@ impl<S: Storage> DurableDb<S> {
                     .append(WAL_FILE, &record.encode_frame())
                     .and_then(|()| self.maybe_sync());
                 if let Err(e) = logged {
-                    // The views were refreshed for a commit that never
-                    // became durable: restore them to the published state.
+                    // The catalog was refreshed for a commit that never
+                    // became durable: restore it to the published state.
                     let _ = self.views.rebuild(&self.db, self.options.exec);
+                    if let Ok(fresh) = CatalogStats::from_database(&self.db) {
+                        self.stats = Arc::new(fresh);
+                    }
+                    let _ = Arc::make_mut(&mut self.indexes).rebuild(&self.db);
                     return Err(e);
                 }
                 self.db = next;
@@ -349,6 +391,7 @@ impl<S: Storage> DurableDb<S> {
             Outcome::Aborted(reason) => {
                 // The aborted attempt is a transition (time ticks) but it
                 // is not durable history; recovery re-derives the tick.
+                Arc::make_mut(&mut self.stats).set_as_of(next.time());
                 self.db = next;
                 Err(StoreError::TransactionAborted(reason.to_string()))
             }
@@ -397,9 +440,44 @@ impl<S: Storage> DurableDb<S> {
         Ok(schema)
     }
 
+    /// Creates a secondary index, durably.
+    ///
+    /// The index is built first (failures leave no trace); the
+    /// `DeclareIndex` record is logged (and flushed) before the index is
+    /// published. Only the definition is durable — recovery rebuilds the
+    /// entries from the recovered relation and then maintains them from
+    /// each replayed commit's deltas, exactly like the live path.
+    pub fn create_index(&mut self, relation: &str, keys: &[usize]) -> StoreResult<()> {
+        let mut probe = Arc::clone(&self.indexes);
+        Arc::make_mut(&mut probe).create(&self.db, relation, keys)?;
+        let record = WalRecord::DeclareIndex {
+            relation: relation.to_owned(),
+            keys: keys.to_vec(),
+        };
+        self.storage.append(WAL_FILE, &record.encode_frame())?;
+        self.storage.sync(WAL_FILE)?;
+        self.indexes = probe;
+        Ok(())
+    }
+
     /// The materialized views, incrementally maintained by every commit.
     pub fn views(&self) -> &ViewSet {
         &self.views
+    }
+
+    /// The catalog statistics, incrementally maintained by every commit.
+    pub fn stats(&self) -> Arc<CatalogStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The secondary indexes, incrementally maintained by every commit.
+    pub fn indexes(&self) -> Arc<IndexSet> {
+        Arc::clone(&self.indexes)
+    }
+
+    /// The definitions of every declared index, `(relation, keys)` pairs.
+    pub fn index_definitions(&self) -> Vec<(String, Vec<usize>)> {
+        self.indexes.definitions()
     }
 
     /// A snapshot of one materialized view's current contents.
@@ -431,6 +509,12 @@ impl<S: Storage> DurableDb<S> {
                 name: v.name().to_owned(),
                 text: rel_to_xra(v.expr()),
             };
+            wal_bytes.extend_from_slice(&record.encode_frame());
+        }
+        // Indexes likewise live only as definitions: one DeclareIndex
+        // record each, rebuilt from the snapshot's relations at recovery.
+        for (relation, keys) in self.indexes.definitions() {
+            let record = WalRecord::DeclareIndex { relation, keys };
             wal_bytes.extend_from_slice(&record.encode_frame());
         }
         self.storage.replace_atomic(WAL_FILE, &wal_bytes)?;
@@ -670,6 +754,81 @@ mod tests {
         assert!(err.to_string().contains("E0303"), "{err}");
         assert_eq!(storage.units_written(), before_units);
         assert!(durable.views().is_empty());
+    }
+
+    #[test]
+    fn indexes_survive_reopen_and_keep_maintaining() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        durable.create_index("accounts", &[1]).expect("creates");
+        let p = insert_program(durable.database(), "bob", 20);
+        durable.execute(&p).expect("commits");
+        drop(durable);
+
+        let mut recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(
+            recovered.index_definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        let ix = recovered.indexes();
+        let index = ix.find("accounts", &[1]).expect("recovered index");
+        assert_eq!(index.len(), 2);
+        // and the recovered index keeps maintaining on new commits
+        let p = insert_program(recovered.database(), "cho", 30);
+        recovered.execute(&p).expect("commits");
+        let ix = recovered.indexes();
+        let index = ix.find("accounts", &[1]).expect("index");
+        assert_eq!(index.len(), 3);
+        let fresh =
+            mera_txn::HashIndex::build(recovered.database().relation("accounts").unwrap(), &[1])
+                .expect("builds");
+        let key = mera_core::tuple!["cho"];
+        assert_eq!(index.lookup(&key).unwrap(), fresh.lookup(&key).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_reseeds_index_declarations() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        durable.create_index("accounts", &[1]).expect("creates");
+        durable.checkpoint().expect("checkpoint");
+        let p = insert_program(durable.database(), "bob", 20);
+        durable.execute(&p).expect("commits");
+        drop(durable);
+
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(
+            recovered.index_definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        let ix = recovered.indexes();
+        let index = ix.find("accounts", &[1]).expect("recovered index");
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn recovered_stats_match_live_stats() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        for (owner, amount) in [("ann", 10_i64), ("bob", 20), ("cho", 30)] {
+            let p = insert_program(durable.database(), owner, amount);
+            durable.execute(&p).expect("commits");
+        }
+        let live = durable.stats();
+        drop(durable);
+
+        let recovered = open_mem(MemStorage::from_image(storage.image()));
+        let stats = recovered.stats();
+        assert!(stats.is_current(recovered.database()));
+        let live_t = live.get("accounts").expect("live entry");
+        let rec_t = stats.get("accounts").expect("recovered entry");
+        assert_eq!(rec_t.rows, live_t.rows);
+        assert_eq!(rec_t.distinct_rows, live_t.distinct_rows);
+        assert_eq!(rec_t.column_distinct(1), live_t.column_distinct(1));
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   by recomputing the expression over the recovered state — which the
 //!   incremental-maintenance invariant guarantees equals the state the
 //!   view held at the crash.
+//! * kind 4 — **DeclareIndex**: a relation name and the 1-based key
+//!   attributes of a secondary index. Only the *definition* is durable;
+//!   recovery rebuilds the entries from the recovered relation — which
+//!   the index-maintenance invariant guarantees equals the index at the
+//!   crash.
 //!
 //! # Torn tails vs. corruption
 //!
@@ -53,6 +58,7 @@ pub const RECORD_VERSION: u8 = 1;
 const KIND_COMMIT: u8 = 1;
 const KIND_DECLARE: u8 = 2;
 const KIND_DECLARE_VIEW: u8 = 3;
+const KIND_DECLARE_INDEX: u8 = 4;
 
 /// One durable redo record.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +86,13 @@ pub enum WalRecord {
         /// The defining expression, as XRA text.
         text: String,
     },
+    /// A secondary index declared into the catalog.
+    DeclareIndex {
+        /// The indexed relation.
+        relation: String,
+        /// 1-based key attributes.
+        keys: Vec<usize>,
+    },
 }
 
 impl WalRecord {
@@ -101,6 +114,14 @@ impl WalRecord {
                 out.push(KIND_DECLARE_VIEW);
                 codec::put_str(&mut out, name);
                 codec::put_str(&mut out, text);
+            }
+            WalRecord::DeclareIndex { relation, keys } => {
+                out.push(KIND_DECLARE_INDEX);
+                codec::put_str(&mut out, relation);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for &k in keys {
+                    out.extend_from_slice(&(k as u32).to_le_bytes());
+                }
             }
         }
         out
@@ -133,6 +154,15 @@ impl WalRecord {
                 name: r.str().map_err(bad)?,
                 text: r.str().map_err(bad)?,
             },
+            KIND_DECLARE_INDEX => {
+                let relation = r.str().map_err(bad)?;
+                let n = r.u32().map_err(bad)?;
+                let mut keys = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    keys.push(r.u32().map_err(bad)? as usize);
+                }
+                WalRecord::DeclareIndex { relation, keys }
+            }
             other => {
                 return Err(StoreError::CorruptWal(format!(
                     "unknown record kind {other}"
@@ -231,6 +261,10 @@ mod tests {
             WalRecord::DeclareView {
                 name: "rich".to_string(),
                 text: "select[%2 > 5](accounts)".to_string(),
+            },
+            WalRecord::DeclareIndex {
+                relation: "accounts".to_string(),
+                keys: vec![1, 2],
             },
         ]
     }

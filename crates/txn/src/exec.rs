@@ -7,14 +7,14 @@
 //! relations plus a temporary namespace, usable as a relation provider for
 //! expression evaluation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mera_core::prelude::*;
 use mera_eval::provider::RelationProvider;
-use mera_eval::{Engine, EngineKind, ExecOptions};
+use mera_eval::{Engine, EngineKind, ExecOptions, IndexJoinHints, IndexSet};
 use mera_expr::rel::RelExpr;
-use mera_opt::Optimizer;
+use mera_opt::{choose_access_paths, CatalogStats, Optimizer};
 
 use crate::statement::{Program, Statement};
 use crate::views::{DeltaMap, ViewSet};
@@ -70,37 +70,55 @@ pub struct WorkingState {
     /// Pre-transaction snapshots of materialized views, readable by
     /// queries exactly like base relations (but never writable).
     pub views: BTreeMap<String, Arc<Relation>>,
-    /// Signed per-relation deltas of the DML executed so far, restricted
-    /// to [`WorkingState::tracked`] — the input of view maintenance.
+    /// Signed per-relation deltas of *every* DML statement executed so
+    /// far — the single input that drives view maintenance, statistics
+    /// maintenance and index maintenance at commit time.
     pub deltas: DeltaMap,
-    /// The base relations some view depends on: only their changes are
-    /// captured into [`WorkingState::deltas`].
-    pub tracked: BTreeSet<String>,
+    /// Pre-transaction table statistics, when the caller maintains them:
+    /// every statement plans cost-based (join reordering, cost-gated δ
+    /// placement, access-path selection) against these.
+    pub stats: Option<Arc<CatalogStats>>,
+    /// Pre-transaction secondary indexes, when the caller maintains them:
+    /// point selections and hinted equi-joins execute through them.
+    pub indexes: Option<Arc<IndexSet>>,
 }
 
 impl WorkingState {
     /// Starts from a snapshot of a database state (`D_t.0 = D_t`), with
-    /// no views and no delta capture.
+    /// no views, statistics or indexes.
     pub fn new(db: Database) -> Self {
         WorkingState {
             db,
             temps: BTreeMap::new(),
             views: BTreeMap::new(),
             deltas: DeltaMap::new(),
-            tracked: BTreeSet::new(),
+            stats: None,
+            indexes: None,
         }
     }
 
     /// Starts from a database snapshot plus the current materialized
-    /// views: view contents become readable, and changes to any relation
-    /// a view depends on are captured as signed deltas.
+    /// views: view contents become readable during the transaction.
     pub fn with_views(db: Database, views: &ViewSet) -> Self {
         WorkingState {
-            db,
-            temps: BTreeMap::new(),
             views: views.snapshots(),
-            deltas: DeltaMap::new(),
-            tracked: views.tracked_relations(),
+            ..WorkingState::new(db)
+        }
+    }
+
+    /// [`WorkingState::with_views`] plus the maintained statistics and
+    /// secondary indexes — the transaction manager's entry point: every
+    /// statement of the transaction plans cost-based and index-aware.
+    pub fn with_catalog(
+        db: Database,
+        views: &ViewSet,
+        stats: Option<Arc<CatalogStats>>,
+        indexes: Option<Arc<IndexSet>>,
+    ) -> Self {
+        WorkingState {
+            stats,
+            indexes,
+            ..WorkingState::with_views(db, views)
         }
     }
 
@@ -121,17 +139,22 @@ impl WorkingState {
         }
     }
 
-    /// Records `rel` into the delta of `relation` with the given sign, if
-    /// that relation is tracked by some view.
+    /// Records `rel` into the delta of `relation` with the given sign.
+    /// Every mutated relation is captured — views, statistics and index
+    /// maintenance all consume the same signed deltas at commit, so the
+    /// capture is unconditional (and O(|delta|), never O(|relation|)).
     fn capture(&mut self, relation: &str, rel: &Relation, positive: bool) -> CoreResult<()> {
-        if !self.tracked.contains(relation) {
-            return Ok(());
-        }
         let delta = self.deltas.entry(relation.to_owned()).or_default();
         for (t, m) in rel.iter() {
             delta.insert_unsigned(t.clone(), m, positive)?;
         }
         Ok(())
+    }
+
+    /// True when this transaction has already changed `relation` — the
+    /// pre-transaction indexes no longer describe it.
+    pub(crate) fn dirtied(&self, relation: &str) -> bool {
+        self.deltas.get(relation).is_some_and(|d| !d.is_empty())
     }
 }
 
@@ -319,18 +342,41 @@ pub fn execute_program(
 
 /// Evaluates one algebra expression against the working state, honouring
 /// the execution configuration.
+///
+/// With statistics attached to the state the optimizer runs cost-based
+/// (join reordering, cost-gated δ placement); with indexes attached the
+/// engine takes index access paths — point lookups always, equi-joins
+/// when [`choose_access_paths`] ranks the probe cheaper than a hash
+/// build. An index describes the *pre-transaction* state, so once the
+/// transaction has written an indexed relation the engine falls back to
+/// scan-based plans for the rest of the program: slower, never wrong.
 pub fn eval_expr(state: &WorkingState, expr: &RelExpr, config: ExecConfig) -> CoreResult<Relation> {
+    let provider = WorkingSchemas(state);
     let expr_storage;
     let expr = if config.optimize {
-        let provider = WorkingSchemas(state);
-        expr_storage = Optimizer::standard().optimize(expr, &provider)?.expr;
+        let mut optimizer = Optimizer::standard();
+        if let Some(stats) = &state.stats {
+            optimizer = optimizer.with_stats(Arc::clone(stats));
+        }
+        expr_storage = optimizer.optimize(expr, &provider)?.expr;
         &expr_storage
     } else {
         expr
     };
-    Engine::new(config.engine)
-        .with_options(config.options)
-        .run(expr, state)
+    let mut engine = Engine::new(config.engine).with_options(config.options);
+    if let Some(indexes) = &state.indexes {
+        let defs = indexes.definitions();
+        if !defs.is_empty() && !defs.iter().any(|(r, _)| state.dirtied(r)) {
+            let hints = match &state.stats {
+                Some(stats) => choose_access_paths(expr, stats, &defs, &provider)?,
+                None => IndexJoinHints::default(),
+            };
+            engine = engine
+                .with_shared_indexes(Arc::clone(indexes))
+                .with_index_hints(hints);
+        }
+    }
+    engine.run(expr, state)
 }
 
 /// Schema-provider view of a working state (temporaries included).

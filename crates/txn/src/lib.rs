@@ -14,12 +14,15 @@
 //!   main-memory DBMS, as in PRISMA/DB),
 //! * [`views`] — materialized views maintained incrementally at commit
 //!   time from signed deltas (ℤ-multiplicity bags) instead of
-//!   re-evaluated from scratch.
+//!   re-evaluated from scratch,
+//! * [`explain`] — EXPLAIN-style rendering of the chosen plan: join
+//!   order, access paths, estimated-vs-actual cardinalities.
 
 #![warn(missing_docs)]
 
 pub mod constraints;
 pub mod exec;
+pub mod explain;
 pub mod log;
 pub mod statement;
 pub mod transaction;
@@ -30,11 +33,13 @@ pub use exec::{
     analyze_program_with_views, execute_program, execute_statement, ExecConfig, Outputs,
     WorkingState,
 };
+pub use explain::explain_expr;
 pub use log::{LogRecord, RedoLog};
-pub use mera_eval::{EngineKind, ExecOptions};
+pub use mera_eval::{EngineKind, ExecOptions, HashIndex, IndexSet};
+pub use mera_opt::{CatalogStats, TableStats};
 pub use statement::{Program, Statement};
 pub use transaction::{
-    run_transaction, run_transaction_checked, run_transaction_with_views, AbortReason, Outcome,
-    TransactionManager,
+    run_transaction, run_transaction_cataloged, run_transaction_checked,
+    run_transaction_with_views, AbortReason, CommitCatalog, Outcome, TransactionManager,
 };
 pub use views::{CreateViewError, DeltaMap, TupleDelta, View, ViewSet};

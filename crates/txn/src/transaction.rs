@@ -11,8 +11,11 @@
 //! states are ever visible — precisely the paper's visibility rule.
 
 use std::fmt;
+use std::sync::Arc;
 
 use mera_core::prelude::*;
+use mera_eval::IndexSet;
+use mera_opt::CatalogStats;
 use parking_lot::Mutex;
 
 use crate::constraints::ConstraintSet;
@@ -112,7 +115,7 @@ pub fn run_transaction_checked(
 /// [`run_transaction_checked`] with materialized-view maintenance: view
 /// contents are readable during the transaction (as of `D_t` — a view
 /// never shows the transaction's own uncommitted writes), and at commit
-/// time the signed deltas of every view-tracked base relation are pushed
+/// time the signed deltas of every mutated base relation are pushed
 /// through the views' maintenance plans. On abort the views are
 /// untouched.
 ///
@@ -127,6 +130,54 @@ pub fn run_transaction_with_views(
     fault_before: Option<usize>,
     constraints: &ConstraintSet,
 ) -> (Database, Outcome) {
+    run_transaction_cataloged(
+        db,
+        CommitCatalog {
+            views,
+            ..CommitCatalog::default()
+        },
+        program,
+        config,
+        fault_before,
+        constraints,
+    )
+}
+
+/// The maintained catalog objects a committing transaction keeps
+/// consistent with the base state. All three consume the *same* signed
+/// deltas at commit time, so maintenance work is O(|delta|) across the
+/// board, never O(|relation|).
+#[derive(Default)]
+pub struct CommitCatalog<'a> {
+    /// Materialized views, refreshed through their maintenance plans.
+    pub views: Option<&'a mut ViewSet>,
+    /// Table statistics (row counts, column bounds, distinct sketches),
+    /// folded incrementally and stamped with the post-commit time. Also
+    /// read *during* the transaction: statements plan cost-based.
+    pub stats: Option<&'a mut Arc<CatalogStats>>,
+    /// Secondary indexes, folded incrementally. Also read during the
+    /// transaction: statements take index access paths while the indexed
+    /// relations are untouched by the transaction itself.
+    pub indexes: Option<&'a mut Arc<IndexSet>>,
+}
+
+/// [`run_transaction_with_views`] generalised to the full maintained
+/// catalog: views, table statistics and secondary indexes all stay
+/// consistent with the committed state, and statements inside the
+/// transaction plan against the statistics and indexes of `D_t`.
+pub fn run_transaction_cataloged(
+    db: &Database,
+    catalog: CommitCatalog<'_>,
+    program: &Program,
+    config: ExecConfig,
+    fault_before: Option<usize>,
+    constraints: &ConstraintSet,
+) -> (Database, Outcome) {
+    let CommitCatalog {
+        views,
+        mut stats,
+        mut indexes,
+    } = catalog;
     let abort = |reason: AbortReason| {
         let mut next = db.clone();
         next.tick();
@@ -135,18 +186,20 @@ pub fn run_transaction_with_views(
     // static pre-check: a program with error-severity diagnostics aborts
     // before any statement runs (warnings pass through — they describe
     // plans that *may* fail, and execution is the arbiter)
+    let empty = ViewSet::new();
     if config.analyze {
-        let empty = ViewSet::new();
         let vs = views.as_deref().unwrap_or(&empty);
         let diags = analyze_program_with_views(db, vs, program);
         if mera_analyze::has_errors(&diags) {
             return abort(AbortReason::StaticallyRejected(diags));
         }
     }
-    let mut state = match &views {
-        Some(vs) => WorkingState::with_views(db.clone(), vs),
-        None => WorkingState::new(db.clone()),
-    };
+    let mut state = WorkingState::with_catalog(
+        db.clone(),
+        views.as_deref().unwrap_or(&empty),
+        stats.as_deref().map(Arc::clone),
+        indexes.as_deref().map(Arc::clone),
+    );
     let mut outputs = Outputs::default();
     for (i, stmt) in program.statements.iter().enumerate() {
         if fault_before == Some(i) {
@@ -166,21 +219,58 @@ pub fn run_transaction_with_views(
         Err(e) => return abort(AbortReason::Error(e)),
     }
     // commit: temporaries vanish with the working state; D_{t.n} → D_{t+1}.
-    // Destructuring drops the view snapshots, so delta application below
-    // mutates the sole owner of each view's contents in place.
+    // Destructuring drops the working state's snapshots (views, stats,
+    // indexes), so the maintenance below mutates sole owners in place.
     let WorkingState {
         db: mut next,
         deltas,
         ..
     } = state;
     next.tick();
+    // statistics and indexes fold the deltas by reference (views consume
+    // them by value below): O(|delta|) per catalog object
+    if let Some(s) = stats.as_deref_mut() {
+        let s = Arc::make_mut(s);
+        for (name, delta) in &deltas {
+            if delta.is_empty() {
+                continue;
+            }
+            if let Ok(post) = next.relation(name) {
+                s.apply_commit(name, delta, post);
+            }
+        }
+        s.set_as_of(next.time());
+    }
+    if let Some(ix) = indexes.as_deref_mut() {
+        let ix = Arc::make_mut(ix);
+        for (name, delta) in &deltas {
+            if delta.is_empty() {
+                continue;
+            }
+            if ix.apply_commit(name, delta).is_err() {
+                // incremental maintenance failed; the definitions still
+                // hold and the base commit is fine — rebuild from post
+                let _ = ix.rebuild(&next);
+                break;
+            }
+        }
+    }
     if let Some(vs) = views {
         if let Err(e) = vs.refresh_after_commit(deltas, &next, config) {
-            // even full recompute failed: abort and re-anchor the views
-            // to the pre-transaction state (which they evaluated against
-            // before, so this rebuild is expected to succeed)
+            // even full recompute failed: abort and re-anchor the whole
+            // catalog to the pre-transaction state (which it described
+            // before, so these rebuilds are expected to succeed)
             let (aborted, outcome) = abort(AbortReason::Error(e));
             let _ = vs.rebuild(db, config);
+            if let Some(s) = stats {
+                if let Ok(mut fresh) = CatalogStats::from_database(db) {
+                    fresh.set_as_of(aborted.time());
+                    *s = Arc::new(fresh);
+                }
+            }
+            if let Some(ix) = indexes {
+                let _ = Arc::make_mut(ix).rebuild(db);
+            }
             return (aborted, outcome);
         }
     }
@@ -200,6 +290,18 @@ struct ManagerInner {
     db: Database,
     log: RedoLog,
     views: ViewSet,
+    stats: Arc<CatalogStats>,
+    indexes: Arc<IndexSet>,
+}
+
+impl ManagerInner {
+    fn catalog(&mut self) -> CommitCatalog<'_> {
+        CommitCatalog {
+            views: Some(&mut self.views),
+            stats: Some(&mut self.stats),
+            indexes: Some(&mut self.indexes),
+        }
+    }
 }
 
 impl TransactionManager {
@@ -220,11 +322,15 @@ impl TransactionManager {
         config: ExecConfig,
         constraints: ConstraintSet,
     ) -> Self {
+        let db = Database::new(schema);
+        let stats = CatalogStats::from_database(&db).expect("catalog relations resolve");
         TransactionManager {
             inner: Mutex::new(ManagerInner {
-                db: Database::new(schema),
+                db,
                 log: RedoLog::new(),
                 views: ViewSet::new(),
+                stats: Arc::new(stats),
+                indexes: Arc::new(IndexSet::new()),
             }),
             config,
             constraints,
@@ -242,10 +348,12 @@ impl TransactionManager {
     pub fn recover(schema: DatabaseSchema, log: &RedoLog) -> CoreResult<Self> {
         let manager = Self::new(schema);
         {
-            let mut inner = manager.inner.lock();
+            let inner = &mut *manager.inner.lock();
             for record in log.records() {
-                let (next, outcome) = run_transaction_checked(
-                    &inner.db,
+                let before = inner.db.clone();
+                let (next, outcome) = run_transaction_cataloged(
+                    &before,
+                    inner.catalog(),
                     &record.program,
                     manager.config,
                     None,
@@ -278,9 +386,9 @@ impl TransactionManager {
     pub fn execute(&self, program: &Program) -> CoreResult<(Outcome, Transition)> {
         let inner = &mut *self.inner.lock();
         let before = inner.db.clone();
-        let (next, outcome) = run_transaction_with_views(
+        let (next, outcome) = run_transaction_cataloged(
             &before,
-            Some(&mut inner.views),
+            inner.catalog(),
             program,
             self.config,
             None,
@@ -291,6 +399,10 @@ impl TransactionManager {
                 time: next.time(),
                 program: program.clone(),
             })?;
+        } else {
+            // contents unchanged by the abort, only logical time moved:
+            // re-stamp so the statistics stay a cache hit for `next`
+            Arc::make_mut(&mut inner.stats).set_as_of(next.time());
         }
         inner.db = next.clone();
         let transition = Transition::new(before, next)?;
@@ -305,14 +417,17 @@ impl TransactionManager {
     ) -> CoreResult<(Outcome, Transition)> {
         let inner = &mut *self.inner.lock();
         let before = inner.db.clone();
-        let (next, outcome) = run_transaction_with_views(
+        let (next, outcome) = run_transaction_cataloged(
             &before,
-            Some(&mut inner.views),
+            inner.catalog(),
             program,
             self.config,
             Some(fault_before),
             &self.constraints,
         );
+        if !outcome.is_committed() {
+            Arc::make_mut(&mut inner.stats).set_as_of(next.time());
+        }
         inner.db = next.clone();
         let transition = Transition::new(before, next)?;
         Ok((outcome, transition))
@@ -325,6 +440,50 @@ impl TransactionManager {
     pub fn create_view(&self, name: &str, expr: RelExpr) -> Result<SchemaRef, CreateViewError> {
         let inner = &mut *self.inner.lock();
         inner.views.create(name, expr, &inner.db, self.config)
+    }
+
+    /// Creates a secondary index on the 1-based `keys` of `relation` over
+    /// the current state. The index is a catalog object from then on:
+    /// every commit folds its signed deltas in (O(|delta|)), the cost
+    /// model weighs it as an access path, and the physical engine executes
+    /// point lookups and hinted equi-joins through it.
+    pub fn create_index(&self, relation: &str, keys: &[usize]) -> CoreResult<()> {
+        let inner = &mut *self.inner.lock();
+        let (db, indexes) = (&inner.db, &mut inner.indexes);
+        Arc::make_mut(indexes).create(db, relation, keys)
+    }
+
+    /// The registered index definitions as `(relation, sorted keys)`,
+    /// sorted.
+    pub fn index_definitions(&self) -> Vec<(String, Vec<usize>)> {
+        self.inner.lock().indexes.definitions()
+    }
+
+    /// A shared snapshot of the maintained secondary indexes.
+    pub fn indexes(&self) -> Arc<IndexSet> {
+        Arc::clone(&self.inner.lock().indexes)
+    }
+
+    /// A shared snapshot of the maintained table statistics (stamped with
+    /// the logical time they describe).
+    pub fn stats(&self) -> Arc<CatalogStats> {
+        Arc::clone(&self.inner.lock().stats)
+    }
+
+    /// Renders the plan a read-only expression gets against the current
+    /// committed state — join order, access paths, estimated-vs-actual
+    /// cardinalities (see [`crate::explain_expr`]). Evaluates the
+    /// expression (on the instrumented physical engine) but commits
+    /// nothing.
+    pub fn explain(&self, expr: &RelExpr) -> CoreResult<String> {
+        let inner = self.inner.lock();
+        let state = crate::exec::WorkingState::with_catalog(
+            inner.db.clone(),
+            &inner.views,
+            Some(Arc::clone(&inner.stats)),
+            Some(Arc::clone(&inner.indexes)),
+        );
+        crate::explain::explain_expr(&state, expr, self.config)
     }
 
     /// Runs the static-analysis passes over a program against the current
@@ -564,6 +723,101 @@ mod tests {
             original.relation("acct").expect("present"),
             replayed.relation("acct").expect("present")
         );
+    }
+
+    #[test]
+    fn commits_maintain_stats_incrementally() {
+        let mgr = TransactionManager::new(schema());
+        let initial_scans = mgr.stats().full_scans();
+        for i in 0..5 {
+            mgr.execute(&Program::single(deposit("a", i)))
+                .expect("commits");
+        }
+        let stats = mgr.stats();
+        let acct = stats.get("acct").expect("analyzed");
+        assert_eq!(acct.rows, 5);
+        assert_eq!(acct.column_distinct(2), 5, "amounts all distinct");
+        assert_eq!(stats.as_of(), Some(mgr.time()), "stamped current");
+        assert_eq!(
+            stats.full_scans(),
+            initial_scans,
+            "five commits folded deltas without a single rescan"
+        );
+        assert_eq!(stats.touched_rows(), 5, "O(delta) work witness");
+    }
+
+    #[test]
+    fn aborts_leave_stats_and_indexes_untouched() {
+        let mgr = TransactionManager::new(schema());
+        mgr.execute(&Program::single(deposit("a", 100)))
+            .expect("setup");
+        mgr.create_index("acct", &[1]).expect("indexes");
+        let bad = Program::new()
+            .then(deposit("b", 1))
+            .then(Statement::query(RelExpr::scan("nosuch")));
+        let (outcome, _) = mgr.execute(&bad).expect("runs");
+        assert!(!outcome.is_committed());
+        let stats = mgr.stats();
+        assert_eq!(stats.get("acct").expect("present").rows, 1);
+        assert_eq!(stats.as_of(), Some(mgr.time()), "re-stamped after abort");
+        let indexes = mgr.indexes();
+        let idx = indexes.find("acct", &[1]).expect("registered");
+        assert_eq!(idx.len(), 1, "aborted insert never reached the index");
+    }
+
+    #[test]
+    fn commits_maintain_indexes_as_catalog_objects() {
+        let mgr = TransactionManager::new(schema());
+        mgr.execute(&Program::single(deposit("a", 100)))
+            .expect("t1");
+        mgr.create_index("acct", &[1]).expect("indexes");
+        assert_eq!(mgr.index_definitions(), vec![("acct".to_owned(), vec![1])]);
+        // commits after creation keep the index consistent
+        mgr.execute(&Program::single(deposit("a", 50))).expect("t2");
+        mgr.execute(&Program::single(deposit("b", 7))).expect("t3");
+        let indexes = mgr.indexes();
+        let idx = indexes.find("acct", &[1]).expect("registered");
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.lookup(&tuple!["a"]).expect("lookup").len(), 2);
+        // and point queries through the manager agree with the base state
+        let q = Program::single(Statement::query(
+            RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str("a"))),
+        ));
+        let (outcome, _) = mgr.execute(&q).expect("queries");
+        assert_eq!(outcome.outputs().expect("committed").queries[0].len(), 2);
+    }
+
+    #[test]
+    fn same_transaction_write_then_read_sees_own_writes() {
+        // the index describes D_t; once the transaction writes the indexed
+        // relation, reads must come from the live state, not the index
+        let mgr = TransactionManager::new(schema());
+        mgr.execute(&Program::single(deposit("a", 100)))
+            .expect("setup");
+        mgr.create_index("acct", &[1]).expect("indexes");
+        let program = Program::new().then(deposit("a", 50)).then(Statement::query(
+            RelExpr::scan("acct").select(ScalarExpr::attr(1).eq(ScalarExpr::str("a"))),
+        ));
+        let (outcome, _) = mgr.execute(&program).expect("runs");
+        let out = &outcome.outputs().expect("committed").queries[0];
+        assert_eq!(out.len(), 2, "query must see the uncommitted deposit");
+    }
+
+    #[test]
+    fn recovery_replays_statistics() {
+        let mgr = TransactionManager::new(schema());
+        for i in 0..3 {
+            mgr.execute(&Program::single(deposit("x", i))).expect("t");
+        }
+        let recovered = TransactionManager::recover(schema(), &mgr.log()).expect("recovers");
+        let (orig, repl) = (mgr.stats(), recovered.stats());
+        let (o, r) = (
+            orig.get("acct").expect("present"),
+            repl.get("acct").expect("present"),
+        );
+        assert_eq!(o.rows, r.rows);
+        assert_eq!(o.distinct_rows, r.distinct_rows);
+        assert_eq!(repl.as_of(), Some(recovered.time()));
     }
 
     #[test]
