@@ -30,7 +30,7 @@ impl fmt::Display for Severity {
 ///
 /// The numbering is grouped by pass: `E00xx` schema/type inference,
 /// `x01xx` partiality/emptiness analysis, `E02xx` rewrite soundness,
-/// `E03xx` materialized-view validation.
+/// `E03xx` materialized-view validation, `E04xx` key constraints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `E0001` — an attribute reference `%i` that does not resolve against
@@ -76,6 +76,18 @@ pub enum Code {
     /// possibly-empty input). Views must refresh unconditionally at every
     /// commit, so the `W0101` lint escalates to an error here.
     PartialView,
+    /// `E0401` — a transaction whose commit would violate a declared key:
+    /// after applying the deltas, some point of the key projection would
+    /// carry a summed multiplicity greater than one.
+    KeyViolation,
+    /// `E0402` — a key declared on a materialized view; keys constrain
+    /// base relations, a view's duplicate-freeness is *derived* (from its
+    /// definition) rather than declared.
+    KeyOnView,
+    /// `E0403` — a key declared twice for the same relation and attribute
+    /// set; declarations are durable DDL, so a redeclaration is a bug in
+    /// the script rather than a no-op.
+    DuplicateKeyDeclaration,
 }
 
 impl Code {
@@ -95,6 +107,9 @@ impl Code {
             Code::SelfReferentialView => "E0301",
             Code::DmlOnView => "E0302",
             Code::PartialView => "E0303",
+            Code::KeyViolation => "E0401",
+            Code::KeyOnView => "E0402",
+            Code::DuplicateKeyDeclaration => "E0403",
         }
     }
 
@@ -264,6 +279,9 @@ mod tests {
         assert_eq!(Code::PartialAggregateMayBeUndefined.as_str(), "W0101");
         assert_eq!(Code::PartialAggregateOnEmpty.as_str(), "E0102");
         assert_eq!(Code::UnsoundRewrite.as_str(), "E0201");
+        assert_eq!(Code::KeyViolation.as_str(), "E0401");
+        assert_eq!(Code::KeyOnView.as_str(), "E0402");
+        assert_eq!(Code::DuplicateKeyDeclaration.as_str(), "E0403");
         assert_eq!(
             Code::PartialAggregateMayBeUndefined.severity(),
             Severity::Warning

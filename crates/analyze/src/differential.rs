@@ -20,6 +20,7 @@ use mera_expr::{RelExpr, SchemaProvider};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::diag::{Code, Diagnostic, Span};
+use crate::props::KeyEnv;
 
 /// Cross-checks one rewrite on `trials` randomized instances. `Err`
 /// carries an `E0201` diagnostic with the counterexample.
@@ -30,6 +31,32 @@ pub fn verify_rewrite<P: SchemaProvider>(
     provider: &P,
     trials: u32,
     seed: u64,
+) -> Result<(), Diagnostic> {
+    verify_rewrite_with(
+        rule_name,
+        before,
+        after,
+        provider,
+        trials,
+        seed,
+        &KeyEnv::new(),
+    )
+}
+
+/// [`verify_rewrite`] with declared key constraints in scope: generated
+/// instances *satisfy* the keys (rows colliding on a declared key are
+/// dropped and keyed relations get multiplicity 1), since a key-licensed
+/// rewrite is only claimed sound on databases where the constraint
+/// actually holds — an unconstrained random instance would refute it
+/// spuriously.
+pub fn verify_rewrite_with<P: SchemaProvider>(
+    rule_name: &str,
+    before: &RelExpr,
+    after: &RelExpr,
+    provider: &P,
+    trials: u32,
+    seed: u64,
+    keys: &KeyEnv,
 ) -> Result<(), Diagnostic> {
     // the instance must cover whatever either side reads
     let mut names: Vec<&str> = before.scanned_relations();
@@ -50,7 +77,7 @@ pub fn verify_rewrite<P: SchemaProvider>(
 
     let mut rng = StdRng::seed_from_u64(seed);
     for trial in 0..trials {
-        let db = random_instance(&schemas, &mut rng);
+        let db = random_instance(&schemas, &mut rng, keys);
         let expected = mera_eval::eval(before, &db);
         let actual = mera_eval::eval(after, &db);
         let agree = match (&expected, &actual) {
@@ -101,10 +128,17 @@ impl RelationProvider for Instance {
     }
 }
 
-fn random_instance(schemas: &[(&str, SchemaRef)], rng: &mut StdRng) -> Instance {
+fn random_instance(schemas: &[(&str, SchemaRef)], rng: &mut StdRng, keys: &KeyEnv) -> Instance {
     let mut relations = HashMap::new();
     for (name, schema) in schemas {
         let rows = rng.gen_range(0..4usize);
+        let declared: Vec<&Vec<usize>> = keys
+            .keys_of(name)
+            .iter()
+            .filter(|k| k.iter().all(|&a| a >= 1 && a <= schema.arity()))
+            .collect();
+        // key points (per declared key) already used by an inserted row
+        let mut used: Vec<Vec<Vec<Value>>> = vec![Vec::new(); declared.len()];
         let mut rel = Relation::empty(std::sync::Arc::clone(schema));
         for _ in 0..rows {
             let values: Vec<Value> = schema
@@ -112,7 +146,23 @@ fn random_instance(schemas: &[(&str, SchemaRef)], rng: &mut StdRng) -> Instance 
                 .iter()
                 .map(|a| random_value(a.dtype, rng))
                 .collect();
-            let m = rng.gen_range(1..3u64);
+            let points: Vec<Vec<Value>> = declared
+                .iter()
+                .map(|k| k.iter().map(|&a| values[a - 1].clone()).collect())
+                .collect();
+            if points.iter().zip(&used).any(|(p, u)| u.contains(p)) {
+                continue; // would violate a declared key — drop the row
+            }
+            for (p, u) in points.into_iter().zip(&mut used) {
+                u.push(p);
+            }
+            // a keyed relation bounds summed multiplicity per key point by
+            // 1, so its rows must come in with multiplicity exactly 1
+            let m = if declared.is_empty() {
+                rng.gen_range(1..3u64)
+            } else {
+                1
+            };
             rel.insert(Tuple::new(values), m).expect("schema-typed row");
         }
         relations.insert((*name).to_owned(), rel);

@@ -25,6 +25,11 @@
 //!    (`E0201` on refusal), and debug builds additionally cross-check each
 //!    applied rewrite by differential evaluation on small randomized
 //!    instances, catching δ-over-⊎ style misrewrites by construction.
+//! 4. **Plan-property inference** ([`props`]) — a bottom-up abstract
+//!    interpretation deriving candidate keys, functional dependencies,
+//!    duplicate-freeness and constant columns for every plan node from
+//!    declared key constraints ([`KeyEnv`]), with `E0401`–`E0403`
+//!    diagnostics guarding the constraints themselves.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,13 +39,18 @@ pub mod diag;
 pub mod differential;
 pub mod plan;
 pub mod program;
+pub mod props;
 pub mod rewrite;
 pub mod views;
 
 pub use card::{range_env_of_database, range_of_plan, CardRange, RangeEnv};
 pub use diag::{first_error, has_errors, render, Code, Diagnostic, Severity, Span};
-pub use differential::verify_rewrite;
+pub use differential::{verify_rewrite, verify_rewrite_with};
 pub use plan::{analyze_plan, Card, CardEnv, PlanAnalysis};
 pub use program::{analyze_program, ProgramStmt};
-pub use rewrite::{discharge, duplicate_free, provably_empty, Condition, Precondition};
+pub use props::{infer_props, KeyEnv, Props};
+pub use rewrite::{
+    discharge, discharge_with, duplicate_free, duplicate_free_with, provably_empty, Condition,
+    Precondition,
+};
 pub use views::{analyze_view_def, structural_card, ViewAnalysis};

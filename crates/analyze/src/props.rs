@@ -1,0 +1,737 @@
+//! Plan-property inference: keys, functional dependencies and
+//! duplicate-freeness as *derivable* properties of an expression.
+//!
+//! The paper's formal core is exactly when δ commutes with or becomes
+//! redundant under the multi-set operators (Theorem 3.3 and the
+//! Definition 3.4 family). This module answers that question *semantically*
+//! instead of syntactically: a bottom-up abstract interpretation derives,
+//! for every plan node, a [`Props`] lattice element — candidate keys,
+//! functional dependencies, duplicate-freeness ("set-ness"), and constant
+//! columns — from declared key constraints ([`KeyEnv`]) and the structure
+//! of the operators.
+//!
+//! # The bag-model key
+//!
+//! Over multi-sets, a column set `K` is a **key** of an expression `E` iff
+//! for every point of the `K`-projection the summed multiplicity of the
+//! tuples of `E` agreeing on `K` is at most one. Two consequences shape
+//! the lattice:
+//!
+//! * a key implies duplicate-freeness (each tuple's own multiplicity is
+//!   bounded by its `K`-group's total), and
+//! * the empty key means `|E| ≤ 1`.
+//!
+//! # Transfer functions
+//!
+//! * `scan r` — the declared keys of `r` ([`KeyEnv`]);
+//! * `values` — duplicate-free iff every multiplicity is 1 (then the full
+//!   column set is a key); single-valued columns are constants;
+//! * `σ` — preserves keys and set-ness (multiplicities only shrink);
+//!   `%i = lit` conjuncts add constants, `%i = %j` conjuncts add FDs, and
+//!   constants shrink keys (a constant column discriminates nothing);
+//! * `π` — keeps a key iff the retained columns *determine* it (FD
+//!   closure); otherwise collapsing sums multiplicities and every fact is
+//!   lost;
+//! * `×` — set iff both sides are sets; keys compose pairwise;
+//! * `⋈` — `×` then `σ`, plus the equi-join FD refinement: when one
+//!   side's join columns cover a key of that side, each tuple of the
+//!   *other* side matches at most once, so the other side's keys survive
+//!   alone;
+//! * `⊎` — destroys set-ness unless an operand is provably empty
+//!   (Theorem 3.3's caveat: δ does not distribute over ⊎);
+//! * `−`, `∩` — multiplicities only decrease, so facts of the left
+//!   operand (both operands, for `∩`) persist;
+//! * `δ`, `α` — sets by definition (full column set is a key);
+//! * `γ` — one output tuple per group: the group-by columns are a key of
+//!   the output (the empty grouping yields at most one row).
+//!
+//! Non-nullability is part of the lattice in spirit but vacuous in this
+//! core: the value domain ([`mera_core::prelude::Value`]) has no NULL, so
+//! every column of every expression is trivially non-nullable and no
+//! transfer function needs to track it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mera_expr::{CmpOp, RelExpr, ScalarExpr, SchemaProvider};
+
+use crate::rewrite::provably_empty;
+
+/// Declared key constraints: the ground facts of the property inference.
+///
+/// Maps each relation to its declared candidate keys (1-based attribute
+/// sets). Built from the catalog's durable key definitions; the planner
+/// must omit relations whose pre-transaction key facts are stale (dirtied
+/// by the running transaction), exactly like index access paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeyEnv {
+    keys: BTreeMap<String, Vec<Vec<usize>>>,
+}
+
+impl KeyEnv {
+    /// An environment with no declared keys.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no key is declared at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Declares `attrs` (1-based) as a candidate key of `relation`.
+    pub fn declare(&mut self, relation: impl Into<String>, attrs: Vec<usize>) {
+        self.keys.entry(relation.into()).or_default().push(attrs);
+    }
+
+    /// Builds an environment from durable `(relation, key attrs)`
+    /// definitions — the shape the catalog's key set reports.
+    pub fn from_definitions(defs: &[(String, Vec<usize>)]) -> Self {
+        let mut env = KeyEnv::new();
+        for (relation, attrs) in defs {
+            env.declare(relation.clone(), attrs.clone());
+        }
+        env
+    }
+
+    /// The declared keys of a relation (empty when none).
+    pub fn keys_of(&self, relation: &str) -> &[Vec<usize>] {
+        self.keys
+            .get(relation)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+}
+
+/// The structural properties of one plan node's output.
+///
+/// `keys` holds *minimal* candidate keys (no key is a superset of
+/// another); `fds` holds functional dependencies gathered from equality
+/// predicates; `constants` holds columns provably single-valued. The
+/// invariant `!keys.is_empty() ⇒ duplicate_free` always holds (see the
+/// module docs for the bag-model key definition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Props {
+    /// Output arity (0 when the expression does not type-check).
+    pub arity: usize,
+    /// Minimal candidate keys, as 1-based column sets.
+    pub keys: Vec<BTreeSet<usize>>,
+    /// Functional dependencies `lhs → rhs` from equality predicates.
+    pub fds: Vec<(BTreeSet<usize>, usize)>,
+    /// True when every output tuple provably has multiplicity 1.
+    pub duplicate_free: bool,
+    /// Columns provably holding a single value across all output tuples.
+    pub constants: BTreeSet<usize>,
+}
+
+impl Props {
+    /// The bottom element: nothing is known.
+    pub fn bottom(arity: usize) -> Self {
+        Props {
+            arity,
+            keys: Vec::new(),
+            fds: Vec::new(),
+            duplicate_free: false,
+            constants: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a candidate key, keeping the key list minimal: supersets of an
+    /// existing key are dropped, existing supersets of the new key are
+    /// evicted. A key implies duplicate-freeness.
+    pub fn add_key(&mut self, key: BTreeSet<usize>) {
+        if self.keys.iter().any(|k| k.is_subset(&key)) {
+            return;
+        }
+        self.keys.retain(|k| !key.is_subset(k));
+        self.keys.push(key);
+        self.duplicate_free = true;
+    }
+
+    /// True when `cols` is a (super)key of this output.
+    pub fn is_superkey(&self, cols: &BTreeSet<usize>) -> bool {
+        let closed = self.closure(cols);
+        self.keys.iter().any(|k| k.is_subset(&closed))
+    }
+
+    /// The FD closure of a column set: everything determined by `cols`
+    /// under the gathered dependencies, with constants determined by ∅.
+    pub fn closure(&self, cols: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closed: BTreeSet<usize> = cols.union(&self.constants).copied().collect();
+        loop {
+            let before = closed.len();
+            for (lhs, rhs) in &self.fds {
+                if lhs.is_subset(&closed) {
+                    closed.insert(*rhs);
+                }
+            }
+            if closed.len() == before {
+                return closed;
+            }
+        }
+    }
+
+    /// Constants discriminate nothing, so every key shrinks by them;
+    /// re-minimalizes the key list.
+    fn shrink_keys_by_constants(&mut self) {
+        if self.constants.is_empty() || self.keys.is_empty() {
+            return;
+        }
+        let old = std::mem::take(&mut self.keys);
+        for k in old {
+            self.add_key(k.difference(&self.constants).copied().collect());
+        }
+    }
+
+    /// Renders the properties for EXPLAIN output: `[key: (a,b), set]`.
+    /// Empty when nothing beyond the trivial is known.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(key) = self.keys.iter().min_by_key(|k| (k.len(), (*k).clone())) {
+            let cols: Vec<String> = key.iter().map(|c| format!("%{c}")).collect();
+            parts.push(format!("key: ({})", cols.join(",")));
+        }
+        if self.duplicate_free {
+            parts.push("set".to_owned());
+        }
+        if !self.constants.is_empty() {
+            let cols: Vec<String> = self.constants.iter().map(|c| format!("%{c}")).collect();
+            parts.push(format!("const: {}", cols.join(",")));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("[{}]", parts.join(", "))
+        }
+    }
+}
+
+/// Derives the structural properties of `expr`'s output by bottom-up
+/// abstract interpretation (see the module docs for the per-operator
+/// transfer functions). Total: an expression that does not type-check
+/// gets [`Props::bottom`], never an error.
+pub fn infer_props<P: SchemaProvider + ?Sized>(
+    expr: &RelExpr,
+    provider: &P,
+    env: &KeyEnv,
+) -> Props {
+    match expr {
+        RelExpr::Scan(name) => {
+            let Ok(schema) = provider.relation_schema(name) else {
+                return Props::bottom(0);
+            };
+            let arity = schema.arity();
+            let mut p = Props::bottom(arity);
+            for key in env.keys_of(name) {
+                if key.iter().all(|&a| a >= 1 && a <= arity) {
+                    p.add_key(key.iter().copied().collect());
+                }
+            }
+            p
+        }
+        RelExpr::Values(rel) => {
+            let arity = rel.schema().arity();
+            let mut p = Props::bottom(arity);
+            let mut total: u64 = 0;
+            let mut duplicate_free = true;
+            for (_, m) in rel.iter() {
+                total += m;
+                if m != 1 {
+                    duplicate_free = false;
+                }
+            }
+            if total <= 1 {
+                p.add_key(BTreeSet::new());
+            } else if duplicate_free {
+                p.add_key((1..=arity).collect());
+            }
+            for col in 1..=arity {
+                let mut values = rel.support().map(|t| &t.values()[col - 1]);
+                if let Some(first) = values.next() {
+                    if values.all(|v| v == first) {
+                        p.constants.insert(col);
+                    }
+                }
+            }
+            p.shrink_keys_by_constants();
+            p
+        }
+        RelExpr::Select { input, predicate } => {
+            let p = infer_props(input, provider, env);
+            apply_predicate(p, predicate)
+        }
+        RelExpr::Project { input, attrs } => {
+            let p = infer_props(input, provider, env);
+            project_props(&p, attrs.indexes())
+        }
+        RelExpr::ExtProject { input, exprs } => {
+            let p = infer_props(input, provider, env);
+            let mut out = ext_project_props(&p, exprs);
+            for (pos, e) in exprs.iter().enumerate() {
+                if matches!(e, ScalarExpr::Literal(_)) {
+                    out.constants.insert(pos + 1);
+                }
+            }
+            out.shrink_keys_by_constants();
+            out
+        }
+        RelExpr::Union(l, r) => {
+            // Theorem 3.3's caveat: ⊎ adds multiplicities, so set-ness dies
+            // unless an operand contributes nothing.
+            if provably_empty(l) {
+                infer_props(r, provider, env)
+            } else if provably_empty(r) {
+                infer_props(l, provider, env)
+            } else {
+                Props::bottom(infer_props(l, provider, env).arity)
+            }
+        }
+        RelExpr::Difference(l, _) => {
+            // max(0, m₁−m₂): a sub-bag of the left operand, so every left
+            // fact persists.
+            infer_props(l, provider, env)
+        }
+        RelExpr::Intersect(l, r) => {
+            // min(m₁, m₂): a sub-bag of both operands over one schema.
+            let pl = infer_props(l, provider, env);
+            let pr = infer_props(r, provider, env);
+            let mut p = pl;
+            for k in pr.keys {
+                p.add_key(k);
+            }
+            p.duplicate_free |= pr.duplicate_free;
+            p.constants.extend(pr.constants);
+            p.fds.extend(pr.fds);
+            p.shrink_keys_by_constants();
+            p
+        }
+        RelExpr::Product(l, r) => {
+            let pl = infer_props(l, provider, env);
+            let pr = infer_props(r, provider, env);
+            product_props(&pl, &pr)
+        }
+        RelExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let pl = infer_props(left, provider, env);
+            let pr = infer_props(right, provider, env);
+            let la = pl.arity;
+            let product = product_props(&pl, &pr);
+            let mut p = apply_predicate(product, predicate);
+            if la == 0 || pl.arity + pr.arity != p.arity {
+                return p;
+            }
+            // equi-join FD refinement: one side's join columns covering a
+            // key of that side bounds the match count per opposite tuple
+            let mut left_cols = BTreeSet::new();
+            let mut right_cols = BTreeSet::new();
+            for conj in predicate.conjuncts() {
+                if let ScalarExpr::Cmp(CmpOp::Eq, a, b) = conj {
+                    if let (ScalarExpr::Attr(i), ScalarExpr::Attr(j)) = (a.as_ref(), b.as_ref()) {
+                        let (lo, hi) = if i <= j { (*i, *j) } else { (*j, *i) };
+                        if lo >= 1 && lo <= la && hi > la && hi <= p.arity {
+                            left_cols.insert(lo);
+                            right_cols.insert(hi - la);
+                        }
+                    }
+                }
+            }
+            if pr.is_superkey(&right_cols) && !right_cols.is_empty() {
+                for k in &pl.keys {
+                    p.add_key(k.clone());
+                }
+                p.duplicate_free |= pl.duplicate_free && pr.duplicate_free;
+            }
+            if pl.is_superkey(&left_cols) && !left_cols.is_empty() {
+                for k in &pr.keys {
+                    p.add_key(k.iter().map(|c| c + la).collect());
+                }
+                p.duplicate_free |= pl.duplicate_free && pr.duplicate_free;
+            }
+            p.shrink_keys_by_constants();
+            p
+        }
+        RelExpr::Distinct(input) => {
+            let mut p = infer_props(input, provider, env);
+            p.duplicate_free = true;
+            p.add_key((1..=p.arity).collect());
+            p.shrink_keys_by_constants();
+            p
+        }
+        RelExpr::GroupBy { input, keys, .. } => {
+            let p = infer_props(input, provider, env);
+            let arity = keys.len() + 1;
+            let mut out = Props::bottom(arity);
+            out.add_key((1..=keys.len()).collect());
+            for (pos, &src) in keys.iter().enumerate() {
+                if p.constants.contains(&src) {
+                    out.constants.insert(pos + 1);
+                }
+            }
+            out.shrink_keys_by_constants();
+            out
+        }
+        RelExpr::Closure(_) => {
+            // α is duplicate-free by definition (Definition 3.5)
+            let mut p = Props::bottom(2);
+            p.add_key([1, 2].into_iter().collect());
+            p
+        }
+    }
+}
+
+/// The σ transfer function: keys and set-ness survive (multiplicities
+/// only shrink), equality conjuncts add constants and FDs, and constants
+/// shrink keys.
+fn apply_predicate(mut p: Props, predicate: &ScalarExpr) -> Props {
+    for conj in predicate.conjuncts() {
+        if let ScalarExpr::Cmp(CmpOp::Eq, a, b) = conj {
+            match (a.as_ref(), b.as_ref()) {
+                (ScalarExpr::Attr(i), ScalarExpr::Literal(_))
+                | (ScalarExpr::Literal(_), ScalarExpr::Attr(i))
+                    if *i >= 1 && *i <= p.arity =>
+                {
+                    p.constants.insert(*i);
+                }
+                (ScalarExpr::Attr(i), ScalarExpr::Attr(j))
+                    if *i >= 1 && *i <= p.arity && *j >= 1 && *j <= p.arity && i != j =>
+                {
+                    p.fds.push(([*i].into_iter().collect(), *j));
+                    p.fds.push(([*j].into_iter().collect(), *i));
+                }
+                _ => {}
+            }
+        }
+    }
+    p.shrink_keys_by_constants();
+    p
+}
+
+/// The π transfer function over a plain attribute list (1-based input
+/// attrs in output order).
+fn project_props(p: &Props, attrs: &[usize]) -> Props {
+    let arity = attrs.len();
+    let mut out = Props::bottom(arity);
+    if attrs.iter().any(|&a| a < 1 || a > p.arity) {
+        return out;
+    }
+    // first output position of each retained input attr
+    let mut pos_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for (pos, &src) in attrs.iter().enumerate() {
+        pos_of.entry(src).or_insert(pos + 1);
+    }
+    let retained: BTreeSet<usize> = pos_of.keys().copied().collect();
+
+    // π keeps a key iff it retains a determining set: the retained
+    // columns' FD closure covering a key means no two input tuples agree
+    // on the retained set, so nothing collapses
+    let closed = p.closure(&retained);
+    let superkey = p.keys.iter().any(|k| k.is_subset(&closed));
+    if superkey {
+        // keys expressible directly in retained columns survive as-is
+        for k in &p.keys {
+            if k.iter().all(|c| retained.contains(c)) {
+                out.add_key(k.iter().map(|c| pos_of[c]).collect());
+            }
+        }
+        // the full retained set is always a superkey here
+        out.add_key(pos_of.values().copied().collect());
+    }
+    for (lhs, rhs) in &p.fds {
+        if retained.contains(rhs) && lhs.iter().all(|c| retained.contains(c)) {
+            out.fds
+                .push((lhs.iter().map(|c| pos_of[c]).collect(), pos_of[rhs]));
+        }
+    }
+    for c in &p.constants {
+        if let Some(&pos) = pos_of.get(c) {
+            out.constants.insert(pos);
+        }
+    }
+    // duplicated output columns are mutually determined
+    for (pos, &src) in attrs.iter().enumerate() {
+        let first = pos_of[&src];
+        if first != pos + 1 {
+            out.fds.push(([first].into_iter().collect(), pos + 1));
+            out.fds.push(([pos + 1].into_iter().collect(), first));
+        }
+    }
+    out.shrink_keys_by_constants();
+    out
+}
+
+/// The π̄ (extended projection) transfer function: only pure attribute
+/// outputs participate in the key mapping; computed outputs are
+/// deterministic functions of their inputs but are not tracked as keys.
+fn ext_project_props(p: &Props, exprs: &[ScalarExpr]) -> Props {
+    let arity = exprs.len();
+    let mut out = Props::bottom(arity);
+    let mut pos_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for (pos, e) in exprs.iter().enumerate() {
+        if let ScalarExpr::Attr(src) = e {
+            if *src >= 1 && *src <= p.arity {
+                pos_of.entry(*src).or_insert(pos + 1);
+            }
+        }
+    }
+    let retained: BTreeSet<usize> = pos_of.keys().copied().collect();
+    let closed = p.closure(&retained);
+    // every output column is a deterministic function of the input tuple;
+    // when the pure-attr outputs determine a key, distinct input tuples
+    // stay distinct and each carries its multiplicity-1 forward
+    if p.keys.iter().any(|k| k.is_subset(&closed)) {
+        for k in &p.keys {
+            if k.iter().all(|c| retained.contains(c)) {
+                out.add_key(k.iter().map(|c| pos_of[c]).collect());
+            }
+        }
+        out.add_key(pos_of.values().copied().collect());
+    }
+    for c in &p.constants {
+        if let Some(&pos) = pos_of.get(c) {
+            out.constants.insert(pos);
+        }
+    }
+    out.shrink_keys_by_constants();
+    out
+}
+
+/// The × transfer function: keys compose pairwise, set-ness needs both.
+fn product_props(pl: &Props, pr: &Props) -> Props {
+    let la = pl.arity;
+    let mut p = Props::bottom(la + pr.arity);
+    for kl in &pl.keys {
+        for kr in &pr.keys {
+            p.add_key(
+                kl.iter()
+                    .copied()
+                    .chain(kr.iter().map(|c| c + la))
+                    .collect(),
+            );
+        }
+    }
+    p.duplicate_free = pl.duplicate_free && pr.duplicate_free;
+    p.constants = pl
+        .constants
+        .iter()
+        .copied()
+        .chain(pr.constants.iter().map(|c| c + la))
+        .collect();
+    p.fds = pl
+        .fds
+        .iter()
+        .cloned()
+        .chain(
+            pr.fds
+                .iter()
+                .map(|(lhs, rhs)| (lhs.iter().map(|c| c + la).collect(), rhs + la)),
+        )
+        .collect();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_core::prelude::*;
+    use mera_core::tuple;
+    use mera_expr::Aggregate;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "r",
+                Schema::anon(&[DataType::Int, DataType::Str, DataType::Int]),
+            )
+            .expect("fresh")
+            .with("s", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+    }
+
+    fn keyed() -> KeyEnv {
+        let mut env = KeyEnv::new();
+        env.declare("r", vec![1]);
+        env.declare("s", vec![1]);
+        env
+    }
+
+    fn set_of(cols: &[usize]) -> BTreeSet<usize> {
+        cols.iter().copied().collect()
+    }
+
+    #[test]
+    fn scan_uses_declared_keys() {
+        let cat = catalog();
+        let p = infer_props(&RelExpr::scan("r"), &cat, &keyed());
+        assert!(p.duplicate_free);
+        assert_eq!(p.keys, vec![set_of(&[1])]);
+        let p = infer_props(&RelExpr::scan("r"), &cat, &KeyEnv::new());
+        assert!(!p.duplicate_free);
+        assert!(p.keys.is_empty());
+    }
+
+    #[test]
+    fn select_preserves_keys_and_learns_constants() {
+        let cat = catalog();
+        let e = RelExpr::scan("r").select(ScalarExpr::attr(3).eq(ScalarExpr::int(7)));
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(p.duplicate_free);
+        assert_eq!(p.keys, vec![set_of(&[1])]);
+        assert!(p.constants.contains(&3));
+    }
+
+    #[test]
+    fn constant_key_column_shrinks_key_to_empty() {
+        let cat = catalog();
+        // σ(%1 = 7) over key(%1): at most one row survives — empty key
+        let e = RelExpr::scan("r").select(ScalarExpr::attr(1).eq(ScalarExpr::int(7)));
+        let p = infer_props(&e, &cat, &keyed());
+        assert_eq!(p.keys, vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn projection_keeps_key_iff_determining_set_retained() {
+        let cat = catalog();
+        let keeps = RelExpr::scan("r").project(&[1, 2]);
+        let p = infer_props(&keeps, &cat, &keyed());
+        assert!(p.duplicate_free);
+        assert!(p.keys.contains(&set_of(&[1])));
+        // dropping the key column collapses multiplicities
+        let drops = RelExpr::scan("r").project(&[2, 3]);
+        let p = infer_props(&drops, &cat, &keyed());
+        assert!(!p.duplicate_free);
+        assert!(p.keys.is_empty());
+    }
+
+    #[test]
+    fn projection_recovers_key_through_fd_closure() {
+        let cat = catalog();
+        // σ(%1 = %3) makes %3 determine %1 (the key); π(%2,%3) retains a
+        // determining set even though the key column itself is dropped
+        let e = RelExpr::scan("r")
+            .select(ScalarExpr::attr(1).eq(ScalarExpr::attr(3)))
+            .project(&[2, 3]);
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(p.duplicate_free, "FD closure must recover the key");
+    }
+
+    #[test]
+    fn join_composes_keys_via_unique_side() {
+        let cat = catalog();
+        // r ⋈[%3 = %4] s with key s(%1): each r row matches ≤ 1 s row, so
+        // r's key survives alone
+        let e = RelExpr::scan("r").join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(3).eq(ScalarExpr::attr(4)),
+        );
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(p.duplicate_free);
+        assert!(p.keys.contains(&set_of(&[1])), "keys: {:?}", p.keys);
+    }
+
+    #[test]
+    fn join_without_unique_side_composes_pairwise() {
+        let cat = catalog();
+        // joining on non-key columns: only the composed pairwise key holds
+        let e = RelExpr::scan("r").join(
+            RelExpr::scan("s"),
+            ScalarExpr::attr(3).eq(ScalarExpr::attr(5)),
+        );
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(p.duplicate_free);
+        assert!(p.keys.contains(&set_of(&[1, 4])), "keys: {:?}", p.keys);
+    }
+
+    #[test]
+    fn union_destroys_setness_unless_disjoint() {
+        let cat = catalog();
+        let e = RelExpr::scan("r").union(RelExpr::scan("r"));
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(!p.duplicate_free, "⊎ adds multiplicities (Theorem 3.3)");
+        // with a provably empty operand the other side's facts survive
+        let empty = RelExpr::scan("r").select(ScalarExpr::bool(false));
+        let e = RelExpr::scan("r").union(empty);
+        let p = infer_props(&e, &cat, &keyed());
+        assert!(p.duplicate_free);
+    }
+
+    #[test]
+    fn difference_and_intersection_preserve() {
+        let cat = catalog();
+        let p = infer_props(
+            &RelExpr::scan("r").difference(RelExpr::scan("r")),
+            &cat,
+            &keyed(),
+        );
+        assert!(p.duplicate_free);
+        // ∩ is a set when either side is
+        let p = infer_props(
+            &RelExpr::scan("s").intersect(RelExpr::scan("s")),
+            &cat,
+            &KeyEnv::from_definitions(&[("s".to_owned(), vec![1])]),
+        );
+        assert!(p.duplicate_free);
+    }
+
+    #[test]
+    fn distinct_groupby_closure_are_sets() {
+        let cat = catalog();
+        let env = KeyEnv::new();
+        let p = infer_props(&RelExpr::scan("r").distinct(), &cat, &env);
+        assert!(p.duplicate_free);
+        assert!(p.keys.contains(&set_of(&[1, 2, 3])));
+        let p = infer_props(
+            &RelExpr::scan("r").group_by(&[2], Aggregate::Cnt, 1),
+            &cat,
+            &env,
+        );
+        assert!(p.duplicate_free);
+        assert_eq!(p.keys, vec![set_of(&[1])]);
+        // empty grouping: at most one row
+        let p = infer_props(
+            &RelExpr::scan("r").group_by(&[], Aggregate::Cnt, 1),
+            &cat,
+            &env,
+        );
+        assert_eq!(p.keys, vec![BTreeSet::new()]);
+        let p = infer_props(&RelExpr::scan("s").closure(), &cat, &env);
+        assert!(p.duplicate_free);
+    }
+
+    #[test]
+    fn values_props_are_exact() {
+        let cat = catalog();
+        let env = KeyEnv::new();
+        let schema = std::sync::Arc::new(Schema::anon(&[DataType::Int, DataType::Int]));
+        let rel = Relation::from_counted(
+            std::sync::Arc::clone(&schema),
+            vec![(tuple![1_i64, 5_i64], 1), (tuple![2_i64, 5_i64], 1)],
+        )
+        .expect("typed");
+        let p = infer_props(&RelExpr::values(rel), &cat, &env);
+        assert!(p.duplicate_free);
+        assert!(p.constants.contains(&2));
+        // constant column 2 shrinks the full-set key to {1}
+        assert_eq!(p.keys, vec![set_of(&[1])]);
+        let dup = Relation::from_counted(schema, vec![(tuple![1_i64, 5_i64], 2)]).expect("typed");
+        let p = infer_props(&RelExpr::values(dup), &cat, &env);
+        assert!(!p.duplicate_free);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let cat = catalog();
+        let p = infer_props(&RelExpr::scan("r"), &cat, &keyed());
+        assert_eq!(p.render(), "[key: (%1), set]");
+        let p = infer_props(&RelExpr::scan("r"), &cat, &KeyEnv::new());
+        assert_eq!(p.render(), "");
+    }
+
+    #[test]
+    fn untypable_expression_is_bottom() {
+        let cat = catalog();
+        let p = infer_props(&RelExpr::scan("nosuch"), &cat, &keyed());
+        assert_eq!(p, Props::bottom(0));
+    }
+}

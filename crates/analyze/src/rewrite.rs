@@ -18,6 +18,7 @@ use mera_expr::{RelExpr, ScalarExpr, SchemaProvider};
 use mera_core::prelude::Value;
 
 use crate::diag::{Code, Diagnostic, Span};
+use crate::props::{infer_props, KeyEnv};
 
 /// One machine-checkable soundness obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,12 @@ pub enum Condition {
     /// (Theorem 3.3 shows it does not in general). Statically this is
     /// dischargeable only when one operand is provably empty.
     DisjointUnionOperands,
+    /// The original must be a `γ` whose grouping columns form a superkey
+    /// of its input under the inferred plan properties
+    /// ([`infer_props`]) — the obligation of keyed-γ simplification,
+    /// where every group is a singleton with multiplicity 1. Only
+    /// dischargeable when declared keys are in scope ([`discharge_with`]).
+    InputKeyedByGroupColumns,
 }
 
 /// A rule's declared soundness argument.
@@ -65,12 +72,31 @@ impl Precondition {
 /// Attempts to discharge every obligation of `pre` for one application
 /// rewriting `before` into `after`. `Err` carries the `E0201` diagnostic
 /// the driver turns into a refusal.
+///
+/// Discharges against an empty [`KeyEnv`]: only syntactic facts are
+/// available. Use [`discharge_with`] to make declared keys (and the
+/// property inference built on them) available to the obligations.
 pub fn discharge<P: SchemaProvider>(
     rule_name: &str,
     pre: &Precondition,
     before: &RelExpr,
     after: &RelExpr,
     provider: &P,
+) -> Result<(), Diagnostic> {
+    discharge_with(rule_name, pre, before, after, provider, &KeyEnv::new())
+}
+
+/// [`discharge`] with declared key constraints in scope: the
+/// `OutputDuplicateFree` obligation is proven either syntactically
+/// ([`duplicate_free`]) or semantically, from the property lattice
+/// ([`infer_props`]) grounded in `keys`.
+pub fn discharge_with<P: SchemaProvider>(
+    rule_name: &str,
+    pre: &Precondition,
+    before: &RelExpr,
+    after: &RelExpr,
+    provider: &P,
+    keys: &KeyEnv,
 ) -> Result<(), Diagnostic> {
     for condition in &pre.conditions {
         match condition {
@@ -98,7 +124,7 @@ pub fn discharge<P: SchemaProvider>(
                 }
             }
             Condition::OutputDuplicateFree => {
-                if !duplicate_free(after) {
+                if !duplicate_free_with(after, provider, keys) {
                     return Err(refusal(
                         rule_name,
                         pre,
@@ -108,6 +134,32 @@ pub fn discharge<P: SchemaProvider>(
                     .with_note(
                         "dropping a δ is only sound over multi-sets that are \
                          already sets",
+                    ));
+                }
+            }
+            Condition::InputKeyedByGroupColumns => {
+                let keyed = match before {
+                    RelExpr::GroupBy {
+                        input,
+                        keys: group_cols,
+                        ..
+                    } if !group_cols.is_empty() => {
+                        let cols = group_cols.iter().copied().collect();
+                        infer_props(input.as_ref(), provider, keys).is_superkey(&cols)
+                    }
+                    _ => false,
+                };
+                if !keyed {
+                    return Err(refusal(
+                        rule_name,
+                        pre,
+                        before,
+                        "cannot prove the grouping columns form a key of the \
+                         γ input",
+                    )
+                    .with_note(
+                        "collapsing γ to a projection is only sound when every \
+                         group is a singleton with multiplicity 1",
                     ));
                 }
             }
@@ -165,6 +217,19 @@ pub fn duplicate_free(expr: &RelExpr) -> bool {
         RelExpr::Select { input, .. } => duplicate_free(input),
         _ => false,
     }
+}
+
+/// [`duplicate_free`] strengthened by declared key constraints: falls
+/// back to the full property inference ([`infer_props`]) when the
+/// syntactic check fails, so e.g. a scan of a keyed relation — or a
+/// key-preserving join/projection chain over one — is recognized as a
+/// set.
+pub fn duplicate_free_with<P: SchemaProvider + ?Sized>(
+    expr: &RelExpr,
+    provider: &P,
+    keys: &KeyEnv,
+) -> bool {
+    duplicate_free(expr) || (!keys.is_empty() && infer_props(expr, provider, keys).duplicate_free)
 }
 
 /// True when `expr` provably evaluates to the empty multi-set, by

@@ -1,0 +1,299 @@
+//! Distinct-elimination report: the property-inference pass (declared
+//! keys → duplicate-freeness) versus the same plans without key
+//! knowledge, over distinct-heavy workloads.
+//!
+//! Four query shapes over a relation keyed on its first column:
+//!
+//! * `dedup_group` — `γ_{key; max}(δ(member))`: a δ feeding a keyed γ;
+//!   the property pass eliminates the δ *and* collapses the γ to an
+//!   extended projection — the two licensed rewrites composing.
+//! * `dedup_scan` — `δ(member)`: with the key the δ is the identity and
+//!   the plan is a bare scan. Both plans still materialize the full
+//!   million-row output, so this point is bounded by the copy cost the
+//!   rewrite cannot remove.
+//! * `dedup_filter` — `δ(σ_{φ}(member))`: selection preserves keys, so
+//!   the δ above a filtered keyed scan is likewise eliminated.
+//! * `keyed_group` — `γ_{key; sum}(member)`: grouping by a candidate key
+//!   makes every group a singleton; the γ (hash aggregation) collapses to
+//!   an extended projection.
+//!
+//! Each query runs through the standard optimizer twice — once without
+//! and once with the [`KeyEnv`] carrying the declared key — and both
+//! plans execute on the serial physical engine. Results are asserted
+//! equal before any timing is reported, so the sweep doubles as an
+//! end-to-end soundness check of the property-licensed rewrites.
+//!
+//! JSON is hand-rendered (the vendored serde crates are empty shells).
+//!
+//! Usage: `cargo run --release -p mera-bench --bin distinct_elim
+//! [output.json]` — default output `BENCH_pr9.json`. Pass `--smoke` for a
+//! seconds-long CI variant that checks plan equivalence on a small
+//! instance and exits nonzero on any divergence.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mera_analyze::KeyEnv;
+use mera_bench::rng;
+use mera_core::prelude::*;
+use mera_eval::Engine;
+use mera_expr::{Aggregate, CmpOp, RelExpr, ScalarExpr};
+use mera_opt::Optimizer;
+use rand::Rng;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::new()
+        .with(
+            "member",
+            Schema::named(&[
+                ("id", DataType::Int),
+                ("town", DataType::Int),
+                ("score", DataType::Int),
+                ("tag", DataType::Str),
+            ]),
+        )
+        .expect("fresh")
+}
+
+/// `n` rows with a genuinely unique first column — the data the key
+/// enforcement path guarantees for live relations. The string tag makes
+/// the δ's whole-tuple hashing representative of real records.
+fn load(n: usize, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let mut db = Database::new(schema());
+    let rel_schema = Arc::clone(db.relation("member").expect("declared").schema());
+    let mut rel = Relation::empty(rel_schema);
+    for id in 0..n {
+        rel.insert(
+            tuple![
+                id as i64,
+                r.gen_range(0..100_i64),
+                r.gen_range(0..1_000_i64),
+                format!("member-{id:010}-{:010}", r.gen_range(0..1_000_000_i64))
+            ],
+            1,
+        )
+        .expect("well-typed");
+    }
+    db.replace("member", rel).expect("schema matches");
+    db
+}
+
+fn keys() -> KeyEnv {
+    let mut env = KeyEnv::new();
+    env.declare("member", vec![1]);
+    env
+}
+
+fn queries() -> Vec<(&'static str, RelExpr)> {
+    let member = || RelExpr::scan("member");
+    vec![
+        (
+            "dedup_group",
+            member().distinct().group_by(&[1], Aggregate::Max, 3),
+        ),
+        ("dedup_scan", member().distinct()),
+        (
+            "dedup_filter",
+            member()
+                .select(ScalarExpr::attr(3).cmp(CmpOp::Lt, ScalarExpr::int(900)))
+                .distinct(),
+        ),
+        ("keyed_group", member().group_by(&[1], Aggregate::Sum, 3)),
+    ]
+}
+
+struct Report {
+    query: &'static str,
+    plain_plan: String,
+    keyed_plan: String,
+    rows_out: u64,
+    plain_ns: u128,
+    keyed_ns: u128,
+    speedup: f64,
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn measure(query: &'static str, expr: &RelExpr, db: &Database, iters: usize) -> Report {
+    let plain_plan = Optimizer::standard()
+        .optimize(expr, db.schema())
+        .expect("keyless optimize")
+        .expr;
+    let keyed_plan = Optimizer::standard()
+        .with_keys(keys())
+        .optimize(expr, db.schema())
+        .expect("key-aware optimize")
+        .expr;
+
+    let engine = Engine::physical();
+    let want = engine.run(&plain_plan, db).expect("plain plan runs");
+    let got = engine.run(&keyed_plan, db).expect("keyed plan runs");
+    assert_eq!(got, want, "{query}: key-licensed plan diverged");
+
+    let mut plain_times = Vec::with_capacity(iters);
+    let mut keyed_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = engine.run(&plain_plan, db).expect("plain plan runs");
+        plain_times.push(start.elapsed());
+        assert_eq!(out.len(), want.len());
+        let start = Instant::now();
+        let out = engine.run(&keyed_plan, db).expect("keyed plan runs");
+        keyed_times.push(start.elapsed());
+        assert_eq!(out.len(), want.len());
+    }
+    let plain = median(plain_times);
+    let keyed = median(keyed_times);
+    Report {
+        query,
+        plain_plan: format!("{plain_plan}"),
+        keyed_plan: format!("{keyed_plan}"),
+        rows_out: want.len(),
+        plain_ns: plain.as_nanos(),
+        keyed_ns: keyed.as_nanos(),
+        speedup: plain.as_secs_f64() / keyed.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(rows: usize, iters: usize, reports: &[Report]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"distinct_elim\",");
+    let _ = writeln!(j, "  \"rows\": {rows},");
+    let _ = writeln!(j, "  \"iters_per_point\": {iters},");
+    let _ = writeln!(
+        j,
+        "  \"note\": \"plain_ns: the query planned without key knowledge (the \\u03b4 / \
+         \\u03b3 hashes every row); keyed_ns: the same query planned with `key member(id)` \
+         declared, so the property pass proves the input duplicate-free and the rewrite \
+         drops the operator; both plans asserted to produce the same multi-set before \
+         timing; speedup = plain_ns / keyed_ns, medians over iters_per_point runs; \
+         regenerate with `cargo run --release -p mera-bench --bin distinct_elim`\","
+    );
+    j.push_str("  \"queries\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"query\": \"{}\", \"plain_plan\": \"{}\", \"keyed_plan\": \"{}\", \
+             \"rows_out\": {}, \"plain_ns\": {}, \"keyed_ns\": {}, \"speedup\": {:.2}}}",
+            r.query,
+            json_escape(&r.plain_plan),
+            json_escape(&r.keyed_plan),
+            r.rows_out,
+            r.plain_ns,
+            r.keyed_ns,
+            r.speedup
+        );
+        j.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// Smoke mode: a small instance; the keyed plan must drop its δ/γ and
+/// still agree with the canonical result on every query.
+fn smoke() -> Result<(), String> {
+    let db = load(5_000, 17);
+    for (name, expr) in queries() {
+        let canonical =
+            mera_eval::eval(&expr, &db).map_err(|e| format!("{name} canonical: {e}"))?;
+        let keyed_plan = Optimizer::standard()
+            .with_keys(keys())
+            .optimize(&expr, db.schema())
+            .map_err(|e| format!("{name} optimize: {e}"))?
+            .expr;
+        let rendered = format!("{keyed_plan}");
+        if rendered.contains("distinct") {
+            return Err(format!(
+                "{name}: key-licensed \u{3b4}-elimination did not fire, plan is {rendered}"
+            ));
+        }
+        if matches!(name, "keyed_group" | "dedup_group") && rendered.contains("groupby") {
+            return Err(format!(
+                "{name}: keyed-\u{3b3} simplification did not fire, plan is {rendered}"
+            ));
+        }
+        let got = Engine::physical()
+            .run(&keyed_plan, &db)
+            .map_err(|e| format!("{name}: {e}"))?;
+        if got != canonical {
+            return Err(format!("{name}: keyed plan diverged from canonical"));
+        }
+        println!("smoke: {name} ok ({} rows, keyed plan agrees)", got.len());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr9.json".to_owned());
+
+    if smoke_mode {
+        if let Err(msg) = smoke() {
+            eprintln!("smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("smoke: key-licensed plans equal canonical plans on every workload");
+        return;
+    }
+
+    let rows = 1_000_000;
+    let iters = 7;
+    let db = load(rows, 1);
+
+    let reports: Vec<Report> = queries()
+        .into_iter()
+        .map(|(name, expr)| measure(name, &expr, &db, iters))
+        .collect();
+
+    let json = render_json(rows, iters, &reports);
+    std::fs::write(&out_path, json).expect("writable output path");
+    println!("wrote {out_path}");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>9}",
+        "query", "rows_out", "plain", "keyed", "speedup"
+    );
+    for r in &reports {
+        println!(
+            "{:>12} {:>10} {:>12.2?} {:>12.2?} {:>8.1}x",
+            r.query,
+            r.rows_out,
+            Duration::from_nanos(r.plain_ns as u64),
+            Duration::from_nanos(r.keyed_ns as u64),
+            r.speedup
+        );
+    }
+    // the PR's acceptance bound: across the distinct-heavy workload the
+    // property-licensed rewrites must buy at least 2×; individual points
+    // must never lose (the rewrites only remove work)
+    let plain_total: u128 = reports.iter().map(|r| r.plain_ns).sum();
+    let keyed_total: u128 = reports.iter().map(|r| r.keyed_ns).sum();
+    let overall = plain_total as f64 / (keyed_total as f64).max(f64::EPSILON);
+    println!("workload speedup: {overall:.1}x");
+    assert!(
+        overall >= 2.0,
+        "workload speedup {overall:.2}x below the 2x acceptance bound"
+    );
+    for r in &reports {
+        assert!(
+            r.speedup >= 1.2,
+            "{}: speedup {:.2}x — the rewrite made the plan slower",
+            r.query,
+            r.speedup
+        );
+    }
+}

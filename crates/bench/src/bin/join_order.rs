@@ -12,6 +12,10 @@
 //!   model pulls it first, shrinking every downstream intermediate, and
 //!   hints index-nested-loop probes into the indexed fact keys where the
 //!   probe side is small.
+//! * `buildside` — a single restricted-dimension-to-fact join written
+//!   with the fact table on the hash-build side; the asymmetric hash cost
+//!   (`HASH_BUILD_FACTOR` per build row vs 1 per probe row) licenses
+//!   commuting the join so the one-row dimension is built instead.
 //!
 //! Each query runs through both plans on the serial physical engine (the
 //! cost-based plan additionally gets the maintained secondary indexes and
@@ -166,6 +170,21 @@ fn star4() -> RelExpr {
         .join(
             RelExpr::scan("dim_c").select(ScalarExpr::attr(2).eq(ScalarExpr::str("t7"))),
             ScalarExpr::attr(3).eq(ScalarExpr::attr(9)),
+        )
+}
+
+/// `σ[tag='t7'](dim_a) ⋈ fact` written with the 100k-row fact table on
+/// the hash-build side — a single join where the only planning decision
+/// is *which operand to build the hash table from*. The cost model
+/// weighs the build input at [`mera_opt::HASH_BUILD_FACTOR`]× the probe
+/// input, so it commutes the join and builds from the one-row restricted
+/// dimension instead of the fact table.
+fn buildside() -> RelExpr {
+    RelExpr::scan("dim_a")
+        .select(ScalarExpr::attr(2).eq(ScalarExpr::str("t7")))
+        .join(
+            RelExpr::scan("fact"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
         )
 }
 
@@ -334,7 +353,11 @@ fn smoke() -> Result<(), String> {
     let stats = Arc::new(CatalogStats::from_database(&db).map_err(|e| format!("analyze: {e}"))?);
     // the smoke instance's dim_c has 20 tags, so the needle predicate
     // still matches exactly one dimension row
-    for (name, expr) in [("chain3", chain3()), ("star4", star4())] {
+    for (name, expr) in [
+        ("chain3", chain3()),
+        ("star4", star4()),
+        ("buildside", buildside()),
+    ] {
         let canonical =
             mera_eval::eval(&expr, &db).map_err(|e| format!("{name} canonical: {e}"))?;
         let rule_plan = Optimizer::standard()
@@ -407,6 +430,7 @@ fn main() {
     let reports = vec![
         measure("chain3", &chain3(), &db, iters),
         measure("star4", &star4(), &db, iters),
+        measure("buildside", &buildside(), &db, iters),
     ];
 
     let json = render_json(&sizes, iters, &reports);

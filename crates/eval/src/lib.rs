@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod index;
+pub mod keys;
 pub mod morsel;
 pub mod parallel;
 pub mod physical;
@@ -37,6 +38,7 @@ pub mod reference;
 
 pub use engine::{Engine, EngineKind, ExecOptions, DEFAULT_BATCH_SIZE};
 pub use index::{execute_indexed, execute_indexed_with, HashIndex, IndexJoinHints, IndexSet};
+pub use keys::{KeySet, KeyViolation};
 pub use morsel::{execute_morsel, execute_morsel_with};
 pub use parallel::{default_partitions, execute_parallel, execute_parallel_with};
 pub use physical::{collect, execute, execute_with};

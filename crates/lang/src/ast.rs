@@ -199,6 +199,15 @@ pub enum SItem {
         /// The defining expression.
         expr: SRel,
     },
+    /// `key name (attr, …)` — a key-constraint declaration: the summed
+    /// multiplicity per key point is bounded by 1 (the bag-model reading
+    /// of a relational key).
+    KeyDecl {
+        /// The constrained relation.
+        relation: String,
+        /// The key attributes (`%i` or bare names).
+        attrs: Vec<SScalar>,
+    },
     /// `begin p end` — a transaction.
     Transaction(SProgram),
     /// A bare statement (executed as a single-statement transaction).

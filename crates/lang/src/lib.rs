@@ -36,7 +36,7 @@ pub mod session;
 pub mod token;
 
 pub use error::{LangError, LangResult, Pos};
-pub use lower::{lower_script, Lowerer};
+pub use lower::{lower_script, KeyDef, Lowerer};
 pub use parser::{parse_program, parse_rel, parse_script};
 pub use pretty::{program_to_xra, rel_to_xra, scalar_to_xra, stmt_to_xra};
 pub use session::{RunResult, Session};

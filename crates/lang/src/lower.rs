@@ -267,9 +267,19 @@ pub struct ViewDef {
     pub expr: RelExpr,
 }
 
+/// A lowered key-constraint declaration: attribute names resolved to
+/// 1-based indexes against the constrained relation's schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyDef {
+    /// The constrained relation.
+    pub relation: String,
+    /// The key attributes as 1-based indexes.
+    pub attrs: Vec<usize>,
+}
+
 /// A lowered script: schema declarations, materialized-view declarations,
-/// plus one program per transaction (bare statements become
-/// single-statement transactions, matching the paper's rule that
+/// key constraints, plus one program per transaction (bare statements
+/// become single-statement transactions, matching the paper's rule that
 /// transactions are "the best level for database access in practice").
 #[derive(Debug, Clone, Default)]
 pub struct LoweredScript {
@@ -277,6 +287,8 @@ pub struct LoweredScript {
     pub declarations: Vec<RelationSchema>,
     /// Declared materialized views, in source order.
     pub views: Vec<ViewDef>,
+    /// Declared key constraints, in source order.
+    pub keys: Vec<KeyDef>,
     /// One program per transaction.
     pub transactions: Vec<Program>,
 }
@@ -314,6 +326,22 @@ pub fn lower_script<P: SchemaProvider>(script: &SScript, base: &P) -> LangResult
                 out.views.push(ViewDef {
                     name: name.clone(),
                     expr: lowered,
+                });
+            }
+            SItem::KeyDecl { relation, attrs } => {
+                let combined = Combined {
+                    declared: &declared,
+                    base,
+                };
+                let schema = combined.relation_schema(relation)?;
+                let lowerer = Lowerer::new(&combined);
+                let resolved: LangResult<Vec<usize>> = attrs
+                    .iter()
+                    .map(|a| lowerer.resolve_attr(a, &schema))
+                    .collect();
+                out.keys.push(KeyDef {
+                    relation: relation.clone(),
+                    attrs: resolved?,
                 });
             }
             SItem::Transaction(p) => {
@@ -499,6 +527,38 @@ mod tests {
         };
         assert_eq!(exprs.len(), 3);
         assert_eq!(exprs[2], ScalarExpr::attr(3).mul(ScalarExpr::real(1.1)));
+    }
+
+    #[test]
+    fn key_declaration_lowers_with_name_resolution() {
+        let script = parse_script(
+            "relation r (a: int, b: str);\n\
+             key r (a);\n\
+             key r (%2, a);",
+        )
+        .expect("parses");
+        let lowered = lower_script(&script, &EmptyProvider).expect("lowers");
+        assert_eq!(
+            lowered.keys,
+            vec![
+                KeyDef {
+                    relation: "r".into(),
+                    attrs: vec![1],
+                },
+                KeyDef {
+                    relation: "r".into(),
+                    attrs: vec![2, 1],
+                },
+            ]
+        );
+        // unknown attribute and unknown relation are rejected
+        let script = parse_script("relation r (a: int);\nkey r (z);").expect("parses");
+        assert!(lower_script(&script, &EmptyProvider).is_err());
+        let script = parse_script("key s (a);").expect("parses");
+        assert!(matches!(
+            lower_script(&script, &EmptyProvider),
+            Err(LangError::Semantic(CoreError::UnknownRelation(_)))
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! script  := item*
 //! item    := 'relation' IDENT '(' IDENT ':' TYPE (',' IDENT ':' TYPE)* ')' ';'
 //!          | 'view' IDENT '=' rel ';'
+//!          | 'key' IDENT '(' attrref (',' attrref)* ')' ';'
 //!          | 'begin' program 'end' ';'?
 //!          | stmt ';'
 //! program := stmt (';' stmt)* ';'?
@@ -195,6 +196,21 @@ impl Parser {
             let expr = self.rel()?;
             self.expect(&Token::Semi)?;
             return Ok(SItem::ViewDecl { name, expr });
+        }
+        // `key NAME (attr, …);` — same guard: `key = E` stays an
+        // assignment to a temporary called `key`
+        if self.at_kw("key") && matches!(self.peek2(), Some(Token::Ident(_))) {
+            self.bump();
+            let relation = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut attrs = vec![self.attr_ref()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.bump();
+                attrs.push(self.attr_ref()?);
+            }
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::Semi)?;
+            return Ok(SItem::KeyDecl { relation, attrs });
         }
         if self.eat_kw("begin") {
             let prog = self.program(Some("end"))?;
@@ -778,6 +794,32 @@ mod tests {
         assert!(matches!(s.items[0], SItem::RelationDecl { ref attrs, .. } if attrs.len() == 3));
         assert!(matches!(s.items[1], SItem::Transaction(ref p) if p.statements.len() == 2));
         assert!(matches!(s.items[2], SItem::Statement(_)));
+    }
+
+    #[test]
+    fn key_declaration_parses() {
+        let s = parse_script("relation r (a: int, b: int);\nkey r (a, %2);").expect("parses");
+        assert_eq!(s.items.len(), 2);
+        let SItem::KeyDecl {
+            ref relation,
+            ref attrs,
+        } = s.items[1]
+        else {
+            panic!("expected key declaration, got {:?}", s.items[1]);
+        };
+        assert_eq!(relation, "r");
+        assert_eq!(
+            *attrs,
+            vec![SScalar::AttrName("a".into()), SScalar::AttrIndex(2)]
+        );
+        // `key = E;` is still an assignment to a temporary named `key`
+        let s = parse_script("key = project[%1](r);").expect("parses");
+        assert!(matches!(
+            s.items[0],
+            SItem::Statement(SStmt::Assign { ref name, .. }) if name == "key"
+        ));
+        // an empty attribute list is a parse error
+        assert!(parse_script("key r ();").is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mera_expr::RelExpr;
 use mera_txn::exec::ExecConfig;
 use mera_txn::transaction::{run_transaction_cataloged, CommitCatalog, Outcome};
 use mera_txn::views::{CreateViewError, ViewSet};
-use mera_txn::{CatalogStats, ConstraintSet, IndexSet, Program};
+use mera_txn::{CatalogStats, ConstraintSet, IndexSet, KeySet, Program};
 
 use crate::error::{LangError, LangResult};
 use crate::lower::lower_script;
@@ -33,6 +33,7 @@ pub struct Session {
     views: ViewSet,
     stats: Arc<CatalogStats>,
     indexes: Arc<IndexSet>,
+    keys: Arc<KeySet>,
 }
 
 impl Session {
@@ -50,6 +51,7 @@ impl Session {
             views: ViewSet::new(),
             stats: Arc::new(stats),
             indexes: Arc::new(IndexSet::new()),
+            keys: Arc::new(KeySet::new()),
         }
     }
 
@@ -133,6 +135,11 @@ impl Session {
         for view in lowered.views {
             self.create_view(&view.name, view.expr)?;
         }
+        // key constraints install before the script's transactions run, so
+        // every transaction below is planned and enforced under them
+        for key in lowered.keys {
+            self.declare_key(&key.relation, &key.attrs)?;
+        }
         let mut results = Vec::with_capacity(lowered.transactions.len());
         for program in &lowered.transactions {
             results.push(self.run_program(program));
@@ -193,6 +200,7 @@ impl Session {
                 views: Some(&mut self.views),
                 stats: Some(&mut self.stats),
                 indexes: Some(&mut self.indexes),
+                keys: Some(&mut self.keys),
             },
             program,
             self.config,
@@ -229,6 +237,44 @@ impl Session {
         &self.indexes
     }
 
+    /// Declares the 1-based `attrs` as a candidate key of `relation`.
+    /// Existing data violating the key, a key on a view, and a duplicate
+    /// declaration are all rejected with a rendered diagnostic
+    /// (`E0401`/`E0402`/`E0403`). Every subsequent commit enforces the key
+    /// against its net deltas and aborts violators; queries plan with the
+    /// key as a property source (δ-elimination, keyed-γ simplification).
+    pub fn declare_key(&mut self, relation: &str, attrs: &[usize]) -> LangResult<()> {
+        if self.views.get(relation).is_some() {
+            return Err(LangError::Semantic(CoreError::TypeError(format!(
+                "error[E0402]: cannot declare a key on materialized view `{relation}`"
+            ))));
+        }
+        if self.keys.is_declared(relation, attrs) {
+            return Err(LangError::Semantic(CoreError::TypeError(format!(
+                "error[E0403]: key {relation}({}) is already declared",
+                attrs
+                    .iter()
+                    .map(|a| format!("%{a}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ))));
+        }
+        match Arc::make_mut(&mut self.keys)
+            .declare(&self.db, relation, attrs)
+            .map_err(LangError::Semantic)?
+        {
+            Ok(()) => Ok(()),
+            Err(v) => Err(LangError::Semantic(CoreError::TypeError(format!(
+                "error[E0401]: {v}"
+            )))),
+        }
+    }
+
+    /// The session's declared key constraints.
+    pub fn keys(&self) -> &KeySet {
+        &self.keys
+    }
+
     /// The working state a read-only evaluation (or EXPLAIN) runs
     /// against: current database, view snapshots, statistics and indexes.
     fn read_state(&self) -> mera_txn::WorkingState {
@@ -237,6 +283,7 @@ impl Session {
             &self.views,
             Some(Arc::clone(&self.stats)),
             Some(Arc::clone(&self.indexes)),
+            Some(Arc::clone(&self.keys)),
         )
     }
 
@@ -506,6 +553,95 @@ mod tests {
         assert_eq!(diags.len(), 2);
         assert_eq!(diags[0][0].code, mera_analyze::Code::PartialView);
         assert!(diags[1].is_empty());
+    }
+
+    #[test]
+    fn script_declared_key_is_enforced_at_commit() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation member (name: str, town: str);\n\
+                 key member (name);\n\
+                 insert(member, values (str, str) {('dick', 'enschede')});",
+            )
+            .expect("declares and inserts");
+        assert!(session.keys().is_declared("member", &[1]));
+        // a second tuple at the same key point aborts with E0401 and
+        // leaves the database unchanged
+        let results = session
+            .run_script("insert(member, values (str, str) {('dick', 'hengelo')});")
+            .expect("parses and lowers");
+        let RunResult::Aborted(ref msg) = results[0] else {
+            panic!("expected abort, got {:?}", results[0]);
+        };
+        assert!(msg.contains("E0401"), "{msg}");
+        assert_eq!(session.query("member").expect("queries").len(), 1);
+        // replacing the tuple in one transaction is fine: the *net* delta
+        // at the key point stays within bounds
+        let results = session
+            .run_script(
+                "begin\n\
+                   delete(member, select[town = 'enschede'](member));\n\
+                   insert(member, values (str, str) {('dick', 'hengelo')});\n\
+                 end;",
+            )
+            .expect("parses and lowers");
+        assert!(matches!(results[0], RunResult::Committed(_)));
+        let out = session.query("member").expect("queries");
+        assert!(out.contains(&tuple!["dick", "hengelo"]));
+    }
+
+    #[test]
+    fn key_on_view_and_duplicate_key_are_rejected() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation r (a: int);\n\
+                 view v = unique(r);\n\
+                 key r (a);",
+            )
+            .expect("declares");
+        let err = session.run_script("key v (%1);").expect_err("rejected");
+        assert!(err.to_string().contains("E0402"), "{err}");
+        let err = session.run_script("key r (%1);").expect_err("rejected");
+        assert!(err.to_string().contains("E0403"), "{err}");
+    }
+
+    #[test]
+    fn key_declaration_over_violating_data_is_rejected() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation r (a: int, b: int);\n\
+                 insert(r, values (int, int) {(1, 10), (1, 20)});",
+            )
+            .expect("setup");
+        let err = session.run_script("key r (a);").expect_err("rejected");
+        assert!(err.to_string().contains("E0401"), "{err}");
+        assert!(!session.keys().is_declared("r", &[1]));
+        // the two-attribute key holds, so it installs
+        session.run_script("key r (a, b);").expect("declares");
+        assert!(session.keys().is_declared("r", &[1, 2]));
+    }
+
+    #[test]
+    fn declared_key_licenses_delta_elimination_in_queries() {
+        let mut session = Session::new();
+        session
+            .run_script(
+                "relation r (a: int, b: int);\n\
+                 key r (a);\n\
+                 insert(r, values (int, int) {(1, 10), (2, 20)});",
+            )
+            .expect("setup");
+        // δ over a keyed relation is the identity; the plan drops it
+        let plan = session.explain("unique(r)").expect("explains");
+        assert!(
+            !plan.contains("distinct"),
+            "keyed input must license \u{3b4}-elimination:\n{plan}"
+        );
+        let out = session.query("unique(r)").expect("queries");
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! (join orders, access paths, rule ablations), not to be accurate in
 //! absolute terms.
 
-use mera_analyze::{range_of_plan, CardRange, RangeEnv};
+use mera_analyze::{infer_props, range_of_plan, CardRange, KeyEnv, RangeEnv};
 use mera_core::prelude::*;
-use mera_expr::{CmpOp, RelExpr, ScalarExpr};
+use mera_expr::{CmpOp, RelExpr, ScalarExpr, SchemaProvider};
 
 use crate::stats::CatalogStats;
 
@@ -25,6 +25,12 @@ const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
 /// Relative cost of one index probe versus one streamed row — probes are
 /// random-access into the hash index, streamed rows are sequential.
 pub const INDEX_PROBE_FACTOR: f64 = 2.0;
+/// Relative cost of one *built* row versus one probed row in a hash join:
+/// the build side pays hashing plus table insertion/allocation per row,
+/// the probe side only a lookup. The physical engine builds on the
+/// **right** operand, so join costs are asymmetric and the join-order
+/// search prefers plans that put the smaller input on the build side.
+pub const HASH_BUILD_FACTOR: f64 = 2.0;
 
 /// Estimated output cardinality of an expression.
 pub fn estimate_rows(expr: &RelExpr, stats: &CatalogStats) -> f64 {
@@ -98,6 +104,23 @@ pub fn range_env_from_stats(stats: &CatalogStats) -> RangeEnv {
 /// never go below a lower bound proved by a literal `values` operand).
 pub fn estimate_rows_bounded(expr: &RelExpr, stats: &CatalogStats, env: &RangeEnv) -> f64 {
     range_of_plan(expr, env).clamp_estimate(estimate_rows(expr, stats))
+}
+
+/// [`estimate_distinct_rows`] strengthened by declared keys: when the
+/// property inference proves the output duplicate-free (`key ⇒ distinct =
+/// rowcount`), the distinct estimate *is* the row estimate — exact instead
+/// of the sketch-based heuristic. Falls back to the plain estimator
+/// otherwise.
+pub fn estimate_distinct_rows_keyed<P: SchemaProvider>(
+    expr: &RelExpr,
+    stats: &CatalogStats,
+    provider: &P,
+    keys: &KeyEnv,
+) -> f64 {
+    if !keys.is_empty() && infer_props(expr, provider, keys).duplicate_free {
+        return estimate_rows(expr, stats);
+    }
+    estimate_distinct_rows(expr, stats)
 }
 
 /// Estimated number of *distinct* output tuples — what a δ over the
@@ -367,7 +390,8 @@ pub fn estimate_cost(expr: &RelExpr, stats: &CatalogStats) -> f64 {
                             || (*j <= la && *i > la && *i <= la + ra)))
             });
             if has_equi {
-                lr + rr + estimate_rows(expr, stats)
+                // probe(left) + weighted build(right) + output
+                lr + HASH_BUILD_FACTOR * rr + estimate_rows(expr, stats)
             } else {
                 lr * rr
             }
@@ -453,5 +477,45 @@ mod tests {
         assert_eq!(estimate_rows(&e, &cs), 100.0);
         let e = RelExpr::scan("big").group_by(&[], mera_expr::Aggregate::Cnt, 1);
         assert_eq!(estimate_rows(&e, &cs), 1.0);
+    }
+
+    #[test]
+    fn hash_join_cost_prefers_small_build_side() {
+        // the physical engine builds on the right operand: big ⋈ small
+        // (small build) must cost less than small ⋈ big (big build)
+        let cs = stats();
+        let small_build = RelExpr::scan("big").join(
+            RelExpr::scan("small"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(3)),
+        );
+        let big_build = RelExpr::scan("small").join(
+            RelExpr::scan("big"),
+            ScalarExpr::attr(1).eq(ScalarExpr::attr(2)),
+        );
+        assert!(estimate_cost(&small_build, &cs) < estimate_cost(&big_build, &cs));
+    }
+
+    #[test]
+    fn keyed_distinct_estimate_is_exact() {
+        // `big` carries heavy duplication in the sketch (rows ≫ distinct),
+        // but a declared key proves distinct = rowcount exactly
+        let mut cs = CatalogStats::new();
+        cs.insert("big", TableStats::synthetic(10_000, 5_000, &[100, 50]));
+        let cat = DatabaseSchema::new()
+            .with("big", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh");
+        let e = RelExpr::scan("big");
+        assert_eq!(estimate_distinct_rows(&e, &cs), 5_000.0);
+        let keyed = KeyEnv::from_definitions(&[("big".to_owned(), vec![1])]);
+        assert_eq!(
+            estimate_distinct_rows_keyed(&e, &cs, &cat, &keyed),
+            10_000.0
+        );
+        // without a key the fallback is the plain estimator
+        let unkeyed = KeyEnv::new();
+        assert_eq!(
+            estimate_distinct_rows_keyed(&e, &cs, &cat, &unkeyed),
+            5_000.0
+        );
     }
 }

@@ -25,6 +25,7 @@ use crate::rules::{
     ConstantFold, DistinctPruning, FuseSelections, Precondition, ProjectBeforeGroupBy,
     PushDistinctIntoJoin, PushProjectionIntoJoin, PushProjectionThroughUnion,
     PushSelectionIntoJoin, PushSelectionThroughBinary, Rule, RuleContext, SelectProductToJoin,
+    SimplifyKeyedGroupBy,
 };
 use crate::stats::CatalogStats;
 
@@ -92,6 +93,7 @@ pub struct Optimizer {
     rules: Vec<Box<dyn Rule>>,
     verify: VerifyMode,
     stats: Option<Arc<CatalogStats>>,
+    keys: mera_analyze::KeyEnv,
 }
 
 impl Optimizer {
@@ -108,12 +110,14 @@ impl Optimizer {
                 Box::new(SelectProductToJoin),
                 Box::new(PushProjectionThroughUnion),
                 Box::new(DistinctPruning),
+                Box::new(SimplifyKeyedGroupBy),
                 Box::new(ProjectBeforeGroupBy),
                 Box::new(PushProjectionIntoJoin),
                 Box::new(PushDistinctIntoJoin),
             ],
             verify: VerifyMode::from_env(),
             stats: None,
+            keys: mera_analyze::KeyEnv::new(),
         }
     }
 
@@ -124,6 +128,7 @@ impl Optimizer {
             rules,
             verify: VerifyMode::from_env(),
             stats: None,
+            keys: mera_analyze::KeyEnv::new(),
         }
     }
 
@@ -152,6 +157,22 @@ impl Optimizer {
         self.stats.as_deref()
     }
 
+    /// Attaches declared key constraints. Property-licensed rules
+    /// (δ-elimination, keyed-γ simplification) may then discharge their
+    /// duplicate-freeness obligations from inferred plan properties
+    /// ([`mera_analyze::infer_props`]) instead of syntactic shape alone,
+    /// and the admission gate uses the same key-aware discharge.
+    pub fn with_keys(mut self, keys: mera_analyze::KeyEnv) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// The attached key constraints (empty unless [`Optimizer::with_keys`]
+    /// was called).
+    pub fn keys(&self) -> &mera_analyze::KeyEnv {
+        &self.keys
+    }
+
     /// The standard rule set minus the named rules — ablation helper.
     pub fn standard_without(excluded: &[&str]) -> Self {
         let all = Self::standard();
@@ -163,6 +184,7 @@ impl Optimizer {
                 .collect(),
             verify: VerifyMode::from_env(),
             stats: None,
+            keys: mera_analyze::KeyEnv::new(),
         }
     }
 
@@ -181,10 +203,13 @@ impl Optimizer {
         provider: &P,
     ) -> CoreResult<Optimized> {
         expr.schema(provider)?; // reject ill-typed inputs up front
-        let ctx = match &self.stats {
+        let mut ctx = match &self.stats {
             Some(stats) => RuleContext::with_stats(provider, stats),
             None => RuleContext::new(provider),
         };
+        if !self.keys.is_empty() {
+            ctx = ctx.with_keys(&self.keys);
+        }
         let mut current = expr.clone();
         let mut counts = vec![0usize; self.rules.len()];
         let mut refusals = Vec::new();
@@ -299,15 +324,26 @@ impl Optimizer {
         ctx: &RuleContext<'_>,
     ) -> Result<(), Diagnostic> {
         let provider = ctx.as_provider();
-        mera_analyze::discharge(rule.name(), &rule.precondition(), before, after, &provider)?;
+        mera_analyze::discharge_with(
+            rule.name(),
+            &rule.precondition(),
+            before,
+            after,
+            &provider,
+            &self.keys,
+        )?;
         if let VerifyMode::Differential { trials } = self.verify {
-            mera_analyze::verify_rewrite(
+            // key-licensed rewrites are claimed sound only on databases
+            // satisfying the declared keys, so the generated instances must
+            // satisfy them too
+            mera_analyze::verify_rewrite_with(
                 rule.name(),
                 before,
                 after,
                 &provider,
                 trials,
                 verify_seed(rule.name(), before),
+                &self.keys,
             )?;
         }
         Ok(())
@@ -722,5 +758,52 @@ mod tests {
             out.applications,
             vec![("unsound-delta-over-union".to_owned(), 1)]
         );
+    }
+
+    #[test]
+    fn with_keys_licenses_delta_elimination_end_to_end() {
+        // δ(σ_p(beer)) with beer keyed on name: the full pipeline —
+        // property inference, key-aware precondition discharge, AND
+        // key-respecting differential verification — must agree to drop δ
+        let cat = catalog();
+        let mut keys = mera_analyze::KeyEnv::new();
+        keys.declare("beer", vec![1]);
+        let inner = RelExpr::scan("beer").select(ScalarExpr::attr(3).eq(ScalarExpr::attr(3)));
+        let e = inner.clone().distinct();
+        let out = Optimizer::standard()
+            .with_keys(keys)
+            .with_verify_mode(VerifyMode::Differential { trials: 8 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        assert_eq!(out.expr, inner, "got {}", out.expr);
+        // the same plan without keys keeps its δ (and records no refusal:
+        // the rule declines rather than misapplies)
+        let out = Optimizer::standard()
+            .with_verify_mode(VerifyMode::Differential { trials: 8 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert_eq!(out.expr, e);
+    }
+
+    #[test]
+    fn with_keys_simplifies_keyed_group_by_end_to_end() {
+        // γ_{name; cnt}(beer) with beer keyed on name → π̂_{name, 1}(beer)
+        let cat = catalog();
+        let mut keys = mera_analyze::KeyEnv::new();
+        keys.declare("beer", vec![1]);
+        let e = RelExpr::scan("beer").group_by(&[1], Aggregate::Cnt, 2);
+        let out = Optimizer::standard()
+            .with_keys(keys)
+            .with_verify_mode(VerifyMode::Differential { trials: 8 })
+            .optimize(&e, &cat)
+            .expect("optimizes");
+        assert!(out.refusals.is_empty(), "refusals: {:?}", out.refusals);
+        let want = RelExpr::scan("beer").ext_project(vec![ScalarExpr::attr(1), ScalarExpr::int(1)]);
+        assert_eq!(out.expr, want, "got {}", out.expr);
+        assert!(out
+            .applications
+            .iter()
+            .any(|(n, _)| n == "simplify-keyed-group-by"));
     }
 }

@@ -13,7 +13,9 @@
 //! This crate turns those licences into an optimizer:
 //!
 //! * [`rules`] — local rewrite rules (pushdowns, fusions, constant folding,
-//!   Example 3.2's projection insertion, cost-gated δ placement),
+//!   Example 3.2's projection insertion, cost-gated δ placement, and
+//!   property-licensed rules — δ-elimination and keyed-γ simplification —
+//!   grounded in declared key constraints via [`Optimizer::with_keys`]),
 //! * [`driver`] — bottom-up fixpoint application with ablation support;
 //!   with statistics attached ([`Optimizer::with_stats`]) each run ends
 //!   with cost-based join reordering through the same admission gate,
@@ -40,7 +42,10 @@ pub mod rules;
 pub mod stats;
 
 pub use access::choose_access_paths;
-pub use cost::{estimate_cost, estimate_distinct_rows, estimate_rows, estimate_rows_bounded};
+pub use cost::{
+    estimate_cost, estimate_distinct_rows, estimate_distinct_rows_keyed, estimate_rows,
+    estimate_rows_bounded, HASH_BUILD_FACTOR,
+};
 pub use driver::{Optimized, Optimizer, VerifyMode};
 pub use join_order::reorder_joins;
 pub use stats::{CatalogStats, TableStats};

@@ -19,7 +19,7 @@
 use mera_core::prelude::*;
 use mera_expr::RelExpr;
 
-use crate::cost::{estimate_distinct_rows, estimate_rows};
+use crate::cost::{estimate_distinct_rows, estimate_distinct_rows_keyed, estimate_rows};
 
 use super::{Precondition, Rule, RuleContext};
 
@@ -66,8 +66,14 @@ impl Rule for PushDistinctIntoJoin {
         {
             return Ok(None);
         }
+        // with key constraints attached, a provably-duplicate-free side has
+        // duplication factor exactly 1 — the sketch estimate is overruled
         let dup = |e: &RelExpr| {
-            (estimate_rows(e, stats) / estimate_distinct_rows(e, stats).max(1.0)).max(1.0)
+            let distinct = match ctx.keys() {
+                Some(keys) => estimate_distinct_rows_keyed(e, stats, &ctx.as_provider(), keys),
+                None => estimate_distinct_rows(e, stats),
+            };
+            (estimate_rows(e, stats) / distinct.max(1.0)).max(1.0)
         };
         if dup(l) * dup(r) < MIN_DUPLICATION {
             return Ok(None);

@@ -98,7 +98,10 @@ impl Rule for SelectProductToJoin {
 /// * `δ(δE) → δE` (idempotence),
 /// * `δ(γ…E) → γ…E` — a group-by result is duplicate-free by construction
 ///   (one tuple per group, Definition 3.4),
-/// * `δ(E)` where `E` is a `Values` literal already duplicate-free.
+/// * `δ(E)` where `E` is a `Values` literal already duplicate-free,
+/// * `δ(E)` where the property-inference pass proves `E` duplicate-free
+///   from declared key constraints ([`mera_analyze::infer_props`]) — e.g.
+///   `δ(σ_p(r))` for a keyed relation `r`, or a join that preserves a key.
 pub struct DistinctPruning;
 
 impl Rule for DistinctPruning {
@@ -114,13 +117,17 @@ impl Rule for DistinctPruning {
         .with(Condition::OutputDuplicateFree)
     }
 
-    fn apply(&self, expr: &RelExpr, _ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
         let RelExpr::Distinct(input) = expr else {
             return Ok(None);
         };
         // the matching static property lives in the analyzer, so the
         // driver's precondition discharge re-proves exactly this claim
-        if mera_analyze::duplicate_free(input) {
+        let provable = mera_analyze::duplicate_free(input)
+            || ctx.keys().is_some_and(|keys| {
+                mera_analyze::duplicate_free_with(input, &ctx.as_provider(), keys)
+            });
+        if provable {
             Ok(Some(input.as_ref().clone()))
         } else {
             Ok(None)
@@ -225,5 +232,33 @@ mod tests {
     fn plain_distinct_kept() {
         let e = RelExpr::scan("r").distinct();
         assert!(apply(&DistinctPruning, &e).is_none());
+    }
+
+    #[test]
+    fn distinct_pruned_via_declared_key() {
+        let cat = catalog();
+        let mut keys = mera_analyze::KeyEnv::new();
+        keys.declare("r", vec![1]);
+        let ctx = RuleContext::new(&cat).with_keys(&keys);
+        // δ(σ_p(r)) with r keyed on %1: the selection preserves the key,
+        // so the input is provably duplicate-free — δ is the identity
+        let inner = RelExpr::scan("r").select(ScalarExpr::attr(1).eq(ScalarExpr::int(1)));
+        let e = inner.clone().distinct();
+        let out = DistinctPruning.apply(&e, &ctx).expect("rule application");
+        assert_eq!(out, Some(inner));
+        // without the key environment the same plan keeps its δ
+        let bare = RuleContext::new(&cat);
+        assert!(DistinctPruning
+            .apply(&e, &bare)
+            .expect("rule application")
+            .is_none());
+        // a key on an unrelated relation licenses nothing
+        let mut other = mera_analyze::KeyEnv::new();
+        other.declare("s", vec![1]);
+        let ctx = RuleContext::new(&cat).with_keys(&other);
+        assert!(DistinctPruning
+            .apply(&e, &ctx)
+            .expect("rule application")
+            .is_none());
     }
 }

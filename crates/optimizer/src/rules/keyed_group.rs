@@ -1,0 +1,161 @@
+//! Property-licensed γ simplification: `γ_{K; f(a)}(E) → π̂(E)` when the
+//! grouping columns `K` form a candidate key of `E`.
+//!
+//! A key in the bag model bounds the *summed multiplicity* per key point by
+//! 1 (see [`mera_analyze::infer_props`]), so a keyed input is
+//! duplicate-free and every group is a singleton: the group-by collapses
+//! to an extended projection of the grouping columns plus the aggregate of
+//! a one-element group — `cnt → 1`, and `sum`/`min`/`max` of a singleton
+//! is the aggregated value itself. `avg` (result type changes to real),
+//! `stdev` and `median` are left alone: their singleton forms either
+//! retype the column or buy nothing.
+//!
+//! The license comes from the property-inference pass over declared key
+//! constraints, so the rule only fires when the optimizer was handed a
+//! [`KeyEnv`](mera_analyze::KeyEnv); the driver re-proves the claim via
+//! the key-aware precondition discharge.
+
+use mera_core::prelude::*;
+use mera_expr::{Aggregate, RelExpr, ScalarExpr};
+
+use super::{Condition, Precondition, Rule, RuleContext};
+
+/// `γ_{K; f(a)}(E) → π̂_{K, f'}(E)` when `K` is a superkey of `E` per the
+/// inferred plan properties.
+pub struct SimplifyKeyedGroupBy;
+
+impl Rule for SimplifyKeyedGroupBy {
+    fn name(&self) -> &'static str {
+        "simplify-keyed-group-by"
+    }
+
+    fn precondition(&self) -> Precondition {
+        Precondition::schema_preserving(
+            "γ over an input keyed by its grouping columns: summed \
+             multiplicity per key point is ≤ 1, so every group is a \
+             singleton and each aggregate reduces to a projection of the \
+             single member (cnt → 1; sum/min/max → the value)",
+        )
+        .with(Condition::InputKeyedByGroupColumns)
+    }
+
+    fn apply(&self, expr: &RelExpr, ctx: &RuleContext<'_>) -> CoreResult<Option<RelExpr>> {
+        let Some(keys_env) = ctx.keys() else {
+            return Ok(None);
+        };
+        let RelExpr::GroupBy {
+            input,
+            keys,
+            agg,
+            attr,
+        } = expr
+        else {
+            return Ok(None);
+        };
+        // a whole-relation γ (no grouping columns) yields one row even on
+        // empty input for cnt — not expressible as a projection; skip
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        let value = match agg {
+            Aggregate::Cnt => ScalarExpr::int(1),
+            Aggregate::Sum | Aggregate::Min | Aggregate::Max => ScalarExpr::attr(*attr),
+            Aggregate::Avg | Aggregate::StdDev | Aggregate::Median => return Ok(None),
+        };
+        let props = mera_analyze::infer_props(input, &ctx.as_provider(), keys_env);
+        let cols = keys.iter().copied().collect();
+        if !props.is_superkey(&cols) {
+            return Ok(None);
+        }
+        let mut exprs: Vec<ScalarExpr> = keys.iter().map(|k| ScalarExpr::attr(*k)).collect();
+        exprs.push(value);
+        Ok(Some(input.as_ref().clone().ext_project(exprs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mera_analyze::KeyEnv;
+
+    fn catalog() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with("r", Schema::anon(&[DataType::Int, DataType::Int]))
+            .expect("fresh")
+    }
+
+    fn keyed_ctx(cat: &DatabaseSchema, keys: &KeyEnv) -> RuleContext<'static> {
+        // tests leak the catalog/env to satisfy the context lifetime simply
+        let cat: &'static DatabaseSchema = Box::leak(Box::new(cat.clone()));
+        let keys: &'static KeyEnv = Box::leak(Box::new(keys.clone()));
+        RuleContext::new(cat).with_keys(keys)
+    }
+
+    #[test]
+    fn keyed_count_becomes_literal_projection() {
+        let mut keys = KeyEnv::new();
+        keys.declare("r", vec![1]);
+        let ctx = keyed_ctx(&catalog(), &keys);
+        let e = RelExpr::scan("r").group_by(&[1], Aggregate::Cnt, 2);
+        let out = SimplifyKeyedGroupBy.apply(&e, &ctx).expect("rule");
+        let want = RelExpr::scan("r").ext_project(vec![ScalarExpr::attr(1), ScalarExpr::int(1)]);
+        assert_eq!(out, Some(want));
+    }
+
+    #[test]
+    fn keyed_sum_projects_the_value() {
+        let mut keys = KeyEnv::new();
+        keys.declare("r", vec![1]);
+        let ctx = keyed_ctx(&catalog(), &keys);
+        let e = RelExpr::scan("r").group_by(&[1], Aggregate::Sum, 2);
+        let out = SimplifyKeyedGroupBy.apply(&e, &ctx).expect("rule");
+        let want = RelExpr::scan("r").ext_project(vec![ScalarExpr::attr(1), ScalarExpr::attr(2)]);
+        assert_eq!(out, Some(want));
+    }
+
+    #[test]
+    fn superkey_grouping_also_fires() {
+        // grouping by (%1,%2) with key %1: still a superkey
+        let mut keys = KeyEnv::new();
+        keys.declare("r", vec![1]);
+        let ctx = keyed_ctx(&catalog(), &keys);
+        let e = RelExpr::scan("r").group_by(&[1, 2], Aggregate::Min, 2);
+        assert!(SimplifyKeyedGroupBy
+            .apply(&e, &ctx)
+            .expect("rule")
+            .is_some());
+    }
+
+    #[test]
+    fn declines_without_key_avg_or_empty_groups() {
+        let cat = catalog();
+        // no keys attached at all
+        let bare = RuleContext::new(&cat);
+        let e = RelExpr::scan("r").group_by(&[1], Aggregate::Cnt, 2);
+        assert!(SimplifyKeyedGroupBy
+            .apply(&e, &bare)
+            .expect("rule")
+            .is_none());
+        // key on the non-grouped column: (%2) is not a superkey via %1
+        let mut keys = KeyEnv::new();
+        keys.declare("r", vec![1]);
+        let ctx = keyed_ctx(&cat, &keys);
+        let e = RelExpr::scan("r").group_by(&[2], Aggregate::Cnt, 1);
+        assert!(SimplifyKeyedGroupBy
+            .apply(&e, &ctx)
+            .expect("rule")
+            .is_none());
+        // avg retypes the column — excluded
+        let e = RelExpr::scan("r").group_by(&[1], Aggregate::Avg, 2);
+        assert!(SimplifyKeyedGroupBy
+            .apply(&e, &ctx)
+            .expect("rule")
+            .is_none());
+        // whole-relation γ — excluded (empty-input semantics differ)
+        let e = RelExpr::scan("r").group_by(&[], Aggregate::Cnt, 1);
+        assert!(SimplifyKeyedGroupBy
+            .apply(&e, &ctx)
+            .expect("rule")
+            .is_none());
+    }
+}

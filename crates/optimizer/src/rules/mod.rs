@@ -13,6 +13,7 @@
 mod distinct_join;
 mod folding;
 mod fuse;
+mod keyed_group;
 mod project;
 mod project_join;
 mod pushdown;
@@ -20,10 +21,12 @@ mod pushdown;
 pub use distinct_join::PushDistinctIntoJoin;
 pub use folding::ConstantFold;
 pub use fuse::{DistinctPruning, FuseSelections, SelectProductToJoin};
+pub use keyed_group::SimplifyKeyedGroupBy;
 pub use project::ProjectBeforeGroupBy;
 pub use project_join::PushProjectionIntoJoin;
 pub use pushdown::{PushProjectionThroughUnion, PushSelectionIntoJoin, PushSelectionThroughBinary};
 
+use mera_analyze::KeyEnv;
 use mera_core::prelude::*;
 use mera_expr::{RelExpr, SchemaProvider};
 
@@ -32,10 +35,12 @@ use crate::stats::CatalogStats;
 pub use mera_analyze::{Condition, Precondition};
 
 /// Context handed to rules: schema access for arity-sensitive rewrites,
-/// plus (optionally) the maintained statistics for cost-gated rules.
+/// plus (optionally) the maintained statistics for cost-gated rules and
+/// the declared key constraints for property-licensed rules.
 pub struct RuleContext<'a> {
     provider: &'a dyn DynSchemaProvider,
     stats: Option<&'a CatalogStats>,
+    keys: Option<&'a KeyEnv>,
 }
 
 /// Object-safe schema lookup (rules are dyn, so the provider must be too).
@@ -56,6 +61,7 @@ impl<'a> RuleContext<'a> {
         RuleContext {
             provider,
             stats: None,
+            keys: None,
         }
     }
 
@@ -65,12 +71,26 @@ impl<'a> RuleContext<'a> {
         RuleContext {
             provider,
             stats: Some(stats),
+            keys: None,
         }
+    }
+
+    /// Attaches declared key constraints, enabling property-licensed
+    /// rules (δ-elimination over provably-duplicate-free inputs, keyed-γ
+    /// simplification) and the key-aware precondition discharge.
+    pub fn with_keys(mut self, keys: &'a KeyEnv) -> Self {
+        self.keys = Some(keys);
+        self
     }
 
     /// The maintained statistics, when the caller supplied them.
     pub fn stats(&self) -> Option<&CatalogStats> {
         self.stats
+    }
+
+    /// The declared key constraints, when the caller supplied them.
+    pub fn keys(&self) -> Option<&KeyEnv> {
+        self.keys
     }
 
     /// The schema of a subexpression.

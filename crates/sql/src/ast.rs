@@ -6,6 +6,8 @@
 //! VALUES`, `DELETE FROM`, and `UPDATE … SET`. One aggregate call per
 //! query block (the algebra's `γ` carries one aggregate function).
 
+use mera_core::types::DataType;
+
 /// A possibly-qualified column reference `[table.]column`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColRef {
@@ -176,5 +178,14 @@ pub enum SqlStmt {
         name: String,
         /// The defining query.
         query: SelectQuery,
+    },
+    /// `CREATE TABLE t (c type, …[, PRIMARY KEY (c, …)])`.
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// `(column name, domain)` pairs in declaration order.
+        columns: Vec<(String, DataType)>,
+        /// The `PRIMARY KEY` column list, if declared.
+        primary_key: Option<Vec<String>>,
     },
 }

@@ -43,7 +43,7 @@ pub use translate::{translate, Translated};
 use mera_core::prelude::*;
 use mera_lang::error::{LangError, LangResult};
 use mera_txn::views::CreateViewError;
-use mera_txn::{Outcome, Program, TransactionManager};
+use mera_txn::{DeclareKeyError, Outcome, Program, TransactionManager};
 
 /// The manager's schema extended with every materialized view's schema —
 /// what SQL names resolve against.
@@ -53,6 +53,16 @@ fn catalog(mgr: &TransactionManager) -> DatabaseSchema {
         let _ = schema.add(RelationSchema::new(name, rel.schema().as_ref().clone()));
     }
     schema
+}
+
+fn key_error(e: DeclareKeyError) -> LangError {
+    match e {
+        DeclareKeyError::Error(c) => LangError::Semantic(c),
+        DeclareKeyError::Rejected(diag) => LangError::Semantic(CoreError::TypeError(format!(
+            "key declaration rejected:\n{}",
+            mera_analyze::render(&[diag])
+        ))),
+    }
 }
 
 fn view_error(e: CreateViewError) -> LangError {
@@ -81,6 +91,9 @@ pub fn check_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Vec<mera_ana
         Translated::CreateView { name, expr } => {
             Ok(mera_analyze::analyze_view_def(&name, &expr, &schema).diagnostics)
         }
+        // CREATE TABLE has nothing to analyze: the table is new and empty,
+        // so its PRIMARY KEY is trivially satisfied
+        Translated::CreateTable { .. } => Ok(Vec::new()),
         translated => {
             let program = Program::single(translated.into_statement());
             Ok(mgr.check_program(&program))
@@ -114,6 +127,14 @@ pub fn run_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Option<Relatio
     let is_query = matches!(translated, Translated::Query(_));
     if let Translated::CreateView { name, expr } = translated {
         mgr.create_view(&name, expr).map_err(view_error)?;
+        return Ok(None);
+    }
+    if let Translated::CreateTable { schema, key } = translated {
+        let name = schema.name.clone();
+        mgr.add_relation(schema).map_err(LangError::Semantic)?;
+        if let Some(attrs) = key {
+            mgr.declare_key(&name, &attrs).map_err(key_error)?;
+        }
         return Ok(None);
     }
     let program = Program::single(translated.into_statement());
@@ -400,6 +421,47 @@ mod tests {
             .expect("runs")
             .expect("output");
         assert_eq!(out.multiplicity(&tuple!["Heineken", 3_i64]), 1);
+    }
+
+    #[test]
+    fn create_table_with_primary_key_enforces_at_commit() {
+        let mgr = TransactionManager::new(DatabaseSchema::new());
+        run_sql(
+            &mgr,
+            "CREATE TABLE member (name TEXT, town TEXT, PRIMARY KEY (name))",
+        )
+        .expect("creates table");
+        run_sql(&mgr, "INSERT INTO member VALUES ('dick', 'enschede')").expect("inserts");
+        // a second tuple at the same key point aborts the transaction
+        let err = run_sql(&mgr, "INSERT INTO member VALUES ('dick', 'hengelo')").unwrap_err();
+        assert!(err.to_string().contains("E0401"), "{err}");
+        let out = run_sql(&mgr, "SELECT * FROM member")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 1);
+        // the key licenses δ-elimination in plans
+        let plan = explain_sql(&mgr, "SELECT DISTINCT * FROM member").expect("explains");
+        assert!(
+            !plan.contains("distinct"),
+            "keyed input must license \u{3b4}-elimination:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn create_table_errors() {
+        let mgr = loaded_manager();
+        // duplicate relation name
+        let err = run_sql(&mgr, "CREATE TABLE beer (x INT)").unwrap_err();
+        assert!(err.to_string().contains("beer"), "{err}");
+        // unknown primary-key column
+        let err = run_sql(&mgr, "CREATE TABLE r (a INT, PRIMARY KEY (z))").unwrap_err();
+        assert!(err.to_string().contains("z"), "{err}");
+        // duplicate column name
+        let err = run_sql(&mgr, "CREATE TABLE r (a INT, a INT)").unwrap_err();
+        assert!(err.to_string().contains("duplicate column"), "{err}");
+        // CREATE TABLE checks clean (nothing to analyze on an empty table)
+        let diags = check_sql(&mgr, "CREATE TABLE s (a INT, PRIMARY KEY (a))").expect("checks");
+        assert!(diags.is_empty());
     }
 
     #[test]

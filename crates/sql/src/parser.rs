@@ -199,6 +199,9 @@ impl SqlParser {
             });
         }
         if self.eat_kw("create") {
+            if self.eat_kw("table") {
+                return self.create_table();
+            }
             self.expect_kw("materialized")?;
             self.expect_kw("view")?;
             let name = self.ident()?;
@@ -215,6 +218,87 @@ impl SqlParser {
                     .unwrap_or_else(|| "end of input".into())
             ),
         ))
+    }
+
+    /// `CREATE TABLE` body: `t (c type, …[, PRIMARY KEY (c, …)])`.
+    fn create_table(&mut self) -> LangResult<SqlStmt> {
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        loop {
+            if self.at_kw("primary") {
+                self.bump();
+                self.expect_kw("key")?;
+                self.expect(&Token::LParen)?;
+                let mut cols = vec![self.ident()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.bump();
+                    cols.push(self.ident()?);
+                }
+                self.expect(&Token::RParen)?;
+                if primary_key.replace(cols).is_some() {
+                    return Err(LangError::parse(
+                        self.here(),
+                        "at most one PRIMARY KEY clause per table",
+                    ));
+                }
+            } else {
+                let col = self.ident()?;
+                let dtype = self.sql_type()?;
+                columns.push((col, dtype));
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        if columns.is_empty() {
+            return Err(LangError::parse(
+                self.here(),
+                "CREATE TABLE needs at least one column",
+            ));
+        }
+        Ok(SqlStmt::CreateTable {
+            table,
+            columns,
+            primary_key,
+        })
+    }
+
+    /// A SQL column type, mapped onto the algebra's domains.
+    fn sql_type(&mut self) -> LangResult<mera_core::types::DataType> {
+        use mera_core::types::DataType;
+        let pos = self.here();
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Ok(DataType::Int),
+            "REAL" | "FLOAT" | "DOUBLE" => Ok(DataType::Real),
+            "STR" | "STRING" | "TEXT" | "VARCHAR" | "CHAR" => {
+                // tolerate a length parameter: VARCHAR(20)
+                if self.peek() == Some(&Token::LParen) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Token::Int(_)) => {}
+                        _ => {
+                            return Err(LangError::parse(
+                                pos,
+                                format!("expected a length after {name}("),
+                            ))
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                Ok(DataType::Str)
+            }
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "DATE" => Ok(DataType::Date),
+            "TIME" => Ok(DataType::Time),
+            "MONEY" | "DECIMAL" => Ok(DataType::Money),
+            other => Err(LangError::parse(pos, format!("unknown type '{other}'"))),
+        }
     }
 
     fn assignment(&mut self) -> LangResult<(String, SqlExpr)> {
@@ -587,6 +671,47 @@ mod tests {
     fn keywords_case_insensitive() {
         assert!(parse_sql("select * from r").is_ok());
         assert!(parse_sql("SeLeCt * FrOm r").is_ok());
+    }
+
+    #[test]
+    fn create_table_parses() {
+        use mera_core::types::DataType;
+        let q = parse_sql(
+            "CREATE TABLE member (name VARCHAR(20), town TEXT, age INT, \
+             PRIMARY KEY (name, town))",
+        )
+        .expect("parses");
+        let SqlStmt::CreateTable {
+            table,
+            columns,
+            primary_key,
+        } = q
+        else {
+            panic!("expected create table");
+        };
+        assert_eq!(table, "member");
+        assert_eq!(
+            columns,
+            vec![
+                ("name".into(), DataType::Str),
+                ("town".into(), DataType::Str),
+                ("age".into(), DataType::Int),
+            ]
+        );
+        assert_eq!(primary_key, Some(vec!["name".into(), "town".into()]));
+        // without a key clause
+        let q = parse_sql("create table r (a integer, b double)").expect("parses");
+        assert!(matches!(
+            q,
+            SqlStmt::CreateTable {
+                primary_key: None,
+                ..
+            }
+        ));
+        // two key clauses, empty column list, unknown type
+        assert!(parse_sql("CREATE TABLE r (a INT, PRIMARY KEY (a), PRIMARY KEY (a))").is_err());
+        assert!(parse_sql("CREATE TABLE r (PRIMARY KEY (a))").is_err());
+        assert!(parse_sql("CREATE TABLE r (a BLOB)").is_err());
     }
 
     #[test]

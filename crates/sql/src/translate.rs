@@ -38,21 +38,35 @@ pub enum Translated {
         /// The defining algebra expression.
         expr: RelExpr,
     },
+    /// `CREATE TABLE` becomes a relation schema plus an optional key
+    /// constraint — both catalog operations.
+    CreateTable {
+        /// The new relation's schema.
+        schema: RelationSchema,
+        /// The `PRIMARY KEY` as 1-based attribute indexes, if declared.
+        key: Option<Vec<usize>>,
+    },
 }
 
 impl Translated {
     /// Converts to an executable statement (`SELECT` → `?E`).
     ///
     /// # Panics
-    /// On [`Translated::CreateView`]: a view definition is a catalog
-    /// operation, not a transaction statement — callers must dispatch it
-    /// to a view-creation API first.
+    /// On [`Translated::CreateView`] and [`Translated::CreateTable`]:
+    /// these are catalog operations, not transaction statements — callers
+    /// must dispatch them to the catalog APIs first.
     pub fn into_statement(self) -> Statement {
         match self {
             Translated::Query(e) => Statement::query(e),
             Translated::Statement(s) => s,
             Translated::CreateView { name, .. } => {
                 panic!("CREATE MATERIALIZED VIEW '{name}' is not a transaction statement")
+            }
+            Translated::CreateTable { schema, .. } => {
+                panic!(
+                    "CREATE TABLE '{}' is not a transaction statement",
+                    schema.name
+                )
             }
         }
     }
@@ -117,6 +131,37 @@ pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<
             name: name.clone(),
             expr: translate_select(query, provider)?,
         }),
+        SqlStmt::CreateTable {
+            table,
+            columns,
+            primary_key,
+        } => {
+            for (i, (c, _)) in columns.iter().enumerate() {
+                if columns[..i].iter().any(|(other, _)| other == c) {
+                    return Err(LangError::Semantic(CoreError::TypeError(format!(
+                        "duplicate column '{c}' in CREATE TABLE {table}"
+                    ))));
+                }
+            }
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|(n, t)| Attribute::named(n.clone(), *t))
+                    .collect(),
+            );
+            let key = primary_key
+                .as_ref()
+                .map(|cols| {
+                    cols.iter()
+                        .map(|c| schema.index_of(c).map_err(LangError::Semantic))
+                        .collect::<LangResult<Vec<usize>>>()
+                })
+                .transpose()?;
+            Ok(Translated::CreateTable {
+                schema: RelationSchema::new(table.clone(), schema),
+                key,
+            })
+        }
     }
 }
 

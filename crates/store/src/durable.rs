@@ -33,7 +33,7 @@ use mera_expr::RelExpr;
 use mera_lang::{program_to_xra, rel_to_xra, Lowerer};
 use mera_txn::{
     run_transaction_cataloged, CatalogStats, CommitCatalog, ConstraintSet, CreateViewError,
-    ExecConfig, IndexSet, Outcome, Outputs, Program, ViewSet,
+    ExecConfig, IndexSet, KeySet, Outcome, Outputs, Program, ViewSet,
 };
 use std::sync::Arc;
 
@@ -100,6 +100,7 @@ pub struct DurableDb<S: Storage> {
     views: ViewSet,
     stats: Arc<CatalogStats>,
     indexes: Arc<IndexSet>,
+    keys: Arc<KeySet>,
     options: StoreOptions,
     unsynced_appends: u32,
 }
@@ -164,6 +165,7 @@ impl<S: Storage> DurableDb<S> {
                 views: ViewSet::new(),
                 stats,
                 indexes: Arc::new(IndexSet::new()),
+                keys: Arc::new(KeySet::new()),
                 options,
                 unsynced_appends: 0,
             });
@@ -180,6 +182,7 @@ impl<S: Storage> DurableDb<S> {
         // commit's deltas exactly like the live path did
         let mut stats = Arc::new(CatalogStats::from_database(&db)?);
         let mut indexes = Arc::new(IndexSet::new());
+        let mut keys = Arc::new(KeySet::new());
 
         match wal_bytes {
             None => {
@@ -202,6 +205,7 @@ impl<S: Storage> DurableDb<S> {
                         &mut views,
                         &mut stats,
                         &mut indexes,
+                        &mut keys,
                         record,
                         snapshot_time,
                         options.exec,
@@ -216,6 +220,7 @@ impl<S: Storage> DurableDb<S> {
             views,
             stats,
             indexes,
+            keys,
             options,
             unsynced_appends: 0,
         })
@@ -226,11 +231,13 @@ impl<S: Storage> DurableDb<S> {
     /// Commits replay through the same view-maintaining executor as the
     /// live path, so a recovered view's contents are derived exactly the
     /// way they were the first time around.
+    #[allow(clippy::too_many_arguments)]
     fn replay(
         db: &mut Database,
         views: &mut ViewSet,
         stats: &mut Arc<CatalogStats>,
         indexes: &mut Arc<IndexSet>,
+        keys: &mut Arc<KeySet>,
         record: WalRecord,
         snapshot_time: u64,
         exec: ExecConfig,
@@ -265,6 +272,19 @@ impl<S: Storage> DurableDb<S> {
                 Arc::make_mut(indexes).create(db, &relation, &keys)?;
                 Ok(())
             }
+            WalRecord::DeclareKey { relation, attrs } => {
+                // only the definition is durable: the multiplicity counts
+                // rebuild from the recovered relation. The record was
+                // logged after a successful declaration, and every commit
+                // after it was enforced, so a violation here means the log
+                // belongs to a different history.
+                match Arc::make_mut(keys).declare(db, &relation, &attrs)? {
+                    Ok(()) => Ok(()),
+                    Err(v) => Err(StoreError::CorruptWal(format!(
+                        "recovered data violates the logged key declaration: {v}"
+                    ))),
+                }
+            }
             WalRecord::Commit { time, text } => {
                 if time <= snapshot_time {
                     // Already folded into the snapshot.
@@ -285,6 +305,7 @@ impl<S: Storage> DurableDb<S> {
                         views: Some(views),
                         stats: Some(stats),
                         indexes: Some(indexes),
+                        keys: Some(keys),
                     },
                     &program,
                     config,
@@ -359,6 +380,7 @@ impl<S: Storage> DurableDb<S> {
                 views: Some(&mut self.views),
                 stats: Some(&mut self.stats),
                 indexes: Some(&mut self.indexes),
+                keys: Some(&mut self.keys),
             },
             program,
             self.options.exec,
@@ -383,6 +405,7 @@ impl<S: Storage> DurableDb<S> {
                         self.stats = Arc::new(fresh);
                     }
                     let _ = Arc::make_mut(&mut self.indexes).rebuild(&self.db);
+                    let _ = Arc::make_mut(&mut self.keys).rebuild(&self.db);
                     return Err(e);
                 }
                 self.db = next;
@@ -460,6 +483,29 @@ impl<S: Storage> DurableDb<S> {
         Ok(())
     }
 
+    /// Declares a key constraint, durably.
+    ///
+    /// The existing data is validated first (a violating relation refuses
+    /// the declaration and leaves no trace); the `DeclareKey` record is
+    /// logged (and flushed) before the constraint is published. Only the
+    /// definition is durable — recovery rebuilds the per-key-point counts
+    /// from the recovered relation.
+    pub fn declare_key(&mut self, relation: &str, attrs: &[usize]) -> StoreResult<()> {
+        let mut probe = Arc::clone(&self.keys);
+        match Arc::make_mut(&mut probe).declare(&self.db, relation, attrs)? {
+            Ok(()) => {}
+            Err(v) => return Err(StoreError::Core(CoreError::TypeError(v.to_string()))),
+        }
+        let record = WalRecord::DeclareKey {
+            relation: relation.to_owned(),
+            attrs: attrs.to_vec(),
+        };
+        self.storage.append(WAL_FILE, &record.encode_frame())?;
+        self.storage.sync(WAL_FILE)?;
+        self.keys = probe;
+        Ok(())
+    }
+
     /// The materialized views, incrementally maintained by every commit.
     pub fn views(&self) -> &ViewSet {
         &self.views
@@ -478,6 +524,16 @@ impl<S: Storage> DurableDb<S> {
     /// The definitions of every declared index, `(relation, keys)` pairs.
     pub fn index_definitions(&self) -> Vec<(String, Vec<usize>)> {
         self.indexes.definitions()
+    }
+
+    /// The key constraints, incrementally maintained by every commit.
+    pub fn keys(&self) -> Arc<KeySet> {
+        Arc::clone(&self.keys)
+    }
+
+    /// The definitions of every declared key, `(relation, attrs)` pairs.
+    pub fn key_definitions(&self) -> Vec<(String, Vec<usize>)> {
+        self.keys.definitions()
     }
 
     /// A snapshot of one materialized view's current contents.
@@ -515,6 +571,12 @@ impl<S: Storage> DurableDb<S> {
         // record each, rebuilt from the snapshot's relations at recovery.
         for (relation, keys) in self.indexes.definitions() {
             let record = WalRecord::DeclareIndex { relation, keys };
+            wal_bytes.extend_from_slice(&record.encode_frame());
+        }
+        // Key constraints too: one DeclareKey record each, their counts
+        // rebuilt from the snapshot's relations at recovery.
+        for (relation, attrs) in self.keys.definitions() {
+            let record = WalRecord::DeclareKey { relation, attrs };
             wal_bytes.extend_from_slice(&record.encode_frame());
         }
         self.storage.replace_atomic(WAL_FILE, &wal_bytes)?;
@@ -808,6 +870,69 @@ mod tests {
         let ix = recovered.indexes();
         let index = ix.find("accounts", &[1]).expect("recovered index");
         assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn keys_survive_reopen_and_keep_enforcing() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        durable.declare_key("accounts", &[1]).expect("declares");
+        drop(durable);
+
+        let mut recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(
+            recovered.key_definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        // the recovered constraint keeps enforcing: a duplicate owner
+        // aborts, a fresh owner commits
+        let p = insert_program(recovered.database(), "ann", 99);
+        let err = recovered.execute(&p).expect_err("key violation aborts");
+        assert!(err.to_string().contains("accounts"), "{err}");
+        let p = insert_program(recovered.database(), "bob", 20);
+        recovered.execute(&p).expect("commits");
+    }
+
+    #[test]
+    fn checkpoint_reseeds_key_declarations() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        let p = insert_program(durable.database(), "ann", 10);
+        durable.execute(&p).expect("commits");
+        durable.declare_key("accounts", &[1]).expect("declares");
+        durable.checkpoint().expect("checkpoint");
+        let p = insert_program(durable.database(), "bob", 20);
+        durable.execute(&p).expect("commits");
+        drop(durable);
+
+        let mut recovered = open_mem(MemStorage::from_image(storage.image()));
+        assert_eq!(
+            recovered.key_definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        let p = insert_program(recovered.database(), "bob", 5);
+        assert!(recovered.execute(&p).is_err(), "key still enforced");
+    }
+
+    #[test]
+    fn violating_key_declaration_leaves_no_durable_trace() {
+        let storage = MemStorage::new();
+        let mut durable = open_mem(storage.clone());
+        for (owner, amount) in [("ann", 10_i64), ("ann", 20)] {
+            let p = insert_program(durable.database(), owner, amount);
+            durable.execute(&p).expect("commits");
+        }
+        let before_units = storage.units_written();
+        let err = durable
+            .declare_key("accounts", &[1])
+            .expect_err("existing data violates the key");
+        assert!(err.to_string().contains("ann"), "{err}");
+        assert_eq!(storage.units_written(), before_units);
+        assert!(durable.key_definitions().is_empty());
+        // the wider key over both columns installs fine
+        durable.declare_key("accounts", &[1, 2]).expect("declares");
     }
 
     #[test]

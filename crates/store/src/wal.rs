@@ -32,6 +32,11 @@
 //!   recovery rebuilds the entries from the recovered relation — which
 //!   the index-maintenance invariant guarantees equals the index at the
 //!   crash.
+//! * kind 5 — **DeclareKey**: a relation name and the 1-based attributes
+//!   of a declared key constraint. Only the definition is durable;
+//!   recovery rebuilds the per-key-point multiplicity counts from the
+//!   recovered relation. The replayed history was committed *under* the
+//!   key, so rebuilding cannot fail.
 //!
 //! # Torn tails vs. corruption
 //!
@@ -59,6 +64,7 @@ const KIND_COMMIT: u8 = 1;
 const KIND_DECLARE: u8 = 2;
 const KIND_DECLARE_VIEW: u8 = 3;
 const KIND_DECLARE_INDEX: u8 = 4;
+const KIND_DECLARE_KEY: u8 = 5;
 
 /// One durable redo record.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +99,13 @@ pub enum WalRecord {
         /// 1-based key attributes.
         keys: Vec<usize>,
     },
+    /// A key constraint declared into the catalog.
+    DeclareKey {
+        /// The constrained relation.
+        relation: String,
+        /// 1-based key attributes.
+        attrs: Vec<usize>,
+    },
 }
 
 impl WalRecord {
@@ -121,6 +134,14 @@ impl WalRecord {
                 out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
                 for &k in keys {
                     out.extend_from_slice(&(k as u32).to_le_bytes());
+                }
+            }
+            WalRecord::DeclareKey { relation, attrs } => {
+                out.push(KIND_DECLARE_KEY);
+                codec::put_str(&mut out, relation);
+                out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+                for &a in attrs {
+                    out.extend_from_slice(&(a as u32).to_le_bytes());
                 }
             }
         }
@@ -162,6 +183,15 @@ impl WalRecord {
                     keys.push(r.u32().map_err(bad)? as usize);
                 }
                 WalRecord::DeclareIndex { relation, keys }
+            }
+            KIND_DECLARE_KEY => {
+                let relation = r.str().map_err(bad)?;
+                let n = r.u32().map_err(bad)?;
+                let mut attrs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    attrs.push(r.u32().map_err(bad)? as usize);
+                }
+                WalRecord::DeclareKey { relation, attrs }
             }
             other => {
                 return Err(StoreError::CorruptWal(format!(
@@ -265,6 +295,10 @@ mod tests {
             WalRecord::DeclareIndex {
                 relation: "accounts".to_string(),
                 keys: vec![1, 2],
+            },
+            WalRecord::DeclareKey {
+                relation: "accounts".to_string(),
+                attrs: vec![1],
             },
         ]
     }

@@ -118,6 +118,7 @@ impl Shadow {
                 views: None,
                 stats: Some(&mut self.stats),
                 indexes: Some(&mut self.indexes),
+                keys: None,
             },
             program,
             config,

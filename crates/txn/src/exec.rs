@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use mera_core::prelude::*;
 use mera_eval::provider::RelationProvider;
-use mera_eval::{Engine, EngineKind, ExecOptions, IndexJoinHints, IndexSet};
+use mera_eval::{Engine, EngineKind, ExecOptions, IndexJoinHints, IndexSet, KeySet};
 use mera_expr::rel::RelExpr;
 use mera_opt::{choose_access_paths, CatalogStats, Optimizer};
 
@@ -81,6 +81,11 @@ pub struct WorkingState {
     /// Pre-transaction secondary indexes, when the caller maintains them:
     /// point selections and hinted equi-joins execute through them.
     pub indexes: Option<Arc<IndexSet>>,
+    /// Pre-transaction key constraints, when the caller maintains them:
+    /// the optimizer grounds its property inference (duplicate-freeness,
+    /// candidate keys, FDs) in keys of relations the transaction has not
+    /// yet dirtied.
+    pub keys: Option<Arc<KeySet>>,
 }
 
 impl WorkingState {
@@ -94,6 +99,7 @@ impl WorkingState {
             deltas: DeltaMap::new(),
             stats: None,
             indexes: None,
+            keys: None,
         }
     }
 
@@ -114,12 +120,31 @@ impl WorkingState {
         views: &ViewSet,
         stats: Option<Arc<CatalogStats>>,
         indexes: Option<Arc<IndexSet>>,
+        keys: Option<Arc<KeySet>>,
     ) -> Self {
         WorkingState {
             stats,
             indexes,
+            keys,
             ..WorkingState::with_views(db, views)
         }
+    }
+
+    /// The declared keys as an analyzer [`mera_analyze::KeyEnv`],
+    /// restricted to relations this transaction has not dirtied: a key
+    /// describes the committed state `D_t`, and mid-transaction writes may
+    /// transiently violate it (delete-then-insert of the same key point),
+    /// so dirtied relations contribute no facts.
+    pub(crate) fn key_env(&self) -> mera_analyze::KeyEnv {
+        let mut env = mera_analyze::KeyEnv::new();
+        if let Some(ks) = &self.keys {
+            for (relation, attrs) in ks.definitions() {
+                if !self.dirtied(&relation) {
+                    env.declare(relation, attrs);
+                }
+            }
+        }
+        env
     }
 
     /// Reads a relation: temporaries first, then database relations, then
@@ -357,6 +382,10 @@ pub fn eval_expr(state: &WorkingState, expr: &RelExpr, config: ExecConfig) -> Co
         let mut optimizer = Optimizer::standard();
         if let Some(stats) = &state.stats {
             optimizer = optimizer.with_stats(Arc::clone(stats));
+        }
+        let keys = state.key_env();
+        if !keys.is_empty() {
+            optimizer = optimizer.with_keys(keys);
         }
         expr_storage = optimizer.optimize(expr, &provider)?.expr;
         &expr_storage

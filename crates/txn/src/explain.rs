@@ -20,6 +20,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use mera_analyze::{infer_props, KeyEnv};
 use mera_core::prelude::*;
 use mera_eval::physical::collect;
 use mera_eval::physical::planner::{plan_instrumented_indexed_with, IndexAccess};
@@ -44,6 +45,12 @@ pub fn explain_expr(
         let mut optimizer = Optimizer::standard();
         if let Some(stats) = &state.stats {
             optimizer = optimizer.with_stats(Arc::clone(stats));
+        }
+        // the same dirtied-gated key environment `eval_expr` plans under,
+        // so EXPLAIN shows the plan the live engine would actually run
+        let keys = state.key_env();
+        if !keys.is_empty() {
+            optimizer = optimizer.with_keys(keys);
         }
         expr_storage = optimizer.optimize(expr, &provider)?.expr;
         &expr_storage
@@ -81,7 +88,12 @@ pub fn explain_expr(
             let _ = writeln!(out, "plan (rule-based, no statistics):");
         }
     }
-    render_node(&mut out, expr, stats, 1);
+    // annotate each node with its inferred structural properties (keys,
+    // duplicate-freeness, constants) under the same dirtied-gated key
+    // environment the optimizer saw — a `[key: …, set]` tag explains *why*
+    // a δ disappeared or a γ simplified
+    let key_env = state.key_env();
+    render_node(&mut out, expr, stats, &provider, &key_env, 1);
 
     let mut exec_stats = ExecStats::new();
     let access = state
@@ -114,17 +126,27 @@ fn est(expr: &RelExpr, stats: &CatalogStats) -> u64 {
     estimate_rows(expr, stats).round() as u64
 }
 
-fn render_node(out: &mut String, expr: &RelExpr, stats: &CatalogStats, depth: usize) {
+fn render_node(
+    out: &mut String,
+    expr: &RelExpr,
+    stats: &CatalogStats,
+    provider: &WorkingSchemas<'_>,
+    env: &KeyEnv,
+    depth: usize,
+) {
+    let props = infer_props(expr, provider, env).render();
     let _ = writeln!(
         out,
-        "{:indent$}{}  est={}",
+        "{:indent$}{}  est={}{}{}",
         "",
         label(expr),
         est(expr, stats),
+        if props.is_empty() { "" } else { "  " },
+        props,
         indent = depth * 2
     );
     for child in expr.children() {
-        render_node(out, child, stats, depth + 1);
+        render_node(out, child, stats, provider, env, depth + 1);
     }
 }
 

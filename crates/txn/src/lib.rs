@@ -35,11 +35,12 @@ pub use exec::{
 };
 pub use explain::explain_expr;
 pub use log::{LogRecord, RedoLog};
-pub use mera_eval::{EngineKind, ExecOptions, HashIndex, IndexSet};
+pub use mera_eval::{EngineKind, ExecOptions, HashIndex, IndexSet, KeySet, KeyViolation};
 pub use mera_opt::{CatalogStats, TableStats};
 pub use statement::{Program, Statement};
 pub use transaction::{
     run_transaction, run_transaction_cataloged, run_transaction_checked,
-    run_transaction_with_views, AbortReason, CommitCatalog, Outcome, TransactionManager,
+    run_transaction_with_views, AbortReason, CommitCatalog, DeclareKeyError, Outcome,
+    TransactionManager,
 };
 pub use views::{CreateViewError, DeltaMap, TupleDelta, View, ViewSet};

@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mera_core::prelude::*;
-use mera_eval::IndexSet;
+use mera_eval::{IndexSet, KeySet, KeyViolation};
 use mera_opt::CatalogStats;
 use parking_lot::Mutex;
 
@@ -43,6 +43,10 @@ pub enum AbortReason {
     /// The commit-time integrity check found a violation (the enforcement
     /// model of the paper's reference \[11\]).
     ConstraintViolation(String),
+    /// A declared key constraint would be violated by the transaction's
+    /// net deltas — detected in O(|delta|) at the commit point, before
+    /// anything is installed. Carries the `E0401` diagnostic.
+    KeyViolation(mera_analyze::Diagnostic),
 }
 
 impl fmt::Display for AbortReason {
@@ -56,8 +60,22 @@ impl fmt::Display for AbortReason {
             }
             AbortReason::InjectedFault(i) => write!(f, "injected fault before statement {i}"),
             AbortReason::ConstraintViolation(v) => write!(f, "{v}"),
+            AbortReason::KeyViolation(d) => write!(f, "{d}"),
         }
     }
+}
+
+/// The `E0401` diagnostic for one detected key violation.
+pub(crate) fn key_violation_diagnostic(v: &KeyViolation) -> mera_analyze::Diagnostic {
+    mera_analyze::Diagnostic::new(
+        mera_analyze::Code::KeyViolation,
+        mera_analyze::Span::root("commit"),
+        v.to_string(),
+    )
+    .with_note(
+        "a key bounds the summed multiplicity per key point by 1; \
+         the transaction's net deltas would exceed it",
+    )
 }
 
 /// The outcome of one transaction.
@@ -159,6 +177,12 @@ pub struct CommitCatalog<'a> {
     /// transaction: statements take index access paths while the indexed
     /// relations are untouched by the transaction itself.
     pub indexes: Option<&'a mut Arc<IndexSet>>,
+    /// Declared key constraints, checked against the net deltas at the
+    /// commit point (a violation aborts) and folded incrementally on
+    /// success. Also read during the transaction: the optimizer grounds
+    /// its property inference in keys of relations the transaction has
+    /// not dirtied.
+    pub keys: Option<&'a mut Arc<KeySet>>,
 }
 
 /// [`run_transaction_with_views`] generalised to the full maintained
@@ -177,6 +201,7 @@ pub fn run_transaction_cataloged(
         views,
         mut stats,
         mut indexes,
+        mut keys,
     } = catalog;
     let abort = |reason: AbortReason| {
         let mut next = db.clone();
@@ -199,6 +224,7 @@ pub fn run_transaction_cataloged(
         views.as_deref().unwrap_or(&empty),
         stats.as_deref().map(Arc::clone),
         indexes.as_deref().map(Arc::clone),
+        keys.as_deref().map(Arc::clone),
     );
     let mut outputs = Outputs::default();
     for (i, stmt) in program.statements.iter().enumerate() {
@@ -217,6 +243,18 @@ pub fn run_transaction_cataloged(
             return abort(AbortReason::ConstraintViolation(violation.to_string()));
         }
         Err(e) => return abort(AbortReason::Error(e)),
+    }
+    // key-constraint check: every key is verified against the *net* deltas
+    // (O(|delta|) per key) before anything is installed — all-or-nothing
+    if let Some(ks) = keys.as_deref() {
+        for (name, delta) in &state.deltas {
+            if delta.is_empty() {
+                continue;
+            }
+            if let Err(v) = ks.check(name, delta) {
+                return abort(AbortReason::KeyViolation(key_violation_diagnostic(&v)));
+            }
+        }
     }
     // commit: temporaries vanish with the working state; D_{t.n} → D_{t+1}.
     // Destructuring drops the working state's snapshots (views, stats,
@@ -255,6 +293,15 @@ pub fn run_transaction_cataloged(
             }
         }
     }
+    if let Some(ks) = keys.as_deref_mut() {
+        // the check above passed, so folding the deltas in cannot violate
+        let ks = Arc::make_mut(ks);
+        for (name, delta) in &deltas {
+            if !delta.is_empty() {
+                ks.apply_commit(name, delta);
+            }
+        }
+    }
     if let Some(vs) = views {
         if let Err(e) = vs.refresh_after_commit(deltas, &next, config) {
             // even full recompute failed: abort and re-anchor the whole
@@ -270,6 +317,9 @@ pub fn run_transaction_cataloged(
             }
             if let Some(ix) = indexes {
                 let _ = Arc::make_mut(ix).rebuild(db);
+            }
+            if let Some(ks) = keys {
+                let _ = Arc::make_mut(ks).rebuild(db);
             }
             return (aborted, outcome);
         }
@@ -292,6 +342,7 @@ struct ManagerInner {
     views: ViewSet,
     stats: Arc<CatalogStats>,
     indexes: Arc<IndexSet>,
+    keys: Arc<KeySet>,
 }
 
 impl ManagerInner {
@@ -300,7 +351,37 @@ impl ManagerInner {
             views: Some(&mut self.views),
             stats: Some(&mut self.stats),
             indexes: Some(&mut self.indexes),
+            keys: Some(&mut self.keys),
         }
+    }
+}
+
+/// Why [`TransactionManager::declare_key`] refused a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclareKeyError {
+    /// The declaration was rejected with a diagnostic: existing data
+    /// violates the key (`E0401`), the target is a view (`E0402`), or the
+    /// key is already declared (`E0403`).
+    Rejected(mera_analyze::Diagnostic),
+    /// The declaration is structurally invalid (unknown relation,
+    /// out-of-range or duplicate attributes).
+    Error(CoreError),
+}
+
+impl fmt::Display for DeclareKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclareKeyError::Rejected(d) => write!(f, "key declaration rejected: {d}"),
+            DeclareKeyError::Error(e) => write!(f, "key declaration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeclareKeyError {}
+
+impl From<CoreError> for DeclareKeyError {
+    fn from(e: CoreError) -> Self {
+        DeclareKeyError::Error(e)
     }
 }
 
@@ -331,6 +412,7 @@ impl TransactionManager {
                 views: ViewSet::new(),
                 stats: Arc::new(stats),
                 indexes: Arc::new(IndexSet::new()),
+                keys: Arc::new(KeySet::new()),
             }),
             config,
             constraints,
@@ -459,6 +541,73 @@ impl TransactionManager {
         self.inner.lock().indexes.definitions()
     }
 
+    /// Declares the 1-based `attrs` as a candidate key of `relation` over
+    /// the current state. Rejections carry a diagnostic: existing data
+    /// violating the key (`E0401`), a key on a view (`E0402` — views are
+    /// derived, their multiplicities follow from the definition), or a
+    /// duplicate declaration (`E0403`). From then on every commit checks
+    /// the key against its net deltas in O(|delta|) and aborts violators,
+    /// and the optimizer grounds property inference in it.
+    pub fn declare_key(&self, relation: &str, attrs: &[usize]) -> Result<(), DeclareKeyError> {
+        let inner = &mut *self.inner.lock();
+        if inner.views.get(relation).is_some() {
+            return Err(DeclareKeyError::Rejected(
+                mera_analyze::Diagnostic::new(
+                    mera_analyze::Code::KeyOnView,
+                    mera_analyze::Span::root("key"),
+                    format!("cannot declare a key on materialized view `{relation}`"),
+                )
+                .with_note(
+                    "a view's multiplicities are determined by its definition; \
+                     declare the key on the base relations instead",
+                ),
+            ));
+        }
+        if inner.keys.is_declared(relation, attrs) {
+            return Err(DeclareKeyError::Rejected(mera_analyze::Diagnostic::new(
+                mera_analyze::Code::DuplicateKeyDeclaration,
+                mera_analyze::Span::root("key"),
+                format!(
+                    "key {relation}({}) is already declared",
+                    attrs
+                        .iter()
+                        .map(|a| format!("%{a}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            )));
+        }
+        let (db, keys) = (&inner.db, &mut inner.keys);
+        match Arc::make_mut(keys).declare(db, relation, attrs)? {
+            Ok(()) => Ok(()),
+            Err(v) => Err(DeclareKeyError::Rejected(key_violation_diagnostic(&v))),
+        }
+    }
+
+    /// The declared key constraints as `(relation, sorted attrs)`, sorted.
+    pub fn key_definitions(&self) -> Vec<(String, Vec<usize>)> {
+        self.inner.lock().keys.definitions()
+    }
+
+    /// A shared snapshot of the maintained key constraints.
+    pub fn keys(&self) -> Arc<KeySet> {
+        Arc::clone(&self.inner.lock().keys)
+    }
+
+    /// Adds a fresh empty relation to the current state (the SQL `CREATE
+    /// TABLE` path). Fails if the name is taken.
+    pub fn add_relation(&self, schema: RelationSchema) -> CoreResult<()> {
+        let inner = &mut *self.inner.lock();
+        inner.db.add_relation(schema)?;
+        // re-anchor the derived catalog objects so they describe the new
+        // state (an empty relation: cheap)
+        if let Ok(mut fresh) = CatalogStats::from_database(&inner.db) {
+            fresh.set_as_of(inner.db.time());
+            inner.stats = Arc::new(fresh);
+        }
+        Ok(())
+    }
+
     /// A shared snapshot of the maintained secondary indexes.
     pub fn indexes(&self) -> Arc<IndexSet> {
         Arc::clone(&self.inner.lock().indexes)
@@ -482,6 +631,7 @@ impl TransactionManager {
             &inner.views,
             Some(Arc::clone(&inner.stats)),
             Some(Arc::clone(&inner.indexes)),
+            Some(Arc::clone(&inner.keys)),
         );
         crate::explain::explain_expr(&state, expr, self.config)
     }

@@ -34,6 +34,115 @@ fn check(name: &str, golden: &str, program: &Program) {
     );
 }
 
+/// Compares an already-rendered diagnostic string against its golden
+/// file — for diagnostics produced outside the program analyzer (the
+/// key-constraint path reports at declaration and commit time).
+fn check_rendered(name: &str, golden: &str, actual: &str) {
+    if std::env::var_os("MERA_BLESS").is_some() {
+        let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "\n-- rendered diagnostics for `{name}` diverge from golden file --\n\
+         actual:\n{actual}\n"
+    );
+}
+
+/// A manager over the beer schema with `key beer(name)` declared.
+fn keyed_beer_manager() -> mera::txn::TransactionManager {
+    let mgr = mera::txn::TransactionManager::new(mera::beer_schema());
+    let p = Program::single(Statement::insert(
+        "beer",
+        RelExpr::values(
+            Relation::from_tuples(
+                std::sync::Arc::new(Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ])),
+                vec![tuple!["Grolsch", "Grolsche", 5.0]],
+            )
+            .expect("typed literal"),
+        ),
+    ));
+    let (outcome, _) = mgr.execute(&p).expect("seed insert");
+    assert!(outcome.is_committed());
+    mgr.declare_key("beer", &[1]).expect("key declares");
+    mgr
+}
+
+#[test]
+fn key_violation_at_commit() {
+    // inserting a second 'Grolsch' exceeds the per-key-point bound; the
+    // commit aborts with the E0401 diagnostic before anything installs
+    let mgr = keyed_beer_manager();
+    let p = Program::single(Statement::insert(
+        "beer",
+        RelExpr::values(
+            Relation::from_tuples(
+                std::sync::Arc::new(Schema::named(&[
+                    ("name", DataType::Str),
+                    ("brewery", DataType::Str),
+                    ("alcperc", DataType::Real),
+                ])),
+                vec![tuple!["Grolsch", "Grolsche", 6.5]],
+            )
+            .expect("typed literal"),
+        ),
+    ));
+    let (outcome, _) = mgr.execute(&p).expect("transaction runs");
+    let mera::txn::Outcome::Aborted(mera::txn::AbortReason::KeyViolation(diag)) = outcome else {
+        panic!("violating insert must abort on the key, got {outcome:?}");
+    };
+    check_rendered(
+        "key_violation_at_commit",
+        include_str!("golden/key_violation_at_commit.txt"),
+        &render(&[diag]),
+    );
+}
+
+#[test]
+fn key_on_view_is_rejected() {
+    // keys constrain base relations; a materialized view's contents are
+    // derived, so declaring a key on one is refused with E0402
+    let mgr = keyed_beer_manager();
+    mgr.create_view(
+        "strong",
+        RelExpr::scan("beer").select(ScalarExpr::bool(true)),
+    )
+    .expect("view defines");
+    let err = mgr
+        .declare_key("strong", &[1])
+        .expect_err("key on a view must be rejected");
+    let mera::txn::DeclareKeyError::Rejected(diag) = err else {
+        panic!("expected a diagnostic rejection, got {err:?}");
+    };
+    check_rendered(
+        "key_on_view",
+        include_str!("golden/key_on_view.txt"),
+        &render(&[diag]),
+    );
+}
+
+#[test]
+fn duplicate_key_declaration_is_rejected() {
+    // the same attribute set declared twice: E0403 names the extant key
+    let mgr = keyed_beer_manager();
+    let err = mgr
+        .declare_key("beer", &[1])
+        .expect_err("re-declaration must be rejected");
+    let mera::txn::DeclareKeyError::Rejected(diag) = err else {
+        panic!("expected a diagnostic rejection, got {err:?}");
+    };
+    check_rendered(
+        "duplicate_key_declaration",
+        include_str!("golden/duplicate_key_declaration.txt"),
+        &render(&[diag]),
+    );
+}
+
 #[test]
 fn unresolved_attribute() {
     // π_%5 over arity-3 beer

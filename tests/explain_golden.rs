@@ -147,6 +147,58 @@ fn sql_front_door_explains_joins() {
 }
 
 #[test]
+fn declared_key_annotates_plan_and_licenses_distinct_elimination() {
+    // `key customers(id)` makes the scan provably duplicate-free; the
+    // plan section shows the `[key: …, set]` tag at every node that
+    // preserves it, and the δ written in the query is gone from the tree
+    let mut session = loaded_session();
+    session
+        .run_script("key customers (id);")
+        .expect("key declaration");
+    let actual = session
+        .explain("unique(select[%2 = 'north'](customers))")
+        .expect("explains");
+    assert!(
+        !actual.contains("distinct"),
+        "keyed input must license δ-elimination:\n{actual}"
+    );
+    check(
+        "explain_keyed_distinct",
+        include_str!("golden/explain_keyed_distinct.txt"),
+        &actual,
+    );
+}
+
+#[test]
+fn sql_primary_key_annotates_plan_and_absorbs_distinct() {
+    // the SQL front door's PRIMARY KEY feeds the same property pass: the
+    // DISTINCT in the query is provably redundant and the rendered plan
+    // carries the key annotation instead of a unique operator
+    let mgr = TransactionManager::new(mera::core::prelude::DatabaseSchema::new());
+    run_sql(
+        &mgr,
+        "CREATE TABLE member (name STR, town STR, PRIMARY KEY (name))",
+    )
+    .expect("create table");
+    run_sql(
+        &mgr,
+        "INSERT INTO member VALUES \
+         ('dick', 'enschede'), ('peter', 'hengelo'), ('maurice', 'enschede')",
+    )
+    .expect("inserts");
+    let actual = explain_sql(&mgr, "SELECT DISTINCT name, town FROM member").expect("explains");
+    assert!(
+        !actual.contains("distinct"),
+        "PRIMARY KEY must absorb DISTINCT:\n{actual}"
+    );
+    check(
+        "explain_sql_primary_key",
+        include_str!("golden/explain_sql_primary_key.txt"),
+        &actual,
+    );
+}
+
+#[test]
 fn estimates_stay_within_2x_of_actuals_on_the_star_schema() {
     // the acceptance bound from the statistics design: on this workload
     // (exact counters, unsaturated sketches) estimates land within 2× of
