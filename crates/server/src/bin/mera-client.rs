@@ -1,0 +1,103 @@
+//! The `mera-client` binary: an interactive line client.
+//!
+//! ```text
+//! mera-client [--addr HOST:PORT] [--xra]
+//! ```
+//!
+//! Reads statements from stdin, one per line, and prints rendered rows.
+//! Lines are SQL by default; with `--xra` (or a leading `\x `) they are
+//! sent as XRA script text. `\q` quits.
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+use mera_server::{Client, ClientError, Reply};
+
+fn print_reply(reply: &Reply) {
+    for notice in &reply.notices {
+        println!("-- {notice}");
+    }
+    for rows in &reply.results {
+        for row in rows {
+            let rendered = row.values.join(", ");
+            if row.multiplicity == 1 {
+                println!("({rendered})");
+            } else {
+                println!("({rendered}) x{}", row.multiplicity);
+            }
+        }
+        println!("-- {} row(s)", rows.len());
+    }
+    println!(
+        "-- ok: {} committed, {} aborted",
+        reply.committed, reply.aborted
+    );
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut xra_mode = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?,
+            "--xra" => xra_mode = true,
+            "--help" | "-h" => {
+                println!("usage: mera-client [--addr HOST:PORT] [--xra]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping {addr}: {e}"))?;
+    eprintln!(
+        "connected to {addr} ({} mode)",
+        if xra_mode { "xra" } else { "sql" }
+    );
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        out.write_all(b"mera> ").and_then(|_| out.flush()).ok();
+        let mut line = String::new();
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            return Ok(()); // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" {
+            return Ok(());
+        }
+        let result = if let Some(script) = line.strip_prefix("\\x ") {
+            client.xra(script)
+        } else if xra_mode {
+            client.xra(line)
+        } else {
+            client.sql(line)
+        };
+        match result {
+            Ok(reply) => print_reply(&reply),
+            Err(ClientError::Server(msg)) => println!("error: {msg}"),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mera-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

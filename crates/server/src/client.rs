@@ -1,0 +1,158 @@
+//! A blocking client for the `mera-server` wire protocol.
+//!
+//! One [`Client`] is one TCP session; it is not `Sync` — open one per
+//! thread (sessions are cheap, and the server multiplexes them onto its
+//! worker pool). Each call sends one request frame and reads the full
+//! response sequence, so requests on a session are strictly ordered.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, Row};
+
+/// Everything a request can return short of an answer.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection refused, reset, torn frame).
+    Io(io::Error),
+    /// The peer sent a frame this protocol version cannot parse.
+    Protocol(ProtocolError),
+    /// The server answered with a terminal `Error` frame.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Client-side result alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// The assembled answer to one SQL or XRA request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reply {
+    /// One entry per result relation (per `?E` output for scripts, one
+    /// for a SQL query, none for DML/DDL), rows in server order.
+    pub results: Vec<Vec<Row>>,
+    /// Per-transaction abort reasons, in occurrence order.
+    pub notices: Vec<String>,
+    /// Transactions that committed.
+    pub committed: u32,
+    /// Transactions that aborted.
+    pub aborted: u32,
+}
+
+impl Reply {
+    /// True when every transaction in the request committed.
+    pub fn all_committed(&self) -> bool {
+        self.aborted == 0
+    }
+}
+
+/// A connected session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Executes one SQL statement.
+    pub fn sql(&mut self, text: &str) -> ClientResult<Reply> {
+        self.roundtrip(&Request::Sql(text.to_owned()))
+    }
+
+    /// Runs an XRA script.
+    pub fn xra(&mut self, script: &str) -> ClientResult<Reply> {
+        self.roundtrip(&Request::Xra(script.to_owned()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.send(&Request::Ping)?;
+        match self.receive()? {
+            Response::Pong => Ok(()),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ProtocolError(format!("expected Pong, got {other:?}")).into()),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> ClientResult<()> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> ClientResult<Response> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the session mid-response",
+            ))
+        })?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Sends a request and assembles its response sequence into a
+    /// [`Reply`], reading until the terminal frame.
+    fn roundtrip(&mut self, request: &Request) -> ClientResult<Reply> {
+        self.send(request)?;
+        let mut reply = Reply::default();
+        let mut open: Option<Vec<Row>> = None;
+        loop {
+            match self.receive()? {
+                Response::RowBatch { last, rows } => {
+                    let mut acc = open.take().unwrap_or_default();
+                    acc.extend(rows);
+                    if last {
+                        reply.results.push(acc);
+                    } else {
+                        open = Some(acc);
+                    }
+                }
+                Response::Notice(msg) => reply.notices.push(msg),
+                Response::Done { committed, aborted } => {
+                    if open.is_some() {
+                        return Err(ProtocolError("Done while a row batch was open".into()).into());
+                    }
+                    reply.committed = committed;
+                    reply.aborted = aborted;
+                    return Ok(reply);
+                }
+                Response::Error(msg) => return Err(ClientError::Server(msg)),
+                Response::Pong => {
+                    return Err(ProtocolError("unexpected Pong mid-reply".into()).into())
+                }
+            }
+        }
+    }
+}

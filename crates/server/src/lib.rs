@@ -1,0 +1,49 @@
+//! # mera-server — a multi-client network front for the engine
+//!
+//! The paper's algebra, language and transaction model all assume a
+//! single embedded caller; this crate puts the concurrent durable
+//! engine ([`mera_store::ConcurrentDb`]) behind a TCP socket so many
+//! independent clients share one database:
+//!
+//! * [`protocol`] — the hand-rolled wire format: length-prefixed
+//!   frames carrying SQL text or XRA scripts in, streamed row batches
+//!   and typed completion frames out. No serialization dependency; the
+//!   codec is ~200 lines of explicit little-endian fields.
+//! * [`serve`] / [`ServerHandle`] — the server: one non-blocking
+//!   acceptor plus a fixed pool of session workers (the `mera-eval`
+//!   worker-pool idiom: shared queue, condvar). Every session executes
+//!   against the same [`ConcurrentDb`](mera_store::ConcurrentDb), so
+//!   clients get MVCC snapshot reads and cross-session group commit
+//!   without the server adding locks of its own.
+//! * [`Client`] — a blocking session handle: `sql`, `xra`, `ping`,
+//!   each assembling the streamed response into a [`Reply`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mera_core::prelude::*;
+//! use mera_store::{ConcurrentDb, MemStorage, StoreOptions};
+//!
+//! let db = ConcurrentDb::open(MemStorage::new(), DatabaseSchema::new(),
+//!                             StoreOptions::default())?;
+//! let server = mera_server::serve(Arc::new(db), "127.0.0.1:0",
+//!                                 mera_server::ServerOptions::default())?;
+//!
+//! let mut client = mera_server::Client::connect(server.local_addr())?;
+//! client.sql("CREATE TABLE beer (name TEXT, alcperc INT)")?;
+//! client.sql("INSERT INTO beer VALUES ('Grolsch', 5)")?;
+//! let reply = client.sql("SELECT * FROM beer")?;
+//! assert_eq!(reply.results[0].len(), 1);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult, Reply};
+pub use protocol::{Request, Response, Row};
+pub use server::{serve, ServerHandle, ServerOptions};

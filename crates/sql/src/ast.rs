@@ -179,13 +179,19 @@ pub enum SqlStmt {
         /// The defining query.
         query: SelectQuery,
     },
-    /// `CREATE TABLE t (c type, …[, PRIMARY KEY (c, …)])`.
+    /// `CREATE TABLE t (c type [UNIQUE | PRIMARY KEY], …[, PRIMARY KEY
+    /// (c, …)][, UNIQUE (c, …)]…)`.
     CreateTable {
         /// Table name.
         table: String,
         /// `(column name, domain)` pairs in declaration order.
         columns: Vec<(String, DataType)>,
-        /// The `PRIMARY KEY` column list, if declared.
+        /// The `PRIMARY KEY` column list, if declared (column-level or
+        /// table-level — at most one either way).
         primary_key: Option<Vec<String>>,
+        /// `UNIQUE` constraints, each a column list, in declaration
+        /// order. Like the primary key, each lowers to a key constraint
+        /// on the catalog.
+        unique: Vec<Vec<String>>,
     },
 }

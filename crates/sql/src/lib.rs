@@ -129,10 +129,10 @@ pub fn run_sql(mgr: &TransactionManager, sql: &str) -> LangResult<Option<Relatio
         mgr.create_view(&name, expr).map_err(view_error)?;
         return Ok(None);
     }
-    if let Translated::CreateTable { schema, key } = translated {
+    if let Translated::CreateTable { schema, keys } = translated {
         let name = schema.name.clone();
         mgr.add_relation(schema).map_err(LangError::Semantic)?;
-        if let Some(attrs) = key {
+        for attrs in keys {
             mgr.declare_key(&name, &attrs).map_err(key_error)?;
         }
         return Ok(None);
@@ -445,6 +445,70 @@ mod tests {
             !plan.contains("distinct"),
             "keyed input must license \u{3b4}-elimination:\n{plan}"
         );
+    }
+
+    #[test]
+    fn views_stack_on_views_and_stay_fresh() {
+        let mgr = loaded_manager();
+        run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW strong AS \
+             SELECT name, brewery FROM beer WHERE alcperc > 6.0",
+        )
+        .expect("first view");
+        // the second view's FROM resolves the first view by name
+        run_sql(
+            &mgr,
+            "CREATE MATERIALIZED VIEW strong_grolsche AS \
+             SELECT name FROM strong WHERE brewery = 'Grolsche'",
+        )
+        .expect("view on view");
+        let out = run_sql(&mgr, "SELECT * FROM strong_grolsche")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 1); // Bock/Grolsche at 6.5
+                                  // a base-table write cascades through both layers
+        run_sql(&mgr, "INSERT INTO beer VALUES ('Tripel', 'Grolsche', 8.0)").expect("dml");
+        let out = run_sql(&mgr, "SELECT * FROM strong_grolsche")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn create_table_unique_constraints_enforce_and_license_rewrites() {
+        let mgr = TransactionManager::new(DatabaseSchema::new());
+        run_sql(
+            &mgr,
+            "CREATE TABLE member (id INT PRIMARY KEY, email TEXT UNIQUE, \
+             first TEXT, last TEXT, UNIQUE (first, last))",
+        )
+        .expect("creates table");
+        run_sql(&mgr, "INSERT INTO member VALUES (1, 'ann@x', 'ann', 'ng')").expect("inserts");
+        // UNIQUE column: duplicate email aborts with the key diagnostic
+        let err = run_sql(&mgr, "INSERT INTO member VALUES (2, 'ann@x', 'bob', 'b')").unwrap_err();
+        assert!(err.to_string().contains("E0401"), "{err}");
+        // composite UNIQUE: duplicate (first, last) aborts
+        let err = run_sql(&mgr, "INSERT INTO member VALUES (2, 'bob@x', 'ann', 'ng')").unwrap_err();
+        assert!(err.to_string().contains("E0401"), "{err}");
+        // all constraints satisfied: commits
+        run_sql(&mgr, "INSERT INTO member VALUES (2, 'bob@x', 'bob', 'ng')").expect("commits");
+        let out = run_sql(&mgr, "SELECT * FROM member")
+            .expect("runs")
+            .expect("output");
+        assert_eq!(out.len(), 2);
+        // the UNIQUE keys reach the property pass: δ over the keyed
+        // relation is eliminated
+        let plan = explain_sql(&mgr, "SELECT DISTINCT * FROM member").expect("explains");
+        assert!(
+            !plan.contains("distinct"),
+            "keyed input must license \u{3b4}-elimination:\n{plan}"
+        );
+        // UNIQUE duplicating the PRIMARY KEY collapses to one declaration
+        run_sql(&mgr, "CREATE TABLE t (a INT PRIMARY KEY, UNIQUE (a))").expect("creates");
+        run_sql(&mgr, "INSERT INTO t VALUES (1)").expect("inserts");
+        let err = run_sql(&mgr, "INSERT INTO t VALUES (1)").unwrap_err();
+        assert!(err.to_string().contains("E0401"), "{err}");
     }
 
     #[test]

@@ -220,32 +220,50 @@ impl SqlParser {
         ))
     }
 
-    /// `CREATE TABLE` body: `t (c type, …[, PRIMARY KEY (c, …)])`.
+    /// `CREATE TABLE` body: `t (c type [UNIQUE | PRIMARY KEY], …[,
+    /// PRIMARY KEY (c, …)][, UNIQUE (c, …)]…)`.
     fn create_table(&mut self) -> LangResult<SqlStmt> {
         let table = self.ident()?;
         self.expect(&Token::LParen)?;
         let mut columns = Vec::new();
-        let mut primary_key = None;
+        let mut primary_key: Option<Vec<String>> = None;
+        let mut unique: Vec<Vec<String>> = Vec::new();
         loop {
             if self.at_kw("primary") {
                 self.bump();
                 self.expect_kw("key")?;
-                self.expect(&Token::LParen)?;
-                let mut cols = vec![self.ident()?];
-                while self.peek() == Some(&Token::Comma) {
-                    self.bump();
-                    cols.push(self.ident()?);
-                }
-                self.expect(&Token::RParen)?;
+                let cols = self.column_list()?;
                 if primary_key.replace(cols).is_some() {
                     return Err(LangError::parse(
                         self.here(),
                         "at most one PRIMARY KEY clause per table",
                     ));
                 }
+            } else if self.at_kw("unique") {
+                self.bump();
+                unique.push(self.column_list()?);
             } else {
                 let col = self.ident()?;
                 let dtype = self.sql_type()?;
+                // column-level constraints: `c INT UNIQUE` and
+                // `c INT PRIMARY KEY` are sugar for the table-level form
+                loop {
+                    if self.at_kw("unique") {
+                        self.bump();
+                        unique.push(vec![col.clone()]);
+                    } else if self.at_kw("primary") {
+                        self.bump();
+                        self.expect_kw("key")?;
+                        if primary_key.replace(vec![col.clone()]).is_some() {
+                            return Err(LangError::parse(
+                                self.here(),
+                                "at most one PRIMARY KEY clause per table",
+                            ));
+                        }
+                    } else {
+                        break;
+                    }
+                }
                 columns.push((col, dtype));
             }
             if self.peek() == Some(&Token::Comma) {
@@ -265,7 +283,20 @@ impl SqlParser {
             table,
             columns,
             primary_key,
+            unique,
         })
+    }
+
+    /// A parenthesized comma-separated column-name list.
+    fn column_list(&mut self) -> LangResult<Vec<String>> {
+        self.expect(&Token::LParen)?;
+        let mut cols = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.bump();
+            cols.push(self.ident()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(cols)
     }
 
     /// A SQL column type, mapped onto the algebra's domains.
@@ -685,6 +716,7 @@ mod tests {
             table,
             columns,
             primary_key,
+            unique,
         } = q
         else {
             panic!("expected create table");
@@ -699,6 +731,7 @@ mod tests {
             ]
         );
         assert_eq!(primary_key, Some(vec!["name".into(), "town".into()]));
+        assert!(unique.is_empty());
         // without a key clause
         let q = parse_sql("create table r (a integer, b double)").expect("parses");
         assert!(matches!(
@@ -712,6 +745,37 @@ mod tests {
         assert!(parse_sql("CREATE TABLE r (a INT, PRIMARY KEY (a), PRIMARY KEY (a))").is_err());
         assert!(parse_sql("CREATE TABLE r (PRIMARY KEY (a))").is_err());
         assert!(parse_sql("CREATE TABLE r (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn create_table_unique_parses() {
+        let q = parse_sql(
+            "CREATE TABLE member (id INT PRIMARY KEY, email TEXT UNIQUE, \
+             first TEXT, last TEXT, UNIQUE (first, last))",
+        )
+        .expect("parses");
+        let SqlStmt::CreateTable {
+            primary_key,
+            unique,
+            columns,
+            ..
+        } = q
+        else {
+            panic!("expected create table");
+        };
+        assert_eq!(columns.len(), 4);
+        assert_eq!(primary_key, Some(vec!["id".into()]));
+        assert_eq!(
+            unique,
+            vec![
+                vec!["email".to_string()],
+                vec!["first".to_string(), "last".to_string()],
+            ]
+        );
+        // a column may carry both markers; two column-level primary keys
+        // collide like two table-level clauses
+        assert!(parse_sql("CREATE TABLE r (a INT UNIQUE PRIMARY KEY)").is_ok());
+        assert!(parse_sql("CREATE TABLE r (a INT PRIMARY KEY, b INT PRIMARY KEY)").is_err());
     }
 
     #[test]

@@ -38,13 +38,17 @@ pub enum Translated {
         /// The defining algebra expression.
         expr: RelExpr,
     },
-    /// `CREATE TABLE` becomes a relation schema plus an optional key
-    /// constraint — both catalog operations.
+    /// `CREATE TABLE` becomes a relation schema plus key constraints —
+    /// all catalog operations.
     CreateTable {
         /// The new relation's schema.
         schema: RelationSchema,
-        /// The `PRIMARY KEY` as 1-based attribute indexes, if declared.
-        key: Option<Vec<usize>>,
+        /// Every declared key as 1-based attribute indexes: the
+        /// `PRIMARY KEY` first (if any), then each `UNIQUE` constraint
+        /// in declaration order, duplicates collapsed. All lower to the
+        /// same key-catalog machinery (E0401 enforcement at commit, WAL
+        /// `DeclareKey`, property-pass visibility).
+        keys: Vec<Vec<usize>>,
     },
 }
 
@@ -135,6 +139,7 @@ pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<
             table,
             columns,
             primary_key,
+            unique,
         } => {
             for (i, (c, _)) in columns.iter().enumerate() {
                 if columns[..i].iter().any(|(other, _)| other == c) {
@@ -149,17 +154,26 @@ pub fn translate<P: SchemaProvider>(stmt: &SqlStmt, provider: &P) -> LangResult<
                     .map(|(n, t)| Attribute::named(n.clone(), *t))
                     .collect(),
             );
-            let key = primary_key
-                .as_ref()
-                .map(|cols| {
-                    cols.iter()
-                        .map(|c| schema.index_of(c).map_err(LangError::Semantic))
-                        .collect::<LangResult<Vec<usize>>>()
-                })
-                .transpose()?;
+            let resolve = |cols: &[String]| {
+                cols.iter()
+                    .map(|c| schema.index_of(c).map_err(LangError::Semantic))
+                    .collect::<LangResult<Vec<usize>>>()
+            };
+            let mut keys = Vec::new();
+            if let Some(cols) = primary_key {
+                keys.push(resolve(cols)?);
+            }
+            for cols in unique {
+                let attrs = resolve(cols)?;
+                // UNIQUE (a) next to PRIMARY KEY (a) is the same
+                // constraint; declare it once
+                if !keys.contains(&attrs) {
+                    keys.push(attrs);
+                }
+            }
             Ok(Translated::CreateTable {
                 schema: RelationSchema::new(table.clone(), schema),
-                key,
+                keys,
             })
         }
     }

@@ -1,0 +1,748 @@
+//! [`ConcurrentDb`]: the MVCC transaction engine wired to a shared WAL
+//! with cross-client group commit.
+//!
+//! Where [`DurableDb`](crate::DurableDb) is `&mut self` throughout — one
+//! writer, log-then-publish — this front is `&self` everywhere: any
+//! number of threads (one per client connection, in `mera-server`)
+//! execute transactions concurrently against the [`MvccManager`]'s
+//! version chain, and the WAL becomes a shared resource coordinated by a
+//! small group-commit protocol:
+//!
+//! * **Commit order = log order.** Each committed transaction's redo
+//!   frame is produced inside the MVCC commit section (the `durability`
+//!   hook of [`MvccManager::try_commit`] runs under the commit lock,
+//!   after validation, before publication), so frames are generated in
+//!   strictly increasing logical-time order and the serial recovery code
+//!   replays interleaved histories unchanged.
+//! * **[`FsyncPolicy::Always`]** appends and fsyncs the frame right in
+//!   the hook — one fsync per commit, fully serialized. This is the
+//!   latency-honest baseline.
+//! * **[`FsyncPolicy::EveryN`]** is *group commit with
+//!   ack-after-durability*: the hook only stages the frame into an
+//!   in-memory buffer (so the commit section never waits on the disk),
+//!   and the committer then waits on the group. Batching is *natural*:
+//!   whenever no flush is in flight the first waiter becomes the
+//!   **leader**, writes the whole staged batch with one append and one
+//!   fsync, and wakes everyone whose frame it covered. Commits that
+//!   arrive while a flush is in flight pile up behind it and ride the
+//!   next batch, so group size adapts to concurrency — a lone committer
+//!   pays exactly one fsync (no worse than `Always`), while under load
+//!   one fsync amortizes across many commits. The `n` is a WAL-batching
+//!   hint honored by the serial front; here every ack is durable and
+//!   `n` does not gate the flush. Unlike the serial `EveryN` (which
+//!   acked before syncing), no transaction is acknowledged until its
+//!   frame is durable.
+//! * **[`FsyncPolicy::Never`]** appends in the hook without syncing —
+//!   the OS flushes when it pleases, exactly like the serial front.
+//!
+//! A storage failure while flushing staged frames is fail-stop: versions
+//! for those frames are already published to readers, so the front
+//! *poisons* — every later commit and flush fails with the original
+//! error — rather than let the in-memory history silently diverge from
+//! the durable one. (A failure on the `Always` path aborts just that
+//! commit before publication, like the serial front.)
+
+use std::sync::Arc;
+
+use crate::durable::{DurableDb, DurableParts, FsyncPolicy, StoreOptions, SNAPSHOT_FILE, WAL_FILE};
+use crate::error::{StoreError, StoreResult};
+use crate::snapshot;
+use crate::storage::Storage;
+use crate::wal::{self, WalRecord};
+use mera_core::prelude::*;
+use mera_expr::RelExpr;
+use mera_lang::{lower_script, parse_script, program_to_xra, rel_to_xra, RunResult};
+use mera_txn::mvcc::{MvccManager, Version};
+use mera_txn::{AbortReason, ConstraintSet, DeclareKeyError, Outcome, Outputs, Program};
+use parking_lot::{Condvar, Mutex};
+
+/// Group-commit bookkeeping: frames staged but not yet written, and the
+/// durable horizon acks wait on. Tickets are per-frame sequence numbers
+/// issued in commit order.
+struct Group {
+    /// Encoded frames staged in commit order, awaiting the next leader.
+    staged: Vec<u8>,
+    /// Tickets issued (frames staged or directly appended).
+    appended: u64,
+    /// Tickets durable on disk.
+    durable: u64,
+    /// A leader is currently writing a batch.
+    flushing: bool,
+    /// First storage error seen while flushing published commits; once
+    /// set, the front is fail-stop.
+    poisoned: Option<StoreError>,
+}
+
+/// A concurrent durable database: MVCC snapshots over the version chain,
+/// shared-WAL group commit underneath. All methods take `&self`; the
+/// intended use is one `Arc<ConcurrentDb>` shared by every client
+/// session.
+pub struct ConcurrentDb<S: Storage> {
+    mvcc: MvccManager,
+    storage: Mutex<S>,
+    group: Mutex<Group>,
+    group_cv: Condvar,
+    options: StoreOptions,
+}
+
+impl<S: Storage> std::fmt::Debug for ConcurrentDb<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentDb")
+            .field("time", &self.mvcc.time())
+            .field("fsync", &self.options.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Storage> ConcurrentDb<S> {
+    /// Opens (or recovers) a concurrent durable database.
+    ///
+    /// Recovery is exactly the serial path — [`DurableDb::open`] replays
+    /// the WAL single-threaded (interleaved histories were logged in
+    /// commit order, so nothing about replay changes) — and the result
+    /// seeds version 0 of the MVCC chain.
+    pub fn open(
+        storage: S,
+        initial_schema: DatabaseSchema,
+        options: StoreOptions,
+    ) -> StoreResult<Self> {
+        Ok(Self::from_durable(DurableDb::open(
+            storage,
+            initial_schema,
+            options,
+        )?))
+    }
+
+    /// Wraps an already-opened serial database.
+    pub fn from_durable(db: DurableDb<S>) -> Self {
+        let DurableParts {
+            storage,
+            db,
+            views,
+            stats,
+            indexes,
+            keys,
+            options,
+        } = db.into_parts();
+        let mvcc = MvccManager::from_parts(
+            db,
+            views,
+            stats,
+            indexes,
+            keys,
+            options.exec,
+            ConstraintSet::new(),
+        );
+        ConcurrentDb {
+            mvcc,
+            storage: Mutex::new(storage),
+            group: Mutex::new(Group {
+                staged: Vec::new(),
+                appended: 0,
+                durable: 0,
+                flushing: false,
+                poisoned: None,
+            }),
+            group_cv: Condvar::new(),
+            options,
+        }
+    }
+
+    /// The MVCC manager — for direct `prepare`/`try_commit` use and for
+    /// tests that need version-level access.
+    pub fn mvcc(&self) -> &MvccManager {
+        &self.mvcc
+    }
+
+    /// Pins the newest published version for lock-free reading.
+    pub fn pin(&self) -> Arc<Version> {
+        self.mvcc.pin()
+    }
+
+    /// The store options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// Runs a read-only program against a pinned version without
+    /// touching the commit path or the WAL.
+    pub fn read(&self, version: &Arc<Version>, program: &Program) -> StoreResult<Outputs> {
+        self.mvcc
+            .read(version, program)
+            .map_err(|r| StoreError::TransactionAborted(r.to_string()))
+    }
+
+    /// Runs one transaction to its typed outcome: committed outputs, or
+    /// an abort reason ([`AbortReason::Conflict`] tells a caller the
+    /// retry is worthwhile). Storage failures are errors; an
+    /// acknowledged commit is durable per the fsync policy.
+    pub fn try_execute(&self, program: &Program) -> StoreResult<Outcome> {
+        let start = self.mvcc.pin();
+        let prepared = match self.mvcc.prepare(start, program) {
+            Ok(p) => p,
+            Err(reason) => return Ok(Outcome::Aborted(reason)),
+        };
+        if prepared.is_read_only() {
+            let (outcome, _) = self.mvcc.try_commit::<StoreError>(prepared, |_| Ok(()))?;
+            return Ok(outcome);
+        }
+        let text = program_to_xra(program);
+        match self.options.fsync {
+            FsyncPolicy::Always => {
+                let (outcome, _) = self.mvcc.try_commit(prepared, |time| {
+                    self.append_direct(&commit_frame(time, &text), true)
+                })?;
+                Ok(outcome)
+            }
+            FsyncPolicy::Never => {
+                let (outcome, _) = self.mvcc.try_commit(prepared, |time| {
+                    self.append_direct(&commit_frame(time, &text), false)
+                })?;
+                Ok(outcome)
+            }
+            FsyncPolicy::EveryN(_) => {
+                let mut ticket = None;
+                let (outcome, _) = self.mvcc.try_commit(prepared, |time| {
+                    ticket = Some(self.stage(&commit_frame(time, &text))?);
+                    Ok::<(), StoreError>(())
+                })?;
+                if let Some(ticket) = ticket {
+                    self.await_durable(ticket)?;
+                }
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Runs one transaction with durable commit; aborts (including
+    /// conflicts) surface as [`StoreError::TransactionAborted`].
+    pub fn execute(&self, program: &Program) -> StoreResult<Outputs> {
+        match self.try_execute(program)? {
+            Outcome::Committed(outputs) => Ok(outputs),
+            Outcome::Aborted(reason) => Err(StoreError::TransactionAborted(reason.to_string())),
+        }
+    }
+
+    /// Appends one frame under the storage lock, optionally fsyncing —
+    /// the `Always`/`Never` commit hook and runs inside the MVCC commit
+    /// section, so tickets stay in commit order.
+    fn append_direct(&self, frame: &[u8], sync: bool) -> StoreResult<()> {
+        let mut group = self.group.lock();
+        if let Some(e) = &group.poisoned {
+            return Err(e.clone());
+        }
+        // staged frames (left over from a policy that staged, or a
+        // future mixed mode) must precede this one
+        debug_assert!(group.staged.is_empty());
+        let mut storage = self.storage.lock();
+        storage.append(WAL_FILE, frame)?;
+        if sync {
+            storage.sync(WAL_FILE)?;
+        }
+        drop(storage);
+        group.appended += 1;
+        group.durable = group.appended;
+        Ok(())
+    }
+
+    /// Stages one frame for the next group flush; returns the ticket the
+    /// committer must wait on. Runs inside the MVCC commit section —
+    /// memory-only, so commits never wait on the disk here.
+    fn stage(&self, frame: &[u8]) -> StoreResult<u64> {
+        let mut group = self.group.lock();
+        if let Some(e) = &group.poisoned {
+            return Err(e.clone());
+        }
+        group.staged.extend_from_slice(frame);
+        group.appended += 1;
+        let ticket = group.appended;
+        drop(group);
+        // wake waiters: a parked committer can now lead a bigger batch
+        self.group_cv.notify_all();
+        Ok(ticket)
+    }
+
+    /// Blocks until `ticket` is durable (or the front is poisoned).
+    /// Natural batching: whenever no flush is in flight, the first
+    /// waiter becomes the leader and writes the whole staged batch.
+    /// A lone committer therefore flushes immediately (no added
+    /// latency over `Always`), while under load commits pile up behind
+    /// the in-flight fsync and the next leader writes them as one
+    /// batch — group size adapts to concurrency by itself.
+    fn await_durable(&self, ticket: u64) -> StoreResult<()> {
+        let mut group = self.group.lock();
+        loop {
+            if let Some(e) = &group.poisoned {
+                return Err(e.clone());
+            }
+            if group.durable >= ticket {
+                return Ok(());
+            }
+            if !group.flushing {
+                // become the leader: take the batch, write it outside
+                // the group lock so staging continues meanwhile
+                group.flushing = true;
+                let batch = std::mem::take(&mut group.staged);
+                let target = group.appended;
+                drop(group);
+                let result = {
+                    let mut storage = self.storage.lock();
+                    storage
+                        .append(WAL_FILE, &batch)
+                        .and_then(|()| storage.sync(WAL_FILE))
+                };
+                group = self.group.lock();
+                group.flushing = false;
+                match result {
+                    Ok(()) => group.durable = group.durable.max(target),
+                    Err(e) => {
+                        // published-but-not-durable commits exist now:
+                        // fail-stop
+                        group.poisoned = Some(e);
+                    }
+                }
+                self.group_cv.notify_all();
+                continue;
+            }
+            self.group_cv.wait(&mut group);
+        }
+    }
+
+    /// Flushes (and fsyncs) any staged frames, then optionally appends
+    /// `record` in the same durable step. Used by DDL hooks (which run
+    /// under the MVCC commit lock, so no new frames can be staged while
+    /// this runs) and by [`ConcurrentDb::sync`].
+    fn drain_and_append(&self, record: Option<&WalRecord>) -> StoreResult<()> {
+        let mut group = self.group.lock();
+        while group.flushing {
+            self.group_cv.wait(&mut group);
+        }
+        if let Some(e) = &group.poisoned {
+            return Err(e.clone());
+        }
+        let batch = std::mem::take(&mut group.staged);
+        let target = group.appended;
+        let mut storage = self.storage.lock();
+        let result = (|| {
+            if !batch.is_empty() {
+                storage.append(WAL_FILE, &batch)?;
+            }
+            if let Some(record) = record {
+                storage.append(WAL_FILE, &record.encode_frame())?;
+            }
+            storage.sync(WAL_FILE)
+        })();
+        drop(storage);
+        match result {
+            Ok(()) => {
+                group.durable = group.durable.max(target);
+                drop(group);
+                self.group_cv.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                if batch.is_empty() {
+                    // only the new record was at risk; the caller's DDL
+                    // simply fails before publication
+                    Err(e)
+                } else {
+                    // staged frames belong to published commits
+                    group.poisoned = Some(e.clone());
+                    drop(group);
+                    self.group_cv.notify_all();
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Forces every staged frame to disk (an explicit group flush) —
+    /// called on graceful shutdown and before checkpoints.
+    pub fn sync(&self) -> StoreResult<()> {
+        self.drain_and_append(None)
+    }
+
+    /// Declares a new relation, durably: validated against the newest
+    /// version, logged and fsynced, then published as a DDL version.
+    pub fn add_relation(&self, rs: RelationSchema) -> StoreResult<()> {
+        let record = WalRecord::Declare {
+            name: rs.name.clone(),
+            schema: rs.schema.as_ref().clone(),
+        };
+        self.mvcc
+            .add_relation_with(rs, || self.drain_and_append(Some(&record)))?
+            .map_err(StoreError::from)
+    }
+
+    /// Creates a materialized view, durably.
+    pub fn create_view(&self, name: &str, expr: RelExpr) -> StoreResult<SchemaRef> {
+        let record = WalRecord::DeclareView {
+            name: name.to_owned(),
+            text: rel_to_xra(&expr),
+        };
+        self.mvcc
+            .create_view_with(name, expr, || self.drain_and_append(Some(&record)))?
+            .map_err(|e| StoreError::Core(CoreError::TypeError(e.to_string())))
+    }
+
+    /// Creates a secondary index, durably.
+    pub fn create_index(&self, relation: &str, keys: &[usize]) -> StoreResult<()> {
+        let record = WalRecord::DeclareIndex {
+            relation: relation.to_owned(),
+            keys: keys.to_vec(),
+        };
+        self.mvcc
+            .create_index_with(relation, keys, || self.drain_and_append(Some(&record)))?
+            .map_err(StoreError::from)
+    }
+
+    /// Declares a key constraint, durably.
+    pub fn declare_key(&self, relation: &str, attrs: &[usize]) -> StoreResult<()> {
+        let record = WalRecord::DeclareKey {
+            relation: relation.to_owned(),
+            attrs: attrs.to_vec(),
+        };
+        self.mvcc
+            .declare_key_with(relation, attrs, || self.drain_and_append(Some(&record)))?
+            .map_err(|e| match e {
+                DeclareKeyError::Rejected(d) => {
+                    StoreError::Core(CoreError::TypeError(d.to_string()))
+                }
+                DeclareKeyError::Error(c) => StoreError::Core(c),
+            })
+    }
+
+    /// Writes a checkpoint under quiescence: no commit can publish (or
+    /// stage a frame) while the snapshot is taken, so the snapshot and
+    /// the reset WAL describe exactly one version.
+    pub fn checkpoint(&self) -> StoreResult<()> {
+        self.mvcc.quiesce(|version| {
+            self.drain_and_append(None)?;
+            let bytes = snapshot::encode(version.database());
+            let mut storage = self.storage.lock();
+            storage.replace_atomic(SNAPSHOT_FILE, &bytes)?;
+            let mut wal_bytes = wal::empty_wal();
+            for v in version.views().iter() {
+                let record = WalRecord::DeclareView {
+                    name: v.name().to_owned(),
+                    text: rel_to_xra(v.expr()),
+                };
+                wal_bytes.extend_from_slice(&record.encode_frame());
+            }
+            for (relation, keys) in version.indexes().definitions() {
+                let record = WalRecord::DeclareIndex { relation, keys };
+                wal_bytes.extend_from_slice(&record.encode_frame());
+            }
+            for (relation, attrs) in version.keys().definitions() {
+                let record = WalRecord::DeclareKey { relation, attrs };
+                wal_bytes.extend_from_slice(&record.encode_frame());
+            }
+            storage.replace_atomic(WAL_FILE, &wal_bytes)?;
+            Ok(())
+        })
+    }
+
+    /// Runs a whole XRA script durably (declarations, views, keys, then
+    /// each transaction in order). The concurrent analogue of
+    /// [`crate::DurableSession::run_script`]; aborts are reported in the
+    /// results, storage failures abort the script.
+    pub fn run_script(&self, src: &str) -> StoreResult<Vec<RunResult>> {
+        let script = parse_script(src).map_err(StoreError::from)?;
+        let lowered =
+            lower_script(&script, &self.pin().catalog_schema()).map_err(StoreError::from)?;
+        for decl in lowered.declarations {
+            self.add_relation(decl)?;
+        }
+        for view in lowered.views {
+            self.create_view(&view.name, view.expr)?;
+        }
+        for key in lowered.keys {
+            self.declare_key(&key.relation, &key.attrs)?;
+        }
+        let mut results = Vec::with_capacity(lowered.transactions.len());
+        for program in &lowered.transactions {
+            results.push(match self.try_execute(program)? {
+                Outcome::Committed(outputs) => RunResult::Committed(outputs.queries),
+                Outcome::Aborted(reason) => RunResult::Aborted(reason.to_string()),
+            });
+        }
+        Ok(results)
+    }
+
+    /// Parses, translates and durably runs one SQL statement — the
+    /// concurrent analogue of [`crate::run_sql`]. Returns the result
+    /// relation for queries, `None` otherwise.
+    pub fn run_sql(&self, sql: &str) -> StoreResult<Option<Relation>> {
+        let stmt = mera_sql::parse_sql(sql).map_err(StoreError::from)?;
+        let catalog = self.pin().catalog_schema();
+        let translated = mera_sql::translate(&stmt, &catalog).map_err(StoreError::from)?;
+        match translated {
+            mera_sql::Translated::CreateView { name, expr } => {
+                self.create_view(&name, expr)?;
+                Ok(None)
+            }
+            mera_sql::Translated::CreateTable { schema, keys } => {
+                let name = schema.name.clone();
+                self.add_relation(schema)?;
+                for attrs in keys {
+                    self.declare_key(&name, &attrs)?;
+                }
+                Ok(None)
+            }
+            other => {
+                let is_query = matches!(other, mera_sql::Translated::Query(_));
+                let program = Program::single(other.into_statement());
+                let mut outputs = self.execute(&program)?;
+                if is_query {
+                    Ok(Some(outputs.queries.remove(0)))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+/// Encodes one commit frame (logical time + program text).
+fn commit_frame(time: LogicalTime, text: &str) -> Vec<u8> {
+    WalRecord::Commit {
+        time,
+        text: text.to_owned(),
+    }
+    .encode_frame()
+}
+
+/// Returns true when the abort reason is a write-write conflict worth
+/// retrying against a newer snapshot.
+pub fn is_conflict(outcome: &Outcome) -> bool {
+    matches!(outcome, Outcome::Aborted(AbortReason::Conflict { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use mera_lang::{parse_program, Lowerer};
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new()
+            .with(
+                "accounts",
+                Schema::named(&[("owner", DataType::Str), ("balance", DataType::Int)]),
+            )
+            .expect("fresh schema")
+    }
+
+    fn open(storage: MemStorage, fsync: FsyncPolicy) -> ConcurrentDb<MemStorage> {
+        let options = StoreOptions {
+            fsync,
+            ..StoreOptions::default()
+        };
+        ConcurrentDb::open(storage, schema(), options).expect("open")
+    }
+
+    fn insert_program(db: &ConcurrentDb<MemStorage>, owner: &str, balance: i64) -> Program {
+        let text = format!("insert(accounts, values (str, int) {{('{owner}', {balance})}})");
+        let parsed = parse_program(&text).expect("parses");
+        let catalog = db.pin().catalog_schema();
+        let mut lowerer = Lowerer::new(&catalog);
+        lowerer.lower_program(&parsed).expect("lowers")
+    }
+
+    #[test]
+    fn commits_recover_through_the_serial_path() {
+        let storage = MemStorage::new();
+        let db = open(storage.clone(), FsyncPolicy::Always);
+        db.execute(&insert_program(&db, "ann", 10))
+            .expect("commits");
+        db.execute(&insert_program(&db, "bob", 20))
+            .expect("commits");
+        let expected = db.pin().database().clone();
+        drop(db);
+
+        let recovered = open(MemStorage::from_image(storage.image()), FsyncPolicy::Always);
+        assert_eq!(recovered.pin().database(), &expected);
+    }
+
+    #[test]
+    fn group_commit_is_durable_when_acknowledged() {
+        let storage = MemStorage::new();
+        let db = open(storage.clone(), FsyncPolicy::EveryN(8));
+        // single-threaded: each commit waits out the group window and
+        // leads its own flush — slower, but every ack means durable
+        db.execute(&insert_program(&db, "ann", 10))
+            .expect("commits");
+        let expected = db.pin().database().clone();
+        drop(db);
+
+        let recovered = open(MemStorage::from_image(storage.image()), FsyncPolicy::Always);
+        assert_eq!(recovered.pin().database(), &expected);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_across_threads() {
+        let storage = MemStorage::new();
+        let db = Arc::new(open(storage.clone(), FsyncPolicy::EveryN(4)));
+        let syncs_before = storage.sync_count();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    // all writers touch the same unkeyed relation, so
+                    // first-committer-wins aborts the laggards: retry
+                    let p = insert_program(&db, &format!("owner{i}"), i);
+                    loop {
+                        match db.try_execute(&p).expect("io ok") {
+                            Outcome::Committed(_) => break,
+                            o if is_conflict(&o) => continue,
+                            o => panic!("unexpected abort: {o:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("joins");
+        }
+        let syncs = storage.sync_count() - syncs_before;
+        assert!(syncs <= 8, "8 commits should not need more than 8 fsyncs");
+        assert_eq!(db.pin().database().relation("accounts").unwrap().len(), 8);
+        drop(db);
+
+        let recovered = open(MemStorage::from_image(storage.image()), FsyncPolicy::Always);
+        assert_eq!(
+            recovered
+                .pin()
+                .database()
+                .relation("accounts")
+                .unwrap()
+                .len(),
+            8
+        );
+    }
+
+    #[test]
+    fn conflicting_writers_get_typed_aborts_and_recovery_matches() {
+        let storage = MemStorage::new();
+        let db = open(storage.clone(), FsyncPolicy::Always);
+        db.execute(&insert_program(&db, "ann", 10))
+            .expect("commits");
+        // two prepared writers on the same (unkeyed) relation: first
+        // committer wins, the second gets a typed conflict
+        let start = db.mvcc().pin();
+        let p1 = db
+            .mvcc()
+            .prepare(Arc::clone(&start), &insert_program(&db, "bob", 20))
+            .expect("prepares");
+        let p2 = db
+            .mvcc()
+            .prepare(start, &insert_program(&db, "cho", 30))
+            .expect("prepares");
+        let (o1, _) = db
+            .mvcc()
+            .try_commit(p1, |time| {
+                db.append_direct(
+                    &commit_frame(time, "insert(accounts, values (str, int) {('bob', 20)})"),
+                    true,
+                )
+            })
+            .expect("io ok");
+        assert!(o1.is_committed());
+        let (o2, _) = db
+            .mvcc()
+            .try_commit::<StoreError>(p2, |_| unreachable!("validation fails first"))
+            .expect("io ok");
+        assert!(is_conflict(&o2), "{o2:?}");
+        let expected = db.pin().database().clone();
+        drop(db);
+
+        let recovered = open(MemStorage::from_image(storage.image()), FsyncPolicy::Always);
+        assert_eq!(recovered.pin().database(), &expected);
+    }
+
+    #[test]
+    fn ddl_and_checkpoint_survive_reopen() {
+        let storage = MemStorage::new();
+        let db = open(storage.clone(), FsyncPolicy::EveryN(4));
+        db.execute(&insert_program(&db, "ann", 10))
+            .expect("commits");
+        db.declare_key("accounts", &[1]).expect("declares");
+        db.create_index("accounts", &[1]).expect("indexes");
+        db.run_sql(
+            "CREATE MATERIALIZED VIEW totals AS \
+             SELECT owner, SUM(balance) FROM accounts GROUP BY owner",
+        )
+        .expect("view");
+        db.checkpoint().expect("checkpoint");
+        db.execute(&insert_program(&db, "bob", 20))
+            .expect("commits");
+        db.sync().expect("flushes");
+        let version = db.pin();
+        let expected_db = version.database().clone();
+        let expected_view = version
+            .views()
+            .get("totals")
+            .expect("view")
+            .data()
+            .as_ref()
+            .clone();
+        drop(version);
+        drop(db);
+
+        let recovered = open(MemStorage::from_image(storage.image()), FsyncPolicy::Always);
+        let v = recovered.pin();
+        assert_eq!(v.database(), &expected_db);
+        assert_eq!(
+            v.views().get("totals").expect("view").data().as_ref(),
+            &expected_view
+        );
+        assert_eq!(
+            v.keys().definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        assert_eq!(
+            v.indexes().definitions(),
+            vec![("accounts".to_string(), vec![1])]
+        );
+        // the recovered key still enforces
+        let err = recovered
+            .execute(&insert_program(&recovered, "ann", 99))
+            .expect_err("key violation");
+        assert!(err.to_string().contains("accounts"), "{err}");
+    }
+
+    #[test]
+    fn poisoned_front_fails_stop_after_flush_failure() {
+        let storage = MemStorage::new();
+        let db = open(storage.clone(), FsyncPolicy::EveryN(2));
+        db.execute(&insert_program(&db, "ann", 10))
+            .expect("commits");
+        storage.set_budget(0);
+        let err = db
+            .execute(&insert_program(&db, "bob", 20))
+            .expect_err("storage dead");
+        assert_eq!(err, StoreError::Crashed);
+        // fail-stop: later commits see the original poison
+        let err = db
+            .execute(&insert_program(&db, "cho", 30))
+            .expect_err("poisoned");
+        assert_eq!(err, StoreError::Crashed);
+    }
+
+    #[test]
+    fn sql_and_script_front_doors_run_concurrently_safe() {
+        let db = open(MemStorage::new(), FsyncPolicy::Never);
+        db.run_sql("INSERT INTO accounts VALUES ('ann', 10)")
+            .expect("dml");
+        let out = db
+            .run_sql("SELECT owner FROM accounts WHERE balance >= 5")
+            .expect("query")
+            .expect("relation");
+        assert_eq!(out.len(), 1);
+        let results = db
+            .run_script("begin insert(accounts, values (str, int) {('bob', 7)}); end")
+            .expect("script");
+        assert!(matches!(results[0], RunResult::Committed(_)));
+        assert_eq!(db.pin().database().relation("accounts").unwrap().len(), 2);
+    }
+}

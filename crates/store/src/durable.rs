@@ -620,6 +620,41 @@ impl<S: Storage> DurableDb<S> {
     pub fn into_storage(self) -> S {
         self.storage
     }
+
+    /// Decomposes the wrapper into its recovered state — the entry point
+    /// for the concurrent front ([`crate::ConcurrentDb`]), which seeds an
+    /// MVCC version chain from exactly what serial recovery produced.
+    pub fn into_parts(self) -> DurableParts<S> {
+        DurableParts {
+            storage: self.storage,
+            db: self.db,
+            views: self.views,
+            stats: self.stats,
+            indexes: self.indexes,
+            keys: self.keys,
+            options: self.options,
+        }
+    }
+}
+
+/// The decomposed state of a [`DurableDb`]: everything recovery rebuilt,
+/// plus the storage backend whose WAL tail is already truncated to a
+/// frame boundary.
+pub struct DurableParts<S> {
+    /// The storage backend (WAL positioned at a clean frame boundary).
+    pub storage: S,
+    /// The recovered base relations.
+    pub db: Database,
+    /// The recovered materialized views.
+    pub views: ViewSet,
+    /// The recovered table statistics.
+    pub stats: Arc<CatalogStats>,
+    /// The recovered secondary indexes.
+    pub indexes: Arc<IndexSet>,
+    /// The recovered key constraints.
+    pub keys: Arc<KeySet>,
+    /// The options the database was opened with.
+    pub options: StoreOptions,
 }
 
 #[cfg(test)]

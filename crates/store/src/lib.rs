@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod concurrent;
 pub mod crc;
 pub mod durable;
 pub mod error;
@@ -57,7 +58,8 @@ pub mod snapshot;
 pub mod storage;
 pub mod wal;
 
-pub use durable::{DurableDb, FsyncPolicy, StoreOptions, SNAPSHOT_FILE, WAL_FILE};
+pub use concurrent::{is_conflict, ConcurrentDb};
+pub use durable::{DurableDb, DurableParts, FsyncPolicy, StoreOptions, SNAPSHOT_FILE, WAL_FILE};
 pub use error::{StoreError, StoreResult};
 pub use session::{run_sql, DurableSession};
 pub use storage::{DirStorage, MemStorage, Storage};

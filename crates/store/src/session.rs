@@ -57,6 +57,9 @@ impl<S: Storage> DurableSession<S> {
         for view in lowered.views {
             self.db.create_view(&view.name, view.expr)?;
         }
+        for key in lowered.keys {
+            self.db.declare_key(&key.relation, &key.attrs)?;
+        }
         let mut results = Vec::with_capacity(lowered.transactions.len());
         for program in &lowered.transactions {
             results.push(self.run_program(program)?);
@@ -100,6 +103,14 @@ pub fn run_sql<S: Storage>(db: &mut DurableDb<S>, sql: &str) -> StoreResult<Opti
     let is_query = matches!(translated, Translated::Query(_));
     if let Translated::CreateView { name, expr } = translated {
         db.create_view(&name, expr)?;
+        return Ok(None);
+    }
+    if let Translated::CreateTable { schema, keys } = translated {
+        let name = schema.name.clone();
+        db.add_relation(schema)?;
+        for attrs in keys {
+            db.declare_key(&name, &attrs)?;
+        }
         return Ok(None);
     }
     let program = Program::single(translated.into_statement());
@@ -207,6 +218,140 @@ mod tests {
         )
         .expect("recovers");
         assert_eq!(recovered.view("strong").expect("view").len(), 2);
+    }
+
+    #[test]
+    fn stacked_views_are_durable_and_cascade_after_reopen() {
+        let storage = MemStorage::new();
+        let mut session = DurableSession::new(open(storage.clone()));
+        // `strong` scans a base relation; `count_strong` scans `strong`
+        session
+            .run_script(
+                "relation beer (name: str, alcperc: int);\n\
+                 view strong = select[%2 > 5](beer);\n\
+                 view count_strong = groupby[(), CNT, %1](strong);\n\
+                 insert(beer, values (str, int) {('Grolsch', 5), ('Bock', 7)});",
+            )
+            .expect("script runs");
+        assert_eq!(
+            session
+                .durable()
+                .view("count_strong")
+                .expect("view")
+                .multiplicity(&mera_core::tuple![1_i64]),
+            1
+        );
+        drop(session);
+
+        // recovery rebuilds both layers in declaration order…
+        let mut recovered = DurableSession::new(open(MemStorage::from_image(storage.image())));
+        assert_eq!(
+            recovered
+                .durable()
+                .view("count_strong")
+                .expect("view")
+                .multiplicity(&mera_core::tuple![1_i64]),
+            1
+        );
+        // …and post-recovery writes still cascade through the stack
+        recovered
+            .run_script("insert(beer, values (str, int) {('Tripel', 8)});")
+            .expect("script runs");
+        assert_eq!(
+            recovered
+                .durable()
+                .view("count_strong")
+                .expect("view")
+                .multiplicity(&mera_core::tuple![2_i64]),
+            1
+        );
+    }
+
+    #[test]
+    fn sql_views_on_views_are_durable() {
+        let storage = MemStorage::new();
+        let mut db = open(storage.clone());
+        run_sql(&mut db, "CREATE TABLE beer (name TEXT, alcperc INT)").expect("ddl");
+        run_sql(
+            &mut db,
+            "INSERT INTO beer VALUES ('Grolsch', 5), ('Bock', 7), ('Tripel', 8)",
+        )
+        .expect("dml");
+        run_sql(
+            &mut db,
+            "CREATE MATERIALIZED VIEW strong AS SELECT name, alcperc FROM beer WHERE alcperc > 6",
+        )
+        .expect("first view");
+        run_sql(
+            &mut db,
+            "CREATE MATERIALIZED VIEW strongest AS SELECT name FROM strong WHERE alcperc > 7",
+        )
+        .expect("view on view");
+        assert_eq!(db.view("strongest").expect("view").len(), 1);
+        drop(db);
+
+        let mut recovered = open(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.view("strongest").expect("view").len(), 1);
+        run_sql(&mut recovered, "INSERT INTO beer VALUES ('Quad', 10)").expect("dml");
+        assert_eq!(recovered.view("strongest").expect("view").len(), 2);
+    }
+
+    #[test]
+    fn script_keys_are_durable_and_enforced() {
+        let storage = MemStorage::new();
+        let mut session = DurableSession::new(open(storage.clone()));
+        let results = session
+            .run_script(
+                "relation acct (id: int, owner: str);\n\
+                 key acct (%1);\n\
+                 begin insert(acct, values (int, str) {(1, 'ann')}); end\n\
+                 begin insert(acct, values (int, str) {(1, 'bob')}); end",
+            )
+            .expect("script runs");
+        assert!(matches!(results[0], RunResult::Committed(_)));
+        assert!(
+            matches!(results[1], RunResult::Aborted(_)),
+            "duplicate key must abort: {:?}",
+            results[1]
+        );
+        drop(session);
+
+        let mut recovered = DurableSession::new(open(MemStorage::from_image(storage.image())));
+        let results = recovered
+            .run_script("begin insert(acct, values (int, str) {(1, 'eve')}); end")
+            .expect("script runs");
+        assert!(
+            matches!(results[0], RunResult::Aborted(_)),
+            "key declaration must survive reopen: {:?}",
+            results[0]
+        );
+    }
+
+    #[test]
+    fn sql_unique_keys_are_durable_and_enforced() {
+        let storage = MemStorage::new();
+        let mut db = open(storage.clone());
+        run_sql(
+            &mut db,
+            "CREATE TABLE member (id INT PRIMARY KEY, email TEXT UNIQUE)",
+        )
+        .expect("creates table");
+        run_sql(&mut db, "INSERT INTO member VALUES (1, 'ann@x')").expect("dml");
+        let err = run_sql(&mut db, "INSERT INTO member VALUES (2, 'ann@x')").unwrap_err();
+        assert!(
+            matches!(err, StoreError::TransactionAborted(_)),
+            "UNIQUE violation must abort: {err}"
+        );
+        drop(db);
+
+        let mut recovered = open(MemStorage::from_image(storage.image()));
+        assert_eq!(recovered.database().relation("member").expect("t").len(), 1);
+        let err = run_sql(&mut recovered, "INSERT INTO member VALUES (3, 'ann@x')").unwrap_err();
+        assert!(
+            matches!(err, StoreError::TransactionAborted(_)),
+            "UNIQUE key must survive reopen: {err}"
+        );
+        run_sql(&mut recovered, "INSERT INTO member VALUES (3, 'bob@x')").expect("distinct ok");
     }
 
     #[test]

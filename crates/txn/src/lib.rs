@@ -15,6 +15,9 @@
 //! * [`views`] — materialized views maintained incrementally at commit
 //!   time from signed deltas (ℤ-multiplicity bags) instead of
 //!   re-evaluated from scratch,
+//! * [`mvcc`] — multi-version concurrency: immutable published versions
+//!   along the paper's logical-time axis, lock-free snapshot readers,
+//!   optimistic writers validated first-committer-wins,
 //! * [`explain`] — EXPLAIN-style rendering of the chosen plan: join
 //!   order, access paths, estimated-vs-actual cardinalities.
 
@@ -24,6 +27,7 @@ pub mod constraints;
 pub mod exec;
 pub mod explain;
 pub mod log;
+pub mod mvcc;
 pub mod statement;
 pub mod transaction;
 pub mod views;
@@ -37,6 +41,7 @@ pub use explain::explain_expr;
 pub use log::{LogRecord, RedoLog};
 pub use mera_eval::{EngineKind, ExecOptions, HashIndex, IndexSet, KeySet, KeyViolation};
 pub use mera_opt::{CatalogStats, TableStats};
+pub use mvcc::{MvccManager, MvccOptions, PreparedTxn, Version};
 pub use statement::{Program, Statement};
 pub use transaction::{
     run_transaction, run_transaction_cataloged, run_transaction_checked,

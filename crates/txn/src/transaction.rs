@@ -47,6 +47,17 @@ pub enum AbortReason {
     /// net deltas — detected in O(|delta|) at the commit point, before
     /// anything is installed. Carries the `E0401` diagnostic.
     KeyViolation(mera_analyze::Diagnostic),
+    /// First-committer-wins validation failed: between this transaction's
+    /// snapshot and its commit point, another transaction committed writes
+    /// to the same relations (or, on keyed relations, the same key
+    /// points). The transaction saw a consistent snapshot throughout and
+    /// can simply be retried against a newer one.
+    Conflict {
+        /// The relations whose concurrent writes overlap.
+        relations: Vec<String>,
+        /// The logical time of the newest conflicting committed version.
+        committed_at: LogicalTime,
+    },
 }
 
 impl fmt::Display for AbortReason {
@@ -61,6 +72,15 @@ impl fmt::Display for AbortReason {
             AbortReason::InjectedFault(i) => write!(f, "injected fault before statement {i}"),
             AbortReason::ConstraintViolation(v) => write!(f, "{v}"),
             AbortReason::KeyViolation(d) => write!(f, "{d}"),
+            AbortReason::Conflict {
+                relations,
+                committed_at,
+            } => write!(
+                f,
+                "write-write conflict on {} with the transaction committed at t={committed_at} \
+                 (first committer wins; retry against a newer snapshot)",
+                relations.join(", ")
+            ),
         }
     }
 }
